@@ -1,0 +1,106 @@
+//! Criterion benchmarks for the computational kernels behind the paper's
+//! runtime analysis (§3.1, Table 4): FFTs, Abbe vs Hopkins forward imaging,
+//! adjoint gradients, and TCC construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bismo::fft::{Complex64, Fft2Plan};
+use bismo::prelude::*;
+
+fn bench_cfg() -> OpticalConfig {
+    // 64×64 at 16 nm: big enough to be representative, small enough for a
+    // single-core bench run.
+    OpticalConfig::builder()
+        .mask_dim(64)
+        .pixel_nm(16.0)
+        .source_dim(7)
+        .build()
+        .expect("bench config")
+}
+
+fn fixtures() -> (OpticalConfig, Source, RealField) {
+    let cfg = bench_cfg();
+    let source = Source::from_shape(
+        &cfg,
+        SourceShape::Annular {
+            sigma_in: cfg.sigma_in(),
+            sigma_out: cfg.sigma_out(),
+        },
+    );
+    let mask = Clip::simple_rect(&cfg).target;
+    (cfg, source, mask)
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft2");
+    group.sample_size(30);
+    for n in [64usize, 128, 256] {
+        let plan = Fft2Plan::new(n, n).unwrap();
+        let data = vec![Complex64::new(0.3, -0.1); n * n];
+        group.bench_with_input(BenchmarkId::new("forward", n), &n, |b, _| {
+            b.iter(|| {
+                let mut buf = data.clone();
+                plan.forward(&mut buf).unwrap();
+                buf
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_forward_models(c: &mut Criterion) {
+    let (cfg, source, mask) = fixtures();
+    let abbe = AbbeImager::new(&cfg).unwrap();
+    let hopkins = HopkinsImager::new(&cfg, &source, 24).unwrap();
+    let mut group = c.benchmark_group("forward");
+    group.sample_size(20);
+    group.bench_function("abbe", |b| {
+        b.iter(|| abbe.intensity(&source, &mask).unwrap());
+    });
+    group.bench_function("hopkins_q24", |b| {
+        b.iter(|| hopkins.intensity(&mask).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_gradients(c: &mut Criterion) {
+    let (cfg, source, mask) = fixtures();
+    let abbe = AbbeImager::new(&cfg).unwrap();
+    let hopkins = HopkinsImager::new(&cfg, &source, 24).unwrap();
+    let g = RealField::filled(cfg.mask_dim(), 0.5);
+    let i0 = abbe.intensity(&source, &mask).unwrap();
+    let mut group = c.benchmark_group("gradients");
+    group.sample_size(15);
+    group.bench_function("abbe_mask_grad", |b| {
+        b.iter(|| abbe.grad_mask(&source, &mask, &g).unwrap());
+    });
+    group.bench_function("abbe_source_grad", |b| {
+        b.iter(|| abbe.grad_source(&source, &mask, &g, &i0).unwrap());
+    });
+    group.bench_function("abbe_both_grads", |b| {
+        b.iter(|| abbe.gradients(&source, &mask, &g, &i0).unwrap());
+    });
+    group.bench_function("hopkins_mask_grad", |b| {
+        b.iter(|| hopkins.grad_mask(&mask, &g).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_tcc_build(c: &mut Criterion) {
+    let (cfg, source, _) = fixtures();
+    let mut group = c.benchmark_group("tcc");
+    group.sample_size(10);
+    group.bench_function("build_q24", |b| {
+        b.iter(|| HopkinsImager::new(&cfg, &source, 24).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(
+    kernels,
+    bench_fft,
+    bench_forward_models,
+    bench_gradients,
+    bench_tcc_build
+);
+criterion_main!(kernels);

@@ -1,0 +1,106 @@
+//! Criterion benchmarks for whole optimization steps: one Abbe-MO step,
+//! one AM-SMO update of each phase, and one BiSMO outer iteration per
+//! hypergradient method — the per-iteration costs behind Table 4's TAT
+//! column.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bismo::prelude::*;
+
+fn fixtures() -> (SmoProblem, Vec<f64>, RealField) {
+    let cfg = OpticalConfig::builder()
+        .mask_dim(64)
+        .pixel_nm(16.0)
+        .source_dim(7)
+        .build()
+        .expect("bench config");
+    let clip = Clip::simple_rect(&cfg);
+    let problem = SmoProblem::new(cfg.clone(), SmoSettings::default(), clip.target)
+        .expect("problem setup");
+    let tj = problem.init_theta_j(SourceShape::Annular {
+        sigma_in: cfg.sigma_in(),
+        sigma_out: cfg.sigma_out(),
+    });
+    let tm = problem.init_theta_m();
+    (problem, tj, tm)
+}
+
+fn bench_eval(c: &mut Criterion) {
+    let (problem, tj, tm) = fixtures();
+    let mut group = c.benchmark_group("eval");
+    group.sample_size(15);
+    group.bench_function("loss_only", |b| {
+        b.iter(|| problem.loss(&tj, &tm).unwrap());
+    });
+    group.bench_function("mask_grad", |b| {
+        b.iter(|| problem.eval(&tj, &tm, GradRequest::MASK).unwrap());
+    });
+    group.bench_function("source_grad", |b| {
+        b.iter(|| problem.eval(&tj, &tm, GradRequest::SOURCE).unwrap());
+    });
+    group.bench_function("both_grads", |b| {
+        b.iter(|| problem.eval(&tj, &tm, GradRequest::BOTH).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_outer_steps(c: &mut Criterion) {
+    let (problem, tj, tm) = fixtures();
+    let mut group = c.benchmark_group("one_step");
+    group.sample_size(10);
+    group.bench_function("abbe_mo", |b| {
+        b.iter(|| {
+            run_abbe_mo(
+                &problem,
+                &tj,
+                &tm,
+                MoConfig {
+                    steps: 1,
+                    ..MoConfig::default()
+                },
+            )
+            .unwrap()
+        });
+    });
+    for (name, method) in [
+        ("bismo_fd", HypergradMethod::FiniteDiff),
+        ("bismo_nmn_k5", HypergradMethod::Neumann { k: 5 }),
+        ("bismo_cg_k5", HypergradMethod::ConjGrad { k: 5 }),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                run_bismo(
+                    &problem,
+                    &tj,
+                    &tm,
+                    BismoConfig {
+                        outer_steps: 1,
+                        method,
+                        ..BismoConfig::default()
+                    },
+                )
+                .unwrap()
+            });
+        });
+    }
+    group.bench_function("am_smo_round", |b| {
+        b.iter(|| {
+            run_am_smo(
+                &problem,
+                &tj,
+                &tm,
+                AmSmoConfig {
+                    rounds: 1,
+                    so_steps: 1,
+                    mo_steps: 1,
+                    ..AmSmoConfig::default()
+                },
+            )
+            .unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(smo, bench_eval, bench_outer_steps);
+criterion_main!(smo);

@@ -1,0 +1,111 @@
+//! Regenerates the §3.1/§4.1 **runtime analysis**: per-iteration forward and
+//! gradient cost of the accelerated Abbe model vs the Hopkins/SOCS model,
+//! the thread-parallel scaling of Abbe over source points, and the hybrid's
+//! TCC construction cost.
+
+use std::time::Instant;
+
+use bismo_bench::{format_table, Harness, Scale};
+use bismo_core::GradRequest;
+use bismo_layout::Clip;
+use bismo_litho::{AbbeImager, HopkinsImager};
+use bismo_optics::RealField;
+
+fn time<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let start = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    start.elapsed().as_secs_f64() / reps as f64
+}
+
+fn main() {
+    let h = Harness::new(Scale::from_env());
+    let reps = match Scale::from_env() {
+        Scale::Quick => 2,
+        _ => 5,
+    };
+    let clip = Clip::simple_rect(&h.optical);
+    let problem = bismo_core::SmoProblem::new(
+        h.optical.clone(),
+        h.settings.clone().without_pvb(),
+        clip.target.clone(),
+    )
+    .expect("problem setup");
+    let tj = problem.init_theta_j(h.template());
+    let tm = problem.init_theta_m();
+    let source = problem.source(&tj);
+    let mask = problem.mask(&tm);
+    let effective = source.effective_count(1e-9);
+
+    println!(
+        "Abbe vs Hopkins runtime (mask {0}×{0}, N_j = {1}, σ = {2} effective points, Q = 24)\n",
+        h.optical.mask_dim(),
+        h.optical.source_dim(),
+        effective
+    );
+
+    // TCC build (the hybrid AM-SMO per-round cost).
+    let t_tcc = time(1, || {
+        let _ = HopkinsImager::new(&h.optical, &source, 24).expect("tcc build");
+    });
+    let hopkins = HopkinsImager::new(&h.optical, &source, 24).expect("tcc build");
+
+    let g = RealField::filled(h.optical.mask_dim(), 1.0);
+    let headers: Vec<String> = ["Kernel", "Time (ms)"].iter().map(|s| s.to_string()).collect();
+    let mut rows = Vec::new();
+
+    let t_abbe_fwd = time(reps, || {
+        let _ = problem.abbe().intensity(&source, &mask).expect("abbe fwd");
+    });
+    rows.push(vec!["Abbe forward".into(), format!("{:.2}", 1e3 * t_abbe_fwd)]);
+
+    let t_hop_fwd = time(reps, || {
+        let _ = hopkins.intensity(&mask).expect("hopkins fwd");
+    });
+    rows.push(vec!["Hopkins forward".into(), format!("{:.2}", 1e3 * t_hop_fwd)]);
+
+    let t_abbe_grad = time(reps, || {
+        let _ = problem.abbe().grad_mask(&source, &mask, &g).expect("abbe grad");
+    });
+    rows.push(vec!["Abbe mask-grad".into(), format!("{:.2}", 1e3 * t_abbe_grad)]);
+
+    let t_hop_grad = time(reps, || {
+        let _ = hopkins.grad_mask(&mask, &g).expect("hopkins grad");
+    });
+    rows.push(vec!["Hopkins mask-grad".into(), format!("{:.2}", 1e3 * t_hop_grad)]);
+
+    let t_eval = time(reps, || {
+        let _ = problem.eval(&tj, &tm, GradRequest::BOTH).expect("eval");
+    });
+    rows.push(vec!["Full SMO eval (both grads)".into(), format!("{:.2}", 1e3 * t_eval)]);
+    rows.push(vec!["TCC + SOCS build".into(), format!("{:.2}", 1e3 * t_tcc)]);
+    println!("{}", format_table(&headers, &rows));
+
+    println!(
+        "Complexity ratio σ/Q = {:.2} (paper §3.1: parallel time ratio ⌈σ/P⌉/⌈Q/P⌉ → 1 when P ≥ σ)\n",
+        effective as f64 / 24.0
+    );
+
+    // Thread sweep over the source-point axis.
+    let headers: Vec<String> = ["Threads", "Abbe forward (ms)", "Speedup"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut rows = Vec::new();
+    let mut base = None;
+    for threads in [1usize, 2, 4, 8] {
+        let abbe = AbbeImager::new(&h.optical).expect("engine").with_threads(threads);
+        let t = time(reps, || {
+            let _ = abbe.intensity(&source, &mask).expect("fwd");
+        });
+        let b = *base.get_or_insert(t);
+        rows.push(vec![
+            threads.to_string(),
+            format!("{:.2}", 1e3 * t),
+            format!("{:.2}×", b / t),
+        ]);
+    }
+    println!("{}", format_table(&headers, &rows));
+    println!("(On a single-core host the sweep shows overhead, not speedup; the paper's GPU plays the role of P ≥ σ threads.)");
+}

@@ -1,0 +1,150 @@
+//! Ablation study (paper §4.2 plus DESIGN.md extensions): sweeps the
+//! Neumann/CG term count `K`, the unroll depth `T`, and the SOCS truncation
+//! `Q`, reporting final loss / cost trade-offs on one clip.
+
+use bismo_bench::{format_table, Harness, Scale, Suite, SuiteKind};
+use bismo_core::{run_bismo, BismoConfig, HypergradMethod, SmoProblem};
+use bismo_litho::HopkinsImager;
+use bismo_optics::RealField;
+
+fn main() {
+    let h = Harness::new(Scale::from_env());
+    let outer = match Scale::from_env() {
+        Scale::Quick => 5,
+        _ => 20,
+    };
+    let suite = Suite::generate(SuiteKind::Iccad13, &h.optical, 1);
+    let clip = &suite.clips()[0];
+    let problem = SmoProblem::new(h.optical.clone(), h.settings.clone(), clip.target.clone())
+        .expect("problem setup");
+    let tj = problem.init_theta_j(h.template());
+    let tm = problem.init_theta_m();
+
+    // K sweep for NMN and CG.
+    println!("\nAblation A: Neumann/CG term count K (outer steps = {outer})\n");
+    let headers: Vec<String> = ["K", "NMN final loss", "NMN TAT (s)", "CG final loss", "CG TAT (s)"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut rows = Vec::new();
+    for k in [0usize, 1, 3, 5] {
+        let run = |method| {
+            run_bismo(
+                &problem,
+                &tj,
+                &tm,
+                BismoConfig {
+                    outer_steps: outer,
+                    method,
+                    stop: None,
+                    ..BismoConfig::default()
+                },
+            )
+            .expect("bismo run")
+        };
+        let nmn = run(HypergradMethod::Neumann { k });
+        let cg = run(HypergradMethod::ConjGrad { k: k.max(1) });
+        rows.push(vec![
+            k.to_string(),
+            format!("{:.4}", nmn.trace.final_loss().unwrap()),
+            format!("{:.2}", nmn.wall_s),
+            format!("{:.4}", cg.trace.final_loss().unwrap()),
+            format!("{:.2}", cg.wall_s),
+        ]);
+    }
+    println!("{}", format_table(&headers, &rows));
+
+    // T sweep (unroll depth).
+    println!("\nAblation B: SO unroll depth T (BiSMO-NMN, K = 5)\n");
+    let headers: Vec<String> = ["T", "Final loss", "TAT (s)"].iter().map(|s| s.to_string()).collect();
+    let mut rows = Vec::new();
+    for t in [1usize, 2, 3, 5] {
+        let out = run_bismo(
+            &problem,
+            &tj,
+            &tm,
+            BismoConfig {
+                outer_steps: outer,
+                unroll_t: t,
+                method: HypergradMethod::Neumann { k: 5 },
+                stop: None,
+                ..BismoConfig::default()
+            },
+        )
+        .expect("bismo run");
+        rows.push(vec![
+            t.to_string(),
+            format!("{:.4}", out.trace.final_loss().unwrap()),
+            format!("{:.2}", out.wall_s),
+        ]);
+    }
+    println!("{}", format_table(&headers, &rows));
+
+    // Q sweep: SOCS truncation error vs the Abbe ground truth.
+    println!("\nAblation C: SOCS truncation Q vs Abbe ground truth\n");
+    let source = problem.source(&tj);
+    let mask = problem.mask(&tm);
+    let abbe_img = problem.abbe().intensity(&source, &mask).expect("abbe fwd");
+    let headers: Vec<String> = ["Q", "Mean |I_hopkins − I_abbe|", "Captured κ mass"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut rows = Vec::new();
+    let full = HopkinsImager::new(&h.optical, &source, usize::MAX).expect("tcc");
+    let total_mass: f64 = full.kernels().iter().map(|k| k.kappa).sum();
+    for q in [4usize, 9, 24, 64] {
+        let hopkins = HopkinsImager::new(&h.optical, &source, q).expect("tcc");
+        let img = hopkins.intensity(&mask).expect("fwd");
+        let diff: RealField = {
+            let mut d = img.clone();
+            d.axpy(-1.0, &abbe_img);
+            d.map(|v| v.abs())
+        };
+        let mass: f64 = hopkins.kernels().iter().map(|k| k.kappa).sum();
+        rows.push(vec![
+            q.to_string(),
+            format!("{:.2e}", diff.sum() / diff.len() as f64),
+            format!("{:.1}%", 100.0 * mass / total_mass),
+        ]);
+    }
+    println!("{}", format_table(&headers, &rows));
+    println!("Check: error → 0 and mass → 100% as Q grows (the premise of SOCS).");
+
+    // Sigmoid vs cosine source activation (§3.1: "the Cosine function ...
+    // may lead to training instability due to gradient issues").
+    println!("\nAblation D: source activation family (BiSMO-FD, {outer} outer steps)\n");
+    let headers: Vec<String> = ["Activation", "Final loss", "Best loss"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut rows = Vec::new();
+    for (name, cosine) in [("sigmoid", false), ("cosine", true)] {
+        let mut settings = h.settings.clone();
+        if cosine {
+            settings.activation = settings.activation.with_cosine_source();
+        }
+        let p = SmoProblem::new(h.optical.clone(), settings, clip.target.clone())
+            .expect("problem setup");
+        let tj0 = p.init_theta_j(h.template());
+        let tm0 = p.init_theta_m();
+        let out = run_bismo(
+            &p,
+            &tj0,
+            &tm0,
+            BismoConfig {
+                outer_steps: outer,
+                method: HypergradMethod::FiniteDiff,
+                stop: None,
+                ..BismoConfig::default()
+            },
+        )
+        .expect("bismo run");
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.4}", out.trace.final_loss().unwrap()),
+            format!("{:.4}", out.trace.best_loss().unwrap()),
+        ]);
+    }
+    println!("{}", format_table(&headers, &rows));
+    println!("Check: cosine stalls (rail gradients vanish) — the paper's reason to prefer the sigmoid.");
+}

@@ -1,0 +1,60 @@
+//! Regenerates **Figure 4** (result samples): optimizes one ICCAD13-style
+//! and one ISPD19-style clip with BiSMO-NMN and writes source / mask /
+//! resist / target PGM panels to `bench_results/`.
+
+use bismo_bench::{out_dir, Harness, Scale, Suite, SuiteKind};
+use bismo_core::{run_bismo, BismoConfig, HypergradMethod, SmoProblem};
+use bismo_layout::{upsample, write_pgm};
+use bismo_optics::RealField;
+
+fn main() {
+    let h = Harness::new(Scale::from_env());
+    let outer = match Scale::from_env() {
+        Scale::Quick => 6,
+        Scale::Default => 25,
+        Scale::Paper => 40,
+    };
+    for kind in [SuiteKind::Iccad13, SuiteKind::Ispd19] {
+        let suite = Suite::generate(kind, &h.optical, 1);
+        let clip = &suite.clips()[0];
+        eprintln!("fig4: optimizing {}", clip.name);
+        let problem = SmoProblem::new(h.optical.clone(), h.settings.clone(), clip.target.clone())
+            .expect("problem setup");
+        let tj0 = problem.init_theta_j(h.template());
+        let tm0 = problem.init_theta_m();
+        let out = run_bismo(
+            &problem,
+            &tj0,
+            &tm0,
+            BismoConfig {
+                outer_steps: outer,
+                method: HypergradMethod::Neumann { k: 5 },
+                stop: h.stop,
+                ..BismoConfig::default()
+            },
+        )
+        .expect("bismo run");
+
+        let tag = kind.name().to_lowercase().replace('-', "");
+        let dir = out_dir();
+        // Source panel (upsampled for visibility).
+        let source = problem.source(&out.theta_j);
+        let nj = source.dim();
+        let source_field = RealField::from_vec(nj, source.weights().to_vec());
+        let factor = (h.optical.mask_dim() / nj).max(1);
+        write_pgm(&upsample(&source_field, factor), dir.join(format!("fig4_{tag}_source.pgm")))
+            .expect("write source panel");
+        // Mask, resist, target panels.
+        write_pgm(&problem.mask(&out.theta_m), dir.join(format!("fig4_{tag}_mask.pgm")))
+            .expect("write mask panel");
+        let resist = problem
+            .resist_nominal(&out.theta_j, &out.theta_m)
+            .expect("resist image");
+        write_pgm(&resist, dir.join(format!("fig4_{tag}_resist.pgm"))).expect("write resist");
+        write_pgm(&clip.target, dir.join(format!("fig4_{tag}_target.pgm"))).expect("write target");
+        println!(
+            "wrote fig4_{tag}_{{source,mask,resist,target}}.pgm (final loss {:.3})",
+            out.trace.final_loss().unwrap_or(f64::NAN)
+        );
+    }
+}

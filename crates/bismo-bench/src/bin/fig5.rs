@@ -1,0 +1,73 @@
+//! Regenerates **Figure 5** (mean and standard deviation of `L_smo` across
+//! clips for the three BiSMO variants on ICCAD13 and ICCAD-L): writes
+//! `bench_results/fig5_<suite>.csv` with mean/std columns per variant.
+
+use bismo_bench::{mean, out_dir, std_dev, Harness, Scale, Suite, SuiteKind};
+use bismo_core::{run_bismo, BismoConfig, HypergradMethod, SmoProblem};
+
+fn main() {
+    let h = Harness::new(Scale::from_env());
+    let (outer, clips) = match Scale::from_env() {
+        Scale::Quick => (6, 2),
+        Scale::Default => (25, 4),
+        Scale::Paper => (60, 10),
+    };
+    let variants = [
+        ("BiSMO-FD", HypergradMethod::FiniteDiff),
+        ("BiSMO-CG", HypergradMethod::ConjGrad { k: 5 }),
+        ("BiSMO-NMN", HypergradMethod::Neumann { k: 5 }),
+    ];
+
+    for kind in [SuiteKind::Iccad13, SuiteKind::IccadL] {
+        let suite = Suite::generate(kind, &h.optical, clips);
+        // losses[variant][clip] = per-step loss series.
+        let mut losses: Vec<Vec<Vec<f64>>> = vec![Vec::new(); variants.len()];
+        for clip in suite.clips() {
+            let problem =
+                SmoProblem::new(h.optical.clone(), h.settings.clone(), clip.target.clone())
+                    .expect("problem setup");
+            let tj = problem.init_theta_j(h.template());
+            let tm = problem.init_theta_m();
+            for (vi, (name, method)) in variants.iter().enumerate() {
+                eprintln!("fig5 [{}] {} on {}", kind.name(), name, clip.name);
+                let out = run_bismo(
+                    &problem,
+                    &tj,
+                    &tm,
+                    BismoConfig {
+                        outer_steps: outer,
+                        method: *method,
+                        stop: None,
+                        ..BismoConfig::default()
+                    },
+                )
+                .expect(name);
+                losses[vi].push(out.trace.records().iter().map(|r| r.loss).collect());
+            }
+        }
+
+        let mut csv = String::from("step");
+        for (name, _) in &variants {
+            csv.push_str(&format!(",{name}_mean,{name}_std"));
+        }
+        csv.push('\n');
+        for step in 0..outer {
+            csv.push_str(&step.to_string());
+            for series in &losses {
+                let at_step: Vec<f64> = series
+                    .iter()
+                    .filter_map(|s| s.get(step).copied())
+                    .collect();
+                csv.push_str(&format!(",{:.5},{:.5}", mean(&at_step), std_dev(&at_step)));
+            }
+            csv.push('\n');
+        }
+        let path = out_dir().join(format!(
+            "fig5_{}.csv",
+            kind.name().to_lowercase().replace('-', "")
+        ));
+        std::fs::write(&path, csv).expect("write csv");
+        println!("wrote {}", path.display());
+    }
+    println!("Check: NMN lowest mean; CG largest STD (paper §4.2).");
+}

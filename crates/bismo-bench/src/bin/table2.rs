@@ -1,0 +1,32 @@
+//! Regenerates **Table 2** (dataset details): generates each synthetic suite
+//! at the harness scale and prints its statistics next to the published
+//! targets.
+
+use bismo_bench::{format_table, Harness, Scale, SuiteKind};
+
+fn main() {
+    let h = Harness::new(Scale::from_env());
+    let tile = h.optical.tile_nm();
+    let area_scale = tile * tile / 4.0e6;
+    println!(
+        "Table 2: dataset details (tile {:.0} nm, area scale ×{:.3} vs the paper's 4 µm² window)\n",
+        tile, area_scale
+    );
+    let headers: Vec<String> = ["Dataset", "Avg area (nm²)", "Paper target ×scale", "Test num.", "Layer", "CD (nm)"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut rows = Vec::new();
+    for kind in SuiteKind::all() {
+        let suite = h.suite(kind);
+        rows.push(vec![
+            kind.name().to_string(),
+            format!("{:.0}", suite.average_area_nm2()),
+            format!("{:.0}", kind.target_area_nm2() * area_scale),
+            format!("{} (paper: {})", suite.clips().len(), kind.test_count()),
+            kind.layer().to_string(),
+            format!("{:.0}", kind.cd_nm()),
+        ]);
+    }
+    println!("{}", format_table(&headers, &rows));
+}

@@ -1,0 +1,51 @@
+//! Regenerates **Table 4** (EPE and turnaround-time comparison with Ratio
+//! rows).
+
+use bismo_bench::{format_table, run_full_comparison, Harness, Method, Scale};
+
+fn main() {
+    let h = Harness::new(Scale::from_env());
+    let comparisons = run_full_comparison(&h).expect("comparison runs failed");
+
+    let navg = Method::all().len();
+    let mut epe = vec![0.0; navg];
+    let mut tat = vec![0.0; navg];
+    for cmp in &comparisons {
+        for (i, agg) in cmp.methods.iter().enumerate() {
+            epe[i] += agg.epe / comparisons.len() as f64;
+            tat[i] += agg.tat / comparisons.len() as f64;
+        }
+    }
+
+    println!("\nTable 4: EPE and runtime comparison\n");
+    let mut headers = vec!["Metric".to_string()];
+    headers.extend(Method::all().iter().map(|m| m.name().to_string()));
+    let base = navg - 1; // BiSMO-NMN column, as in the paper's ratio rows.
+    let rows = vec![
+        {
+            let mut r = vec!["EPE avg.".to_string()];
+            r.extend(epe.iter().map(|v| format!("{v:.1}")));
+            r
+        },
+        {
+            let mut r = vec!["EPE ratio".to_string()];
+            r.extend(epe.iter().map(|v| format!("{:.1}", v / epe[base].max(1e-9))));
+            r
+        },
+        {
+            let mut r = vec!["TAT avg (s)".to_string()];
+            r.extend(tat.iter().map(|v| format!("{v:.2}")));
+            r
+        },
+        {
+            let mut r = vec!["TAT ratio".to_string()];
+            r.extend(tat.iter().map(|v| format!("{:.2}", v / tat[base].max(1e-9))));
+            r
+        },
+    ];
+    println!("{}", format_table(&headers, &rows));
+    println!(
+        "Paper shape to check: EPE ordering NILT > DAC23 > Abbe-MO > AM > BiSMO;\n\
+         TAT: AM(A~H) slowest (per-round TCC rebuild), AM(A~A) next, BiSMO ≈ MO."
+    );
+}

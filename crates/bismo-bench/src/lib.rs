@@ -1,0 +1,464 @@
+//! # bismo-bench
+//!
+//! Experiment harness for the BiSMO reproduction: shared scale presets,
+//! method runners and table formatting used by the `table*`/`fig*` binaries
+//! (one binary per table/figure of the paper — see DESIGN.md §5).
+//!
+//! Scales are selected with the `BISMO_SCALE` environment variable:
+//! `quick` (smoke-test, seconds), `default` (minutes, the documented
+//! numbers in EXPERIMENTS.md), or `paper` (hours on one CPU core; closest
+//! to the paper's 2048² / N_j = 35 setup).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+use bismo_core::{
+    measure, run_abbe_mo, run_am_smo, run_bismo, run_milt_proxy, run_nilt_proxy, AmSmoConfig,
+    BismoConfig, ConvergenceTrace, EpeSpec, HypergradMethod, MetricSet, MoConfig, MoModel,
+    SmoProblem, SmoSettings, StopRule,
+};
+use bismo_litho::LithoError;
+use bismo_opt::OptimizerKind;
+use bismo_optics::{OpticalConfig, SourceShape};
+
+pub use bismo_layout::{Clip, Suite, SuiteKind};
+
+/// Experiment scale preset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-long smoke runs (used by integration tests).
+    Quick,
+    /// The documented default (minutes on one core).
+    Default,
+    /// Paper-proportioned grids (hours on one core).
+    Paper,
+}
+
+impl Scale {
+    /// Reads `BISMO_SCALE` (`quick` / `default` / `paper`), defaulting to
+    /// [`Scale::Default`].
+    pub fn from_env() -> Scale {
+        match std::env::var("BISMO_SCALE").as_deref() {
+            Ok("quick") => Scale::Quick,
+            Ok("paper") => Scale::Paper,
+            _ => Scale::Default,
+        }
+    }
+}
+
+/// Everything a harness binary needs: optical config, objective settings,
+/// per-suite clip counts and per-method budgets.
+#[derive(Debug, Clone)]
+pub struct Harness {
+    /// Optical configuration at the chosen scale.
+    pub optical: OpticalConfig,
+    /// Objective settings (paper §4 hyperparameters).
+    pub settings: SmoSettings,
+    /// Clips evaluated per suite.
+    pub clips_per_suite: usize,
+    /// Budget for mask-only baselines.
+    pub mo_steps: usize,
+    /// AM-SMO rounds and per-phase steps.
+    pub am_rounds: usize,
+    /// AM-SMO SO/MO steps per round.
+    pub am_phase_steps: usize,
+    /// BiSMO outer-step budget.
+    pub bismo_outer: usize,
+    /// Shared early-stopping rule (`None` for fixed budgets).
+    pub stop: Option<StopRule>,
+    /// EPE measurement parameters.
+    pub epe: EpeSpec,
+}
+
+impl Harness {
+    /// Builds the harness for a scale preset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the preset's optical configuration fails validation (a
+    /// build-time bug, not a runtime condition).
+    pub fn new(scale: Scale) -> Harness {
+        let (mask_dim, pixel_nm, source_dim, clips, mo_steps, am_rounds, am_phase, outer) =
+            match scale {
+                Scale::Quick => (64, 16.0, 7, 1, 20, 5, 15, 48),
+                Scale::Default => (128, 16.0, 9, 2, 80, 8, 30, 80),
+                Scale::Paper => (256, 8.0, 15, 10, 100, 10, 40, 100),
+            };
+        let optical = OpticalConfig::builder()
+            .mask_dim(mask_dim)
+            .pixel_nm(pixel_nm)
+            .source_dim(source_dim)
+            .build()
+            .expect("preset optical config is valid");
+        let epe = EpeSpec {
+            threshold_nm: 1.25 * pixel_nm,
+            stride_px: 4,
+            search_px: 8,
+        };
+        Harness {
+            optical,
+            settings: SmoSettings::default(),
+            clips_per_suite: clips,
+            mo_steps,
+            am_rounds,
+            am_phase_steps: am_phase,
+            bismo_outer: outer,
+            stop: Some(StopRule::harness_default()),
+            epe,
+        }
+    }
+
+    /// The annular template of the paper's §4 setup.
+    pub fn template(&self) -> SourceShape {
+        SourceShape::Annular {
+            sigma_in: self.optical.sigma_in(),
+            sigma_out: self.optical.sigma_out(),
+        }
+    }
+
+    /// Generates the evaluation clips for one suite at this scale.
+    pub fn suite(&self, kind: SuiteKind) -> Suite {
+        Suite::generate(kind, &self.optical, self.clips_per_suite)
+    }
+}
+
+/// The eight method columns of Table 3 / Table 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// NILT [7] proxy (Hopkins, coarse Q, no PVB).
+    Nilt,
+    /// DAC23-MILT [10] proxy (Hopkins, Q = 24, PVB, two-level schedule).
+    Milt,
+    /// Our Abbe-model mask-only optimization.
+    AbbeMo,
+    /// AM-SMO with Abbe SO + Hopkins MO [13].
+    AmHybrid,
+    /// AM-SMO with Abbe for both phases [12].
+    AmAbbe,
+    /// BiSMO with the finite-difference hypergradient.
+    BismoFd,
+    /// BiSMO with the conjugate-gradient hypergradient.
+    BismoCg,
+    /// BiSMO with the Neumann-series hypergradient.
+    BismoNmn,
+}
+
+impl Method {
+    /// All methods in the paper's column order.
+    pub fn all() -> [Method; 8] {
+        [
+            Method::Nilt,
+            Method::Milt,
+            Method::AbbeMo,
+            Method::AmHybrid,
+            Method::AmAbbe,
+            Method::BismoFd,
+            Method::BismoCg,
+            Method::BismoNmn,
+        ]
+    }
+
+    /// Column label matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Method::Nilt => "NILT",
+            Method::Milt => "DAC23-MILT",
+            Method::AbbeMo => "Abbe-MO",
+            Method::AmHybrid => "AM(A~H)",
+            Method::AmAbbe => "AM(A~A)",
+            Method::BismoFd => "BiSMO-FD",
+            Method::BismoCg => "BiSMO-CG",
+            Method::BismoNmn => "BiSMO-NMN",
+        }
+    }
+
+    /// Whether this method optimizes the source at all.
+    pub fn optimizes_source(&self) -> bool {
+        !matches!(self, Method::Nilt | Method::Milt | Method::AbbeMo)
+    }
+}
+
+/// Outcome of one (method, clip) run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// §2.2 metrics at the final parameters.
+    pub metrics: MetricSet,
+    /// Wall-clock seconds (turnaround time).
+    pub wall_s: f64,
+    /// Per-update loss trace.
+    pub trace: ConvergenceTrace,
+}
+
+/// Runs one method on one clip and measures the §2.2 metrics (always with
+/// the Abbe engine, so Hopkins-based methods are scored on the ground-truth
+/// imaging model).
+///
+/// # Errors
+///
+/// Propagates imaging failures.
+pub fn run_method(h: &Harness, method: Method, clip: &Clip) -> Result<RunResult, LithoError> {
+    let problem = SmoProblem::new(h.optical.clone(), h.settings.clone(), clip.target.clone())?;
+    let theta_j0 = problem.init_theta_j(h.template());
+    let theta_m0 = problem.init_theta_m();
+    let template_source = problem.source(&theta_j0);
+
+    let mo_cfg = MoConfig {
+        steps: h.mo_steps,
+        lr: 0.1,
+        kind: OptimizerKind::Adam,
+        stop: h.stop,
+    };
+    let start = Instant::now();
+    let (theta_j, theta_m, trace, wall_s) = match method {
+        Method::Nilt => {
+            let out = run_nilt_proxy(
+                &h.optical,
+                &h.settings,
+                &clip.target,
+                &template_source,
+                mo_cfg,
+            )?;
+            (theta_j0.clone(), out.theta_m, out.trace, out.wall_s)
+        }
+        Method::Milt => {
+            let out = run_milt_proxy(
+                &h.optical,
+                &h.settings,
+                &clip.target,
+                &template_source,
+                mo_cfg,
+            )?;
+            (theta_j0.clone(), out.theta_m, out.trace, out.wall_s)
+        }
+        Method::AbbeMo => {
+            let out = run_abbe_mo(&problem, &theta_j0, &theta_m0, mo_cfg)?;
+            (theta_j0.clone(), out.theta_m, out.trace, out.wall_s)
+        }
+        Method::AmHybrid | Method::AmAbbe => {
+            let mo_model = if method == Method::AmHybrid {
+                MoModel::Hopkins { q: 24 }
+            } else {
+                MoModel::Abbe
+            };
+            let out = run_am_smo(
+                &problem,
+                &theta_j0,
+                &theta_m0,
+                AmSmoConfig {
+                    rounds: h.am_rounds,
+                    so_steps: h.am_phase_steps,
+                    mo_steps: h.am_phase_steps,
+                    lr: 0.1,
+                    kind: OptimizerKind::Adam,
+                    mo_model,
+                    stop: h.stop,
+                    phase_stop: Some(StopRule {
+                        window: 4,
+                        rel_tol: 1e-3,
+                    }),
+                },
+            )?;
+            (out.theta_j, out.theta_m, out.trace, out.wall_s)
+        }
+        Method::BismoFd | Method::BismoCg | Method::BismoNmn => {
+            let hg = match method {
+                Method::BismoFd => HypergradMethod::FiniteDiff,
+                Method::BismoCg => HypergradMethod::ConjGrad { k: 5 },
+                _ => HypergradMethod::Neumann { k: 5 },
+            };
+            let out = run_bismo(
+                &problem,
+                &theta_j0,
+                &theta_m0,
+                BismoConfig {
+                    outer_steps: h.bismo_outer,
+                    method: hg,
+                    stop: h.stop,
+                    ..BismoConfig::default()
+                },
+            )?;
+            (out.theta_j, out.theta_m, out.trace, out.wall_s)
+        }
+    };
+    let _ = start;
+    let metrics = measure(&problem, &theta_j, &theta_m, h.epe)?;
+    Ok(RunResult {
+        metrics,
+        wall_s,
+        trace,
+    })
+}
+
+/// Per-suite aggregate of one method across clips.
+#[derive(Debug, Clone)]
+pub struct MethodAggregate {
+    /// The method.
+    pub method: Method,
+    /// Average L2 in nm².
+    pub l2: f64,
+    /// Average PVB in nm².
+    pub pvb: f64,
+    /// Average EPE violation count.
+    pub epe: f64,
+    /// Average turnaround time in seconds.
+    pub tat: f64,
+}
+
+/// All methods aggregated over one suite's clips.
+#[derive(Debug, Clone)]
+pub struct SuiteComparison {
+    /// The suite.
+    pub kind: SuiteKind,
+    /// Per-method aggregates, in [`Method::all`] order.
+    pub methods: Vec<MethodAggregate>,
+}
+
+/// Runs every method on every clip of every suite — the computation behind
+/// Tables 3 and 4. Progress is logged to stderr.
+///
+/// # Errors
+///
+/// Propagates imaging failures.
+pub fn run_full_comparison(h: &Harness) -> Result<Vec<SuiteComparison>, LithoError> {
+    let mut out = Vec::new();
+    for kind in SuiteKind::all() {
+        let suite = h.suite(kind);
+        let mut methods = Vec::new();
+        for method in Method::all() {
+            let mut l2 = Vec::new();
+            let mut pvb = Vec::new();
+            let mut epe = Vec::new();
+            let mut tat = Vec::new();
+            for clip in suite.clips() {
+                eprintln!("[{}] {} on {}", kind.name(), method.name(), clip.name);
+                let r = run_method(h, method, clip)?;
+                l2.push(r.metrics.l2_nm2);
+                pvb.push(r.metrics.pvb_nm2);
+                epe.push(r.metrics.epe as f64);
+                tat.push(r.wall_s);
+            }
+            methods.push(MethodAggregate {
+                method,
+                l2: mean(&l2),
+                pvb: mean(&pvb),
+                epe: mean(&epe),
+                tat: mean(&tat),
+            });
+        }
+        out.push(SuiteComparison { kind, methods });
+    }
+    Ok(out)
+}
+
+/// Renders an aligned plain-text table (the format every harness binary
+/// prints).
+pub fn format_table(headers: &[String], rows: &[Vec<String>]) -> String {
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    out.push_str(&fmt_row(headers, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Mean of a slice (0 for empty input).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population standard deviation of a slice.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Output directory for harness artifacts (CSV series, PGM panels),
+/// created on demand.
+///
+/// # Panics
+///
+/// Panics if the directory cannot be created.
+pub fn out_dir() -> std::path::PathBuf {
+    let dir = std::path::PathBuf::from("bench_results");
+    std::fs::create_dir_all(&dir).expect("create bench_results/");
+    dir
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_build_valid_harnesses() {
+        for scale in [Scale::Quick, Scale::Default, Scale::Paper] {
+            let h = Harness::new(scale);
+            assert!(h.optical.pupil_radius_bins() >= 1.0);
+            assert!(h.clips_per_suite >= 1);
+        }
+    }
+
+    #[test]
+    fn method_roster_matches_paper_columns() {
+        let names: Vec<&str> = Method::all().iter().map(|m| m.name()).collect();
+        assert_eq!(names.len(), 8);
+        assert!(names.contains(&"BiSMO-NMN"));
+        assert!(!Method::AbbeMo.optimizes_source());
+        assert!(Method::BismoFd.optimizes_source());
+    }
+
+    #[test]
+    fn table_formatting_aligns_columns() {
+        let t = format_table(
+            &["a".into(), "bb".into()],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains('a') && lines[0].contains("bb"));
+    }
+
+    #[test]
+    fn stats_helpers() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert!((std_dev(&[1.0, 3.0]) - 1.0).abs() < 1e-12);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn quick_scale_method_runs_end_to_end() {
+        let h = Harness::new(Scale::Quick);
+        let clip = Clip::simple_rect(&h.optical);
+        let r = run_method(&h, Method::BismoFd, &clip).unwrap();
+        assert!(r.metrics.l2_nm2.is_finite());
+        assert!(!r.trace.is_empty());
+    }
+}

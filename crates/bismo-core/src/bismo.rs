@@ -1,0 +1,436 @@
+//! Bilevel SMO (paper §3.2, Algorithm 2): the upper-level MO descends the
+//! hypergradient
+//!
+//! ```text
+//! ∇_{θM} L_mo = ∂L_mo/∂θM − (∂L_mo/∂θJ) · [∂²L_so/∂θJ∂θJ]⁻¹ · ∂²L_so/∂θM∂θJ
+//! ```
+//!
+//! (Eq. 14, via the implicit function theorem), with the inverse Hessian
+//! approximated three ways:
+//!
+//! * **FD** (Eq. 13): `[H]⁻¹ ≈ ξ·I` — one Jacobian-vector product;
+//! * **NMN** (Eq. 16): truncated Neumann series `ξ Σ_{k=0}^{K} (I − ξH)^k`;
+//! * **CG** (Eq. 17–18): `K` conjugate-gradient steps on `H w = v`,
+//!   warm-started across outer iterations (Algorithm 2 line 10).
+//!
+//! All curvature products are computed matrix-free with central differences
+//! of the analytic gradients (`Hv ≈ [∇L(θ+εv) − ∇L(θ−εv)]/2ε`), the same
+//! estimator the bilevel literature the paper builds on uses — no Hessian is
+//! ever formed.
+
+use std::time::Instant;
+
+use bismo_linalg::{conjugate_gradient, RealOp};
+use bismo_litho::LithoError;
+use bismo_opt::OptimizerKind;
+use bismo_optics::RealField;
+
+use crate::amsmo::SmoOutcome;
+use crate::problem::{GradRequest, SmoProblem};
+use crate::trace::{ConvergenceTrace, StepRecord, StopRule};
+
+/// Hypergradient estimator (paper §3.2.1–3.2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HypergradMethod {
+    /// BiSMO-FD: single-step finite-difference approximation (Eq. 13).
+    FiniteDiff,
+    /// BiSMO-NMN: `K`-term truncated Neumann series (Eq. 16).
+    Neumann {
+        /// Number of Neumann terms `K` (paper: 5).
+        k: usize,
+    },
+    /// BiSMO-CG: `K` conjugate-gradient steps (Eq. 18).
+    ConjGrad {
+        /// CG iteration budget `K` (paper: 5).
+        k: usize,
+    },
+}
+
+impl HypergradMethod {
+    /// Short display name matching the paper's column labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            HypergradMethod::FiniteDiff => "BiSMO-FD",
+            HypergradMethod::Neumann { .. } => "BiSMO-NMN",
+            HypergradMethod::ConjGrad { .. } => "BiSMO-CG",
+        }
+    }
+}
+
+/// Configuration of a BiSMO run (paper §4 defaults: `T = 3`, `K = 5`,
+/// `ξ_J = ξ_M = 0.1`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BismoConfig {
+    /// Outer (mask) updates.
+    pub outer_steps: usize,
+    /// Inner SO unroll length `T` (Algorithm 2 line 2).
+    pub unroll_t: usize,
+    /// Inner step size `ξ_J`.
+    pub xi_j: f64,
+    /// Outer step size `ξ_M`.
+    pub xi_m: f64,
+    /// Hypergradient estimator.
+    pub method: HypergradMethod,
+    /// Optimizer family for the outer mask update.
+    pub kind_m: OptimizerKind,
+    /// Optimizer family for the inner source updates.
+    pub kind_j: OptimizerKind,
+    /// Base step for the finite-difference curvature products (scaled by
+    /// `1/‖v‖` per product, DARTS-style).
+    pub hvp_eps: f64,
+    /// Optional plateau-based early stopping (checked per outer step).
+    pub stop: Option<StopRule>,
+}
+
+impl Default for BismoConfig {
+    fn default() -> Self {
+        BismoConfig {
+            outer_steps: 100,
+            unroll_t: 3,
+            xi_j: 0.1,
+            xi_m: 0.1,
+            method: HypergradMethod::Neumann { k: 5 },
+            kind_m: OptimizerKind::Adam,
+            kind_j: OptimizerKind::Adam,
+            hvp_eps: 1e-2,
+            stop: None,
+        }
+    }
+}
+
+/// `∇_{θJ} L_so` at `(θ_J, θ_M)` — helper for the curvature products.
+fn so_grad(
+    problem: &SmoProblem,
+    theta_j: &[f64],
+    theta_m: &RealField,
+) -> Result<Vec<f64>, LithoError> {
+    Ok(problem
+        .eval(theta_j, theta_m, GradRequest::SOURCE)?
+        .grad_theta_j
+        .expect("source gradient requested"))
+}
+
+/// Hessian-vector product `[∂²L_so/∂θJ∂θJ]·v` by central differences of the
+/// analytic SO gradient.
+fn hvp(
+    problem: &SmoProblem,
+    theta_j: &[f64],
+    theta_m: &RealField,
+    v: &[f64],
+    base_eps: f64,
+) -> Result<Vec<f64>, LithoError> {
+    let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm < 1e-14 {
+        return Ok(vec![0.0; v.len()]);
+    }
+    let eps = base_eps / norm;
+    let plus: Vec<f64> = theta_j.iter().zip(v).map(|(t, x)| t + eps * x).collect();
+    let minus: Vec<f64> = theta_j.iter().zip(v).map(|(t, x)| t - eps * x).collect();
+    let gp = so_grad(problem, &plus, theta_m)?;
+    let gm = so_grad(problem, &minus, theta_m)?;
+    Ok(gp
+        .iter()
+        .zip(&gm)
+        .map(|(p, m)| (p - m) / (2.0 * eps))
+        .collect())
+}
+
+/// Mixed Jacobian-vector product `[∂²L_so/∂θM∂θJ]·w` (a θ_M-sized vector) by
+/// central differences of the analytic `∇_{θM} L_so` over `θ_J ± ε w`.
+fn mixed_jvp(
+    problem: &SmoProblem,
+    theta_j: &[f64],
+    theta_m: &RealField,
+    w: &[f64],
+    base_eps: f64,
+) -> Result<RealField, LithoError> {
+    let norm = w.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let n = theta_m.dim();
+    if norm < 1e-14 {
+        return Ok(RealField::zeros(n));
+    }
+    let eps = base_eps / norm;
+    let plus: Vec<f64> = theta_j.iter().zip(w).map(|(t, x)| t + eps * x).collect();
+    let minus: Vec<f64> = theta_j.iter().zip(w).map(|(t, x)| t - eps * x).collect();
+    let gp = problem
+        .eval(&plus, theta_m, GradRequest::MASK)?
+        .grad_theta_m
+        .expect("mask gradient requested");
+    let gm = problem
+        .eval(&minus, theta_m, GradRequest::MASK)?
+        .grad_theta_m
+        .expect("mask gradient requested");
+    let mut out = gp;
+    out.axpy(-1.0, &gm);
+    out.map_inplace(|x| x / (2.0 * eps));
+    Ok(out)
+}
+
+/// Matrix-free SO-Hessian operator for the CG solve.
+///
+/// `apply` panics on imaging failures; the driver performs a full evaluation
+/// at the same parameters immediately before the solve, so failures here
+/// would indicate a bug rather than bad user input.
+struct SoHessianOp<'a> {
+    problem: &'a SmoProblem,
+    theta_j: &'a [f64],
+    theta_m: &'a RealField,
+    base_eps: f64,
+}
+
+impl RealOp for SoHessianOp<'_> {
+    fn dim(&self) -> usize {
+        self.theta_j.len()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        let hv = hvp(self.problem, self.theta_j, self.theta_m, x, self.base_eps)
+            .expect("imaging failed inside CG Hessian-vector product");
+        y.copy_from_slice(&hv);
+    }
+}
+
+/// Runs Algorithm 2.
+///
+/// The trace records `L_smo` (evaluated at the post-unroll source) before
+/// every outer mask update.
+///
+/// # Errors
+///
+/// Propagates imaging failures.
+pub fn run_bismo(
+    problem: &SmoProblem,
+    theta_j0: &[f64],
+    theta_m0: &RealField,
+    cfg: BismoConfig,
+) -> Result<SmoOutcome, LithoError> {
+    let start = Instant::now();
+    let mut theta_j = theta_j0.to_vec();
+    let mut theta_m = theta_m0.clone();
+    let mut trace = ConvergenceTrace::new();
+    let mut opt_m = cfg.kind_m.build(cfg.xi_m, theta_m.len());
+    let mut opt_j = cfg.kind_j.build(cfg.xi_j, theta_j.len());
+    // Warm-started CG solution (Algorithm 2 line 10: "re-initialize w⁰ ← wᴷ").
+    let mut w_warm = vec![0.0; theta_j.len()];
+
+    for step in 0..cfg.outer_steps {
+        // Lines 2–4: unroll T inner SO steps to approximate θ_J*(θ_M); the
+        // final iterate is kept (weight sharing re-init).
+        for _ in 0..cfg.unroll_t {
+            let grad = so_grad(problem, &theta_j, &theta_m)?;
+            opt_j.step(&mut theta_j, &grad);
+        }
+
+        // Direct gradients at (θ_J*, θ_M).
+        let eval = problem.eval(&theta_j, &theta_m, GradRequest::BOTH)?;
+        trace.push(StepRecord {
+            step,
+            loss: eval.loss.total,
+            l2: eval.loss.l2,
+            pvb: eval.loss.pvb,
+            elapsed_s: start.elapsed().as_secs_f64(),
+        });
+        if cfg.stop.is_some_and(|rule| rule.plateaued(trace.records())) {
+            break;
+        }
+        let direct_m = eval.grad_theta_m.expect("mask gradient requested");
+        let v = eval.grad_theta_j.expect("source gradient requested");
+
+        // Inverse-Hessian application: w ≈ [∂²L_so/∂θJ∂θJ]⁻¹ v.
+        let w = match cfg.method {
+            HypergradMethod::FiniteDiff => {
+                // Eq. 13: [H]⁻¹ ≈ ξ·I.
+                v.iter().map(|x| cfg.xi_j * x).collect::<Vec<f64>>()
+            }
+            HypergradMethod::Neumann { k } => {
+                // Eq. 16 with step-size scaling: ξ Σ_{i=0}^{K} (I − ξH)^i v.
+                let mut p = v.clone();
+                let mut acc = v.clone();
+                for _ in 0..k {
+                    let hp = hvp(problem, &theta_j, &theta_m, &p, cfg.hvp_eps)?;
+                    for (pi, hi) in p.iter_mut().zip(&hp) {
+                        *pi -= cfg.xi_j * hi;
+                    }
+                    for (ai, pi) in acc.iter_mut().zip(&p) {
+                        *ai += pi;
+                    }
+                }
+                acc.iter().map(|x| cfg.xi_j * x).collect()
+            }
+            HypergradMethod::ConjGrad { k } => {
+                let op = SoHessianOp {
+                    problem,
+                    theta_j: &theta_j,
+                    theta_m: &theta_m,
+                    base_eps: cfg.hvp_eps,
+                };
+                let result = conjugate_gradient(&op, &v, &w_warm, k, 1e-10);
+                w_warm = result.x.clone();
+                result.x
+            }
+        };
+
+        // Gradient fusion (Eq. 12/14): hyper = ∂L_mo/∂θM − [∂²L_so/∂θM∂θJ]·w.
+        let mut correction = mixed_jvp(problem, &theta_j, &theta_m, &w, cfg.hvp_eps)?;
+        if matches!(cfg.method, HypergradMethod::ConjGrad { .. }) {
+            // CG solves against the raw (possibly indefinite, FD-estimated)
+            // SO Hessian; far from the lower-level optimum the solve can
+            // return a wildly-scaled w. Clip the CG correction to the direct
+            // gradient's norm so a bad curvature estimate can at worst
+            // cancel, never dominate, the descent direction. FD and NMN are
+            // inherently ξ-scaled (contractive) and keep their exact Eq.
+            // 13/16 forms. This guard is the engineering counterpart of the
+            // paper's observation that CG is the least stable variant
+            // (§4.2, Fig. 5).
+            let direct_norm = direct_m.norm_sqr().sqrt();
+            let corr_norm = correction.norm_sqr().sqrt();
+            if corr_norm > direct_norm && corr_norm > 0.0 {
+                correction.map_inplace(|x| x * direct_norm / corr_norm);
+            }
+        }
+        let mut hyper = direct_m;
+        hyper.axpy(-1.0, &correction);
+
+        opt_m.step(theta_m.as_mut_slice(), hyper.as_slice());
+    }
+
+    Ok(SmoOutcome {
+        theta_j,
+        theta_m,
+        trace,
+        wall_s: start.elapsed().as_secs_f64(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::SmoSettings;
+    use bismo_optics::{OpticalConfig, SourceShape};
+
+    fn fixtures() -> (SmoProblem, Vec<f64>, RealField) {
+        let cfg = OpticalConfig::test_small();
+        let target = RealField::from_fn(cfg.mask_dim(), |r, c| {
+            if (24..40).contains(&r) && (20..44).contains(&c) {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        // PVB off keeps the test fast (1 imaging pass instead of 3).
+        let problem =
+            SmoProblem::new(cfg, SmoSettings::default().without_pvb(), target).unwrap();
+        let tj = problem.init_theta_j(SourceShape::Annular {
+            sigma_in: 0.63,
+            sigma_out: 0.95,
+        });
+        let tm = problem.init_theta_m();
+        (problem, tj, tm)
+    }
+
+    fn quick(method: HypergradMethod, outer: usize) -> BismoConfig {
+        BismoConfig {
+            outer_steps: outer,
+            unroll_t: 2,
+            xi_j: 0.1,
+            xi_m: 0.2,
+            method,
+            kind_m: OptimizerKind::Adam,
+            kind_j: OptimizerKind::Adam,
+            hvp_eps: 1e-2,
+            stop: None,
+        }
+    }
+
+    #[test]
+    fn fd_reduces_loss() {
+        let (problem, tj, tm) = fixtures();
+        let out = run_bismo(&problem, &tj, &tm, quick(HypergradMethod::FiniteDiff, 5)).unwrap();
+        assert_eq!(out.trace.len(), 5);
+        assert!(out.trace.final_loss().unwrap() < out.trace.records()[0].loss);
+    }
+
+    #[test]
+    fn neumann_reduces_loss() {
+        let (problem, tj, tm) = fixtures();
+        let out =
+            run_bismo(&problem, &tj, &tm, quick(HypergradMethod::Neumann { k: 2 }, 4)).unwrap();
+        assert!(out.trace.final_loss().unwrap() < out.trace.records()[0].loss);
+    }
+
+    #[test]
+    fn cg_reduces_loss() {
+        let (problem, tj, tm) = fixtures();
+        let out =
+            run_bismo(&problem, &tj, &tm, quick(HypergradMethod::ConjGrad { k: 2 }, 4)).unwrap();
+        assert!(out.trace.final_loss().unwrap() < out.trace.records()[0].loss);
+    }
+
+    #[test]
+    fn neumann_with_k0_matches_fd() {
+        // §3.2.4: "When K = 0, ∇ L^NMN reduces to match ∇ L^FD".
+        let (problem, tj, tm) = fixtures();
+        let fd = run_bismo(&problem, &tj, &tm, quick(HypergradMethod::FiniteDiff, 3)).unwrap();
+        let nmn =
+            run_bismo(&problem, &tj, &tm, quick(HypergradMethod::Neumann { k: 0 }, 3)).unwrap();
+        for (a, b) in fd
+            .theta_m
+            .as_slice()
+            .iter()
+            .zip(nmn.theta_m.as_slice())
+        {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+        for (a, b) in fd.theta_j.iter().zip(&nmn.theta_j) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn both_parameter_blocks_move() {
+        let (problem, tj, tm) = fixtures();
+        let out = run_bismo(&problem, &tj, &tm, quick(HypergradMethod::FiniteDiff, 2)).unwrap();
+        let dj: f64 = out.theta_j.iter().zip(&tj).map(|(a, b)| (a - b).abs()).sum();
+        let dm: f64 = out
+            .theta_m
+            .as_slice()
+            .iter()
+            .zip(tm.as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(dj > 0.0 && dm > 0.0);
+    }
+
+    #[test]
+    fn hvp_is_approximately_symmetric() {
+        // ⟨u, Hv⟩ ≈ ⟨Hu, v⟩ for the SO Hessian.
+        let (problem, tj, tm) = fixtures();
+        let nj2 = tj.len();
+        let u: Vec<f64> = (0..nj2).map(|i| ((i * 13 % 7) as f64 - 3.0) / 7.0).collect();
+        let v: Vec<f64> = (0..nj2).map(|i| ((i * 5 % 11) as f64 - 5.0) / 11.0).collect();
+        let hu = hvp(&problem, &tj, &tm, &u, 1e-2).unwrap();
+        let hv = hvp(&problem, &tj, &tm, &v, 1e-2).unwrap();
+        let uhv: f64 = u.iter().zip(&hv).map(|(a, b)| a * b).sum();
+        let vhu: f64 = v.iter().zip(&hu).map(|(a, b)| a * b).sum();
+        let scale = uhv.abs().max(vhu.abs()).max(1e-12);
+        assert!(
+            (uhv - vhu).abs() / scale < 5e-2,
+            "asymmetry: {uhv} vs {vhu}"
+        );
+    }
+
+    #[test]
+    fn hvp_of_zero_vector_is_zero() {
+        let (problem, tj, tm) = fixtures();
+        let z = vec![0.0; tj.len()];
+        let hz = hvp(&problem, &tj, &tm, &z, 1e-2).unwrap();
+        assert!(hz.iter().all(|x| *x == 0.0));
+    }
+
+    #[test]
+    fn method_names_match_paper_labels() {
+        assert_eq!(HypergradMethod::FiniteDiff.name(), "BiSMO-FD");
+        assert_eq!(HypergradMethod::Neumann { k: 5 }.name(), "BiSMO-NMN");
+        assert_eq!(HypergradMethod::ConjGrad { k: 5 }.name(), "BiSMO-CG");
+    }
+}

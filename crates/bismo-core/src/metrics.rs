@@ -1,0 +1,301 @@
+//! Evaluation metrics of paper §2.2: squared L2 error (Definition 1),
+//! process-variation band (Definition 2) and edge placement error
+//! (Definition 3).
+//!
+//! All areas are reported in nm² (the paper's unit). The resist images the
+//! metrics consume are **binary prints** (hard threshold), not the smooth
+//! sigmoid images the loss uses — matching how the ICCAD-2013 contest
+//! metrics are defined.
+
+use bismo_litho::LithoError;
+use bismo_optics::RealField;
+
+use crate::problem::SmoProblem;
+
+/// Squared L2 error between a binary print and the binary target, in nm²
+/// (Definition 1: `‖Z − Z_t‖²`; for 0/1 images this is the differing-pixel
+/// area).
+///
+/// # Panics
+///
+/// Panics if the fields' dimensions differ.
+pub fn l2_area_nm2(print: &RealField, target: &RealField, pixel_nm: f64) -> f64 {
+    xor_area_nm2(print, target, pixel_nm)
+}
+
+/// XOR area between two binary images in nm² — the PVB when applied to the
+/// min/max dose prints (Definition 2).
+///
+/// # Panics
+///
+/// Panics if the fields' dimensions differ.
+pub fn xor_area_nm2(a: &RealField, b: &RealField, pixel_nm: f64) -> f64 {
+    assert_eq!(a.dim(), b.dim(), "field dimension mismatch");
+    let differing = a
+        .as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .filter(|(x, y)| (**x >= 0.5) != (**y >= 0.5))
+        .count();
+    differing as f64 * pixel_nm * pixel_nm
+}
+
+/// Pixels excluded at each end of an edge run before sampling, so
+/// measurement sites sit on edge interiors, not corners (matching how
+/// contest-style EPE checkers place their measurement sites).
+const CORNER_MARGIN_PX: usize = 3;
+
+/// Collects maximal runs of consecutive values from a sorted list.
+fn runs(sorted: &[usize]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut iter = sorted.iter().copied();
+    let Some(first) = iter.next() else {
+        return out;
+    };
+    let (mut start, mut prev) = (first, first);
+    for v in iter {
+        if v == prev + 1 {
+            prev = v;
+        } else {
+            out.push((start, prev));
+            start = v;
+            prev = v;
+        }
+    }
+    out.push((start, prev));
+    out
+}
+
+/// Counts edge-placement-error violations (Definition 3).
+///
+/// Measurement sites are sampled every `stride_px` pixels along the
+/// *interiors* of target edge runs (a [`CORNER_MARGIN_PX`]-pixel margin is
+/// excluded at run ends, matching contest-style EPE site placement). At each
+/// site the printed contour is located along the edge normal within a
+/// ±`search_px` window; the site is a violation when the displacement
+/// exceeds `threshold_nm`, or when no printed edge exists in the window.
+///
+/// # Panics
+///
+/// Panics if the fields' dimensions differ.
+pub fn epe_violations(
+    print: &RealField,
+    target: &RealField,
+    pixel_nm: f64,
+    threshold_nm: f64,
+    stride_px: usize,
+    search_px: usize,
+) -> usize {
+    assert_eq!(print.dim(), target.dim(), "field dimension mismatch");
+    let n = target.dim();
+    let bin = |f: &RealField, r: usize, c: usize| f[(r, c)] >= 0.5;
+    let stride = stride_px.max(1);
+    let mut violations = 0;
+
+    let mut check_site = |found: Option<usize>| {
+        match found.map(|d| d as f64 * pixel_nm) {
+            Some(d) if d <= threshold_nm => {}
+            _ => violations += 1,
+        }
+    };
+
+    // Vertical target edges: between (r, c) and (r, c+1), runs along r.
+    for c in 0..n - 1 {
+        let rows: Vec<usize> = (0..n)
+            .filter(|&r| bin(target, r, c) != bin(target, r, c + 1))
+            .collect();
+        for (lo, hi) in runs(&rows) {
+            if hi - lo < 2 * CORNER_MARGIN_PX {
+                continue;
+            }
+            let mut r = lo + CORNER_MARGIN_PX;
+            while r <= hi - CORNER_MARGIN_PX {
+                let mut found: Option<usize> = None;
+                for d in 0..=search_px {
+                    let left = c.saturating_sub(d);
+                    let right = (c + d).min(n - 2);
+                    if (left < n - 1 && bin(print, r, left) != bin(print, r, left + 1))
+                        || bin(print, r, right) != bin(print, r, right + 1)
+                    {
+                        found = Some(d);
+                        break;
+                    }
+                }
+                check_site(found);
+                r += stride;
+            }
+        }
+    }
+    // Horizontal target edges: between (r, c) and (r+1, c), runs along c.
+    for r in 0..n - 1 {
+        let cols: Vec<usize> = (0..n)
+            .filter(|&c| bin(target, r, c) != bin(target, r + 1, c))
+            .collect();
+        for (lo, hi) in runs(&cols) {
+            if hi - lo < 2 * CORNER_MARGIN_PX {
+                continue;
+            }
+            let mut c = lo + CORNER_MARGIN_PX;
+            while c <= hi - CORNER_MARGIN_PX {
+                let mut found: Option<usize> = None;
+                for d in 0..=search_px {
+                    let up = r.saturating_sub(d);
+                    let down = (r + d).min(n - 2);
+                    if (up < n - 1 && bin(print, up, c) != bin(print, up + 1, c))
+                        || bin(print, down, c) != bin(print, down + 1, c)
+                    {
+                        found = Some(d);
+                        break;
+                    }
+                }
+                check_site(found);
+                c += stride;
+            }
+        }
+    }
+    violations
+}
+
+/// The full metric triple of Table 3/4.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricSet {
+    /// Squared L2 error in nm² (Definition 1).
+    pub l2_nm2: f64,
+    /// Process-variation band in nm² (Definition 2).
+    pub pvb_nm2: f64,
+    /// EPE violation count (Definition 3).
+    pub epe: usize,
+}
+
+/// EPE measurement parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpeSpec {
+    /// Violation threshold in nm (scaled from the contest's 5 nm at 1 nm
+    /// pixels; see DESIGN.md §3).
+    pub threshold_nm: f64,
+    /// Sampling stride along contours, in pixels.
+    pub stride_px: usize,
+    /// Normal-direction search window, in pixels.
+    pub search_px: usize,
+}
+
+impl Default for EpeSpec {
+    fn default() -> Self {
+        EpeSpec {
+            threshold_nm: 10.0,
+            stride_px: 4,
+            search_px: 8,
+        }
+    }
+}
+
+/// Measures L2, PVB and EPE for the given SMO parameters: images the mask
+/// through the problem's Abbe engine at nominal and corner doses, hard-
+/// thresholds the prints, and applies Definitions 1–3.
+///
+/// # Errors
+///
+/// Propagates imaging failures.
+pub fn measure(
+    problem: &SmoProblem,
+    theta_j: &[f64],
+    theta_m: &RealField,
+    spec: EpeSpec,
+) -> Result<MetricSet, LithoError> {
+    let source = problem.source(theta_j);
+    let mask = problem.mask(theta_m);
+    let pixel = problem.optical().pixel_nm();
+    let resist = problem.resist();
+    let dose = problem.settings().dose;
+
+    let nominal = resist.print(&problem.abbe().intensity(&source, &mask)?);
+    let z_min = resist.print(&problem.abbe().intensity(&source, &mask.map(|v| dose.min * v))?);
+    let z_max = resist.print(&problem.abbe().intensity(&source, &mask.map(|v| dose.max * v))?);
+
+    Ok(MetricSet {
+        l2_nm2: l2_area_nm2(&nominal, problem.target(), pixel),
+        pvb_nm2: xor_area_nm2(&z_min, &z_max, pixel),
+        epe: epe_violations(
+            &nominal,
+            problem.target(),
+            pixel,
+            spec.threshold_nm,
+            spec.stride_px,
+            spec.search_px,
+        ),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rect(n: usize, r0: usize, r1: usize, c0: usize, c1: usize) -> RealField {
+        RealField::from_fn(n, |r, c| {
+            if (r0..r1).contains(&r) && (c0..c1).contains(&c) {
+                1.0
+            } else {
+                0.0
+            }
+        })
+    }
+
+    #[test]
+    fn identical_images_have_zero_l2() {
+        let a = rect(32, 8, 24, 8, 24);
+        assert_eq!(l2_area_nm2(&a, &a, 8.0), 0.0);
+    }
+
+    #[test]
+    fn l2_counts_differing_area() {
+        let a = rect(32, 8, 24, 8, 24);
+        let b = rect(32, 8, 24, 8, 25); // one extra column of 16 pixels
+        assert_eq!(l2_area_nm2(&a, &b, 2.0), 16.0 * 4.0);
+    }
+
+    #[test]
+    fn xor_is_symmetric() {
+        let a = rect(32, 8, 24, 8, 24);
+        let b = rect(32, 10, 20, 6, 28);
+        assert_eq!(xor_area_nm2(&a, &b, 1.0), xor_area_nm2(&b, &a, 1.0));
+    }
+
+    #[test]
+    fn perfect_print_has_zero_epe() {
+        let t = rect(64, 16, 48, 16, 48);
+        let v = epe_violations(&t, &t, 8.0, 10.0, 1, 8);
+        assert_eq!(v, 0);
+    }
+
+    #[test]
+    fn shifted_print_beyond_threshold_violates() {
+        let t = rect(64, 16, 48, 16, 48);
+        // Print shifted 3 px right: 3 px × 8 nm = 24 nm > 10 nm threshold on
+        // the vertical edges.
+        let p = rect(64, 16, 48, 19, 51);
+        let v = epe_violations(&p, &t, 8.0, 10.0, 1, 8);
+        assert!(v > 0);
+    }
+
+    #[test]
+    fn small_shift_within_threshold_is_clean() {
+        let t = rect(64, 16, 48, 16, 48);
+        let p = rect(64, 16, 48, 17, 49); // 1 px = 8 nm ≤ 10 nm
+        let v = epe_violations(&p, &t, 8.0, 10.0, 1, 8);
+        assert_eq!(v, 0);
+    }
+
+    #[test]
+    fn vanished_print_violates_everywhere_sampled() {
+        let t = rect(64, 16, 48, 16, 48);
+        let p = RealField::zeros(64);
+        let v = epe_violations(&p, &t, 8.0, 10.0, 4, 8);
+        assert!(v > 10, "expected many violations, got {v}");
+    }
+
+    #[test]
+    fn default_epe_spec_is_sane() {
+        let s = EpeSpec::default();
+        assert!(s.threshold_nm > 0.0 && s.stride_px >= 1 && s.search_px >= 1);
+    }
+}

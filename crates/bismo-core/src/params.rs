@@ -1,0 +1,289 @@
+//! Parameterization of source and mask (paper Table 1).
+//!
+//! Both the binary mask and the grayscale source are produced from
+//! unconstrained real parameters through scaled sigmoids:
+//!
+//! * `M = sigmoid(α_m · θ_M)`, initialized at `θ_M = ±m_0` from the target
+//!   pattern (which also seeds SRAF generation during MO);
+//! * `J = sigmoid(α_j · θ_J)`, initialized at `θ_J = ±j_0` from a parametric
+//!   template.
+
+use bismo_litho::sigmoid;
+use bismo_optics::{OpticalConfig, RealField, Source, SourceShape};
+
+/// How source parameters map to grayscale weights.
+///
+/// The paper (§3.1) considers the cosine map as an alternative to the
+/// sigmoid but rejects it: "its use may lead to training instability due to
+/// gradient issues". Both are provided so the instability can be reproduced
+/// (see the `ablation` harness binary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SourceActivationKind {
+    /// `J = sigmoid(α_j · θ_J)` — the paper's choice.
+    #[default]
+    Sigmoid,
+    /// `J = (1 − cos(α_j · θ_J)) / 2` — periodic, with vanishing gradients
+    /// at both rails.
+    Cosine,
+}
+
+/// Sigmoid steepnesses and initialization magnitudes of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Activation {
+    /// Mask sigmoid steepness α_m (paper: 9).
+    pub alpha_m: f64,
+    /// Mask parameter init magnitude m₀ (paper: 1).
+    pub m0: f64,
+    /// Source sigmoid steepness α_j (paper: 2).
+    pub alpha_j: f64,
+    /// Source parameter init magnitude j₀ (paper: 5).
+    pub j0: f64,
+    /// Source activation family (paper default: sigmoid).
+    pub source_kind: SourceActivationKind,
+}
+
+impl Default for Activation {
+    fn default() -> Self {
+        Activation {
+            alpha_m: 9.0,
+            m0: 1.0,
+            alpha_j: 2.0,
+            j0: 5.0,
+            source_kind: SourceActivationKind::Sigmoid,
+        }
+    }
+}
+
+impl Activation {
+    /// Mask from parameters: `M = sigmoid(α_m · θ_M)`.
+    #[must_use]
+    pub fn mask(&self, theta_m: &RealField) -> RealField {
+        let a = self.alpha_m;
+        theta_m.map(|t| sigmoid(a * t))
+    }
+
+    /// Pointwise `∂M/∂θ_M = α_m · M (1 − M)` from an already-activated mask.
+    #[must_use]
+    pub fn mask_grad(&self, mask: &RealField) -> RealField {
+        let a = self.alpha_m;
+        mask.map(|m| a * m * (1.0 - m))
+    }
+
+    /// Switches the source activation to the cosine alternative of §3.1.
+    #[must_use]
+    pub fn with_cosine_source(mut self) -> Self {
+        self.source_kind = SourceActivationKind::Cosine;
+        self
+    }
+
+    /// Source weights from parameters (`J = sigmoid(α_j θ)` or the cosine
+    /// alternative, per [`Activation::source_kind`]).
+    pub fn source_weights(&self, theta_j: &[f64]) -> Vec<f64> {
+        match self.source_kind {
+            SourceActivationKind::Sigmoid => theta_j
+                .iter()
+                .map(|&t| sigmoid(self.alpha_j * t))
+                .collect(),
+            SourceActivationKind::Cosine => theta_j
+                .iter()
+                .map(|&t| 0.5 * (1.0 - (self.alpha_j * t).cos()))
+                .collect(),
+        }
+    }
+
+    /// Pointwise source-activation derivative `∂J/∂θ_J`.
+    ///
+    /// For the sigmoid this is `α_j · J (1 − J)` recoverable from the
+    /// weights alone; the cosine family needs the raw parameters, so both
+    /// are taken (`theta_j` is ignored for the sigmoid).
+    pub fn source_grad_full(&self, theta_j: &[f64], weights: &[f64]) -> Vec<f64> {
+        match self.source_kind {
+            SourceActivationKind::Sigmoid => weights
+                .iter()
+                .map(|&j| self.alpha_j * j * (1.0 - j))
+                .collect(),
+            SourceActivationKind::Cosine => theta_j
+                .iter()
+                .map(|&t| 0.5 * self.alpha_j * (self.alpha_j * t).sin())
+                .collect(),
+        }
+    }
+
+    /// Sigmoid-family source derivative from activated weights; kept for
+    /// callers that never switch activations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the activation was switched to the cosine family (use
+    /// [`Activation::source_grad_full`] there).
+    pub fn source_grad(&self, weights: &[f64]) -> Vec<f64> {
+        assert_eq!(
+            self.source_kind,
+            SourceActivationKind::Sigmoid,
+            "cosine activation needs source_grad_full"
+        );
+        weights
+            .iter()
+            .map(|&j| self.alpha_j * j * (1.0 - j))
+            .collect()
+    }
+
+    /// Initializes mask parameters from a binary target pattern:
+    /// `θ_M = +m₀` where the target is bright, `−m₀` elsewhere (Table 1; the
+    /// paper notes this initialization "also facilitates SRAF generation").
+    #[must_use]
+    pub fn init_theta_m(&self, target: &RealField) -> RealField {
+        let m0 = self.m0;
+        target.map(|z| if z >= 0.5 { m0 } else { -m0 })
+    }
+
+    /// Initializes source parameters from a parametric template:
+    /// `θ_J = +j₀` on lit template cells, `−j₀` on dark ones (sigmoid
+    /// family); the cosine family initializes at the activation's rails
+    /// (`π/α_j` lit, `0` dark).
+    pub fn init_theta_j(&self, cfg: &OpticalConfig, shape: SourceShape) -> Vec<f64> {
+        let template = Source::from_shape(cfg, shape);
+        let (lit, dark) = match self.source_kind {
+            SourceActivationKind::Sigmoid => (self.j0, -self.j0),
+            SourceActivationKind::Cosine => (std::f64::consts::PI / self.alpha_j, 0.0),
+        };
+        template
+            .weights()
+            .iter()
+            .map(|&w| if w >= 0.5 { lit } else { dark })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_table1() {
+        let a = Activation::default();
+        assert_eq!(a.alpha_m, 9.0);
+        assert_eq!(a.m0, 1.0);
+        assert_eq!(a.alpha_j, 2.0);
+        assert_eq!(a.j0, 5.0);
+    }
+
+    #[test]
+    fn initialized_mask_is_nearly_binary() {
+        let a = Activation::default();
+        let target = RealField::from_vec(2, vec![1.0, 0.0, 0.0, 1.0]);
+        let theta = a.init_theta_m(&target);
+        let mask = a.mask(&theta);
+        // sigmoid(±9) ≈ 0.99988 / 0.00012.
+        assert!(mask.as_slice()[0] > 0.999);
+        assert!(mask.as_slice()[1] < 0.001);
+    }
+
+    #[test]
+    fn initialized_source_is_grayscale_but_contrasted() {
+        let a = Activation::default();
+        let cfg = OpticalConfig::test_small();
+        let theta = a.init_theta_j(
+            &cfg,
+            SourceShape::Annular {
+                sigma_in: 0.63,
+                sigma_out: 0.95,
+            },
+        );
+        let weights = a.source_weights(&theta);
+        // sigmoid(±10) — lit cells ~1, dark cells ~4.5e-5 (grayscale, not 0).
+        let lit: Vec<f64> = weights.iter().copied().filter(|w| *w > 0.5).collect();
+        let dark: Vec<f64> = weights.iter().copied().filter(|w| *w <= 0.5).collect();
+        assert!(!lit.is_empty() && !dark.is_empty());
+        assert!(lit.iter().all(|w| *w > 0.999));
+        assert!(dark.iter().all(|w| *w > 0.0 && *w < 1e-3));
+    }
+
+    #[test]
+    fn mask_grad_matches_finite_difference() {
+        let a = Activation::default();
+        let eps = 1e-7;
+        for &t in &[-1.0, -0.1, 0.0, 0.3, 1.0] {
+            let f = RealField::filled(1, t);
+            let m = a.mask(&f);
+            let analytic = a.mask_grad(&m).as_slice()[0];
+            let up = sigmoid(a.alpha_m * (t + eps));
+            let dn = sigmoid(a.alpha_m * (t - eps));
+            let numeric = (up - dn) / (2.0 * eps);
+            assert!((analytic - numeric).abs() < 1e-5 * numeric.abs().max(1e-6));
+        }
+    }
+
+    #[test]
+    fn cosine_activation_hits_rails_at_init() {
+        let a = Activation::default().with_cosine_source();
+        let cfg = OpticalConfig::test_small();
+        let theta = a.init_theta_j(
+            &cfg,
+            SourceShape::Annular {
+                sigma_in: 0.63,
+                sigma_out: 0.95,
+            },
+        );
+        let w = a.source_weights(&theta);
+        for (t, j) in theta.iter().zip(&w) {
+            if *t == 0.0 {
+                assert!(j.abs() < 1e-12);
+            } else {
+                assert!((j - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn cosine_grad_matches_finite_difference() {
+        let a = Activation::default().with_cosine_source();
+        let eps = 1e-7;
+        let thetas = [-1.2, -0.4, 0.0, 0.7, 1.5];
+        let weights = a.source_weights(&thetas);
+        let grads = a.source_grad_full(&thetas, &weights);
+        for (i, &t) in thetas.iter().enumerate() {
+            let up = 0.5 * (1.0 - (a.alpha_j * (t + eps)).cos());
+            let dn = 0.5 * (1.0 - (a.alpha_j * (t - eps)).cos());
+            let numeric = (up - dn) / (2.0 * eps);
+            assert!((grads[i] - numeric).abs() < 1e-5 * numeric.abs().max(1e-6));
+        }
+    }
+
+    #[test]
+    fn cosine_gradient_vanishes_at_rails() {
+        // The paper's instability argument: at fully-on/off cells the
+        // cosine derivative is exactly zero, freezing those parameters.
+        let a = Activation::default().with_cosine_source();
+        let rails = [0.0, std::f64::consts::PI / a.alpha_j];
+        let w = a.source_weights(&rails);
+        let g = a.source_grad_full(&rails, &w);
+        assert!(g[0].abs() < 1e-12 && g[1].abs() < 1e-12);
+        // Whereas the sigmoid keeps a nonzero pull everywhere.
+        let s = Activation::default();
+        let w2 = s.source_weights(&[5.0]);
+        assert!(s.source_grad(&w2)[0] > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cosine activation needs source_grad_full")]
+    fn sigmoid_only_helper_rejects_cosine() {
+        let a = Activation::default().with_cosine_source();
+        let _ = a.source_grad(&[0.5]);
+    }
+
+    #[test]
+    fn source_grad_matches_finite_difference() {
+        let a = Activation::default();
+        let eps = 1e-7;
+        let thetas = [-2.0, -0.5, 0.0, 0.5, 2.0];
+        let weights = a.source_weights(&thetas);
+        let grads = a.source_grad(&weights);
+        for (i, &t) in thetas.iter().enumerate() {
+            let up = sigmoid(a.alpha_j * (t + eps));
+            let dn = sigmoid(a.alpha_j * (t - eps));
+            let numeric = (up - dn) / (2.0 * eps);
+            assert!((grads[i] - numeric).abs() < 1e-5 * numeric.abs().max(1e-9));
+        }
+    }
+}

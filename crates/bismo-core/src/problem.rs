@@ -1,0 +1,772 @@
+//! The unified Abbe-based SMO objective (paper §3.1, Eq. 7–10) and its
+//! Hopkins mask-only counterpart for the baselines.
+//!
+//! The loss is `L_smo = γ·L2 + η·L_pvb` where `L2` is the mean squared error
+//! of the nominal resist image against the target (the paper states "we
+//! employ the mean squared loss") and `L_pvb` adds the min/max dose corners
+//! (Eq. 8). SO and MO share the same objective (Eq. 9: `L_smo ≜ L_so ≜
+//! L_mo`), so one evaluation type serves both levels of the bilevel program.
+
+use bismo_litho::{AbbeImager, DoseCorners, HopkinsImager, LithoError, ResistModel};
+use bismo_optics::{OpticalConfig, RealField, Source, SourceShape};
+
+use crate::params::Activation;
+use crate::regularizer::{self, Regularizers};
+
+/// Hyperparameters of the SMO objective (paper §4 defaults).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SmoSettings {
+    /// L2 weight γ (paper: 1000).
+    pub gamma: f64,
+    /// PVB weight η (paper: 3000).
+    pub eta: f64,
+    /// Sigmoid parameterization of Table 1.
+    pub activation: Activation,
+    /// Resist sigmoid steepness β (paper: 30).
+    pub resist_beta: f64,
+    /// Resist intensity threshold `I_tr`.
+    pub resist_threshold: f64,
+    /// Dose process corners (paper: ±2%).
+    pub dose: DoseCorners,
+    /// Worker threads for the Abbe engine (source-point parallelism).
+    pub threads: usize,
+    /// Optional mask regularization (zero-weighted by default — the
+    /// paper's plain objective).
+    pub regularizers: Regularizers,
+}
+
+impl Default for SmoSettings {
+    fn default() -> Self {
+        SmoSettings {
+            gamma: 1000.0,
+            eta: 3000.0,
+            activation: Activation::default(),
+            resist_beta: 30.0,
+            resist_threshold: 0.225,
+            dose: DoseCorners::PAPER,
+            threads: 1,
+            regularizers: Regularizers::NONE,
+        }
+    }
+}
+
+impl SmoSettings {
+    /// Settings with the process-window term disabled (η = 0); used by the
+    /// NILT-proxy baseline and by fast tests.
+    #[must_use]
+    pub fn without_pvb(mut self) -> Self {
+        self.eta = 0.0;
+        self
+    }
+}
+
+/// Decomposed loss value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LossValue {
+    /// Total weighted loss `γ·l2 + η·pvb`.
+    pub total: f64,
+    /// Raw nominal mean-squared term.
+    pub l2: f64,
+    /// Raw process-variation term (sum of both corners).
+    pub pvb: f64,
+}
+
+/// Which gradients an evaluation should produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GradRequest {
+    /// Compute `∂L/∂θ_M`.
+    pub mask: bool,
+    /// Compute `∂L/∂θ_J`.
+    pub source: bool,
+}
+
+impl GradRequest {
+    /// Both gradients.
+    pub const BOTH: GradRequest = GradRequest {
+        mask: true,
+        source: true,
+    };
+    /// Mask gradient only (upper level / MO).
+    pub const MASK: GradRequest = GradRequest {
+        mask: true,
+        source: false,
+    };
+    /// Source gradient only (lower level / SO).
+    pub const SOURCE: GradRequest = GradRequest {
+        mask: false,
+        source: true,
+    };
+}
+
+/// Result of a loss-and-gradients evaluation.
+#[derive(Debug, Clone)]
+pub struct SmoEval {
+    /// Loss at the evaluated parameters.
+    pub loss: LossValue,
+    /// `∂L/∂θ_M` if requested.
+    pub grad_theta_m: Option<RealField>,
+    /// `∂L/∂θ_J` if requested (row-major source grid).
+    pub grad_theta_j: Option<Vec<f64>>,
+}
+
+/// The Abbe-based unified SMO problem: target pattern + objective + engine.
+///
+/// # Examples
+///
+/// ```
+/// use bismo_core::{SmoProblem, SmoSettings};
+/// use bismo_optics::{OpticalConfig, RealField, SourceShape};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let cfg = OpticalConfig::test_small();
+/// let target = RealField::from_fn(cfg.mask_dim(), |r, c| {
+///     if (24..40).contains(&r) && (20..44).contains(&c) { 1.0 } else { 0.0 }
+/// });
+/// let problem = SmoProblem::new(cfg.clone(), SmoSettings::default(), target)?;
+/// let theta_m = problem.init_theta_m();
+/// let theta_j = problem.init_theta_j(SourceShape::Annular {
+///     sigma_in: cfg.sigma_in(),
+///     sigma_out: cfg.sigma_out(),
+/// });
+/// let loss = problem.loss(&theta_j, &theta_m)?;
+/// assert!(loss.total.is_finite() && loss.total > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SmoProblem {
+    optical: OpticalConfig,
+    settings: SmoSettings,
+    abbe: AbbeImager,
+    resist: ResistModel,
+    target: RealField,
+}
+
+impl SmoProblem {
+    /// Creates a problem for `target` under `optical` and `settings`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LithoError::Shape`] if the target does not match the mask
+    /// grid.
+    pub fn new(
+        optical: OpticalConfig,
+        settings: SmoSettings,
+        target: RealField,
+    ) -> Result<Self, LithoError> {
+        if target.dim() != optical.mask_dim() {
+            return Err(LithoError::Shape(format!(
+                "target is {}×{0}, config expects {1}×{1}",
+                target.dim(),
+                optical.mask_dim()
+            )));
+        }
+        let abbe = AbbeImager::new(&optical)?.with_threads(settings.threads);
+        let resist = ResistModel::new(settings.resist_beta, settings.resist_threshold);
+        Ok(SmoProblem {
+            optical,
+            settings,
+            abbe,
+            resist,
+            target,
+        })
+    }
+
+    /// The optical configuration.
+    #[inline]
+    pub fn optical(&self) -> &OpticalConfig {
+        &self.optical
+    }
+
+    /// Objective hyperparameters.
+    #[inline]
+    pub fn settings(&self) -> &SmoSettings {
+        &self.settings
+    }
+
+    /// The target pattern `Z_t`.
+    #[inline]
+    pub fn target(&self) -> &RealField {
+        &self.target
+    }
+
+    /// The underlying Abbe engine (exposed for metrics and harnesses).
+    #[inline]
+    pub fn abbe(&self) -> &AbbeImager {
+        &self.abbe
+    }
+
+    /// The resist model.
+    #[inline]
+    pub fn resist(&self) -> &ResistModel {
+        &self.resist
+    }
+
+    /// Initial mask parameters from the target (Table 1).
+    #[must_use]
+    pub fn init_theta_m(&self) -> RealField {
+        self.settings.activation.init_theta_m(&self.target)
+    }
+
+    /// Initial source parameters from a template (Table 1).
+    pub fn init_theta_j(&self, shape: SourceShape) -> Vec<f64> {
+        self.settings.activation.init_theta_j(&self.optical, shape)
+    }
+
+    /// Activated mask `M = sigmoid(α_m θ_M)`.
+    #[must_use]
+    pub fn mask(&self, theta_m: &RealField) -> RealField {
+        self.settings.activation.mask(theta_m)
+    }
+
+    /// Activated source `J = sigmoid(α_j θ_J)`.
+    pub fn source(&self, theta_j: &[f64]) -> Source {
+        Source::from_weights(
+            &self.optical,
+            self.settings.activation.source_weights(theta_j),
+        )
+    }
+
+    /// Nominal-dose resist image for the given parameters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates imaging failures.
+    pub fn resist_nominal(
+        &self,
+        theta_j: &[f64],
+        theta_m: &RealField,
+    ) -> Result<RealField, LithoError> {
+        let source = self.source(theta_j);
+        let mask = self.mask(theta_m);
+        Ok(self.resist.develop(&self.abbe.intensity(&source, &mask)?))
+    }
+
+    /// The dose passes the objective runs: `(term weight, dose factor)`.
+    fn passes(&self) -> Vec<(f64, f64, bool)> {
+        let mut passes = vec![(self.settings.gamma, 1.0, true)];
+        if self.settings.eta > 0.0 {
+            passes.push((self.settings.eta, self.settings.dose.min, false));
+            passes.push((self.settings.eta, self.settings.dose.max, false));
+        }
+        passes
+    }
+
+    /// Evaluates `L_smo(θ_J, θ_M)` (Eq. 9).
+    ///
+    /// # Errors
+    ///
+    /// Propagates imaging failures.
+    pub fn loss(&self, theta_j: &[f64], theta_m: &RealField) -> Result<LossValue, LithoError> {
+        let source = self.source(theta_j);
+        let mask = self.mask(theta_m);
+        let npix = (self.optical.mask_dim() * self.optical.mask_dim()) as f64;
+        let mut l2 = 0.0;
+        let mut pvb = 0.0;
+        for (_, dose, nominal) in self.passes() {
+            let m_d = if dose == 1.0 {
+                mask.clone()
+            } else {
+                mask.map(|v| dose * v)
+            };
+            let z = self.resist.develop(&self.abbe.intensity(&source, &m_d)?);
+            let mse = z.sq_distance(&self.target) / npix;
+            if nominal {
+                l2 += mse;
+            } else {
+                pvb += mse;
+            }
+        }
+        let reg = regularizer::value(&self.settings.regularizers, &mask);
+        Ok(LossValue {
+            total: self.settings.gamma * l2 + self.settings.eta * pvb + reg,
+            l2,
+            pvb,
+        })
+    }
+
+    /// Evaluates the loss and the requested parameter gradients.
+    ///
+    /// The full chain per dose pass `d` is
+    /// `θ → (J, M) → M_d = d·M → I → Z → mse`, with
+    /// `G_I = (2w/N²)·(Z − Z_t)·β Z(1−Z)` fed into the Abbe adjoints and the
+    /// Table 1 activation derivatives applied last.
+    ///
+    /// # Errors
+    ///
+    /// Propagates imaging failures.
+    pub fn eval(
+        &self,
+        theta_j: &[f64],
+        theta_m: &RealField,
+        request: GradRequest,
+    ) -> Result<SmoEval, LithoError> {
+        let act = self.settings.activation;
+        let source = self.source(theta_j);
+        let mask = self.mask(theta_m);
+        let n = self.optical.mask_dim();
+        let npix = (n * n) as f64;
+
+        let mut l2 = 0.0;
+        let mut pvb = 0.0;
+        let mut grad_mask_total: Option<RealField> = request.mask.then(|| RealField::zeros(n));
+        let mut grad_source_total: Option<Vec<f64>> =
+            request.source.then(|| vec![0.0; theta_j.len()]);
+
+        for (weight, dose, nominal) in self.passes() {
+            let m_d = if dose == 1.0 {
+                mask.clone()
+            } else {
+                mask.map(|v| dose * v)
+            };
+            let intensity = self.abbe.intensity(&source, &m_d)?;
+            let z = self.resist.develop(&intensity);
+            let mse = z.sq_distance(&self.target) / npix;
+            if nominal {
+                l2 += mse;
+            } else {
+                pvb += mse;
+            }
+
+            // G_I = ∂(weight·mse)/∂I = (2·weight/N²)·(Z−Z_t)·βZ(1−Z).
+            let dz = self.resist.develop_grad_from_resist(&z);
+            let mut g_i = RealField::zeros(n);
+            {
+                let gs = g_i.as_mut_slice();
+                let zs = z.as_slice();
+                let ts = self.target.as_slice();
+                let ds = dz.as_slice();
+                for i in 0..gs.len() {
+                    gs[i] = 2.0 * weight / npix * (zs[i] - ts[i]) * ds[i];
+                }
+            }
+
+            match (request.mask, request.source) {
+                (true, true) => {
+                    let (gm, gj) = self.abbe.gradients(&source, &m_d, &g_i, &intensity)?;
+                    grad_mask_total.as_mut().expect("requested").axpy(dose, &gm);
+                    let total = grad_source_total.as_mut().expect("requested");
+                    for (t, g) in total.iter_mut().zip(&gj) {
+                        *t += g;
+                    }
+                }
+                (true, false) => {
+                    let gm = self.abbe.grad_mask(&source, &m_d, &g_i)?;
+                    grad_mask_total.as_mut().expect("requested").axpy(dose, &gm);
+                }
+                (false, true) => {
+                    let gj = self.abbe.grad_source(&source, &m_d, &g_i, &intensity)?;
+                    let total = grad_source_total.as_mut().expect("requested");
+                    for (t, g) in total.iter_mut().zip(&gj) {
+                        *t += g;
+                    }
+                }
+                (false, false) => {}
+            }
+        }
+
+        // Mask regularization acts on M directly; fold it in before the
+        // activation chain.
+        let reg_value = regularizer::value(&self.settings.regularizers, &mask);
+        if let Some(gm) = grad_mask_total.as_mut() {
+            if !self.settings.regularizers.is_none() {
+                gm.axpy(1.0, &regularizer::grad(&self.settings.regularizers, &mask));
+            }
+        }
+
+        // Chain through the Table 1 activations.
+        let grad_theta_m = grad_mask_total.map(|gm| gm.hadamard(&act.mask_grad(&mask)));
+        let grad_theta_j = grad_source_total.map(|gj| {
+            let dj = act.source_grad_full(theta_j, source.weights());
+            gj.iter().zip(&dj).map(|(g, d)| g * d).collect()
+        });
+
+        Ok(SmoEval {
+            loss: LossValue {
+                total: self.settings.gamma * l2 + self.settings.eta * pvb + reg_value,
+                l2,
+                pvb,
+            },
+            grad_theta_m,
+            grad_theta_j,
+        })
+    }
+}
+
+/// Hopkins-model mask-only problem for a **fixed** source: the substrate of
+/// the NILT / DAC23-MILT proxies and of the hybrid AM-SMO's MO phase.
+///
+/// Constructing one performs the TCC build + SOCS truncation for the frozen
+/// source; there is deliberately no source-gradient method (paper §2.1).
+#[derive(Debug, Clone)]
+pub struct HopkinsMoProblem {
+    optical: OpticalConfig,
+    settings: SmoSettings,
+    hopkins: HopkinsImager,
+    resist: ResistModel,
+    target: RealField,
+}
+
+impl HopkinsMoProblem {
+    /// Builds the problem, paying the TCC + SOCS cost for `source` with
+    /// truncation rank `q`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates TCC/eigensolver and shape failures.
+    pub fn new(
+        optical: OpticalConfig,
+        settings: SmoSettings,
+        target: RealField,
+        source: &Source,
+        q: usize,
+    ) -> Result<Self, LithoError> {
+        if target.dim() != optical.mask_dim() {
+            return Err(LithoError::Shape(format!(
+                "target is {}×{0}, config expects {1}×{1}",
+                target.dim(),
+                optical.mask_dim()
+            )));
+        }
+        let hopkins = HopkinsImager::new(&optical, source, q)?;
+        let resist = ResistModel::new(settings.resist_beta, settings.resist_threshold);
+        Ok(HopkinsMoProblem {
+            optical,
+            settings,
+            hopkins,
+            resist,
+            target,
+        })
+    }
+
+    /// The target pattern.
+    #[inline]
+    pub fn target(&self) -> &RealField {
+        &self.target
+    }
+
+    /// The underlying Hopkins engine.
+    #[inline]
+    pub fn hopkins(&self) -> &HopkinsImager {
+        &self.hopkins
+    }
+
+    /// Objective hyperparameters.
+    #[inline]
+    pub fn settings(&self) -> &SmoSettings {
+        &self.settings
+    }
+
+    /// Initial mask parameters from the target.
+    #[must_use]
+    pub fn init_theta_m(&self) -> RealField {
+        self.settings.activation.init_theta_m(&self.target)
+    }
+
+    /// Activated mask.
+    #[must_use]
+    pub fn mask(&self, theta_m: &RealField) -> RealField {
+        self.settings.activation.mask(theta_m)
+    }
+
+    fn passes(&self) -> Vec<(f64, f64, bool)> {
+        let mut passes = vec![(self.settings.gamma, 1.0, true)];
+        if self.settings.eta > 0.0 {
+            passes.push((self.settings.eta, self.settings.dose.min, false));
+            passes.push((self.settings.eta, self.settings.dose.max, false));
+        }
+        passes
+    }
+
+    /// Evaluates loss and `∂L/∂θ_M`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates imaging failures.
+    pub fn eval(&self, theta_m: &RealField) -> Result<(LossValue, RealField), LithoError> {
+        let act = self.settings.activation;
+        let mask = self.mask(theta_m);
+        let n = self.optical.mask_dim();
+        let npix = (n * n) as f64;
+        let mut l2 = 0.0;
+        let mut pvb = 0.0;
+        let mut grad_mask_total = RealField::zeros(n);
+        for (weight, dose, nominal) in self.passes() {
+            let m_d = if dose == 1.0 {
+                mask.clone()
+            } else {
+                mask.map(|v| dose * v)
+            };
+            let intensity = self.hopkins.intensity(&m_d)?;
+            let z = self.resist.develop(&intensity);
+            let mse = z.sq_distance(&self.target) / npix;
+            if nominal {
+                l2 += mse;
+            } else {
+                pvb += mse;
+            }
+            let dz = self.resist.develop_grad_from_resist(&z);
+            let mut g_i = RealField::zeros(n);
+            {
+                let gs = g_i.as_mut_slice();
+                let zs = z.as_slice();
+                let ts = self.target.as_slice();
+                let ds = dz.as_slice();
+                for i in 0..gs.len() {
+                    gs[i] = 2.0 * weight / npix * (zs[i] - ts[i]) * ds[i];
+                }
+            }
+            let gm = self.hopkins.grad_mask(&m_d, &g_i)?;
+            grad_mask_total.axpy(dose, &gm);
+        }
+        let grad_theta_m = grad_mask_total.hadamard(&act.mask_grad(&mask));
+        Ok((
+            LossValue {
+                total: self.settings.gamma * l2 + self.settings.eta * pvb,
+                l2,
+                pvb,
+            },
+            grad_theta_m,
+        ))
+    }
+
+    /// Loss only.
+    ///
+    /// # Errors
+    ///
+    /// Propagates imaging failures.
+    pub fn loss(&self, theta_m: &RealField) -> Result<LossValue, LithoError> {
+        let mask = self.mask(theta_m);
+        let npix = (self.optical.mask_dim() * self.optical.mask_dim()) as f64;
+        let mut l2 = 0.0;
+        let mut pvb = 0.0;
+        for (_, dose, nominal) in self.passes() {
+            let m_d = if dose == 1.0 {
+                mask.clone()
+            } else {
+                mask.map(|v| dose * v)
+            };
+            let z = self.resist.develop(&self.hopkins.intensity(&m_d)?);
+            let mse = z.sq_distance(&self.target) / npix;
+            if nominal {
+                l2 += mse;
+            } else {
+                pvb += mse;
+            }
+        }
+        Ok(LossValue {
+            total: self.settings.gamma * l2 + self.settings.eta * pvb,
+            l2,
+            pvb,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_problem() -> SmoProblem {
+        let cfg = OpticalConfig::test_small();
+        let target = RealField::from_fn(cfg.mask_dim(), |r, c| {
+            if (24..40).contains(&r) && (20..44).contains(&c) {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        SmoProblem::new(cfg, SmoSettings::default(), target).unwrap()
+    }
+
+    fn annular() -> SourceShape {
+        SourceShape::Annular {
+            sigma_in: 0.63,
+            sigma_out: 0.95,
+        }
+    }
+
+    #[test]
+    fn loss_is_finite_positive_at_init() {
+        let p = small_problem();
+        let tm = p.init_theta_m();
+        let tj = p.init_theta_j(annular());
+        let loss = p.loss(&tj, &tm).unwrap();
+        assert!(loss.total.is_finite());
+        assert!(loss.total > 0.0);
+        assert!(loss.l2 >= 0.0 && loss.pvb >= 0.0);
+        assert!(
+            (loss.total - (1000.0 * loss.l2 + 3000.0 * loss.pvb)).abs() < 1e-9 * loss.total
+        );
+    }
+
+    #[test]
+    fn eval_loss_matches_loss() {
+        let p = small_problem();
+        let tm = p.init_theta_m();
+        let tj = p.init_theta_j(annular());
+        let l = p.loss(&tj, &tm).unwrap();
+        let e = p.eval(&tj, &tm, GradRequest::BOTH).unwrap();
+        assert!((l.total - e.loss.total).abs() < 1e-12 * l.total.max(1.0));
+    }
+
+    #[test]
+    fn theta_m_gradient_matches_finite_difference() {
+        let p = small_problem();
+        let tm = p.init_theta_m();
+        let tj = p.init_theta_j(annular());
+        let e = p.eval(&tj, &tm, GradRequest::MASK).unwrap();
+        let gm = e.grad_theta_m.unwrap();
+        let eps = 1e-4;
+        let n = tm.dim();
+        for &(r, c) in &[(32usize, 32usize), (24, 20), (10, 10), (39, 43)] {
+            let mut up = tm.clone();
+            up[(r, c)] += eps;
+            let mut dn = tm.clone();
+            dn[(r, c)] -= eps;
+            let lu = p.loss(&tj, &up).unwrap().total;
+            let ld = p.loss(&tj, &dn).unwrap().total;
+            let numeric = (lu - ld) / (2.0 * eps);
+            assert!(
+                (numeric - gm[(r, c)]).abs() < 1e-5 + 1e-3 * numeric.abs(),
+                "({r},{c}) of {n}: numeric {numeric} vs analytic {}",
+                gm[(r, c)]
+            );
+        }
+    }
+
+    #[test]
+    fn theta_j_gradient_matches_finite_difference() {
+        let p = small_problem();
+        let tm = p.init_theta_m();
+        let tj = p.init_theta_j(annular());
+        let e = p.eval(&tj, &tm, GradRequest::SOURCE).unwrap();
+        let gj = e.grad_theta_j.unwrap();
+        let eps = 1e-4;
+        let nj = p.optical().source_dim();
+        for &idx in &[0usize, nj * nj / 2, nj + 2, nj * nj - 1] {
+            let mut up = tj.clone();
+            up[idx] += eps;
+            let mut dn = tj.clone();
+            dn[idx] -= eps;
+            let lu = p.loss(&up, &tm).unwrap().total;
+            let ld = p.loss(&dn, &tm).unwrap().total;
+            let numeric = (lu - ld) / (2.0 * eps);
+            assert!(
+                (numeric - gj[idx]).abs() < 1e-6 + 1e-3 * numeric.abs(),
+                "τ={idx}: numeric {numeric} vs analytic {}",
+                gj[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_is_a_descent_direction() {
+        let p = small_problem();
+        let tm = p.init_theta_m();
+        let tj = p.init_theta_j(annular());
+        let e = p.eval(&tj, &tm, GradRequest::BOTH).unwrap();
+        let gm = e.grad_theta_m.unwrap();
+        let gj = e.grad_theta_j.unwrap();
+        let step = 0.05;
+        let mut tm2 = tm.clone();
+        tm2.axpy(-step, &gm);
+        let tj2: Vec<f64> = tj.iter().zip(&gj).map(|(t, g)| t - step * g).collect();
+        let l0 = e.loss.total;
+        let l1 = p.loss(&tj2, &tm2).unwrap().total;
+        assert!(l1 < l0, "descent failed: {l0} → {l1}");
+    }
+
+    #[test]
+    fn without_pvb_disables_corner_passes() {
+        let cfg = OpticalConfig::test_small();
+        let target = RealField::zeros(cfg.mask_dim());
+        let p = SmoProblem::new(cfg, SmoSettings::default().without_pvb(), target).unwrap();
+        let tm = p.init_theta_m();
+        let tj = p.init_theta_j(annular());
+        let loss = p.loss(&tj, &tm).unwrap();
+        assert_eq!(loss.pvb, 0.0);
+    }
+
+    #[test]
+    fn target_shape_mismatch_is_error() {
+        let cfg = OpticalConfig::test_small();
+        let target = RealField::zeros(16);
+        assert!(SmoProblem::new(cfg, SmoSettings::default(), target).is_err());
+    }
+
+    #[test]
+    fn regularized_theta_m_gradient_matches_finite_difference() {
+        let cfg = OpticalConfig::test_small();
+        let target = RealField::from_fn(cfg.mask_dim(), |r, c| {
+            if (24..40).contains(&r) && (20..44).contains(&c) {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        let mut settings = SmoSettings::default().without_pvb();
+        settings.regularizers = Regularizers {
+            discreteness: 5.0,
+            tv: 3.0,
+        };
+        let p = SmoProblem::new(cfg, settings, target).unwrap();
+        let tj = p.init_theta_j(annular());
+        // A slightly smoothed init probes the regularizers off the rails.
+        let tm = p.init_theta_m().map(|t| 0.3 * t);
+        let e = p.eval(&tj, &tm, GradRequest::MASK).unwrap();
+        let gm = e.grad_theta_m.unwrap();
+        let eps = 1e-4;
+        for &(r, c) in &[(32usize, 32usize), (24, 20), (10, 10)] {
+            let mut up = tm.clone();
+            up[(r, c)] += eps;
+            let mut dn = tm.clone();
+            dn[(r, c)] -= eps;
+            let lu = p.loss(&tj, &up).unwrap().total;
+            let ld = p.loss(&tj, &dn).unwrap().total;
+            let numeric = (lu - ld) / (2.0 * eps);
+            assert!(
+                (numeric - gm[(r, c)]).abs() < 1e-5 + 1e-3 * numeric.abs(),
+                "({r},{c}): numeric {numeric} vs analytic {}",
+                gm[(r, c)]
+            );
+        }
+        // Regularizers contribute to the loss value too.
+        let plain = {
+            let cfg = OpticalConfig::test_small();
+            let target = p.target().clone();
+            SmoProblem::new(cfg, SmoSettings::default().without_pvb(), target).unwrap()
+        };
+        assert!(p.loss(&tj, &tm).unwrap().total > plain.loss(&tj, &tm).unwrap().total);
+    }
+
+    #[test]
+    fn hopkins_mo_gradient_matches_finite_difference() {
+        let cfg = OpticalConfig::test_small();
+        let target = RealField::from_fn(cfg.mask_dim(), |r, c| {
+            if (24..40).contains(&r) && (20..44).contains(&c) {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        let source = Source::from_shape(&cfg, annular());
+        let p = HopkinsMoProblem::new(cfg, SmoSettings::default(), target, &source, 12).unwrap();
+        let tm = p.init_theta_m();
+        let (_, gm) = p.eval(&tm).unwrap();
+        let eps = 1e-4;
+        for &(r, c) in &[(32usize, 32usize), (24, 20), (5, 50)] {
+            let mut up = tm.clone();
+            up[(r, c)] += eps;
+            let mut dn = tm.clone();
+            dn[(r, c)] -= eps;
+            let lu = p.loss(&up).unwrap().total;
+            let ld = p.loss(&dn).unwrap().total;
+            let numeric = (lu - ld) / (2.0 * eps);
+            assert!(
+                (numeric - gm[(r, c)]).abs() < 1e-5 + 1e-3 * numeric.abs(),
+                "({r},{c}): numeric {numeric} vs analytic {}",
+                gm[(r, c)]
+            );
+        }
+    }
+}

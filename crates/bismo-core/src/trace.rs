@@ -1,0 +1,184 @@
+//! Convergence recording shared by every optimization driver; the raw
+//! material of the paper's Figure 3 (loss curves) and Figure 5 (mean/STD
+//! bands).
+
+/// One recorded optimization step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepRecord {
+    /// Zero-based update index (each source *or* mask update counts).
+    pub step: usize,
+    /// Total weighted loss `L_smo` before the update.
+    pub loss: f64,
+    /// Raw nominal L2 term.
+    pub l2: f64,
+    /// Raw PVB term.
+    pub pvb: f64,
+    /// Seconds elapsed since the driver started.
+    pub elapsed_s: f64,
+}
+
+/// A sequence of [`StepRecord`]s produced by one optimization run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ConvergenceTrace {
+    records: Vec<StepRecord>,
+}
+
+impl ConvergenceTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        ConvergenceTrace::default()
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, record: StepRecord) {
+        self.records.push(record);
+    }
+
+    /// All records in order.
+    pub fn records(&self) -> &[StepRecord] {
+        &self.records
+    }
+
+    /// Number of recorded steps.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether anything was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The last recorded loss, if any.
+    pub fn final_loss(&self) -> Option<f64> {
+        self.records.last().map(|r| r.loss)
+    }
+
+    /// The smallest recorded loss, if any.
+    pub fn best_loss(&self) -> Option<f64> {
+        self.records
+            .iter()
+            .map(|r| r.loss)
+            .min_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+    }
+
+    /// Renders the trace as CSV (`step,loss,l2,pvb,elapsed_s`), the format
+    /// the figure harnesses emit.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("step,loss,l2,pvb,elapsed_s\n");
+        for r in &self.records {
+            out.push_str(&format!(
+                "{},{:.6e},{:.6e},{:.6e},{:.3}\n",
+                r.step, r.loss, r.l2, r.pvb, r.elapsed_s
+            ));
+        }
+        out
+    }
+}
+
+/// Plateau-based early-stopping rule shared by the optimization drivers.
+///
+/// A run stops when the best loss of the most recent `window` records fails
+/// to improve on the best of the preceding `window` records by at least a
+/// `rel_tol` fraction. The paper notes AM-SMO's lack of global gradient
+/// guidance "complicates establishing effective early stopping criteria"
+/// (§3.2) — this rule applies the same criterion to every method so the
+/// turnaround-time comparison (Table 4) is apples-to-apples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StopRule {
+    /// Number of recent records per comparison window.
+    pub window: usize,
+    /// Required relative improvement between windows.
+    pub rel_tol: f64,
+}
+
+impl StopRule {
+    /// The harness default: 10-step windows, 0.1% improvement.
+    pub fn harness_default() -> Self {
+        StopRule {
+            window: 10,
+            rel_tol: 1e-3,
+        }
+    }
+
+    /// Returns `true` when the trace has plateaued under this rule.
+    pub fn plateaued(&self, records: &[StepRecord]) -> bool {
+        let w = self.window.max(1);
+        if records.len() < 2 * w {
+            return false;
+        }
+        let min_of = |rs: &[StepRecord]| {
+            rs.iter()
+                .map(|r| r.loss)
+                .fold(f64::INFINITY, f64::min)
+        };
+        let old_best = min_of(&records[records.len() - 2 * w..records.len() - w]);
+        let new_best = min_of(&records[records.len() - w..]);
+        new_best > old_best * (1.0 - self.rel_tol)
+    }
+}
+
+impl FromIterator<StepRecord> for ConvergenceTrace {
+    fn from_iter<I: IntoIterator<Item = StepRecord>>(iter: I) -> Self {
+        ConvergenceTrace {
+            records: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(step: usize, loss: f64) -> StepRecord {
+        StepRecord {
+            step,
+            loss,
+            l2: loss / 2.0,
+            pvb: loss / 3.0,
+            elapsed_s: step as f64 * 0.1,
+        }
+    }
+
+    #[test]
+    fn push_and_query() {
+        let mut t = ConvergenceTrace::new();
+        assert!(t.is_empty());
+        assert_eq!(t.final_loss(), None);
+        t.push(rec(0, 5.0));
+        t.push(rec(1, 3.0));
+        t.push(rec(2, 4.0));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.final_loss(), Some(4.0));
+        assert_eq!(t.best_loss(), Some(3.0));
+    }
+
+    #[test]
+    fn stop_rule_triggers_on_plateau() {
+        let rule = StopRule {
+            window: 3,
+            rel_tol: 1e-3,
+        };
+        // Decreasing: no stop.
+        let improving: Vec<StepRecord> = (0..8).map(|i| rec(i, 10.0 / (i + 1) as f64)).collect();
+        assert!(!rule.plateaued(&improving));
+        // Flat tail: stop.
+        let mut flat = improving.clone();
+        for i in 8..14 {
+            flat.push(rec(i, 1.25));
+        }
+        assert!(rule.plateaued(&flat));
+        // Too short: no stop.
+        assert!(!rule.plateaued(&improving[..4]));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let t: ConvergenceTrace = (0..3).map(|i| rec(i, 1.0 / (i + 1) as f64)).collect();
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0], "step,loss,l2,pvb,elapsed_s");
+        assert!(lines[1].starts_with("0,"));
+    }
+}

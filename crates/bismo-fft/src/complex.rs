@@ -1,0 +1,329 @@
+//! Minimal complex-number type used throughout the workspace.
+//!
+//! The offline dependency allowlist has no `num-complex`, so the workspace
+//! carries its own [`Complex64`]. Only the operations the imaging and linear
+//! algebra code actually needs are provided.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+///
+/// # Examples
+///
+/// ```
+/// use bismo_fft::Complex64;
+///
+/// let i = Complex64::I;
+/// assert_eq!(i * i, Complex64::new(-1.0, 0.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// The additive identity, `0 + 0i`.
+    pub const ZERO: Complex64 = Complex64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity, `1 + 0i`.
+    pub const ONE: Complex64 = Complex64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit, `0 + 1i`.
+    pub const I: Complex64 = Complex64 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex64 { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn from_real(re: f64) -> Self {
+        Complex64 { re, im: 0.0 }
+    }
+
+    /// Returns `e^{iθ} = cos θ + i sin θ`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bismo_fft::Complex64;
+    /// let z = Complex64::cis(std::f64::consts::PI);
+    /// assert!((z.re + 1.0).abs() < 1e-15 && z.im.abs() < 1e-15);
+    /// ```
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Complex64 {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex64 {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Squared magnitude `|z|²` (cheaper than [`Complex64::abs`]).
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Argument (phase angle) in radians.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplies by a real scalar.
+    #[inline]
+    pub fn scale(self, s: f64) -> Self {
+        Complex64 {
+            re: self.re * s,
+            im: self.im * s,
+        }
+    }
+
+    /// Reciprocal `1/z`.
+    ///
+    /// Returns non-finite components when `self` is zero, mirroring `f64`
+    /// division semantics.
+    #[inline]
+    pub fn recip(self) -> Self {
+        let d = self.norm_sqr();
+        Complex64 {
+            re: self.re / d,
+            im: -self.im / d,
+        }
+    }
+
+    /// Returns `true` if both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// Fused multiply-add: `self * b + c`.
+    #[inline]
+    pub fn mul_add(self, b: Complex64, c: Complex64) -> Self {
+        Complex64 {
+            re: self.re * b.re - self.im * b.im + c.re,
+            im: self.re * b.im + self.im * b.re + c.im,
+        }
+    }
+}
+
+impl From<f64> for Complex64 {
+    #[inline]
+    fn from(re: f64) -> Self {
+        Complex64::from_real(re)
+    }
+}
+
+impl fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn add(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn sub(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z/w := z·w⁻¹ is the definition
+    fn div(self, rhs: Complex64) -> Complex64 {
+        self * rhs.recip()
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: f64) -> Complex64 {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<Complex64> for f64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        rhs.scale(self)
+    }
+}
+
+impl Div<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn div(self, rhs: f64) -> Complex64 {
+        Complex64::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn neg(self) -> Complex64 {
+        Complex64::new(-self.re, -self.im)
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex64) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl SubAssign for Complex64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex64) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl MulAssign for Complex64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex64) {
+        *self = *self * rhs;
+    }
+}
+
+impl MulAssign<f64> for Complex64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: f64) {
+        self.re *= rhs;
+        self.im *= rhs;
+    }
+}
+
+impl DivAssign for Complex64 {
+    #[inline]
+    fn div_assign(&mut self, rhs: Complex64) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for Complex64 {
+    fn sum<I: Iterator<Item = Complex64>>(iter: I) -> Complex64 {
+        iter.fold(Complex64::ZERO, |a, b| a + b)
+    }
+}
+
+impl<'a> Sum<&'a Complex64> for Complex64 {
+    fn sum<I: Iterator<Item = &'a Complex64>>(iter: I) -> Complex64 {
+        iter.fold(Complex64::ZERO, |a, b| a + *b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex64, b: Complex64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = Complex64::new(3.0, -4.0);
+        assert_eq!(z + Complex64::ZERO, z);
+        assert_eq!(z * Complex64::ONE, z);
+        assert_eq!(z - z, Complex64::ZERO);
+        assert!(close(z * z.recip(), Complex64::ONE));
+    }
+
+    #[test]
+    fn conjugate_and_norm() {
+        let z = Complex64::new(3.0, 4.0);
+        assert_eq!(z.conj(), Complex64::new(3.0, -4.0));
+        assert_eq!(z.norm_sqr(), 25.0);
+        assert_eq!(z.abs(), 5.0);
+        assert!(close(z * z.conj(), Complex64::from_real(25.0)));
+    }
+
+    #[test]
+    fn cis_is_on_unit_circle() {
+        for k in 0..16 {
+            let theta = k as f64 * 0.7;
+            let z = Complex64::cis(theta);
+            assert!((z.abs() - 1.0).abs() < 1e-14);
+            assert!((z.arg() - theta.sin().atan2(theta.cos())).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn division_matches_multiplication_by_reciprocal() {
+        let a = Complex64::new(1.5, -2.5);
+        let b = Complex64::new(-0.25, 4.0);
+        assert!(close(a / b, a * b.recip()));
+    }
+
+    #[test]
+    fn mul_add_matches_separate_ops() {
+        let a = Complex64::new(1.0, 2.0);
+        let b = Complex64::new(-3.0, 0.5);
+        let c = Complex64::new(0.25, -0.75);
+        assert!(close(a.mul_add(b, c), a * b + c));
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let v = vec![Complex64::new(1.0, 1.0); 8];
+        let s: Complex64 = v.iter().sum();
+        assert_eq!(s, Complex64::new(8.0, 8.0));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(Complex64::new(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(Complex64::new(1.0, -2.0).to_string(), "1-2i");
+    }
+}

@@ -1,0 +1,384 @@
+//! Planned radix-2 decimation-in-time FFT.
+//!
+//! A [`FftPlan`] precomputes the bit-reversal permutation and twiddle factors
+//! for a fixed power-of-two length and can then transform any number of
+//! buffers without further allocation. Both unnormalized (`forward` /
+//! `inverse` with `1/N` on the inverse) and unitary (`1/√N` each way)
+//! conventions are offered; the imaging code uses the unitary convention so
+//! that the FFT is its own adjoint-inverse, which keeps the hand-derived
+//! gradients free of stray normalization factors.
+
+use crate::complex::Complex64;
+
+/// Direction of a transform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// `X[k] = Σ_n x[n]·e^{-2πi kn/N}` (negative exponent).
+    Forward,
+    /// Positive exponent.
+    Inverse,
+}
+
+/// Error returned when a plan is asked to transform a buffer of the wrong
+/// length, or when constructing a plan with an invalid length.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FftError {
+    kind: FftErrorKind,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum FftErrorKind {
+    NotPowerOfTwo(usize),
+    LengthMismatch { expected: usize, got: usize },
+}
+
+impl std::fmt::Display for FftError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.kind {
+            FftErrorKind::NotPowerOfTwo(n) => {
+                write!(f, "fft length {n} is not a power of two (and nonzero)")
+            }
+            FftErrorKind::LengthMismatch { expected, got } => {
+                write!(f, "buffer length {got} does not match plan length {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FftError {}
+
+impl FftError {
+    pub(crate) fn length_mismatch(expected: usize, got: usize) -> Self {
+        FftError {
+            kind: FftErrorKind::LengthMismatch { expected, got },
+        }
+    }
+}
+
+/// Precomputed plan for radix-2 FFTs of a fixed power-of-two length.
+///
+/// # Examples
+///
+/// ```
+/// use bismo_fft::{Complex64, FftPlan};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let plan = FftPlan::new(8)?;
+/// let mut data = vec![Complex64::ONE; 8];
+/// plan.forward(&mut data)?;
+/// // The DC bin collects the sum; everything else cancels.
+/// assert!((data[0].re - 8.0).abs() < 1e-12);
+/// assert!(data[1].abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FftPlan {
+    len: usize,
+    /// Bit-reversal permutation indices.
+    rev: Vec<u32>,
+    /// Twiddles for the forward transform, laid out stage by stage:
+    /// stage with half-size `m` contributes `m` entries `e^{-iπ j/m}`.
+    twiddles: Vec<Complex64>,
+}
+
+impl FftPlan {
+    /// Creates a plan for transforms of length `len`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `len` is zero or not a power of two.
+    pub fn new(len: usize) -> Result<Self, FftError> {
+        if len == 0 || !len.is_power_of_two() {
+            return Err(FftError {
+                kind: FftErrorKind::NotPowerOfTwo(len),
+            });
+        }
+        let bits = len.trailing_zeros();
+        let mut rev = vec![0u32; len];
+        for (i, r) in rev.iter_mut().enumerate() {
+            *r = (i as u32).reverse_bits() >> (32 - bits.max(1));
+        }
+        if len == 1 {
+            rev[0] = 0;
+        }
+        // Total twiddles = 1 + 2 + 4 + ... + len/2 = len - 1.
+        let mut twiddles = Vec::with_capacity(len.saturating_sub(1));
+        let mut m = 1usize;
+        while m < len {
+            for j in 0..m {
+                let theta = -std::f64::consts::PI * j as f64 / m as f64;
+                twiddles.push(Complex64::cis(theta));
+            }
+            m <<= 1;
+        }
+        Ok(FftPlan { len, rev, twiddles })
+    }
+
+    /// Transform length this plan was built for.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` for the degenerate length-1 plan.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    fn check(&self, data: &[Complex64]) -> Result<(), FftError> {
+        if data.len() != self.len {
+            return Err(FftError {
+                kind: FftErrorKind::LengthMismatch {
+                    expected: self.len,
+                    got: data.len(),
+                },
+            });
+        }
+        Ok(())
+    }
+
+    /// In-place transform without any normalization.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `data.len()` differs from the plan length.
+    pub fn transform(&self, data: &mut [Complex64], dir: Direction) -> Result<(), FftError> {
+        self.check(data)?;
+        let n = self.len;
+        if n == 1 {
+            return Ok(());
+        }
+        // Bit-reversal permutation.
+        for i in 0..n {
+            let j = self.rev[i] as usize;
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+        // Butterflies.
+        let mut m = 1usize;
+        let mut tw_base = 0usize;
+        while m < n {
+            let step = m << 1;
+            for start in (0..n).step_by(step) {
+                for j in 0..m {
+                    let w = match dir {
+                        Direction::Forward => self.twiddles[tw_base + j],
+                        Direction::Inverse => self.twiddles[tw_base + j].conj(),
+                    };
+                    let a = data[start + j];
+                    let b = data[start + j + m] * w;
+                    data[start + j] = a + b;
+                    data[start + j + m] = a - b;
+                }
+            }
+            tw_base += m;
+            m = step;
+        }
+        Ok(())
+    }
+
+    /// Forward DFT, unnormalized: `X[k] = Σ x[n] e^{-2πi kn/N}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `data.len()` differs from the plan length.
+    pub fn forward(&self, data: &mut [Complex64]) -> Result<(), FftError> {
+        self.transform(data, Direction::Forward)
+    }
+
+    /// Inverse DFT with `1/N` normalization, so `inverse(forward(x)) == x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `data.len()` differs from the plan length.
+    pub fn inverse(&self, data: &mut [Complex64]) -> Result<(), FftError> {
+        self.transform(data, Direction::Inverse)?;
+        let scale = 1.0 / self.len as f64;
+        for z in data.iter_mut() {
+            *z *= scale;
+        }
+        Ok(())
+    }
+
+    /// Unitary forward DFT (`1/√N` scaling).
+    ///
+    /// The unitary convention makes the transform norm-preserving, so the
+    /// adjoint of `forward_unitary` is exactly `inverse_unitary`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `data.len()` differs from the plan length.
+    pub fn forward_unitary(&self, data: &mut [Complex64]) -> Result<(), FftError> {
+        self.transform(data, Direction::Forward)?;
+        let scale = 1.0 / (self.len as f64).sqrt();
+        for z in data.iter_mut() {
+            *z *= scale;
+        }
+        Ok(())
+    }
+
+    /// Unitary inverse DFT (`1/√N` scaling).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `data.len()` differs from the plan length.
+    pub fn inverse_unitary(&self, data: &mut [Complex64]) -> Result<(), FftError> {
+        self.transform(data, Direction::Inverse)?;
+        let scale = 1.0 / (self.len as f64).sqrt();
+        for z in data.iter_mut() {
+            *z *= scale;
+        }
+        Ok(())
+    }
+}
+
+/// Reference `O(N²)` DFT used by the test-suite to validate the FFT.
+///
+/// Exposed publicly so downstream crates' tests can cross-check their own
+/// frequency-domain code against a trivially-correct transform.
+pub fn dft_naive(input: &[Complex64], dir: Direction) -> Vec<Complex64> {
+    let n = input.len();
+    let sign = match dir {
+        Direction::Forward => -1.0,
+        Direction::Inverse => 1.0,
+    };
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex64::ZERO;
+            for (j, &x) in input.iter().enumerate() {
+                let theta = sign * 2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64;
+                acc += x * Complex64::cis(theta);
+            }
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rand_signal(n: usize, seed: u64) -> Vec<Complex64> {
+        // Tiny xorshift so the test has no external deps.
+        let mut s = seed.max(1);
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s as f64 / u64::MAX as f64) * 2.0 - 1.0
+        };
+        (0..n).map(|_| Complex64::new(next(), next())).collect()
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        assert!(FftPlan::new(0).is_err());
+        assert!(FftPlan::new(3).is_err());
+        assert!(FftPlan::new(12).is_err());
+        assert!(FftPlan::new(1).is_ok());
+        assert!(FftPlan::new(1024).is_ok());
+    }
+
+    #[test]
+    fn rejects_wrong_buffer_length() {
+        let plan = FftPlan::new(8).unwrap();
+        let mut buf = vec![Complex64::ZERO; 4];
+        assert!(plan.forward(&mut buf).is_err());
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        for &n in &[1usize, 2, 4, 8, 16, 64, 128] {
+            let plan = FftPlan::new(n).unwrap();
+            let x = rand_signal(n, 42 + n as u64);
+            let expected = dft_naive(&x, Direction::Forward);
+            let mut got = x.clone();
+            plan.forward(&mut got).unwrap();
+            for (g, e) in got.iter().zip(&expected) {
+                assert!((*g - *e).abs() < 1e-9 * (n as f64), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrip_is_identity() {
+        let n = 256;
+        let plan = FftPlan::new(n).unwrap();
+        let x = rand_signal(n, 7);
+        let mut y = x.clone();
+        plan.forward(&mut y).unwrap();
+        plan.inverse(&mut y).unwrap();
+        for (a, b) in x.iter().zip(&y) {
+            assert!((*a - *b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn unitary_roundtrip_and_norm_preservation() {
+        let n = 128;
+        let plan = FftPlan::new(n).unwrap();
+        let x = rand_signal(n, 99);
+        let norm_in: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let mut y = x.clone();
+        plan.forward_unitary(&mut y).unwrap();
+        let norm_mid: f64 = y.iter().map(|z| z.norm_sqr()).sum();
+        assert!((norm_in - norm_mid).abs() < 1e-9, "Parseval violated");
+        plan.inverse_unitary(&mut y).unwrap();
+        for (a, b) in x.iter().zip(&y) {
+            assert!((*a - *b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn impulse_transforms_to_flat_spectrum() {
+        let n = 32;
+        let plan = FftPlan::new(n).unwrap();
+        let mut x = vec![Complex64::ZERO; n];
+        x[0] = Complex64::ONE;
+        plan.forward(&mut x).unwrap();
+        for z in &x {
+            assert!((*z - Complex64::ONE).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn shift_theorem() {
+        // Shifting input by one sample multiplies bin k by e^{-2πik/N}.
+        let n = 64;
+        let plan = FftPlan::new(n).unwrap();
+        let x = rand_signal(n, 5);
+        let mut shifted = vec![Complex64::ZERO; n];
+        for i in 0..n {
+            shifted[(i + 1) % n] = x[i];
+        }
+        let mut fx = x.clone();
+        let mut fs = shifted;
+        plan.forward(&mut fx).unwrap();
+        plan.forward(&mut fs).unwrap();
+        for k in 0..n {
+            let phase = Complex64::cis(-2.0 * std::f64::consts::PI * k as f64 / n as f64);
+            assert!((fs[k] - fx[k] * phase).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 64;
+        let plan = FftPlan::new(n).unwrap();
+        let x = rand_signal(n, 1);
+        let y = rand_signal(n, 2);
+        let a = Complex64::new(0.3, -1.2);
+        let mut lhs: Vec<Complex64> = x.iter().zip(&y).map(|(&u, &v)| a * u + v).collect();
+        plan.forward(&mut lhs).unwrap();
+        let mut fx = x.clone();
+        let mut fy = y.clone();
+        plan.forward(&mut fx).unwrap();
+        plan.forward(&mut fy).unwrap();
+        for k in 0..n {
+            assert!((lhs[k] - (a * fx[k] + fy[k])).abs() < 1e-9);
+        }
+    }
+}

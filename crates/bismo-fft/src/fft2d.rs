@@ -1,0 +1,340 @@
+//! Two-dimensional FFT on row-major square or rectangular grids, plus the
+//! `fftshift` helpers the optics code uses to move between corner-origin and
+//! center-origin frequency layouts.
+
+use crate::complex::Complex64;
+use crate::fft1d::{Direction, FftError, FftPlan};
+
+/// Planned 2-D FFT for `rows × cols` row-major buffers.
+///
+/// Rows are transformed first, then columns (the order is mathematically
+/// irrelevant). Column passes run through a scratch buffer to stay
+/// cache-friendly without requiring a transpose of the caller's data.
+///
+/// # Examples
+///
+/// ```
+/// use bismo_fft::{Complex64, Fft2Plan};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let plan = Fft2Plan::new(4, 8)?;
+/// let mut img = vec![Complex64::ONE; 32];
+/// plan.forward(&mut img)?;
+/// assert!((img[0].re - 32.0).abs() < 1e-12); // DC bin = sum
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fft2Plan {
+    rows: usize,
+    cols: usize,
+    row_plan: FftPlan,
+    col_plan: FftPlan,
+}
+
+impl Fft2Plan {
+    /// Creates a plan for `rows × cols` transforms.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless both dimensions are nonzero powers of two.
+    pub fn new(rows: usize, cols: usize) -> Result<Self, FftError> {
+        Ok(Fft2Plan {
+            rows,
+            cols,
+            row_plan: FftPlan::new(cols)?,
+            col_plan: FftPlan::new(rows)?,
+        })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of elements `rows × cols`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Returns `true` if the plan covers zero elements (never, by construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    fn check(&self, data: &[Complex64]) -> Result<(), FftError> {
+        if data.len() != self.len() {
+            return Err(FftError::length_mismatch(self.len(), data.len()));
+        }
+        Ok(())
+    }
+
+    fn transform(&self, data: &mut [Complex64], dir: Direction) -> Result<(), FftError> {
+        self.check(data)?;
+        // Row pass.
+        for r in 0..self.rows {
+            let row = &mut data[r * self.cols..(r + 1) * self.cols];
+            self.row_plan.transform(row, dir)?;
+        }
+        // Column pass through scratch.
+        let mut scratch = vec![Complex64::ZERO; self.rows];
+        for c in 0..self.cols {
+            for r in 0..self.rows {
+                scratch[r] = data[r * self.cols + c];
+            }
+            self.col_plan.transform(&mut scratch, dir)?;
+            for r in 0..self.rows {
+                data[r * self.cols + c] = scratch[r];
+            }
+        }
+        Ok(())
+    }
+
+    /// Unnormalized forward 2-D DFT.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `data.len() != rows*cols`.
+    pub fn forward(&self, data: &mut [Complex64]) -> Result<(), FftError> {
+        self.transform(data, Direction::Forward)
+    }
+
+    /// Inverse 2-D DFT with `1/(rows·cols)` normalization.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `data.len() != rows*cols`.
+    pub fn inverse(&self, data: &mut [Complex64]) -> Result<(), FftError> {
+        self.transform(data, Direction::Inverse)?;
+        let scale = 1.0 / self.len() as f64;
+        for z in data.iter_mut() {
+            *z *= scale;
+        }
+        Ok(())
+    }
+
+    /// Unitary forward 2-D DFT (`1/√(rows·cols)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `data.len() != rows*cols`.
+    pub fn forward_unitary(&self, data: &mut [Complex64]) -> Result<(), FftError> {
+        self.transform(data, Direction::Forward)?;
+        let scale = 1.0 / (self.len() as f64).sqrt();
+        for z in data.iter_mut() {
+            *z *= scale;
+        }
+        Ok(())
+    }
+
+    /// Unitary inverse 2-D DFT (`1/√(rows·cols)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `data.len() != rows*cols`.
+    pub fn inverse_unitary(&self, data: &mut [Complex64]) -> Result<(), FftError> {
+        self.transform(data, Direction::Inverse)?;
+        let scale = 1.0 / (self.len() as f64).sqrt();
+        for z in data.iter_mut() {
+            *z *= scale;
+        }
+        Ok(())
+    }
+}
+
+/// Swaps quadrants so the zero-frequency bin moves from index `(0,0)` to the
+/// grid center `(rows/2, cols/2)`. Self-inverse for even dimensions.
+///
+/// # Panics
+///
+/// Panics if `data.len() != rows * cols`.
+pub fn fftshift2(data: &mut [Complex64], rows: usize, cols: usize) {
+    assert_eq!(data.len(), rows * cols, "fftshift2 buffer size mismatch");
+    let half_r = rows / 2;
+    let half_c = cols / 2;
+    let mut out = vec![Complex64::ZERO; data.len()];
+    for r in 0..rows {
+        let sr = (r + half_r) % rows;
+        for c in 0..cols {
+            let sc = (c + half_c) % cols;
+            out[sr * cols + sc] = data[r * cols + c];
+        }
+    }
+    data.copy_from_slice(&out);
+}
+
+/// Inverse of [`fftshift2`] (distinct only for odd dimensions; provided for
+/// symmetry and future-proofing).
+///
+/// # Panics
+///
+/// Panics if `data.len() != rows * cols`.
+pub fn ifftshift2(data: &mut [Complex64], rows: usize, cols: usize) {
+    assert_eq!(data.len(), rows * cols, "ifftshift2 buffer size mismatch");
+    let half_r = rows.div_ceil(2);
+    let half_c = cols.div_ceil(2);
+    let mut out = vec![Complex64::ZERO; data.len()];
+    for r in 0..rows {
+        let sr = (r + half_r) % rows;
+        for c in 0..cols {
+            let sc = (c + half_c) % cols;
+            out[sr * cols + sc] = data[r * cols + c];
+        }
+    }
+    data.copy_from_slice(&out);
+}
+
+/// Maps a corner-origin frequency index to a signed frequency in
+/// `[-n/2, n/2)` (standard DFT bin interpretation).
+///
+/// # Examples
+///
+/// ```
+/// use bismo_fft::signed_freq;
+/// assert_eq!(signed_freq(0, 8), 0);
+/// assert_eq!(signed_freq(3, 8), 3);
+/// assert_eq!(signed_freq(4, 8), -4);
+/// assert_eq!(signed_freq(7, 8), -1);
+/// ```
+#[inline]
+pub fn signed_freq(idx: usize, n: usize) -> isize {
+    let idx = idx as isize;
+    let n = n as isize;
+    if idx < n - n / 2 {
+        idx
+    } else {
+        idx - n
+    }
+}
+
+/// Inverse of [`signed_freq`]: wraps a signed frequency onto the
+/// corner-origin index range `0..n`.
+///
+/// # Panics
+///
+/// Panics if `f` lies outside `[-n/2, n/2)`.
+#[inline]
+pub fn wrap_freq(f: isize, n: usize) -> usize {
+    let n = n as isize;
+    assert!(f >= -n / 2 && f < n - n / 2, "frequency {f} out of range for n={n}");
+    ((f + n) % n) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft1d::dft_naive;
+
+    fn rand_grid(rows: usize, cols: usize, seed: u64) -> Vec<Complex64> {
+        let mut s = seed.max(1);
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s as f64 / u64::MAX as f64) * 2.0 - 1.0
+        };
+        (0..rows * cols)
+            .map(|_| Complex64::new(next(), next()))
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        let (r, c) = (16, 32);
+        let plan = Fft2Plan::new(r, c).unwrap();
+        let x = rand_grid(r, c, 3);
+        let mut y = x.clone();
+        plan.forward(&mut y).unwrap();
+        plan.inverse(&mut y).unwrap();
+        for (a, b) in x.iter().zip(&y) {
+            assert!((*a - *b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn separable_against_naive_rows_then_cols() {
+        let (r, c) = (4, 8);
+        let plan = Fft2Plan::new(r, c).unwrap();
+        let x = rand_grid(r, c, 11);
+        let mut got = x.clone();
+        plan.forward(&mut got).unwrap();
+
+        // Naive: DFT rows, then DFT cols.
+        let mut rows_done = vec![Complex64::ZERO; r * c];
+        for i in 0..r {
+            let row: Vec<_> = x[i * c..(i + 1) * c].to_vec();
+            let f = dft_naive(&row, Direction::Forward);
+            rows_done[i * c..(i + 1) * c].copy_from_slice(&f);
+        }
+        let mut expected = vec![Complex64::ZERO; r * c];
+        for j in 0..c {
+            let col: Vec<_> = (0..r).map(|i| rows_done[i * c + j]).collect();
+            let f = dft_naive(&col, Direction::Forward);
+            for i in 0..r {
+                expected[i * c + j] = f[i];
+            }
+        }
+        for (g, e) in got.iter().zip(&expected) {
+            assert!((*g - *e).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn unitary_preserves_energy() {
+        let (r, c) = (8, 8);
+        let plan = Fft2Plan::new(r, c).unwrap();
+        let mut x = rand_grid(r, c, 21);
+        let e0: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        plan.forward_unitary(&mut x).unwrap();
+        let e1: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        assert!((e0 - e1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fftshift_moves_dc_to_center() {
+        let (r, c) = (8, 8);
+        let mut x = vec![Complex64::ZERO; r * c];
+        x[0] = Complex64::ONE;
+        fftshift2(&mut x, r, c);
+        assert_eq!(x[(r / 2) * c + c / 2], Complex64::ONE);
+        // Self-inverse for even sizes.
+        fftshift2(&mut x, r, c);
+        assert_eq!(x[0], Complex64::ONE);
+    }
+
+    #[test]
+    fn shift_then_unshift_is_identity() {
+        let (r, c) = (16, 8);
+        let x = rand_grid(r, c, 8);
+        let mut y = x.clone();
+        fftshift2(&mut y, r, c);
+        ifftshift2(&mut y, r, c);
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn signed_freq_wrap_roundtrip() {
+        for n in [2usize, 4, 8, 16, 64] {
+            for idx in 0..n {
+                let f = signed_freq(idx, n);
+                assert_eq!(wrap_freq(f, n), idx);
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_size_rejected() {
+        let plan = Fft2Plan::new(4, 4).unwrap();
+        let mut buf = vec![Complex64::ZERO; 15];
+        assert!(plan.forward(&mut buf).is_err());
+    }
+}

@@ -1,0 +1,31 @@
+//! # bismo-layout
+//!
+//! Synthetic benchmark layouts for the BiSMO workspace (reproduction of
+//! *"Efficient Bilevel Source Mask Optimization"*, DAC 2024).
+//!
+//! The paper's evaluation uses the ICCAD-2013, ICCAD-L and ISPD-2019 layout
+//! suites (Table 2); those files cannot be redistributed, so [`Suite`]
+//! generates seeded Manhattan layouts matching each suite's published
+//! statistics (clip count, layer mix, CD, average area). [`write_pgm`]
+//! renders result-sample panels (Figure 4).
+//!
+//! ## Examples
+//!
+//! ```
+//! use bismo_layout::{Suite, SuiteKind};
+//! use bismo_optics::OpticalConfig;
+//!
+//! let cfg = OpticalConfig::test_small();
+//! let suite = Suite::generate(SuiteKind::Iccad13, &cfg, 3);
+//! assert_eq!(suite.clips().len(), 3);
+//! assert!(suite.average_area_nm2() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod pgm;
+mod suite;
+
+pub use pgm::{upsample, write_pgm, write_pgm_to};
+pub use suite::{Clip, Suite, SuiteKind};

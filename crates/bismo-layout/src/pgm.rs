@@ -1,0 +1,103 @@
+//! Grayscale PGM (P5) image output for result samples (paper Figure 4:
+//! source / mask / resist panels).
+//!
+//! PGM is chosen because it needs no codec dependency and every common image
+//! viewer opens it.
+
+use std::io::{self, Write};
+use std::path::Path;
+
+use bismo_optics::RealField;
+
+/// Writes a [`RealField`] as an 8-bit binary PGM, linearly mapping
+/// `[min, max]` of the field to `[0, 255]` (a constant field maps to 0).
+///
+/// # Errors
+///
+/// Returns any I/O error from creating or writing the file.
+pub fn write_pgm(field: &RealField, path: impl AsRef<Path>) -> io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut w = io::BufWriter::new(file);
+    write_pgm_to(field, &mut w)
+}
+
+/// Writes a PGM to any writer; see [`write_pgm`]. A `&mut` writer may be
+/// passed since `Write` is implemented for mutable references.
+///
+/// # Errors
+///
+/// Returns any I/O error from the writer.
+pub fn write_pgm_to<W: Write>(field: &RealField, mut w: W) -> io::Result<()> {
+    let n = field.dim();
+    let (lo, hi) = (field.min(), field.max());
+    let span = (hi - lo).max(f64::MIN_POSITIVE);
+    write!(w, "P5\n{n} {n}\n255\n")?;
+    let bytes: Vec<u8> = field
+        .as_slice()
+        .iter()
+        .map(|&v| (((v - lo) / span) * 255.0).round().clamp(0.0, 255.0) as u8)
+        .collect();
+    w.write_all(&bytes)
+}
+
+/// Upsamples a small grid (e.g. an `N_j × N_j` source) by pixel replication
+/// so it is visible next to mask-sized panels.
+#[must_use]
+pub fn upsample(field: &RealField, factor: usize) -> RealField {
+    let factor = factor.max(1);
+    let n = field.dim();
+    RealField::from_fn(n * factor, |r, c| field[(r / factor, c / factor)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_and_payload_are_well_formed() {
+        let f = RealField::from_vec(2, vec![0.0, 1.0, 0.5, 0.25]);
+        let mut buf = Vec::new();
+        write_pgm_to(&f, &mut buf).unwrap();
+        let header_end = buf.windows(1).take(20).len();
+        assert!(header_end > 0);
+        let text = String::from_utf8_lossy(&buf[..9]);
+        assert!(text.starts_with("P5\n2 2\n"));
+        // Payload: 4 bytes, extremes map to 0 and 255.
+        let payload = &buf[buf.len() - 4..];
+        assert_eq!(payload[0], 0);
+        assert_eq!(payload[1], 255);
+    }
+
+    #[test]
+    fn constant_field_does_not_divide_by_zero() {
+        let f = RealField::filled(3, 0.7);
+        let mut buf = Vec::new();
+        write_pgm_to(&f, &mut buf).unwrap();
+        let payload = &buf[buf.len() - 9..];
+        assert!(payload.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn upsample_replicates_pixels() {
+        let f = RealField::from_vec(2, vec![1.0, 2.0, 3.0, 4.0]);
+        let u = upsample(&f, 3);
+        assert_eq!(u.dim(), 6);
+        assert_eq!(u[(0, 0)], 1.0);
+        assert_eq!(u[(2, 2)], 1.0);
+        assert_eq!(u[(0, 3)], 2.0);
+        assert_eq!(u[(5, 5)], 4.0);
+    }
+
+    #[test]
+    fn write_to_disk_roundtrip() {
+        let dir = std::env::temp_dir().join("bismo_pgm_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.pgm");
+        let f = RealField::filled(4, 1.0);
+        write_pgm(&f, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert!(bytes.starts_with(b"P5\n4 4\n255\n"));
+        assert_eq!(bytes.len(), b"P5\n4 4\n255\n".len() + 16);
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -1,0 +1,296 @@
+//! Matrix-free conjugate gradients on real vector spaces.
+//!
+//! BiSMO-CG (paper Eq. 17–18 and Algorithm 2 line 10) solves
+//! `[∂²L_so/∂θ_J∂θ_J] w = ∂L_mo/∂θ_J` with `K` CG steps, using only
+//! Hessian-vector products. The solver here is deliberately minimal:
+//! fixed-iteration-budget CG with breakdown guards, no preconditioner —
+//! matching what the paper (and the bilevel literature it cites) runs.
+
+/// A real linear operator given by its matrix–vector product.
+///
+/// BiSMO's SO Hessian is only available through Hessian-vector products, so
+/// the CG solver is written against this trait rather than a matrix type.
+pub trait RealOp {
+    /// Operator dimension.
+    fn dim(&self) -> usize;
+
+    /// Computes `y = A x`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if slice lengths differ from
+    /// [`RealOp::dim`].
+    fn apply(&self, x: &[f64], y: &mut [f64]);
+}
+
+/// Dense symmetric operator for tests and small problems.
+#[derive(Debug, Clone)]
+pub struct DenseSymOp {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl DenseSymOp {
+    /// Builds from a row-major `n × n` buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != n * n`.
+    pub fn new(n: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), n * n, "dense operator buffer mismatch");
+        DenseSymOp { n, data }
+    }
+}
+
+impl RealOp for DenseSymOp {
+    fn dim(&self) -> usize {
+        self.n
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        for (i, yi) in y.iter_mut().enumerate().take(self.n) {
+            *yi = self.data[i * self.n..(i + 1) * self.n]
+                .iter()
+                .zip(x)
+                .map(|(a, b)| a * b)
+                .sum();
+        }
+    }
+}
+
+/// Outcome of a conjugate-gradient solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CgResult {
+    /// Approximate solution.
+    pub x: Vec<f64>,
+    /// Iterations actually performed.
+    pub iterations: usize,
+    /// Final residual 2-norm `‖b − A x‖`.
+    pub residual: f64,
+    /// Whether the residual tolerance was met (as opposed to exhausting the
+    /// iteration budget or hitting a curvature breakdown).
+    pub converged: bool,
+}
+
+/// Dot product helper exposed for downstream gradient code.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `y ← y + alpha·x` helper exposed for downstream gradient code.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Euclidean norm helper.
+#[inline]
+pub fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Solves `A x = b` for symmetric positive definite `A` with at most
+/// `max_iters` CG steps, starting from `x0` (pass zeros when no warm start is
+/// available — Algorithm 2 warm-starts from the previous outer iteration's
+/// solution).
+///
+/// Stops early when `‖r‖ ≤ tol · ‖b‖`. On negative-curvature breakdown (the
+/// SO Hessian is only guaranteed PSD near the lower-level optimum) the solve
+/// returns the best iterate so far with `converged = false` rather than
+/// diverging.
+///
+/// # Panics
+///
+/// Panics if `b.len()` or `x0.len()` differs from `op.dim()`.
+///
+/// # Examples
+///
+/// ```
+/// use bismo_linalg::{conjugate_gradient, DenseSymOp};
+///
+/// let a = DenseSymOp::new(2, vec![4.0, 1.0, 1.0, 3.0]);
+/// let b = [1.0, 2.0];
+/// let out = conjugate_gradient(&a, &b, &[0.0, 0.0], 10, 1e-12);
+/// assert!(out.converged);
+/// assert!((out.x[0] - 1.0 / 11.0).abs() < 1e-10);
+/// assert!((out.x[1] - 7.0 / 11.0).abs() < 1e-10);
+/// ```
+pub fn conjugate_gradient(
+    op: &dyn RealOp,
+    b: &[f64],
+    x0: &[f64],
+    max_iters: usize,
+    tol: f64,
+) -> CgResult {
+    let n = op.dim();
+    assert_eq!(b.len(), n, "rhs length mismatch");
+    assert_eq!(x0.len(), n, "initial guess length mismatch");
+
+    let mut x = x0.to_vec();
+    let mut ax = vec![0.0; n];
+    op.apply(&x, &mut ax);
+    let mut r: Vec<f64> = b.iter().zip(&ax).map(|(bi, ai)| bi - ai).collect();
+    let b_norm = norm(b).max(f64::MIN_POSITIVE);
+    let mut p = r.clone();
+    let mut rs = dot(&r, &r);
+    let mut iterations = 0;
+
+    if rs.sqrt() <= tol * b_norm {
+        return CgResult {
+            x,
+            iterations,
+            residual: rs.sqrt(),
+            converged: true,
+        };
+    }
+
+    let mut ap = vec![0.0; n];
+    for _ in 0..max_iters {
+        op.apply(&p, &mut ap);
+        let p_ap = dot(&p, &ap);
+        if p_ap <= 0.0 || !p_ap.is_finite() {
+            // Negative curvature or numerical breakdown: stop with the best
+            // iterate so far.
+            return CgResult {
+                x,
+                iterations,
+                residual: norm(&r),
+                converged: false,
+            };
+        }
+        let alpha = rs / p_ap;
+        axpy(alpha, &p, &mut x);
+        axpy(-alpha, &ap, &mut r);
+        iterations += 1;
+        let rs_new = dot(&r, &r);
+        if rs_new.sqrt() <= tol * b_norm {
+            return CgResult {
+                x,
+                iterations,
+                residual: rs_new.sqrt(),
+                converged: true,
+            };
+        }
+        let beta = rs_new / rs;
+        for (pi, ri) in p.iter_mut().zip(&r) {
+            *pi = ri + beta * *pi;
+        }
+        rs = rs_new;
+    }
+    CgResult {
+        x,
+        iterations,
+        residual: rs.sqrt(),
+        converged: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd_matrix(n: usize, seed: u64) -> DenseSymOp {
+        let mut s = seed.max(1);
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s as f64 / u64::MAX as f64) * 2.0 - 1.0
+        };
+        let b: Vec<f64> = (0..n * n).map(|_| next()).collect();
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for k in 0..n {
+                    acc += b[k * n + i] * b[k * n + j];
+                }
+                a[i * n + j] = acc + if i == j { n as f64 } else { 0.0 };
+            }
+        }
+        DenseSymOp::new(n, a)
+    }
+
+    #[test]
+    fn solves_identity() {
+        let n = 5;
+        let mut eye = vec![0.0; n * n];
+        for i in 0..n {
+            eye[i * n + i] = 1.0;
+        }
+        let op = DenseSymOp::new(n, eye);
+        let b = [1.0, -2.0, 3.0, 0.5, 0.0];
+        let out = conjugate_gradient(&op, &b, &vec![0.0; n], 10, 1e-14);
+        assert!(out.converged);
+        for (xi, bi) in out.x.iter().zip(&b) {
+            assert!((xi - bi).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn converges_within_dimension_iterations() {
+        let n = 30;
+        let op = spd_matrix(n, 17);
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
+        let out = conjugate_gradient(&op, &b, &vec![0.0; n], n + 5, 1e-10);
+        assert!(out.converged, "residual = {}", out.residual);
+        let mut ax = vec![0.0; n];
+        op.apply(&out.x, &mut ax);
+        for (ai, bi) in ax.iter().zip(&b) {
+            assert!((ai - bi).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn warm_start_from_solution_stops_immediately() {
+        let n = 8;
+        let op = spd_matrix(n, 4);
+        let x_true: Vec<f64> = (0..n).map(|i| i as f64 - 3.0).collect();
+        let mut b = vec![0.0; n];
+        op.apply(&x_true, &mut b);
+        let out = conjugate_gradient(&op, &b, &x_true, 10, 1e-10);
+        assert!(out.converged);
+        assert_eq!(out.iterations, 0);
+    }
+
+    #[test]
+    fn iteration_budget_is_respected() {
+        let n = 40;
+        let op = spd_matrix(n, 99);
+        let b = vec![1.0; n];
+        let out = conjugate_gradient(&op, &b, &vec![0.0; n], 3, 0.0);
+        assert_eq!(out.iterations, 3);
+        assert!(!out.converged);
+    }
+
+    #[test]
+    fn negative_curvature_breaks_gracefully() {
+        // A = -I is symmetric negative definite.
+        let n = 4;
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            a[i * n + i] = -1.0;
+        }
+        let op = DenseSymOp::new(n, a);
+        let b = vec![1.0; n];
+        let out = conjugate_gradient(&op, &b, &vec![0.0; n], 10, 1e-10);
+        assert!(!out.converged);
+        assert!(out.x.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn residual_decreases_monotonically_in_budget() {
+        let n = 25;
+        let op = spd_matrix(n, 7);
+        let b: Vec<f64> = (0..n).map(|i| ((i * 7) % 5) as f64 - 2.0).collect();
+        let mut last = f64::INFINITY;
+        for budget in [1usize, 2, 4, 8, 16] {
+            let out = conjugate_gradient(&op, &b, &vec![0.0; n], budget, 0.0);
+            assert!(out.residual <= last + 1e-12, "budget {budget}");
+            last = out.residual;
+        }
+    }
+}

@@ -1,0 +1,405 @@
+//! Dense Hermitian matrices and a cyclic Jacobi eigensolver.
+//!
+//! The transmission cross-coefficient (TCC) matrix of the Hopkins imaging
+//! model (paper Eq. 3) is Hermitian positive semi-definite; SOCS (Eq. 4)
+//! truncates its eigendecomposition to the top `Q` pairs. This module gives
+//! the workspace an exact dense solver; the randomized solver in
+//! [`crate::subspace`] handles large TCCs.
+
+use bismo_fft::Complex64;
+
+/// Error type for linear-algebra operations in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinalgError {
+    msg: String,
+}
+
+impl LinalgError {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        LinalgError { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// A dense Hermitian matrix stored row-major.
+///
+/// Only the values actually written are trusted; [`HermitianMatrix::set`]
+/// maintains the Hermitian symmetry by writing both `(i,j)` and `(j,i)`.
+///
+/// # Examples
+///
+/// ```
+/// use bismo_fft::Complex64;
+/// use bismo_linalg::HermitianMatrix;
+///
+/// let mut a = HermitianMatrix::zeros(2);
+/// a.set(0, 0, Complex64::from_real(2.0));
+/// a.set(0, 1, Complex64::new(0.0, 1.0));
+/// a.set(1, 1, Complex64::from_real(3.0));
+/// assert_eq!(a.get(1, 0), Complex64::new(0.0, -1.0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct HermitianMatrix {
+    n: usize,
+    data: Vec<Complex64>,
+}
+
+impl HermitianMatrix {
+    /// Creates the `n × n` zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        HermitianMatrix {
+            n,
+            data: vec![Complex64::ZERO; n * n],
+        }
+    }
+
+    /// Matrix dimension.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Reads entry `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of bounds.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> Complex64 {
+        self.data[i * self.n + j]
+    }
+
+    /// Writes entry `(i, j)` and its Hermitian mirror `(j, i)`.
+    ///
+    /// Diagonal writes keep only the real part (a Hermitian diagonal is real).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of bounds.
+    pub fn set(&mut self, i: usize, j: usize, v: Complex64) {
+        if i == j {
+            self.data[i * self.n + j] = Complex64::from_real(v.re);
+        } else {
+            self.data[i * self.n + j] = v;
+            self.data[j * self.n + i] = v.conj();
+        }
+    }
+
+    /// Matrix–vector product `y = A x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` or `y.len()` differs from the dimension.
+    pub fn matvec(&self, x: &[Complex64], y: &mut [Complex64]) {
+        assert_eq!(x.len(), self.n);
+        assert_eq!(y.len(), self.n);
+        for (i, yi) in y.iter_mut().enumerate().take(self.n) {
+            let row = &self.data[i * self.n..(i + 1) * self.n];
+            let mut acc = Complex64::ZERO;
+            for (a, &xj) in row.iter().zip(x) {
+                acc += *a * xj;
+            }
+            *yi = acc;
+        }
+    }
+
+    /// Frobenius norm of the strictly off-diagonal part; the Jacobi
+    /// convergence measure.
+    pub fn off_diagonal_norm(&self) -> f64 {
+        let mut s = 0.0;
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if i != j {
+                    s += self.get(i, j).norm_sqr();
+                }
+            }
+        }
+        s.sqrt()
+    }
+
+    /// Largest absolute entry; used for convergence thresholds.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().map(|z| z.abs()).fold(0.0, f64::max)
+    }
+}
+
+/// Result of a Hermitian eigendecomposition: `A = V diag(λ) V^H`.
+///
+/// Eigenvalues are sorted in descending order; `vectors[k]` is the
+/// eigenvector paired with `values[k]`.
+#[derive(Debug, Clone)]
+pub struct Eigh {
+    /// Eigenvalues, descending.
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvectors, one `Vec` per eigenvalue.
+    pub vectors: Vec<Vec<Complex64>>,
+}
+
+/// Full eigendecomposition by cyclic complex Jacobi rotations.
+///
+/// Runs sweeps of `(p, q)` rotations until the off-diagonal norm falls below
+/// `tol · max|A|` or `max_sweeps` is reached. Cubic per sweep; intended for
+/// dimensions up to a few hundred (the Ritz blocks of the randomized solver
+/// and the band-limited TCCs of small test grids).
+///
+/// # Errors
+///
+/// Returns an error if the iteration fails to converge within `max_sweeps`.
+///
+/// # Examples
+///
+/// ```
+/// use bismo_fft::Complex64;
+/// use bismo_linalg::{eigh_jacobi, HermitianMatrix};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut a = HermitianMatrix::zeros(2);
+/// a.set(0, 0, Complex64::from_real(1.0));
+/// a.set(1, 1, Complex64::from_real(1.0));
+/// a.set(0, 1, Complex64::new(0.0, -0.5));
+/// let eig = eigh_jacobi(&a, 1e-12, 50)?;
+/// assert!((eig.values[0] - 1.5).abs() < 1e-10);
+/// assert!((eig.values[1] - 0.5).abs() < 1e-10);
+/// # Ok(())
+/// # }
+/// ```
+pub fn eigh_jacobi(a: &HermitianMatrix, tol: f64, max_sweeps: usize) -> Result<Eigh, LinalgError> {
+    let n = a.dim();
+    if n == 0 {
+        return Ok(Eigh {
+            values: vec![],
+            vectors: vec![],
+        });
+    }
+    let mut m = a.clone();
+    // Eigenvector accumulator, starts as identity. v[i][k] = V_{ik} where
+    // columns are eigenvectors.
+    let mut v = vec![vec![Complex64::ZERO; n]; n];
+    for (i, row) in v.iter_mut().enumerate() {
+        row[i] = Complex64::ONE;
+    }
+    let scale = m.max_abs().max(f64::MIN_POSITIVE);
+    let threshold = tol * scale;
+
+    let mut converged = false;
+    for _sweep in 0..max_sweeps {
+        if m.off_diagonal_norm() <= threshold * (n as f64) {
+            converged = true;
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m.get(p, q);
+                if apq.abs() <= threshold * 1e-3 {
+                    continue;
+                }
+                let app = m.get(p, p).re;
+                let aqq = m.get(q, q).re;
+                // Phase removal: e^{iθ} such that conj(phase)·apq is real ≥ 0.
+                let phase = if apq.abs() > 0.0 {
+                    apq.scale(1.0 / apq.abs())
+                } else {
+                    Complex64::ONE
+                };
+                let g = apq.abs();
+                // Real Jacobi rotation zeroing the off-diagonal of
+                // [[app, g], [g, aqq]].
+                let tau = (aqq - app) / (2.0 * g);
+                let t = if tau >= 0.0 {
+                    1.0 / (tau + (1.0 + tau * tau).sqrt())
+                } else {
+                    -1.0 / (-tau + (1.0 + tau * tau).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                // Combined rotation R = D·G with D = diag(1, conj(phase))
+                // (which makes the pivot block real-symmetric) and the real
+                // Jacobi rotation G = [[c, s], [-s, c]]:
+                //   R_pp = c,               R_pq = s,
+                //   R_qp = -conj(phase)·s,  R_qq = conj(phase)·c.
+                let rpp = Complex64::from_real(c);
+                let rpq = Complex64::from_real(s);
+                let rqp = -phase.conj().scale(s);
+                let rqq = phase.conj().scale(c);
+
+                // A ← R^H A R: update columns then rows.
+                for i in 0..n {
+                    let aip = m.get(i, p);
+                    let aiq = m.get(i, q);
+                    let new_p = aip * rpp + aiq * rqp;
+                    let new_q = aip * rpq + aiq * rqq;
+                    m.data[i * n + p] = new_p;
+                    m.data[i * n + q] = new_q;
+                }
+                for j in 0..n {
+                    let apj = m.get(p, j);
+                    let aqj = m.get(q, j);
+                    let new_p = rpp.conj() * apj + rqp.conj() * aqj;
+                    let new_q = rpq.conj() * apj + rqq.conj() * aqj;
+                    m.data[p * n + j] = new_p;
+                    m.data[q * n + j] = new_q;
+                }
+                // Clean tiny numerical asymmetry on the pivot.
+                let dpp = m.get(p, p).re;
+                let dqq = m.get(q, q).re;
+                m.data[p * n + p] = Complex64::from_real(dpp);
+                m.data[q * n + q] = Complex64::from_real(dqq);
+                m.data[p * n + q] = Complex64::ZERO;
+                m.data[q * n + p] = Complex64::ZERO;
+
+                // V ← V R (accumulate on rows, columns of V are vectors).
+                for row in v.iter_mut() {
+                    let vp = row[p];
+                    let vq = row[q];
+                    row[p] = vp * rpp + vq * rqp;
+                    row[q] = vp * rpq + vq * rqq;
+                }
+            }
+        }
+    }
+    if !converged && m.off_diagonal_norm() > threshold * (n as f64) {
+        return Err(LinalgError::new(format!(
+            "jacobi failed to converge in {max_sweeps} sweeps (off-diag {:.3e})",
+            m.off_diagonal_norm()
+        )));
+    }
+
+    let mut pairs: Vec<(f64, usize)> = (0..n).map(|k| (m.get(k, k).re, k)).collect();
+    pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    let values = pairs.iter().map(|&(val, _)| val).collect();
+    let vectors = pairs
+        .iter()
+        .map(|&(_, k)| (0..n).map(|i| v[i][k]).collect())
+        .collect();
+    Ok(Eigh { values, vectors })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rand_hermitian(n: usize, seed: u64) -> HermitianMatrix {
+        let mut s = seed.max(1);
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s as f64 / u64::MAX as f64) * 2.0 - 1.0
+        };
+        let mut a = HermitianMatrix::zeros(n);
+        for i in 0..n {
+            for j in i..n {
+                if i == j {
+                    a.set(i, j, Complex64::from_real(next()));
+                } else {
+                    a.set(i, j, Complex64::new(next(), next()));
+                }
+            }
+        }
+        a
+    }
+
+    fn reconstruct(eig: &Eigh, n: usize) -> Vec<Complex64> {
+        let mut out = vec![Complex64::ZERO; n * n];
+        for (lam, vk) in eig.values.iter().zip(&eig.vectors) {
+            for i in 0..n {
+                for j in 0..n {
+                    out[i * n + j] += vk[i] * vk[j].conj() * *lam;
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn set_maintains_hermitian_symmetry() {
+        let mut a = HermitianMatrix::zeros(3);
+        a.set(0, 2, Complex64::new(1.0, 2.0));
+        assert_eq!(a.get(2, 0), Complex64::new(1.0, -2.0));
+        a.set(1, 1, Complex64::new(5.0, 3.0));
+        assert_eq!(a.get(1, 1), Complex64::from_real(5.0));
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues() {
+        let mut a = HermitianMatrix::zeros(3);
+        a.set(0, 0, Complex64::from_real(3.0));
+        a.set(1, 1, Complex64::from_real(-1.0));
+        a.set(2, 2, Complex64::from_real(2.0));
+        let eig = eigh_jacobi(&a, 1e-14, 10).unwrap();
+        assert_eq!(eig.values, vec![3.0, 2.0, -1.0]);
+    }
+
+    #[test]
+    fn decomposition_reconstructs_matrix() {
+        for n in [2usize, 4, 8, 16] {
+            let a = rand_hermitian(n, 33 + n as u64);
+            let eig = eigh_jacobi(&a, 1e-13, 100).unwrap();
+            let rec = reconstruct(&eig, n);
+            for i in 0..n {
+                for j in 0..n {
+                    assert!(
+                        (rec[i * n + j] - a.get(i, j)).abs() < 1e-8,
+                        "n={n} ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let n = 12;
+        let a = rand_hermitian(n, 77);
+        let eig = eigh_jacobi(&a, 1e-13, 100).unwrap();
+        for p in 0..n {
+            for q in 0..n {
+                let dot: Complex64 = eig.vectors[p]
+                    .iter()
+                    .zip(&eig.vectors[q])
+                    .map(|(&u, &w)| u.conj() * w)
+                    .sum();
+                let expect = if p == q { 1.0 } else { 0.0 };
+                assert!((dot - Complex64::from_real(expect)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn eigen_relation_holds() {
+        let n = 10;
+        let a = rand_hermitian(n, 5);
+        let eig = eigh_jacobi(&a, 1e-13, 100).unwrap();
+        let mut y = vec![Complex64::ZERO; n];
+        for (lam, vk) in eig.values.iter().zip(&eig.vectors) {
+            a.matvec(vk, &mut y);
+            for i in 0..n {
+                assert!((y[i] - vk[i].scale(*lam)).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn trace_is_preserved() {
+        let n = 9;
+        let a = rand_hermitian(n, 12);
+        let tr: f64 = (0..n).map(|i| a.get(i, i).re).sum();
+        let eig = eigh_jacobi(&a, 1e-13, 100).unwrap();
+        let sum: f64 = eig.values.iter().sum();
+        assert!((tr - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_matrix_is_fine() {
+        let a = HermitianMatrix::zeros(0);
+        let eig = eigh_jacobi(&a, 1e-12, 5).unwrap();
+        assert!(eig.values.is_empty());
+    }
+}

@@ -1,0 +1,41 @@
+//! # bismo-linalg
+//!
+//! Dense Hermitian eigensolvers and matrix-free conjugate gradients for the
+//! BiSMO workspace (reproduction of *"Efficient Bilevel Source Mask
+//! Optimization"*, DAC 2024).
+//!
+//! Two consumers drive the design:
+//!
+//! * the Hopkins/SOCS imaging model needs the top-`Q` eigenpairs of the
+//!   Hermitian TCC matrix ([`eigh_jacobi`] exactly, [`top_eigenpairs`] at
+//!   scale), and
+//! * BiSMO-CG needs a fixed-budget, matrix-free CG solve against the
+//!   lower-level Hessian ([`conjugate_gradient`]).
+//!
+//! ## Examples
+//!
+//! ```
+//! use bismo_fft::Complex64;
+//! use bismo_linalg::{eigh_jacobi, HermitianMatrix};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut a = HermitianMatrix::zeros(2);
+//! a.set(0, 0, Complex64::from_real(2.0));
+//! a.set(1, 1, Complex64::from_real(2.0));
+//! a.set(0, 1, Complex64::from_real(1.0));
+//! let eig = eigh_jacobi(&a, 1e-12, 50)?;
+//! assert!((eig.values[0] - 3.0).abs() < 1e-10);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cg;
+mod hermitian;
+mod subspace;
+
+pub use cg::{axpy, conjugate_gradient, dot, norm, CgResult, DenseSymOp, RealOp};
+pub use hermitian::{eigh_jacobi, Eigh, HermitianMatrix, LinalgError};
+pub use subspace::{top_eigenpairs, HermitianOp};

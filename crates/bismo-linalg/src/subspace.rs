@@ -1,0 +1,285 @@
+//! Randomized subspace iteration for the top-Q eigenpairs of a Hermitian
+//! positive semi-definite operator.
+//!
+//! The SOCS decomposition (paper Eq. 4) only needs the `Q = 24` largest
+//! eigenpairs of the TCC; a full Jacobi decomposition would be cubic in the
+//! number of band-limited frequencies. Subspace iteration needs only
+//! matrix–vector products and a small dense Rayleigh–Ritz eigensolve.
+
+use bismo_fft::Complex64;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::hermitian::{eigh_jacobi, Eigh, HermitianMatrix, LinalgError};
+
+/// A Hermitian linear operator given by its matrix–vector product.
+///
+/// Implementors must guarantee `⟨x, A y⟩ = ⟨A x, y⟩` (Hermitian symmetry);
+/// the eigensolvers in this crate silently assume it.
+pub trait HermitianOp {
+    /// Operator dimension.
+    fn dim(&self) -> usize;
+
+    /// Computes `y = A x`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `x.len()` or `y.len()` differs from
+    /// [`HermitianOp::dim`].
+    fn apply(&self, x: &[Complex64], y: &mut [Complex64]);
+}
+
+impl HermitianOp for HermitianMatrix {
+    fn dim(&self) -> usize {
+        HermitianMatrix::dim(self)
+    }
+
+    fn apply(&self, x: &[Complex64], y: &mut [Complex64]) {
+        self.matvec(x, y);
+    }
+}
+
+fn dot(a: &[Complex64], b: &[Complex64]) -> Complex64 {
+    a.iter().zip(b).map(|(&u, &v)| u.conj() * v).sum()
+}
+
+fn norm(a: &[Complex64]) -> f64 {
+    a.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+}
+
+/// Modified Gram–Schmidt orthonormalization of the columns in `basis`.
+/// Columns that collapse to (numerical) zero are re-randomized so the basis
+/// keeps full rank.
+fn orthonormalize(basis: &mut [Vec<Complex64>], rng: &mut StdRng) {
+    let k = basis.len();
+    for i in 0..k {
+        for j in 0..i {
+            // basis[j] is already normalized.
+            let (head, tail) = basis.split_at_mut(i);
+            let proj = dot(&head[j], &tail[0]);
+            for (t, h) in tail[0].iter_mut().zip(&head[j]) {
+                *t -= *h * proj;
+            }
+        }
+        let n = norm(&basis[i]);
+        if n < 1e-12 {
+            for z in basis[i].iter_mut() {
+                *z = Complex64::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5);
+            }
+            // One re-orthogonalization pass for the fresh vector.
+            for j in 0..i {
+                let (head, tail) = basis.split_at_mut(i);
+                let proj = dot(&head[j], &tail[0]);
+                for (t, h) in tail[0].iter_mut().zip(&head[j]) {
+                    *t -= *h * proj;
+                }
+            }
+            let n2 = norm(&basis[i]).max(f64::MIN_POSITIVE);
+            for z in basis[i].iter_mut() {
+                *z = z.scale(1.0 / n2);
+            }
+        } else {
+            for z in basis[i].iter_mut() {
+                *z = z.scale(1.0 / n);
+            }
+        }
+    }
+}
+
+/// Computes the `q` algebraically largest eigenpairs of a Hermitian PSD
+/// operator by randomized subspace iteration with Rayleigh–Ritz extraction.
+///
+/// `oversample` extra directions (a handful) and `iters` power iterations
+/// control accuracy; the TCC spectra in this workspace decay fast (that is
+/// the entire premise of SOCS), so `oversample = 8`, `iters = 30` is ample.
+///
+/// # Errors
+///
+/// Returns an error if `q` exceeds the operator dimension or the small dense
+/// Ritz eigensolve fails.
+///
+/// # Examples
+///
+/// ```
+/// use bismo_fft::Complex64;
+/// use bismo_linalg::{top_eigenpairs, HermitianMatrix};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut a = HermitianMatrix::zeros(4);
+/// for (i, lam) in [4.0, 3.0, 2.0, 1.0].iter().enumerate() {
+///     a.set(i, i, Complex64::from_real(*lam));
+/// }
+/// let eig = top_eigenpairs(&a, 2, 8, 30, 42)?;
+/// assert!((eig.values[0] - 4.0).abs() < 1e-9);
+/// assert!((eig.values[1] - 3.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn top_eigenpairs(
+    op: &dyn HermitianOp,
+    q: usize,
+    oversample: usize,
+    iters: usize,
+    seed: u64,
+) -> Result<Eigh, LinalgError> {
+    let n = op.dim();
+    if q > n {
+        return Err(LinalgError::new(format!(
+            "requested {q} eigenpairs from a dimension-{n} operator"
+        )));
+    }
+    if q == 0 || n == 0 {
+        return Ok(Eigh {
+            values: vec![],
+            vectors: vec![],
+        });
+    }
+    let k = (q + oversample).min(n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut basis: Vec<Vec<Complex64>> = (0..k)
+        .map(|_| {
+            (0..n)
+                .map(|_| Complex64::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5))
+                .collect()
+        })
+        .collect();
+    orthonormalize(&mut basis, &mut rng);
+
+    let mut scratch = vec![Complex64::ZERO; n];
+    for _ in 0..iters {
+        for col in basis.iter_mut() {
+            op.apply(col, &mut scratch);
+            col.copy_from_slice(&scratch);
+        }
+        orthonormalize(&mut basis, &mut rng);
+    }
+
+    // Rayleigh–Ritz: B = X^H A X, small k×k Hermitian.
+    let mut applied: Vec<Vec<Complex64>> = Vec::with_capacity(k);
+    for col in &basis {
+        let mut y = vec![Complex64::ZERO; n];
+        op.apply(col, &mut y);
+        applied.push(y);
+    }
+    let mut b = HermitianMatrix::zeros(k);
+    for (i, basis_i) in basis.iter().enumerate() {
+        for (j, applied_j) in applied.iter().enumerate().skip(i) {
+            let v = dot(basis_i, applied_j);
+            b.set(i, j, v);
+        }
+    }
+    let small = eigh_jacobi(&b, 1e-13, 200)?;
+
+    // Ritz vectors: u_m = Σ_i X_i · W_{i,m}.
+    let mut values = Vec::with_capacity(q);
+    let mut vectors = Vec::with_capacity(q);
+    for m in 0..q {
+        values.push(small.values[m]);
+        let w = &small.vectors[m];
+        let mut u = vec![Complex64::ZERO; n];
+        for (i, col) in basis.iter().enumerate() {
+            let wi = w[i];
+            for (uj, &cj) in u.iter_mut().zip(col) {
+                *uj += cj * wi;
+            }
+        }
+        vectors.push(u);
+    }
+    Ok(Eigh { values, vectors })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn psd_matrix(n: usize, seed: u64) -> HermitianMatrix {
+        // A = B^H B is PSD.
+        let mut s = seed.max(1);
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s as f64 / u64::MAX as f64) * 2.0 - 1.0
+        };
+        let b: Vec<Complex64> = (0..n * n)
+            .map(|_| Complex64::new(next(), next()))
+            .collect();
+        let mut a = HermitianMatrix::zeros(n);
+        for i in 0..n {
+            for j in i..n {
+                let mut acc = Complex64::ZERO;
+                for k in 0..n {
+                    acc += b[k * n + i].conj() * b[k * n + j];
+                }
+                a.set(i, j, acc);
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn matches_dense_jacobi_on_psd() {
+        let n = 24;
+        let a = psd_matrix(n, 9);
+        let full = eigh_jacobi(&a, 1e-13, 200).unwrap();
+        let q = 5;
+        let approx = top_eigenpairs(&a, q, 8, 60, 1).unwrap();
+        for m in 0..q {
+            let rel = (approx.values[m] - full.values[m]).abs() / full.values[0];
+            assert!(rel < 1e-6, "pair {m}: {} vs {}", approx.values[m], full.values[m]);
+        }
+    }
+
+    #[test]
+    fn ritz_vectors_satisfy_eigen_relation() {
+        let n = 20;
+        let a = psd_matrix(n, 3);
+        let eig = top_eigenpairs(&a, 4, 8, 60, 7).unwrap();
+        let mut y = vec![Complex64::ZERO; n];
+        for (lam, v) in eig.values.iter().zip(&eig.vectors) {
+            a.matvec(v, &mut y);
+            let resid: f64 = y
+                .iter()
+                .zip(v)
+                .map(|(&ay, &vi)| (ay - vi.scale(*lam)).norm_sqr())
+                .sum::<f64>()
+                .sqrt();
+            assert!(resid < 1e-5 * lam.max(1.0), "residual {resid} for λ={lam}");
+        }
+    }
+
+    #[test]
+    fn vectors_are_orthonormal() {
+        let n = 16;
+        let a = psd_matrix(n, 5);
+        let eig = top_eigenpairs(&a, 6, 6, 50, 11).unwrap();
+        for p in 0..6 {
+            for r in 0..6 {
+                let d = dot(&eig.vectors[p], &eig.vectors[r]);
+                let expect = if p == r { 1.0 } else { 0.0 };
+                assert!((d - Complex64::from_real(expect)).abs() < 1e-7);
+            }
+        }
+    }
+
+    #[test]
+    fn q_zero_returns_empty() {
+        let a = psd_matrix(4, 2);
+        let eig = top_eigenpairs(&a, 0, 4, 5, 0).unwrap();
+        assert!(eig.values.is_empty());
+    }
+
+    #[test]
+    fn q_larger_than_dim_is_error() {
+        let a = psd_matrix(4, 2);
+        assert!(top_eigenpairs(&a, 5, 4, 5, 0).is_err());
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = psd_matrix(12, 8);
+        let e1 = top_eigenpairs(&a, 3, 6, 40, 123).unwrap();
+        let e2 = top_eigenpairs(&a, 3, 6, 40, 123).unwrap();
+        assert_eq!(e1.values, e2.values);
+    }
+}

@@ -1,0 +1,814 @@
+//! Abbe source-point-integration imaging (paper Eq. 2) with hand-derived
+//! adjoint gradients and source-point parallelism.
+//!
+//! For every effective source point σ at illumination frequency
+//! `(f_σ, g_σ)` the engine forms `A_σ = F⁻¹[H(f+f_σ, g+g_σ) ⊙ F(M)]` and
+//! accumulates `I = (1/Σj) Σ_σ j_σ |A_σ|²`. The `1/Σj` dose normalization is
+//! an implementation choice (see DESIGN.md §4): it pins the clear-field
+//! intensity at 1 regardless of how much source power the optimizer turns
+//! on, which is what makes a fixed resist threshold `I_tr` meaningful.
+//!
+//! # Gradients
+//!
+//! With upstream `G_I = ∂L/∂I` (real) and `w_σ = j_σ / Σj`:
+//!
+//! * mask:   `∂L/∂M = Σ_σ 2 w_σ · Re{ F⁻¹[ H_σ ⊙ F(G_I ⊙ A_σ) ] }`
+//!   (the FFT normalization cancels between `F^H` and `F^{-H}`, so the
+//!   adjoint uses the same transforms as the forward pass);
+//! * source: `∂L/∂j_τ = ( ⟨G_I, |A_τ|²⟩ − ⟨G_I, I⟩ ) / Σj` for **every**
+//!   grid point τ — including currently dark ones, which is exactly what
+//!   lets source optimization light up new pole positions.
+
+use bismo_fft::{Complex64, Fft2Plan};
+use bismo_optics::{OpticalConfig, Pupil, RealField, Source, SourcePoint};
+
+use crate::error::LithoError;
+
+/// Per-chunk result of the shared gradient pass: the frequency-domain mask
+/// accumulator and the per-grid-point source-gradient entries.
+type GradChunk = (Vec<Complex64>, Vec<(usize, f64)>);
+
+/// Minimum total source power below which no image is formed.
+const DARK_EPS: f64 = 1e-12;
+
+/// Abbe forward-imaging engine.
+///
+/// # Examples
+///
+/// ```
+/// use bismo_litho::AbbeImager;
+/// use bismo_optics::{OpticalConfig, RealField, Source, SourceShape};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let cfg = OpticalConfig::test_small();
+/// let abbe = AbbeImager::new(&cfg)?;
+/// let src = Source::from_shape(
+///     &cfg,
+///     SourceShape::Annular { sigma_in: 0.63, sigma_out: 0.95 },
+/// );
+/// // A fully clear mask images to (near) unit intensity everywhere.
+/// let clear = RealField::filled(cfg.mask_dim(), 1.0);
+/// let i = abbe.intensity(&src, &clear)?;
+/// assert!((i.max() - 1.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct AbbeImager {
+    cfg: OpticalConfig,
+    pupil: Pupil,
+    plan: Fft2Plan,
+    threads: usize,
+    min_weight: f64,
+}
+
+impl AbbeImager {
+    /// Creates an engine for `cfg`'s grids, running single-threaded.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the mask dimension is not FFT-compatible (the
+    /// config validates this, so only hand-rolled configs can fail here).
+    pub fn new(cfg: &OpticalConfig) -> Result<Self, LithoError> {
+        Ok(AbbeImager {
+            cfg: cfg.clone(),
+            pupil: Pupil::new(cfg),
+            plan: Fft2Plan::new(cfg.mask_dim(), cfg.mask_dim())?,
+            threads: 1,
+            min_weight: 1e-9,
+        })
+    }
+
+    /// Sets the number of worker threads used to parallelize over source
+    /// points (the paper's GPU-acceleration axis, §3.1).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the weight below which a source point is skipped in forward
+    /// passes (its contribution to the image is below `min_weight / Σj`).
+    #[must_use]
+    pub fn with_min_weight(mut self, min_weight: f64) -> Self {
+        self.min_weight = min_weight.max(0.0);
+        self
+    }
+
+    /// Adds a defocus aberration of `z` nanometres to the projection pupil
+    /// (see [`Pupil::with_defocus`]); the adjoint gradients automatically
+    /// pick up the conjugate phase.
+    #[must_use]
+    pub fn with_defocus(mut self, z_nm: f64) -> Self {
+        self.pupil = self.pupil.clone().with_defocus(z_nm);
+        self
+    }
+
+    /// The configuration this engine was built for.
+    #[inline]
+    pub fn config(&self) -> &OpticalConfig {
+        &self.cfg
+    }
+
+    /// Configured worker thread count.
+    #[inline]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn check_inputs(&self, source: &Source, mask: &RealField) -> Result<f64, LithoError> {
+        let n = self.cfg.mask_dim();
+        if mask.dim() != n {
+            return Err(LithoError::Shape(format!(
+                "mask is {}×{0}, engine expects {n}×{n}",
+                mask.dim()
+            )));
+        }
+        if source.dim() != self.cfg.source_dim() {
+            return Err(LithoError::Shape(format!(
+                "source is {}×{0}, engine expects {1}×{1}",
+                source.dim(),
+                self.cfg.source_dim()
+            )));
+        }
+        let s = source.total_weight();
+        if s < DARK_EPS {
+            return Err(LithoError::DarkSource);
+        }
+        Ok(s)
+    }
+
+    /// Spectrum `O = F(M)` of a real mask.
+    fn mask_spectrum(&self, mask: &RealField) -> Result<Vec<Complex64>, LithoError> {
+        let mut o: Vec<Complex64> = mask
+            .as_slice()
+            .iter()
+            .map(|&v| Complex64::from_real(v))
+            .collect();
+        self.plan.forward(&mut o)?;
+        Ok(o)
+    }
+
+    /// Fills `out` with `H_σ ⊙ O` for the shifted pupil of one source point
+    /// (complex `H_σ` when the pupil carries a defocus phase).
+    fn apply_shifted_pupil(
+        &self,
+        o: &[Complex64],
+        out: &mut [Complex64],
+        shift_f: f64,
+        shift_g: f64,
+    ) {
+        let n = self.cfg.mask_dim();
+        if self.pupil.is_real() {
+            for row in 0..n {
+                for col in 0..n {
+                    let idx = row * n + col;
+                    let h = self.pupil.shifted_at(row, col, shift_f, shift_g);
+                    out[idx] = if h > 0.0 { o[idx] } else { Complex64::ZERO };
+                }
+            }
+        } else {
+            for row in 0..n {
+                for col in 0..n {
+                    let idx = row * n + col;
+                    out[idx] = o[idx] * self.pupil.shifted_complex(row, col, shift_f, shift_g);
+                }
+            }
+        }
+    }
+
+    /// Accumulates `w · H̄_σ ⊙ back` into `acc` — the frequency-domain half
+    /// of the mask adjoint.
+    fn accumulate_adjoint(
+        &self,
+        acc: &mut [Complex64],
+        back: &[Complex64],
+        w: f64,
+        shift_f: f64,
+        shift_g: f64,
+    ) {
+        let n = self.cfg.mask_dim();
+        if self.pupil.is_real() {
+            for row in 0..n {
+                for col in 0..n {
+                    let k = row * n + col;
+                    let h = self.pupil.shifted_at(row, col, shift_f, shift_g);
+                    if h > 0.0 {
+                        acc[k] += back[k].scale(w);
+                    }
+                }
+            }
+        } else {
+            for row in 0..n {
+                for col in 0..n {
+                    let k = row * n + col;
+                    let h = self.pupil.shifted_complex(row, col, shift_f, shift_g);
+                    acc[k] += back[k] * h.conj().scale(w);
+                }
+            }
+        }
+    }
+
+    /// Per-chunk worker: accumulates `Σ j_σ |A_σ|²` for a set of points.
+    fn intensity_chunk(
+        &self,
+        o: &[Complex64],
+        points: &[SourcePoint],
+    ) -> Result<Vec<f64>, LithoError> {
+        let n2 = o.len();
+        let mut partial = vec![0.0; n2];
+        let mut scratch = vec![Complex64::ZERO; n2];
+        for p in points {
+            self.apply_shifted_pupil(o, &mut scratch, p.freq_f, p.freq_g);
+            self.plan.inverse(&mut scratch)?;
+            for (acc, a) in partial.iter_mut().zip(&scratch) {
+                *acc += p.weight * a.norm_sqr();
+            }
+        }
+        Ok(partial)
+    }
+
+    /// Computes the aerial image `I = (1/Σj) Σ_σ j_σ |A_σ|²` (Eq. 2 with
+    /// dose normalization).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LithoError::Shape`] on grid mismatches,
+    /// [`LithoError::DarkSource`] when the source carries no power, and FFT
+    /// errors from the transform layer.
+    pub fn intensity(&self, source: &Source, mask: &RealField) -> Result<RealField, LithoError> {
+        let s_total = self.check_inputs(source, mask)?;
+        let o = self.mask_spectrum(mask)?;
+        let points = source.effective_points(self.min_weight);
+        let n = self.cfg.mask_dim();
+        let mut total = vec![0.0; n * n];
+
+        if self.threads <= 1 || points.len() < 2 {
+            let partial = self.intensity_chunk(&o, &points)?;
+            for (t, p) in total.iter_mut().zip(&partial) {
+                *t = p / s_total;
+            }
+            return Ok(RealField::from_vec(n, total));
+        }
+
+        let nchunks = self.threads.min(points.len());
+        let chunk_len = points.len().div_ceil(nchunks);
+        let partials: Result<Vec<Vec<f64>>, LithoError> = crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for chunk in points.chunks(chunk_len) {
+                let o_ref = &o;
+                handles.push(scope.spawn(move |_| self.intensity_chunk(o_ref, chunk)));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("imaging worker panicked"))
+                .collect()
+        })
+        .expect("thread scope panicked");
+        for partial in partials? {
+            for (t, p) in total.iter_mut().zip(&partial) {
+                *t += p;
+            }
+        }
+        for t in &mut total {
+            *t /= s_total;
+        }
+        Ok(RealField::from_vec(n, total))
+    }
+
+    /// Computes `∂L/∂M` and `∂L/∂j` in one shared pass, given the upstream
+    /// intensity gradient `g_intensity = ∂L/∂I` and the forward image
+    /// `intensity` (needed by the dose-normalization term of the source
+    /// gradient).
+    ///
+    /// The source gradient is returned on the full `N_j × N_j` grid in
+    /// row-major order; dark grid points get real gradients too.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`AbbeImager::intensity`].
+    pub fn gradients(
+        &self,
+        source: &Source,
+        mask: &RealField,
+        g_intensity: &RealField,
+        intensity: &RealField,
+    ) -> Result<(RealField, Vec<f64>), LithoError> {
+        let s_total = self.check_inputs(source, mask)?;
+        let n = self.cfg.mask_dim();
+        if g_intensity.dim() != n || intensity.dim() != n {
+            return Err(LithoError::Shape(
+                "gradient/intensity field dimension mismatch".into(),
+            ));
+        }
+        let o = self.mask_spectrum(mask)?;
+        let g_dot_i = g_intensity.dot(intensity);
+        let nj = source.dim();
+        let all_indices: Vec<usize> = (0..nj * nj).collect();
+
+        let run_chunk = |indices: &[usize]| -> Result<GradChunk, LithoError> {
+            let mut acc_freq = vec![Complex64::ZERO; n * n];
+            let mut src_grad = Vec::with_capacity(indices.len());
+            let mut a_field = vec![Complex64::ZERO; n * n];
+            let mut back = vec![Complex64::ZERO; n * n];
+            for &idx in indices {
+                let (row, col) = (idx / nj, idx % nj);
+                let (sx, sy) = source.sigma_coords(row, col);
+                let shift_f = sx * self.cfg.source_freq_scale();
+                let shift_g = sy * self.cfg.source_freq_scale();
+                let weight = source.weights()[idx];
+
+                // A_τ = F⁻¹(H_τ ⊙ O).
+                self.apply_shifted_pupil(&o, &mut a_field, shift_f, shift_g);
+                self.plan.inverse(&mut a_field)?;
+
+                // Source gradient: (⟨G, |A_τ|²⟩ − ⟨G, I⟩) / Σj.
+                let g_dot_a: f64 = g_intensity
+                    .as_slice()
+                    .iter()
+                    .zip(&a_field)
+                    .map(|(&g, a)| g * a.norm_sqr())
+                    .sum();
+                src_grad.push((idx, (g_dot_a - g_dot_i) / s_total));
+
+                // Mask-gradient accumulation: w_τ · H̄_τ ⊙ F(G ⊙ A_τ).
+                if weight > self.min_weight {
+                    let w = weight / s_total;
+                    for ((b, a), &g) in back.iter_mut().zip(&a_field).zip(g_intensity.as_slice()) {
+                        *b = a.scale(g);
+                    }
+                    self.plan.forward(&mut back)?;
+                    self.accumulate_adjoint(&mut acc_freq, &back, w, shift_f, shift_g);
+                }
+            }
+            Ok((acc_freq, src_grad))
+        };
+
+        let (mut acc_freq, src_entries) = if self.threads <= 1 || all_indices.len() < 2 {
+            run_chunk(&all_indices)?
+        } else {
+            let nchunks = self.threads.min(all_indices.len());
+            let chunk_len = all_indices.len().div_ceil(nchunks);
+            let results: Result<Vec<_>, LithoError> = crossbeam::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for chunk in all_indices.chunks(chunk_len) {
+                    let f = &run_chunk;
+                    handles.push(scope.spawn(move |_| f(chunk)));
+                }
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("gradient worker panicked"))
+                    .collect()
+            })
+            .expect("thread scope panicked");
+            let mut acc = vec![Complex64::ZERO; n * n];
+            let mut entries = Vec::with_capacity(nj * nj);
+            for (partial_acc, partial_entries) in results? {
+                for (a, p) in acc.iter_mut().zip(&partial_acc) {
+                    *a += *p;
+                }
+                entries.extend(partial_entries);
+            }
+            (acc, entries)
+        };
+
+        self.plan.inverse(&mut acc_freq)?;
+        let grad_mask =
+            RealField::from_vec(n, acc_freq.iter().map(|z| 2.0 * z.re).collect::<Vec<_>>());
+        let mut grad_source = vec![0.0; nj * nj];
+        for (idx, g) in src_entries {
+            grad_source[idx] = g;
+        }
+        Ok((grad_mask, grad_source))
+    }
+
+    /// Computes only `∂L/∂j` (the lower-level SO gradient). Skips the
+    /// per-point backward FFT of the mask accumulation, roughly halving the
+    /// cost of the unrolled inner steps and Hessian-vector products of
+    /// Algorithm 2.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`AbbeImager::intensity`].
+    pub fn grad_source(
+        &self,
+        source: &Source,
+        mask: &RealField,
+        g_intensity: &RealField,
+        intensity: &RealField,
+    ) -> Result<Vec<f64>, LithoError> {
+        let s_total = self.check_inputs(source, mask)?;
+        let n = self.cfg.mask_dim();
+        if g_intensity.dim() != n || intensity.dim() != n {
+            return Err(LithoError::Shape(
+                "gradient/intensity field dimension mismatch".into(),
+            ));
+        }
+        let o = self.mask_spectrum(mask)?;
+        let g_dot_i = g_intensity.dot(intensity);
+        let nj = source.dim();
+        let all_indices: Vec<usize> = (0..nj * nj).collect();
+
+        let run_chunk = |indices: &[usize]| -> Result<Vec<(usize, f64)>, LithoError> {
+            let mut out = Vec::with_capacity(indices.len());
+            let mut a_field = vec![Complex64::ZERO; n * n];
+            for &idx in indices {
+                let (row, col) = (idx / nj, idx % nj);
+                let (sx, sy) = source.sigma_coords(row, col);
+                let shift_f = sx * self.cfg.source_freq_scale();
+                let shift_g = sy * self.cfg.source_freq_scale();
+                self.apply_shifted_pupil(&o, &mut a_field, shift_f, shift_g);
+                self.plan.inverse(&mut a_field)?;
+                let g_dot_a: f64 = g_intensity
+                    .as_slice()
+                    .iter()
+                    .zip(&a_field)
+                    .map(|(&g, a)| g * a.norm_sqr())
+                    .sum();
+                out.push((idx, (g_dot_a - g_dot_i) / s_total));
+            }
+            Ok(out)
+        };
+
+        let entries = if self.threads <= 1 || all_indices.len() < 2 {
+            run_chunk(&all_indices)?
+        } else {
+            let nchunks = self.threads.min(all_indices.len());
+            let chunk_len = all_indices.len().div_ceil(nchunks);
+            let results: Result<Vec<_>, LithoError> = crossbeam::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for chunk in all_indices.chunks(chunk_len) {
+                    let f = &run_chunk;
+                    handles.push(scope.spawn(move |_| f(chunk)));
+                }
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("gradient worker panicked"))
+                    .collect()
+            })
+            .expect("thread scope panicked");
+            let mut entries = Vec::with_capacity(nj * nj);
+            for partial in results? {
+                entries.extend(partial);
+            }
+            entries
+        };
+        let mut grad = vec![0.0; nj * nj];
+        for (idx, g) in entries {
+            grad[idx] = g;
+        }
+        Ok(grad)
+    }
+
+    /// Convenience wrapper computing only the mask gradient (used by the
+    /// mask-only Abbe-MO driver where the source is fixed).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`AbbeImager::intensity`].
+    pub fn grad_mask(
+        &self,
+        source: &Source,
+        mask: &RealField,
+        g_intensity: &RealField,
+    ) -> Result<RealField, LithoError> {
+        let s_total = self.check_inputs(source, mask)?;
+        let n = self.cfg.mask_dim();
+        let o = self.mask_spectrum(mask)?;
+        let points = source.effective_points(self.min_weight);
+
+        let mut acc_freq = vec![Complex64::ZERO; n * n];
+        let mut a_field = vec![Complex64::ZERO; n * n];
+        for p in &points {
+            self.apply_shifted_pupil(&o, &mut a_field, p.freq_f, p.freq_g);
+            self.plan.inverse(&mut a_field)?;
+            let w = p.weight / s_total;
+            for (a, &g) in a_field.iter_mut().zip(g_intensity.as_slice()) {
+                *a = a.scale(g);
+            }
+            self.plan.forward(&mut a_field)?;
+            self.accumulate_adjoint(&mut acc_freq, &a_field, w, p.freq_f, p.freq_g);
+        }
+        self.plan.inverse(&mut acc_freq)?;
+        Ok(RealField::from_vec(
+            n,
+            acc_freq.iter().map(|z| 2.0 * z.re).collect::<Vec<_>>(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bismo_optics::SourceShape;
+
+    fn setup() -> (OpticalConfig, AbbeImager, Source) {
+        let cfg = OpticalConfig::test_small();
+        let abbe = AbbeImager::new(&cfg).unwrap();
+        let src = Source::from_shape(
+            &cfg,
+            SourceShape::Annular {
+                sigma_in: 0.63,
+                sigma_out: 0.95,
+            },
+        );
+        (cfg, abbe, src)
+    }
+
+    fn square_mask(n: usize, half: usize) -> RealField {
+        RealField::from_fn(n, |r, c| {
+            let dr = r as isize - n as isize / 2;
+            let dc = c as isize - n as isize / 2;
+            if dr.unsigned_abs() < half && dc.unsigned_abs() < half {
+                1.0
+            } else {
+                0.0
+            }
+        })
+    }
+
+    #[test]
+    fn dark_mask_images_dark() {
+        let (cfg, abbe, src) = setup();
+        let i = abbe
+            .intensity(&src, &RealField::zeros(cfg.mask_dim()))
+            .unwrap();
+        assert!(i.max() < 1e-15);
+    }
+
+    #[test]
+    fn clear_mask_images_to_unit_intensity() {
+        let (cfg, abbe, src) = setup();
+        let i = abbe
+            .intensity(&src, &RealField::filled(cfg.mask_dim(), 1.0))
+            .unwrap();
+        assert!((i.min() - 1.0).abs() < 1e-9, "min {}", i.min());
+        assert!((i.max() - 1.0).abs() < 1e-9, "max {}", i.max());
+    }
+
+    #[test]
+    fn intensity_is_nonnegative_and_bounded() {
+        let (cfg, abbe, src) = setup();
+        let m = square_mask(cfg.mask_dim(), 8);
+        let i = abbe.intensity(&src, &m).unwrap();
+        assert!(i.min() >= 0.0);
+        // A binary mask cannot brighten above ~clear field by much
+        // (ringing allows slight overshoot).
+        assert!(i.max() < 1.6, "max {}", i.max());
+    }
+
+    #[test]
+    fn dark_source_is_error() {
+        let (cfg, abbe, _) = setup();
+        let dark = Source::dark(&cfg);
+        let m = square_mask(cfg.mask_dim(), 8);
+        assert!(matches!(
+            abbe.intensity(&dark, &m),
+            Err(LithoError::DarkSource)
+        ));
+    }
+
+    #[test]
+    fn wrong_mask_dim_is_error() {
+        let (_, abbe, src) = setup();
+        let m = RealField::zeros(16);
+        assert!(matches!(
+            abbe.intensity(&src, &m),
+            Err(LithoError::Shape(_))
+        ));
+    }
+
+    #[test]
+    fn intensity_scales_invariant_to_source_power() {
+        // Doubling every source weight leaves the normalized image unchanged.
+        let (cfg, abbe, src) = setup();
+        let m = square_mask(cfg.mask_dim(), 8);
+        let i1 = abbe.intensity(&src, &m).unwrap();
+        let doubled = Source::from_weights(
+            &cfg,
+            src.weights().iter().map(|w| w * 2.0).collect::<Vec<_>>(),
+        );
+        let i2 = abbe.intensity(&doubled, &m).unwrap();
+        for (a, b) in i1.as_slice().iter().zip(i2.as_slice()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn multithreaded_matches_single_thread() {
+        let (cfg, abbe, src) = setup();
+        let m = square_mask(cfg.mask_dim(), 8);
+        let i1 = abbe.intensity(&src, &m).unwrap();
+        let abbe4 = AbbeImager::new(&cfg).unwrap().with_threads(4);
+        let i4 = abbe4.intensity(&src, &m).unwrap();
+        for (a, b) in i1.as_slice().iter().zip(i4.as_slice()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mask_gradient_matches_finite_difference() {
+        let (cfg, abbe, src) = setup();
+        let n = cfg.mask_dim();
+        // Grayscale mask so the derivative is probed off the binary corners.
+        let m = square_mask(n, 8).map(|v| 0.2 + 0.6 * v);
+        // Loss L = Σ c(x) I(x) with fixed random-ish coefficients c.
+        let coeff = RealField::from_fn(n, |r, c| ((r * 31 + c * 17) % 7) as f64 / 7.0 - 0.4);
+        let i0 = abbe.intensity(&src, &m).unwrap();
+        let (gm, _) = abbe.gradients(&src, &m, &coeff, &i0).unwrap();
+
+        let eps = 1e-5;
+        for &(r, c) in &[(n / 2, n / 2), (n / 2 - 8, n / 2), (3, 5), (n / 2, n / 2 + 7)] {
+            let mut mp = m.clone();
+            mp[(r, c)] += eps;
+            let mut mm = m.clone();
+            mm[(r, c)] -= eps;
+            let lp = abbe.intensity(&src, &mp).unwrap().dot(&coeff);
+            let lm = abbe.intensity(&src, &mm).unwrap().dot(&coeff);
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = gm[(r, c)];
+            assert!(
+                (numeric - analytic).abs() < 1e-6 + 1e-4 * numeric.abs(),
+                "({r},{c}): numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn source_gradient_matches_finite_difference() {
+        // Grayscale, strictly positive weights keep every point above the
+        // effective threshold under ±ε perturbation (central differences are
+        // only valid where the forward map is smooth in the weights).
+        let (cfg, abbe, _) = setup();
+        let nj = cfg.source_dim();
+        let src = Source::from_weights(
+            &cfg,
+            (0..nj * nj)
+                .map(|i| 0.15 + 0.7 * ((i * 7 % 10) as f64) / 10.0)
+                .collect::<Vec<_>>(),
+        );
+        let n = cfg.mask_dim();
+        let m = square_mask(n, 8).map(|v| 0.1 + 0.8 * v);
+        let coeff = RealField::from_fn(n, |r, c| ((r * 13 + c * 29) % 5) as f64 / 5.0 - 0.3);
+        let i0 = abbe.intensity(&src, &m).unwrap();
+        let (_, gj) = abbe.gradients(&src, &m, &coeff, &i0).unwrap();
+
+        let eps = 1e-5;
+        let nj = src.dim();
+        // Probe a lit point, a dark point, and the center.
+        for &idx in &[0usize, nj * nj / 2, nj + 1, nj * nj - 1] {
+            let mut wp = src.weights().to_vec();
+            wp[idx] += eps;
+            let mut wm = src.weights().to_vec();
+            wm[idx] -= eps;
+            let lp = abbe
+                .intensity(&Source::from_weights(&cfg, wp), &m)
+                .unwrap()
+                .dot(&coeff);
+            let lm = abbe
+                .intensity(&Source::from_weights(&cfg, wm), &m)
+                .unwrap()
+                .dot(&coeff);
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = gj[idx];
+            assert!(
+                (numeric - analytic).abs() < 1e-6 + 1e-4 * numeric.abs(),
+                "τ={idx}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn gradients_multithreaded_match_single_thread() {
+        let (cfg, abbe, src) = setup();
+        let n = cfg.mask_dim();
+        let m = square_mask(n, 8).map(|v| 0.2 + 0.6 * v);
+        let coeff = RealField::from_fn(n, |r, c| ((r + c) % 3) as f64 - 1.0);
+        let i0 = abbe.intensity(&src, &m).unwrap();
+        let (gm1, gj1) = abbe.gradients(&src, &m, &coeff, &i0).unwrap();
+        let abbe2 = AbbeImager::new(&cfg).unwrap().with_threads(3);
+        let (gm2, gj2) = abbe2.gradients(&src, &m, &coeff, &i0).unwrap();
+        for (a, b) in gm1.as_slice().iter().zip(gm2.as_slice()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        for (a, b) in gj1.iter().zip(&gj2) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn defocus_blurs_the_image() {
+        let (cfg, abbe, src) = setup();
+        let m = square_mask(cfg.mask_dim(), 8);
+        let focused = abbe.intensity(&src, &m).unwrap();
+        let defocused = AbbeImager::new(&cfg)
+            .unwrap()
+            .with_defocus(150.0)
+            .intensity(&src, &m)
+            .unwrap();
+        // Defocus softens the image: the peak drops.
+        assert!(defocused.max() < focused.max());
+        // Energy is only redistributed by a pure-phase aberration, so the
+        // totals stay close (windowing effects aside).
+        let rel = (defocused.sum() - focused.sum()).abs() / focused.sum();
+        assert!(rel < 0.05, "energy drift {rel}");
+    }
+
+    #[test]
+    fn zero_defocus_matches_plain_engine_exactly() {
+        let (cfg, abbe, src) = setup();
+        let m = square_mask(cfg.mask_dim(), 8);
+        let a = abbe.intensity(&src, &m).unwrap();
+        let b = AbbeImager::new(&cfg)
+            .unwrap()
+            .with_defocus(0.0)
+            .intensity(&src, &m)
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn defocused_mask_gradient_matches_finite_difference() {
+        // The adjoint must carry the conjugate defocus phase; this test
+        // fails loudly if the conjugation is dropped.
+        let (cfg, _, _) = setup();
+        // Grayscale strictly-positive weights so ±ε stays above the
+        // effective-point threshold for the source-gradient check.
+        let nj = cfg.source_dim();
+        let src = Source::from_weights(
+            &cfg,
+            (0..nj * nj)
+                .map(|i| 0.15 + 0.7 * ((i * 3 % 10) as f64) / 10.0)
+                .collect::<Vec<_>>(),
+        );
+        let abbe = AbbeImager::new(&cfg).unwrap().with_defocus(120.0);
+        let n = cfg.mask_dim();
+        let m = square_mask(n, 8).map(|v| 0.2 + 0.6 * v);
+        let coeff = RealField::from_fn(n, |r, c| ((r * 11 + c * 5) % 6) as f64 / 6.0 - 0.3);
+        let i0 = abbe.intensity(&src, &m).unwrap();
+        let (gm, gj) = abbe.gradients(&src, &m, &coeff, &i0).unwrap();
+        let eps = 1e-5;
+        for &(r, c) in &[(n / 2, n / 2), (n / 2 - 6, n / 2 + 4), (4, 7)] {
+            let mut mp = m.clone();
+            mp[(r, c)] += eps;
+            let mut mm = m.clone();
+            mm[(r, c)] -= eps;
+            let lp = abbe.intensity(&src, &mp).unwrap().dot(&coeff);
+            let lm = abbe.intensity(&src, &mm).unwrap().dot(&coeff);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - gm[(r, c)]).abs() < 1e-6 + 1e-4 * numeric.abs(),
+                "({r},{c}): numeric {numeric} vs analytic {}",
+                gm[(r, c)]
+            );
+        }
+        // Source gradient under defocus, spot check one grid point.
+        let idx = src.dim() + 2;
+        let mut wp = src.weights().to_vec();
+        wp[idx] += eps;
+        let mut wm = src.weights().to_vec();
+        wm[idx] -= eps;
+        let lp = abbe
+            .intensity(&Source::from_weights(&cfg, wp), &m)
+            .unwrap()
+            .dot(&coeff);
+        let lm = abbe
+            .intensity(&Source::from_weights(&cfg, wm), &m)
+            .unwrap()
+            .dot(&coeff);
+        let numeric = (lp - lm) / (2.0 * eps);
+        assert!(
+            (numeric - gj[idx]).abs() < 1e-6 + 1e-4 * numeric.abs(),
+            "τ={idx}: numeric {numeric} vs analytic {}",
+            gj[idx]
+        );
+    }
+
+    #[test]
+    fn grad_source_only_matches_full_gradients() {
+        let (cfg, abbe, src) = setup();
+        let n = cfg.mask_dim();
+        let m = square_mask(n, 8).map(|v| 0.3 + 0.5 * v);
+        let coeff = RealField::from_fn(n, |r, c| ((r * 3 + c) % 4) as f64 / 4.0 - 0.2);
+        let i0 = abbe.intensity(&src, &m).unwrap();
+        let (_, gj_full) = abbe.gradients(&src, &m, &coeff, &i0).unwrap();
+        let gj_only = abbe.grad_source(&src, &m, &coeff, &i0).unwrap();
+        for (a, b) in gj_full.iter().zip(&gj_only) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn grad_mask_convenience_matches_full_gradients() {
+        let (cfg, abbe, src) = setup();
+        let n = cfg.mask_dim();
+        let m = square_mask(n, 6);
+        let coeff = RealField::filled(n, 0.5);
+        let i0 = abbe.intensity(&src, &m).unwrap();
+        let (gm_full, _) = abbe.gradients(&src, &m, &coeff, &i0).unwrap();
+        let gm_only = abbe.grad_mask(&src, &m, &coeff).unwrap();
+        for (a, b) in gm_full.as_slice().iter().zip(gm_only.as_slice()) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+}

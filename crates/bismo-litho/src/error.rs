@@ -1,0 +1,51 @@
+//! Error type shared by the lithography simulators.
+
+use bismo_fft::FftError;
+use bismo_linalg::LinalgError;
+
+/// Error raised by the imaging engines.
+#[derive(Debug)]
+pub enum LithoError {
+    /// A Fourier transform failed (buffer size mismatch or bad plan length).
+    Fft(FftError),
+    /// A linear-algebra kernel failed (eigensolver non-convergence, bad
+    /// truncation rank).
+    Linalg(LinalgError),
+    /// Inputs are inconsistent with the configured grids.
+    Shape(String),
+    /// The source carries (numerically) zero total power, so no image forms.
+    DarkSource,
+}
+
+impl std::fmt::Display for LithoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LithoError::Fft(e) => write!(f, "fft failure: {e}"),
+            LithoError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+            LithoError::Shape(msg) => write!(f, "shape mismatch: {msg}"),
+            LithoError::DarkSource => write!(f, "source has zero total power"),
+        }
+    }
+}
+
+impl std::error::Error for LithoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LithoError::Fft(e) => Some(e),
+            LithoError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FftError> for LithoError {
+    fn from(e: FftError) -> Self {
+        LithoError::Fft(e)
+    }
+}
+
+impl From<LinalgError> for LithoError {
+    fn from(e: LinalgError) -> Self {
+        LithoError::Linalg(e)
+    }
+}

@@ -1,0 +1,199 @@
+//! Sigmoid threshold resist model (paper Eq. 6) and dose process corners.
+//!
+//! `Z = sigmoid(β · (I − I_tr))` maps aerial intensity to a smooth resist
+//! image; the sigmoid keeps the whole pipeline differentiable. Process-window
+//! evaluation scales the mask transmission by dose factors `d_min`, `d_max`
+//! (±2% in the paper) before imaging.
+
+use bismo_optics::RealField;
+
+/// Numerically stable logistic function.
+#[inline]
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Sigmoid threshold resist model.
+///
+/// # Examples
+///
+/// ```
+/// use bismo_litho::ResistModel;
+/// use bismo_optics::RealField;
+///
+/// let resist = ResistModel::new(30.0, 0.225);
+/// let aerial = RealField::filled(4, 1.0);
+/// let z = resist.develop(&aerial);
+/// assert!(z.as_slice().iter().all(|&v| v > 0.99)); // bright field prints
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResistModel {
+    beta: f64,
+    threshold: f64,
+}
+
+impl ResistModel {
+    /// Creates a resist model with sigmoid steepness `beta` (paper: β = 30)
+    /// and intensity threshold `threshold` (`I_tr`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `beta` is not strictly positive.
+    pub fn new(beta: f64, threshold: f64) -> Self {
+        assert!(beta > 0.0, "resist steepness must be positive");
+        ResistModel { beta, threshold }
+    }
+
+    /// Sigmoid steepness β.
+    #[inline]
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Intensity threshold `I_tr`.
+    #[inline]
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Develops an aerial image into a resist image (Eq. 6).
+    #[must_use]
+    pub fn develop(&self, intensity: &RealField) -> RealField {
+        intensity.map(|i| sigmoid(self.beta * (i - self.threshold)))
+    }
+
+    /// Pointwise derivative `∂Z/∂I = β·Z·(1−Z)` evaluated from a developed
+    /// resist image (cheaper than re-deriving from intensity).
+    #[must_use]
+    pub fn develop_grad_from_resist(&self, resist: &RealField) -> RealField {
+        resist.map(|z| self.beta * z * (1.0 - z))
+    }
+
+    /// Hard-thresholded (binary) resist image at `Z ≥ 0.5`; used by the EPE
+    /// and PVB metrics, which are defined on printed contours.
+    #[must_use]
+    pub fn print(&self, intensity: &RealField) -> RealField {
+        intensity.map(|i| if i >= self.threshold { 1.0 } else { 0.0 })
+    }
+}
+
+/// Dose corners of the process window (paper §3.1: ±2% dose).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DoseCorners {
+    /// Minimum-dose factor `d_min` (< 1).
+    pub min: f64,
+    /// Maximum-dose factor `d_max` (> 1).
+    pub max: f64,
+}
+
+impl DoseCorners {
+    /// The paper's ±2% dose range.
+    pub const PAPER: DoseCorners = DoseCorners {
+        min: 0.98,
+        max: 1.02,
+    };
+
+    /// Creates custom corners.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < min ≤ 1 ≤ max`.
+    pub fn new(min: f64, max: f64) -> Self {
+        assert!(
+            min > 0.0 && min <= 1.0 && max >= 1.0,
+            "dose corners must straddle nominal dose"
+        );
+        DoseCorners { min, max }
+    }
+}
+
+impl Default for DoseCorners {
+    fn default() -> Self {
+        DoseCorners::PAPER
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_basics() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-15);
+        assert!(sigmoid(50.0) > 1.0 - 1e-15);
+        assert!(sigmoid(-50.0) < 1e-15);
+        // Stability at extremes.
+        assert!(sigmoid(-800.0) >= 0.0);
+        assert!(sigmoid(800.0) <= 1.0);
+    }
+
+    #[test]
+    fn sigmoid_is_monotone() {
+        let mut prev = sigmoid(-10.0);
+        for k in -99..100 {
+            let v = sigmoid(k as f64 * 0.1);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn develop_thresholds_around_itr() {
+        let r = ResistModel::new(30.0, 0.3);
+        let i = RealField::from_vec(2, vec![0.0, 0.3, 0.6, 1.0]);
+        let z = r.develop(&i);
+        assert!(z.as_slice()[0] < 0.01);
+        assert!((z.as_slice()[1] - 0.5).abs() < 1e-12);
+        assert!(z.as_slice()[2] > 0.99);
+    }
+
+    #[test]
+    fn develop_grad_matches_finite_difference() {
+        let r = ResistModel::new(30.0, 0.225);
+        let eps = 1e-6;
+        for &i0 in &[0.0, 0.1, 0.225, 0.3, 0.9] {
+            let up = sigmoid(r.beta() * (i0 + eps - r.threshold()));
+            let dn = sigmoid(r.beta() * (i0 - eps - r.threshold()));
+            let numeric = (up - dn) / (2.0 * eps);
+            let z = RealField::filled(1, sigmoid(r.beta() * (i0 - r.threshold())));
+            let analytic = r.develop_grad_from_resist(&z).as_slice()[0];
+            assert!(
+                (numeric - analytic).abs() < 1e-5 * numeric.abs().max(1e-3),
+                "at I={i0}: {numeric} vs {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn print_is_binary() {
+        let r = ResistModel::new(30.0, 0.5);
+        let i = RealField::from_vec(2, vec![0.49, 0.5, 0.51, 2.0]);
+        let p = r.print(&i);
+        assert_eq!(p.as_slice(), &[0.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn paper_dose_corners() {
+        let d = DoseCorners::default();
+        assert_eq!(d, DoseCorners::PAPER);
+        assert_eq!(d.min, 0.98);
+        assert_eq!(d.max, 1.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "dose corners must straddle")]
+    fn bad_dose_corners_panic() {
+        let _ = DoseCorners::new(1.1, 1.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "steepness must be positive")]
+    fn bad_beta_panics() {
+        let _ = ResistModel::new(0.0, 0.2);
+    }
+}

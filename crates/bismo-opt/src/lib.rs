@@ -1,0 +1,369 @@
+//! # bismo-opt
+//!
+//! First-order optimizers for the BiSMO workspace (reproduction of
+//! *"Efficient Bilevel Source Mask Optimization"*, DAC 2024). Algorithm 2 of
+//! the paper updates both parameter blocks with plain gradient descent "or
+//! Adam"; both are provided here behind the [`Optimizer`] trait, plus
+//! classical momentum for ablations.
+//!
+//! ## Examples
+//!
+//! ```
+//! use bismo_opt::{Adam, Optimizer};
+//!
+//! // Minimize f(x) = x² from x = 3.
+//! let mut x = vec![3.0_f64];
+//! let mut opt = Adam::new(0.1, 1);
+//! for _ in 0..400 {
+//!     let grad = vec![2.0 * x[0]];
+//!     opt.step(&mut x, &grad);
+//! }
+//! assert!(x[0].abs() < 1e-3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// A first-order optimizer updating a flat parameter vector in place.
+///
+/// Implementations carry their own state (momentum buffers, step counters)
+/// keyed to a fixed parameter length declared at construction.
+pub trait Optimizer {
+    /// Applies one update step.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `params.len()` or `grad.len()` differs from
+    /// the length the optimizer was built for.
+    fn step(&mut self, params: &mut [f64], grad: &[f64]);
+
+    /// Learning rate currently in effect.
+    fn learning_rate(&self) -> f64;
+
+    /// Replaces the learning rate (used by schedules and ablations).
+    fn set_learning_rate(&mut self, lr: f64);
+
+    /// Clears momentum/adaptive state (used when a driver re-initializes
+    /// parameters, e.g. AM-SMO phase switches reset state while
+    /// Algorithm 2's `θ_J⁰ ← θ_J^T` weight-sharing re-init keeps it).
+    fn reset(&mut self);
+}
+
+/// Plain gradient descent: `θ ← θ − lr·∇`.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f64,
+    len: usize,
+}
+
+impl Sgd {
+    /// Creates a descent rule with step size `lr` for vectors of length
+    /// `len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not finite and positive.
+    pub fn new(lr: f64, len: usize) -> Self {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
+        Sgd { lr, len }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [f64], grad: &[f64]) {
+        assert_eq!(params.len(), self.len, "parameter length changed");
+        assert_eq!(grad.len(), self.len, "gradient length mismatch");
+        for (p, g) in params.iter_mut().zip(grad) {
+            *p -= self.lr * g;
+        }
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f64) {
+        self.lr = lr;
+    }
+
+    fn reset(&mut self) {}
+}
+
+/// Classical (heavy-ball) momentum: `v ← μv + ∇; θ ← θ − lr·v`.
+#[derive(Debug, Clone)]
+pub struct Momentum {
+    lr: f64,
+    mu: f64,
+    velocity: Vec<f64>,
+}
+
+impl Momentum {
+    /// Creates a momentum rule with step size `lr` and decay `mu` for
+    /// vectors of length `len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lr > 0` and `0 ≤ mu < 1`.
+    pub fn new(lr: f64, mu: f64, len: usize) -> Self {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&mu), "momentum must lie in [0, 1)");
+        Momentum {
+            lr,
+            mu,
+            velocity: vec![0.0; len],
+        }
+    }
+}
+
+impl Optimizer for Momentum {
+    fn step(&mut self, params: &mut [f64], grad: &[f64]) {
+        assert_eq!(
+            params.len(),
+            self.velocity.len(),
+            "parameter length changed"
+        );
+        assert_eq!(grad.len(), self.velocity.len(), "gradient length mismatch");
+        for ((p, g), v) in params.iter_mut().zip(grad).zip(&mut self.velocity) {
+            *v = self.mu * *v + g;
+            *p -= self.lr * *v;
+        }
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f64) {
+        self.lr = lr;
+    }
+
+    fn reset(&mut self) {
+        self.velocity.iter_mut().for_each(|v| *v = 0.0);
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction — the optimizer the ILT
+/// literature (and the paper's Algorithm 2 comment) actually runs.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    t: u64,
+    m: Vec<f64>,
+    v: Vec<f64>,
+}
+
+impl Adam {
+    /// Creates Adam with the standard β₁ = 0.9, β₂ = 0.999, ε = 1e-8.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not finite and positive.
+    pub fn new(lr: f64, len: usize) -> Self {
+        Adam::with_betas(lr, 0.9, 0.999, 1e-8, len)
+    }
+
+    /// Creates Adam with explicit hyperparameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lr > 0`, `0 ≤ β < 1` for both betas and `eps > 0`.
+    pub fn with_betas(lr: f64, beta1: f64, beta2: f64, eps: f64, len: usize) -> Self {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&beta1), "beta1 must lie in [0, 1)");
+        assert!((0.0..1.0).contains(&beta2), "beta2 must lie in [0, 1)");
+        assert!(eps > 0.0, "eps must be positive");
+        Adam {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            t: 0,
+            m: vec![0.0; len],
+            v: vec![0.0; len],
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [f64], grad: &[f64]) {
+        assert_eq!(params.len(), self.m.len(), "parameter length changed");
+        assert_eq!(grad.len(), self.m.len(), "gradient length mismatch");
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for ((p, &g), (m, v)) in params
+            .iter_mut()
+            .zip(grad)
+            .zip(self.m.iter_mut().zip(self.v.iter_mut()))
+        {
+            *m = self.beta1 * *m + (1.0 - self.beta1) * g;
+            *v = self.beta2 * *v + (1.0 - self.beta2) * g * g;
+            let m_hat = *m / bc1;
+            let v_hat = *v / bc2;
+            *p -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f64) {
+        self.lr = lr;
+    }
+
+    fn reset(&mut self) {
+        self.t = 0;
+        self.m.iter_mut().for_each(|v| *v = 0.0);
+        self.v.iter_mut().for_each(|v| *v = 0.0);
+    }
+}
+
+/// Which optimizer a driver should instantiate; carried in experiment
+/// configurations so runs are fully described by plain data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OptimizerKind {
+    /// Plain gradient descent.
+    Sgd,
+    /// Heavy-ball momentum with the given decay.
+    Momentum(f64),
+    /// Adam with default betas.
+    Adam,
+}
+
+impl OptimizerKind {
+    /// Instantiates the optimizer for a parameter vector of length `len`.
+    pub fn build(self, lr: f64, len: usize) -> Box<dyn Optimizer + Send> {
+        match self {
+            OptimizerKind::Sgd => Box::new(Sgd::new(lr, len)),
+            OptimizerKind::Momentum(mu) => Box::new(Momentum::new(lr, mu, len)),
+            OptimizerKind::Adam => Box::new(Adam::new(lr, len)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quad_grad(x: &[f64], a: &[f64], c: &[f64]) -> Vec<f64> {
+        x.iter()
+            .zip(a)
+            .zip(c)
+            .map(|((xi, ai), ci)| 2.0 * ci * (xi - ai))
+            .collect()
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let a = [1.0, -2.0, 0.5];
+        let c = [1.0, 0.5, 2.0];
+        let mut x = vec![0.0; 3];
+        let mut opt = Sgd::new(0.1, 3);
+        for _ in 0..300 {
+            let g = quad_grad(&x, &a, &c);
+            opt.step(&mut x, &g);
+        }
+        for (xi, ai) in x.iter().zip(&a) {
+            assert!((xi - ai).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn momentum_beats_sgd_on_ill_conditioned() {
+        let a = [3.0, -1.0];
+        let c = [10.0, 0.1]; // condition number 100
+        let run = |mut opt: Box<dyn Optimizer>, iters: usize| -> f64 {
+            let mut x = vec![0.0; 2];
+            for _ in 0..iters {
+                let g = quad_grad(&x, &a, &c);
+                opt.step(&mut x, &g);
+            }
+            x.iter()
+                .zip(&a)
+                .map(|(xi, ai)| (xi - ai) * (xi - ai))
+                .sum()
+        };
+        let sgd_err = run(Box::new(Sgd::new(0.04, 2)), 200);
+        let mom_err = run(Box::new(Momentum::new(0.04, 0.9, 2)), 200);
+        assert!(mom_err < sgd_err, "momentum {mom_err} vs sgd {sgd_err}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let a = [1.0, -2.0, 0.5, 4.0];
+        let c = [5.0, 0.1, 1.0, 0.01];
+        let mut x = vec![0.0; 4];
+        let mut opt = Adam::new(0.2, 4);
+        for _ in 0..2000 {
+            let g = quad_grad(&x, &a, &c);
+            opt.step(&mut x, &g);
+        }
+        for (xi, ai) in x.iter().zip(&a) {
+            assert!((xi - ai).abs() < 1e-3, "{xi} vs {ai}");
+        }
+    }
+
+    #[test]
+    fn adam_first_step_has_unit_scale() {
+        // Bias correction makes the very first Adam step ≈ lr·sign(g).
+        let mut x = vec![0.0];
+        let mut opt = Adam::new(0.5, 1);
+        opt.step(&mut x, &[1e-4]);
+        assert!((x[0] + 0.5).abs() < 1e-2, "step was {}", x[0]);
+    }
+
+    #[test]
+    fn reset_restores_fresh_behavior() {
+        let mut a = Adam::new(0.1, 2);
+        let mut warmup = vec![0.0, 0.0];
+        a.step(&mut warmup, &[1.0, -1.0]);
+        a.reset();
+        let mut b = Adam::new(0.1, 2);
+        let mut x1 = vec![0.0, 0.0];
+        let mut x2 = vec![0.0, 0.0];
+        a.step(&mut x1, &[1.0, -1.0]);
+        b.step(&mut x2, &[1.0, -1.0]);
+        assert_eq!(x1, x2);
+    }
+
+    #[test]
+    fn kind_builds_matching_variants() {
+        let mut x = vec![1.0];
+        OptimizerKind::Sgd.build(0.5, 1).step(&mut x, &[1.0]);
+        assert!((x[0] - 0.5).abs() < 1e-12);
+        let mut y = vec![1.0];
+        OptimizerKind::Momentum(0.9)
+            .build(0.5, 1)
+            .step(&mut y, &[1.0]);
+        assert!((y[0] - 0.5).abs() < 1e-12);
+        let mut z = vec![1.0];
+        OptimizerKind::Adam.build(0.5, 1).step(&mut z, &[1.0]);
+        assert!(z[0] < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate must be positive")]
+    fn bad_learning_rate_panics() {
+        let _ = Sgd::new(0.0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient length mismatch")]
+    fn mismatched_gradient_panics() {
+        let mut opt = Sgd::new(0.1, 2);
+        let mut x = vec![0.0, 0.0];
+        opt.step(&mut x, &[1.0]);
+    }
+
+    #[test]
+    fn learning_rate_roundtrip() {
+        let mut opt = Momentum::new(0.1, 0.5, 1);
+        assert_eq!(opt.learning_rate(), 0.1);
+        opt.set_learning_rate(0.01);
+        assert_eq!(opt.learning_rate(), 0.01);
+    }
+}

@@ -1,0 +1,380 @@
+//! Optical system configuration.
+//!
+//! Carries the physical constants of the projection system (paper §4:
+//! λ = 193 nm, NA = 1.35, annular σ_o = 0.95 / σ_i = 0.63) together with the
+//! discretization (mask grid `N_m`, source grid `N_j`, pixel pitch). The
+//! paper runs 2048×2048-pixel tiles; on a CPU-only reproduction the default
+//! is scaled to 256×256 with the pixel pitch enlarged so the physical tile
+//! stays 2×2 µm (see DESIGN.md §3 for why this preserves the experiments).
+
+/// Error raised when an [`OpticalConfig`] is physically or numerically
+/// inconsistent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    msg: String,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl ConfigError {
+    fn new(msg: impl Into<String>) -> Self {
+        ConfigError { msg: msg.into() }
+    }
+}
+
+/// Physical and discretization parameters of the lithography system.
+///
+/// Construct via [`OpticalConfig::builder`] (validating) or use the
+/// presets [`OpticalConfig::scaled_default`] / [`OpticalConfig::test_small`].
+///
+/// # Examples
+///
+/// ```
+/// use bismo_optics::OpticalConfig;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let cfg = OpticalConfig::builder()
+///     .mask_dim(128)
+///     .pixel_nm(16.0)
+///     .source_dim(11)
+///     .build()?;
+/// assert!(cfg.pupil_radius_bins() > 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpticalConfig {
+    wavelength_nm: f64,
+    na: f64,
+    mask_dim: usize,
+    pixel_nm: f64,
+    source_dim: usize,
+    sigma_out: f64,
+    sigma_in: f64,
+}
+
+impl OpticalConfig {
+    /// Starts a validating builder pre-loaded with the paper's physics
+    /// (λ = 193 nm, NA = 1.35, σ_o = 0.95, σ_i = 0.63) and the scaled default
+    /// grids.
+    pub fn builder() -> OpticalConfigBuilder {
+        OpticalConfigBuilder::default()
+    }
+
+    /// The scaled default used by the benchmark harness: 256×256 mask at
+    /// 8 nm pitch (2×2 µm tile), 15×15 source grid.
+    pub fn scaled_default() -> Self {
+        OpticalConfig::builder()
+            .build()
+            .expect("scaled default config is valid by construction")
+    }
+
+    /// A small configuration for fast unit tests: 64×64 mask at 8 nm pitch
+    /// (512 nm tile, pupil radius ≈ 3.6 bins so the Hopkins TCC stays tiny),
+    /// 7×7 source grid.
+    pub fn test_small() -> Self {
+        OpticalConfig::builder()
+            .mask_dim(64)
+            .pixel_nm(8.0)
+            .source_dim(7)
+            .build()
+            .expect("test config is valid by construction")
+    }
+
+    /// Illumination wavelength in nanometres.
+    #[inline]
+    pub fn wavelength_nm(&self) -> f64 {
+        self.wavelength_nm
+    }
+
+    /// Numerical aperture of the projection system.
+    #[inline]
+    pub fn na(&self) -> f64 {
+        self.na
+    }
+
+    /// Mask grid dimension `N_m` (mask is `N_m × N_m` pixels).
+    #[inline]
+    pub fn mask_dim(&self) -> usize {
+        self.mask_dim
+    }
+
+    /// Mask pixel pitch in nanometres.
+    #[inline]
+    pub fn pixel_nm(&self) -> f64 {
+        self.pixel_nm
+    }
+
+    /// Source grid dimension `N_j` (source is `N_j × N_j` points).
+    #[inline]
+    pub fn source_dim(&self) -> usize {
+        self.source_dim
+    }
+
+    /// Outer partial-coherence radius σ_o of the illumination template.
+    #[inline]
+    pub fn sigma_out(&self) -> f64 {
+        self.sigma_out
+    }
+
+    /// Inner partial-coherence radius σ_i of the illumination template.
+    #[inline]
+    pub fn sigma_in(&self) -> f64 {
+        self.sigma_in
+    }
+
+    /// Physical tile side length in nanometres.
+    #[inline]
+    pub fn tile_nm(&self) -> f64 {
+        self.mask_dim as f64 * self.pixel_nm
+    }
+
+    /// Frequency-grid step `1 / (N_m · pixel)` in 1/nm.
+    #[inline]
+    pub fn freq_step(&self) -> f64 {
+        1.0 / self.tile_nm()
+    }
+
+    /// Pupil cut-off frequency `NA / λ` in 1/nm (paper Eq. 5).
+    #[inline]
+    pub fn pupil_cutoff(&self) -> f64 {
+        self.na / self.wavelength_nm
+    }
+
+    /// Pupil radius measured in frequency bins of the mask grid.
+    #[inline]
+    pub fn pupil_radius_bins(&self) -> f64 {
+        self.pupil_cutoff() / self.freq_step()
+    }
+
+    /// Maximum source-point frequency (σ = 1 ring) in 1/nm.
+    ///
+    /// Source coordinates are pupil-normalized: a point at radius σ
+    /// illuminates with spatial frequency `σ · NA / λ`.
+    #[inline]
+    pub fn source_freq_scale(&self) -> f64 {
+        self.pupil_cutoff()
+    }
+}
+
+impl Default for OpticalConfig {
+    fn default() -> Self {
+        OpticalConfig::scaled_default()
+    }
+}
+
+/// Builder for [`OpticalConfig`]; see [`OpticalConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct OpticalConfigBuilder {
+    wavelength_nm: f64,
+    na: f64,
+    mask_dim: usize,
+    pixel_nm: f64,
+    source_dim: usize,
+    sigma_out: f64,
+    sigma_in: f64,
+}
+
+impl Default for OpticalConfigBuilder {
+    fn default() -> Self {
+        OpticalConfigBuilder {
+            wavelength_nm: 193.0,
+            na: 1.35,
+            mask_dim: 256,
+            pixel_nm: 8.0,
+            source_dim: 15,
+            sigma_out: 0.95,
+            sigma_in: 0.63,
+        }
+    }
+}
+
+impl OpticalConfigBuilder {
+    /// Sets the illumination wavelength in nanometres.
+    pub fn wavelength_nm(mut self, v: f64) -> Self {
+        self.wavelength_nm = v;
+        self
+    }
+
+    /// Sets the numerical aperture.
+    pub fn na(mut self, v: f64) -> Self {
+        self.na = v;
+        self
+    }
+
+    /// Sets the mask grid dimension (must be a power of two for the FFT).
+    pub fn mask_dim(mut self, v: usize) -> Self {
+        self.mask_dim = v;
+        self
+    }
+
+    /// Sets the mask pixel pitch in nanometres.
+    pub fn pixel_nm(mut self, v: f64) -> Self {
+        self.pixel_nm = v;
+        self
+    }
+
+    /// Sets the source grid dimension (odd values center a point on-axis).
+    pub fn source_dim(mut self, v: usize) -> Self {
+        self.source_dim = v;
+        self
+    }
+
+    /// Sets the outer partial-coherence radius σ_o.
+    pub fn sigma_out(mut self, v: f64) -> Self {
+        self.sigma_out = v;
+        self
+    }
+
+    /// Sets the inner partial-coherence radius σ_i.
+    pub fn sigma_in(mut self, v: f64) -> Self {
+        self.sigma_in = v;
+        self
+    }
+
+    /// Validates and builds the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when any parameter is non-physical (non-positive
+    /// wavelength/NA/pitch, σ ordering violated) or numerically unusable
+    /// (mask dimension not a power of two, pupil radius below one frequency
+    /// bin — which would make the system image nothing).
+    pub fn build(self) -> Result<OpticalConfig, ConfigError> {
+        if self.wavelength_nm <= 0.0 {
+            return Err(ConfigError::new("wavelength must be positive"));
+        }
+        if self.na <= 0.0 {
+            return Err(ConfigError::new("numerical aperture must be positive"));
+        }
+        if self.pixel_nm <= 0.0 {
+            return Err(ConfigError::new("pixel pitch must be positive"));
+        }
+        if self.mask_dim == 0 || !self.mask_dim.is_power_of_two() {
+            return Err(ConfigError::new(format!(
+                "mask dimension {} must be a nonzero power of two",
+                self.mask_dim
+            )));
+        }
+        if self.source_dim < 3 {
+            return Err(ConfigError::new("source grid must be at least 3×3"));
+        }
+        if !(0.0..=1.0).contains(&self.sigma_in)
+            || !(0.0..=1.0).contains(&self.sigma_out)
+            || self.sigma_in >= self.sigma_out
+        {
+            return Err(ConfigError::new(
+                "require 0 ≤ σ_i < σ_o ≤ 1 for the illumination template",
+            ));
+        }
+        let cfg = OpticalConfig {
+            wavelength_nm: self.wavelength_nm,
+            na: self.na,
+            mask_dim: self.mask_dim,
+            pixel_nm: self.pixel_nm,
+            source_dim: self.source_dim,
+            sigma_out: self.sigma_out,
+            sigma_in: self.sigma_in,
+        };
+        if cfg.pupil_radius_bins() < 1.0 {
+            return Err(ConfigError::new(format!(
+                "pupil radius {:.3} bins < 1: tile too small or NA too low",
+                cfg.pupil_radius_bins()
+            )));
+        }
+        // The Nyquist frequency must exceed the widest doubly-shifted pupil
+        // excursion, or shifted pupils alias off the grid.
+        if cfg.pupil_radius_bins() * 2.0 >= cfg.mask_dim as f64 / 2.0 {
+            return Err(ConfigError::new(
+                "pixel pitch too coarse: shifted pupil would alias past Nyquist",
+            ));
+        }
+        Ok(cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_default_is_consistent() {
+        let cfg = OpticalConfig::scaled_default();
+        assert_eq!(cfg.mask_dim(), 256);
+        assert_eq!(cfg.source_dim(), 15);
+        assert!((cfg.tile_nm() - 2048.0).abs() < 1e-9);
+        // NA/λ = 1.35/193 ≈ 6.995e-3; bins = 6.995e-3 * 2048 ≈ 14.3.
+        assert!((cfg.pupil_radius_bins() - 14.325).abs() < 0.1);
+    }
+
+    #[test]
+    fn test_small_preset_is_valid() {
+        let cfg = OpticalConfig::test_small();
+        assert_eq!(cfg.mask_dim(), 64);
+        assert!(cfg.pupil_radius_bins() >= 1.0);
+    }
+
+    #[test]
+    fn rejects_non_power_of_two_mask() {
+        assert!(OpticalConfig::builder().mask_dim(100).build().is_err());
+    }
+
+    #[test]
+    fn rejects_bad_sigma_ordering() {
+        assert!(OpticalConfig::builder()
+            .sigma_in(0.9)
+            .sigma_out(0.5)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn rejects_negative_physics() {
+        assert!(OpticalConfig::builder().wavelength_nm(-1.0).build().is_err());
+        assert!(OpticalConfig::builder().na(0.0).build().is_err());
+        assert!(OpticalConfig::builder().pixel_nm(0.0).build().is_err());
+    }
+
+    #[test]
+    fn rejects_undersampled_pupil() {
+        // 8×8 tile at 1 nm: freq step huge, pupil < 1 bin.
+        assert!(OpticalConfig::builder()
+            .mask_dim(8)
+            .pixel_nm(1.0)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn rejects_aliasing_pitch() {
+        // Very coarse pitch pushes the pupil past Nyquist/2.
+        assert!(OpticalConfig::builder()
+            .mask_dim(64)
+            .pixel_nm(200.0)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn derived_quantities_scale_with_pitch() {
+        let a = OpticalConfig::builder()
+            .mask_dim(128)
+            .pixel_nm(16.0)
+            .build()
+            .unwrap();
+        let b = OpticalConfig::builder()
+            .mask_dim(256)
+            .pixel_nm(8.0)
+            .build()
+            .unwrap();
+        // Same physical tile ⇒ same frequency step and pupil bins.
+        assert!((a.freq_step() - b.freq_step()).abs() < 1e-15);
+        assert!((a.pupil_radius_bins() - b.pupil_radius_bins()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,268 @@
+//! Real-valued square fields (masks, aerial images, resist images, parameter
+//! grids) shared by every crate in the workspace.
+
+use std::ops::{Index, IndexMut};
+
+/// A square, row-major `f64` field.
+///
+/// This is the common currency of the workspace: masks, aerial-image
+/// intensities, resist images, loss gradients and optimization parameters are
+/// all `RealField`s.
+///
+/// # Examples
+///
+/// ```
+/// use bismo_optics::RealField;
+///
+/// let mut f = RealField::zeros(4);
+/// f[(1, 2)] = 3.0;
+/// assert_eq!(f[(1, 2)], 3.0);
+/// assert_eq!(f.sum(), 3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RealField {
+    dim: usize,
+    data: Vec<f64>,
+}
+
+impl RealField {
+    /// Creates a `dim × dim` field of zeros.
+    pub fn zeros(dim: usize) -> Self {
+        RealField {
+            dim,
+            data: vec![0.0; dim * dim],
+        }
+    }
+
+    /// Creates a field filled with `value`.
+    pub fn filled(dim: usize, value: f64) -> Self {
+        RealField {
+            dim,
+            data: vec![value; dim * dim],
+        }
+    }
+
+    /// Wraps an existing row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != dim * dim`.
+    pub fn from_vec(dim: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), dim * dim, "field buffer size mismatch");
+        RealField { dim, data }
+    }
+
+    /// Builds a field by evaluating `f(row, col)` at every pixel.
+    pub fn from_fn(dim: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(dim * dim);
+        for r in 0..dim {
+            for c in 0..dim {
+                data.push(f(r, c));
+            }
+        }
+        RealField { dim, data }
+    }
+
+    /// Side length of the field.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of pixels (`dim²`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` for the degenerate zero-dimension field.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable view of the row-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the field and returns the underlying buffer.
+    #[inline]
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Sum of all pixels.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Minimum pixel value (`+∞` for an empty field).
+    pub fn min(&self) -> f64 {
+        self.data.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum pixel value (`-∞` for an empty field).
+    pub fn max(&self) -> f64 {
+        self.data.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Squared Euclidean norm `Σ v²`.
+    pub fn norm_sqr(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum()
+    }
+
+    /// Applies `f` to every pixel in place.
+    pub fn map_inplace(&mut self, mut f: impl FnMut(f64) -> f64) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Returns a new field with `f` applied to every pixel.
+    #[must_use]
+    pub fn map(&self, f: impl FnMut(f64) -> f64) -> Self {
+        let mut out = self.clone();
+        out.map_inplace(f);
+        out
+    }
+
+    /// Pointwise `self ← self + alpha · other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn axpy(&mut self, alpha: f64, other: &RealField) {
+        assert_eq!(self.dim, other.dim, "field dimension mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Pointwise product into a new field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    #[must_use]
+    pub fn hadamard(&self, other: &RealField) -> RealField {
+        assert_eq!(self.dim, other.dim, "field dimension mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a * b)
+            .collect();
+        RealField {
+            dim: self.dim,
+            data,
+        }
+    }
+
+    /// Inner product `Σ selfᵢ · otherᵢ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn dot(&self, other: &RealField) -> f64 {
+        assert_eq!(self.dim, other.dim, "field dimension mismatch");
+        self.data.iter().zip(&other.data).map(|(a, b)| a * b).sum()
+    }
+
+    /// Squared L2 distance `‖self − other‖²` — the paper's L2 metric
+    /// (Definition 1) when applied to resist vs. target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn sq_distance(&self, other: &RealField) -> f64 {
+        assert_eq!(self.dim, other.dim, "field dimension mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum()
+    }
+}
+
+impl Index<(usize, usize)> for RealField {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.data[r * self.dim + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for RealField {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.data[r * self.dim + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(RealField::zeros(3).sum(), 0.0);
+        assert_eq!(RealField::filled(3, 2.0).sum(), 18.0);
+        let f = RealField::from_fn(2, |r, c| (r * 2 + c) as f64);
+        assert_eq!(f.as_slice(), &[0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "field buffer size mismatch")]
+    fn from_vec_validates_length() {
+        let _ = RealField::from_vec(2, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn indexing_is_row_major() {
+        let mut f = RealField::zeros(3);
+        f[(2, 1)] = 5.0;
+        assert_eq!(f.as_slice()[7], 5.0);
+    }
+
+    #[test]
+    fn algebra_helpers() {
+        let a = RealField::from_vec(2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = RealField::from_vec(2, vec![4.0, 3.0, 2.0, 1.0]);
+        assert_eq!(a.dot(&b), 4.0 + 6.0 + 6.0 + 4.0);
+        assert_eq!(a.hadamard(&b).as_slice(), &[4.0, 6.0, 6.0, 4.0]);
+        assert_eq!(a.sq_distance(&b), 9.0 + 1.0 + 1.0 + 9.0);
+        let mut c = a.clone();
+        c.axpy(2.0, &b);
+        assert_eq!(c.as_slice(), &[9.0, 8.0, 7.0, 6.0]);
+    }
+
+    #[test]
+    fn min_max_norm() {
+        let f = RealField::from_vec(2, vec![-1.0, 0.5, 2.0, -3.0]);
+        assert_eq!(f.min(), -3.0);
+        assert_eq!(f.max(), 2.0);
+        assert_eq!(f.norm_sqr(), 1.0 + 0.25 + 4.0 + 9.0);
+    }
+
+    #[test]
+    fn map_preserves_dim() {
+        let f = RealField::filled(4, 1.0).map(|v| v * 3.0);
+        assert_eq!(f.dim(), 4);
+        assert_eq!(f.sum(), 48.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "field dimension mismatch")]
+    fn dot_panics_on_dim_mismatch() {
+        let _ = RealField::zeros(2).dot(&RealField::zeros(3));
+    }
+}

@@ -1,0 +1,37 @@
+//! # bismo-optics
+//!
+//! Optical substrate of the BiSMO workspace (reproduction of *"Efficient
+//! Bilevel Source Mask Optimization"*, DAC 2024): the physical configuration
+//! of the projection system, the ideal low-pass pupil `H` (paper Eq. 5),
+//! pixelated/parametric illumination sources (§2.1, §3.1), and the
+//! [`RealField`] grid type every other crate trades in.
+//!
+//! ## Examples
+//!
+//! ```
+//! use bismo_optics::{OpticalConfig, Pupil, Source, SourceShape};
+//!
+//! let cfg = OpticalConfig::scaled_default();
+//! let pupil = Pupil::new(&cfg);
+//! let source = Source::from_shape(
+//!     &cfg,
+//!     SourceShape::Annular { sigma_in: cfg.sigma_in(), sigma_out: cfg.sigma_out() },
+//! );
+//! // Every effective source point lies inside the pupil's NA.
+//! for p in source.effective_points(0.0) {
+//!     assert_eq!(pupil.value(p.freq_f, p.freq_g), 1.0);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod field;
+mod pupil;
+mod source;
+
+pub use config::{ConfigError, OpticalConfig, OpticalConfigBuilder};
+pub use field::RealField;
+pub use pupil::Pupil;
+pub use source::{Source, SourcePoint, SourceShape};

@@ -1,0 +1,262 @@
+//! The projection-system transfer function `H` (paper Eq. 5).
+//!
+//! `H(f, g)` is an ideal low-pass filter cutting off at `NA/λ`. The Abbe
+//! engine needs `H` evaluated at *shifted* frequencies `(f + f_σ, g + g_σ)`
+//! for every source point σ; because `H` is analytic we evaluate the shifted
+//! pupil exactly rather than resampling a stored array, so source points are
+//! never quantized to the mask frequency grid.
+
+use crate::config::OpticalConfig;
+use bismo_fft::{signed_freq, Complex64};
+
+/// Ideal low-pass pupil for a given optical configuration.
+///
+/// # Examples
+///
+/// ```
+/// use bismo_optics::{OpticalConfig, Pupil};
+///
+/// let cfg = OpticalConfig::test_small();
+/// let pupil = Pupil::new(&cfg);
+/// // DC always passes; a frequency beyond NA/λ does not.
+/// assert_eq!(pupil.value(0.0, 0.0), 1.0);
+/// assert_eq!(pupil.value(2.0 * cfg.pupil_cutoff(), 0.0), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pupil {
+    cutoff: f64,
+    freq_step: f64,
+    dim: usize,
+    wavelength_nm: f64,
+    defocus_nm: f64,
+}
+
+impl Pupil {
+    /// Builds the in-focus pupil for `cfg`'s projection system and mask
+    /// grid.
+    pub fn new(cfg: &OpticalConfig) -> Self {
+        Pupil {
+            cutoff: cfg.pupil_cutoff(),
+            freq_step: cfg.freq_step(),
+            dim: cfg.mask_dim(),
+            wavelength_nm: cfg.wavelength_nm(),
+            defocus_nm: 0.0,
+        }
+    }
+
+    /// Adds a defocus aberration of `z` nanometres: inside the passband the
+    /// pupil picks up the paraxial phase `exp(−iπλz(f²+g²))`, turning the
+    /// transfer function complex. Used for focus-axis process-window
+    /// evaluation (the paper's PVB covers the dose axis only).
+    #[must_use]
+    pub fn with_defocus(mut self, z_nm: f64) -> Self {
+        self.defocus_nm = z_nm;
+        self
+    }
+
+    /// Configured defocus in nanometres.
+    #[inline]
+    pub fn defocus_nm(&self) -> f64 {
+        self.defocus_nm
+    }
+
+    /// Whether the pupil is purely real (no aberration): the imaging
+    /// engines take a cheaper path in that case.
+    #[inline]
+    pub fn is_real(&self) -> bool {
+        self.defocus_nm == 0.0
+    }
+
+    /// Complex pupil value at a physical frequency: the binary passband of
+    /// Eq. 5 times the paraxial defocus phase.
+    #[inline]
+    pub fn value_complex(&self, f: f64, g: f64) -> Complex64 {
+        if f * f + g * g > self.cutoff * self.cutoff {
+            return Complex64::ZERO;
+        }
+        if self.defocus_nm == 0.0 {
+            return Complex64::ONE;
+        }
+        let phase =
+            -std::f64::consts::PI * self.wavelength_nm * self.defocus_nm * (f * f + g * g);
+        Complex64::cis(phase)
+    }
+
+    /// Complex pupil at mask-grid bin `(row, col)` shifted by a source
+    /// point's frequency.
+    #[inline]
+    pub fn shifted_complex(&self, row: usize, col: usize, shift_f: f64, shift_g: f64) -> Complex64 {
+        let g = signed_freq(row, self.dim) as f64 * self.freq_step + shift_g;
+        let f = signed_freq(col, self.dim) as f64 * self.freq_step + shift_f;
+        self.value_complex(f, g)
+    }
+
+    /// Cut-off frequency `NA/λ` in 1/nm.
+    #[inline]
+    pub fn cutoff(&self) -> f64 {
+        self.cutoff
+    }
+
+    /// Mask grid dimension this pupil is sampled against.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Evaluates `H` at a physical frequency (1/nm): 1 inside the numerical
+    /// aperture, 0 outside (Eq. 5).
+    #[inline]
+    pub fn value(&self, f: f64, g: f64) -> f64 {
+        if f * f + g * g <= self.cutoff * self.cutoff {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    /// Evaluates the pupil at mask-grid frequency bin `(row, col)` (corner
+    /// origin, standard DFT layout) shifted by a source-point frequency
+    /// `(shift_f, shift_g)` in 1/nm: `H(f_col + shift_f, g_row + shift_g)`.
+    #[inline]
+    pub fn shifted_at(&self, row: usize, col: usize, shift_f: f64, shift_g: f64) -> f64 {
+        let g = signed_freq(row, self.dim) as f64 * self.freq_step + shift_g;
+        let f = signed_freq(col, self.dim) as f64 * self.freq_step + shift_f;
+        self.value(f, g)
+    }
+
+    /// Evaluates the unshifted pupil at bin `(row, col)`.
+    #[inline]
+    pub fn at(&self, row: usize, col: usize) -> f64 {
+        self.shifted_at(row, col, 0.0, 0.0)
+    }
+
+    /// Number of frequency bins inside the (unshifted) pupil; the
+    /// band-limited support size the Hopkins TCC is assembled over.
+    pub fn support_len(&self) -> usize {
+        self.support().len()
+    }
+
+    /// Indices `(row, col)` of all bins inside the unshifted pupil, in
+    /// deterministic row-major order.
+    pub fn support(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for row in 0..self.dim {
+            for col in 0..self.dim {
+                if self.at(row, col) > 0.0 {
+                    out.push((row, col));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_passes_and_high_freq_blocked() {
+        let cfg = OpticalConfig::test_small();
+        let p = Pupil::new(&cfg);
+        assert_eq!(p.at(0, 0), 1.0);
+        // Nyquist bin is far outside the pupil for valid configs.
+        assert_eq!(p.at(cfg.mask_dim() / 2, cfg.mask_dim() / 2), 0.0);
+    }
+
+    #[test]
+    fn pupil_is_radially_symmetric() {
+        let cfg = OpticalConfig::test_small();
+        let p = Pupil::new(&cfg);
+        let n = cfg.mask_dim();
+        for row in 0..n {
+            for col in 0..n {
+                let mirrored_row = if row == 0 { 0 } else { n - row };
+                let mirrored_col = if col == 0 { 0 } else { n - col };
+                assert_eq!(p.at(row, col), p.at(mirrored_row, mirrored_col));
+            }
+        }
+    }
+
+    #[test]
+    fn support_count_matches_circle_area() {
+        let cfg = OpticalConfig::scaled_default();
+        let p = Pupil::new(&cfg);
+        let r = cfg.pupil_radius_bins();
+        let expected = std::f64::consts::PI * r * r;
+        let got = p.support_len() as f64;
+        // Pixelated circle: within 15% of the ideal area.
+        assert!(
+            (got - expected).abs() / expected < 0.15,
+            "support {got} vs area {expected}"
+        );
+    }
+
+    #[test]
+    fn shift_moves_the_passband() {
+        let cfg = OpticalConfig::test_small();
+        let p = Pupil::new(&cfg);
+        // Shifting by exactly the cutoff pushes DC to the pupil edge
+        // (still passing), and 2× cutoff pushes it out.
+        assert_eq!(p.shifted_at(0, 0, p.cutoff(), 0.0), 1.0);
+        assert_eq!(p.shifted_at(0, 0, 2.0 * p.cutoff(), 0.0), 0.0);
+    }
+
+    #[test]
+    fn in_focus_complex_value_matches_real_value() {
+        let cfg = OpticalConfig::test_small();
+        let p = Pupil::new(&cfg);
+        assert!(p.is_real());
+        for row in [0usize, 3, 17, 40] {
+            for col in [0usize, 2, 9, 63] {
+                let c = p.shifted_complex(row, col, 0.0, 0.0);
+                assert_eq!(c.re, p.at(row, col));
+                assert_eq!(c.im, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn defocus_preserves_magnitude_inside_passband() {
+        let cfg = OpticalConfig::test_small();
+        let p = Pupil::new(&cfg).with_defocus(80.0);
+        assert!(!p.is_real());
+        let n = cfg.mask_dim();
+        for row in 0..n {
+            for col in 0..n {
+                let z = p.shifted_complex(row, col, 0.0, 0.0);
+                let flat = p.at(row, col);
+                // Pure-phase aberration: |H_z| equals the in-focus pupil.
+                assert!((z.abs() - flat).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn defocus_phase_is_quadratic_in_radius() {
+        let cfg = OpticalConfig::test_small();
+        let z_nm = 50.0;
+        let p = Pupil::new(&cfg).with_defocus(z_nm);
+        let f = 0.5 * p.cutoff();
+        let expected =
+            -std::f64::consts::PI * cfg.wavelength_nm() * z_nm * (f * f);
+        let got = p.value_complex(f, 0.0).arg();
+        assert!((got - expected).abs() < 1e-12);
+        // DC picks up no phase.
+        assert_eq!(p.value_complex(0.0, 0.0), bismo_fft::Complex64::ONE);
+    }
+
+    #[test]
+    fn shifted_pupil_matches_manual_evaluation() {
+        let cfg = OpticalConfig::test_small();
+        let p = Pupil::new(&cfg);
+        let shift = 0.4 * p.cutoff();
+        for row in [0usize, 1, 5, 32, 63] {
+            for col in [0usize, 2, 7, 32, 63] {
+                let g = bismo_fft::signed_freq(row, 64) as f64 * cfg.freq_step() + 0.0;
+                let f = bismo_fft::signed_freq(col, 64) as f64 * cfg.freq_step() + shift;
+                assert_eq!(p.shifted_at(row, col, shift, 0.0), p.value(f, g));
+            }
+        }
+    }
+}

@@ -1,0 +1,395 @@
+//! Illumination source models.
+//!
+//! The source is an `N_j × N_j` grid of point emitters in pupil-normalized
+//! coordinates `σ ∈ [-1, 1]²`; a point at radius σ illuminates the mask with
+//! spatial frequency `σ · NA/λ` (paper §2.1). Parametric templates (annular,
+//! quasar, dipole, conventional) provide the initial shapes of §3.1/Table 1;
+//! freeform optimization then treats every grid weight as a parameter.
+
+use crate::config::OpticalConfig;
+
+/// Parametric source template used for initialization (paper §3.1:
+/// "the shape of initial source pattern J₀ is derived from parametric
+/// templates like annular, quasar, or dipole").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SourceShape {
+    /// Filled disk of radius σ_o (conventional illumination).
+    Conventional {
+        /// Outer radius in pupil-normalized units.
+        sigma_out: f64,
+    },
+    /// Ring between σ_i and σ_o.
+    Annular {
+        /// Inner radius.
+        sigma_in: f64,
+        /// Outer radius.
+        sigma_out: f64,
+    },
+    /// Four 45°-wide pole segments of an annulus, centered on the diagonals
+    /// (standard quasar / C-quad illumination).
+    Quasar {
+        /// Inner radius.
+        sigma_in: f64,
+        /// Outer radius.
+        sigma_out: f64,
+        /// Half-opening angle of each pole in radians.
+        half_angle: f64,
+    },
+    /// Two pole segments on the x-axis (dipole-X).
+    Dipole {
+        /// Inner radius.
+        sigma_in: f64,
+        /// Outer radius.
+        sigma_out: f64,
+        /// Half-opening angle of each pole in radians.
+        half_angle: f64,
+    },
+}
+
+impl SourceShape {
+    /// Weight of the template at pupil-normalized coordinates `(sx, sy)`.
+    pub fn weight_at(&self, sx: f64, sy: f64) -> f64 {
+        let r = (sx * sx + sy * sy).sqrt();
+        match *self {
+            SourceShape::Conventional { sigma_out } => {
+                if r <= sigma_out {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            SourceShape::Annular {
+                sigma_in,
+                sigma_out,
+            } => {
+                if r >= sigma_in && r <= sigma_out {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            SourceShape::Quasar {
+                sigma_in,
+                sigma_out,
+                half_angle,
+            } => {
+                if r < sigma_in || r > sigma_out {
+                    return 0.0;
+                }
+                let theta = sy.atan2(sx);
+                // Poles centered at ±45°, ±135°.
+                let centers = [
+                    std::f64::consts::FRAC_PI_4,
+                    3.0 * std::f64::consts::FRAC_PI_4,
+                    -std::f64::consts::FRAC_PI_4,
+                    -3.0 * std::f64::consts::FRAC_PI_4,
+                ];
+                if centers
+                    .iter()
+                    .any(|c| angular_distance(theta, *c) <= half_angle)
+                {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            SourceShape::Dipole {
+                sigma_in,
+                sigma_out,
+                half_angle,
+            } => {
+                if r < sigma_in || r > sigma_out {
+                    return 0.0;
+                }
+                let theta = sy.atan2(sx);
+                if angular_distance(theta, 0.0) <= half_angle
+                    || angular_distance(theta, std::f64::consts::PI) <= half_angle
+                {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+}
+
+fn angular_distance(a: f64, b: f64) -> f64 {
+    let mut d = (a - b).rem_euclid(2.0 * std::f64::consts::PI);
+    if d > std::f64::consts::PI {
+        d = 2.0 * std::f64::consts::PI - d;
+    }
+    d
+}
+
+/// One effective source point: a pair of illumination spatial frequencies
+/// and its (grayscale) magnitude `j_σ ∈ [0, 1]` (paper Eq. 2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SourcePoint {
+    /// Horizontal spatial frequency in 1/nm.
+    pub freq_f: f64,
+    /// Vertical spatial frequency in 1/nm.
+    pub freq_g: f64,
+    /// Magnitude `j_σ`.
+    pub weight: f64,
+    /// Flat index into the source grid this point came from.
+    pub index: usize,
+}
+
+/// Pixelated freeform illumination source on an `N_j × N_j` grid.
+///
+/// # Examples
+///
+/// ```
+/// use bismo_optics::{OpticalConfig, Source, SourceShape};
+///
+/// let cfg = OpticalConfig::test_small();
+/// let src = Source::from_shape(
+///     &cfg,
+///     SourceShape::Annular { sigma_in: 0.63, sigma_out: 0.95 },
+/// );
+/// assert!(src.total_weight() > 0.0);
+/// assert!(src.effective_points(0.0).iter().all(|p| p.weight > 0.0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Source {
+    dim: usize,
+    freq_scale: f64,
+    weights: Vec<f64>,
+}
+
+impl Source {
+    /// Creates an all-dark source on `cfg`'s grid.
+    pub fn dark(cfg: &OpticalConfig) -> Self {
+        Source {
+            dim: cfg.source_dim(),
+            freq_scale: cfg.source_freq_scale(),
+            weights: vec![0.0; cfg.source_dim() * cfg.source_dim()],
+        }
+    }
+
+    /// Rasterizes a parametric template onto the source grid.
+    pub fn from_shape(cfg: &OpticalConfig, shape: SourceShape) -> Self {
+        let mut src = Source::dark(cfg);
+        let n = src.dim;
+        for row in 0..n {
+            for col in 0..n {
+                let (sx, sy) = src.sigma_coords(row, col);
+                src.weights[row * n + col] = shape.weight_at(sx, sy);
+            }
+        }
+        src
+    }
+
+    /// Builds a source from explicit weights (row-major, `N_j × N_j`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len()` does not match `cfg`'s source grid.
+    pub fn from_weights(cfg: &OpticalConfig, weights: Vec<f64>) -> Self {
+        assert_eq!(
+            weights.len(),
+            cfg.source_dim() * cfg.source_dim(),
+            "source weight buffer mismatch"
+        );
+        Source {
+            dim: cfg.source_dim(),
+            freq_scale: cfg.source_freq_scale(),
+            weights,
+        }
+    }
+
+    /// Source grid dimension `N_j`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Immutable view of the grid weights.
+    #[inline]
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Mutable view of the grid weights.
+    #[inline]
+    pub fn weights_mut(&mut self) -> &mut [f64] {
+        &mut self.weights
+    }
+
+    /// Pupil-normalized σ-coordinates of grid cell `(row, col)`, spanning
+    /// `[-1, 1]` inclusive on both axes.
+    #[inline]
+    pub fn sigma_coords(&self, row: usize, col: usize) -> (f64, f64) {
+        let half = (self.dim - 1) as f64 / 2.0;
+        let sx = (col as f64 - half) / half;
+        let sy = (row as f64 - half) / half;
+        (sx, sy)
+    }
+
+    /// Total source power `Σ j_σ`.
+    pub fn total_weight(&self) -> f64 {
+        self.weights.iter().sum()
+    }
+
+    /// Number of source points with weight above `min_weight`.
+    pub fn effective_count(&self, min_weight: f64) -> usize {
+        self.weights.iter().filter(|w| **w > min_weight).count()
+    }
+
+    /// Enumerates the effective source points (weight > `min_weight`) with
+    /// their physical illumination frequencies — the `{(f_σ, g_σ; j_σ)}` set
+    /// of paper Eq. 2.
+    pub fn effective_points(&self, min_weight: f64) -> Vec<SourcePoint> {
+        let mut out = Vec::new();
+        for row in 0..self.dim {
+            for col in 0..self.dim {
+                let w = self.weights[row * self.dim + col];
+                if w > min_weight {
+                    let (sx, sy) = self.sigma_coords(row, col);
+                    out.push(SourcePoint {
+                        freq_f: sx * self.freq_scale,
+                        freq_g: sy * self.freq_scale,
+                        weight: w,
+                        index: row * self.dim + col,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> OpticalConfig {
+        OpticalConfig::test_small()
+    }
+
+    #[test]
+    fn annular_respects_radii() {
+        let src = Source::from_shape(
+            &cfg(),
+            SourceShape::Annular {
+                sigma_in: 0.63,
+                sigma_out: 0.95,
+            },
+        );
+        let n = src.dim();
+        for row in 0..n {
+            for col in 0..n {
+                let (sx, sy) = src.sigma_coords(row, col);
+                let r = (sx * sx + sy * sy).sqrt();
+                let w = src.weights()[row * n + col];
+                if (0.63..=0.95).contains(&r) {
+                    assert_eq!(w, 1.0, "({row},{col}) r={r}");
+                } else {
+                    assert_eq!(w, 0.0, "({row},{col}) r={r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn conventional_contains_center() {
+        let src = Source::from_shape(&cfg(), SourceShape::Conventional { sigma_out: 0.5 });
+        let n = src.dim();
+        let c = n / 2; // odd dim ⇒ exact center at σ = 0
+        assert_eq!(src.weights()[c * n + c], 1.0);
+    }
+
+    #[test]
+    fn annular_excludes_center() {
+        let src = Source::from_shape(
+            &cfg(),
+            SourceShape::Annular {
+                sigma_in: 0.3,
+                sigma_out: 0.9,
+            },
+        );
+        let n = src.dim();
+        let c = n / 2;
+        assert_eq!(src.weights()[c * n + c], 0.0);
+    }
+
+    #[test]
+    fn dipole_is_x_axis_symmetric_and_off_y_axis() {
+        let src = Source::from_shape(
+            &cfg(),
+            SourceShape::Dipole {
+                sigma_in: 0.5,
+                sigma_out: 1.0,
+                half_angle: 0.4,
+            },
+        );
+        let n = src.dim();
+        let c = n / 2;
+        // Points on the x-axis extremes are lit; y-axis extremes are dark.
+        assert_eq!(src.weights()[c * n], 1.0, "(-1, 0) pole");
+        assert_eq!(src.weights()[c * n + (n - 1)], 1.0, "(1, 0) pole");
+        assert_eq!(src.weights()[c], 0.0, "(0, -1)");
+        assert_eq!(src.weights()[(n - 1) * n + c], 0.0, "(0, 1)");
+    }
+
+    #[test]
+    fn quasar_lights_diagonals_only() {
+        let src = Source::from_shape(
+            &cfg(),
+            SourceShape::Quasar {
+                sigma_in: 0.5,
+                sigma_out: 1.5, // generous so corners stay inside
+                half_angle: 0.3,
+            },
+        );
+        let n = src.dim();
+        assert_eq!(src.weights()[0], 1.0, "corner (-1,-1)");
+        assert_eq!(src.weights()[n - 1], 1.0, "corner (1,-1)");
+        let c = n / 2;
+        assert_eq!(src.weights()[c * n], 0.0, "x axis");
+    }
+
+    #[test]
+    fn effective_points_frequencies_are_bounded_by_na_over_lambda() {
+        let c = cfg();
+        let src = Source::from_shape(
+            &c,
+            SourceShape::Annular {
+                sigma_in: 0.63,
+                sigma_out: 0.95,
+            },
+        );
+        let cutoff = c.pupil_cutoff();
+        for p in src.effective_points(0.0) {
+            let r = (p.freq_f * p.freq_f + p.freq_g * p.freq_g).sqrt();
+            assert!(r <= cutoff * (1.0 + 1e-12));
+        }
+    }
+
+    #[test]
+    fn effective_count_matches_total_for_binary_source() {
+        let src = Source::from_shape(
+            &cfg(),
+            SourceShape::Annular {
+                sigma_in: 0.63,
+                sigma_out: 0.95,
+            },
+        );
+        assert_eq!(
+            src.effective_count(0.0) as f64,
+            src.total_weight(),
+            "binary template: count == power"
+        );
+    }
+
+    #[test]
+    fn sigma_coords_span_unit_square() {
+        let src = Source::dark(&cfg());
+        let n = src.dim();
+        assert_eq!(src.sigma_coords(0, 0), (-1.0, -1.0));
+        assert_eq!(src.sigma_coords(n - 1, n - 1), (1.0, 1.0));
+        let c = n / 2;
+        assert_eq!(src.sigma_coords(c, c), (0.0, 0.0));
+    }
+}

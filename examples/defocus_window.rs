@@ -1,0 +1,60 @@
+//! Focus-axis process window (extension beyond the paper's dose-only PVB):
+//! images an optimized mask through defocused pupils and reports how the
+//! printed area and the focus-XOR band degrade with defocus.
+//!
+//! ```sh
+//! cargo run --release --example defocus_window
+//! ```
+
+use bismo::core::xor_area_nm2;
+use bismo::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = OpticalConfig::test_small();
+    let clip = Clip::simple_rect(&cfg);
+    let problem = SmoProblem::new(cfg.clone(), SmoSettings::default(), clip.target.clone())?;
+    let theta_j = problem.init_theta_j(SourceShape::Annular {
+        sigma_in: cfg.sigma_in(),
+        sigma_out: cfg.sigma_out(),
+    });
+    let theta_m0 = problem.init_theta_m();
+
+    // Optimize at nominal focus first.
+    let out = run_bismo(
+        &problem,
+        &theta_j,
+        &theta_m0,
+        BismoConfig {
+            outer_steps: 12,
+            method: HypergradMethod::FiniteDiff,
+            ..BismoConfig::default()
+        },
+    )?;
+    let source = problem.source(&out.theta_j);
+    let mask = problem.mask(&out.theta_m);
+    let resist = problem.resist();
+
+    let focused_print = {
+        let abbe = AbbeImager::new(&cfg)?;
+        resist.print(&abbe.intensity(&source, &mask)?)
+    };
+
+    println!("defocus (nm) | printed area (nm²) | XOR vs focus (nm²) | peak I");
+    for z in [0.0, 40.0, 80.0, 120.0, 160.0] {
+        let abbe = AbbeImager::new(&cfg)?.with_defocus(z);
+        let aerial = abbe.intensity(&source, &mask)?;
+        let print = resist.print(&aerial);
+        let area = print.sum() * cfg.pixel_nm() * cfg.pixel_nm();
+        let xor = xor_area_nm2(&print, &focused_print, cfg.pixel_nm());
+        println!(
+            "{z:>12.0} | {area:>18.0} | {xor:>18.0} | {:>6.3}",
+            aerial.max()
+        );
+    }
+    println!(
+        "\nDefocus softens contrast (peak intensity drops) and the printed\n\
+         contour drifts from the in-focus result — the focus analogue of the\n\
+         paper's dose-axis PVB (Definition 2)."
+    );
+    Ok(())
+}

@@ -1,0 +1,63 @@
+//! Quickstart: run BiSMO-NMN on a single rectangle target and print the
+//! before/after loss and metrics.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use bismo::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small optical configuration (64×64 mask, 7×7 source) keeps this
+    // example fast; `OpticalConfig::scaled_default()` is the benchmark size.
+    let cfg = OpticalConfig::test_small();
+    let clip = Clip::simple_rect(&cfg);
+    println!("target: {} ({:.0} nm² of pattern)", clip.name, clip.area_nm2);
+
+    // The SMO problem bundles the Abbe engine, the sigmoid resist model and
+    // the γ·L2 + η·PVB objective of the paper.
+    let problem = SmoProblem::new(cfg.clone(), SmoSettings::default(), clip.target)?;
+
+    // Table 1 initialization: mask parameters from the target, source
+    // parameters from an annular template.
+    let theta_j = problem.init_theta_j(SourceShape::Annular {
+        sigma_in: cfg.sigma_in(),
+        sigma_out: cfg.sigma_out(),
+    });
+    let theta_m = problem.init_theta_m();
+
+    let before = problem.loss(&theta_j, &theta_m)?;
+    println!(
+        "initial loss: {:.3} (L2 {:.5}, PVB {:.5})",
+        before.total, before.l2, before.pvb
+    );
+
+    // Bilevel SMO with the Neumann-series hypergradient (Algorithm 2).
+    let out = run_bismo(
+        &problem,
+        &theta_j,
+        &theta_m,
+        BismoConfig {
+            outer_steps: 10,
+            method: HypergradMethod::Neumann { k: 3 },
+            ..BismoConfig::default()
+        },
+    )?;
+    let after = problem.loss(&out.theta_j, &out.theta_m)?;
+    println!(
+        "final loss:   {:.3} (L2 {:.5}, PVB {:.5}) after {} outer steps, {:.1}s",
+        after.total,
+        after.l2,
+        after.pvb,
+        out.trace.len(),
+        out.wall_s
+    );
+
+    // Contest-style metrics (Definitions 1–3 of the paper).
+    let metrics = measure(&problem, &out.theta_j, &out.theta_m, EpeSpec::default())?;
+    println!(
+        "metrics: L2 {:.0} nm², PVB {:.0} nm², EPE violations {}",
+        metrics.l2_nm2, metrics.pvb_nm2, metrics.epe
+    );
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! # bismo
+//!
+//! A from-scratch Rust reproduction of **"Efficient Bilevel Source Mask
+//! Optimization"** (Chen, He, Xu, Geng, Yu — DAC 2024).
+//!
+//! Source mask optimization (SMO) jointly tunes the lithography illumination
+//! source and the mask pattern so the printed resist image matches a target
+//! layout across the process window. This workspace implements the paper's
+//! full stack:
+//!
+//! * [`fft`] — complex arithmetic and radix-2 FFTs;
+//! * [`linalg`] — Hermitian eigensolvers and matrix-free conjugate gradients;
+//! * [`optics`] — optical configuration, pupil, illumination sources;
+//! * [`litho`] — Abbe and Hopkins/SOCS simulators with hand-derived adjoints;
+//! * [`opt`] — SGD / momentum / Adam;
+//! * [`core`] — the SMO objective, AM-SMO baseline (Algorithm 1) and the
+//!   three BiSMO hypergradient methods (Algorithm 2);
+//! * [`layout`] — synthetic ICCAD13 / ICCAD-L / ISPD19-style benchmarks.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use bismo::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let cfg = OpticalConfig::test_small();
+//! let clip = Clip::simple_rect(&cfg);
+//! let problem = SmoProblem::new(cfg.clone(), SmoSettings::default().without_pvb(), clip.target)?;
+//! let theta_j = problem.init_theta_j(SourceShape::Annular {
+//!     sigma_in: cfg.sigma_in(),
+//!     sigma_out: cfg.sigma_out(),
+//! });
+//! let theta_m = problem.init_theta_m();
+//! let out = run_bismo(&problem, &theta_j, &theta_m, BismoConfig {
+//!     outer_steps: 3,
+//!     method: HypergradMethod::FiniteDiff,
+//!     ..BismoConfig::default()
+//! })?;
+//! assert!(out.trace.final_loss().unwrap().is_finite());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use bismo_core as core;
+pub use bismo_fft as fft;
+pub use bismo_layout as layout;
+pub use bismo_linalg as linalg;
+pub use bismo_litho as litho;
+pub use bismo_opt as opt;
+pub use bismo_optics as optics;
+
+/// One-stop imports for applications and examples.
+pub mod prelude {
+    pub use bismo_core::{
+        measure, run_abbe_mo, run_am_smo, run_bismo, run_hopkins_mo, run_milt_proxy,
+        run_nilt_proxy, Activation, SourceActivationKind, AmSmoConfig, BismoConfig, ConvergenceTrace, EpeSpec,
+        GradRequest, HopkinsMoProblem, HypergradMethod, LossValue, MetricSet, MoConfig, MoModel,
+        MoOutcome, SmoEval, SmoOutcome, SmoProblem, SmoSettings, StepRecord, StopRule,
+    };
+    pub use bismo_layout::{upsample, write_pgm, Clip, Suite, SuiteKind};
+    pub use bismo_litho::{AbbeImager, DoseCorners, HopkinsImager, LithoError, ResistModel};
+    pub use bismo_opt::{Adam, Momentum, Optimizer, OptimizerKind, Sgd};
+    pub use bismo_optics::{OpticalConfig, Pupil, RealField, Source, SourcePoint, SourceShape};
+}

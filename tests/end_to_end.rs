@@ -1,0 +1,208 @@
+//! End-to-end integration tests spanning every crate: layout generation →
+//! SMO problem → each optimization strategy → metrics.
+
+use bismo::prelude::*;
+
+fn fixture() -> (OpticalConfig, SmoProblem, Vec<f64>, RealField) {
+    let cfg = OpticalConfig::test_small();
+    let suite = Suite::generate(SuiteKind::Iccad13, &cfg, 1);
+    let clip = suite.clips()[0].clone();
+    let problem = SmoProblem::new(cfg.clone(), SmoSettings::default(), clip.target).unwrap();
+    let tj = problem.init_theta_j(SourceShape::Annular {
+        sigma_in: cfg.sigma_in(),
+        sigma_out: cfg.sigma_out(),
+    });
+    let tm = problem.init_theta_m();
+    (cfg, problem, tj, tm)
+}
+
+#[test]
+fn every_strategy_improves_the_objective() {
+    let (_, problem, tj, tm) = fixture();
+    let initial = problem.loss(&tj, &tm).unwrap().total;
+
+    let mo = run_abbe_mo(
+        &problem,
+        &tj,
+        &tm,
+        MoConfig {
+            steps: 6,
+            ..MoConfig::default()
+        },
+    )
+    .unwrap();
+    let mo_loss = problem.loss(&tj, &mo.theta_m).unwrap().total;
+    assert!(mo_loss < initial, "Abbe-MO: {initial} → {mo_loss}");
+
+    let am = run_am_smo(
+        &problem,
+        &tj,
+        &tm,
+        AmSmoConfig {
+            rounds: 1,
+            so_steps: 3,
+            mo_steps: 3,
+            ..AmSmoConfig::default()
+        },
+    )
+    .unwrap();
+    let am_loss = problem.loss(&am.theta_j, &am.theta_m).unwrap().total;
+    assert!(am_loss < initial, "AM-SMO: {initial} → {am_loss}");
+
+    let bi = run_bismo(
+        &problem,
+        &tj,
+        &tm,
+        BismoConfig {
+            outer_steps: 4,
+            method: HypergradMethod::FiniteDiff,
+            ..BismoConfig::default()
+        },
+    )
+    .unwrap();
+    let bi_loss = problem.loss(&bi.theta_j, &bi.theta_m).unwrap().total;
+    assert!(bi_loss < initial, "BiSMO: {initial} → {bi_loss}");
+}
+
+#[test]
+fn smo_beats_mask_only_on_equal_footing() {
+    // The core claim of the paper: joint source-mask optimization reaches a
+    // lower objective than mask-only optimization.
+    let (_, problem, tj, tm) = fixture();
+    let mo = run_abbe_mo(
+        &problem,
+        &tj,
+        &tm,
+        MoConfig {
+            steps: 12,
+            ..MoConfig::default()
+        },
+    )
+    .unwrap();
+    let mo_loss = problem.loss(&tj, &mo.theta_m).unwrap().total;
+
+    let bi = run_bismo(
+        &problem,
+        &tj,
+        &tm,
+        BismoConfig {
+            outer_steps: 12,
+            method: HypergradMethod::Neumann { k: 3 },
+            ..BismoConfig::default()
+        },
+    )
+    .unwrap();
+    let bi_loss = problem.loss(&bi.theta_j, &bi.theta_m).unwrap().total;
+    assert!(
+        bi_loss < mo_loss,
+        "BiSMO {bi_loss} should beat mask-only {mo_loss}"
+    );
+}
+
+#[test]
+fn metrics_improve_after_optimization() {
+    let (_, problem, tj, tm) = fixture();
+    let before = measure(&problem, &tj, &tm, EpeSpec::default()).unwrap();
+    let out = run_bismo(
+        &problem,
+        &tj,
+        &tm,
+        BismoConfig {
+            outer_steps: 8,
+            method: HypergradMethod::FiniteDiff,
+            ..BismoConfig::default()
+        },
+    )
+    .unwrap();
+    let after = measure(&problem, &out.theta_j, &out.theta_m, EpeSpec::default()).unwrap();
+    assert!(
+        after.l2_nm2 <= before.l2_nm2,
+        "L2 should not regress: {} → {}",
+        before.l2_nm2,
+        after.l2_nm2
+    );
+}
+
+#[test]
+fn hybrid_am_smo_crosses_models_cleanly() {
+    let (_, problem, tj, tm) = fixture();
+    let initial = problem.loss(&tj, &tm).unwrap().total;
+    let out = run_am_smo(
+        &problem,
+        &tj,
+        &tm,
+        AmSmoConfig {
+            rounds: 2,
+            so_steps: 2,
+            mo_steps: 2,
+            mo_model: MoModel::Hopkins { q: 12 },
+            ..AmSmoConfig::default()
+        },
+    )
+    .unwrap();
+    let final_loss = problem.loss(&out.theta_j, &out.theta_m).unwrap().total;
+    assert!(final_loss < initial);
+}
+
+#[test]
+fn early_stopping_shortens_runs() {
+    let (_, problem, tj, tm) = fixture();
+    let unstopped = run_abbe_mo(
+        &problem,
+        &tj,
+        &tm,
+        MoConfig {
+            steps: 40,
+            stop: None,
+            ..MoConfig::default()
+        },
+    )
+    .unwrap();
+    let stopped = run_abbe_mo(
+        &problem,
+        &tj,
+        &tm,
+        MoConfig {
+            steps: 40,
+            stop: Some(StopRule {
+                window: 3,
+                rel_tol: 0.5, // aggressive: stop as soon as gains halve
+            }),
+            ..MoConfig::default()
+        },
+    )
+    .unwrap();
+    assert!(stopped.trace.len() <= unstopped.trace.len());
+    assert!(stopped.trace.len() < 40, "aggressive rule should trigger");
+}
+
+#[test]
+fn proxies_run_on_generated_clips() {
+    let (cfg, problem, tj, _) = fixture();
+    let source = problem.source(&tj);
+    let settings = SmoSettings::default();
+    let nilt = run_nilt_proxy(
+        &cfg,
+        &settings,
+        problem.target(),
+        &source,
+        MoConfig {
+            steps: 4,
+            ..MoConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(nilt.trace.len(), 4);
+    let milt = run_milt_proxy(
+        &cfg,
+        &settings,
+        problem.target(),
+        &source,
+        MoConfig {
+            steps: 4,
+            ..MoConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(milt.trace.len(), 4);
+}

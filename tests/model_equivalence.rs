@@ -1,0 +1,138 @@
+//! Cross-model integration tests: the Abbe and Hopkins engines must agree
+//! where theory says they agree, and differ exactly where the paper says
+//! they differ.
+
+use bismo::prelude::*;
+
+fn fixture() -> (OpticalConfig, Source, RealField) {
+    let cfg = OpticalConfig::test_small();
+    let source = Source::from_shape(
+        &cfg,
+        SourceShape::Annular {
+            sigma_in: cfg.sigma_in(),
+            sigma_out: cfg.sigma_out(),
+        },
+    );
+    let suite = Suite::generate(SuiteKind::Iccad13, &cfg, 1);
+    let mask = suite.clips()[0].target.clone();
+    (cfg, source, mask)
+}
+
+#[test]
+fn untruncated_hopkins_equals_abbe_on_generated_layout() {
+    let (cfg, source, mask) = fixture();
+    let abbe = AbbeImager::new(&cfg).unwrap();
+    let hopkins = HopkinsImager::new(&cfg, &source, usize::MAX).unwrap();
+    let ia = abbe.intensity(&source, &mask).unwrap();
+    let ih = hopkins.intensity(&mask).unwrap();
+    for (a, b) in ia.as_slice().iter().zip(ih.as_slice()) {
+        assert!((a - b).abs() < 1e-8, "{a} vs {b}");
+    }
+}
+
+#[test]
+fn truncation_error_decreases_monotonically_in_q() {
+    let (cfg, source, mask) = fixture();
+    let abbe = AbbeImager::new(&cfg).unwrap();
+    let reference = abbe.intensity(&source, &mask).unwrap();
+    let mut last_err = f64::INFINITY;
+    for q in [2usize, 6, 12, 24] {
+        let hopkins = HopkinsImager::new(&cfg, &source, q).unwrap();
+        let img = hopkins.intensity(&mask).unwrap();
+        let err: f64 = img
+            .as_slice()
+            .iter()
+            .zip(reference.as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(
+            err <= last_err + 1e-9,
+            "error should shrink with Q: {last_err} → {err} at Q={q}"
+        );
+        last_err = err;
+    }
+}
+
+#[test]
+fn intensity_is_quadratic_in_mask_amplitude() {
+    // I = Σ w |F⁻¹(H F(αM))|² = α² I(M): the bilinear-form structure both
+    // engines share.
+    let (cfg, source, mask) = fixture();
+    let abbe = AbbeImager::new(&cfg).unwrap();
+    let i1 = abbe.intensity(&source, &mask).unwrap();
+    let i_half = abbe.intensity(&source, &mask.map(|v| 0.5 * v)).unwrap();
+    for (a, b) in i1.as_slice().iter().zip(i_half.as_slice()) {
+        assert!((0.25 * a - b).abs() < 1e-12, "quadratic scaling violated");
+    }
+}
+
+#[test]
+fn intensity_is_linear_in_source_weights() {
+    // Unnormalized intensities add over disjoint sources; with the dose
+    // normalization this becomes a weighted average.
+    let (cfg, _, mask) = fixture();
+    let abbe = AbbeImager::new(&cfg).unwrap();
+    let nj = cfg.source_dim();
+    let mut w1 = vec![0.0; nj * nj];
+    let mut w2 = vec![0.0; nj * nj];
+    w1[nj + 1] = 1.0;
+    w2[2 * nj + 3] = 1.0;
+    let s1 = Source::from_weights(&cfg, w1.clone());
+    let s2 = Source::from_weights(&cfg, w2.clone());
+    let combined: Vec<f64> = w1.iter().zip(&w2).map(|(a, b)| a + b).collect();
+    let s12 = Source::from_weights(&cfg, combined);
+    let i1 = abbe.intensity(&s1, &mask).unwrap();
+    let i2 = abbe.intensity(&s2, &mask).unwrap();
+    let i12 = abbe.intensity(&s12, &mask).unwrap();
+    for ((a, b), c) in i1.as_slice().iter().zip(i2.as_slice()).zip(i12.as_slice()) {
+        // Equal weights ⇒ normalized combination is the plain average.
+        assert!((0.5 * (a + b) - c).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn off_axis_source_point_shifts_are_not_ignored() {
+    // A dipole and a conventional source must image a vertical-line mask
+    // differently (off-axis illumination changes contrast) — guards against
+    // a regression where source-point shifts are dropped.
+    let cfg = OpticalConfig::test_small();
+    let n = cfg.mask_dim();
+    // 128 nm period (8 px at 8 nm): its fundamental frequency lies between
+    // NA/λ and 2·NA/λ, so it is resolvable only with off-axis illumination —
+    // exactly the regime where dipole and conventional sources must differ.
+    let lines = RealField::from_fn(n, |_, c| if (c / 8) % 2 == 0 { 1.0 } else { 0.0 });
+    let abbe = AbbeImager::new(&cfg).unwrap();
+    let conventional = Source::from_shape(&cfg, SourceShape::Conventional { sigma_out: 0.3 });
+    let dipole = Source::from_shape(
+        &cfg,
+        SourceShape::Dipole {
+            sigma_in: 0.6,
+            sigma_out: 0.95,
+            half_angle: 0.5,
+        },
+    );
+    let ic = abbe.intensity(&conventional, &lines).unwrap();
+    let id = abbe.intensity(&dipole, &lines).unwrap();
+    let diff: f64 = ic
+        .as_slice()
+        .iter()
+        .zip(id.as_slice())
+        .map(|(a, b)| (a - b).abs())
+        .sum();
+    assert!(diff > 1e-3, "sources should image differently, diff = {diff}");
+}
+
+#[test]
+fn resist_model_is_consistent_between_develop_and_print() {
+    let (cfg, source, mask) = fixture();
+    let abbe = AbbeImager::new(&cfg).unwrap();
+    let resist = ResistModel::new(30.0, 0.225);
+    let intensity = abbe.intensity(&source, &mask).unwrap();
+    let smooth = resist.develop(&intensity);
+    let binary = resist.print(&intensity);
+    // The smooth image thresholded at 0.5 equals the hard print
+    // (sigmoid(x) ≥ 0.5 ⟺ x ≥ 0).
+    for (s, b) in smooth.as_slice().iter().zip(binary.as_slice()) {
+        assert_eq!((*s >= 0.5) as u8 as f64, *b);
+    }
+}
