@@ -15,8 +15,8 @@ fn fixtures() -> (SmoProblem, Vec<f64>, RealField) {
         .build()
         .expect("bench config");
     let clip = Clip::simple_rect(&cfg);
-    let problem = SmoProblem::new(cfg.clone(), SmoSettings::default(), clip.target)
-        .expect("problem setup");
+    let problem =
+        SmoProblem::new(cfg.clone(), SmoSettings::default(), clip.target).expect("problem setup");
     let tj = problem.init_theta_j(SourceShape::Annular {
         sigma_in: cfg.sigma_in(),
         sigma_out: cfg.sigma_out(),

@@ -52,34 +52,58 @@ fn main() {
     let hopkins = HopkinsImager::new(&h.optical, &source, 24).expect("tcc build");
 
     let g = RealField::filled(h.optical.mask_dim(), 1.0);
-    let headers: Vec<String> = ["Kernel", "Time (ms)"].iter().map(|s| s.to_string()).collect();
+    let headers: Vec<String> = ["Kernel", "Time (ms)"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     let mut rows = Vec::new();
 
     let t_abbe_fwd = time(reps, || {
         let _ = problem.abbe().intensity(&source, &mask).expect("abbe fwd");
     });
-    rows.push(vec!["Abbe forward".into(), format!("{:.2}", 1e3 * t_abbe_fwd)]);
+    rows.push(vec![
+        "Abbe forward".into(),
+        format!("{:.2}", 1e3 * t_abbe_fwd),
+    ]);
 
     let t_hop_fwd = time(reps, || {
         let _ = hopkins.intensity(&mask).expect("hopkins fwd");
     });
-    rows.push(vec!["Hopkins forward".into(), format!("{:.2}", 1e3 * t_hop_fwd)]);
+    rows.push(vec![
+        "Hopkins forward".into(),
+        format!("{:.2}", 1e3 * t_hop_fwd),
+    ]);
 
     let t_abbe_grad = time(reps, || {
-        let _ = problem.abbe().grad_mask(&source, &mask, &g).expect("abbe grad");
+        let _ = problem
+            .abbe()
+            .grad_mask(&source, &mask, &g)
+            .expect("abbe grad");
     });
-    rows.push(vec!["Abbe mask-grad".into(), format!("{:.2}", 1e3 * t_abbe_grad)]);
+    rows.push(vec![
+        "Abbe mask-grad".into(),
+        format!("{:.2}", 1e3 * t_abbe_grad),
+    ]);
 
     let t_hop_grad = time(reps, || {
         let _ = hopkins.grad_mask(&mask, &g).expect("hopkins grad");
     });
-    rows.push(vec!["Hopkins mask-grad".into(), format!("{:.2}", 1e3 * t_hop_grad)]);
+    rows.push(vec![
+        "Hopkins mask-grad".into(),
+        format!("{:.2}", 1e3 * t_hop_grad),
+    ]);
 
     let t_eval = time(reps, || {
         let _ = problem.eval(&tj, &tm, GradRequest::BOTH).expect("eval");
     });
-    rows.push(vec!["Full SMO eval (both grads)".into(), format!("{:.2}", 1e3 * t_eval)]);
-    rows.push(vec!["TCC + SOCS build".into(), format!("{:.2}", 1e3 * t_tcc)]);
+    rows.push(vec![
+        "Full SMO eval (both grads)".into(),
+        format!("{:.2}", 1e3 * t_eval),
+    ]);
+    rows.push(vec![
+        "TCC + SOCS build".into(),
+        format!("{:.2}", 1e3 * t_tcc),
+    ]);
     println!("{}", format_table(&headers, &rows));
 
     println!(
@@ -95,7 +119,9 @@ fn main() {
     let mut rows = Vec::new();
     let mut base = None;
     for threads in [1usize, 2, 4, 8] {
-        let abbe = AbbeImager::new(&h.optical).expect("engine").with_threads(threads);
+        let abbe = AbbeImager::new(&h.optical)
+            .expect("engine")
+            .with_threads(threads);
         let t = time(reps, || {
             let _ = abbe.intensity(&source, &mask).expect("fwd");
         });

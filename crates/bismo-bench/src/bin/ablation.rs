@@ -22,10 +22,16 @@ fn main() {
 
     // K sweep for NMN and CG.
     println!("\nAblation A: Neumann/CG term count K (outer steps = {outer})\n");
-    let headers: Vec<String> = ["K", "NMN final loss", "NMN TAT (s)", "CG final loss", "CG TAT (s)"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let headers: Vec<String> = [
+        "K",
+        "NMN final loss",
+        "NMN TAT (s)",
+        "CG final loss",
+        "CG TAT (s)",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     let mut rows = Vec::new();
     for k in [0usize, 1, 3, 5] {
         let run = |method| {
@@ -56,7 +62,10 @@ fn main() {
 
     // T sweep (unroll depth).
     println!("\nAblation B: SO unroll depth T (BiSMO-NMN, K = 5)\n");
-    let headers: Vec<String> = ["T", "Final loss", "TAT (s)"].iter().map(|s| s.to_string()).collect();
+    let headers: Vec<String> = ["T", "Final loss", "TAT (s)"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     let mut rows = Vec::new();
     for t in [1usize, 2, 3, 5] {
         let out = run_bismo(
@@ -146,5 +155,7 @@ fn main() {
         ]);
     }
     println!("{}", format_table(&headers, &rows));
-    println!("Check: cosine stalls (rail gradients vanish) — the paper's reason to prefer the sigmoid.");
+    println!(
+        "Check: cosine stalls (rail gradients vanish) — the paper's reason to prefer the sigmoid."
+    );
 }

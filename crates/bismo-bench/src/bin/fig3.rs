@@ -5,8 +5,8 @@
 
 use bismo_bench::{out_dir, Harness, Scale, SuiteKind};
 use bismo_core::{
-    run_abbe_mo, run_am_smo, run_bismo, run_milt_proxy, AmSmoConfig, BismoConfig,
-    ConvergenceTrace, HypergradMethod, MoConfig, MoModel, SmoProblem,
+    run_abbe_mo, run_am_smo, run_bismo, run_milt_proxy, AmSmoConfig, BismoConfig, ConvergenceTrace,
+    HypergradMethod, MoConfig, MoModel, SmoProblem,
 };
 use bismo_opt::OptimizerKind;
 
@@ -52,7 +52,9 @@ fn main() {
         ));
         series.push((
             "Abbe-MO",
-            run_abbe_mo(&problem, &tj, &tm, mo_cfg).expect("abbe-mo").trace,
+            run_abbe_mo(&problem, &tj, &tm, mo_cfg)
+                .expect("abbe-mo")
+                .trace,
         ));
         series.push((
             "AM-SMO",

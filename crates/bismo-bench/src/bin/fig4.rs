@@ -42,11 +42,17 @@ fn main() {
         let nj = source.dim();
         let source_field = RealField::from_vec(nj, source.weights().to_vec());
         let factor = (h.optical.mask_dim() / nj).max(1);
-        write_pgm(&upsample(&source_field, factor), dir.join(format!("fig4_{tag}_source.pgm")))
-            .expect("write source panel");
+        write_pgm(
+            &upsample(&source_field, factor),
+            dir.join(format!("fig4_{tag}_source.pgm")),
+        )
+        .expect("write source panel");
         // Mask, resist, target panels.
-        write_pgm(&problem.mask(&out.theta_m), dir.join(format!("fig4_{tag}_mask.pgm")))
-            .expect("write mask panel");
+        write_pgm(
+            &problem.mask(&out.theta_m),
+            dir.join(format!("fig4_{tag}_mask.pgm")),
+        )
+        .expect("write mask panel");
         let resist = problem
             .resist_nominal(&out.theta_j, &out.theta_m)
             .expect("resist image");

@@ -54,10 +54,8 @@ fn main() {
         for step in 0..outer {
             csv.push_str(&step.to_string());
             for series in &losses {
-                let at_step: Vec<f64> = series
-                    .iter()
-                    .filter_map(|s| s.get(step).copied())
-                    .collect();
+                let at_step: Vec<f64> =
+                    series.iter().filter_map(|s| s.get(step).copied()).collect();
                 csv.push_str(&format!(",{:.5},{:.5}", mean(&at_step), std_dev(&at_step)));
             }
             csv.push('\n');

@@ -12,10 +12,17 @@ fn main() {
         "Table 2: dataset details (tile {:.0} nm, area scale ×{:.3} vs the paper's 4 µm² window)\n",
         tile, area_scale
     );
-    let headers: Vec<String> = ["Dataset", "Avg area (nm²)", "Paper target ×scale", "Test num.", "Layer", "CD (nm)"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let headers: Vec<String> = [
+        "Dataset",
+        "Avg area (nm²)",
+        "Paper target ×scale",
+        "Test num.",
+        "Layer",
+        "CD (nm)",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     let mut rows = Vec::new();
     for kind in SuiteKind::all() {
         let suite = h.suite(kind);

@@ -29,7 +29,10 @@ fn main() {
         },
         {
             let mut r = vec!["EPE ratio".to_string()];
-            r.extend(epe.iter().map(|v| format!("{:.1}", v / epe[base].max(1e-9))));
+            r.extend(
+                epe.iter()
+                    .map(|v| format!("{:.1}", v / epe[base].max(1e-9))),
+            );
             r
         },
         {
@@ -39,7 +42,10 @@ fn main() {
         },
         {
             let mut r = vec!["TAT ratio".to_string()];
-            r.extend(tat.iter().map(|v| format!("{:.2}", v / tat[base].max(1e-9))));
+            r.extend(
+                tat.iter()
+                    .map(|v| format!("{:.2}", v / tat[base].max(1e-9))),
+            );
             r
         },
     ];

@@ -193,10 +193,7 @@ pub fn run_am_smo(
         // Early stopping is only evaluated at round boundaries: inside a
         // round the trace zigzags by construction (Figure 3), which would
         // trip a plateau rule spuriously.
-        if cfg
-            .stop
-            .is_some_and(|rule| rule.plateaued(trace.records()))
-        {
+        if cfg.stop.is_some_and(|rule| rule.plateaued(trace.records())) {
             stopped = true;
             break 'rounds;
         }
@@ -253,10 +250,7 @@ mod tests {
         // Compare true end-to-end loss (the per-step trace may zigzag — that
         // is the point of Figure 3).
         let l0 = problem.loss(&tj, &tm).unwrap().total;
-        let l1 = problem
-            .loss(&out.theta_j, &out.theta_m)
-            .unwrap()
-            .total;
+        let l1 = problem.loss(&out.theta_j, &out.theta_m).unwrap().total;
         assert!(l1 < l0, "{l0} → {l1}");
     }
 

@@ -318,8 +318,7 @@ mod tests {
             }
         });
         // PVB off keeps the test fast (1 imaging pass instead of 3).
-        let problem =
-            SmoProblem::new(cfg, SmoSettings::default().without_pvb(), target).unwrap();
+        let problem = SmoProblem::new(cfg, SmoSettings::default().without_pvb(), target).unwrap();
         let tj = problem.init_theta_j(SourceShape::Annular {
             sigma_in: 0.63,
             sigma_out: 0.95,
@@ -353,16 +352,26 @@ mod tests {
     #[test]
     fn neumann_reduces_loss() {
         let (problem, tj, tm) = fixtures();
-        let out =
-            run_bismo(&problem, &tj, &tm, quick(HypergradMethod::Neumann { k: 2 }, 4)).unwrap();
+        let out = run_bismo(
+            &problem,
+            &tj,
+            &tm,
+            quick(HypergradMethod::Neumann { k: 2 }, 4),
+        )
+        .unwrap();
         assert!(out.trace.final_loss().unwrap() < out.trace.records()[0].loss);
     }
 
     #[test]
     fn cg_reduces_loss() {
         let (problem, tj, tm) = fixtures();
-        let out =
-            run_bismo(&problem, &tj, &tm, quick(HypergradMethod::ConjGrad { k: 2 }, 4)).unwrap();
+        let out = run_bismo(
+            &problem,
+            &tj,
+            &tm,
+            quick(HypergradMethod::ConjGrad { k: 2 }, 4),
+        )
+        .unwrap();
         assert!(out.trace.final_loss().unwrap() < out.trace.records()[0].loss);
     }
 
@@ -371,14 +380,14 @@ mod tests {
         // §3.2.4: "When K = 0, ∇ L^NMN reduces to match ∇ L^FD".
         let (problem, tj, tm) = fixtures();
         let fd = run_bismo(&problem, &tj, &tm, quick(HypergradMethod::FiniteDiff, 3)).unwrap();
-        let nmn =
-            run_bismo(&problem, &tj, &tm, quick(HypergradMethod::Neumann { k: 0 }, 3)).unwrap();
-        for (a, b) in fd
-            .theta_m
-            .as_slice()
-            .iter()
-            .zip(nmn.theta_m.as_slice())
-        {
+        let nmn = run_bismo(
+            &problem,
+            &tj,
+            &tm,
+            quick(HypergradMethod::Neumann { k: 0 }, 3),
+        )
+        .unwrap();
+        for (a, b) in fd.theta_m.as_slice().iter().zip(nmn.theta_m.as_slice()) {
             assert!((a - b).abs() < 1e-12, "{a} vs {b}");
         }
         for (a, b) in fd.theta_j.iter().zip(&nmn.theta_j) {
@@ -390,7 +399,12 @@ mod tests {
     fn both_parameter_blocks_move() {
         let (problem, tj, tm) = fixtures();
         let out = run_bismo(&problem, &tj, &tm, quick(HypergradMethod::FiniteDiff, 2)).unwrap();
-        let dj: f64 = out.theta_j.iter().zip(&tj).map(|(a, b)| (a - b).abs()).sum();
+        let dj: f64 = out
+            .theta_j
+            .iter()
+            .zip(&tj)
+            .map(|(a, b)| (a - b).abs())
+            .sum();
         let dm: f64 = out
             .theta_m
             .as_slice()
@@ -406,8 +420,12 @@ mod tests {
         // ⟨u, Hv⟩ ≈ ⟨Hu, v⟩ for the SO Hessian.
         let (problem, tj, tm) = fixtures();
         let nj2 = tj.len();
-        let u: Vec<f64> = (0..nj2).map(|i| ((i * 13 % 7) as f64 - 3.0) / 7.0).collect();
-        let v: Vec<f64> = (0..nj2).map(|i| ((i * 5 % 11) as f64 - 5.0) / 11.0).collect();
+        let u: Vec<f64> = (0..nj2)
+            .map(|i| ((i * 13 % 7) as f64 - 3.0) / 7.0)
+            .collect();
+        let v: Vec<f64> = (0..nj2)
+            .map(|i| ((i * 5 % 11) as f64 - 5.0) / 11.0)
+            .collect();
         let hu = hvp(&problem, &tj, &tm, &u, 1e-2).unwrap();
         let hv = hvp(&problem, &tj, &tm, &v, 1e-2).unwrap();
         let uhv: f64 = u.iter().zip(&hv).map(|(a, b)| a * b).sum();

@@ -92,11 +92,9 @@ pub fn epe_violations(
     let stride = stride_px.max(1);
     let mut violations = 0;
 
-    let mut check_site = |found: Option<usize>| {
-        match found.map(|d| d as f64 * pixel_nm) {
-            Some(d) if d <= threshold_nm => {}
-            _ => violations += 1,
-        }
+    let mut check_site = |found: Option<usize>| match found.map(|d| d as f64 * pixel_nm) {
+        Some(d) if d <= threshold_nm => {}
+        _ => violations += 1,
     };
 
     // Vertical target edges: between (r, c) and (r, c+1), runs along r.
@@ -209,8 +207,16 @@ pub fn measure(
     let dose = problem.settings().dose;
 
     let nominal = resist.print(&problem.abbe().intensity(&source, &mask)?);
-    let z_min = resist.print(&problem.abbe().intensity(&source, &mask.map(|v| dose.min * v))?);
-    let z_max = resist.print(&problem.abbe().intensity(&source, &mask.map(|v| dose.max * v))?);
+    let z_min = resist.print(
+        &problem
+            .abbe()
+            .intensity(&source, &mask.map(|v| dose.min * v))?,
+    );
+    let z_max = resist.print(
+        &problem
+            .abbe()
+            .intensity(&source, &mask.map(|v| dose.max * v))?,
+    );
 
     Ok(MetricSet {
         l2_nm2: l2_area_nm2(&nominal, problem.target(), pixel),

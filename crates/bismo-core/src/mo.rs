@@ -139,7 +139,8 @@ pub fn run_nilt_proxy(
     cfg: MoConfig,
 ) -> Result<MoOutcome, LithoError> {
     let proxy_settings = settings.clone().without_pvb();
-    let problem = HopkinsMoProblem::new(optical.clone(), proxy_settings, target.clone(), source, 6)?;
+    let problem =
+        HopkinsMoProblem::new(optical.clone(), proxy_settings, target.clone(), source, 6)?;
     let theta_m0 = problem.init_theta_m();
     run_hopkins_mo(&problem, &theta_m0, cfg)
 }
@@ -158,8 +159,13 @@ pub fn run_milt_proxy(
     source: &Source,
     cfg: MoConfig,
 ) -> Result<MoOutcome, LithoError> {
-    let problem =
-        HopkinsMoProblem::new(optical.clone(), settings.clone(), target.clone(), source, 24)?;
+    let problem = HopkinsMoProblem::new(
+        optical.clone(),
+        settings.clone(),
+        target.clone(),
+        source,
+        24,
+    )?;
     let theta_m0 = problem.init_theta_m();
     let start = Instant::now();
     let mut theta_m = theta_m0.clone();

@@ -80,10 +80,9 @@ impl Activation {
     /// alternative, per [`Activation::source_kind`]).
     pub fn source_weights(&self, theta_j: &[f64]) -> Vec<f64> {
         match self.source_kind {
-            SourceActivationKind::Sigmoid => theta_j
-                .iter()
-                .map(|&t| sigmoid(self.alpha_j * t))
-                .collect(),
+            SourceActivationKind::Sigmoid => {
+                theta_j.iter().map(|&t| sigmoid(self.alpha_j * t)).collect()
+            }
             SourceActivationKind::Cosine => theta_j
                 .iter()
                 .map(|&t| 0.5 * (1.0 - (self.alpha_j * t).cos()))

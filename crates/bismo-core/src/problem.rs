@@ -594,9 +594,7 @@ mod tests {
         assert!(loss.total.is_finite());
         assert!(loss.total > 0.0);
         assert!(loss.l2 >= 0.0 && loss.pvb >= 0.0);
-        assert!(
-            (loss.total - (1000.0 * loss.l2 + 3000.0 * loss.pvb)).abs() < 1e-9 * loss.total
-        );
+        assert!((loss.total - (1000.0 * loss.l2 + 3000.0 * loss.pvb)).abs() < 1e-9 * loss.total);
     }
 
     #[test]

@@ -192,9 +192,7 @@ mod tests {
             tv: 3.0,
         };
         let v = value(&reg, &m);
-        assert!(
-            (v - (2.0 * discreteness_value(&m) + 3.0 * tv_value(&m))).abs() < 1e-12
-        );
+        assert!((v - (2.0 * discreteness_value(&m) + 3.0 * tv_value(&m))).abs() < 1e-12);
         let g = grad(&reg, &m);
         let expect = {
             let mut e = RealField::zeros(m.dim());

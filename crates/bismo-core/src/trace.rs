@@ -107,11 +107,7 @@ impl StopRule {
         if records.len() < 2 * w {
             return false;
         }
-        let min_of = |rs: &[StepRecord]| {
-            rs.iter()
-                .map(|r| r.loss)
-                .fold(f64::INFINITY, f64::min)
-        };
+        let min_of = |rs: &[StepRecord]| rs.iter().map(|r| r.loss).fold(f64::INFINITY, f64::min);
         let old_best = min_of(&records[records.len() - 2 * w..records.len() - w]);
         let new_best = min_of(&records[records.len() - w..]);
         new_best > old_best * (1.0 - self.rel_tol)

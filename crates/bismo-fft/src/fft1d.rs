@@ -39,7 +39,10 @@ impl std::fmt::Display for FftError {
                 write!(f, "fft length {n} is not a power of two (and nonzero)")
             }
             FftErrorKind::LengthMismatch { expected, got } => {
-                write!(f, "buffer length {got} does not match plan length {expected}")
+                write!(
+                    f,
+                    "buffer length {got} does not match plan length {expected}"
+                )
             }
         }
     }

@@ -225,7 +225,10 @@ pub fn signed_freq(idx: usize, n: usize) -> isize {
 #[inline]
 pub fn wrap_freq(f: isize, n: usize) -> usize {
     let n = n as isize;
-    assert!(f >= -n / 2 && f < n - n / 2, "frequency {f} out of range for n={n}");
+    assert!(
+        f >= -n / 2 && f < n - n / 2,
+        "frequency {f} out of range for n={n}"
+    );
     ((f + n) % n) as usize
 }
 

@@ -1,0 +1,117 @@
+//! Property tests for `bismo-fft` on random fields: forward→inverse
+//! roundtrips for every normalization pairing, Parseval energy conservation,
+//! and agreement of the radix-2 plans with the naive DFT.
+
+use bismo_fft::{dft_naive, Complex64, Direction, Fft2Plan, FftPlan};
+use bismo_testkit::{assert_close, assert_complex_close, random_complex_vec};
+
+const CASES: u64 = 16;
+
+#[test]
+fn roundtrip_identity_1d() {
+    for size in [2usize, 8, 64, 256] {
+        let plan = FftPlan::new(size).unwrap();
+        for case in 0..CASES {
+            let data = random_complex_vec(size as u64 * 1000 + case, size);
+            let mut buf = data.clone();
+            plan.forward(&mut buf).unwrap();
+            plan.inverse(&mut buf).unwrap();
+            assert_complex_close(&data, &buf, 1e-10, "1-D forward→inverse");
+
+            let mut ubuf = data.clone();
+            plan.forward_unitary(&mut ubuf).unwrap();
+            plan.inverse_unitary(&mut ubuf).unwrap();
+            assert_complex_close(&data, &ubuf, 1e-10, "1-D unitary roundtrip");
+        }
+    }
+}
+
+#[test]
+fn roundtrip_identity_2d() {
+    for (rows, cols) in [(4usize, 4usize), (8, 8), (16, 32), (64, 64)] {
+        let plan = Fft2Plan::new(rows, cols).unwrap();
+        for case in 0..CASES / 4 {
+            let data = random_complex_vec((rows * cols) as u64 * 7 + case, rows * cols);
+            let mut buf = data.clone();
+            plan.forward(&mut buf).unwrap();
+            plan.inverse(&mut buf).unwrap();
+            assert_complex_close(&data, &buf, 1e-10, "2-D forward→inverse");
+
+            let mut ubuf = data.clone();
+            plan.inverse_unitary(&mut ubuf).unwrap();
+            plan.forward_unitary(&mut ubuf).unwrap();
+            assert_complex_close(&data, &ubuf, 1e-10, "2-D unitary inverse→forward");
+        }
+    }
+}
+
+fn energy(zs: &[Complex64]) -> f64 {
+    zs.iter().map(|z| z.norm_sqr()).sum()
+}
+
+#[test]
+fn parseval_energy_conservation_1d() {
+    // Unitary transforms preserve energy exactly; the unnormalized forward
+    // scales it by N (Parseval: Σ|X[k]|² = N·Σ|x[n]|²).
+    for size in [8usize, 128] {
+        let plan = FftPlan::new(size).unwrap();
+        for case in 0..CASES {
+            let data = random_complex_vec(size as u64 * 31 + case, size);
+            let e0 = energy(&data);
+
+            let mut unitary = data.clone();
+            plan.forward_unitary(&mut unitary).unwrap();
+            assert_close(energy(&unitary), e0, 1e-10, 1e-12, "unitary Parseval");
+
+            let mut raw = data.clone();
+            plan.forward(&mut raw).unwrap();
+            assert_close(
+                energy(&raw),
+                size as f64 * e0,
+                1e-10,
+                1e-12,
+                "unnormalized Parseval",
+            );
+        }
+    }
+}
+
+#[test]
+fn parseval_energy_conservation_2d() {
+    for (rows, cols) in [(8usize, 8usize), (32, 16)] {
+        let plan = Fft2Plan::new(rows, cols).unwrap();
+        let n = rows * cols;
+        for case in 0..CASES / 2 {
+            let data = random_complex_vec(n as u64 * 13 + case, n);
+            let e0 = energy(&data);
+
+            let mut unitary = data.clone();
+            plan.forward_unitary(&mut unitary).unwrap();
+            assert_close(energy(&unitary), e0, 1e-10, 1e-12, "2-D unitary Parseval");
+
+            let mut raw = data.clone();
+            plan.forward(&mut raw).unwrap();
+            assert_close(
+                energy(&raw),
+                n as f64 * e0,
+                1e-10,
+                1e-12,
+                "2-D unnormalized Parseval",
+            );
+        }
+    }
+}
+
+#[test]
+fn radix2_matches_naive_dft() {
+    for size in [4usize, 16, 32] {
+        let plan = FftPlan::new(size).unwrap();
+        for case in 0..4 {
+            let data = random_complex_vec(size as u64 * 97 + case, size);
+            let naive = dft_naive(&data, Direction::Forward);
+            let mut fast = data.clone();
+            plan.forward(&mut fast).unwrap();
+            assert_complex_close(&naive, &fast, 1e-9, "radix-2 vs naive DFT");
+        }
+    }
+}

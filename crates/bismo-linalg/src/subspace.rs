@@ -201,9 +201,7 @@ mod tests {
             s ^= s << 17;
             (s as f64 / u64::MAX as f64) * 2.0 - 1.0
         };
-        let b: Vec<Complex64> = (0..n * n)
-            .map(|_| Complex64::new(next(), next()))
-            .collect();
+        let b: Vec<Complex64> = (0..n * n).map(|_| Complex64::new(next(), next())).collect();
         let mut a = HermitianMatrix::zeros(n);
         for i in 0..n {
             for j in i..n {
@@ -226,7 +224,12 @@ mod tests {
         let approx = top_eigenpairs(&a, q, 8, 60, 1).unwrap();
         for m in 0..q {
             let rel = (approx.values[m] - full.values[m]).abs() / full.values[0];
-            assert!(rel < 1e-6, "pair {m}: {} vs {}", approx.values[m], full.values[m]);
+            assert!(
+                rel < 1e-6,
+                "pair {m}: {} vs {}",
+                approx.values[m],
+                full.values[m]
+            );
         }
     }
 

@@ -31,6 +31,29 @@ type GradChunk = (Vec<Complex64>, Vec<(usize, f64)>);
 /// Minimum total source power below which no image is formed.
 const DARK_EPS: f64 = 1e-12;
 
+/// Splits `items` into at most `threads` contiguous chunks and runs `f` on
+/// each in a scoped worker thread, returning the per-chunk results in order.
+/// Shared by every parallel pass of the engine (forward imaging and both
+/// gradient paths).
+fn fan_out<T: Sync, R: Send>(
+    items: &[T],
+    threads: usize,
+    f: impl Fn(&[T]) -> Result<R, LithoError> + Sync,
+) -> Result<Vec<R>, LithoError> {
+    let nchunks = threads.min(items.len()).max(1);
+    let chunk_len = items.len().div_ceil(nchunks);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk_len)
+            .map(|chunk| scope.spawn(|| f(chunk)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("imaging worker panicked"))
+            .collect()
+    })
+}
+
 /// Abbe forward-imaging engine.
 ///
 /// # Examples
@@ -251,21 +274,10 @@ impl AbbeImager {
             return Ok(RealField::from_vec(n, total));
         }
 
-        let nchunks = self.threads.min(points.len());
-        let chunk_len = points.len().div_ceil(nchunks);
-        let partials: Result<Vec<Vec<f64>>, LithoError> = crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for chunk in points.chunks(chunk_len) {
-                let o_ref = &o;
-                handles.push(scope.spawn(move |_| self.intensity_chunk(o_ref, chunk)));
-            }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("imaging worker panicked"))
-                .collect()
-        })
-        .expect("thread scope panicked");
-        for partial in partials? {
+        let partials = fan_out(&points, self.threads, |chunk| {
+            self.intensity_chunk(&o, chunk)
+        })?;
+        for partial in partials {
             for (t, p) in total.iter_mut().zip(&partial) {
                 *t += p;
             }
@@ -347,23 +359,10 @@ impl AbbeImager {
         let (mut acc_freq, src_entries) = if self.threads <= 1 || all_indices.len() < 2 {
             run_chunk(&all_indices)?
         } else {
-            let nchunks = self.threads.min(all_indices.len());
-            let chunk_len = all_indices.len().div_ceil(nchunks);
-            let results: Result<Vec<_>, LithoError> = crossbeam::thread::scope(|scope| {
-                let mut handles = Vec::new();
-                for chunk in all_indices.chunks(chunk_len) {
-                    let f = &run_chunk;
-                    handles.push(scope.spawn(move |_| f(chunk)));
-                }
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("gradient worker panicked"))
-                    .collect()
-            })
-            .expect("thread scope panicked");
+            let results = fan_out(&all_indices, self.threads, run_chunk)?;
             let mut acc = vec![Complex64::ZERO; n * n];
             let mut entries = Vec::with_capacity(nj * nj);
-            for (partial_acc, partial_entries) in results? {
+            for (partial_acc, partial_entries) in results {
                 for (a, p) in acc.iter_mut().zip(&partial_acc) {
                     *a += *p;
                 }
@@ -433,22 +432,9 @@ impl AbbeImager {
         let entries = if self.threads <= 1 || all_indices.len() < 2 {
             run_chunk(&all_indices)?
         } else {
-            let nchunks = self.threads.min(all_indices.len());
-            let chunk_len = all_indices.len().div_ceil(nchunks);
-            let results: Result<Vec<_>, LithoError> = crossbeam::thread::scope(|scope| {
-                let mut handles = Vec::new();
-                for chunk in all_indices.chunks(chunk_len) {
-                    let f = &run_chunk;
-                    handles.push(scope.spawn(move |_| f(chunk)));
-                }
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("gradient worker panicked"))
-                    .collect()
-            })
-            .expect("thread scope panicked");
+            let results = fan_out(&all_indices, self.threads, run_chunk)?;
             let mut entries = Vec::with_capacity(nj * nj);
-            for partial in results? {
+            for partial in results {
                 entries.extend(partial);
             }
             entries
@@ -618,7 +604,12 @@ mod tests {
         let (gm, _) = abbe.gradients(&src, &m, &coeff, &i0).unwrap();
 
         let eps = 1e-5;
-        for &(r, c) in &[(n / 2, n / 2), (n / 2 - 8, n / 2), (3, 5), (n / 2, n / 2 + 7)] {
+        for &(r, c) in &[
+            (n / 2, n / 2),
+            (n / 2 - 8, n / 2),
+            (3, 5),
+            (n / 2, n / 2 + 7),
+        ] {
             let mut mp = m.clone();
             mp[(r, c)] += eps;
             let mut mm = m.clone();

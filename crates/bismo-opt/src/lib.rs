@@ -282,10 +282,7 @@ mod tests {
                 let g = quad_grad(&x, &a, &c);
                 opt.step(&mut x, &g);
             }
-            x.iter()
-                .zip(&a)
-                .map(|(xi, ai)| (xi - ai) * (xi - ai))
-                .sum()
+            x.iter().zip(&a).map(|(xi, ai)| (xi - ai) * (xi - ai)).sum()
         };
         let sgd_err = run(Box::new(Sgd::new(0.04, 2)), 200);
         let mom_err = run(Box::new(Momentum::new(0.04, 0.9, 2)), 200);

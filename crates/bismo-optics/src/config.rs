@@ -336,7 +336,10 @@ mod tests {
 
     #[test]
     fn rejects_negative_physics() {
-        assert!(OpticalConfig::builder().wavelength_nm(-1.0).build().is_err());
+        assert!(OpticalConfig::builder()
+            .wavelength_nm(-1.0)
+            .build()
+            .is_err());
         assert!(OpticalConfig::builder().na(0.0).build().is_err());
         assert!(OpticalConfig::builder().pixel_nm(0.0).build().is_err());
     }

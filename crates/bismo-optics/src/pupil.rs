@@ -77,8 +77,7 @@ impl Pupil {
         if self.defocus_nm == 0.0 {
             return Complex64::ONE;
         }
-        let phase =
-            -std::f64::consts::PI * self.wavelength_nm * self.defocus_nm * (f * f + g * g);
+        let phase = -std::f64::consts::PI * self.wavelength_nm * self.defocus_nm * (f * f + g * g);
         Complex64::cis(phase)
     }
 
@@ -238,8 +237,7 @@ mod tests {
         let z_nm = 50.0;
         let p = Pupil::new(&cfg).with_defocus(z_nm);
         let f = 0.5 * p.cutoff();
-        let expected =
-            -std::f64::consts::PI * cfg.wavelength_nm() * z_nm * (f * f);
+        let expected = -std::f64::consts::PI * cfg.wavelength_nm() * z_nm * (f * f);
         let got = p.value_complex(f, 0.0).arg();
         assert!((got - expected).abs() < 1e-12);
         // DC picks up no phase.

@@ -1,0 +1,392 @@
+//! # bismo-testkit
+//!
+//! Shared test infrastructure for the BiSMO workspace: small deterministic
+//! problem fixtures, finite-difference gradient checkers and field/tolerance
+//! assertion helpers. Every integration test in the workspace builds on
+//! these so that fixtures and tolerances are defined exactly once.
+//!
+//! ## Examples
+//!
+//! ```
+//! use bismo_testkit::{check_gradient, Fixture, GradCheckSpec};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let fx = Fixture::small()?;
+//! // Check ∂L/∂θ_J on a few coordinates against central differences.
+//! let eval = fx.problem.eval(&fx.theta_j, &fx.theta_m, bismo_core::GradRequest::SOURCE)?;
+//! let analytic = eval.grad_theta_j.unwrap();
+//! let report = check_gradient(
+//!     |tj| fx.problem.loss(tj, &fx.theta_m).unwrap().total,
+//!     &fx.theta_j,
+//!     &analytic,
+//!     &[0, 7, 24],
+//!     GradCheckSpec::default(),
+//! );
+//! assert!(report.max_rel_err < 1e-4, "{report}");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+use bismo_core::{SmoProblem, SmoSettings};
+use bismo_fft::Complex64;
+use bismo_layout::Clip;
+use bismo_litho::LithoError;
+use bismo_optics::{OpticalConfig, RealField, SourceShape};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+// ---------------------------------------------------------------------------
+// Fixtures
+// ---------------------------------------------------------------------------
+
+/// A ready-to-run small SMO problem: `OpticalConfig::test_small` optics, the
+/// `Clip::simple_rect` target, annular-template `θ_J` and target-derived
+/// `θ_M` — the canonical starting point of every workspace integration test.
+#[derive(Debug, Clone)]
+pub struct Fixture {
+    /// The optical configuration (64×64 mask grid test preset).
+    pub cfg: OpticalConfig,
+    /// The SMO problem over the simple-rect target.
+    pub problem: SmoProblem,
+    /// Annular-template source parameters.
+    pub theta_j: Vec<f64>,
+    /// Target-derived mask parameters.
+    pub theta_m: RealField,
+}
+
+impl Fixture {
+    /// Builds the canonical small fixture (PVB term enabled).
+    ///
+    /// # Errors
+    ///
+    /// Propagates problem-construction failures (none for the shipped
+    /// presets; kept fallible so tests exercise the real constructor).
+    pub fn small() -> Result<Fixture, LithoError> {
+        Fixture::with_settings(SmoSettings::default())
+    }
+
+    /// Builds the small fixture with the PVB term disabled — the cheapest
+    /// configuration, used where process-window corners are irrelevant.
+    ///
+    /// # Errors
+    ///
+    /// Propagates problem-construction failures.
+    pub fn small_no_pvb() -> Result<Fixture, LithoError> {
+        Fixture::with_settings(SmoSettings::default().without_pvb())
+    }
+
+    /// Builds the small fixture with explicit objective settings.
+    ///
+    /// # Errors
+    ///
+    /// Propagates problem-construction failures.
+    pub fn with_settings(settings: SmoSettings) -> Result<Fixture, LithoError> {
+        let cfg = OpticalConfig::test_small();
+        let clip = Clip::simple_rect(&cfg);
+        let problem = SmoProblem::new(cfg.clone(), settings, clip.target)?;
+        let theta_j = problem.init_theta_j(SourceShape::Annular {
+            sigma_in: cfg.sigma_in(),
+            sigma_out: cfg.sigma_out(),
+        });
+        let theta_m = problem.init_theta_m();
+        Ok(Fixture {
+            cfg,
+            problem,
+            theta_j,
+            theta_m,
+        })
+    }
+}
+
+/// Deterministic random field with entries in `[lo, hi)`.
+pub fn random_field(seed: u64, dim: usize, lo: f64, hi: f64) -> RealField {
+    let mut rng = StdRng::seed_from_u64(seed);
+    RealField::from_fn(dim, |_, _| rng.gen_range(lo..hi))
+}
+
+/// Deterministic random complex vector with re/im in `[-1, 1)`.
+pub fn random_complex_vec(seed: u64, len: usize) -> Vec<Complex64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len)
+        .map(|_| Complex64::new(rng.gen_range(-1.0f64..1.0), rng.gen_range(-1.0f64..1.0)))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Finite-difference gradient checking
+// ---------------------------------------------------------------------------
+
+/// Step size and tolerances for a finite-difference gradient check.
+#[derive(Debug, Clone, Copy)]
+pub struct GradCheckSpec {
+    /// Central-difference step.
+    pub eps: f64,
+    /// Relative tolerance (scaled by the larger gradient magnitude).
+    pub rtol: f64,
+    /// Absolute floor below which differences are ignored.
+    pub atol: f64,
+}
+
+impl Default for GradCheckSpec {
+    fn default() -> GradCheckSpec {
+        GradCheckSpec {
+            eps: 1e-5,
+            rtol: 1e-4,
+            atol: 1e-7,
+        }
+    }
+}
+
+/// Outcome of a gradient check: worst coordinate and its errors.
+#[derive(Debug, Clone)]
+pub struct GradCheckReport {
+    /// Largest relative error across the probed coordinates.
+    pub max_rel_err: f64,
+    /// Largest absolute error across the probed coordinates.
+    pub max_abs_err: f64,
+    /// Coordinate index realizing `max_rel_err`.
+    pub worst_index: usize,
+    /// Numeric (central-difference) derivative at the worst coordinate.
+    pub worst_numeric: f64,
+    /// Analytic derivative at the worst coordinate.
+    pub worst_analytic: f64,
+    /// Number of coordinates probed.
+    pub probed: usize,
+}
+
+impl fmt::Display for GradCheckReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "grad check over {} coords: max rel err {:.3e} (abs {:.3e}) at index {}: numeric {:.6e} vs analytic {:.6e}",
+            self.probed,
+            self.max_rel_err,
+            self.max_abs_err,
+            self.worst_index,
+            self.worst_numeric,
+            self.worst_analytic
+        )
+    }
+}
+
+impl GradCheckReport {
+    /// Panics with the report if the check exceeded `spec`'s tolerances.
+    pub fn assert_ok(&self, spec: GradCheckSpec, label: &str) {
+        assert!(
+            self.max_rel_err <= spec.rtol,
+            "{label}: analytic gradient disagrees with finite differences — {self}"
+        );
+    }
+}
+
+/// Central-difference check of an analytic gradient over a flat `&[f64]`
+/// parameter vector, probing only `indices` (full sweeps are quadratic in
+/// problem size; probing a spread of coordinates is the standard practice).
+///
+/// Relative error uses `|num − ana| / max(|num|, |ana|, atol/rtol)` so tiny
+/// gradients are judged on the absolute floor instead of blowing up.
+pub fn check_gradient<F: FnMut(&[f64]) -> f64>(
+    mut f: F,
+    x: &[f64],
+    analytic: &[f64],
+    indices: &[usize],
+    spec: GradCheckSpec,
+) -> GradCheckReport {
+    assert_eq!(
+        x.len(),
+        analytic.len(),
+        "parameter and gradient vectors must have equal length"
+    );
+    assert!(!indices.is_empty(), "must probe at least one coordinate");
+    let mut report = GradCheckReport {
+        max_rel_err: 0.0,
+        max_abs_err: 0.0,
+        worst_index: indices[0],
+        worst_numeric: 0.0,
+        worst_analytic: 0.0,
+        probed: indices.len(),
+    };
+    let mut buf = x.to_vec();
+    for &i in indices {
+        assert!(i < x.len(), "probe index {i} out of bounds ({})", x.len());
+        buf[i] = x[i] + spec.eps;
+        let fp = f(&buf);
+        buf[i] = x[i] - spec.eps;
+        let fm = f(&buf);
+        buf[i] = x[i];
+        let numeric = (fp - fm) / (2.0 * spec.eps);
+        let abs_err = (numeric - analytic[i]).abs();
+        let scale = numeric
+            .abs()
+            .max(analytic[i].abs())
+            .max(spec.atol / spec.rtol);
+        let rel_err = abs_err / scale;
+        report.max_abs_err = report.max_abs_err.max(abs_err);
+        if rel_err > report.max_rel_err {
+            report.max_rel_err = rel_err;
+            report.worst_index = i;
+            report.worst_numeric = numeric;
+            report.worst_analytic = analytic[i];
+        }
+    }
+    report
+}
+
+/// [`check_gradient`] over a [`RealField`] parameter block (row-major
+/// flattening, matching the workspace's gradient layout).
+pub fn check_gradient_field<F: FnMut(&RealField) -> f64>(
+    mut f: F,
+    x: &RealField,
+    analytic: &RealField,
+    indices: &[usize],
+    spec: GradCheckSpec,
+) -> GradCheckReport {
+    assert_eq!(x.dim(), analytic.dim(), "field dimension mismatch");
+    let dim = x.dim();
+    check_gradient(
+        |flat| f(&RealField::from_vec(dim, flat.to_vec())),
+        x.as_slice(),
+        analytic.as_slice(),
+        indices,
+        spec,
+    )
+}
+
+/// Evenly spread probe indices over a parameter vector of length `len`
+/// (always includes the first and last coordinate).
+pub fn spread_indices(len: usize, count: usize) -> Vec<usize> {
+    assert!(len > 0 && count > 0);
+    if count >= len {
+        return (0..len).collect();
+    }
+    let mut out: Vec<usize> = (0..count)
+        .map(|k| k * (len - 1) / (count.max(2) - 1))
+        .collect();
+    out.dedup();
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Tolerance assertions
+// ---------------------------------------------------------------------------
+
+/// Asserts two scalars agree within `atol + rtol·|b|`.
+pub fn assert_close(a: f64, b: f64, rtol: f64, atol: f64, label: &str) {
+    let tol = atol + rtol * b.abs();
+    assert!(
+        (a - b).abs() <= tol,
+        "{label}: {a} vs {b} (|Δ| = {:.3e} > tol {:.3e})",
+        (a - b).abs(),
+        tol
+    );
+}
+
+/// Largest absolute elementwise difference between two fields.
+///
+/// # Panics
+///
+/// Panics on dimension mismatch.
+pub fn max_abs_diff(a: &RealField, b: &RealField) -> f64 {
+    assert_eq!(a.dim(), b.dim(), "field dimension mismatch");
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Asserts two fields agree elementwise within `atol`.
+pub fn assert_fields_close(a: &RealField, b: &RealField, atol: f64, label: &str) {
+    let d = max_abs_diff(a, b);
+    assert!(d <= atol, "{label}: max |Δ| = {d:.3e} > {atol:.3e}");
+}
+
+/// Asserts two complex slices agree elementwise within `atol`.
+pub fn assert_complex_close(a: &[Complex64], b: &[Complex64], atol: f64, label: &str) {
+    assert_eq!(a.len(), b.len(), "{label}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        let d = (*x - *y).abs();
+        assert!(d <= atol, "{label}[{i}]: |Δ| = {d:.3e} > {atol:.3e}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadratic_gradient_passes_check() {
+        // f(x) = Σ i·x_i² has gradient 2·i·x_i.
+        let x: Vec<f64> = (0..10).map(|i| 0.3 + 0.1 * i as f64).collect();
+        let g: Vec<f64> = x
+            .iter()
+            .enumerate()
+            .map(|(i, v)| 2.0 * i as f64 * v)
+            .collect();
+        let report = check_gradient(
+            |p| p.iter().enumerate().map(|(i, v)| i as f64 * v * v).sum(),
+            &x,
+            &g,
+            &spread_indices(10, 5),
+            GradCheckSpec::default(),
+        );
+        report.assert_ok(GradCheckSpec::default(), "quadratic");
+    }
+
+    #[test]
+    #[should_panic(expected = "disagrees with finite differences")]
+    fn wrong_gradient_fails_check() {
+        let x = vec![1.0, 2.0];
+        let wrong = vec![0.0, 0.0];
+        let report = check_gradient(
+            |p| p.iter().map(|v| v * v).sum(),
+            &x,
+            &wrong,
+            &[0, 1],
+            GradCheckSpec::default(),
+        );
+        report.assert_ok(GradCheckSpec::default(), "wrong");
+    }
+
+    #[test]
+    fn spread_indices_cover_endpoints() {
+        let idx = spread_indices(100, 5);
+        assert_eq!(idx.first(), Some(&0));
+        assert_eq!(idx.last(), Some(&99));
+        assert!(idx.len() <= 5);
+        let all = spread_indices(3, 10);
+        assert_eq!(all, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn fixture_builds_and_evaluates() {
+        let fx = Fixture::small_no_pvb().unwrap();
+        let loss = fx.problem.loss(&fx.theta_j, &fx.theta_m).unwrap();
+        assert!(loss.total.is_finite() && loss.total > 0.0);
+    }
+
+    #[test]
+    fn random_helpers_are_deterministic() {
+        assert_eq!(random_field(7, 8, 0.0, 1.0), random_field(7, 8, 0.0, 1.0));
+        let a = random_complex_vec(3, 16);
+        let b = random_complex_vec(3, 16);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.re, y.re);
+            assert_eq!(x.im, y.im);
+        }
+    }
+
+    #[test]
+    fn field_assertions_catch_differences() {
+        let a = RealField::filled(4, 1.0);
+        let b = RealField::filled(4, 1.0 + 1e-3);
+        assert!((max_abs_diff(&a, &b) - 1e-3).abs() < 1e-12);
+        assert_fields_close(&a, &b, 2e-3, "close");
+        let r = std::panic::catch_unwind(|| assert_fields_close(&a, &b, 1e-6, "far"));
+        assert!(r.is_err());
+    }
+}

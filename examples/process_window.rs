@@ -70,9 +70,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let source = with_pvb.source(&tj_a);
     let mask = with_pvb.mask(&tm_a);
     for (label, d) in [("min", dose.min), ("nominal", 1.0), ("max", dose.max)] {
-        let img = with_pvb
-            .abbe()
-            .intensity(&source, &mask.map(|v| d * v))?;
+        let img = with_pvb.abbe().intensity(&source, &mask.map(|v| d * v))?;
         let print = with_pvb.resist().print(&img);
         println!(
             "dose {label:>7} ({d:.2}): printed area {:.0} nm²",

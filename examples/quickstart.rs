@@ -12,7 +12,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // example fast; `OpticalConfig::scaled_default()` is the benchmark size.
     let cfg = OpticalConfig::test_small();
     let clip = Clip::simple_rect(&cfg);
-    println!("target: {} ({:.0} nm² of pattern)", clip.name, clip.area_nm2);
+    println!(
+        "target: {} ({:.0} nm² of pattern)",
+        clip.name, clip.area_nm2
+    );
 
     // The SMO problem bundles the Abbe engine, the sigmoid resist model and
     // the γ·L2 + η·PVB objective of the paper.

@@ -60,7 +60,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for (name, shape) in templates {
         let source = Source::from_shape(&cfg, shape);
-        println!("=== {name} ({} points lit) ===", source.effective_count(0.5));
+        println!(
+            "=== {name} ({} points lit) ===",
+            source.effective_count(0.5)
+        );
         println!("{}", ascii(&source));
         let aerial = abbe.intensity(&source, &clip.target)?;
         let print = resist.print(&aerial);

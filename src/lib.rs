@@ -56,9 +56,10 @@ pub use bismo_optics as optics;
 pub mod prelude {
     pub use bismo_core::{
         measure, run_abbe_mo, run_am_smo, run_bismo, run_hopkins_mo, run_milt_proxy,
-        run_nilt_proxy, Activation, SourceActivationKind, AmSmoConfig, BismoConfig, ConvergenceTrace, EpeSpec,
+        run_nilt_proxy, Activation, AmSmoConfig, BismoConfig, ConvergenceTrace, EpeSpec,
         GradRequest, HopkinsMoProblem, HypergradMethod, LossValue, MetricSet, MoConfig, MoModel,
-        MoOutcome, SmoEval, SmoOutcome, SmoProblem, SmoSettings, StepRecord, StopRule,
+        MoOutcome, SmoEval, SmoOutcome, SmoProblem, SmoSettings, SourceActivationKind, StepRecord,
+        StopRule,
     };
     pub use bismo_layout::{upsample, write_pgm, Clip, Suite, SuiteKind};
     pub use bismo_litho::{AbbeImager, DoseCorners, HopkinsImager, LithoError, ResistModel};

@@ -119,7 +119,10 @@ fn off_axis_source_point_shifts_are_not_ignored() {
         .zip(id.as_slice())
         .map(|(a, b)| (a - b).abs())
         .sum();
-    assert!(diff > 1e-3, "sources should image differently, diff = {diff}");
+    assert!(
+        diff > 1e-3,
+        "sources should image differently, diff = {diff}"
+    );
 }
 
 #[test]

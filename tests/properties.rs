@@ -1,43 +1,66 @@
-//! Property-based tests (proptest) on the workspace's core invariants:
-//! Fourier identities, imaging-model structure, metric axioms and optimizer
-//! behavior on random inputs.
+//! Property-style tests on the workspace's core invariants: Fourier
+//! identities, imaging-model structure, metric axioms and optimizer behavior
+//! on random inputs.
+//!
+//! The seed referenced `proptest` for these; the offline build environment
+//! has no registry access, so each property is exercised over a fixed number
+//! of seeded random cases instead (same invariants, deterministic inputs).
 
 use bismo::fft::{Complex64, Fft2Plan, FftPlan};
 use bismo::prelude::*;
-use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
 
-fn small_complex_vec(len: usize) -> impl Strategy<Value = Vec<Complex64>> {
-    proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), len)
-        .prop_map(|v| v.into_iter().map(|(re, im)| Complex64::new(re, im)).collect())
+/// Number of random cases per cheap property (proptest used 24).
+const CASES: u64 = 24;
+/// Number of random cases per imaging-scale property (proptest used 4).
+const IMAGING_CASES: u64 = 4;
+
+fn complex_vec(rng: &mut StdRng, len: usize) -> Vec<Complex64> {
+    (0..len)
+        .map(|_| Complex64::new(rng.gen_range(-1.0f64..1.0), rng.gen_range(-1.0f64..1.0)))
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+fn unit_vec(rng: &mut StdRng, len: usize) -> Vec<f64> {
+    (0..len).map(|_| rng.gen_range(0.0f64..1.0)).collect()
+}
 
-    #[test]
-    fn fft_roundtrip_is_identity(data in small_complex_vec(64)) {
-        let plan = FftPlan::new(64).unwrap();
+#[test]
+fn fft_roundtrip_is_identity() {
+    let mut rng = StdRng::seed_from_u64(0xF0F0_0001);
+    let plan = FftPlan::new(64).unwrap();
+    for _ in 0..CASES {
+        let data = complex_vec(&mut rng, 64);
         let mut buf = data.clone();
         plan.forward(&mut buf).unwrap();
         plan.inverse(&mut buf).unwrap();
         for (a, b) in data.iter().zip(&buf) {
-            prop_assert!((*a - *b).abs() < 1e-10);
+            assert!((*a - *b).abs() < 1e-10);
         }
     }
+}
 
-    #[test]
-    fn fft_preserves_energy_unitary(data in small_complex_vec(128)) {
-        let plan = FftPlan::new(128).unwrap();
+#[test]
+fn fft_preserves_energy_unitary() {
+    let mut rng = StdRng::seed_from_u64(0xF0F0_0002);
+    let plan = FftPlan::new(128).unwrap();
+    for _ in 0..CASES {
+        let data = complex_vec(&mut rng, 128);
         let e0: f64 = data.iter().map(|z| z.norm_sqr()).sum();
         let mut buf = data;
         plan.forward_unitary(&mut buf).unwrap();
         let e1: f64 = buf.iter().map(|z| z.norm_sqr()).sum();
-        prop_assert!((e0 - e1).abs() < 1e-9 * e0.max(1.0));
+        assert!((e0 - e1).abs() < 1e-9 * e0.max(1.0));
     }
+}
 
-    #[test]
-    fn fft2_linearity(a in small_complex_vec(64), b in small_complex_vec(64)) {
-        let plan = Fft2Plan::new(8, 8).unwrap();
+#[test]
+fn fft2_linearity() {
+    let mut rng = StdRng::seed_from_u64(0xF0F0_0003);
+    let plan = Fft2Plan::new(8, 8).unwrap();
+    for _ in 0..CASES {
+        let a = complex_vec(&mut rng, 64);
+        let b = complex_vec(&mut rng, 64);
         let mut fa = a.clone();
         let mut fb = b.clone();
         plan.forward(&mut fa).unwrap();
@@ -45,15 +68,19 @@ proptest! {
         let mut fab: Vec<Complex64> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
         plan.forward(&mut fab).unwrap();
         for i in 0..64 {
-            prop_assert!((fab[i] - (fa[i] + fb[i])).abs() < 1e-9);
+            assert!((fab[i] - (fa[i] + fb[i])).abs() < 1e-9);
         }
     }
+}
 
-    #[test]
-    fn real_mask_spectrum_is_conjugate_symmetric(vals in proptest::collection::vec(0.0f64..1.0, 64)) {
-        // F(real)[k] = conj(F(real)[-k]) — the invariant the adjoint
-        // gradients rely on to produce real mask gradients.
-        let plan = Fft2Plan::new(8, 8).unwrap();
+#[test]
+fn real_mask_spectrum_is_conjugate_symmetric() {
+    // F(real)[k] = conj(F(real)[-k]) — the invariant the adjoint gradients
+    // rely on to produce real mask gradients.
+    let mut rng = StdRng::seed_from_u64(0xF0F0_0004);
+    let plan = Fft2Plan::new(8, 8).unwrap();
+    for _ in 0..CASES {
+        let vals = unit_vec(&mut rng, 64);
         let mut buf: Vec<Complex64> = vals.iter().map(|&v| Complex64::from_real(v)).collect();
         plan.forward(&mut buf).unwrap();
         for r in 0..8 {
@@ -61,108 +88,116 @@ proptest! {
                 let mirror = ((8 - r) % 8) * 8 + (8 - c) % 8;
                 let z = buf[r * 8 + c];
                 let m = buf[mirror];
-                prop_assert!((z - m.conj()).abs() < 1e-9);
+                assert!((z - m.conj()).abs() < 1e-9);
             }
         }
     }
+}
 
-    #[test]
-    fn xor_area_is_a_metric(
-        a in proptest::collection::vec(0.0f64..1.0, 64),
-        b in proptest::collection::vec(0.0f64..1.0, 64),
-        c in proptest::collection::vec(0.0f64..1.0, 64),
-    ) {
-        use bismo::core::xor_area_nm2;
-        let fa = RealField::from_vec(8, a);
-        let fb = RealField::from_vec(8, b);
-        let fc = RealField::from_vec(8, c);
+#[test]
+fn xor_area_is_a_metric() {
+    use bismo::core::xor_area_nm2;
+    let mut rng = StdRng::seed_from_u64(0xF0F0_0005);
+    for _ in 0..CASES {
+        let fa = RealField::from_vec(8, unit_vec(&mut rng, 64));
+        let fb = RealField::from_vec(8, unit_vec(&mut rng, 64));
+        let fc = RealField::from_vec(8, unit_vec(&mut rng, 64));
         // Identity, symmetry, triangle inequality (XOR cardinality is a
         // metric on binary images).
-        prop_assert_eq!(xor_area_nm2(&fa, &fa, 1.0), 0.0);
-        prop_assert_eq!(xor_area_nm2(&fa, &fb, 1.0), xor_area_nm2(&fb, &fa, 1.0));
+        assert_eq!(xor_area_nm2(&fa, &fa, 1.0), 0.0);
+        assert_eq!(xor_area_nm2(&fa, &fb, 1.0), xor_area_nm2(&fb, &fa, 1.0));
         let ab = xor_area_nm2(&fa, &fb, 1.0);
         let bc = xor_area_nm2(&fb, &fc, 1.0);
         let ac = xor_area_nm2(&fa, &fc, 1.0);
-        prop_assert!(ac <= ab + bc + 1e-12);
+        assert!(ac <= ab + bc + 1e-12);
     }
+}
 
-    #[test]
-    fn sigmoid_activation_stays_in_unit_interval(thetas in proptest::collection::vec(-50.0f64..50.0, 49)) {
-        let act = Activation::default();
+#[test]
+fn sigmoid_activation_stays_in_unit_interval() {
+    let mut rng = StdRng::seed_from_u64(0xF0F0_0006);
+    let act = Activation::default();
+    for _ in 0..CASES {
+        let thetas: Vec<f64> = (0..49).map(|_| rng.gen_range(-50.0f64..50.0)).collect();
         let weights = act.source_weights(&thetas);
         for w in &weights {
-            prop_assert!((0.0..=1.0).contains(w));
+            assert!((0.0..=1.0).contains(w));
         }
         let grads = act.source_grad(&weights);
         for g in &grads {
-            prop_assert!(*g >= 0.0, "sigmoid derivative must be nonnegative");
+            assert!(*g >= 0.0, "sigmoid derivative must be nonnegative");
         }
     }
+}
 
-    #[test]
-    fn adam_step_is_bounded_by_learning_rate(
-        grad in proptest::collection::vec(-100.0f64..100.0, 8),
-        lr in 0.001f64..0.5,
-    ) {
+#[test]
+fn adam_step_is_bounded_by_learning_rate() {
+    let mut rng = StdRng::seed_from_u64(0xF0F0_0007);
+    for _ in 0..CASES {
+        let grad: Vec<f64> = (0..8).map(|_| rng.gen_range(-100.0f64..100.0)).collect();
+        let lr = rng.gen_range(0.001f64..0.5);
         let mut opt = Adam::new(lr, 8);
         let mut params = vec![0.0; 8];
         opt.step(&mut params, &grad);
         for p in &params {
             // Adam's first bias-corrected step magnitude ≤ lr (+ eps slack).
-            prop_assert!(p.abs() <= lr * 1.001 + 1e-12);
+            assert!(p.abs() <= lr * 1.001 + 1e-12);
         }
-    }
-
-    #[test]
-    fn dose_scaled_masks_keep_bounds(
-        vals in proptest::collection::vec(-3.0f64..3.0, 64),
-        dose in 0.9f64..1.1,
-    ) {
-        let act = Activation::default();
-        let theta = RealField::from_vec(8, vals);
-        let mask = act.mask(&theta);
-        let scaled = mask.map(|v| dose * v);
-        prop_assert!(scaled.min() >= 0.0);
-        prop_assert!(scaled.max() <= dose * 1.0 + 1e-12);
     }
 }
 
-proptest! {
-    // Imaging properties are expensive; keep the case count low.
-    #![proptest_config(ProptestConfig::with_cases(4))]
-
-    #[test]
-    fn aerial_intensity_is_nonnegative_for_random_masks(
-        vals in proptest::collection::vec(0.0f64..1.0, 64 * 64),
-        seed in 0u64..100,
-    ) {
-        let cfg = OpticalConfig::test_small();
-        let abbe = AbbeImager::new(&cfg).unwrap();
-        let _ = seed;
-        let src = Source::from_shape(
-            &cfg,
-            SourceShape::Annular { sigma_in: cfg.sigma_in(), sigma_out: cfg.sigma_out() },
-        );
-        let mask = RealField::from_vec(64, vals);
-        let i = abbe.intensity(&src, &mask).unwrap();
-        prop_assert!(i.min() >= -1e-12);
-        prop_assert!(i.max() <= 2.0, "bounded by clear field with ringing");
+#[test]
+fn dose_scaled_masks_keep_bounds() {
+    let mut rng = StdRng::seed_from_u64(0xF0F0_0008);
+    let act = Activation::default();
+    for _ in 0..CASES {
+        let vals: Vec<f64> = (0..64).map(|_| rng.gen_range(-3.0f64..3.0)).collect();
+        let dose = rng.gen_range(0.9f64..1.1);
+        let theta = RealField::from_vec(8, vals);
+        let mask = act.mask(&theta);
+        let scaled = mask.map(|v| dose * v);
+        assert!(scaled.min() >= 0.0);
+        assert!(scaled.max() <= dose * 1.0 + 1e-12);
     }
+}
 
-    #[test]
-    fn mask_gradient_is_descent_direction_for_random_targets(
-        seed in 0u64..1000,
-    ) {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+#[test]
+fn aerial_intensity_is_nonnegative_for_random_masks() {
+    let mut rng = StdRng::seed_from_u64(0xF0F0_0009);
+    let cfg = OpticalConfig::test_small();
+    let abbe = AbbeImager::new(&cfg).unwrap();
+    let src = Source::from_shape(
+        &cfg,
+        SourceShape::Annular {
+            sigma_in: cfg.sigma_in(),
+            sigma_out: cfg.sigma_out(),
+        },
+    );
+    for _ in 0..IMAGING_CASES {
+        let mask = RealField::from_vec(64, unit_vec(&mut rng, 64 * 64));
+        let i = abbe.intensity(&src, &mask).unwrap();
+        assert!(i.min() >= -1e-12);
+        assert!(i.max() <= 2.0, "bounded by clear field with ringing");
+    }
+}
+
+#[test]
+fn mask_gradient_is_descent_direction_for_random_targets() {
+    for seed in 0..IMAGING_CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
         let cfg = OpticalConfig::test_small();
         let n = cfg.mask_dim();
-        let r0 = rng.gen_range(8..24);
-        let c0 = rng.gen_range(8..24);
+        let r0 = rng.gen_range(8usize..24);
+        let c0 = rng.gen_range(8usize..24);
         let target = RealField::from_fn(n, |r, c| {
-            if (r0..r0 + 16).contains(&r) && (c0..c0 + 16).contains(&c) { 1.0 } else { 0.0 }
+            if (r0..r0 + 16).contains(&r) && (c0..c0 + 16).contains(&c) {
+                1.0
+            } else {
+                0.0
+            }
         });
-        let problem = SmoProblem::new(cfg.clone(), SmoSettings::default().without_pvb(), target).unwrap();
+        let problem =
+            SmoProblem::new(cfg.clone(), SmoSettings::default().without_pvb(), target).unwrap();
         let tj = problem.init_theta_j(SourceShape::Annular {
             sigma_in: cfg.sigma_in(),
             sigma_out: cfg.sigma_out(),
@@ -173,6 +208,6 @@ proptest! {
         let mut stepped = tm.clone();
         stepped.axpy(-0.05, &g);
         let after = problem.loss(&tj, &stepped).unwrap().total;
-        prop_assert!(after < eval.loss.total, "{} → {}", eval.loss.total, after);
+        assert!(after < eval.loss.total, "{} → {}", eval.loss.total, after);
     }
 }
