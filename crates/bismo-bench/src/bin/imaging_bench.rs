@@ -1,0 +1,272 @@
+//! Times forward + gradient imaging at several grid sizes and writes
+//! `BENCH_imaging.json`, seeding the perf trajectory of the imaging hot path
+//! (DESIGN.md §6). Also counts heap allocations per imaging call via a
+//! wrapping global allocator, so the zero-allocation claim of the reusable
+//! workspace pipeline is measured, not asserted.
+//!
+//! Usage:
+//!
+//! ```text
+//! imaging_bench [--quick] [--threads N] [--label NAME] [--out PATH] [--baseline PATH]
+//! ```
+//!
+//! `--quick` restricts the sweep to the smallest grid (the CI smoke
+//! configuration). `--baseline` embeds a previously written report verbatim
+//! under a `"baseline"` key, producing a before/after trajectory in one file.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use bismo_litho::{AbbeImager, HopkinsImager};
+use bismo_optics::{OpticalConfig, RealField, Source, SourceShape};
+
+/// Allocation-counting wrapper around the system allocator. The counter is
+/// process-global; timed sections run single-threaded so per-call deltas are
+/// attributable.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates directly to `System`; the only addition is a relaxed
+// atomic increment, which cannot violate the `GlobalAlloc` contract.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Median-of-reps wall time in milliseconds.
+fn time_ms<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut samples: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+struct SizeResult {
+    mask_dim: usize,
+    source_dim: usize,
+    effective_points: usize,
+    abbe_forward_ms: f64,
+    abbe_gradients_ms: f64,
+    abbe_grad_mask_ms: f64,
+    hopkins_forward_ms: f64,
+    hopkins_grad_mask_ms: f64,
+    abbe_forward_allocs: u64,
+    abbe_gradients_allocs: u64,
+}
+
+fn square_target(n: usize) -> RealField {
+    RealField::from_fn(n, |r, c| {
+        let lo = 3 * n / 8;
+        let hi = 5 * n / 8;
+        if (lo..hi).contains(&r) && (lo..hi).contains(&c) {
+            1.0
+        } else {
+            0.0
+        }
+    })
+}
+
+fn run_size(mask_dim: usize, source_dim: usize, reps: usize, threads: usize) -> SizeResult {
+    let cfg = OpticalConfig::builder()
+        .mask_dim(mask_dim)
+        .pixel_nm(16.0)
+        .source_dim(source_dim)
+        .build()
+        .expect("bench optical config");
+    let source = Source::from_shape(
+        &cfg,
+        SourceShape::Annular {
+            sigma_in: cfg.sigma_in(),
+            sigma_out: cfg.sigma_out(),
+        },
+    );
+    let mask = square_target(mask_dim).map(|v| 0.2 + 0.6 * v);
+    let g = RealField::from_fn(mask_dim, |r, c| ((r * 7 + c * 3) % 5) as f64 / 5.0 - 0.4);
+
+    let abbe = AbbeImager::new(&cfg)
+        .expect("abbe engine")
+        .with_threads(threads);
+    let hopkins = HopkinsImager::new(&cfg, &source, 24).expect("hopkins engine");
+
+    // Warm-up: populates workspace pools and page-faults the buffers so the
+    // timed and allocation-counted sections see steady state.
+    let i0 = abbe.intensity(&source, &mask).expect("warm-up forward");
+    let _ = abbe
+        .gradients(&source, &mask, &g, &i0)
+        .expect("warm-up gradients");
+
+    let before = alloc_count();
+    let _ = abbe.intensity(&source, &mask).expect("counted forward");
+    let abbe_forward_allocs = alloc_count() - before;
+
+    let before = alloc_count();
+    let _ = abbe
+        .gradients(&source, &mask, &g, &i0)
+        .expect("counted gradients");
+    let abbe_gradients_allocs = alloc_count() - before;
+
+    let abbe_forward_ms = time_ms(reps, || {
+        let _ = abbe.intensity(&source, &mask).expect("abbe forward");
+    });
+    let abbe_gradients_ms = time_ms(reps, || {
+        let _ = abbe
+            .gradients(&source, &mask, &g, &i0)
+            .expect("abbe gradients");
+    });
+    let abbe_grad_mask_ms = time_ms(reps, || {
+        let _ = abbe.grad_mask(&source, &mask, &g).expect("abbe grad_mask");
+    });
+    let hopkins_forward_ms = time_ms(reps, || {
+        let _ = hopkins.intensity(&mask).expect("hopkins forward");
+    });
+    let hopkins_grad_mask_ms = time_ms(reps, || {
+        let _ = hopkins.grad_mask(&mask, &g).expect("hopkins grad_mask");
+    });
+
+    SizeResult {
+        mask_dim,
+        source_dim,
+        effective_points: source.effective_count(1e-9),
+        abbe_forward_ms,
+        abbe_gradients_ms,
+        abbe_grad_mask_ms,
+        hopkins_forward_ms,
+        hopkins_grad_mask_ms,
+        abbe_forward_allocs,
+        abbe_gradients_allocs,
+    }
+}
+
+/// Minimal JSON string escaping for user-supplied labels.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_report(
+    label: &str,
+    threads: usize,
+    results: &[SizeResult],
+    baseline: Option<&str>,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"bench\": \"imaging\",\n  \"label\": \"{}\",\n",
+        json_escape(label)
+    ));
+    out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"mask_dim\": {}, \"source_dim\": {}, \"effective_points\": {}, \
+             \"abbe_forward_ms\": {:.3}, \"abbe_gradients_ms\": {:.3}, \
+             \"abbe_grad_mask_ms\": {:.3}, \"hopkins_forward_ms\": {:.3}, \
+             \"hopkins_grad_mask_ms\": {:.3}, \"abbe_forward_allocs\": {}, \
+             \"abbe_gradients_allocs\": {}}}{}\n",
+            r.mask_dim,
+            r.source_dim,
+            r.effective_points,
+            r.abbe_forward_ms,
+            r.abbe_gradients_ms,
+            r.abbe_grad_mask_ms,
+            r.hopkins_forward_ms,
+            r.hopkins_grad_mask_ms,
+            r.abbe_forward_allocs,
+            r.abbe_gradients_allocs,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]");
+    if let Some(b) = baseline {
+        out.push_str(",\n  \"baseline\": ");
+        // The baseline file is itself a report this binary wrote, so it can
+        // be embedded verbatim; re-indenting is cosmetic only.
+        out.push_str(b.trim_end());
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+fn main() {
+    let mut quick = false;
+    let mut label = String::from("current");
+    let mut out_path = String::from("BENCH_imaging.json");
+    let mut baseline_path: Option<String> = None;
+    let mut threads = 1usize;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--label" => label = args.next().expect("--label needs a value"),
+            "--out" => out_path = args.next().expect("--out needs a value"),
+            "--baseline" => baseline_path = Some(args.next().expect("--baseline needs a value")),
+            "--threads" => {
+                threads = args
+                    .next()
+                    .expect("--threads needs a value")
+                    .parse()
+                    .expect("--threads must be an integer")
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+
+    let sizes: &[(usize, usize, usize)] = if quick {
+        &[(64, 7, 3)]
+    } else {
+        &[(64, 7, 9), (128, 9, 5), (256, 9, 3)]
+    };
+
+    let mut results = Vec::new();
+    for &(mask_dim, source_dim, reps) in sizes {
+        eprintln!("[imaging_bench] {mask_dim}x{mask_dim}, N_j = {source_dim} ...");
+        results.push(run_size(mask_dim, source_dim, reps, threads));
+    }
+
+    let baseline = baseline_path
+        .map(|p| std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("read baseline {p}: {e}")));
+    let report = json_report(&label, threads, &results, baseline.as_deref());
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    std::fs::write(&out_path, &report).expect("write report");
+    println!("{report}");
+    eprintln!("[imaging_bench] wrote {out_path}");
+}

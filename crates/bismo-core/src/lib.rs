@@ -58,6 +58,8 @@ pub use bismo::{run_bismo, BismoConfig, HypergradMethod};
 pub use metrics::{epe_violations, l2_area_nm2, measure, xor_area_nm2, EpeSpec, MetricSet};
 pub use mo::{run_abbe_mo, run_hopkins_mo, run_milt_proxy, run_nilt_proxy, MoConfig, MoOutcome};
 pub use params::{Activation, SourceActivationKind};
-pub use problem::{GradRequest, HopkinsMoProblem, LossValue, SmoEval, SmoProblem, SmoSettings};
+pub use problem::{
+    GradRequest, HopkinsMoProblem, LossValue, MoProblem, SmoEval, SmoProblem, SmoSettings,
+};
 pub use regularizer::{discreteness_grad, discreteness_value, tv_grad, tv_value, Regularizers};
 pub use trace::{ConvergenceTrace, StepRecord, StopRule};

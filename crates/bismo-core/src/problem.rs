@@ -1,13 +1,21 @@
-//! The unified Abbe-based SMO objective (paper §3.1, Eq. 7–10) and its
-//! Hopkins mask-only counterpart for the baselines.
+//! The unified SMO objective (paper §3.1, Eq. 7–10) over any
+//! [`ImagingBackend`].
 //!
 //! The loss is `L_smo = γ·L2 + η·L_pvb` where `L2` is the mean squared error
 //! of the nominal resist image against the target (the paper states "we
 //! employ the mean squared loss") and `L_pvb` adds the min/max dose corners
 //! (Eq. 8). SO and MO share the same objective (Eq. 9: `L_smo ≜ L_so ≜
 //! L_mo`), so one evaluation type serves both levels of the bilevel program.
+//!
+//! A single generic [`MoProblem<B>`] owns the dose-pass / resist / adjoint
+//! plumbing once; the historical [`SmoProblem`] (Abbe, source-aware) and
+//! [`HopkinsMoProblem`] (Hopkins, frozen source) are thin type aliases with
+//! their original constructors and evaluation signatures preserved as
+//! inherent methods (DESIGN.md §2).
 
-use bismo_litho::{AbbeImager, DoseCorners, HopkinsImager, LithoError, ResistModel};
+use bismo_litho::{
+    AbbeImager, DoseCorners, HopkinsImager, ImagingBackend, LithoError, ResistModel,
+};
 use bismo_optics::{OpticalConfig, RealField, Source, SourceShape};
 
 use crate::params::Activation;
@@ -63,7 +71,7 @@ impl SmoSettings {
 /// Decomposed loss value.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LossValue {
-    /// Total weighted loss `γ·l2 + η·pvb`.
+    /// Total weighted loss `γ·l2 + η·pvb` (plus any mask regularization).
     pub total: f64,
     /// Raw nominal mean-squared term.
     pub l2: f64,
@@ -96,7 +104,17 @@ impl GradRequest {
         mask: false,
         source: true,
     };
+    /// Loss only.
+    pub const NONE: GradRequest = GradRequest {
+        mask: false,
+        source: false,
+    };
 }
+
+/// Internal result of the shared evaluation plumbing: loss plus raw
+/// (pre-activation) gradients with respect to the activated mask `M` and the
+/// source weights `J`.
+type InnerEval = (LossValue, Option<RealField>, Option<Vec<f64>>);
 
 /// Result of a loss-and-gradients evaluation.
 #[derive(Debug, Clone)]
@@ -109,7 +127,23 @@ pub struct SmoEval {
     pub grad_theta_j: Option<Vec<f64>>,
 }
 
-/// The Abbe-based unified SMO problem: target pattern + objective + engine.
+/// Target pattern + objective + imaging backend: the one problem type every
+/// optimization driver in the workspace runs on.
+///
+/// Generic code (drivers, tests, benches) is written once against
+/// `MoProblem<B: ImagingBackend>`; the [`SmoProblem`] and
+/// [`HopkinsMoProblem`] aliases add the backend-specific constructors and
+/// parameter conventions.
+#[derive(Debug, Clone)]
+pub struct MoProblem<B: ImagingBackend> {
+    settings: SmoSettings,
+    backend: B,
+    resist: ResistModel,
+    target: RealField,
+}
+
+/// The Abbe-based unified SMO problem: differentiable in **both** parameter
+/// blocks.
 ///
 /// # Examples
 ///
@@ -133,49 +167,50 @@ pub struct SmoEval {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone)]
-pub struct SmoProblem {
-    optical: OpticalConfig,
-    settings: SmoSettings,
-    abbe: AbbeImager,
-    resist: ResistModel,
-    target: RealField,
-}
+pub type SmoProblem = MoProblem<AbbeImager>;
 
-impl SmoProblem {
-    /// Creates a problem for `target` under `optical` and `settings`.
+/// Hopkins-model mask-only problem for a **fixed** source: the substrate of
+/// the NILT / DAC23-MILT proxies and of the hybrid AM-SMO's MO phase.
+///
+/// Constructing one performs the TCC build + SOCS truncation for the frozen
+/// source; there is deliberately no source-gradient method (paper §2.1).
+pub type HopkinsMoProblem = MoProblem<HopkinsImager>;
+
+impl<B: ImagingBackend> MoProblem<B> {
+    /// Wraps an already-constructed imaging backend into a problem — the
+    /// generic constructor behind both aliases, also used directly by
+    /// backend-generic tests and benches.
     ///
     /// # Errors
     ///
-    /// Returns [`LithoError::Shape`] if the target does not match the mask
-    /// grid.
-    pub fn new(
-        optical: OpticalConfig,
+    /// Returns [`LithoError::Shape`] if the target does not match the
+    /// backend's mask grid.
+    pub fn from_backend(
+        backend: B,
         settings: SmoSettings,
         target: RealField,
     ) -> Result<Self, LithoError> {
-        if target.dim() != optical.mask_dim() {
+        if target.dim() != backend.config().mask_dim() {
             return Err(LithoError::Shape(format!(
                 "target is {}×{0}, config expects {1}×{1}",
                 target.dim(),
-                optical.mask_dim()
+                backend.config().mask_dim()
             )));
         }
-        let abbe = AbbeImager::new(&optical)?.with_threads(settings.threads);
         let resist = ResistModel::new(settings.resist_beta, settings.resist_threshold);
-        Ok(SmoProblem {
-            optical,
+        Ok(MoProblem {
             settings,
-            abbe,
+            backend,
             resist,
             target,
         })
     }
 
-    /// The optical configuration.
+    /// The optical configuration (borrowed from the backend — the single
+    /// source of truth for the grids).
     #[inline]
     pub fn optical(&self) -> &OpticalConfig {
-        &self.optical
+        self.backend.config()
     }
 
     /// Objective hyperparameters.
@@ -190,10 +225,10 @@ impl SmoProblem {
         &self.target
     }
 
-    /// The underlying Abbe engine (exposed for metrics and harnesses).
+    /// The imaging backend driving this problem.
     #[inline]
-    pub fn abbe(&self) -> &AbbeImager {
-        &self.abbe
+    pub fn backend(&self) -> &B {
+        &self.backend
     }
 
     /// The resist model.
@@ -208,41 +243,14 @@ impl SmoProblem {
         self.settings.activation.init_theta_m(&self.target)
     }
 
-    /// Initial source parameters from a template (Table 1).
-    pub fn init_theta_j(&self, shape: SourceShape) -> Vec<f64> {
-        self.settings.activation.init_theta_j(&self.optical, shape)
-    }
-
     /// Activated mask `M = sigmoid(α_m θ_M)`.
     #[must_use]
     pub fn mask(&self, theta_m: &RealField) -> RealField {
         self.settings.activation.mask(theta_m)
     }
 
-    /// Activated source `J = sigmoid(α_j θ_J)`.
-    pub fn source(&self, theta_j: &[f64]) -> Source {
-        Source::from_weights(
-            &self.optical,
-            self.settings.activation.source_weights(theta_j),
-        )
-    }
-
-    /// Nominal-dose resist image for the given parameters.
-    ///
-    /// # Errors
-    ///
-    /// Propagates imaging failures.
-    pub fn resist_nominal(
-        &self,
-        theta_j: &[f64],
-        theta_m: &RealField,
-    ) -> Result<RealField, LithoError> {
-        let source = self.source(theta_j);
-        let mask = self.mask(theta_m);
-        Ok(self.resist.develop(&self.abbe.intensity(&source, &mask)?))
-    }
-
-    /// The dose passes the objective runs: `(term weight, dose factor)`.
+    /// The dose passes the objective runs: `(term weight, dose factor,
+    /// is-nominal)`.
     fn passes(&self) -> Vec<(f64, f64, bool)> {
         let mut passes = vec![(self.settings.gamma, 1.0, true)];
         if self.settings.eta > 0.0 {
@@ -252,66 +260,24 @@ impl SmoProblem {
         passes
     }
 
-    /// Evaluates `L_smo(θ_J, θ_M)` (Eq. 9).
-    ///
-    /// # Errors
-    ///
-    /// Propagates imaging failures.
-    pub fn loss(&self, theta_j: &[f64], theta_m: &RealField) -> Result<LossValue, LithoError> {
-        let source = self.source(theta_j);
-        let mask = self.mask(theta_m);
-        let npix = (self.optical.mask_dim() * self.optical.mask_dim()) as f64;
-        let mut l2 = 0.0;
-        let mut pvb = 0.0;
-        for (_, dose, nominal) in self.passes() {
-            let m_d = if dose == 1.0 {
-                mask.clone()
-            } else {
-                mask.map(|v| dose * v)
-            };
-            let z = self.resist.develop(&self.abbe.intensity(&source, &m_d)?);
-            let mse = z.sq_distance(&self.target) / npix;
-            if nominal {
-                l2 += mse;
-            } else {
-                pvb += mse;
-            }
-        }
-        let reg = regularizer::value(&self.settings.regularizers, &mask);
-        Ok(LossValue {
-            total: self.settings.gamma * l2 + self.settings.eta * pvb + reg,
-            l2,
-            pvb,
-        })
-    }
-
-    /// Evaluates the loss and the requested parameter gradients.
-    ///
-    /// The full chain per dose pass `d` is
-    /// `θ → (J, M) → M_d = d·M → I → Z → mse`, with
-    /// `G_I = (2w/N²)·(Z − Z_t)·β Z(1−Z)` fed into the Abbe adjoints and the
-    /// Table 1 activation derivatives applied last.
-    ///
-    /// # Errors
-    ///
-    /// Propagates imaging failures.
-    pub fn eval(
+    /// The shared evaluation plumbing every public entry point reduces to:
+    /// runs the dose passes on the **activated** mask `M`, returning the
+    /// loss plus (if requested) `∂L/∂M` (with regularizer gradient folded
+    /// in) and `∂L/∂j` — both *before* the Table 1 activation chain.
+    fn eval_inner(
         &self,
-        theta_j: &[f64],
-        theta_m: &RealField,
+        source: &Source,
+        mask: &RealField,
         request: GradRequest,
-    ) -> Result<SmoEval, LithoError> {
-        let act = self.settings.activation;
-        let source = self.source(theta_j);
-        let mask = self.mask(theta_m);
-        let n = self.optical.mask_dim();
+    ) -> Result<InnerEval, LithoError> {
+        let n = self.optical().mask_dim();
         let npix = (n * n) as f64;
+        let nj2 = self.optical().source_dim() * self.optical().source_dim();
 
         let mut l2 = 0.0;
         let mut pvb = 0.0;
         let mut grad_mask_total: Option<RealField> = request.mask.then(|| RealField::zeros(n));
-        let mut grad_source_total: Option<Vec<f64>> =
-            request.source.then(|| vec![0.0; theta_j.len()]);
+        let mut grad_source_total: Option<Vec<f64>> = request.source.then(|| vec![0.0; nj2]);
 
         for (weight, dose, nominal) in self.passes() {
             let m_d = if dose == 1.0 {
@@ -319,13 +285,16 @@ impl SmoProblem {
             } else {
                 mask.map(|v| dose * v)
             };
-            let intensity = self.abbe.intensity(&source, &m_d)?;
+            let intensity = self.backend.intensity(source, &m_d)?;
             let z = self.resist.develop(&intensity);
             let mse = z.sq_distance(&self.target) / npix;
             if nominal {
                 l2 += mse;
             } else {
                 pvb += mse;
+            }
+            if !request.mask && !request.source {
+                continue;
             }
 
             // G_I = ∂(weight·mse)/∂I = (2·weight/N²)·(Z−Z_t)·βZ(1−Z).
@@ -343,7 +312,7 @@ impl SmoProblem {
 
             match (request.mask, request.source) {
                 (true, true) => {
-                    let (gm, gj) = self.abbe.gradients(&source, &m_d, &g_i, &intensity)?;
+                    let (gm, gj) = self.backend.gradients(source, &m_d, &g_i, &intensity)?;
                     grad_mask_total.as_mut().expect("requested").axpy(dose, &gm);
                     let total = grad_source_total.as_mut().expect("requested");
                     for (t, g) in total.iter_mut().zip(&gj) {
@@ -351,63 +320,174 @@ impl SmoProblem {
                     }
                 }
                 (true, false) => {
-                    let gm = self.abbe.grad_mask(&source, &m_d, &g_i)?;
+                    let gm = self.backend.grad_mask(source, &m_d, &g_i)?;
                     grad_mask_total.as_mut().expect("requested").axpy(dose, &gm);
                 }
                 (false, true) => {
-                    let gj = self.abbe.grad_source(&source, &m_d, &g_i, &intensity)?;
+                    let gj = self.backend.grad_source(source, &m_d, &g_i, &intensity)?;
                     let total = grad_source_total.as_mut().expect("requested");
                     for (t, g) in total.iter_mut().zip(&gj) {
                         *t += g;
                     }
                 }
-                (false, false) => {}
+                (false, false) => unreachable!("filtered above"),
             }
         }
 
         // Mask regularization acts on M directly; fold it in before the
         // activation chain.
-        let reg_value = regularizer::value(&self.settings.regularizers, &mask);
+        let reg_value = regularizer::value(&self.settings.regularizers, mask);
         if let Some(gm) = grad_mask_total.as_mut() {
             if !self.settings.regularizers.is_none() {
-                gm.axpy(1.0, &regularizer::grad(&self.settings.regularizers, &mask));
+                gm.axpy(1.0, &regularizer::grad(&self.settings.regularizers, mask));
             }
         }
 
-        // Chain through the Table 1 activations.
-        let grad_theta_m = grad_mask_total.map(|gm| gm.hadamard(&act.mask_grad(&mask)));
-        let grad_theta_j = grad_source_total.map(|gj| {
-            let dj = act.source_grad_full(theta_j, source.weights());
-            gj.iter().zip(&dj).map(|(g, d)| g * d).collect()
-        });
-
-        Ok(SmoEval {
-            loss: LossValue {
+        Ok((
+            LossValue {
                 total: self.settings.gamma * l2 + self.settings.eta * pvb + reg_value,
                 l2,
                 pvb,
             },
+            grad_mask_total,
+            grad_source_total,
+        ))
+    }
+
+    /// Evaluates the loss at an explicit illumination `source` — the
+    /// backend-generic entry point (fixed-source backends image through
+    /// their frozen source regardless; pass that same source for a
+    /// consistent objective).
+    ///
+    /// # Errors
+    ///
+    /// Propagates imaging failures.
+    pub fn loss_at(&self, source: &Source, theta_m: &RealField) -> Result<LossValue, LithoError> {
+        let mask = self.mask(theta_m);
+        Ok(self.eval_inner(source, &mask, GradRequest::NONE)?.0)
+    }
+
+    /// Evaluates the loss and `∂L/∂θ_M` at an explicit illumination — the
+    /// backend-generic mask-gradient path (works on every backend;
+    /// source gradients additionally need
+    /// [`ImagingBackend::supports_grad_source`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates imaging failures.
+    pub fn eval_mask_at(
+        &self,
+        source: &Source,
+        theta_m: &RealField,
+    ) -> Result<(LossValue, RealField), LithoError> {
+        let mask = self.mask(theta_m);
+        let (loss, gm, _) = self.eval_inner(source, &mask, GradRequest::MASK)?;
+        let grad_theta_m = gm
+            .expect("mask gradient requested")
+            .hadamard(&self.settings.activation.mask_grad(&mask));
+        Ok((loss, grad_theta_m))
+    }
+}
+
+impl MoProblem<AbbeImager> {
+    /// Creates a problem for `target` under `optical` and `settings`,
+    /// building the Abbe engine (and its shifted-pupil cache) internally.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LithoError::Shape`] if the target does not match the mask
+    /// grid.
+    pub fn new(
+        optical: OpticalConfig,
+        settings: SmoSettings,
+        target: RealField,
+    ) -> Result<Self, LithoError> {
+        let abbe = AbbeImager::new(&optical)?.with_threads(settings.threads);
+        MoProblem::from_backend(abbe, settings, target)
+    }
+
+    /// The underlying Abbe engine (exposed for metrics and harnesses).
+    #[inline]
+    pub fn abbe(&self) -> &AbbeImager {
+        &self.backend
+    }
+
+    /// Initial source parameters from a template (Table 1).
+    pub fn init_theta_j(&self, shape: SourceShape) -> Vec<f64> {
+        self.settings.activation.init_theta_j(self.optical(), shape)
+    }
+
+    /// Activated source `J = sigmoid(α_j θ_J)`.
+    pub fn source(&self, theta_j: &[f64]) -> Source {
+        Source::from_weights(
+            self.optical(),
+            self.settings.activation.source_weights(theta_j),
+        )
+    }
+
+    /// Nominal-dose resist image for the given parameters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates imaging failures.
+    pub fn resist_nominal(
+        &self,
+        theta_j: &[f64],
+        theta_m: &RealField,
+    ) -> Result<RealField, LithoError> {
+        let source = self.source(theta_j);
+        let mask = self.mask(theta_m);
+        Ok(self
+            .resist
+            .develop(&self.backend.intensity(&source, &mask)?))
+    }
+
+    /// Evaluates `L_smo(θ_J, θ_M)` (Eq. 9).
+    ///
+    /// # Errors
+    ///
+    /// Propagates imaging failures.
+    pub fn loss(&self, theta_j: &[f64], theta_m: &RealField) -> Result<LossValue, LithoError> {
+        self.loss_at(&self.source(theta_j), theta_m)
+    }
+
+    /// Evaluates the loss and the requested parameter gradients.
+    ///
+    /// The full chain per dose pass `d` is
+    /// `θ → (J, M) → M_d = d·M → I → Z → mse`, with
+    /// `G_I = (2w/N²)·(Z − Z_t)·β Z(1−Z)` fed into the backend adjoints and
+    /// the Table 1 activation derivatives applied last.
+    ///
+    /// # Errors
+    ///
+    /// Propagates imaging failures.
+    pub fn eval(
+        &self,
+        theta_j: &[f64],
+        theta_m: &RealField,
+        request: GradRequest,
+    ) -> Result<SmoEval, LithoError> {
+        let act = self.settings.activation;
+        let source = self.source(theta_j);
+        let mask = self.mask(theta_m);
+        let (loss, gm, gj) = self.eval_inner(&source, &mask, request)?;
+
+        // Chain through the Table 1 activations.
+        let grad_theta_m = gm.map(|g| g.hadamard(&act.mask_grad(&mask)));
+        let grad_theta_j = gj.map(|g| {
+            let dj = act.source_grad_full(theta_j, source.weights());
+            g.iter().zip(&dj).map(|(g, d)| g * d).collect()
+        });
+
+        Ok(SmoEval {
+            loss,
             grad_theta_m,
             grad_theta_j,
         })
     }
 }
 
-/// Hopkins-model mask-only problem for a **fixed** source: the substrate of
-/// the NILT / DAC23-MILT proxies and of the hybrid AM-SMO's MO phase.
-///
-/// Constructing one performs the TCC build + SOCS truncation for the frozen
-/// source; there is deliberately no source-gradient method (paper §2.1).
-#[derive(Debug, Clone)]
-pub struct HopkinsMoProblem {
-    optical: OpticalConfig,
-    settings: SmoSettings,
-    hopkins: HopkinsImager,
-    resist: ResistModel,
-    target: RealField,
-}
-
-impl HopkinsMoProblem {
+impl MoProblem<HopkinsImager> {
     /// Builds the problem, paying the TCC + SOCS cost for `source` with
     /// truncation rank `q`.
     ///
@@ -429,105 +509,22 @@ impl HopkinsMoProblem {
             )));
         }
         let hopkins = HopkinsImager::new(&optical, source, q)?;
-        let resist = ResistModel::new(settings.resist_beta, settings.resist_threshold);
-        Ok(HopkinsMoProblem {
-            optical,
-            settings,
-            hopkins,
-            resist,
-            target,
-        })
-    }
-
-    /// The target pattern.
-    #[inline]
-    pub fn target(&self) -> &RealField {
-        &self.target
+        MoProblem::from_backend(hopkins, settings, target)
     }
 
     /// The underlying Hopkins engine.
     #[inline]
     pub fn hopkins(&self) -> &HopkinsImager {
-        &self.hopkins
+        &self.backend
     }
 
-    /// Objective hyperparameters.
-    #[inline]
-    pub fn settings(&self) -> &SmoSettings {
-        &self.settings
-    }
-
-    /// Initial mask parameters from the target.
-    #[must_use]
-    pub fn init_theta_m(&self) -> RealField {
-        self.settings.activation.init_theta_m(&self.target)
-    }
-
-    /// Activated mask.
-    #[must_use]
-    pub fn mask(&self, theta_m: &RealField) -> RealField {
-        self.settings.activation.mask(theta_m)
-    }
-
-    fn passes(&self) -> Vec<(f64, f64, bool)> {
-        let mut passes = vec![(self.settings.gamma, 1.0, true)];
-        if self.settings.eta > 0.0 {
-            passes.push((self.settings.eta, self.settings.dose.min, false));
-            passes.push((self.settings.eta, self.settings.dose.max, false));
-        }
-        passes
-    }
-
-    /// Evaluates loss and `∂L/∂θ_M`.
+    /// Evaluates loss and `∂L/∂θ_M` against the frozen source.
     ///
     /// # Errors
     ///
     /// Propagates imaging failures.
     pub fn eval(&self, theta_m: &RealField) -> Result<(LossValue, RealField), LithoError> {
-        let act = self.settings.activation;
-        let mask = self.mask(theta_m);
-        let n = self.optical.mask_dim();
-        let npix = (n * n) as f64;
-        let mut l2 = 0.0;
-        let mut pvb = 0.0;
-        let mut grad_mask_total = RealField::zeros(n);
-        for (weight, dose, nominal) in self.passes() {
-            let m_d = if dose == 1.0 {
-                mask.clone()
-            } else {
-                mask.map(|v| dose * v)
-            };
-            let intensity = self.hopkins.intensity(&m_d)?;
-            let z = self.resist.develop(&intensity);
-            let mse = z.sq_distance(&self.target) / npix;
-            if nominal {
-                l2 += mse;
-            } else {
-                pvb += mse;
-            }
-            let dz = self.resist.develop_grad_from_resist(&z);
-            let mut g_i = RealField::zeros(n);
-            {
-                let gs = g_i.as_mut_slice();
-                let zs = z.as_slice();
-                let ts = self.target.as_slice();
-                let ds = dz.as_slice();
-                for i in 0..gs.len() {
-                    gs[i] = 2.0 * weight / npix * (zs[i] - ts[i]) * ds[i];
-                }
-            }
-            let gm = self.hopkins.grad_mask(&m_d, &g_i)?;
-            grad_mask_total.axpy(dose, &gm);
-        }
-        let grad_theta_m = grad_mask_total.hadamard(&act.mask_grad(&mask));
-        Ok((
-            LossValue {
-                total: self.settings.gamma * l2 + self.settings.eta * pvb,
-                l2,
-                pvb,
-            },
-            grad_theta_m,
-        ))
+        self.eval_mask_at(self.backend.source(), theta_m)
     }
 
     /// Loss only.
@@ -536,29 +533,7 @@ impl HopkinsMoProblem {
     ///
     /// Propagates imaging failures.
     pub fn loss(&self, theta_m: &RealField) -> Result<LossValue, LithoError> {
-        let mask = self.mask(theta_m);
-        let npix = (self.optical.mask_dim() * self.optical.mask_dim()) as f64;
-        let mut l2 = 0.0;
-        let mut pvb = 0.0;
-        for (_, dose, nominal) in self.passes() {
-            let m_d = if dose == 1.0 {
-                mask.clone()
-            } else {
-                mask.map(|v| dose * v)
-            };
-            let z = self.resist.develop(&self.hopkins.intensity(&m_d)?);
-            let mse = z.sq_distance(&self.target) / npix;
-            if nominal {
-                l2 += mse;
-            } else {
-                pvb += mse;
-            }
-        }
-        Ok(LossValue {
-            total: self.settings.gamma * l2 + self.settings.eta * pvb,
-            l2,
-            pvb,
-        })
+        self.loss_at(self.backend.source(), theta_m)
     }
 }
 
@@ -690,6 +665,23 @@ mod tests {
         let cfg = OpticalConfig::test_small();
         let target = RealField::zeros(16);
         assert!(SmoProblem::new(cfg, SmoSettings::default(), target).is_err());
+    }
+
+    #[test]
+    fn source_gradient_through_hopkins_backend_is_unsupported() {
+        // The generic path surfaces the capability gap as a typed error
+        // instead of silently returning zeros.
+        let cfg = OpticalConfig::test_small();
+        let target = RealField::zeros(cfg.mask_dim());
+        let source = Source::from_shape(&cfg, annular());
+        let p = HopkinsMoProblem::new(cfg, SmoSettings::default(), target, &source, 8).unwrap();
+        assert!(!p.backend().supports_grad_source());
+        let tm = p.init_theta_m();
+        let mask = p.mask(&tm);
+        let err = p
+            .eval_inner(&source, &mask, GradRequest::SOURCE)
+            .unwrap_err();
+        assert!(matches!(err, LithoError::Unsupported(_)));
     }
 
     #[test]

@@ -32,6 +32,50 @@ pub struct Fft2Plan {
     col_plan: FftPlan,
 }
 
+/// Caller-owned scratch for [`Fft2Plan`] transforms.
+///
+/// A plan is immutable and shared freely across threads, so it cannot own
+/// mutable scratch itself; the column pass instead borrows a workspace. The
+/// buffer grows to the plan's row count on first use and is then reused, so
+/// a long-lived workspace makes every subsequent transform allocation-free.
+///
+/// # Examples
+///
+/// ```
+/// use bismo_fft::{Complex64, Fft2Plan, Fft2Workspace};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let plan = Fft2Plan::new(8, 8)?;
+/// let mut ws = Fft2Workspace::new();
+/// let mut img = vec![Complex64::ONE; 64];
+/// plan.forward_with(&mut img, &mut ws)?; // allocates scratch once
+/// plan.inverse_with(&mut img, &mut ws)?; // reuses it
+/// assert!((img[0].re - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Fft2Workspace {
+    col: Vec<Complex64>,
+}
+
+impl Fft2Workspace {
+    /// Creates an empty workspace; scratch is sized lazily on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Fft2Workspace::default()
+    }
+
+    /// Creates a workspace pre-sized for `plan`, so even the first transform
+    /// performs no allocation.
+    #[must_use]
+    pub fn for_plan(plan: &Fft2Plan) -> Self {
+        Fft2Workspace {
+            col: vec![Complex64::ZERO; plan.rows()],
+        }
+    }
+}
+
 impl Fft2Plan {
     /// Creates a plan for `rows × cols` transforms.
     ///
@@ -79,19 +123,31 @@ impl Fft2Plan {
     }
 
     fn transform(&self, data: &mut [Complex64], dir: Direction) -> Result<(), FftError> {
+        self.transform_with(data, dir, &mut Fft2Workspace::new())
+    }
+
+    fn transform_with(
+        &self,
+        data: &mut [Complex64],
+        dir: Direction,
+        ws: &mut Fft2Workspace,
+    ) -> Result<(), FftError> {
         self.check(data)?;
         // Row pass.
         for r in 0..self.rows {
             let row = &mut data[r * self.cols..(r + 1) * self.cols];
             self.row_plan.transform(row, dir)?;
         }
-        // Column pass through scratch.
-        let mut scratch = vec![Complex64::ZERO; self.rows];
+        // Column pass through the workspace scratch, sized once and reused.
+        if ws.col.len() != self.rows {
+            ws.col.resize(self.rows, Complex64::ZERO);
+        }
+        let scratch = &mut ws.col[..];
         for c in 0..self.cols {
             for r in 0..self.rows {
                 scratch[r] = data[r * self.cols + c];
             }
-            self.col_plan.transform(&mut scratch, dir)?;
+            self.col_plan.transform(scratch, dir)?;
             for r in 0..self.rows {
                 data[r * self.cols + c] = scratch[r];
             }
@@ -108,6 +164,20 @@ impl Fft2Plan {
         self.transform(data, Direction::Forward)
     }
 
+    /// Like [`Fft2Plan::forward`] but reusing caller-owned scratch — the
+    /// allocation-free variant the imaging hot loops use.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `data.len() != rows*cols`.
+    pub fn forward_with(
+        &self,
+        data: &mut [Complex64],
+        ws: &mut Fft2Workspace,
+    ) -> Result<(), FftError> {
+        self.transform_with(data, Direction::Forward, ws)
+    }
+
     /// Inverse 2-D DFT with `1/(rows·cols)` normalization.
     ///
     /// # Errors
@@ -115,6 +185,24 @@ impl Fft2Plan {
     /// Returns an error if `data.len() != rows*cols`.
     pub fn inverse(&self, data: &mut [Complex64]) -> Result<(), FftError> {
         self.transform(data, Direction::Inverse)?;
+        let scale = 1.0 / self.len() as f64;
+        for z in data.iter_mut() {
+            *z *= scale;
+        }
+        Ok(())
+    }
+
+    /// Like [`Fft2Plan::inverse`] but reusing caller-owned scratch.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `data.len() != rows*cols`.
+    pub fn inverse_with(
+        &self,
+        data: &mut [Complex64],
+        ws: &mut Fft2Workspace,
+    ) -> Result<(), FftError> {
+        self.transform_with(data, Direction::Inverse, ws)?;
         let scale = 1.0 / self.len() as f64;
         for z in data.iter_mut() {
             *z *= scale;
@@ -151,46 +239,44 @@ impl Fft2Plan {
     }
 }
 
+/// Cyclic shift of a row-major grid: every element moves from `(r, c)` to
+/// `((r + down) % rows, (c + right) % cols)`, in place and allocation-free.
+///
+/// Shifting whole rows is a single rotation of the flat buffer; the column
+/// shift is then a per-row rotation. `slice::rotate_right` performs both
+/// without heap allocation.
+fn cyclic_shift2(data: &mut [Complex64], rows: usize, cols: usize, down: usize, right: usize) {
+    data.rotate_right(down * cols);
+    if right == 0 {
+        return;
+    }
+    for r in 0..rows {
+        data[r * cols..(r + 1) * cols].rotate_right(right);
+    }
+}
+
 /// Swaps quadrants so the zero-frequency bin moves from index `(0,0)` to the
 /// grid center `(rows/2, cols/2)`. Self-inverse for even dimensions.
+/// Operates fully in place — no scratch buffer is allocated.
 ///
 /// # Panics
 ///
 /// Panics if `data.len() != rows * cols`.
 pub fn fftshift2(data: &mut [Complex64], rows: usize, cols: usize) {
     assert_eq!(data.len(), rows * cols, "fftshift2 buffer size mismatch");
-    let half_r = rows / 2;
-    let half_c = cols / 2;
-    let mut out = vec![Complex64::ZERO; data.len()];
-    for r in 0..rows {
-        let sr = (r + half_r) % rows;
-        for c in 0..cols {
-            let sc = (c + half_c) % cols;
-            out[sr * cols + sc] = data[r * cols + c];
-        }
-    }
-    data.copy_from_slice(&out);
+    cyclic_shift2(data, rows, cols, rows / 2, cols / 2);
 }
 
 /// Inverse of [`fftshift2`] (distinct only for odd dimensions; provided for
-/// symmetry and future-proofing).
+/// symmetry and future-proofing). Operates fully in place — no scratch
+/// buffer is allocated.
 ///
 /// # Panics
 ///
 /// Panics if `data.len() != rows * cols`.
 pub fn ifftshift2(data: &mut [Complex64], rows: usize, cols: usize) {
     assert_eq!(data.len(), rows * cols, "ifftshift2 buffer size mismatch");
-    let half_r = rows.div_ceil(2);
-    let half_c = cols.div_ceil(2);
-    let mut out = vec![Complex64::ZERO; data.len()];
-    for r in 0..rows {
-        let sr = (r + half_r) % rows;
-        for c in 0..cols {
-            let sc = (c + half_c) % cols;
-            out[sr * cols + sc] = data[r * cols + c];
-        }
-    }
-    data.copy_from_slice(&out);
+    cyclic_shift2(data, rows, cols, rows.div_ceil(2), cols.div_ceil(2));
 }
 
 /// Maps a corner-origin frequency index to a signed frequency in
@@ -322,6 +408,63 @@ mod tests {
         fftshift2(&mut y, r, c);
         ifftshift2(&mut y, r, c);
         assert_eq!(x, y);
+    }
+
+    #[test]
+    fn shifts_match_naive_copy_on_odd_dims() {
+        // The in-place rotation implementation must reproduce the reference
+        // out[(r+h_r)%rows][(c+h_c)%cols] = in[r][c] semantics, including on
+        // odd dimensions where fftshift and ifftshift differ.
+        for (rows, cols) in [(5usize, 7usize), (4, 5), (3, 8), (1, 6), (5, 1)] {
+            let x = rand_grid(rows, cols, 17);
+            for (half_r, half_c, shift) in [
+                (
+                    rows / 2,
+                    cols / 2,
+                    fftshift2 as fn(&mut [Complex64], usize, usize),
+                ),
+                (rows.div_ceil(2), cols.div_ceil(2), ifftshift2),
+            ] {
+                let mut expected = vec![Complex64::ZERO; rows * cols];
+                for r in 0..rows {
+                    for c in 0..cols {
+                        expected[((r + half_r) % rows) * cols + (c + half_c) % cols] =
+                            x[r * cols + c];
+                    }
+                }
+                let mut got = x.clone();
+                shift(&mut got, rows, cols);
+                assert_eq!(got, expected, "{rows}x{cols}");
+            }
+        }
+        // Odd dims: the two shifts are inverses of each other.
+        let (rows, cols) = (5, 7);
+        let x = rand_grid(rows, cols, 23);
+        let mut y = x.clone();
+        fftshift2(&mut y, rows, cols);
+        ifftshift2(&mut y, rows, cols);
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn workspace_transforms_match_plain_transforms() {
+        let (r, c) = (8, 16);
+        let plan = Fft2Plan::new(r, c).unwrap();
+        let x = rand_grid(r, c, 31);
+        let mut ws = Fft2Workspace::for_plan(&plan);
+        let mut with_ws = x.clone();
+        plan.forward_with(&mut with_ws, &mut ws).unwrap();
+        let mut plain = x.clone();
+        plan.forward(&mut plain).unwrap();
+        assert_eq!(with_ws, plain);
+        plan.inverse_with(&mut with_ws, &mut ws).unwrap();
+        plan.inverse(&mut plain).unwrap();
+        assert_eq!(with_ws, plain);
+        // A stale workspace from a different plan is resized, not rejected.
+        let other = Fft2Plan::new(4, 4).unwrap();
+        let mut small = vec![Complex64::ONE; 16];
+        other.forward_with(&mut small, &mut ws).unwrap();
+        assert!((small[0].re - 16.0).abs() < 1e-12);
     }
 
     #[test]

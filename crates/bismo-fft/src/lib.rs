@@ -33,4 +33,4 @@ mod fft2d;
 
 pub use complex::Complex64;
 pub use fft1d::{dft_naive, Direction, FftError, FftPlan};
-pub use fft2d::{fftshift2, ifftshift2, signed_freq, wrap_freq, Fft2Plan};
+pub use fft2d::{fftshift2, ifftshift2, signed_freq, wrap_freq, Fft2Plan, Fft2Workspace};

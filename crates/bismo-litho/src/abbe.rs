@@ -18,28 +18,47 @@
 //! * source: `∂L/∂j_τ = ( ⟨G_I, |A_τ|²⟩ − ⟨G_I, I⟩ ) / Σj` for **every**
 //!   grid point τ — including currently dark ones, which is exactly what
 //!   lets source optimization light up new pole positions.
+//!
+//! # Hot-path memory discipline
+//!
+//! The engine is built to be allocation-free per imaging call after warm-up
+//! (DESIGN.md §6):
+//!
+//! * every shifted pupil `H_σ` is precomputed once per `(Pupil, source
+//!   grid)` into a shared [`ShiftedPupilTable`] and reused across all
+//!   optimizer iterations and all passes (forward, mask-adjoint,
+//!   source-gradient);
+//! * all scratch fields live in pooled [`ImagingWorkspace`]s checked out per
+//!   call / per worker thread and returned afterwards, so steady-state calls
+//!   reuse warm buffers;
+//! * the `*_into` method variants write into caller-owned outputs, making
+//!   the single-threaded pipeline perform **zero** heap allocations per call
+//!   (verified by `tests/zero_alloc.rs` with a counting allocator). The
+//!   multithreaded paths still pay per-call thread spawns, but no
+//!   field-sized buffers.
 
-use bismo_fft::{Complex64, Fft2Plan};
-use bismo_optics::{OpticalConfig, Pupil, RealField, Source, SourcePoint};
+use std::sync::{Arc, Mutex};
+
+use bismo_fft::{Complex64, Fft2Plan, Fft2Workspace};
+use bismo_optics::{OpticalConfig, Pupil, RealField, ShiftedPupilEntry, ShiftedPupilTable, Source};
 
 use crate::error::LithoError;
-
-/// Per-chunk result of the shared gradient pass: the frequency-domain mask
-/// accumulator and the per-grid-point source-gradient entries.
-type GradChunk = (Vec<Complex64>, Vec<(usize, f64)>);
 
 /// Minimum total source power below which no image is formed.
 const DARK_EPS: f64 = 1e-12;
 
 /// Splits `items` into at most `threads` contiguous chunks and runs `f` on
 /// each in a scoped worker thread, returning the per-chunk results in order.
-/// Shared by every parallel pass of the engine (forward imaging and both
-/// gradient paths).
+/// Empty input yields an empty result (no worker is spawned — `chunks(0)`
+/// would panic).
 fn fan_out<T: Sync, R: Send>(
     items: &[T],
     threads: usize,
     f: impl Fn(&[T]) -> Result<R, LithoError> + Sync,
 ) -> Result<Vec<R>, LithoError> {
+    if items.is_empty() {
+        return Ok(Vec::new());
+    }
     let nchunks = threads.min(items.len()).max(1);
     let chunk_len = items.len().div_ceil(nchunks);
     std::thread::scope(|scope| {
@@ -52,6 +71,104 @@ fn fan_out<T: Sync, R: Send>(
             .map(|h| h.join().expect("imaging worker panicked"))
             .collect()
     })
+}
+
+/// Per-call / per-worker scratch: one of every field-sized buffer the
+/// imaging passes need. Pooled by [`WorkspacePool`]; buffers are sized on
+/// first use and reused verbatim afterwards.
+#[derive(Debug, Default)]
+struct ImagingWorkspace {
+    /// FFT column-pass scratch.
+    fft: Fft2Workspace,
+    /// Mask spectrum `O = F(M)` (filled by the call's main thread only).
+    spec: Vec<Complex64>,
+    /// Per-source-point field `A_σ` (and the `G ⊙ A_σ` product in the
+    /// mask-only adjoint, which reuses it).
+    field: Vec<Complex64>,
+    /// `F(G ⊙ A_σ)` buffer of the shared gradient pass.
+    back: Vec<Complex64>,
+    /// Frequency-domain mask-adjoint accumulator.
+    acc: Vec<Complex64>,
+    /// Real-valued partial intensity accumulator.
+    partial: Vec<f64>,
+}
+
+impl ImagingWorkspace {
+    /// Ensures every buffer holds exactly `n2` elements. A no-op (and
+    /// allocation-free) once the workspace has been used at this size.
+    fn ensure(&mut self, n2: usize) {
+        if self.spec.len() != n2 {
+            self.spec.resize(n2, Complex64::ZERO);
+            self.field.resize(n2, Complex64::ZERO);
+            self.back.resize(n2, Complex64::ZERO);
+            self.acc.resize(n2, Complex64::ZERO);
+            self.partial.resize(n2, 0.0);
+        }
+    }
+}
+
+/// Lock-guarded stack of warm workspaces, shared by an engine and all of its
+/// clones. `acquire` pops (or creates on a cold start), `release` pushes
+/// back; the lock is held only for the push/pop, never during imaging.
+#[derive(Debug, Clone, Default)]
+struct WorkspacePool {
+    slots: Arc<Mutex<Vec<ImagingWorkspace>>>,
+}
+
+impl WorkspacePool {
+    fn acquire(&self, n2: usize) -> ImagingWorkspace {
+        let mut ws = self
+            .slots
+            .lock()
+            .expect("workspace pool poisoned")
+            .pop()
+            .unwrap_or_default();
+        ws.ensure(n2);
+        ws
+    }
+
+    fn release(&self, ws: ImagingWorkspace) {
+        self.slots.lock().expect("workspace pool poisoned").push(ws);
+    }
+}
+
+/// Writes `H_σ ⊙ O` into `out` from a cached shifted pupil: zero-fill plus a
+/// sparse scatter over the ~π·r² lit bins (instead of N² analytic pupil
+/// evaluations).
+fn apply_entry(spec: &[Complex64], out: &mut [Complex64], entry: ShiftedPupilEntry<'_>) {
+    out.fill(Complex64::ZERO);
+    if entry.values.is_empty() {
+        for &k in entry.indices {
+            let k = k as usize;
+            out[k] = spec[k];
+        }
+    } else {
+        for (&k, &v) in entry.indices.iter().zip(entry.values) {
+            let k = k as usize;
+            out[k] = spec[k] * v;
+        }
+    }
+}
+
+/// Accumulates `w · H̄_σ ⊙ back` into `acc` — the frequency-domain half of
+/// the mask adjoint — over the cached lit bins only.
+fn accumulate_entry(
+    acc: &mut [Complex64],
+    back: &[Complex64],
+    w: f64,
+    entry: ShiftedPupilEntry<'_>,
+) {
+    if entry.values.is_empty() {
+        for &k in entry.indices {
+            let k = k as usize;
+            acc[k] += back[k].scale(w);
+        }
+    } else {
+        for (&k, &v) in entry.indices.iter().zip(entry.values) {
+            let k = k as usize;
+            acc[k] += back[k] * v.conj().scale(w);
+        }
+    }
 }
 
 /// Abbe forward-imaging engine.
@@ -83,22 +200,34 @@ pub struct AbbeImager {
     plan: Fft2Plan,
     threads: usize,
     min_weight: f64,
+    /// Shifted pupils of every source-grid point, built once per
+    /// `(Pupil, source grid)` and shared across clones and worker threads.
+    shifted: Arc<ShiftedPupilTable>,
+    pool: WorkspacePool,
 }
 
 impl AbbeImager {
     /// Creates an engine for `cfg`'s grids, running single-threaded.
+    ///
+    /// Construction evaluates the shifted pupil of every source-grid point
+    /// into the engine's [`ShiftedPupilTable`]; per-call imaging then never
+    /// touches the analytic pupil again.
     ///
     /// # Errors
     ///
     /// Returns an error if the mask dimension is not FFT-compatible (the
     /// config validates this, so only hand-rolled configs can fail here).
     pub fn new(cfg: &OpticalConfig) -> Result<Self, LithoError> {
+        let pupil = Pupil::new(cfg);
+        let shifted = Arc::new(ShiftedPupilTable::new(cfg, &pupil));
         Ok(AbbeImager {
             cfg: cfg.clone(),
-            pupil: Pupil::new(cfg),
+            pupil,
             plan: Fft2Plan::new(cfg.mask_dim(), cfg.mask_dim())?,
             threads: 1,
             min_weight: 1e-9,
+            shifted,
+            pool: WorkspacePool::default(),
         })
     }
 
@@ -120,10 +249,12 @@ impl AbbeImager {
 
     /// Adds a defocus aberration of `z` nanometres to the projection pupil
     /// (see [`Pupil::with_defocus`]); the adjoint gradients automatically
-    /// pick up the conjugate phase.
+    /// pick up the conjugate phase. Rebuilds the shifted-pupil cache — the
+    /// cache key is the `(Pupil, source grid)` pair.
     #[must_use]
     pub fn with_defocus(mut self, z_nm: f64) -> Self {
         self.pupil = self.pupil.clone().with_defocus(z_nm);
+        self.shifted = Arc::new(ShiftedPupilTable::new(&self.cfg, &self.pupil));
         self
     }
 
@@ -137,6 +268,13 @@ impl AbbeImager {
     #[inline]
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The precomputed per-source-point shifted pupils this engine images
+    /// through (exposed for benches and cross-engine reuse).
+    #[inline]
+    pub fn shifted_pupils(&self) -> &ShiftedPupilTable {
+        &self.shifted
     }
 
     fn check_inputs(&self, source: &Source, mask: &RealField) -> Result<f64, LithoError> {
@@ -154,6 +292,17 @@ impl AbbeImager {
                 self.cfg.source_dim()
             )));
         }
+        // The engine images through shifted pupils cached for ITS config's
+        // source grid; a source built under a different frequency scale
+        // would silently image through the wrong shifts.
+        if source.freq_scale() != self.cfg.source_freq_scale() {
+            return Err(LithoError::Shape(format!(
+                "source frequency scale {} does not match the engine's {} — \
+                 the source was built under a different optical configuration",
+                source.freq_scale(),
+                self.cfg.source_freq_scale()
+            )));
+        }
         let s = source.total_weight();
         if s < DARK_EPS {
             return Err(LithoError::DarkSource);
@@ -161,94 +310,54 @@ impl AbbeImager {
         Ok(s)
     }
 
-    /// Spectrum `O = F(M)` of a real mask.
-    fn mask_spectrum(&self, mask: &RealField) -> Result<Vec<Complex64>, LithoError> {
-        let mut o: Vec<Complex64> = mask
-            .as_slice()
-            .iter()
-            .map(|&v| Complex64::from_real(v))
-            .collect();
-        self.plan.forward(&mut o)?;
-        Ok(o)
+    fn check_field_dim(&self, field: &RealField, what: &str) -> Result<(), LithoError> {
+        if field.dim() != self.cfg.mask_dim() {
+            return Err(LithoError::Shape(format!(
+                "{what} field is {}×{0}, engine expects {1}×{1}",
+                field.dim(),
+                self.cfg.mask_dim()
+            )));
+        }
+        Ok(())
     }
 
-    /// Fills `out` with `H_σ ⊙ O` for the shifted pupil of one source point
-    /// (complex `H_σ` when the pupil carries a defocus phase).
-    fn apply_shifted_pupil(
+    /// Fills `ws.spec` with the spectrum `O = F(M)` of a real mask.
+    fn mask_spectrum_into(
         &self,
-        o: &[Complex64],
-        out: &mut [Complex64],
-        shift_f: f64,
-        shift_g: f64,
-    ) {
-        let n = self.cfg.mask_dim();
-        if self.pupil.is_real() {
-            for row in 0..n {
-                for col in 0..n {
-                    let idx = row * n + col;
-                    let h = self.pupil.shifted_at(row, col, shift_f, shift_g);
-                    out[idx] = if h > 0.0 { o[idx] } else { Complex64::ZERO };
-                }
-            }
-        } else {
-            for row in 0..n {
-                for col in 0..n {
-                    let idx = row * n + col;
-                    out[idx] = o[idx] * self.pupil.shifted_complex(row, col, shift_f, shift_g);
-                }
-            }
+        mask: &RealField,
+        ws: &mut ImagingWorkspace,
+    ) -> Result<(), LithoError> {
+        let ImagingWorkspace { spec, fft, .. } = ws;
+        for (s, &v) in spec.iter_mut().zip(mask.as_slice()) {
+            *s = Complex64::from_real(v);
         }
+        self.plan.forward_with(spec, fft)?;
+        Ok(())
     }
 
-    /// Accumulates `w · H̄_σ ⊙ back` into `acc` — the frequency-domain half
-    /// of the mask adjoint.
-    fn accumulate_adjoint(
+    /// Forward-pass body shared by the single-threaded path and the chunk
+    /// workers: accumulates `Σ j_σ |A_σ|²` over `(grid index, weight)` pairs
+    /// into `ws.partial` (which the caller has zeroed).
+    fn intensity_accumulate(
         &self,
-        acc: &mut [Complex64],
-        back: &[Complex64],
-        w: f64,
-        shift_f: f64,
-        shift_g: f64,
-    ) {
-        let n = self.cfg.mask_dim();
-        if self.pupil.is_real() {
-            for row in 0..n {
-                for col in 0..n {
-                    let k = row * n + col;
-                    let h = self.pupil.shifted_at(row, col, shift_f, shift_g);
-                    if h > 0.0 {
-                        acc[k] += back[k].scale(w);
-                    }
-                }
-            }
-        } else {
-            for row in 0..n {
-                for col in 0..n {
-                    let k = row * n + col;
-                    let h = self.pupil.shifted_complex(row, col, shift_f, shift_g);
-                    acc[k] += back[k] * h.conj().scale(w);
-                }
+        spec: &[Complex64],
+        points: impl IntoIterator<Item = (usize, f64)>,
+        ws: &mut ImagingWorkspace,
+    ) -> Result<(), LithoError> {
+        let ImagingWorkspace {
+            fft,
+            field,
+            partial,
+            ..
+        } = ws;
+        for (idx, w) in points {
+            apply_entry(spec, field, self.shifted.entry(idx));
+            self.plan.inverse_with(field, fft)?;
+            for (acc, a) in partial.iter_mut().zip(field.iter()) {
+                *acc += w * a.norm_sqr();
             }
         }
-    }
-
-    /// Per-chunk worker: accumulates `Σ j_σ |A_σ|²` for a set of points.
-    fn intensity_chunk(
-        &self,
-        o: &[Complex64],
-        points: &[SourcePoint],
-    ) -> Result<Vec<f64>, LithoError> {
-        let n2 = o.len();
-        let mut partial = vec![0.0; n2];
-        let mut scratch = vec![Complex64::ZERO; n2];
-        for p in points {
-            self.apply_shifted_pupil(o, &mut scratch, p.freq_f, p.freq_g);
-            self.plan.inverse(&mut scratch)?;
-            for (acc, a) in partial.iter_mut().zip(&scratch) {
-                *acc += p.weight * a.norm_sqr();
-            }
-        }
-        Ok(partial)
+        Ok(())
     }
 
     /// Computes the aerial image `I = (1/Σj) Σ_σ j_σ |A_σ|²` (Eq. 2 with
@@ -260,32 +369,177 @@ impl AbbeImager {
     /// [`LithoError::DarkSource`] when the source carries no power, and FFT
     /// errors from the transform layer.
     pub fn intensity(&self, source: &Source, mask: &RealField) -> Result<RealField, LithoError> {
+        let mut out = RealField::zeros(self.cfg.mask_dim());
+        self.intensity_into(source, mask, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-free variant of [`AbbeImager::intensity`]: writes the
+    /// image into the caller-owned `out` field.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`AbbeImager::intensity`], plus a shape error
+    /// when `out` does not match the mask grid.
+    pub fn intensity_into(
+        &self,
+        source: &Source,
+        mask: &RealField,
+        out: &mut RealField,
+    ) -> Result<(), LithoError> {
         let s_total = self.check_inputs(source, mask)?;
-        let o = self.mask_spectrum(mask)?;
-        let points = source.effective_points(self.min_weight);
+        self.check_field_dim(out, "output")?;
         let n = self.cfg.mask_dim();
-        let mut total = vec![0.0; n * n];
+        let n2 = n * n;
+        let mut ws_main = self.pool.acquire(n2);
+        self.mask_spectrum_into(mask, &mut ws_main)?;
+        let out_slice = out.as_mut_slice();
+        out_slice.fill(0.0);
 
-        if self.threads <= 1 || points.len() < 2 {
-            let partial = self.intensity_chunk(&o, &points)?;
-            for (t, p) in total.iter_mut().zip(&partial) {
-                *t = p / s_total;
+        if self.threads <= 1 || source.effective_count(self.min_weight) < 2 {
+            let mut ws = self.pool.acquire(n2);
+            ws.partial.fill(0.0);
+            let lit = source
+                .weights()
+                .iter()
+                .enumerate()
+                .filter_map(|(idx, &w)| (w > self.min_weight).then_some((idx, w)));
+            self.intensity_accumulate(&ws_main.spec, lit, &mut ws)?;
+            for (t, p) in out_slice.iter_mut().zip(&ws.partial) {
+                *t += *p;
             }
-            return Ok(RealField::from_vec(n, total));
-        }
-
-        let partials = fan_out(&points, self.threads, |chunk| {
-            self.intensity_chunk(&o, chunk)
-        })?;
-        for partial in partials {
-            for (t, p) in total.iter_mut().zip(&partial) {
-                *t += p;
+            self.pool.release(ws);
+        } else {
+            let points = source.effective_points(self.min_weight);
+            let spec: &[Complex64] = &ws_main.spec;
+            let workers = fan_out(&points, self.threads, |chunk| {
+                let mut ws = self.pool.acquire(n2);
+                ws.partial.fill(0.0);
+                let lit = chunk.iter().map(|p| (p.index, p.weight));
+                self.intensity_accumulate(spec, lit, &mut ws)?;
+                Ok(ws)
+            })?;
+            // Merge in chunk order so the result is deterministic.
+            for ws in workers {
+                for (t, p) in out_slice.iter_mut().zip(&ws.partial) {
+                    *t += *p;
+                }
+                self.pool.release(ws);
             }
         }
-        for t in &mut total {
+        for t in out_slice.iter_mut() {
             *t /= s_total;
         }
-        Ok(RealField::from_vec(n, total))
+        self.pool.release(ws_main);
+        Ok(())
+    }
+
+    /// Shared per-index gradient pass over `range` of the source grid:
+    /// writes `∂L/∂j_τ` entries into `src_out` (offset by `range.start`) and,
+    /// when `with_adjoint`, accumulates the frequency-domain mask adjoint
+    /// into `ws.acc` (which the caller has zeroed).
+    #[allow(clippy::too_many_arguments)]
+    fn grad_pass_range(
+        &self,
+        spec: &[Complex64],
+        weights: &[f64],
+        g_intensity: &[f64],
+        g_dot_i: f64,
+        s_total: f64,
+        range: std::ops::Range<usize>,
+        with_adjoint: bool,
+        ws: &mut ImagingWorkspace,
+        src_out: &mut [f64],
+    ) -> Result<(), LithoError> {
+        let start = range.start;
+        let ImagingWorkspace {
+            fft,
+            field,
+            back,
+            acc,
+            ..
+        } = ws;
+        for idx in range {
+            let entry = self.shifted.entry(idx);
+
+            // A_τ = F⁻¹(H_τ ⊙ O).
+            apply_entry(spec, field, entry);
+            self.plan.inverse_with(field, fft)?;
+
+            // Source gradient: (⟨G, |A_τ|²⟩ − ⟨G, I⟩) / Σj.
+            let g_dot_a: f64 = g_intensity
+                .iter()
+                .zip(field.iter())
+                .map(|(&g, a)| g * a.norm_sqr())
+                .sum();
+            src_out[idx - start] = (g_dot_a - g_dot_i) / s_total;
+
+            // Mask-gradient accumulation: w_τ · H̄_τ ⊙ F(G ⊙ A_τ).
+            let weight = weights[idx];
+            if with_adjoint && weight > self.min_weight {
+                let w = weight / s_total;
+                for ((b, a), &g) in back.iter_mut().zip(field.iter()).zip(g_intensity) {
+                    *b = a.scale(g);
+                }
+                self.plan.forward_with(back, fft)?;
+                accumulate_entry(acc, back, w, entry);
+            }
+        }
+        Ok(())
+    }
+
+    /// Fans [`AbbeImager::grad_pass_range`] out over the source grid:
+    /// splits `0..out.len()` (and `out`, chunk-aligned) across worker
+    /// threads, each with its own pooled workspace, and returns the worker
+    /// workspaces **in chunk order** so the caller can merge their adjoint
+    /// accumulators deterministically before releasing them.
+    #[allow(clippy::too_many_arguments)]
+    fn grad_fan_out(
+        &self,
+        spec: &[Complex64],
+        weights: &[f64],
+        gi: &[f64],
+        g_dot_i: f64,
+        s_total: f64,
+        with_adjoint: bool,
+        out: &mut [f64],
+    ) -> Result<Vec<ImagingWorkspace>, LithoError> {
+        let nj2 = out.len();
+        let n2 = spec.len();
+        let nchunks = self.threads.min(nj2).max(1);
+        let chunk_len = nj2.div_ceil(nchunks);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = out
+                .chunks_mut(chunk_len)
+                .enumerate()
+                .map(|(ci, out_chunk)| {
+                    let start = ci * chunk_len;
+                    let end = start + out_chunk.len();
+                    scope.spawn(move || {
+                        let mut ws = self.pool.acquire(n2);
+                        if with_adjoint {
+                            ws.acc.fill(Complex64::ZERO);
+                        }
+                        self.grad_pass_range(
+                            spec,
+                            weights,
+                            gi,
+                            g_dot_i,
+                            s_total,
+                            start..end,
+                            with_adjoint,
+                            &mut ws,
+                            out_chunk,
+                        )?;
+                        Ok(ws)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("imaging worker panicked"))
+                .collect()
+        })
     }
 
     /// Computes `∂L/∂M` and `∂L/∂j` in one shared pass, given the upstream
@@ -306,79 +560,98 @@ impl AbbeImager {
         g_intensity: &RealField,
         intensity: &RealField,
     ) -> Result<(RealField, Vec<f64>), LithoError> {
-        let s_total = self.check_inputs(source, mask)?;
-        let n = self.cfg.mask_dim();
-        if g_intensity.dim() != n || intensity.dim() != n {
-            return Err(LithoError::Shape(
-                "gradient/intensity field dimension mismatch".into(),
-            ));
-        }
-        let o = self.mask_spectrum(mask)?;
-        let g_dot_i = g_intensity.dot(intensity);
-        let nj = source.dim();
-        let all_indices: Vec<usize> = (0..nj * nj).collect();
-
-        let run_chunk = |indices: &[usize]| -> Result<GradChunk, LithoError> {
-            let mut acc_freq = vec![Complex64::ZERO; n * n];
-            let mut src_grad = Vec::with_capacity(indices.len());
-            let mut a_field = vec![Complex64::ZERO; n * n];
-            let mut back = vec![Complex64::ZERO; n * n];
-            for &idx in indices {
-                let (row, col) = (idx / nj, idx % nj);
-                let (sx, sy) = source.sigma_coords(row, col);
-                let shift_f = sx * self.cfg.source_freq_scale();
-                let shift_g = sy * self.cfg.source_freq_scale();
-                let weight = source.weights()[idx];
-
-                // A_τ = F⁻¹(H_τ ⊙ O).
-                self.apply_shifted_pupil(&o, &mut a_field, shift_f, shift_g);
-                self.plan.inverse(&mut a_field)?;
-
-                // Source gradient: (⟨G, |A_τ|²⟩ − ⟨G, I⟩) / Σj.
-                let g_dot_a: f64 = g_intensity
-                    .as_slice()
-                    .iter()
-                    .zip(&a_field)
-                    .map(|(&g, a)| g * a.norm_sqr())
-                    .sum();
-                src_grad.push((idx, (g_dot_a - g_dot_i) / s_total));
-
-                // Mask-gradient accumulation: w_τ · H̄_τ ⊙ F(G ⊙ A_τ).
-                if weight > self.min_weight {
-                    let w = weight / s_total;
-                    for ((b, a), &g) in back.iter_mut().zip(&a_field).zip(g_intensity.as_slice()) {
-                        *b = a.scale(g);
-                    }
-                    self.plan.forward(&mut back)?;
-                    self.accumulate_adjoint(&mut acc_freq, &back, w, shift_f, shift_g);
-                }
-            }
-            Ok((acc_freq, src_grad))
-        };
-
-        let (mut acc_freq, src_entries) = if self.threads <= 1 || all_indices.len() < 2 {
-            run_chunk(&all_indices)?
-        } else {
-            let results = fan_out(&all_indices, self.threads, run_chunk)?;
-            let mut acc = vec![Complex64::ZERO; n * n];
-            let mut entries = Vec::with_capacity(nj * nj);
-            for (partial_acc, partial_entries) in results {
-                for (a, p) in acc.iter_mut().zip(&partial_acc) {
-                    *a += *p;
-                }
-                entries.extend(partial_entries);
-            }
-            (acc, entries)
-        };
-
-        self.plan.inverse(&mut acc_freq)?;
-        let grad_mask =
-            RealField::from_vec(n, acc_freq.iter().map(|z| 2.0 * z.re).collect::<Vec<_>>());
-        let mut grad_source = vec![0.0; nj * nj];
-        for (idx, g) in src_entries {
-            grad_source[idx] = g;
-        }
+        let mut grad_mask = RealField::zeros(self.cfg.mask_dim());
+        let mut grad_source = vec![0.0; source.dim() * source.dim()];
+        self.gradients_into(
+            source,
+            mask,
+            g_intensity,
+            intensity,
+            &mut grad_mask,
+            &mut grad_source,
+        )?;
         Ok((grad_mask, grad_source))
+    }
+
+    /// Allocation-free variant of [`AbbeImager::gradients`]: writes both
+    /// gradients into caller-owned buffers (`grad_source_out` must hold
+    /// `N_j²` elements).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`AbbeImager::gradients`], plus shape errors
+    /// for mismatched output buffers.
+    pub fn gradients_into(
+        &self,
+        source: &Source,
+        mask: &RealField,
+        g_intensity: &RealField,
+        intensity: &RealField,
+        grad_mask_out: &mut RealField,
+        grad_source_out: &mut [f64],
+    ) -> Result<(), LithoError> {
+        let s_total = self.check_inputs(source, mask)?;
+        self.check_field_dim(g_intensity, "gradient")?;
+        self.check_field_dim(intensity, "intensity")?;
+        self.check_field_dim(grad_mask_out, "mask-gradient output")?;
+        let nj2 = source.dim() * source.dim();
+        if grad_source_out.len() != nj2 {
+            return Err(LithoError::Shape(format!(
+                "source-gradient output has {} entries, engine expects {nj2}",
+                grad_source_out.len()
+            )));
+        }
+        let n = self.cfg.mask_dim();
+        let n2 = n * n;
+        let g_dot_i = g_intensity.dot(intensity);
+        let weights = source.weights();
+        let gi = g_intensity.as_slice();
+
+        let mut ws_main = self.pool.acquire(n2);
+        self.mask_spectrum_into(mask, &mut ws_main)?;
+
+        if self.threads <= 1 || nj2 < 2 {
+            let mut ws = self.pool.acquire(n2);
+            ws.acc.fill(Complex64::ZERO);
+            self.grad_pass_range(
+                &ws_main.spec,
+                weights,
+                gi,
+                g_dot_i,
+                s_total,
+                0..nj2,
+                true,
+                &mut ws,
+                grad_source_out,
+            )?;
+            let ImagingWorkspace { fft, acc, .. } = &mut ws;
+            self.plan.inverse_with(acc, fft)?;
+            for (o, z) in grad_mask_out.as_mut_slice().iter_mut().zip(acc.iter()) {
+                *o = 2.0 * z.re;
+            }
+            self.pool.release(ws);
+            self.pool.release(ws_main);
+            return Ok(());
+        }
+
+        let ImagingWorkspace { spec, fft, acc, .. } = &mut ws_main;
+        let workers =
+            self.grad_fan_out(spec, weights, gi, g_dot_i, s_total, true, grad_source_out)?;
+        // Merge the per-worker frequency-domain accumulators in chunk order
+        // (deterministic summation independent of thread completion order).
+        acc.fill(Complex64::ZERO);
+        for ws in workers {
+            for (a, p) in acc.iter_mut().zip(&ws.acc) {
+                *a += *p;
+            }
+            self.pool.release(ws);
+        }
+        self.plan.inverse_with(acc, fft)?;
+        for (o, z) in grad_mask_out.as_mut_slice().iter_mut().zip(acc.iter()) {
+            *o = 2.0 * z.re;
+        }
+        self.pool.release(ws_main);
+        Ok(())
     }
 
     /// Computes only `∂L/∂j` (the lower-level SO gradient). Skips the
@@ -396,58 +669,102 @@ impl AbbeImager {
         g_intensity: &RealField,
         intensity: &RealField,
     ) -> Result<Vec<f64>, LithoError> {
+        let mut out = vec![0.0; source.dim() * source.dim()];
+        self.grad_source_into(source, mask, g_intensity, intensity, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-free variant of [`AbbeImager::grad_source`].
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`AbbeImager::grad_source`], plus a shape error
+    /// for a mismatched output buffer.
+    pub fn grad_source_into(
+        &self,
+        source: &Source,
+        mask: &RealField,
+        g_intensity: &RealField,
+        intensity: &RealField,
+        out: &mut [f64],
+    ) -> Result<(), LithoError> {
         let s_total = self.check_inputs(source, mask)?;
-        let n = self.cfg.mask_dim();
-        if g_intensity.dim() != n || intensity.dim() != n {
-            return Err(LithoError::Shape(
-                "gradient/intensity field dimension mismatch".into(),
-            ));
+        self.check_field_dim(g_intensity, "gradient")?;
+        self.check_field_dim(intensity, "intensity")?;
+        let nj2 = source.dim() * source.dim();
+        if out.len() != nj2 {
+            return Err(LithoError::Shape(format!(
+                "source-gradient output has {} entries, engine expects {nj2}",
+                out.len()
+            )));
         }
-        let o = self.mask_spectrum(mask)?;
+        let n2 = self.cfg.mask_dim() * self.cfg.mask_dim();
         let g_dot_i = g_intensity.dot(intensity);
-        let nj = source.dim();
-        let all_indices: Vec<usize> = (0..nj * nj).collect();
+        let weights = source.weights();
+        let gi = g_intensity.as_slice();
 
-        let run_chunk = |indices: &[usize]| -> Result<Vec<(usize, f64)>, LithoError> {
-            let mut out = Vec::with_capacity(indices.len());
-            let mut a_field = vec![Complex64::ZERO; n * n];
-            for &idx in indices {
-                let (row, col) = (idx / nj, idx % nj);
-                let (sx, sy) = source.sigma_coords(row, col);
-                let shift_f = sx * self.cfg.source_freq_scale();
-                let shift_g = sy * self.cfg.source_freq_scale();
-                self.apply_shifted_pupil(&o, &mut a_field, shift_f, shift_g);
-                self.plan.inverse(&mut a_field)?;
-                let g_dot_a: f64 = g_intensity
-                    .as_slice()
-                    .iter()
-                    .zip(&a_field)
-                    .map(|(&g, a)| g * a.norm_sqr())
-                    .sum();
-                out.push((idx, (g_dot_a - g_dot_i) / s_total));
-            }
-            Ok(out)
-        };
+        let mut ws_main = self.pool.acquire(n2);
+        self.mask_spectrum_into(mask, &mut ws_main)?;
 
-        let entries = if self.threads <= 1 || all_indices.len() < 2 {
-            run_chunk(&all_indices)?
-        } else {
-            let results = fan_out(&all_indices, self.threads, run_chunk)?;
-            let mut entries = Vec::with_capacity(nj * nj);
-            for partial in results {
-                entries.extend(partial);
-            }
-            entries
-        };
-        let mut grad = vec![0.0; nj * nj];
-        for (idx, g) in entries {
-            grad[idx] = g;
+        if self.threads <= 1 || nj2 < 2 {
+            let mut ws = self.pool.acquire(n2);
+            self.grad_pass_range(
+                &ws_main.spec,
+                weights,
+                gi,
+                g_dot_i,
+                s_total,
+                0..nj2,
+                false,
+                &mut ws,
+                out,
+            )?;
+            self.pool.release(ws);
+            self.pool.release(ws_main);
+            return Ok(());
         }
-        Ok(grad)
+
+        let workers =
+            self.grad_fan_out(&ws_main.spec, weights, gi, g_dot_i, s_total, false, out)?;
+        for ws in workers {
+            self.pool.release(ws);
+        }
+        self.pool.release(ws_main);
+        Ok(())
+    }
+
+    /// Mask-only adjoint body shared by the single-threaded path and the
+    /// chunk workers: accumulates `Σ w_σ H̄_σ ⊙ F(G ⊙ A_σ)` over
+    /// `(grid index, weight)` pairs into `ws.acc` (which the caller has
+    /// zeroed).
+    fn mask_adjoint_accumulate(
+        &self,
+        spec: &[Complex64],
+        g_intensity: &[f64],
+        s_total: f64,
+        points: impl IntoIterator<Item = (usize, f64)>,
+        ws: &mut ImagingWorkspace,
+    ) -> Result<(), LithoError> {
+        let ImagingWorkspace {
+            fft, field, acc, ..
+        } = ws;
+        for (idx, weight) in points {
+            let entry = self.shifted.entry(idx);
+            apply_entry(spec, field, entry);
+            self.plan.inverse_with(field, fft)?;
+            let w = weight / s_total;
+            for (a, &g) in field.iter_mut().zip(g_intensity) {
+                *a = a.scale(g);
+            }
+            self.plan.forward_with(field, fft)?;
+            accumulate_entry(acc, field, w, entry);
+        }
+        Ok(())
     }
 
     /// Convenience wrapper computing only the mask gradient (used by the
-    /// mask-only Abbe-MO driver where the source is fixed).
+    /// mask-only Abbe-MO driver where the source is fixed). Parallelizes
+    /// over source points like the forward pass.
     ///
     /// # Errors
     ///
@@ -458,28 +775,75 @@ impl AbbeImager {
         mask: &RealField,
         g_intensity: &RealField,
     ) -> Result<RealField, LithoError> {
-        let s_total = self.check_inputs(source, mask)?;
-        let n = self.cfg.mask_dim();
-        let o = self.mask_spectrum(mask)?;
-        let points = source.effective_points(self.min_weight);
+        let mut out = RealField::zeros(self.cfg.mask_dim());
+        self.grad_mask_into(source, mask, g_intensity, &mut out)?;
+        Ok(out)
+    }
 
-        let mut acc_freq = vec![Complex64::ZERO; n * n];
-        let mut a_field = vec![Complex64::ZERO; n * n];
-        for p in &points {
-            self.apply_shifted_pupil(&o, &mut a_field, p.freq_f, p.freq_g);
-            self.plan.inverse(&mut a_field)?;
-            let w = p.weight / s_total;
-            for (a, &g) in a_field.iter_mut().zip(g_intensity.as_slice()) {
-                *a = a.scale(g);
+    /// Allocation-free variant of [`AbbeImager::grad_mask`].
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`AbbeImager::grad_mask`], plus a shape error
+    /// when `out` does not match the mask grid.
+    pub fn grad_mask_into(
+        &self,
+        source: &Source,
+        mask: &RealField,
+        g_intensity: &RealField,
+        out: &mut RealField,
+    ) -> Result<(), LithoError> {
+        let s_total = self.check_inputs(source, mask)?;
+        self.check_field_dim(g_intensity, "gradient")?;
+        self.check_field_dim(out, "output")?;
+        let n2 = self.cfg.mask_dim() * self.cfg.mask_dim();
+        let gi = g_intensity.as_slice();
+
+        let mut ws_main = self.pool.acquire(n2);
+        self.mask_spectrum_into(mask, &mut ws_main)?;
+
+        if self.threads <= 1 || source.effective_count(self.min_weight) < 2 {
+            let mut ws = self.pool.acquire(n2);
+            ws.acc.fill(Complex64::ZERO);
+            let lit = source
+                .weights()
+                .iter()
+                .enumerate()
+                .filter_map(|(idx, &w)| (w > self.min_weight).then_some((idx, w)));
+            self.mask_adjoint_accumulate(&ws_main.spec, gi, s_total, lit, &mut ws)?;
+            let ImagingWorkspace { fft, acc, .. } = &mut ws;
+            self.plan.inverse_with(acc, fft)?;
+            for (o, z) in out.as_mut_slice().iter_mut().zip(acc.iter()) {
+                *o = 2.0 * z.re;
             }
-            self.plan.forward(&mut a_field)?;
-            self.accumulate_adjoint(&mut acc_freq, &a_field, w, p.freq_f, p.freq_g);
+            self.pool.release(ws);
+            self.pool.release(ws_main);
+            return Ok(());
         }
-        self.plan.inverse(&mut acc_freq)?;
-        Ok(RealField::from_vec(
-            n,
-            acc_freq.iter().map(|z| 2.0 * z.re).collect::<Vec<_>>(),
-        ))
+
+        let points = source.effective_points(self.min_weight);
+        let spec: &[Complex64] = &ws_main.spec;
+        let workers = fan_out(&points, self.threads, |chunk| {
+            let mut ws = self.pool.acquire(n2);
+            ws.acc.fill(Complex64::ZERO);
+            let lit = chunk.iter().map(|p| (p.index, p.weight));
+            self.mask_adjoint_accumulate(spec, gi, s_total, lit, &mut ws)?;
+            Ok(ws)
+        })?;
+        let ImagingWorkspace { fft, acc, .. } = &mut ws_main;
+        acc.fill(Complex64::ZERO);
+        for ws in workers {
+            for (a, p) in acc.iter_mut().zip(&ws.acc) {
+                *a += *p;
+            }
+            self.pool.release(ws);
+        }
+        self.plan.inverse_with(acc, fft)?;
+        for (o, z) in out.as_mut_slice().iter_mut().zip(acc.iter()) {
+            *o = 2.0 * z.re;
+        }
+        self.pool.release(ws_main);
+        Ok(())
     }
 }
 
@@ -511,6 +875,29 @@ mod tests {
                 0.0
             }
         })
+    }
+
+    #[test]
+    fn fan_out_empty_input_returns_empty() {
+        // Regression guard: chunks(0) panics, so empty input must
+        // short-circuit before chunking.
+        let items: Vec<usize> = Vec::new();
+        let calls = std::sync::atomic::AtomicUsize::new(0);
+        let out = fan_out(&items, 4, |chunk| {
+            calls.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            Ok(chunk.len())
+        })
+        .unwrap();
+        assert!(out.is_empty());
+        assert_eq!(calls.load(std::sync::atomic::Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn fan_out_covers_all_items_in_order() {
+        let items: Vec<usize> = (0..13).collect();
+        let chunks = fan_out(&items, 4, |chunk| Ok(chunk.to_vec())).unwrap();
+        let flat: Vec<usize> = chunks.into_iter().flatten().collect();
+        assert_eq!(flat, items);
     }
 
     #[test]
@@ -565,6 +952,34 @@ mod tests {
     }
 
     #[test]
+    fn source_from_mismatched_config_is_rejected() {
+        // The engine images through shifts cached for its own config; a
+        // source with the same grid size but a different frequency scale
+        // must be rejected, not silently imaged through the wrong shifts.
+        let (cfg, abbe, _) = setup();
+        let other = OpticalConfig::builder()
+            .mask_dim(cfg.mask_dim())
+            .pixel_nm(8.0)
+            .na(0.9)
+            .source_dim(cfg.source_dim())
+            .build()
+            .unwrap();
+        assert_ne!(other.source_freq_scale(), cfg.source_freq_scale());
+        let foreign = Source::from_shape(
+            &other,
+            SourceShape::Annular {
+                sigma_in: 0.63,
+                sigma_out: 0.95,
+            },
+        );
+        let m = square_mask(cfg.mask_dim(), 8);
+        assert!(matches!(
+            abbe.intensity(&foreign, &m),
+            Err(LithoError::Shape(_))
+        ));
+    }
+
+    #[test]
     fn intensity_scales_invariant_to_source_power() {
         // Doubling every source weight leaves the normalized image unchanged.
         let (cfg, abbe, src) = setup();
@@ -590,6 +1005,48 @@ mod tests {
         for (a, b) in i1.as_slice().iter().zip(i4.as_slice()) {
             assert!((a - b).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn repeated_calls_reuse_pooled_workspaces() {
+        // Two identical calls must agree exactly — stale workspace contents
+        // must never leak into a later call.
+        let (cfg, abbe, src) = setup();
+        let m = square_mask(cfg.mask_dim(), 8);
+        let i1 = abbe.intensity(&src, &m).unwrap();
+        let coeff = RealField::filled(cfg.mask_dim(), 0.25);
+        let _ = abbe.gradients(&src, &m, &coeff, &i1).unwrap();
+        let i2 = abbe.intensity(&src, &m).unwrap();
+        assert_eq!(i1, i2);
+        let g1 = abbe.grad_mask(&src, &m, &coeff).unwrap();
+        let g2 = abbe.grad_mask(&src, &m, &coeff).unwrap();
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_variants() {
+        let (cfg, abbe, src) = setup();
+        let n = cfg.mask_dim();
+        let m = square_mask(n, 8).map(|v| 0.2 + 0.6 * v);
+        let coeff = RealField::from_fn(n, |r, c| ((r * 5 + c) % 4) as f64 / 4.0 - 0.3);
+        let i = abbe.intensity(&src, &m).unwrap();
+        let mut i_into = RealField::zeros(n);
+        abbe.intensity_into(&src, &m, &mut i_into).unwrap();
+        assert_eq!(i, i_into);
+
+        let (gm, gj) = abbe.gradients(&src, &m, &coeff, &i).unwrap();
+        let mut gm_into = RealField::zeros(n);
+        let mut gj_into = vec![0.0; src.dim() * src.dim()];
+        abbe.gradients_into(&src, &m, &coeff, &i, &mut gm_into, &mut gj_into)
+            .unwrap();
+        assert_eq!(gm, gm_into);
+        assert_eq!(gj, gj_into);
+
+        let mut wrong = vec![0.0; 3];
+        assert!(matches!(
+            abbe.grad_source_into(&src, &m, &coeff, &i, &mut wrong),
+            Err(LithoError::Shape(_))
+        ));
     }
 
     #[test]
@@ -683,6 +1140,12 @@ mod tests {
             assert!((a - b).abs() < 1e-12);
         }
         for (a, b) in gj1.iter().zip(&gj2) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        // Multithreaded grad_mask also agrees with the single-threaded one.
+        let gm3 = abbe2.grad_mask(&src, &m, &coeff).unwrap();
+        let gm4 = abbe.grad_mask(&src, &m, &coeff).unwrap();
+        for (a, b) in gm3.as_slice().iter().zip(gm4.as_slice()) {
             assert!((a - b).abs() < 1e-12);
         }
     }
@@ -785,6 +1248,12 @@ mod tests {
         let (_, gj_full) = abbe.gradients(&src, &m, &coeff, &i0).unwrap();
         let gj_only = abbe.grad_source(&src, &m, &coeff, &i0).unwrap();
         for (a, b) in gj_full.iter().zip(&gj_only) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        // And the multithreaded source-only pass agrees too.
+        let abbe3 = AbbeImager::new(&cfg).unwrap().with_threads(3);
+        let gj_mt = abbe3.grad_source(&src, &m, &coeff, &i0).unwrap();
+        for (a, b) in gj_full.iter().zip(&gj_mt) {
             assert!((a - b).abs() < 1e-12);
         }
     }

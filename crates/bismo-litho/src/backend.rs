@@ -1,0 +1,203 @@
+//! The [`ImagingBackend`] abstraction: one interface over every forward
+//! imaging model in the workspace.
+//!
+//! Both engines compute the same bilinear form `I(M) = Σ_k w_k |F⁻¹[H_k ⊙
+//! F(M)]|²` — Abbe sums over source points, Hopkins/SOCS over TCC
+//! eigenvectors — so the optimization layer above them (`bismo-core`'s
+//! `MoProblem<B>`) only needs forward intensity and adjoint gradients. The
+//! trait captures exactly that surface:
+//!
+//! * [`intensity`](ImagingBackend::intensity) and
+//!   [`grad_mask`](ImagingBackend::grad_mask) are mandatory — every model
+//!   can image a mask and backpropagate to it;
+//! * [`grad_source`](ImagingBackend::grad_source) is *capability-gated*:
+//!   Abbe provides it, Hopkins returns [`LithoError::Unsupported`] because
+//!   SOCS truncation destroys the source information (paper §2.1). Callers
+//!   branch on [`supports_grad_source`](ImagingBackend::supports_grad_source)
+//!   instead of knowing concrete engine types.
+//!
+//! Backends whose construction bakes in an illumination (Hopkins) simply
+//! ignore the `source` argument of the forward/adjoint methods; the frozen
+//! source is available via their own accessors (`HopkinsImager::source`).
+
+use bismo_optics::{OpticalConfig, RealField, Source};
+
+use crate::abbe::AbbeImager;
+use crate::error::LithoError;
+use crate::hopkins::HopkinsImager;
+
+/// A forward lithography imaging model with adjoint gradients.
+///
+/// `Send + Sync` is a supertrait requirement because problems holding a
+/// backend are evaluated from parallel drivers and benches.
+///
+/// # Examples
+///
+/// ```
+/// use bismo_litho::{AbbeImager, HopkinsImager, ImagingBackend};
+/// use bismo_optics::{OpticalConfig, RealField, Source, SourceShape};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// fn clear_field_peak<B: ImagingBackend>(b: &B, src: &Source) -> f64 {
+///     let clear = RealField::filled(b.config().mask_dim(), 1.0);
+///     b.intensity(src, &clear).unwrap().max()
+/// }
+/// let cfg = OpticalConfig::test_small();
+/// let src = Source::from_shape(
+///     &cfg,
+///     SourceShape::Annular { sigma_in: 0.63, sigma_out: 0.95 },
+/// );
+/// let abbe = AbbeImager::new(&cfg)?;
+/// let hopkins = HopkinsImager::new(&cfg, &src, usize::MAX)?;
+/// assert!((clear_field_peak(&abbe, &src) - clear_field_peak(&hopkins, &src)).abs() < 1e-8);
+/// assert!(abbe.supports_grad_source());
+/// assert!(!hopkins.supports_grad_source());
+/// # Ok(())
+/// # }
+/// ```
+pub trait ImagingBackend: Send + Sync {
+    /// The optical configuration this backend images under.
+    fn config(&self) -> &OpticalConfig;
+
+    /// Short human-readable model name (bench labels, error messages).
+    fn name(&self) -> &'static str;
+
+    /// Computes the aerial image `I(source, mask)`.
+    ///
+    /// Fixed-source backends ignore `source` (they were built against one).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LithoError::Shape`] on grid mismatches plus model-specific
+    /// failures.
+    fn intensity(&self, source: &Source, mask: &RealField) -> Result<RealField, LithoError>;
+
+    /// Computes `∂L/∂M` given the upstream intensity gradient
+    /// `g_intensity = ∂L/∂I`.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`ImagingBackend::intensity`].
+    fn grad_mask(
+        &self,
+        source: &Source,
+        mask: &RealField,
+        g_intensity: &RealField,
+    ) -> Result<RealField, LithoError>;
+
+    /// Whether this backend can differentiate with respect to the source
+    /// weights. Defaults to `false`; backends overriding
+    /// [`grad_source`](ImagingBackend::grad_source) must override this too.
+    fn supports_grad_source(&self) -> bool {
+        false
+    }
+
+    /// Computes `∂L/∂j` on the full source grid given the upstream intensity
+    /// gradient and the forward image (needed by dose-normalization terms).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LithoError::Unsupported`] unless the backend overrides it.
+    fn grad_source(
+        &self,
+        _source: &Source,
+        _mask: &RealField,
+        _g_intensity: &RealField,
+        _intensity: &RealField,
+    ) -> Result<Vec<f64>, LithoError> {
+        Err(LithoError::Unsupported("source gradient"))
+    }
+
+    /// Computes `∂L/∂M` and `∂L/∂j` together. The default runs the two
+    /// adjoints separately; backends with a cheaper shared pass override it.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as the individual gradient methods.
+    fn gradients(
+        &self,
+        source: &Source,
+        mask: &RealField,
+        g_intensity: &RealField,
+        intensity: &RealField,
+    ) -> Result<(RealField, Vec<f64>), LithoError> {
+        Ok((
+            self.grad_mask(source, mask, g_intensity)?,
+            self.grad_source(source, mask, g_intensity, intensity)?,
+        ))
+    }
+}
+
+impl ImagingBackend for AbbeImager {
+    fn config(&self) -> &OpticalConfig {
+        AbbeImager::config(self)
+    }
+
+    fn name(&self) -> &'static str {
+        "abbe"
+    }
+
+    fn intensity(&self, source: &Source, mask: &RealField) -> Result<RealField, LithoError> {
+        AbbeImager::intensity(self, source, mask)
+    }
+
+    fn grad_mask(
+        &self,
+        source: &Source,
+        mask: &RealField,
+        g_intensity: &RealField,
+    ) -> Result<RealField, LithoError> {
+        AbbeImager::grad_mask(self, source, mask, g_intensity)
+    }
+
+    fn supports_grad_source(&self) -> bool {
+        true
+    }
+
+    fn grad_source(
+        &self,
+        source: &Source,
+        mask: &RealField,
+        g_intensity: &RealField,
+        intensity: &RealField,
+    ) -> Result<Vec<f64>, LithoError> {
+        AbbeImager::grad_source(self, source, mask, g_intensity, intensity)
+    }
+
+    fn gradients(
+        &self,
+        source: &Source,
+        mask: &RealField,
+        g_intensity: &RealField,
+        intensity: &RealField,
+    ) -> Result<(RealField, Vec<f64>), LithoError> {
+        // The shared pass reuses A_σ between the source and mask adjoints —
+        // roughly halving the FFT count versus the default implementation.
+        AbbeImager::gradients(self, source, mask, g_intensity, intensity)
+    }
+}
+
+impl ImagingBackend for HopkinsImager {
+    fn config(&self) -> &OpticalConfig {
+        HopkinsImager::config(self)
+    }
+
+    fn name(&self) -> &'static str {
+        "hopkins"
+    }
+
+    /// Images through the SOCS kernels of the source this engine was built
+    /// for; the `source` argument is ignored (see the module docs).
+    fn intensity(&self, _source: &Source, mask: &RealField) -> Result<RealField, LithoError> {
+        HopkinsImager::intensity(self, mask)
+    }
+
+    fn grad_mask(
+        &self,
+        _source: &Source,
+        mask: &RealField,
+        g_intensity: &RealField,
+    ) -> Result<RealField, LithoError> {
+        HopkinsImager::grad_mask(self, mask, g_intensity)
+    }
+}

@@ -15,6 +15,10 @@ pub enum LithoError {
     Shape(String),
     /// The source carries (numerically) zero total power, so no image forms.
     DarkSource,
+    /// The requested operation is not provided by this imaging backend
+    /// (e.g. source gradients through a Hopkins/SOCS engine, whose
+    /// truncation destroys the source information — paper §2.1).
+    Unsupported(&'static str),
 }
 
 impl std::fmt::Display for LithoError {
@@ -24,6 +28,9 @@ impl std::fmt::Display for LithoError {
             LithoError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
             LithoError::Shape(msg) => write!(f, "shape mismatch: {msg}"),
             LithoError::DarkSource => write!(f, "source has zero total power"),
+            LithoError::Unsupported(what) => {
+                write!(f, "operation not supported by this imaging backend: {what}")
+            }
         }
     }
 }

@@ -9,23 +9,23 @@
 //! SVD truncation. The type system mirrors this: [`HopkinsImager`] exposes
 //! mask gradients but has no source-gradient method.
 
-use bismo_fft::{Complex64, Fft2Plan};
+use bismo_fft::{Complex64, Fft2Plan, Fft2Workspace};
 use bismo_linalg::{eigh_jacobi, top_eigenpairs, Eigh, HermitianMatrix};
-use bismo_optics::{OpticalConfig, Pupil, RealField, Source};
+use bismo_optics::{OpticalConfig, Pupil, RealField, ShiftedPupilEntry, ShiftedPupilTable, Source};
 
 use crate::error::LithoError;
 
-/// Hermitian inner product `⟨a, b⟩ = Σ conj(a_k)·b_k` over two sparse
-/// ascending-sorted `(flat index, value)` lists.
-fn sparse_hermitian_dot(a: &[(usize, Complex64)], b: &[(usize, Complex64)]) -> Complex64 {
+/// Hermitian inner product `⟨a, b⟩ = Σ conj(a_k)·b_k` over two cached
+/// shifted-pupil entries (lit-bin lists in ascending flat-index order).
+fn entry_hermitian_dot(a: ShiftedPupilEntry<'_>, b: ShiftedPupilEntry<'_>) -> Complex64 {
     let (mut i, mut j) = (0, 0);
     let mut acc = Complex64::ZERO;
-    while i < a.len() && j < b.len() {
-        match a[i].0.cmp(&b[j].0) {
+    while i < a.indices.len() && j < b.indices.len() {
+        match a.indices[i].cmp(&b.indices[j]) {
             std::cmp::Ordering::Less => i += 1,
             std::cmp::Ordering::Greater => j += 1,
             std::cmp::Ordering::Equal => {
-                acc += a[i].1.conj() * b[j].1;
+                acc += a.value_at(i).conj() * b.value_at(j);
                 i += 1;
                 j += 1;
             }
@@ -76,6 +76,8 @@ pub struct HopkinsImager {
     support: Vec<(usize, usize)>,
     kernels: Vec<SocsKernel>,
     truncation: usize,
+    /// The frozen illumination the TCC was baked against.
+    source: Source,
 }
 
 impl HopkinsImager {
@@ -124,30 +126,36 @@ impl HopkinsImager {
                 cfg.source_dim()
             )));
         }
+        // The TCC is assembled from shifted pupils cached for THIS config's
+        // source grid; a source built under a different frequency scale
+        // would silently bake kernels at the wrong illumination frequencies
+        // (same guard as the Abbe engine, so both backends fail alike).
+        if source.freq_scale() != cfg.source_freq_scale() {
+            return Err(LithoError::Shape(format!(
+                "source frequency scale {} does not match the config's {} — \
+                 the source was built under a different optical configuration",
+                source.freq_scale(),
+                cfg.source_freq_scale()
+            )));
+        }
         let n = cfg.mask_dim();
         let points = source.effective_points(1e-12);
 
-        // Per-source sparse shifted-pupil vectors over the full grid
-        // (sorted by flat index), plus the union support.
+        // Shifted pupils of the lit source points from the shared cache
+        // (bismo-optics evaluates each one exactly once, sparsely), plus the
+        // union support in point-then-flat-index discovery order.
+        let selected: Vec<usize> = points.iter().map(|p| p.index).collect();
+        let shifted = ShiftedPupilTable::for_points(cfg, &pupil, &selected);
         let mut support_mark = vec![usize::MAX; n * n];
         let mut support: Vec<(usize, usize)> = Vec::new();
-        let mut lit_lists: Vec<Vec<(usize, Complex64)>> = Vec::with_capacity(points.len());
         for p in &points {
-            let mut lit = Vec::new();
-            for row in 0..n {
-                for col in 0..n {
-                    let h = pupil.shifted_complex(row, col, p.freq_f, p.freq_g);
-                    if h.norm_sqr() > 0.0 {
-                        let flat = row * n + col;
-                        if support_mark[flat] == usize::MAX {
-                            support_mark[flat] = support.len();
-                            support.push((row, col));
-                        }
-                        lit.push((flat, h));
-                    }
+            for &flat in shifted.entry(p.index).indices {
+                let flat = flat as usize;
+                if support_mark[flat] == usize::MAX {
+                    support_mark[flat] = support.len();
+                    support.push((flat / n, flat % n));
                 }
             }
-            lit_lists.push(lit);
         }
         let sigma = points.len();
 
@@ -157,7 +165,10 @@ impl HopkinsImager {
         let mut gram = HermitianMatrix::zeros(sigma);
         for a in 0..sigma {
             for b in a..sigma {
-                let overlap = sparse_hermitian_dot(&lit_lists[a], &lit_lists[b]);
+                let overlap = entry_hermitian_dot(
+                    shifted.entry(points[a].index),
+                    shifted.entry(points[b].index),
+                );
                 if overlap.norm_sqr() > 0.0 {
                     gram.set(a, b, overlap.scale(sqrt_w[a] * sqrt_w[b]));
                 }
@@ -180,10 +191,11 @@ impl HopkinsImager {
             }
             let inv_sqrt = 1.0 / lam.sqrt();
             let mut phi = vec![Complex64::ZERO; support.len()];
-            for (s_idx, lit) in lit_lists.iter().enumerate() {
+            for (s_idx, p) in points.iter().enumerate() {
                 let coef = u[s_idx].scale(sqrt_w[s_idx] * inv_sqrt);
-                for &(flat, h) in lit {
-                    phi[support_mark[flat]] += coef * h;
+                let entry = shifted.entry(p.index);
+                for (pos, &flat) in entry.indices.iter().enumerate() {
+                    phi[support_mark[flat as usize]] += coef * entry.value_at(pos);
                 }
             }
             kernels.push(SocsKernel { kappa: *lam, phi });
@@ -195,6 +207,7 @@ impl HopkinsImager {
             support,
             kernels,
             truncation: q_eff,
+            source: source.clone(),
         })
     }
 
@@ -202,6 +215,14 @@ impl HopkinsImager {
     #[inline]
     pub fn config(&self) -> &OpticalConfig {
         &self.cfg
+    }
+
+    /// The frozen illumination source the TCC was baked against. Exposed so
+    /// generic drivers over [`crate::ImagingBackend`] can evaluate the same
+    /// objective a source-aware backend would.
+    #[inline]
+    pub fn source(&self) -> &Source {
+        &self.source
     }
 
     /// The pupil-support frequency bins the kernels live on.
@@ -243,12 +264,13 @@ impl HopkinsImager {
     pub fn intensity(&self, mask: &RealField) -> Result<RealField, LithoError> {
         self.check_mask(mask)?;
         let n = self.cfg.mask_dim();
+        let mut fft_ws = Fft2Workspace::for_plan(&self.plan);
         let mut o: Vec<Complex64> = mask
             .as_slice()
             .iter()
             .map(|&v| Complex64::from_real(v))
             .collect();
-        self.plan.forward(&mut o)?;
+        self.plan.forward_with(&mut o, &mut fft_ws)?;
 
         let mut total = vec![0.0; n * n];
         let mut field = vec![Complex64::ZERO; n * n];
@@ -260,7 +282,7 @@ impl HopkinsImager {
                 let k = row * n + col;
                 field[k] = kernel.phi[i] * o[k];
             }
-            self.plan.inverse(&mut field)?;
+            self.plan.inverse_with(&mut field, &mut fft_ws)?;
             for (t, a) in total.iter_mut().zip(&field) {
                 *t += kernel.kappa * a.norm_sqr();
             }
@@ -282,12 +304,13 @@ impl HopkinsImager {
         self.check_mask(mask)?;
         self.check_mask(g_intensity)?;
         let n = self.cfg.mask_dim();
+        let mut fft_ws = Fft2Workspace::for_plan(&self.plan);
         let mut o: Vec<Complex64> = mask
             .as_slice()
             .iter()
             .map(|&v| Complex64::from_real(v))
             .collect();
-        self.plan.forward(&mut o)?;
+        self.plan.forward_with(&mut o, &mut fft_ws)?;
 
         let mut acc_freq = vec![Complex64::ZERO; n * n];
         let mut field = vec![Complex64::ZERO; n * n];
@@ -299,17 +322,17 @@ impl HopkinsImager {
                 let k = row * n + col;
                 field[k] = kernel.phi[i] * o[k];
             }
-            self.plan.inverse(&mut field)?;
+            self.plan.inverse_with(&mut field, &mut fft_ws)?;
             for (a, &g) in field.iter_mut().zip(g_intensity.as_slice()) {
                 *a = a.scale(g);
             }
-            self.plan.forward(&mut field)?;
+            self.plan.forward_with(&mut field, &mut fft_ws)?;
             for (i, &(row, col)) in self.support.iter().enumerate() {
                 let k = row * n + col;
                 acc_freq[k] += kernel.phi[i].conj() * field[k].scale(kernel.kappa);
             }
         }
-        self.plan.inverse(&mut acc_freq)?;
+        self.plan.inverse_with(&mut acc_freq, &mut fft_ws)?;
         Ok(RealField::from_vec(
             n,
             acc_freq.iter().map(|z| 2.0 * z.re).collect::<Vec<_>>(),
@@ -446,6 +469,32 @@ mod tests {
         assert!(matches!(
             HopkinsImager::new(&cfg, &Source::dark(&cfg), 8),
             Err(LithoError::DarkSource)
+        ));
+    }
+
+    #[test]
+    fn source_from_mismatched_config_is_rejected() {
+        // Same guard as the Abbe engine: a source built under a different
+        // frequency scale would bake TCC kernels at wrong illumination
+        // frequencies, so construction must fail instead.
+        let (cfg, _) = setup();
+        let other = OpticalConfig::builder()
+            .mask_dim(cfg.mask_dim())
+            .pixel_nm(8.0)
+            .na(0.9)
+            .source_dim(cfg.source_dim())
+            .build()
+            .unwrap();
+        let foreign = Source::from_shape(
+            &other,
+            SourceShape::Annular {
+                sigma_in: 0.63,
+                sigma_out: 0.95,
+            },
+        );
+        assert!(matches!(
+            HopkinsImager::new(&cfg, &foreign, 8),
+            Err(LithoError::Shape(_))
         ));
     }
 

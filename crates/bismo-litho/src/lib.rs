@@ -10,7 +10,10 @@
 //!   with mask gradients only (the truncation destroys source information,
 //!   which is the paper's argument for Abbe-based SMO);
 //! * [`ResistModel`] — the sigmoid threshold resist (Eq. 6) and
-//!   [`DoseCorners`] for process-window evaluation.
+//!   [`DoseCorners`] for process-window evaluation;
+//! * [`ImagingBackend`] — the trait unifying both engines behind one
+//!   forward/adjoint interface, so optimization drivers are written once
+//!   and instantiated per model (`bismo-core`'s `MoProblem<B>`).
 //!
 //! ## Examples
 //!
@@ -39,11 +42,13 @@
 #![warn(missing_docs)]
 
 mod abbe;
+mod backend;
 mod error;
 mod hopkins;
 mod resist;
 
 pub use abbe::AbbeImager;
+pub use backend::ImagingBackend;
 pub use error::LithoError;
 pub use hopkins::{HopkinsImager, SocsKernel};
 pub use resist::{sigmoid, DoseCorners, ResistModel};

@@ -29,9 +29,11 @@
 mod config;
 mod field;
 mod pupil;
+mod shifted;
 mod source;
 
 pub use config::{ConfigError, OpticalConfig, OpticalConfigBuilder};
 pub use field::RealField;
 pub use pupil::Pupil;
+pub use shifted::{ShiftedPupilEntry, ShiftedPupilTable};
 pub use source::{Source, SourcePoint, SourceShape};

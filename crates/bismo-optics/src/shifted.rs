@@ -1,0 +1,281 @@
+//! Precomputed shifted pupils `H(f + f_σ, g + g_σ)` for every point of the
+//! source grid.
+//!
+//! The Abbe engine needs the shifted pupil of source point σ on every
+//! optimizer iteration, three times per iteration (forward, mask-adjoint and
+//! source-gradient passes) — yet the source *grid* never moves during
+//! optimization; only the weights `j_σ` change. A [`ShiftedPupilTable`]
+//! therefore evaluates each shifted pupil exactly once per
+//! `(Pupil, source grid)` pair and stores it sparsely: the passband of a
+//! shifted pupil covers only ~π·r² of the N² frequency bins (r = pupil
+//! radius in bins), so applying a cached pupil is a zero-fill plus a sparse
+//! scatter instead of N² analytic evaluations.
+//!
+//! The cache key is the pair (pupil cutoff + defocus phase, source grid
+//! geometry): rebuilding is only needed when the projection pupil or the
+//! optical configuration changes — never per iteration (see DESIGN.md §6).
+
+use crate::config::OpticalConfig;
+use crate::pupil::Pupil;
+use bismo_fft::Complex64;
+
+/// One cached shifted pupil: the lit frequency bins of
+/// `H(f + f_σ, g + g_σ)` on the mask grid, in ascending flat-index order.
+///
+/// For an in-focus (purely real) pupil the value at every lit bin is exactly
+/// 1, so `values` is empty and the indices alone carry the whole function;
+/// with an aberrated pupil `values[i]` is the complex transmission at
+/// `indices[i]`.
+#[derive(Debug, Clone, Copy)]
+pub struct ShiftedPupilEntry<'a> {
+    /// Flat (row-major) mask-grid frequency bins inside the shifted pupil.
+    pub indices: &'a [u32],
+    /// Complex pupil values aligned with `indices`; empty means all-ones.
+    pub values: &'a [Complex64],
+}
+
+impl ShiftedPupilEntry<'_> {
+    /// Pupil value at position `pos` of this entry's lit-bin list.
+    #[inline]
+    pub fn value_at(&self, pos: usize) -> Complex64 {
+        if self.values.is_empty() {
+            Complex64::ONE
+        } else {
+            self.values[pos]
+        }
+    }
+}
+
+/// Shifted pupils for all `N_j × N_j` source-grid points, evaluated once and
+/// shared (behind an `Arc`) by every imaging pass and worker thread.
+///
+/// # Examples
+///
+/// ```
+/// use bismo_optics::{OpticalConfig, Pupil, ShiftedPupilTable};
+///
+/// let cfg = OpticalConfig::test_small();
+/// let table = ShiftedPupilTable::new(&cfg, &Pupil::new(&cfg));
+/// assert_eq!(table.source_dim(), cfg.source_dim());
+/// // The center grid point carries the unshifted pupil.
+/// let nj = table.source_dim();
+/// let center = table.entry((nj / 2) * nj + nj / 2);
+/// assert_eq!(center.indices.len(), Pupil::new(&cfg).support_len());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShiftedPupilTable {
+    mask_dim: usize,
+    source_dim: usize,
+    real: bool,
+    /// Concatenated lit-bin lists of all grid points.
+    indices: Vec<u32>,
+    /// Concatenated complex values (empty for a real pupil).
+    values: Vec<Complex64>,
+    /// Start offsets into `indices`/`values` per grid point
+    /// (length `source_dim² + 1`).
+    starts: Vec<usize>,
+}
+
+impl ShiftedPupilTable {
+    /// Evaluates `pupil` at every source-grid shift of `cfg`.
+    ///
+    /// The shift frequencies use exactly the same arithmetic as
+    /// [`crate::Source::sigma_coords`] and `cfg.source_freq_scale()`, so
+    /// cached values are bit-identical to on-the-fly evaluation.
+    pub fn new(cfg: &OpticalConfig, pupil: &Pupil) -> Self {
+        ShiftedPupilTable::build(cfg, pupil, None)
+    }
+
+    /// Like [`ShiftedPupilTable::new`] but evaluating only the listed grid
+    /// indices; entries for unlisted points are empty. Used when the caller
+    /// knows which source points are lit (e.g. a Hopkins TCC build over the
+    /// effective points of a frozen source) and the full grid would be
+    /// wasted work.
+    pub fn for_points(cfg: &OpticalConfig, pupil: &Pupil, grid_indices: &[usize]) -> Self {
+        ShiftedPupilTable::build(cfg, pupil, Some(grid_indices))
+    }
+
+    fn build(cfg: &OpticalConfig, pupil: &Pupil, selection: Option<&[usize]>) -> Self {
+        let n = cfg.mask_dim();
+        let nj = cfg.source_dim();
+        let real = pupil.is_real();
+        let half = (nj - 1) as f64 / 2.0;
+        let scale = cfg.source_freq_scale();
+        let selected: Option<Vec<bool>> = selection.map(|list| {
+            let mut mask = vec![false; nj * nj];
+            for &idx in list {
+                mask[idx] = true;
+            }
+            mask
+        });
+
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        let mut starts = Vec::with_capacity(nj * nj + 1);
+        starts.push(0);
+        for row in 0..nj {
+            for col in 0..nj {
+                let skip = selected.as_ref().is_some_and(|mask| !mask[row * nj + col]);
+                if !skip {
+                    let shift_f = (col as f64 - half) / half * scale;
+                    let shift_g = (row as f64 - half) / half * scale;
+                    for r in 0..n {
+                        for c in 0..n {
+                            if real {
+                                if pupil.shifted_at(r, c, shift_f, shift_g) > 0.0 {
+                                    indices.push((r * n + c) as u32);
+                                }
+                            } else {
+                                let h = pupil.shifted_complex(r, c, shift_f, shift_g);
+                                if h.norm_sqr() > 0.0 {
+                                    indices.push((r * n + c) as u32);
+                                    values.push(h);
+                                }
+                            }
+                        }
+                    }
+                }
+                starts.push(indices.len());
+            }
+        }
+        ShiftedPupilTable {
+            mask_dim: n,
+            source_dim: nj,
+            real,
+            indices,
+            values,
+            starts,
+        }
+    }
+
+    /// Mask grid dimension the pupils are sampled on.
+    #[inline]
+    pub fn mask_dim(&self) -> usize {
+        self.mask_dim
+    }
+
+    /// Source grid dimension `N_j` the shifts are taken from.
+    #[inline]
+    pub fn source_dim(&self) -> usize {
+        self.source_dim
+    }
+
+    /// Whether the underlying pupil is purely real (all cached values are 1).
+    #[inline]
+    pub fn is_real(&self) -> bool {
+        self.real
+    }
+
+    /// The cached shifted pupil of source-grid point `grid_index`
+    /// (row-major flat index into the `N_j × N_j` grid).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grid_index >= source_dim²`.
+    #[inline]
+    pub fn entry(&self, grid_index: usize) -> ShiftedPupilEntry<'_> {
+        let lo = self.starts[grid_index];
+        let hi = self.starts[grid_index + 1];
+        ShiftedPupilEntry {
+            indices: &self.indices[lo..hi],
+            values: if self.real { &[] } else { &self.values[lo..hi] },
+        }
+    }
+
+    /// Total number of cached lit bins across all grid points (a memory /
+    /// work proxy used by benches and tests).
+    #[inline]
+    pub fn total_lit_bins(&self) -> usize {
+        self.indices.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::Source;
+
+    #[test]
+    fn entries_match_analytic_shifted_pupil() {
+        let cfg = OpticalConfig::test_small();
+        let pupil = Pupil::new(&cfg);
+        let table = ShiftedPupilTable::new(&cfg, &pupil);
+        assert!(table.is_real());
+        let n = cfg.mask_dim();
+        let src = Source::dark(&cfg);
+        let nj = cfg.source_dim();
+        for &(row, col) in &[(0usize, 0usize), (nj / 2, nj / 2), (nj - 1, 2)] {
+            let (sx, sy) = src.sigma_coords(row, col);
+            let (sf, sg) = (sx * cfg.source_freq_scale(), sy * cfg.source_freq_scale());
+            let entry = table.entry(row * nj + col);
+            let mut pos = 0usize;
+            for r in 0..n {
+                for c in 0..n {
+                    let lit = pupil.shifted_at(r, c, sf, sg) > 0.0;
+                    let cached =
+                        pos < entry.indices.len() && entry.indices[pos] as usize == r * n + c;
+                    assert_eq!(lit, cached, "bin ({r},{c}) of grid point ({row},{col})");
+                    if cached {
+                        assert_eq!(entry.value_at(pos), Complex64::ONE);
+                        pos += 1;
+                    }
+                }
+            }
+            assert_eq!(pos, entry.indices.len());
+        }
+    }
+
+    #[test]
+    fn defocused_entries_store_complex_values() {
+        let cfg = OpticalConfig::test_small();
+        let pupil = Pupil::new(&cfg).with_defocus(120.0);
+        let table = ShiftedPupilTable::new(&cfg, &pupil);
+        assert!(!table.is_real());
+        let n = cfg.mask_dim();
+        let nj = cfg.source_dim();
+        let src = Source::dark(&cfg);
+        let (row, col) = (nj / 2, nj / 2 + 1);
+        let (sx, sy) = src.sigma_coords(row, col);
+        let (sf, sg) = (sx * cfg.source_freq_scale(), sy * cfg.source_freq_scale());
+        let entry = table.entry(row * nj + col);
+        assert!(!entry.indices.is_empty());
+        for (pos, &flat) in entry.indices.iter().enumerate() {
+            let (r, c) = (flat as usize / n, flat as usize % n);
+            let expected = pupil.shifted_complex(r, c, sf, sg);
+            let got = entry.value_at(pos);
+            assert_eq!(got.re, expected.re);
+            assert_eq!(got.im, expected.im);
+        }
+    }
+
+    #[test]
+    fn for_points_matches_full_table_on_selected_entries() {
+        let cfg = OpticalConfig::test_small();
+        let pupil = Pupil::new(&cfg);
+        let full = ShiftedPupilTable::new(&cfg, &pupil);
+        let nj = cfg.source_dim();
+        let picks = [0usize, nj + 2, nj * nj / 2, nj * nj - 1];
+        let partial = ShiftedPupilTable::for_points(&cfg, &pupil, &picks);
+        for idx in 0..nj * nj {
+            let got = partial.entry(idx);
+            if picks.contains(&idx) {
+                assert_eq!(got.indices, full.entry(idx).indices, "entry {idx}");
+            } else {
+                assert!(got.indices.is_empty(), "unselected entry {idx} not empty");
+            }
+        }
+        assert!(partial.total_lit_bins() < full.total_lit_bins());
+    }
+
+    #[test]
+    fn corner_shifts_keep_a_nonempty_passband() {
+        // Even the extreme σ = (±1, ±1) shifts leave part of the pupil on
+        // the grid for valid configs (the mask grid resolves 2·NA/λ).
+        let cfg = OpticalConfig::test_small();
+        let table = ShiftedPupilTable::new(&cfg, &Pupil::new(&cfg));
+        let nj = cfg.source_dim();
+        for idx in [0, nj - 1, nj * nj - nj, nj * nj - 1] {
+            assert!(!table.entry(idx).indices.is_empty(), "grid point {idx}");
+        }
+    }
+}

@@ -205,6 +205,15 @@ impl Source {
         self.dim
     }
 
+    /// Frequency scale (NA/λ) mapping σ-coordinates to illumination
+    /// frequencies — inherited from the `OpticalConfig` this source was
+    /// built under. Imaging engines use it to reject sources from a
+    /// mismatched configuration.
+    #[inline]
+    pub fn freq_scale(&self) -> f64 {
+        self.freq_scale
+    }
+
     /// Immutable view of the grid weights.
     #[inline]
     pub fn weights(&self) -> &[f64] {

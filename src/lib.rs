@@ -58,11 +58,13 @@ pub mod prelude {
         measure, run_abbe_mo, run_am_smo, run_bismo, run_hopkins_mo, run_milt_proxy,
         run_nilt_proxy, Activation, AmSmoConfig, BismoConfig, ConvergenceTrace, EpeSpec,
         GradRequest, HopkinsMoProblem, HypergradMethod, LossValue, MetricSet, MoConfig, MoModel,
-        MoOutcome, SmoEval, SmoOutcome, SmoProblem, SmoSettings, SourceActivationKind, StepRecord,
-        StopRule,
+        MoOutcome, MoProblem, SmoEval, SmoOutcome, SmoProblem, SmoSettings, SourceActivationKind,
+        StepRecord, StopRule,
     };
     pub use bismo_layout::{upsample, write_pgm, Clip, Suite, SuiteKind};
-    pub use bismo_litho::{AbbeImager, DoseCorners, HopkinsImager, LithoError, ResistModel};
+    pub use bismo_litho::{
+        AbbeImager, DoseCorners, HopkinsImager, ImagingBackend, LithoError, ResistModel,
+    };
     pub use bismo_opt::{Adam, Momentum, Optimizer, OptimizerKind, Sgd};
     pub use bismo_optics::{OpticalConfig, Pupil, RealField, Source, SourcePoint, SourceShape};
 }

@@ -2,7 +2,13 @@
 //! both parameter blocks (θ_J source weights, θ_M mask pixels), with and
 //! without the process-variation (PVB) term — the numerics every bilevel
 //! driver in `bismo-core` depends on.
+//!
+//! The mask-gradient check is written once, generically over
+//! [`ImagingBackend`], and instantiated for both engines: every backend
+//! plugged into the shared `MoProblem<B>` path must pass the same FD test.
 
+use bismo::core::MoProblem;
+use bismo::litho::ImagingBackend;
 use bismo::prelude::*;
 use bismo_testkit::{check_gradient, check_gradient_field, spread_indices, Fixture, GradCheckSpec};
 
@@ -92,6 +98,46 @@ fn theta_m_gradient_with_pvb_matches_finite_difference() {
         spec(),
     );
     report.assert_ok(spec(), "theta_M (with PVB)");
+}
+
+/// Backend-generic θ_M finite-difference check through the shared
+/// `MoProblem<B>` evaluation path (`loss_at` / `eval_mask_at`).
+fn check_mask_gradient_generic<B: ImagingBackend>(
+    problem: &MoProblem<B>,
+    source: &Source,
+    label: &str,
+) {
+    let theta_m = problem.init_theta_m();
+    let (_, analytic) = problem.eval_mask_at(source, &theta_m).unwrap();
+    let indices = spread_indices(theta_m.len(), 9);
+    let report = check_gradient_field(
+        |tm| problem.loss_at(source, tm).unwrap().total,
+        &theta_m,
+        &analytic,
+        &indices,
+        spec(),
+    );
+    report.assert_ok(spec(), label);
+}
+
+#[test]
+fn generic_mask_gradient_abbe_backend() {
+    let fx = Fixture::small().unwrap();
+    let source = fx.problem.source(&fx.theta_j);
+    check_mask_gradient_generic(&fx.problem, &source, "theta_M via MoProblem<AbbeImager>");
+}
+
+#[test]
+fn generic_mask_gradient_hopkins_backend() {
+    let fx = Fixture::small().unwrap();
+    let source = fx.problem.source(&fx.theta_j);
+    let hopkins = MoProblem::from_backend(
+        HopkinsImager::new(fx.problem.optical(), &source, 12).unwrap(),
+        fx.problem.settings().clone(),
+        fx.problem.target().clone(),
+    )
+    .unwrap();
+    check_mask_gradient_generic(&hopkins, &source, "theta_M via MoProblem<HopkinsImager>");
 }
 
 #[test]

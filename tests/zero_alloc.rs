@@ -1,0 +1,137 @@
+//! Verifies the zero-allocation acceptance criterion of the imaging
+//! pipeline: after one warm-up call (which populates the engine's workspace
+//! pool), the single-threaded forward and gradient passes through the
+//! `*_into` APIs perform **zero** heap allocations.
+//!
+//! Measured, not asserted from reading the code: a wrapping global allocator
+//! counts every allocation on this thread. The counter is thread-local so
+//! other test threads in the same binary cannot perturb it.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use bismo::prelude::*;
+
+thread_local! {
+    static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+struct CountingAlloc;
+
+// SAFETY: delegates directly to `System`; the only addition is bumping a
+// `const`-initialized thread-local counter, which itself never allocates.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        THREAD_ALLOCS.with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        THREAD_ALLOCS.with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs_during<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = THREAD_ALLOCS.with(|c| c.get());
+    let out = f();
+    let after = THREAD_ALLOCS.with(|c| c.get());
+    (after - before, out)
+}
+
+fn fixture() -> (OpticalConfig, AbbeImager, Source, RealField, RealField) {
+    let cfg = OpticalConfig::test_small();
+    let abbe = AbbeImager::new(&cfg).unwrap();
+    let source = Source::from_shape(
+        &cfg,
+        SourceShape::Annular {
+            sigma_in: cfg.sigma_in(),
+            sigma_out: cfg.sigma_out(),
+        },
+    );
+    let n = cfg.mask_dim();
+    let mask = RealField::from_fn(n, |r, c| {
+        if (24..40).contains(&r) && (20..44).contains(&c) {
+            0.8
+        } else {
+            0.2
+        }
+    });
+    let coeff = RealField::from_fn(n, |r, c| ((r * 7 + c * 3) % 5) as f64 / 5.0 - 0.4);
+    (cfg, abbe, source, mask, coeff)
+}
+
+#[test]
+fn forward_imaging_is_allocation_free_after_warmup() {
+    let (cfg, abbe, source, mask, _) = fixture();
+    let mut out = RealField::zeros(cfg.mask_dim());
+    // Warm-up: sizes the pooled workspace buffers.
+    abbe.intensity_into(&source, &mask, &mut out).unwrap();
+    let reference = out.clone();
+
+    let (allocs, result) = allocs_during(|| abbe.intensity_into(&source, &mask, &mut out));
+    result.unwrap();
+    assert_eq!(
+        allocs, 0,
+        "forward imaging allocated {allocs} times after warm-up"
+    );
+    assert_eq!(out, reference, "warm call changed the image");
+}
+
+#[test]
+fn gradient_imaging_is_allocation_free_after_warmup() {
+    let (cfg, abbe, source, mask, coeff) = fixture();
+    let n = cfg.mask_dim();
+    let nj2 = cfg.source_dim() * cfg.source_dim();
+    let intensity = abbe.intensity(&source, &mask).unwrap();
+    let mut gm = RealField::zeros(n);
+    let mut gj = vec![0.0; nj2];
+    // Warm-up for the gradient pass (needs two pooled workspaces).
+    abbe.gradients_into(&source, &mask, &coeff, &intensity, &mut gm, &mut gj)
+        .unwrap();
+
+    let (allocs, result) =
+        allocs_during(|| abbe.gradients_into(&source, &mask, &coeff, &intensity, &mut gm, &mut gj));
+    result.unwrap();
+    assert_eq!(
+        allocs, 0,
+        "shared gradient pass allocated {allocs} times after warm-up"
+    );
+
+    let (allocs, result) =
+        allocs_during(|| abbe.grad_source_into(&source, &mask, &coeff, &intensity, &mut gj));
+    result.unwrap();
+    assert_eq!(
+        allocs, 0,
+        "source-gradient pass allocated {allocs} times after warm-up"
+    );
+
+    let (allocs, result) = allocs_during(|| abbe.grad_mask_into(&source, &mask, &coeff, &mut gm));
+    result.unwrap();
+    assert_eq!(
+        allocs, 0,
+        "mask-gradient pass allocated {allocs} times after warm-up"
+    );
+}
+
+#[test]
+fn allocating_wrappers_only_allocate_their_outputs() {
+    // The plain `intensity`/`gradients` APIs allocate exactly the returned
+    // buffers — one for the image, two for the gradient pair — and nothing
+    // else once the pool is warm.
+    let (_, abbe, source, mask, coeff) = fixture();
+    let intensity = abbe.intensity(&source, &mask).unwrap();
+    let _ = abbe.gradients(&source, &mask, &coeff, &intensity).unwrap();
+
+    let (allocs, _) = allocs_during(|| abbe.intensity(&source, &mask).unwrap());
+    assert_eq!(allocs, 1, "forward wrapper allocated {allocs} times");
+    let (allocs, _) = allocs_during(|| abbe.gradients(&source, &mask, &coeff, &intensity).unwrap());
+    assert_eq!(allocs, 2, "gradient wrapper allocated {allocs} times");
+}
