@@ -1,18 +1,34 @@
 //! Ablation study (paper §4.2 plus DESIGN.md extensions): sweeps the
 //! Neumann/CG term count `K`, the unroll depth `T`, and the SOCS truncation
 //! `Q`, reporting final loss / cost trade-offs on one clip.
+//!
+//! Every sweep fans its cells across `BISMO_JOBS` workers via the bench
+//! runner's `par_map`, with all cells sharing one problem (and therefore
+//! one imaging core + warm workspace pool); results merge in cell order, so
+//! the printed **loss** columns are identical at any worker count. The TAT
+//! columns are wall time as experienced under that contention — for
+//! uncontended per-method cost comparisons, run with `BISMO_JOBS=1` (the
+//! binary prints a reminder when the pool is wider).
 
-use bismo_bench::{format_table, Harness, Scale, Suite, SuiteKind};
+use bismo_bench::{format_table, par_map, Harness, RunnerOptions, Scale, Suite, SuiteKind};
 use bismo_core::{run_bismo, BismoConfig, HypergradMethod, SmoProblem};
 use bismo_litho::HopkinsImager;
 use bismo_optics::RealField;
 
 fn main() {
     let h = Harness::new(Scale::from_env());
+    let jobs = RunnerOptions::from_env().jobs;
     let outer = match Scale::from_env() {
         Scale::Quick => 5,
         _ => 20,
     };
+    if jobs > 1 {
+        eprintln!(
+            "[ablation] running {jobs} cells concurrently: loss columns are exact, \
+             TAT columns include pool contention — set BISMO_JOBS=1 for \
+             uncontended timings"
+        );
+    }
     let suite = Suite::generate(SuiteKind::Iccad13, &h.optical, 1);
     let clip = &suite.clips()[0];
     let problem = SmoProblem::new(h.optical.clone(), h.settings.clone(), clip.target.clone())
@@ -20,8 +36,8 @@ fn main() {
     let tj = problem.init_theta_j(h.template());
     let tm = problem.init_theta_m();
 
-    // K sweep for NMN and CG.
-    println!("\nAblation A: Neumann/CG term count K (outer steps = {outer})\n");
+    // K sweep for NMN and CG: one parallel cell per (K, hypergradient).
+    println!("\nAblation A: Neumann/CG term count K (outer steps = {outer}, {jobs} jobs)\n");
     let headers: Vec<String> = [
         "K",
         "NMN final loss",
@@ -32,43 +48,54 @@ fn main() {
     .iter()
     .map(|s| s.to_string())
     .collect();
-    let mut rows = Vec::new();
-    for k in [0usize, 1, 3, 5] {
-        let run = |method| {
-            run_bismo(
-                &problem,
-                &tj,
-                &tm,
-                BismoConfig {
-                    outer_steps: outer,
-                    method,
-                    stop: None,
-                    ..BismoConfig::default()
-                },
-            )
-            .expect("bismo run")
-        };
-        let nmn = run(HypergradMethod::Neumann { k });
-        let cg = run(HypergradMethod::ConjGrad { k: k.max(1) });
-        rows.push(vec![
-            k.to_string(),
-            format!("{:.4}", nmn.trace.final_loss().unwrap()),
-            format!("{:.2}", nmn.wall_s),
-            format!("{:.4}", cg.trace.final_loss().unwrap()),
-            format!("{:.2}", cg.wall_s),
-        ]);
-    }
+    let ks = [0usize, 1, 3, 5];
+    let cells: Vec<HypergradMethod> = ks
+        .iter()
+        .flat_map(|&k| {
+            [
+                HypergradMethod::Neumann { k },
+                HypergradMethod::ConjGrad { k: k.max(1) },
+            ]
+        })
+        .collect();
+    let outcomes = par_map(jobs, &cells, |_, &method| {
+        run_bismo(
+            &problem,
+            &tj,
+            &tm,
+            BismoConfig {
+                outer_steps: outer,
+                method,
+                stop: None,
+                ..BismoConfig::default()
+            },
+        )
+        .expect("bismo run")
+    });
+    let rows: Vec<Vec<String>> = ks
+        .iter()
+        .zip(outcomes.chunks(2))
+        .map(|(k, pair)| {
+            vec![
+                k.to_string(),
+                format!("{:.4}", pair[0].trace.final_loss().unwrap()),
+                format!("{:.2}", pair[0].wall_s),
+                format!("{:.4}", pair[1].trace.final_loss().unwrap()),
+                format!("{:.2}", pair[1].wall_s),
+            ]
+        })
+        .collect();
     println!("{}", format_table(&headers, &rows));
 
-    // T sweep (unroll depth).
+    // T sweep (unroll depth), one parallel cell per T.
     println!("\nAblation B: SO unroll depth T (BiSMO-NMN, K = 5)\n");
     let headers: Vec<String> = ["T", "Final loss", "TAT (s)"]
         .iter()
         .map(|s| s.to_string())
         .collect();
-    let mut rows = Vec::new();
-    for t in [1usize, 2, 3, 5] {
-        let out = run_bismo(
+    let ts = [1usize, 2, 3, 5];
+    let outcomes = par_map(jobs, &ts, |_, &t| {
+        run_bismo(
             &problem,
             &tj,
             &tm,
@@ -80,16 +107,23 @@ fn main() {
                 ..BismoConfig::default()
             },
         )
-        .expect("bismo run");
-        rows.push(vec![
-            t.to_string(),
-            format!("{:.4}", out.trace.final_loss().unwrap()),
-            format!("{:.2}", out.wall_s),
-        ]);
-    }
+        .expect("bismo run")
+    });
+    let rows: Vec<Vec<String>> = ts
+        .iter()
+        .zip(&outcomes)
+        .map(|(t, out)| {
+            vec![
+                t.to_string(),
+                format!("{:.4}", out.trace.final_loss().unwrap()),
+                format!("{:.2}", out.wall_s),
+            ]
+        })
+        .collect();
     println!("{}", format_table(&headers, &rows));
 
-    // Q sweep: SOCS truncation error vs the Abbe ground truth.
+    // Q sweep: SOCS truncation error vs the Abbe ground truth. Every TCC
+    // build reuses the problem's shared shifted-pupil core.
     println!("\nAblation C: SOCS truncation Q vs Abbe ground truth\n");
     let source = problem.source(&tj);
     let mask = problem.mask(&tm);
@@ -98,11 +132,11 @@ fn main() {
         .iter()
         .map(|s| s.to_string())
         .collect();
-    let mut rows = Vec::new();
-    let full = HopkinsImager::new(&h.optical, &source, usize::MAX).expect("tcc");
+    let full = HopkinsImager::with_core(problem.abbe().core(), &source, usize::MAX).expect("tcc");
     let total_mass: f64 = full.kernels().iter().map(|k| k.kappa).sum();
-    for q in [4usize, 9, 24, 64] {
-        let hopkins = HopkinsImager::new(&h.optical, &source, q).expect("tcc");
+    let qs = [4usize, 9, 24, 64];
+    let rows = par_map(jobs, &qs, |_, &q| {
+        let hopkins = HopkinsImager::with_core(problem.abbe().core(), &source, q).expect("tcc");
         let img = hopkins.intensity(&mask).expect("fwd");
         let diff: RealField = {
             let mut d = img.clone();
@@ -110,29 +144,30 @@ fn main() {
             d.map(|v| v.abs())
         };
         let mass: f64 = hopkins.kernels().iter().map(|k| k.kappa).sum();
-        rows.push(vec![
+        vec![
             q.to_string(),
             format!("{:.2e}", diff.sum() / diff.len() as f64),
             format!("{:.1}%", 100.0 * mass / total_mass),
-        ]);
-    }
+        ]
+    });
     println!("{}", format_table(&headers, &rows));
     println!("Check: error → 0 and mass → 100% as Q grows (the premise of SOCS).");
 
     // Sigmoid vs cosine source activation (§3.1: "the Cosine function ...
-    // may lead to training instability due to gradient issues").
+    // may lead to training instability due to gradient issues"). Both
+    // problems share the base problem's imaging core.
     println!("\nAblation D: source activation family (BiSMO-FD, {outer} outer steps)\n");
     let headers: Vec<String> = ["Activation", "Final loss", "Best loss"]
         .iter()
         .map(|s| s.to_string())
         .collect();
-    let mut rows = Vec::new();
-    for (name, cosine) in [("sigmoid", false), ("cosine", true)] {
+    let variants = [("sigmoid", false), ("cosine", true)];
+    let rows = par_map(jobs, &variants, |_, &(name, cosine)| {
         let mut settings = h.settings.clone();
         if cosine {
             settings.activation = settings.activation.with_cosine_source();
         }
-        let p = SmoProblem::new(h.optical.clone(), settings, clip.target.clone())
+        let p = SmoProblem::with_core(problem.abbe().core().clone(), settings, clip.target.clone())
             .expect("problem setup");
         let tj0 = p.init_theta_j(h.template());
         let tm0 = p.init_theta_m();
@@ -148,12 +183,12 @@ fn main() {
             },
         )
         .expect("bismo run");
-        rows.push(vec![
+        vec![
             name.to_string(),
             format!("{:.4}", out.trace.final_loss().unwrap()),
             format!("{:.4}", out.trace.best_loss().unwrap()),
-        ]);
-    }
+        ]
+    });
     println!("{}", format_table(&headers, &rows));
     println!(
         "Check: cosine stalls (rail gradients vanish) — the paper's reason to prefer the sigmoid."

@@ -46,9 +46,15 @@ fn main() {
         };
         series.push((
             "DAC23",
-            run_milt_proxy(&h.optical, &h.settings, &clip.target, &template, mo_cfg)
-                .expect("milt")
-                .trace,
+            run_milt_proxy(
+                problem.abbe().core(),
+                &h.settings,
+                &clip.target,
+                &template,
+                mo_cfg,
+            )
+            .expect("milt")
+            .trace,
         ));
         series.push((
             "Abbe-MO",

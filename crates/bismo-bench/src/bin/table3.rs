@@ -1,11 +1,28 @@
 //! Regenerates **Table 3** (L2 and PVB comparison across the eight methods
-//! on the three suites, plus the Average and Ratio rows).
+//! on the three suites, plus the Average and Ratio rows), running the sweep
+//! on the parallel suite runner: `BISMO_JOBS` workers over a shared imaging
+//! core, per-clip records streamed to `bench_results/BENCH_suite.json`
+//! (interrupted sweeps resume from it), failures captured as data.
 
-use bismo_bench::{format_table, mean, run_full_comparison, Harness, Method, Scale};
+use bismo_bench::{format_table, Harness, Method, RunnerOptions, Scale, SuiteSweep};
 
 fn main() {
     let h = Harness::new(Scale::from_env());
-    let comparisons = run_full_comparison(&h).expect("comparison runs failed");
+    let opts = RunnerOptions::from_env();
+    let report = SuiteSweep::new(&h).run(&opts);
+    eprintln!("[table3] {}", report.summary());
+    for rec in report.records.iter().filter(|r| !r.is_ok()) {
+        eprintln!(
+            "[table3] FAILED {} {} ({})",
+            rec.item.method.name(),
+            rec.clip_name,
+            match &rec.outcome {
+                bismo_bench::ItemOutcome::Failed { error } => error.as_str(),
+                bismo_bench::ItemOutcome::Ok { .. } => unreachable!("filtered to failures"),
+            }
+        );
+    }
+    let comparisons = &report.comparisons;
 
     println!("\nTable 3: result comparison with SOTA (L2 / PVB in nm²)\n");
     let mut headers = vec!["Bench".to_string()];
@@ -15,7 +32,7 @@ fn main() {
     }
     let mut rows = Vec::new();
     // Per-suite rows.
-    for cmp in &comparisons {
+    for cmp in comparisons {
         let mut row = vec![cmp.kind.name().to_string()];
         for agg in &cmp.methods {
             row.push(format!("{:.0}", agg.l2));
@@ -27,7 +44,7 @@ fn main() {
     let navg = Method::all().len();
     let mut avg_l2 = vec![0.0; navg];
     let mut avg_pvb = vec![0.0; navg];
-    for cmp in &comparisons {
+    for cmp in comparisons {
         for (i, agg) in cmp.methods.iter().enumerate() {
             avg_l2[i] += agg.l2 / comparisons.len() as f64;
             avg_pvb[i] += agg.pvb / comparisons.len() as f64;
@@ -74,5 +91,4 @@ fn main() {
     for (label, v) in claims {
         println!("  {label}: {:.1}%", 100.0 * v);
     }
-    let _ = mean(&[]); // keep helper linked for doc parity
 }

@@ -1,16 +1,29 @@
 //! Regenerates **Table 4** (EPE and turnaround-time comparison with Ratio
-//! rows).
+//! rows) on the parallel suite runner. TAT is each cell's own clock
+//! (construction + optimization + metrics, under whatever `BISMO_JOBS`
+//! contention the sweep ran with); records stream to
+//! `bench_results/BENCH_suite.json` and interrupted sweeps resume from it.
 
-use bismo_bench::{format_table, run_full_comparison, Harness, Method, Scale};
+use bismo_bench::{format_table, Harness, Method, RunnerOptions, Scale, SuiteSweep};
 
 fn main() {
     let h = Harness::new(Scale::from_env());
-    let comparisons = run_full_comparison(&h).expect("comparison runs failed");
+    let opts = RunnerOptions::from_env();
+    if opts.jobs > 1 {
+        eprintln!(
+            "[table4] running with {} workers: TAT columns include pool contention — \
+             set BISMO_JOBS=1 for uncontended per-method timings",
+            opts.jobs
+        );
+    }
+    let report = SuiteSweep::new(&h).run(&opts);
+    eprintln!("[table4] {}", report.summary());
+    let comparisons = &report.comparisons;
 
     let navg = Method::all().len();
     let mut epe = vec![0.0; navg];
     let mut tat = vec![0.0; navg];
-    for cmp in &comparisons {
+    for cmp in comparisons {
         for (i, agg) in cmp.methods.iter().enumerate() {
             epe[i] += agg.epe / comparisons.len() as f64;
             tat[i] += agg.tat / comparisons.len() as f64;

@@ -8,22 +8,31 @@
 //! `quick` (smoke-test, seconds), `default` (minutes, the documented
 //! numbers in EXPERIMENTS.md), or `paper` (hours on one CPU core; closest
 //! to the paper's 2048² / N_j = 35 setup).
+//!
+//! Suite sweeps run on the parallel [`SuiteSweep`] runner (DESIGN.md §7):
+//! `BISMO_JOBS` sets the worker count (default: all cores), results are
+//! streamed to `bench_results/BENCH_suite.json` and interrupted sweeps
+//! resume from it, and per-item failures are recorded instead of aborting
+//! the sweep.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
-
-use std::time::Instant;
 
 use bismo_core::{
     measure, run_abbe_mo, run_am_smo, run_bismo, run_milt_proxy, run_nilt_proxy, AmSmoConfig,
     BismoConfig, ConvergenceTrace, EpeSpec, HypergradMethod, MetricSet, MoConfig, MoModel,
     SmoProblem, SmoSettings, StopRule,
 };
-use bismo_litho::LithoError;
+use bismo_litho::{AbbeImager, LithoError};
 use bismo_opt::OptimizerKind;
 use bismo_optics::{OpticalConfig, SourceShape};
 
+mod runner;
+
 pub use bismo_layout::{Clip, Suite, SuiteKind};
+pub use runner::{
+    par_map, ItemOutcome, ItemRecord, RunnerOptions, SuiteReport, SuiteSweep, WorkItem,
+};
 
 /// Experiment scale preset.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,13 +46,44 @@ pub enum Scale {
 }
 
 impl Scale {
-    /// Reads `BISMO_SCALE` (`quick` / `default` / `paper`), defaulting to
-    /// [`Scale::Default`].
+    /// Parses a `BISMO_SCALE` value, case-insensitively. `None` (variable
+    /// unset) and the empty string select [`Scale::Default`]; anything else
+    /// that is not a valid scale name is an error — silently mapping typos
+    /// (`Quick`, `qiuck`) to the default would turn an intended
+    /// seconds-long smoke run into minutes or hours.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending value and listing the valid
+    /// ones.
+    pub fn parse(raw: Option<&str>) -> Result<Scale, String> {
+        let Some(raw) = raw else {
+            return Ok(Scale::Default);
+        };
+        match raw.trim().to_ascii_lowercase().as_str() {
+            "" => Ok(Scale::Default),
+            "quick" => Ok(Scale::Quick),
+            "default" => Ok(Scale::Default),
+            "paper" => Ok(Scale::Paper),
+            other => Err(format!(
+                "unrecognized BISMO_SCALE value {other:?}; valid values are \
+                 \"quick\", \"default\", \"paper\" (case-insensitive), or unset \
+                 for the default"
+            )),
+        }
+    }
+
+    /// Reads `BISMO_SCALE` (`quick` / `default` / `paper`, case-insensitive),
+    /// defaulting to [`Scale::Default`] when unset or empty.
+    ///
+    /// # Panics
+    ///
+    /// Fails fast on an unrecognized value (see [`Scale::parse`]) instead of
+    /// silently running at the wrong scale.
     pub fn from_env() -> Scale {
-        match std::env::var("BISMO_SCALE").as_deref() {
-            Ok("quick") => Scale::Quick,
-            Ok("paper") => Scale::Paper,
-            _ => Scale::Default,
+        match Scale::parse(std::env::var("BISMO_SCALE").ok().as_deref()) {
+            Ok(scale) => scale,
+            Err(msg) => panic!("{msg}"),
         }
     }
 }
@@ -178,6 +218,11 @@ impl Method {
     pub fn optimizes_source(&self) -> bool {
         !matches!(self, Method::Nilt | Method::Milt | Method::AbbeMo)
     }
+
+    /// Inverse of [`Method::name`], used when reloading journaled records.
+    pub fn from_name(name: &str) -> Option<Method> {
+        Method::all().into_iter().find(|m| m.name() == name)
+    }
 }
 
 /// Outcome of one (method, clip) run.
@@ -191,15 +236,39 @@ pub struct RunResult {
     pub trace: ConvergenceTrace,
 }
 
-/// Runs one method on one clip and measures the §2.2 metrics (always with
-/// the Abbe engine, so Hopkins-based methods are scored on the ground-truth
-/// imaging model).
+/// Runs one method on one clip, building a fresh imaging engine. Sweeps
+/// over many cells should build one engine per [`OpticalConfig`] and use
+/// [`run_method_with_engine`] instead (the suite runner does).
 ///
 /// # Errors
 ///
 /// Propagates imaging failures.
 pub fn run_method(h: &Harness, method: Method, clip: &Clip) -> Result<RunResult, LithoError> {
-    let problem = SmoProblem::new(h.optical.clone(), h.settings.clone(), clip.target.clone())?;
+    let engine = AbbeImager::new(&h.optical)?.with_threads(h.settings.threads);
+    run_method_with_engine(h, &engine, method, clip)
+}
+
+/// Runs one method on one clip over a shared Abbe engine and measures the
+/// §2.2 metrics (always with the Abbe engine, so Hopkins-based methods are
+/// scored on the ground-truth imaging model).
+///
+/// Cloning `engine` shares its immutable [`bismo_optics::ImagingCore`]
+/// (pupil, shifted-pupil table, FFT plan) and its warm workspace pool, so
+/// the per-cell construction cost is just the resist model and a target
+/// copy; Hopkins-based methods additionally reuse the core's table for
+/// their TCC builds.
+///
+/// # Errors
+///
+/// Propagates imaging failures.
+pub fn run_method_with_engine(
+    h: &Harness,
+    engine: &AbbeImager,
+    method: Method,
+    clip: &Clip,
+) -> Result<RunResult, LithoError> {
+    let problem =
+        SmoProblem::from_backend(engine.clone(), h.settings.clone(), clip.target.clone())?;
     let theta_j0 = problem.init_theta_j(h.template());
     let theta_m0 = problem.init_theta_m();
     let template_source = problem.source(&theta_j0);
@@ -210,11 +279,10 @@ pub fn run_method(h: &Harness, method: Method, clip: &Clip) -> Result<RunResult,
         kind: OptimizerKind::Adam,
         stop: h.stop,
     };
-    let start = Instant::now();
     let (theta_j, theta_m, trace, wall_s) = match method {
         Method::Nilt => {
             let out = run_nilt_proxy(
-                &h.optical,
+                problem.abbe().core(),
                 &h.settings,
                 &clip.target,
                 &template_source,
@@ -224,7 +292,7 @@ pub fn run_method(h: &Harness, method: Method, clip: &Clip) -> Result<RunResult,
         }
         Method::Milt => {
             let out = run_milt_proxy(
-                &h.optical,
+                problem.abbe().core(),
                 &h.settings,
                 &clip.target,
                 &template_source,
@@ -282,7 +350,6 @@ pub fn run_method(h: &Harness, method: Method, clip: &Clip) -> Result<RunResult,
             (out.theta_j, out.theta_m, out.trace, out.wall_s)
         }
     };
-    let _ = start;
     let metrics = measure(&problem, &theta_j, &theta_m, h.epe)?;
     Ok(RunResult {
         metrics,
@@ -311,51 +378,18 @@ pub struct MethodAggregate {
 pub struct SuiteComparison {
     /// The suite.
     pub kind: SuiteKind,
-    /// Per-method aggregates, in [`Method::all`] order.
+    /// Per-method aggregates, in the sweep's method order ([`Method::all`]
+    /// for the full comparison).
     pub methods: Vec<MethodAggregate>,
 }
 
-/// Runs every method on every clip of every suite — the computation behind
-/// Tables 3 and 4. Progress is logged to stderr.
-///
-/// # Errors
-///
-/// Propagates imaging failures.
-pub fn run_full_comparison(h: &Harness) -> Result<Vec<SuiteComparison>, LithoError> {
-    let mut out = Vec::new();
-    for kind in SuiteKind::all() {
-        let suite = h.suite(kind);
-        let mut methods = Vec::new();
-        for method in Method::all() {
-            let mut l2 = Vec::new();
-            let mut pvb = Vec::new();
-            let mut epe = Vec::new();
-            let mut tat = Vec::new();
-            for clip in suite.clips() {
-                eprintln!("[{}] {} on {}", kind.name(), method.name(), clip.name);
-                let r = run_method(h, method, clip)?;
-                l2.push(r.metrics.l2_nm2);
-                pvb.push(r.metrics.pvb_nm2);
-                epe.push(r.metrics.epe as f64);
-                tat.push(r.wall_s);
-            }
-            methods.push(MethodAggregate {
-                method,
-                l2: mean(&l2),
-                pvb: mean(&pvb),
-                epe: mean(&epe),
-                tat: mean(&tat),
-            });
-        }
-        out.push(SuiteComparison { kind, methods });
-    }
-    Ok(out)
-}
-
 /// Renders an aligned plain-text table (the format every harness binary
-/// prints).
+/// prints). Degenerate input (no headers) renders as the empty string.
 pub fn format_table(headers: &[String], rows: &[Vec<String>]) -> String {
     let ncols = headers.len();
+    if ncols == 0 {
+        return String::new();
+    }
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
     for row in rows {
         for (i, cell) in row.iter().enumerate().take(ncols) {
@@ -432,6 +466,24 @@ mod tests {
         assert!(names.contains(&"BiSMO-NMN"));
         assert!(!Method::AbbeMo.optimizes_source());
         assert!(Method::BismoFd.optimizes_source());
+        for m in Method::all() {
+            assert_eq!(Method::from_name(m.name()), Some(m));
+        }
+        assert_eq!(Method::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn scale_parse_is_case_insensitive_and_strict() {
+        assert_eq!(Scale::parse(None), Ok(Scale::Default));
+        assert_eq!(Scale::parse(Some("")), Ok(Scale::Default));
+        assert_eq!(Scale::parse(Some("quick")), Ok(Scale::Quick));
+        assert_eq!(Scale::parse(Some("Quick")), Ok(Scale::Quick));
+        assert_eq!(Scale::parse(Some(" PAPER ")), Ok(Scale::Paper));
+        assert_eq!(Scale::parse(Some("Default")), Ok(Scale::Default));
+        // Typos must fail fast, not silently select the slow default.
+        let err = Scale::parse(Some("qiuck")).unwrap_err();
+        assert!(err.contains("qiuck") && err.contains("quick"), "{err}");
+        assert!(Scale::parse(Some("2")).is_err());
     }
 
     #[test]
@@ -443,6 +495,16 @@ mod tests {
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);
         assert!(lines[0].contains('a') && lines[0].contains("bb"));
+    }
+
+    #[test]
+    fn table_formatting_handles_degenerate_input() {
+        // Regression: `2 * (ncols - 1)` underflowed usize on empty headers.
+        assert_eq!(format_table(&[], &[]), "");
+        assert_eq!(format_table(&[], &[vec!["orphan".into()]]), "");
+        // A single column has no separators and must not underflow either.
+        let one = format_table(&["only".into()], &[vec!["1".into()]]);
+        assert!(one.starts_with("only\n"));
     }
 
     #[test]

@@ -1,0 +1,982 @@
+//! Parallel suite execution runner (DESIGN.md §7).
+//!
+//! The paper's headline evaluation (Tables 3/4) sweeps every method over
+//! every clip of every suite — hundreds of independent (method, clip) cells
+//! at ISPD19 scale. [`SuiteSweep`] fans those cells across a scoped worker
+//! pool whose size comes from `BISMO_JOBS` (default: all cores), with the
+//! per-configuration imaging state ([`bismo_optics::ImagingCore`]: pupil,
+//! shifted-pupil table, FFT plan) built **once** and shared read-only by
+//! every worker instead of being rebuilt per cell.
+//!
+//! Guarantees:
+//!
+//! * **Determinism** — results are merged in work-item order (DESIGN.md §6
+//!   rule 3 applied one level up), so metric aggregates are byte-identical
+//!   regardless of the worker count.
+//! * **Failure isolation** — a cell that fails ([`bismo_litho::LithoError`])
+//!   is recorded as data and the sweep continues; one bad clip no longer
+//!   aborts an hours-long run.
+//! * **Resumability** — every finished cell is streamed as one JSONL line to
+//!   the journal (`bench_results/BENCH_suite.json` by default), followed by
+//!   a final aggregate line. An interrupted sweep (journal without the
+//!   aggregate line) resumes by skipping already-recorded cells; a completed
+//!   journal is started over.
+//! * **Honest timing** — each cell's turnaround time comes from its own
+//!   clock (so it includes engine/problem construction and metric
+//!   evaluation, and reflects contention), alongside the sweep's aggregate
+//!   wall time.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use bismo_litho::AbbeImager;
+use bismo_optics::{ImagingCore, RealField};
+
+use crate::{
+    mean, run_method_with_engine, Clip, Harness, Method, MethodAggregate, SuiteComparison,
+    SuiteKind,
+};
+
+/// Runs `f` over `items` on `jobs` scoped worker threads and returns the
+/// results **in item order** regardless of completion order — the generic
+/// deterministic fan-out the suite runner and the ablation harness share.
+/// `f` receives `(item index, item)`.
+///
+/// With `jobs <= 1` (or a single item) everything runs on the caller's
+/// thread, which keeps sequential runs bit-for-bit reproducible without a
+/// pool.
+pub fn par_map<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = jobs.max(1).min(items.len());
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let done: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(i, &items[i]);
+                done.lock().expect("par_map results poisoned").push((i, r));
+            });
+        }
+    });
+    let mut done = done.into_inner().expect("par_map results poisoned");
+    done.sort_unstable_by_key(|(i, _)| *i);
+    done.into_iter().map(|(_, r)| r).collect()
+}
+
+/// One (suite, method, clip) cell of a sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkItem {
+    /// The suite the clip belongs to.
+    pub suite: SuiteKind,
+    /// The method column.
+    pub method: Method,
+    /// Index of the clip within the suite's generated clip list.
+    pub clip_index: usize,
+}
+
+/// What happened to one work item.
+#[derive(Debug, Clone)]
+pub enum ItemOutcome {
+    /// The run finished and was measured.
+    Ok {
+        /// L2 in nm² (§2.2).
+        l2_nm2: f64,
+        /// PVB in nm².
+        pvb_nm2: f64,
+        /// EPE violation count.
+        epe: f64,
+        /// The optimization driver's own wall clock (excludes problem
+        /// construction and metric evaluation).
+        run_wall_s: f64,
+    },
+    /// The run failed; the sweep continued without it.
+    Failed {
+        /// Rendered [`bismo_litho::LithoError`].
+        error: String,
+    },
+}
+
+/// One journaled record: a work item plus its outcome and turnaround time.
+#[derive(Debug, Clone)]
+pub struct ItemRecord {
+    /// The cell this record belongs to.
+    pub item: WorkItem,
+    /// Human-readable clip name (e.g. `ICCAD13/test3`).
+    pub clip_name: String,
+    /// Turnaround time from the item's own clock: problem construction,
+    /// optimization and metric evaluation, as experienced under whatever
+    /// worker contention the sweep ran with.
+    pub tat_s: f64,
+    /// Result or captured failure.
+    pub outcome: ItemOutcome,
+}
+
+impl ItemRecord {
+    /// Whether the item completed successfully.
+    pub fn is_ok(&self) -> bool {
+        matches!(self.outcome, ItemOutcome::Ok { .. })
+    }
+}
+
+/// Execution knobs of a sweep, normally read from the environment.
+#[derive(Debug, Clone)]
+pub struct RunnerOptions {
+    /// Worker thread count.
+    pub jobs: usize,
+    /// JSONL journal path (`None` disables journaling and resume).
+    pub journal: Option<PathBuf>,
+    /// Append one deliberately failing clip to every suite — the
+    /// failure-isolation smoke switch (`BISMO_INJECT_FAIL`).
+    pub inject_failure: bool,
+}
+
+impl RunnerOptions {
+    /// Reads `BISMO_JOBS` (positive integer; default
+    /// `available_parallelism`) and `BISMO_INJECT_FAIL` (`1`/`true`/`yes`/
+    /// `on` to enable), with the journal at its default
+    /// `bench_results/BENCH_suite.json` location.
+    ///
+    /// # Panics
+    ///
+    /// Fails fast on a non-numeric or zero `BISMO_JOBS`, and on a
+    /// `BISMO_INJECT_FAIL` value that is neither clearly true nor clearly
+    /// false — `BISMO_INJECT_FAIL=false` must not silently poison a real
+    /// sweep with broken clips (same strictness as `BISMO_SCALE`).
+    pub fn from_env() -> RunnerOptions {
+        let jobs = match std::env::var("BISMO_JOBS") {
+            Err(_) => default_jobs(),
+            Ok(v) if v.trim().is_empty() => default_jobs(),
+            Ok(v) => match v.trim().parse::<usize>() {
+                Ok(n) if n >= 1 => n,
+                _ => panic!(
+                    "unrecognized BISMO_JOBS value {v:?}; expected a positive integer \
+                     worker count (or unset for all cores)"
+                ),
+            },
+        };
+        let inject_failure = match std::env::var("BISMO_INJECT_FAIL") {
+            Err(_) => false,
+            Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
+                "" | "0" | "false" | "no" | "off" => false,
+                "1" | "true" | "yes" | "on" => true,
+                _ => panic!(
+                    "unrecognized BISMO_INJECT_FAIL value {v:?}; expected \
+                     1/true/yes/on or 0/false/no/off (or unset)"
+                ),
+            },
+        };
+        RunnerOptions {
+            jobs,
+            journal: Some(crate::out_dir().join("BENCH_suite.json")),
+            inject_failure,
+        }
+    }
+
+    /// Overrides the worker count.
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Disables journaling and resume (tests, throwaway runs).
+    #[must_use]
+    pub fn without_journal(mut self) -> Self {
+        self.journal = None;
+        self
+    }
+
+    /// Redirects the journal.
+    #[must_use]
+    pub fn with_journal(mut self, path: PathBuf) -> Self {
+        self.journal = Some(path);
+        self
+    }
+}
+
+impl Default for RunnerOptions {
+    fn default() -> Self {
+        RunnerOptions {
+            jobs: default_jobs(),
+            journal: None,
+            inject_failure: false,
+        }
+    }
+}
+
+fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Result of a sweep: ordered per-item records plus the aggregates the
+/// table binaries print.
+#[derive(Debug, Clone)]
+pub struct SuiteReport {
+    /// All records in work-item order (resumed and freshly executed alike).
+    pub records: Vec<ItemRecord>,
+    /// Per-suite, per-method aggregates over the successful items.
+    pub comparisons: Vec<SuiteComparison>,
+    /// Aggregate wall-clock seconds of this invocation.
+    pub wall_s: f64,
+    /// Worker count the sweep ran with.
+    pub jobs: usize,
+    /// Items executed by this invocation.
+    pub executed: usize,
+    /// Items skipped because the journal already recorded them.
+    pub resumed: usize,
+    /// Items whose outcome is a captured failure.
+    pub failures: usize,
+    /// Sum of the executed items' own turnaround times — the sequential
+    /// cost this invocation actually paid, spread over the pool.
+    pub total_item_s: f64,
+}
+
+impl SuiteReport {
+    /// Executed item time divided by elapsed wall time (0 when nothing
+    /// ran). On a machine with at least `jobs` free cores this **is** the
+    /// aggregate wall-clock speedup over running the same items
+    /// sequentially (per-item clocks then run uncontended, so their sum is
+    /// the sequential cost). On an oversubscribed machine the per-item
+    /// clocks stretch with the time-slicing and the ratio degrades to pool
+    /// *occupancy* — it still shows the workers were busy, not that wall
+    /// time dropped. Journaled as `"speedup"` in the aggregate line.
+    pub fn speedup(&self) -> f64 {
+        if self.wall_s > 0.0 && self.executed > 0 {
+            self.total_item_s / self.wall_s
+        } else {
+            0.0
+        }
+    }
+
+    /// One-line execution summary for stderr.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} items ({} executed, {} resumed, {} failed) on {} worker(s): \
+             wall {:.2}s, item time {:.2}s, speedup {:.2}x \
+             (item-time/wall; occupancy when cores < jobs)",
+            self.records.len(),
+            self.executed,
+            self.resumed,
+            self.failures,
+            self.jobs,
+            self.wall_s,
+            self.total_item_s,
+            self.speedup()
+        )
+    }
+}
+
+/// A planned sweep: harness, method columns and per-suite clip lists, all
+/// materialized up front so the work-item order (suite → method → clip) is
+/// fixed before any worker starts.
+#[derive(Debug, Clone)]
+pub struct SuiteSweep {
+    harness: Harness,
+    methods: Vec<Method>,
+    suites: Vec<(SuiteKind, Vec<Clip>)>,
+}
+
+impl SuiteSweep {
+    /// The full paper sweep: every method of [`Method::all`] on every clip
+    /// of every suite at the harness's scale.
+    pub fn new(h: &Harness) -> SuiteSweep {
+        let suites = SuiteKind::all()
+            .into_iter()
+            .map(|kind| (kind, h.suite(kind).clips().to_vec()))
+            .collect();
+        SuiteSweep {
+            harness: h.clone(),
+            methods: Method::all().to_vec(),
+            suites,
+        }
+    }
+
+    /// Restricts the sweep to the given method columns (kept in the given
+    /// order).
+    #[must_use]
+    pub fn with_methods(mut self, methods: &[Method]) -> Self {
+        self.methods = methods.to_vec();
+        self
+    }
+
+    /// Restricts the sweep to the given suites, kept in the given order.
+    /// Clip lists already generated (by [`SuiteSweep::new`]) are reused
+    /// as-is — including any injected-failure clips — rather than
+    /// regenerated.
+    #[must_use]
+    pub fn with_suites(mut self, kinds: &[SuiteKind]) -> Self {
+        self.suites = kinds
+            .iter()
+            .map(|&kind| {
+                self.suites
+                    .iter()
+                    .find(|(k, _)| *k == kind)
+                    .cloned()
+                    .unwrap_or_else(|| (kind, self.harness.suite(kind).clips().to_vec()))
+            })
+            .collect();
+        self
+    }
+
+    /// Appends one deliberately broken clip (a target on the wrong grid) to
+    /// every suite. Every method fails on it with a shape error, which the
+    /// runner must capture as data — the failure-isolation smoke test.
+    #[must_use]
+    pub fn with_injected_failure(mut self) -> Self {
+        let bad_dim = (self.harness.optical.mask_dim() / 2).max(8);
+        for (kind, clips) in &mut self.suites {
+            clips.push(Clip {
+                name: format!("{}/injected-failure", kind.name()),
+                target: RealField::zeros(bad_dim),
+                area_nm2: 0.0,
+            });
+        }
+        self
+    }
+
+    /// Work items in the canonical deterministic order.
+    fn items(&self) -> Vec<WorkItem> {
+        let mut items = Vec::new();
+        for (kind, clips) in &self.suites {
+            for &method in &self.methods {
+                for clip_index in 0..clips.len() {
+                    items.push(WorkItem {
+                        suite: *kind,
+                        method,
+                        clip_index,
+                    });
+                }
+            }
+        }
+        items
+    }
+
+    /// Journal header for this sweep: grid dims, item count, and a
+    /// fingerprint over everything that gives a journaled record its
+    /// meaning — harness settings and budgets, method roster, suite kinds,
+    /// clip names and clip **pixel data**. A journal written under different
+    /// optimizer settings or a changed clip generator must not be resumed
+    /// (its records would silently mix regimes), and the fingerprint is
+    /// what catches that; `items` alone cannot.
+    fn header_line(&self, items: usize) -> String {
+        let mut canon = format!("{:?}", self.harness);
+        for method in &self.methods {
+            canon.push('|');
+            canon.push_str(method.name());
+        }
+        let mut hash = fnv1a(canon.as_bytes());
+        for (kind, clips) in &self.suites {
+            hash ^= fnv1a(kind.name().as_bytes());
+            for clip in clips {
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3) ^ fnv1a(clip.name.as_bytes());
+                for &px in clip.target.as_slice() {
+                    hash ^= px.to_bits();
+                    hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+                }
+            }
+        }
+        format!(
+            "{{\"type\":\"header\",\"mask_dim\":{},\"source_dim\":{},\"items\":{},\
+             \"fingerprint\":\"{:016x}\"}}",
+            self.harness.optical.mask_dim(),
+            self.harness.optical.source_dim(),
+            items,
+            hash
+        )
+    }
+
+    fn clip(&self, item: &WorkItem) -> &Clip {
+        let (_, clips) = self
+            .suites
+            .iter()
+            .find(|(kind, _)| *kind == item.suite)
+            .expect("work item references a suite of this sweep");
+        &clips[item.clip_index]
+    }
+
+    /// Executes the sweep under `opts` (honoring `opts.inject_failure`) and
+    /// returns the merged report. See the module docs for the determinism,
+    /// failure-isolation and resume guarantees.
+    ///
+    /// # Panics
+    ///
+    /// Panics on journal I/O failures (a harness environment problem, not a
+    /// run outcome) and if a worker thread panics.
+    pub fn run(&self, opts: &RunnerOptions) -> SuiteReport {
+        let injected;
+        let sweep = if opts.inject_failure {
+            injected = self.clone().with_injected_failure();
+            &injected
+        } else {
+            self
+        };
+        sweep.run_prepared(opts)
+    }
+
+    fn run_prepared(&self, opts: &RunnerOptions) -> SuiteReport {
+        let wall_start = Instant::now();
+        let items = self.items();
+        let header = self.header_line(items.len());
+
+        // Resume: an interrupted journal (matching header, no aggregate
+        // line) pre-fills slots; anything else starts a fresh journal.
+        let mut slots: Vec<Option<ItemRecord>> = vec![None; items.len()];
+        let mut resumed = 0usize;
+        let journal = opts.journal.as_deref().map(|path| {
+            let mut kept = Vec::new();
+            for rec in load_resumable(path, &header).unwrap_or_default() {
+                if let Some(pos) = items.iter().position(|it| *it == rec.item) {
+                    if slots[pos].is_none() {
+                        slots[pos] = Some(rec.clone());
+                        kept.push(rec);
+                        resumed += 1;
+                    }
+                }
+            }
+            open_journal(path, &header, &kept)
+        });
+
+        let pending: Vec<(usize, WorkItem)> = slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_none())
+            .map(|(i, _)| (i, items[i]))
+            .collect();
+
+        // The shared immutable engine state: one core for the sweep, one
+        // prototype engine cloned per cell (sharing the core and the warm
+        // workspace pool). Skipped entirely when everything was resumed —
+        // the table is seconds of work at paper scale.
+        let engine = (!pending.is_empty()).then(|| {
+            AbbeImager::from_core(Arc::new(
+                ImagingCore::new(&self.harness.optical).expect("harness optical config is valid"),
+            ))
+            .with_threads(self.harness.settings.threads)
+        });
+
+        let executed_records = par_map(opts.jobs, &pending, |_, (_, item)| {
+            let clip = self.clip(item);
+            eprintln!(
+                "[{}] {} on {}",
+                item.suite.name(),
+                item.method.name(),
+                clip.name
+            );
+            let engine = engine.as_ref().expect("engine built when work is pending");
+            let record = self.execute(engine, item, clip);
+            if let Some(journal) = &journal {
+                append_line(journal, &item_line(&record));
+            }
+            record
+        });
+
+        let executed = executed_records.len();
+        let mut total_item_s = 0.0;
+        for ((pos, _), record) in pending.iter().zip(executed_records) {
+            total_item_s += record.tat_s;
+            slots[*pos] = Some(record);
+        }
+        let records: Vec<ItemRecord> = slots
+            .into_iter()
+            .map(|s| s.expect("every slot filled"))
+            .collect();
+
+        let comparisons = self.aggregate(&records);
+        let report = SuiteReport {
+            failures: records.iter().filter(|r| !r.is_ok()).count(),
+            records,
+            comparisons,
+            wall_s: wall_start.elapsed().as_secs_f64(),
+            jobs: opts.jobs,
+            executed,
+            resumed,
+            total_item_s,
+        };
+        if let Some(journal) = &journal {
+            append_line(journal, &aggregate_line(&report));
+        }
+        report
+    }
+
+    fn execute(&self, engine: &AbbeImager, item: &WorkItem, clip: &Clip) -> ItemRecord {
+        let clock = Instant::now();
+        let outcome = match run_method_with_engine(&self.harness, engine, item.method, clip) {
+            Ok(r) => ItemOutcome::Ok {
+                l2_nm2: r.metrics.l2_nm2,
+                pvb_nm2: r.metrics.pvb_nm2,
+                epe: r.metrics.epe as f64,
+                run_wall_s: r.wall_s,
+            },
+            Err(e) => ItemOutcome::Failed {
+                error: e.to_string(),
+            },
+        };
+        ItemRecord {
+            item: *item,
+            clip_name: clip.name.clone(),
+            tat_s: clock.elapsed().as_secs_f64(),
+            outcome,
+        }
+    }
+
+    /// Per-suite, per-method means over the successful records, reduced in
+    /// work-item order so the result is independent of execution order. A
+    /// cell with **zero** surviving clips aggregates to NaN, not 0.0 — a
+    /// fabricated zero would print as the best score in the table and
+    /// silently poison the Average/Ratio rows, whereas NaN is legible as
+    /// "no data".
+    fn aggregate(&self, records: &[ItemRecord]) -> Vec<SuiteComparison> {
+        self.suites
+            .iter()
+            .map(|(kind, _)| SuiteComparison {
+                kind: *kind,
+                methods: self
+                    .methods
+                    .iter()
+                    .map(|&method| {
+                        let (mut l2, mut pvb, mut epe, mut tat) =
+                            (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+                        for rec in records {
+                            if rec.item.suite != *kind || rec.item.method != method {
+                                continue;
+                            }
+                            if let ItemOutcome::Ok {
+                                l2_nm2,
+                                pvb_nm2,
+                                epe: e,
+                                ..
+                            } = rec.outcome
+                            {
+                                l2.push(l2_nm2);
+                                pvb.push(pvb_nm2);
+                                epe.push(e);
+                                tat.push(rec.tat_s);
+                            }
+                        }
+                        if l2.is_empty() {
+                            MethodAggregate {
+                                method,
+                                l2: f64::NAN,
+                                pvb: f64::NAN,
+                                epe: f64::NAN,
+                                tat: f64::NAN,
+                            }
+                        } else {
+                            MethodAggregate {
+                                method,
+                                l2: mean(&l2),
+                                pvb: mean(&pvb),
+                                epe: mean(&epe),
+                                tat: mean(&tat),
+                            }
+                        }
+                    })
+                    .collect(),
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSONL journal: hand-rolled writer + targeted parser (no serde in-tree).
+// ---------------------------------------------------------------------------
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Shortest-round-trip float (Rust's `{:?}` for `f64` is valid JSON for
+/// finite values). Non-finite values — a diverged run can record them —
+/// become the JSON **strings** `"inf"` / `"-inf"` / `"nan"`, which stay
+/// valid JSON for external tools and round-trip through [`field_f64`]
+/// value-exactly, so resumed aggregates match uninterrupted ones.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else if v.is_nan() {
+        "\"nan\"".into()
+    } else if v > 0.0 {
+        "\"inf\"".into()
+    } else {
+        "\"-inf\"".into()
+    }
+}
+
+/// Extracts a string field from one of our own JSONL lines. The writer
+/// escapes `"` and `\` in values, so scanning for the quoted key is
+/// unambiguous.
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = line[start..].trim_start().strip_prefix('"')?;
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'u' => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    out.push(char::from_u32(u32::from_str_radix(&hex, 16).ok()?)?);
+                }
+                other => out.push(other),
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+fn field_f64(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = line[start..].trim_start();
+    // Non-finite values are journaled as quoted tokens (see `json_f64`);
+    // `null` is tolerated for hand-edited files.
+    if let Some(quoted) = rest.strip_prefix('"') {
+        return match quoted.split('"').next()? {
+            "inf" => Some(f64::INFINITY),
+            "-inf" => Some(f64::NEG_INFINITY),
+            "nan" => Some(f64::NAN),
+            _ => None,
+        };
+    }
+    if rest.starts_with("null") {
+        return Some(f64::NAN);
+    }
+    let end = rest.find([',', '}'])?;
+    rest[..end].trim().parse().ok()
+}
+
+/// FNV-1a over a canonical description of the sweep; used to key the
+/// journal so records from a different configuration are never merged.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn item_line(rec: &ItemRecord) -> String {
+    let prefix = format!(
+        "{{\"type\":\"item\",\"suite\":\"{}\",\"method\":\"{}\",\"clip_index\":{},\"clip\":\"{}\"",
+        rec.item.suite.name(),
+        rec.item.method.name(),
+        rec.item.clip_index,
+        json_escape(&rec.clip_name)
+    );
+    match &rec.outcome {
+        ItemOutcome::Ok {
+            l2_nm2,
+            pvb_nm2,
+            epe,
+            run_wall_s,
+        } => format!(
+            "{prefix},\"status\":\"ok\",\"l2_nm2\":{},\"pvb_nm2\":{},\"epe\":{},\
+             \"run_wall_s\":{},\"tat_s\":{}}}",
+            json_f64(*l2_nm2),
+            json_f64(*pvb_nm2),
+            json_f64(*epe),
+            json_f64(*run_wall_s),
+            json_f64(rec.tat_s)
+        ),
+        ItemOutcome::Failed { error } => format!(
+            "{prefix},\"status\":\"error\",\"error\":\"{}\",\"tat_s\":{}}}",
+            json_escape(error),
+            json_f64(rec.tat_s)
+        ),
+    }
+}
+
+fn aggregate_line(report: &SuiteReport) -> String {
+    let mut out = format!(
+        "{{\"type\":\"aggregate\",\"jobs\":{},\"items\":{},\"executed\":{},\"resumed\":{},\
+         \"failures\":{},\"wall_s\":{},\"total_item_s\":{},\"speedup\":{},\"suites\":[",
+        report.jobs,
+        report.records.len(),
+        report.executed,
+        report.resumed,
+        report.failures,
+        json_f64(report.wall_s),
+        json_f64(report.total_item_s),
+        json_f64(report.speedup())
+    );
+    for (si, cmp) in report.comparisons.iter().enumerate() {
+        if si > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"suite\":\"{}\",\"methods\":[",
+            cmp.kind.name()
+        ));
+        for (mi, agg) in cmp.methods.iter().enumerate() {
+            if mi > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"method\":\"{}\",\"l2_nm2\":{},\"pvb_nm2\":{},\"epe\":{},\"tat_s\":{}}}",
+                agg.method.name(),
+                json_f64(agg.l2),
+                json_f64(agg.pvb),
+                json_f64(agg.epe),
+                json_f64(agg.tat)
+            ));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}
+
+fn parse_item(line: &str) -> Option<ItemRecord> {
+    if field_str(line, "type")? != "item" {
+        return None;
+    }
+    let item = WorkItem {
+        suite: SuiteKind::from_name(&field_str(line, "suite")?)?,
+        method: Method::from_name(&field_str(line, "method")?)?,
+        clip_index: field_f64(line, "clip_index")? as usize,
+    };
+    let clip_name = field_str(line, "clip")?;
+    let tat_s = field_f64(line, "tat_s")?;
+    let outcome = match field_str(line, "status")?.as_str() {
+        "ok" => ItemOutcome::Ok {
+            l2_nm2: field_f64(line, "l2_nm2")?,
+            pvb_nm2: field_f64(line, "pvb_nm2")?,
+            epe: field_f64(line, "epe")?,
+            run_wall_s: field_f64(line, "run_wall_s")?,
+        },
+        "error" => ItemOutcome::Failed {
+            error: field_str(line, "error")?,
+        },
+        _ => return None,
+    };
+    Some(ItemRecord {
+        item,
+        clip_name,
+        tat_s,
+        outcome,
+    })
+}
+
+/// Reads a journal and returns its item records if — and only if — it is
+/// resumable: it starts with a matching header and has **no** aggregate
+/// line (an aggregate marks a completed sweep, which should re-run fresh so
+/// repeat invocations actually measure instead of replaying).
+///
+/// A malformed **final** line is tolerated and dropped — an interrupt can
+/// tear the last append mid-write, and losing the whole journal to its
+/// torn tail would defeat the exact crash scenario resume exists for.
+/// Malformed lines anywhere else mean the file is not ours; start fresh.
+fn load_resumable(path: &Path, expected_header: &str) -> Option<Vec<ItemRecord>> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    if lines.first()?.trim() != expected_header {
+        return None;
+    }
+    let mut records = Vec::new();
+    for (i, line) in lines.iter().enumerate().skip(1) {
+        let parsed = match field_str(line, "type").as_deref() {
+            Some("item") => parse_item(line),
+            Some("aggregate") => return None,
+            _ => None,
+        };
+        match parsed {
+            Some(rec) => records.push(rec),
+            None if i == lines.len() - 1 => break, // torn tail from an interrupt
+            None => return None,
+        }
+    }
+    Some(records)
+}
+
+/// Creates the journal fresh: header first, then (on resume) the
+/// re-serialized prior records. Rewriting instead of appending normalizes
+/// the file — a torn trailing line or missing final newline from an
+/// interrupted run cannot corrupt the records appended next — and the
+/// rewrite goes through a sibling temp file + atomic rename, so a crash
+/// mid-rewrite leaves the original journal (and its resumable records)
+/// intact rather than truncated.
+fn open_journal(path: &Path, header: &str, prior: &[ItemRecord]) -> Mutex<std::fs::File> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create journal directory");
+        }
+    }
+    let mut tmp_name = path.as_os_str().to_owned();
+    tmp_name.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp_name);
+    {
+        let mut out = String::with_capacity(256 + prior.len() * 256);
+        out.push_str(header);
+        out.push('\n');
+        for rec in prior {
+            out.push_str(&item_line(rec));
+            out.push('\n');
+        }
+        std::fs::write(&tmp, out)
+            .unwrap_or_else(|e| panic!("write journal {}: {e}", tmp.display()));
+    }
+    std::fs::rename(&tmp, path)
+        .unwrap_or_else(|e| panic!("replace journal {}: {e}", path.display()));
+    let file = std::fs::OpenOptions::new()
+        .append(true)
+        .open(path)
+        .unwrap_or_else(|e| panic!("open journal {}: {e}", path.display()));
+    Mutex::new(file)
+}
+
+/// Appends one whole line (content + newline in a single write) under the
+/// journal lock and flushes it, so an interrupted sweep leaves at worst one
+/// torn **final** line behind — never an unterminated line followed by
+/// another record.
+fn append_line(journal: &Mutex<std::fs::File>, line: &str) {
+    let mut file = journal.lock().expect("journal lock poisoned");
+    file.write_all(format!("{line}\n").as_bytes())
+        .expect("append journal record");
+    file.flush().expect("flush journal record");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_item_order() {
+        let items: Vec<usize> = (0..57).collect();
+        let seq = par_map(1, &items, |i, &x| (i, x * x));
+        let par = par_map(8, &items, |i, &x| (i, x * x));
+        assert_eq!(seq, par);
+        for (i, (idx, sq)) in par.iter().enumerate() {
+            assert_eq!(i, *idx);
+            assert_eq!(*sq, i * i);
+        }
+        let empty: Vec<usize> = Vec::new();
+        assert!(par_map(4, &empty, |_, &x: &usize| x).is_empty());
+    }
+
+    #[test]
+    fn json_fields_round_trip() {
+        let rec = ItemRecord {
+            item: WorkItem {
+                suite: SuiteKind::IccadL,
+                method: Method::BismoCg,
+                clip_index: 7,
+            },
+            clip_name: "ICCAD-L/test8 \"quoted\" \\slash".into(),
+            tat_s: 1.25e-3,
+            outcome: ItemOutcome::Ok {
+                l2_nm2: 12345.678,
+                pvb_nm2: 1e-12,
+                epe: 3.0,
+                run_wall_s: 0.5,
+            },
+        };
+        let line = item_line(&rec);
+        let back = parse_item(&line).expect("round trip");
+        assert_eq!(back.item, rec.item);
+        assert_eq!(back.clip_name, rec.clip_name);
+        assert_eq!(back.tat_s, rec.tat_s);
+        match back.outcome {
+            ItemOutcome::Ok {
+                l2_nm2,
+                pvb_nm2,
+                epe,
+                run_wall_s,
+            } => {
+                assert_eq!(l2_nm2, 12345.678);
+                assert_eq!(pvb_nm2, 1e-12);
+                assert_eq!(epe, 3.0);
+                assert_eq!(run_wall_s, 0.5);
+            }
+            ItemOutcome::Failed { .. } => panic!("expected ok outcome"),
+        }
+
+        let failed = ItemRecord {
+            outcome: ItemOutcome::Failed {
+                error: "shape mismatch: target is 32×32, config expects 64×64".into(),
+            },
+            ..rec
+        };
+        let back = parse_item(&item_line(&failed)).expect("round trip");
+        match back.outcome {
+            ItemOutcome::Failed { error } => assert!(error.contains("32×32")),
+            ItemOutcome::Ok { .. } => panic!("expected failed outcome"),
+        }
+    }
+
+    #[test]
+    fn non_finite_metrics_round_trip_value_exactly() {
+        // A diverged run can journal inf/NaN metrics; resume must read back
+        // the same values, not silently degrade them (the old `null`
+        // encoding collapsed inf to NaN).
+        let rec = ItemRecord {
+            item: WorkItem {
+                suite: SuiteKind::Iccad13,
+                method: Method::Nilt,
+                clip_index: 0,
+            },
+            clip_name: "ICCAD13/test1".into(),
+            tat_s: 0.25,
+            outcome: ItemOutcome::Ok {
+                l2_nm2: f64::INFINITY,
+                pvb_nm2: f64::NEG_INFINITY,
+                epe: f64::NAN,
+                run_wall_s: 1.0,
+            },
+        };
+        let back = parse_item(&item_line(&rec)).expect("round trip");
+        match back.outcome {
+            ItemOutcome::Ok {
+                l2_nm2,
+                pvb_nm2,
+                epe,
+                run_wall_s,
+            } => {
+                assert_eq!(l2_nm2, f64::INFINITY);
+                assert_eq!(pvb_nm2, f64::NEG_INFINITY);
+                assert!(epe.is_nan());
+                assert_eq!(run_wall_s, 1.0);
+            }
+            ItemOutcome::Failed { .. } => panic!("expected ok outcome"),
+        }
+        // `null` from hand-edited files is tolerated as NaN.
+        assert!(field_f64("{\"x\":null}", "x").unwrap().is_nan());
+    }
+
+    #[test]
+    fn malformed_or_foreign_lines_are_rejected() {
+        assert!(parse_item("{\"type\":\"aggregate\"}").is_none());
+        assert!(parse_item("not json at all").is_none());
+        assert!(parse_item("{\"type\":\"item\",\"suite\":\"NOPE\"}").is_none());
+    }
+}

@@ -1,0 +1,155 @@
+//! Integration tests of the parallel suite runner (DESIGN.md §7): the
+//! determinism, failure-isolation and resume guarantees, exercised on a
+//! deliberately tiny harness so the whole file runs in seconds.
+
+use std::path::PathBuf;
+
+use bismo_bench::{
+    Harness, ItemOutcome, Method, RunnerOptions, Scale, SuiteComparison, SuiteKind, SuiteSweep,
+};
+
+/// A quick-scale harness with the optimization budgets cut to the bone:
+/// enough to produce nonzero metrics, small enough for test time.
+fn tiny_harness() -> Harness {
+    let mut h = Harness::new(Scale::Quick);
+    h.mo_steps = 2;
+    h.am_rounds = 1;
+    h.am_phase_steps = 2;
+    h.bismo_outer = 2;
+    h
+}
+
+fn metric_bits(comparisons: &[SuiteComparison]) -> Vec<(u64, u64, u64)> {
+    comparisons
+        .iter()
+        .flat_map(|cmp| {
+            cmp.methods
+                .iter()
+                .map(|agg| (agg.l2.to_bits(), agg.pvb.to_bits(), agg.epe.to_bits()))
+        })
+        .collect()
+}
+
+#[test]
+fn one_worker_and_many_workers_agree_bit_for_bit() {
+    let h = tiny_harness();
+    let sweep = SuiteSweep::new(&h)
+        .with_suites(&[SuiteKind::Iccad13])
+        .with_methods(&[Method::Nilt, Method::AbbeMo, Method::BismoFd]);
+    let opts = RunnerOptions::default().without_journal();
+    let seq = sweep.run(&opts.clone().with_jobs(1));
+    let par = sweep.run(&opts.with_jobs(4));
+    assert_eq!(seq.jobs, 1);
+    assert_eq!(par.jobs, 4);
+    assert_eq!(seq.records.len(), par.records.len());
+    assert_eq!(seq.failures, 0);
+    assert_eq!(par.failures, 0);
+    // Metric aggregates — and therefore every printed table — must be
+    // byte-identical regardless of worker count (DESIGN.md §6 rule 3, one
+    // level up). Only the timing columns may differ.
+    assert_eq!(metric_bits(&seq.comparisons), metric_bits(&par.comparisons));
+    for (a, b) in seq.records.iter().zip(&par.records) {
+        assert_eq!(a.item, b.item);
+        assert_eq!(a.clip_name, b.clip_name);
+    }
+    // Sanity: the runs actually computed something.
+    assert!(seq.comparisons[0].methods[0].l2 > 0.0);
+}
+
+#[test]
+fn failing_item_is_recorded_and_sweep_completes() {
+    let h = tiny_harness();
+    let methods = [Method::Nilt, Method::AbbeMo];
+    let sweep = SuiteSweep::new(&h)
+        .with_suites(&[SuiteKind::Iccad13])
+        .with_methods(&methods)
+        .with_injected_failure();
+    let report = sweep.run(&RunnerOptions::default().with_jobs(2).without_journal());
+
+    // One genuine clip + one poisoned clip per method.
+    assert_eq!(report.records.len(), methods.len() * 2);
+    assert_eq!(report.failures, methods.len());
+    for rec in &report.records {
+        match &rec.outcome {
+            ItemOutcome::Failed { error } => {
+                assert!(rec.clip_name.contains("injected-failure"));
+                assert!(error.contains("shape"), "unexpected error: {error}");
+            }
+            ItemOutcome::Ok { l2_nm2, .. } => assert!(l2_nm2.is_finite()),
+        }
+    }
+    // Aggregates are computed over the surviving clips only.
+    for cmp in &report.comparisons {
+        for agg in &cmp.methods {
+            assert!(agg.l2.is_finite() && agg.l2 > 0.0);
+        }
+    }
+
+    // A cell with zero surviving clips must aggregate to NaN ("no data"),
+    // never to a fabricated best-in-table 0.0.
+    let mut empty = h.clone();
+    empty.clips_per_suite = 0;
+    let all_failed = SuiteSweep::new(&empty)
+        .with_suites(&[SuiteKind::Iccad13])
+        .with_methods(&[Method::Nilt])
+        .with_injected_failure()
+        .run(&RunnerOptions::default().with_jobs(1).without_journal());
+    assert_eq!(all_failed.failures, 1);
+    assert!(all_failed.comparisons[0].methods[0].l2.is_nan());
+    assert!(all_failed.comparisons[0].methods[0].tat.is_nan());
+}
+
+#[test]
+fn interrupted_sweep_resumes_and_completed_sweep_reruns() {
+    let h = tiny_harness();
+    let sweep = SuiteSweep::new(&h)
+        .with_suites(&[SuiteKind::Iccad13])
+        .with_methods(&[Method::Nilt, Method::Milt]);
+    let journal: PathBuf = std::env::temp_dir().join(format!(
+        "bismo_runner_test_{}_{:?}.jsonl",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_file(&journal);
+    let opts = RunnerOptions::default()
+        .with_jobs(2)
+        .with_journal(journal.clone());
+
+    let first = sweep.run(&opts);
+    assert_eq!(first.resumed, 0);
+    assert_eq!(first.executed, 2);
+
+    // Simulate an interruption: drop the final aggregate line and the last
+    // item record, leaving a partial journal whose final line is torn
+    // mid-append (no closing brace, no newline) — the crash shape resume
+    // exists for. The torn tail must be dropped, not destroy the journal.
+    let text = std::fs::read_to_string(&journal).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines.last().unwrap().contains("\"type\":\"aggregate\""));
+    assert_eq!(lines.len(), 4, "header + 2 items + aggregate");
+    std::fs::write(
+        &journal,
+        format!(
+            "{}\n{}\n{{\"type\":\"item\",\"suite\":\"ICC",
+            lines[0], lines[1]
+        ),
+    )
+    .unwrap();
+
+    let resumed = sweep.run(&opts);
+    assert_eq!(resumed.resumed, 1, "one journaled item must be skipped");
+    assert_eq!(resumed.executed, 1, "the dropped item must be re-run");
+    assert_eq!(
+        metric_bits(&first.comparisons),
+        metric_bits(&resumed.comparisons),
+        "resumed aggregates must match the uninterrupted run"
+    );
+
+    // The journal is now complete again, so the next invocation starts
+    // fresh instead of replaying cached results forever.
+    let rerun = sweep.run(&opts);
+    assert_eq!(rerun.resumed, 0);
+    assert_eq!(rerun.executed, 2);
+
+    let _ = std::fs::remove_file(&journal);
+}

@@ -159,10 +159,12 @@ pub fn run_am_smo(
             }
             MoModel::Hopkins { q } => {
                 // Rebuild the TCC for the current source — the hybrid's
-                // per-round cost.
+                // per-round cost. The shifted pupils feeding the build come
+                // from the Abbe problem's shared core, so only the Gram
+                // matrix and eigendecomposition are paid per round.
                 let source = problem.source(&theta_j);
-                let hopkins = HopkinsMoProblem::new(
-                    problem.optical().clone(),
+                let hopkins = HopkinsMoProblem::with_core(
+                    problem.abbe().core(),
                     problem.settings().clone(),
                     problem.target().clone(),
                     &source,

@@ -12,7 +12,7 @@ use std::time::Instant;
 
 use bismo_litho::LithoError;
 use bismo_opt::OptimizerKind;
-use bismo_optics::{OpticalConfig, RealField, Source};
+use bismo_optics::{ImagingCore, RealField, Source};
 
 use crate::problem::{GradRequest, HopkinsMoProblem, SmoProblem, SmoSettings};
 use crate::trace::{ConvergenceTrace, StepRecord, StopRule};
@@ -126,46 +126,42 @@ pub fn run_hopkins_mo(
 }
 
 /// NILT [7] proxy: Hopkins ILT with coarse truncation (Q = 6) and no
-/// process-window term.
+/// process-window term. Takes a shared [`ImagingCore`] so the TCC build
+/// reuses the precomputed shifted-pupil table (suite sweeps run this once
+/// per clip).
 ///
 /// # Errors
 ///
 /// Propagates imaging failures.
 pub fn run_nilt_proxy(
-    optical: &OpticalConfig,
+    core: &ImagingCore,
     settings: &SmoSettings,
     target: &RealField,
     source: &Source,
     cfg: MoConfig,
 ) -> Result<MoOutcome, LithoError> {
     let proxy_settings = settings.clone().without_pvb();
-    let problem =
-        HopkinsMoProblem::new(optical.clone(), proxy_settings, target.clone(), source, 6)?;
+    let problem = HopkinsMoProblem::with_core(core, proxy_settings, target.clone(), source, 6)?;
     let theta_m0 = problem.init_theta_m();
     run_hopkins_mo(&problem, &theta_m0, cfg)
 }
 
 /// DAC23-MILT [10] proxy: Hopkins ILT with the paper's Q = 24, PVB-aware
 /// objective, and a two-stage step-size schedule standing in for the
-/// multi-level refinement.
+/// multi-level refinement. Takes a shared [`ImagingCore`] like
+/// [`run_nilt_proxy`].
 ///
 /// # Errors
 ///
 /// Propagates imaging failures.
 pub fn run_milt_proxy(
-    optical: &OpticalConfig,
+    core: &ImagingCore,
     settings: &SmoSettings,
     target: &RealField,
     source: &Source,
     cfg: MoConfig,
 ) -> Result<MoOutcome, LithoError> {
-    let problem = HopkinsMoProblem::new(
-        optical.clone(),
-        settings.clone(),
-        target.clone(),
-        source,
-        24,
-    )?;
+    let problem = HopkinsMoProblem::with_core(core, settings.clone(), target.clone(), source, 24)?;
     let theta_m0 = problem.init_theta_m();
     let start = Instant::now();
     let mut theta_m = theta_m0.clone();
@@ -201,7 +197,7 @@ pub fn run_milt_proxy(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bismo_optics::SourceShape;
+    use bismo_optics::{OpticalConfig, SourceShape};
 
     fn fixtures() -> (OpticalConfig, RealField, SourceShape) {
         let cfg = OpticalConfig::test_small();
@@ -260,11 +256,12 @@ mod tests {
         let (cfg, target, shape) = fixtures();
         let source = Source::from_shape(&cfg, shape);
         let settings = SmoSettings::default();
-        let nilt = run_nilt_proxy(&cfg, &settings, &target, &source, quick(4)).unwrap();
+        let core = ImagingCore::new(&cfg).unwrap();
+        let nilt = run_nilt_proxy(&core, &settings, &target, &source, quick(4)).unwrap();
         assert_eq!(nilt.trace.len(), 4);
         // NILT proxy carries no PVB term.
         assert_eq!(nilt.trace.records()[0].pvb, 0.0);
-        let milt = run_milt_proxy(&cfg, &settings, &target, &source, quick(4)).unwrap();
+        let milt = run_milt_proxy(&core, &settings, &target, &source, quick(4)).unwrap();
         assert_eq!(milt.trace.len(), 4);
         assert!(milt.trace.records()[0].pvb > 0.0);
     }

@@ -13,10 +13,12 @@
 //! their original constructors and evaluation signatures preserved as
 //! inherent methods (DESIGN.md §2).
 
+use std::sync::Arc;
+
 use bismo_litho::{
     AbbeImager, DoseCorners, HopkinsImager, ImagingBackend, LithoError, ResistModel,
 };
-use bismo_optics::{OpticalConfig, RealField, Source, SourceShape};
+use bismo_optics::{ImagingCore, OpticalConfig, RealField, Source, SourceShape};
 
 use crate::params::Activation;
 use crate::regularizer::{self, Regularizers};
@@ -406,6 +408,24 @@ impl MoProblem<AbbeImager> {
         MoProblem::from_backend(abbe, settings, target)
     }
 
+    /// Like [`SmoProblem::new`] but over an already-built shared
+    /// [`ImagingCore`]: skips the shifted-pupil evaluation entirely, making
+    /// problem construction cheap. Sweeps building one problem per (method,
+    /// clip) cell use this so every cell shares the same caches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LithoError::Shape`] if the target does not match the core's
+    /// mask grid.
+    pub fn with_core(
+        core: Arc<ImagingCore>,
+        settings: SmoSettings,
+        target: RealField,
+    ) -> Result<Self, LithoError> {
+        let abbe = AbbeImager::from_core(core).with_threads(settings.threads);
+        MoProblem::from_backend(abbe, settings, target)
+    }
+
     /// The underlying Abbe engine (exposed for metrics and harnesses).
     #[inline]
     pub fn abbe(&self) -> &AbbeImager {
@@ -509,6 +529,31 @@ impl MoProblem<HopkinsImager> {
             )));
         }
         let hopkins = HopkinsImager::new(&optical, source, q)?;
+        MoProblem::from_backend(hopkins, settings, target)
+    }
+
+    /// Like [`HopkinsMoProblem::new`] but building the TCC against a shared
+    /// [`ImagingCore`], so the shifted pupils feeding the TCC come from the
+    /// core's precomputed table instead of being re-evaluated per build.
+    ///
+    /// # Errors
+    ///
+    /// Propagates TCC/eigensolver and shape failures.
+    pub fn with_core(
+        core: &ImagingCore,
+        settings: SmoSettings,
+        target: RealField,
+        source: &Source,
+        q: usize,
+    ) -> Result<Self, LithoError> {
+        if target.dim() != core.config().mask_dim() {
+            return Err(LithoError::Shape(format!(
+                "target is {}×{0}, config expects {1}×{1}",
+                target.dim(),
+                core.config().mask_dim()
+            )));
+        }
+        let hopkins = HopkinsImager::with_core(core, source, q)?;
         MoProblem::from_backend(hopkins, settings, target)
     }
 

@@ -93,6 +93,14 @@ pub struct StopRule {
 }
 
 impl StopRule {
+    /// Absolute improvement floor below which losses are considered
+    /// indistinguishable. The purely relative criterion can never fire once
+    /// the best loss reaches exactly 0.0 (`new_best > 0.0 · (1 − tol)` is
+    /// false for `new_best = 0.0`), so fully converged runs would burn their
+    /// entire step budget; any improvement smaller than this floor counts
+    /// as a plateau regardless of the relative test.
+    pub const ABS_TOL: f64 = 1e-12;
+
     /// The harness default: 10-step windows, 0.1% improvement.
     pub fn harness_default() -> Self {
         StopRule {
@@ -101,7 +109,12 @@ impl StopRule {
         }
     }
 
-    /// Returns `true` when the trace has plateaued under this rule.
+    /// Returns `true` when the trace has plateaued under this rule: the
+    /// best loss of the most recent window improves on the preceding
+    /// window's best by less than a `rel_tol` fraction — or by less than
+    /// the [`StopRule::ABS_TOL`] absolute floor, which is what lets runs
+    /// that converge to exactly zero loss stop instead of exhausting their
+    /// budget.
     pub fn plateaued(&self, records: &[StepRecord]) -> bool {
         let w = self.window.max(1);
         if records.len() < 2 * w {
@@ -110,7 +123,7 @@ impl StopRule {
         let min_of = |rs: &[StepRecord]| rs.iter().map(|r| r.loss).fold(f64::INFINITY, f64::min);
         let old_best = min_of(&records[records.len() - 2 * w..records.len() - w]);
         let new_best = min_of(&records[records.len() - w..]);
-        new_best > old_best * (1.0 - self.rel_tol)
+        new_best > old_best * (1.0 - self.rel_tol) - Self::ABS_TOL
     }
 }
 
@@ -166,6 +179,26 @@ mod tests {
         assert!(rule.plateaued(&flat));
         // Too short: no stop.
         assert!(!rule.plateaued(&improving[..4]));
+    }
+
+    #[test]
+    fn stop_rule_fires_at_exactly_zero_loss() {
+        // Regression: with a purely relative criterion, a run whose best
+        // loss hits exactly 0.0 could never plateau (`0 > 0·(1−tol)` is
+        // false) and would burn its whole step budget.
+        let rule = StopRule {
+            window: 3,
+            rel_tol: 1e-3,
+        };
+        let converged: Vec<StepRecord> = (0..6).map(|i| rec(i, 0.0)).collect();
+        assert!(rule.plateaued(&converged));
+        // A decrease onto zero within the recent window still counts as
+        // progress, so the run gets its final improving step recorded.
+        let mut improving: Vec<StepRecord> = (0..3).map(|i| rec(i, 1.0)).collect();
+        for i in 3..6 {
+            improving.push(rec(i, 0.0));
+        }
+        assert!(!rule.plateaued(&improving));
     }
 
     #[test]

@@ -33,6 +33,12 @@ impl SuiteKind {
         }
     }
 
+    /// Inverse of [`SuiteKind::name`], used when reloading journaled
+    /// benchmark records.
+    pub fn from_name(name: &str) -> Option<SuiteKind> {
+        SuiteKind::all().into_iter().find(|k| k.name() == name)
+    }
+
     /// Clip count of the published suite (Table 2 "Test num.").
     pub fn test_count(&self) -> usize {
         match self {
@@ -254,6 +260,14 @@ mod tests {
         assert_eq!(SuiteKind::IccadL.cd_nm(), 32.0);
         assert_eq!(SuiteKind::Ispd19.cd_nm(), 28.0);
         assert_eq!(SuiteKind::Ispd19.layer(), "Metal+Via");
+    }
+
+    #[test]
+    fn from_name_round_trips() {
+        for kind in SuiteKind::all() {
+            assert_eq!(SuiteKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(SuiteKind::from_name("nope"), None);
     }
 
     #[test]

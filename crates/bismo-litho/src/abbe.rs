@@ -39,8 +39,10 @@
 
 use std::sync::{Arc, Mutex};
 
-use bismo_fft::{Complex64, Fft2Plan, Fft2Workspace};
-use bismo_optics::{OpticalConfig, Pupil, RealField, ShiftedPupilEntry, ShiftedPupilTable, Source};
+use bismo_fft::{Complex64, Fft2Workspace};
+use bismo_optics::{
+    ImagingCore, OpticalConfig, RealField, ShiftedPupilEntry, ShiftedPupilTable, Source,
+};
 
 use crate::error::LithoError;
 
@@ -195,14 +197,12 @@ fn accumulate_entry(
 /// ```
 #[derive(Debug, Clone)]
 pub struct AbbeImager {
-    cfg: OpticalConfig,
-    pupil: Pupil,
-    plan: Fft2Plan,
+    /// The immutable per-configuration state (pupil, shifted-pupil table,
+    /// FFT plan), shared across clones, worker threads — and, via
+    /// [`AbbeImager::from_core`], across independently constructed engines.
+    core: Arc<ImagingCore>,
     threads: usize,
     min_weight: f64,
-    /// Shifted pupils of every source-grid point, built once per
-    /// `(Pupil, source grid)` and shared across clones and worker threads.
-    shifted: Arc<ShiftedPupilTable>,
     pool: WorkspacePool,
 }
 
@@ -211,24 +211,36 @@ impl AbbeImager {
     ///
     /// Construction evaluates the shifted pupil of every source-grid point
     /// into the engine's [`ShiftedPupilTable`]; per-call imaging then never
-    /// touches the analytic pupil again.
+    /// touches the analytic pupil again. Callers constructing many engines
+    /// for the same configuration should build one [`ImagingCore`] and use
+    /// [`AbbeImager::from_core`] instead, which skips that work entirely.
     ///
     /// # Errors
     ///
     /// Returns an error if the mask dimension is not FFT-compatible (the
     /// config validates this, so only hand-rolled configs can fail here).
     pub fn new(cfg: &OpticalConfig) -> Result<Self, LithoError> {
-        let pupil = Pupil::new(cfg);
-        let shifted = Arc::new(ShiftedPupilTable::new(cfg, &pupil));
-        Ok(AbbeImager {
-            cfg: cfg.clone(),
-            pupil,
-            plan: Fft2Plan::new(cfg.mask_dim(), cfg.mask_dim())?,
+        Ok(AbbeImager::from_core(Arc::new(ImagingCore::new(cfg)?)))
+    }
+
+    /// Creates an engine over an already-built shared [`ImagingCore`],
+    /// performing no per-configuration work at all: the pupil table and FFT
+    /// plan are borrowed from the core. This is the cheap constructor the
+    /// parallel suite runner uses to hand every worker the same caches.
+    #[must_use]
+    pub fn from_core(core: Arc<ImagingCore>) -> Self {
+        AbbeImager {
+            core,
             threads: 1,
             min_weight: 1e-9,
-            shifted,
             pool: WorkspacePool::default(),
-        })
+        }
+    }
+
+    /// The shared immutable core this engine images through.
+    #[inline]
+    pub fn core(&self) -> &Arc<ImagingCore> {
+        &self.core
     }
 
     /// Sets the number of worker threads used to parallelize over source
@@ -248,20 +260,20 @@ impl AbbeImager {
     }
 
     /// Adds a defocus aberration of `z` nanometres to the projection pupil
-    /// (see [`Pupil::with_defocus`]); the adjoint gradients automatically
-    /// pick up the conjugate phase. Rebuilds the shifted-pupil cache — the
-    /// cache key is the `(Pupil, source grid)` pair.
+    /// (see [`bismo_optics::Pupil::with_defocus`]); the adjoint gradients
+    /// automatically pick up the conjugate phase. Rebuilds the shifted-pupil
+    /// cache into a fresh core — the cache key is the `(Pupil, source grid)`
+    /// pair — leaving any core shared with other engines untouched.
     #[must_use]
     pub fn with_defocus(mut self, z_nm: f64) -> Self {
-        self.pupil = self.pupil.clone().with_defocus(z_nm);
-        self.shifted = Arc::new(ShiftedPupilTable::new(&self.cfg, &self.pupil));
+        self.core = Arc::new(self.core.with_defocus(z_nm));
         self
     }
 
     /// The configuration this engine was built for.
     #[inline]
     pub fn config(&self) -> &OpticalConfig {
-        &self.cfg
+        self.core.config()
     }
 
     /// Configured worker thread count.
@@ -274,33 +286,33 @@ impl AbbeImager {
     /// through (exposed for benches and cross-engine reuse).
     #[inline]
     pub fn shifted_pupils(&self) -> &ShiftedPupilTable {
-        &self.shifted
+        self.core.shifted()
     }
 
     fn check_inputs(&self, source: &Source, mask: &RealField) -> Result<f64, LithoError> {
-        let n = self.cfg.mask_dim();
+        let n = self.core.config().mask_dim();
         if mask.dim() != n {
             return Err(LithoError::Shape(format!(
                 "mask is {}×{0}, engine expects {n}×{n}",
                 mask.dim()
             )));
         }
-        if source.dim() != self.cfg.source_dim() {
+        if source.dim() != self.core.config().source_dim() {
             return Err(LithoError::Shape(format!(
                 "source is {}×{0}, engine expects {1}×{1}",
                 source.dim(),
-                self.cfg.source_dim()
+                self.core.config().source_dim()
             )));
         }
         // The engine images through shifted pupils cached for ITS config's
         // source grid; a source built under a different frequency scale
         // would silently image through the wrong shifts.
-        if source.freq_scale() != self.cfg.source_freq_scale() {
+        if source.freq_scale() != self.core.config().source_freq_scale() {
             return Err(LithoError::Shape(format!(
                 "source frequency scale {} does not match the engine's {} — \
                  the source was built under a different optical configuration",
                 source.freq_scale(),
-                self.cfg.source_freq_scale()
+                self.core.config().source_freq_scale()
             )));
         }
         let s = source.total_weight();
@@ -311,11 +323,11 @@ impl AbbeImager {
     }
 
     fn check_field_dim(&self, field: &RealField, what: &str) -> Result<(), LithoError> {
-        if field.dim() != self.cfg.mask_dim() {
+        if field.dim() != self.core.config().mask_dim() {
             return Err(LithoError::Shape(format!(
                 "{what} field is {}×{0}, engine expects {1}×{1}",
                 field.dim(),
-                self.cfg.mask_dim()
+                self.core.config().mask_dim()
             )));
         }
         Ok(())
@@ -331,7 +343,7 @@ impl AbbeImager {
         for (s, &v) in spec.iter_mut().zip(mask.as_slice()) {
             *s = Complex64::from_real(v);
         }
-        self.plan.forward_with(spec, fft)?;
+        self.core.plan().forward_with(spec, fft)?;
         Ok(())
     }
 
@@ -351,8 +363,8 @@ impl AbbeImager {
             ..
         } = ws;
         for (idx, w) in points {
-            apply_entry(spec, field, self.shifted.entry(idx));
-            self.plan.inverse_with(field, fft)?;
+            apply_entry(spec, field, self.core.shifted().entry(idx));
+            self.core.plan().inverse_with(field, fft)?;
             for (acc, a) in partial.iter_mut().zip(field.iter()) {
                 *acc += w * a.norm_sqr();
             }
@@ -369,7 +381,7 @@ impl AbbeImager {
     /// [`LithoError::DarkSource`] when the source carries no power, and FFT
     /// errors from the transform layer.
     pub fn intensity(&self, source: &Source, mask: &RealField) -> Result<RealField, LithoError> {
-        let mut out = RealField::zeros(self.cfg.mask_dim());
+        let mut out = RealField::zeros(self.core.config().mask_dim());
         self.intensity_into(source, mask, &mut out)?;
         Ok(out)
     }
@@ -389,7 +401,7 @@ impl AbbeImager {
     ) -> Result<(), LithoError> {
         let s_total = self.check_inputs(source, mask)?;
         self.check_field_dim(out, "output")?;
-        let n = self.cfg.mask_dim();
+        let n = self.core.config().mask_dim();
         let n2 = n * n;
         let mut ws_main = self.pool.acquire(n2);
         self.mask_spectrum_into(mask, &mut ws_main)?;
@@ -460,11 +472,11 @@ impl AbbeImager {
             ..
         } = ws;
         for idx in range {
-            let entry = self.shifted.entry(idx);
+            let entry = self.core.shifted().entry(idx);
 
             // A_τ = F⁻¹(H_τ ⊙ O).
             apply_entry(spec, field, entry);
-            self.plan.inverse_with(field, fft)?;
+            self.core.plan().inverse_with(field, fft)?;
 
             // Source gradient: (⟨G, |A_τ|²⟩ − ⟨G, I⟩) / Σj.
             let g_dot_a: f64 = g_intensity
@@ -481,7 +493,7 @@ impl AbbeImager {
                 for ((b, a), &g) in back.iter_mut().zip(field.iter()).zip(g_intensity) {
                     *b = a.scale(g);
                 }
-                self.plan.forward_with(back, fft)?;
+                self.core.plan().forward_with(back, fft)?;
                 accumulate_entry(acc, back, w, entry);
             }
         }
@@ -560,7 +572,7 @@ impl AbbeImager {
         g_intensity: &RealField,
         intensity: &RealField,
     ) -> Result<(RealField, Vec<f64>), LithoError> {
-        let mut grad_mask = RealField::zeros(self.cfg.mask_dim());
+        let mut grad_mask = RealField::zeros(self.core.config().mask_dim());
         let mut grad_source = vec![0.0; source.dim() * source.dim()];
         self.gradients_into(
             source,
@@ -601,7 +613,7 @@ impl AbbeImager {
                 grad_source_out.len()
             )));
         }
-        let n = self.cfg.mask_dim();
+        let n = self.core.config().mask_dim();
         let n2 = n * n;
         let g_dot_i = g_intensity.dot(intensity);
         let weights = source.weights();
@@ -625,7 +637,7 @@ impl AbbeImager {
                 grad_source_out,
             )?;
             let ImagingWorkspace { fft, acc, .. } = &mut ws;
-            self.plan.inverse_with(acc, fft)?;
+            self.core.plan().inverse_with(acc, fft)?;
             for (o, z) in grad_mask_out.as_mut_slice().iter_mut().zip(acc.iter()) {
                 *o = 2.0 * z.re;
             }
@@ -646,7 +658,7 @@ impl AbbeImager {
             }
             self.pool.release(ws);
         }
-        self.plan.inverse_with(acc, fft)?;
+        self.core.plan().inverse_with(acc, fft)?;
         for (o, z) in grad_mask_out.as_mut_slice().iter_mut().zip(acc.iter()) {
             *o = 2.0 * z.re;
         }
@@ -698,7 +710,7 @@ impl AbbeImager {
                 out.len()
             )));
         }
-        let n2 = self.cfg.mask_dim() * self.cfg.mask_dim();
+        let n2 = self.core.config().mask_dim() * self.core.config().mask_dim();
         let g_dot_i = g_intensity.dot(intensity);
         let weights = source.weights();
         let gi = g_intensity.as_slice();
@@ -749,14 +761,14 @@ impl AbbeImager {
             fft, field, acc, ..
         } = ws;
         for (idx, weight) in points {
-            let entry = self.shifted.entry(idx);
+            let entry = self.core.shifted().entry(idx);
             apply_entry(spec, field, entry);
-            self.plan.inverse_with(field, fft)?;
+            self.core.plan().inverse_with(field, fft)?;
             let w = weight / s_total;
             for (a, &g) in field.iter_mut().zip(g_intensity) {
                 *a = a.scale(g);
             }
-            self.plan.forward_with(field, fft)?;
+            self.core.plan().forward_with(field, fft)?;
             accumulate_entry(acc, field, w, entry);
         }
         Ok(())
@@ -775,7 +787,7 @@ impl AbbeImager {
         mask: &RealField,
         g_intensity: &RealField,
     ) -> Result<RealField, LithoError> {
-        let mut out = RealField::zeros(self.cfg.mask_dim());
+        let mut out = RealField::zeros(self.core.config().mask_dim());
         self.grad_mask_into(source, mask, g_intensity, &mut out)?;
         Ok(out)
     }
@@ -796,7 +808,7 @@ impl AbbeImager {
         let s_total = self.check_inputs(source, mask)?;
         self.check_field_dim(g_intensity, "gradient")?;
         self.check_field_dim(out, "output")?;
-        let n2 = self.cfg.mask_dim() * self.cfg.mask_dim();
+        let n2 = self.core.config().mask_dim() * self.core.config().mask_dim();
         let gi = g_intensity.as_slice();
 
         let mut ws_main = self.pool.acquire(n2);
@@ -812,7 +824,7 @@ impl AbbeImager {
                 .filter_map(|(idx, &w)| (w > self.min_weight).then_some((idx, w)));
             self.mask_adjoint_accumulate(&ws_main.spec, gi, s_total, lit, &mut ws)?;
             let ImagingWorkspace { fft, acc, .. } = &mut ws;
-            self.plan.inverse_with(acc, fft)?;
+            self.core.plan().inverse_with(acc, fft)?;
             for (o, z) in out.as_mut_slice().iter_mut().zip(acc.iter()) {
                 *o = 2.0 * z.re;
             }
@@ -838,7 +850,7 @@ impl AbbeImager {
             }
             self.pool.release(ws);
         }
-        self.plan.inverse_with(acc, fft)?;
+        self.core.plan().inverse_with(acc, fft)?;
         for (o, z) in out.as_mut_slice().iter_mut().zip(acc.iter()) {
             *o = 2.0 * z.re;
         }
@@ -993,6 +1005,35 @@ mod tests {
         for (a, b) in i1.as_slice().iter().zip(i2.as_slice()) {
             assert!((a - b).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn engines_from_shared_core_match_fresh_engine() {
+        // Two engines over one Arc'd core, used concurrently from separate
+        // threads, must agree exactly with a freshly constructed engine —
+        // the invariant the parallel suite runner relies on.
+        let (cfg, fresh, src) = setup();
+        let m = square_mask(cfg.mask_dim(), 8);
+        let expected = fresh.intensity(&src, &m).unwrap();
+        let core = Arc::new(ImagingCore::new(&cfg).unwrap());
+        let results: Vec<RealField> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..3)
+                .map(|_| {
+                    let core = Arc::clone(&core);
+                    let src = &src;
+                    let m = &m;
+                    scope.spawn(move || AbbeImager::from_core(core).intensity(src, m).unwrap())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for got in results {
+            assert_eq!(got, expected);
+        }
+        // The core is genuinely shared, not re-derived per engine.
+        let a = AbbeImager::from_core(Arc::clone(&core));
+        let b = AbbeImager::from_core(Arc::clone(&core));
+        assert!(Arc::ptr_eq(a.core(), b.core()));
     }
 
     #[test]

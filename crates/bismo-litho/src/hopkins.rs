@@ -11,7 +11,10 @@
 
 use bismo_fft::{Complex64, Fft2Plan, Fft2Workspace};
 use bismo_linalg::{eigh_jacobi, top_eigenpairs, Eigh, HermitianMatrix};
-use bismo_optics::{OpticalConfig, Pupil, RealField, ShiftedPupilEntry, ShiftedPupilTable, Source};
+use bismo_optics::{
+    ImagingCore, OpticalConfig, Pupil, RealField, ShiftedPupilEntry, ShiftedPupilTable, Source,
+    SourcePoint,
+};
 
 use crate::error::LithoError;
 
@@ -115,8 +118,52 @@ impl HopkinsImager {
         source: &Source,
         q: usize,
     ) -> Result<Self, LithoError> {
-        let s_total = source.total_weight();
-        if s_total < 1e-12 {
+        Self::validate(cfg, source)?;
+        // Shifted pupils of the lit source points only (the full grid would
+        // be wasted work for a one-off build).
+        let points = source.effective_points(1e-12);
+        let selected: Vec<usize> = points.iter().map(|p| p.index).collect();
+        let shifted = ShiftedPupilTable::for_points(cfg, &pupil, &selected);
+        Self::from_table(
+            cfg,
+            Fft2Plan::new(cfg.mask_dim(), cfg.mask_dim())?,
+            &shifted,
+            &points,
+            source,
+            q,
+        )
+    }
+
+    /// Builds the TCC against a shared [`ImagingCore`], reusing its
+    /// precomputed full-grid [`ShiftedPupilTable`] and FFT plan instead of
+    /// re-evaluating shifted pupils. The kernels are bit-identical to
+    /// [`HopkinsImager::with_pupil`] with the core's pupil (the table caches
+    /// exact analytic values either way); only the construction cost
+    /// changes. This is the constructor the parallel suite runner and the
+    /// hybrid AM-SMO driver use so that repeated TCC builds share one
+    /// table.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`HopkinsImager::new`].
+    pub fn with_core(core: &ImagingCore, source: &Source, q: usize) -> Result<Self, LithoError> {
+        Self::validate(core.config(), source)?;
+        let points = source.effective_points(1e-12);
+        Self::from_table(
+            core.config(),
+            core.plan().clone(),
+            core.shifted(),
+            &points,
+            source,
+            q,
+        )
+    }
+
+    /// The shared input checks of every constructor (dark source, grid
+    /// shape, frequency scale — the same guards as the Abbe engine, so both
+    /// backends fail alike).
+    fn validate(cfg: &OpticalConfig, source: &Source) -> Result<(), LithoError> {
+        if source.total_weight() < 1e-12 {
             return Err(LithoError::DarkSource);
         }
         if source.dim() != cfg.source_dim() {
@@ -128,8 +175,7 @@ impl HopkinsImager {
         }
         // The TCC is assembled from shifted pupils cached for THIS config's
         // source grid; a source built under a different frequency scale
-        // would silently bake kernels at the wrong illumination frequencies
-        // (same guard as the Abbe engine, so both backends fail alike).
+        // would silently bake kernels at the wrong illumination frequencies.
         if source.freq_scale() != cfg.source_freq_scale() {
             return Err(LithoError::Shape(format!(
                 "source frequency scale {} does not match the config's {} — \
@@ -138,17 +184,29 @@ impl HopkinsImager {
                 cfg.source_freq_scale()
             )));
         }
-        let n = cfg.mask_dim();
-        let points = source.effective_points(1e-12);
+        Ok(())
+    }
 
-        // Shifted pupils of the lit source points from the shared cache
-        // (bismo-optics evaluates each one exactly once, sparsely), plus the
-        // union support in point-then-flat-index discovery order.
-        let selected: Vec<usize> = points.iter().map(|p| p.index).collect();
-        let shifted = ShiftedPupilTable::for_points(cfg, &pupil, &selected);
+    /// TCC assembly + eigendecomposition + kernel lift over an
+    /// already-evaluated shifted-pupil table (which must cover at least
+    /// `points`, the effective points of `source` — a full-grid table
+    /// qualifies; the caller computed `points` once to build/select the
+    /// table, so it is passed through instead of re-derived).
+    fn from_table(
+        cfg: &OpticalConfig,
+        plan: Fft2Plan,
+        shifted: &ShiftedPupilTable,
+        points: &[SourcePoint],
+        source: &Source,
+        q: usize,
+    ) -> Result<Self, LithoError> {
+        let s_total = source.total_weight();
+        let n = cfg.mask_dim();
+
+        // Union support in point-then-flat-index discovery order.
         let mut support_mark = vec![usize::MAX; n * n];
         let mut support: Vec<(usize, usize)> = Vec::new();
-        for p in &points {
+        for p in points {
             for &flat in shifted.entry(p.index).indices {
                 let flat = flat as usize;
                 if support_mark[flat] == usize::MAX {
@@ -203,7 +261,7 @@ impl HopkinsImager {
 
         Ok(HopkinsImager {
             cfg: cfg.clone(),
-            plan: Fft2Plan::new(n, n)?,
+            plan,
             support,
             kernels,
             truncation: q_eff,
@@ -470,6 +528,36 @@ mod tests {
             HopkinsImager::new(&cfg, &Source::dark(&cfg), 8),
             Err(LithoError::DarkSource)
         ));
+        let core = ImagingCore::new(&cfg).unwrap();
+        assert!(matches!(
+            HopkinsImager::with_core(&core, &Source::dark(&cfg), 8),
+            Err(LithoError::DarkSource)
+        ));
+    }
+
+    #[test]
+    fn with_core_matches_standalone_construction() {
+        // The shared-core constructor must produce bit-identical kernels to
+        // the standalone path: the full-grid table caches the exact same
+        // analytic values `for_points` evaluates.
+        let (cfg, src) = setup();
+        let core = ImagingCore::new(&cfg).unwrap();
+        let standalone = HopkinsImager::new(&cfg, &src, 12).unwrap();
+        let shared = HopkinsImager::with_core(&core, &src, 12).unwrap();
+        assert_eq!(standalone.support(), shared.support());
+        assert_eq!(standalone.kernels().len(), shared.kernels().len());
+        for (a, b) in standalone.kernels().iter().zip(shared.kernels()) {
+            assert_eq!(a.kappa, b.kappa);
+            for (x, y) in a.phi.iter().zip(&b.phi) {
+                assert_eq!(x.re, y.re);
+                assert_eq!(x.im, y.im);
+            }
+        }
+        let m = square_mask(cfg.mask_dim(), 8);
+        assert_eq!(
+            standalone.intensity(&m).unwrap(),
+            shared.intensity(&m).unwrap()
+        );
     }
 
     #[test]

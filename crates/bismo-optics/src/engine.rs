@@ -1,0 +1,157 @@
+//! The [`ImagingCore`]: immutable, `Arc`-shareable per-configuration imaging
+//! state (pupil, shifted-pupil table, FFT plan).
+//!
+//! Building an imaging engine is dominated by evaluating the
+//! [`ShiftedPupilTable`] — work that depends only on the `(Pupil, source
+//! grid)` pair, never on the mask, the source weights or the optimizer
+//! state. Harnesses that sweep many (method, clip) cells over one
+//! [`OpticalConfig`] therefore build a single `ImagingCore` up front and
+//! hand an `Arc` of it to every engine they construct; workers then share
+//! the cached tables read-only instead of re-deriving them per cell (see
+//! DESIGN.md §7).
+//!
+//! Everything inside is immutable after construction, so an
+//! `Arc<ImagingCore>` is freely shared across worker threads.
+
+use std::sync::Arc;
+
+use bismo_fft::{Fft2Plan, FftError};
+
+use crate::config::OpticalConfig;
+use crate::pupil::Pupil;
+use crate::shifted::ShiftedPupilTable;
+
+/// Immutable imaging state for one `(OpticalConfig, Pupil)` pair: the
+/// analytic pupil, its precomputed [`ShiftedPupilTable`] and the mask-grid
+/// FFT plan.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use bismo_optics::{ImagingCore, OpticalConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let cfg = OpticalConfig::test_small();
+/// let core = Arc::new(ImagingCore::new(&cfg)?);
+/// // The expensive table is built once and shared by reference.
+/// assert_eq!(core.shifted().source_dim(), cfg.source_dim());
+/// let clone = Arc::clone(&core); // cheap: no re-evaluation
+/// assert_eq!(clone.shifted().total_lit_bins(), core.shifted().total_lit_bins());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ImagingCore {
+    cfg: OpticalConfig,
+    pupil: Pupil,
+    plan: Fft2Plan,
+    shifted: Arc<ShiftedPupilTable>,
+}
+
+impl ImagingCore {
+    /// Builds the core for `cfg` with the in-focus pupil, evaluating the
+    /// shifted pupil of every source-grid point once.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the mask dimension is not FFT-compatible (the
+    /// config builder validates this, so only hand-rolled configs fail).
+    pub fn new(cfg: &OpticalConfig) -> Result<Self, FftError> {
+        ImagingCore::with_pupil(cfg, Pupil::new(cfg))
+    }
+
+    /// Like [`ImagingCore::new`] but against an explicit (possibly
+    /// defocused, hence complex) pupil.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`ImagingCore::new`].
+    pub fn with_pupil(cfg: &OpticalConfig, pupil: Pupil) -> Result<Self, FftError> {
+        let n = cfg.mask_dim();
+        let shifted = Arc::new(ShiftedPupilTable::new(cfg, &pupil));
+        Ok(ImagingCore {
+            cfg: cfg.clone(),
+            pupil,
+            plan: Fft2Plan::new(n, n)?,
+            shifted,
+        })
+    }
+
+    /// A new core with `z_nm` of defocus applied to the pupil. The shifted
+    /// pupils are re-evaluated (the table's cache key is the `(Pupil,
+    /// source grid)` pair); the FFT plan is reused.
+    #[must_use]
+    pub fn with_defocus(&self, z_nm: f64) -> Self {
+        let pupil = self.pupil.clone().with_defocus(z_nm);
+        let shifted = Arc::new(ShiftedPupilTable::new(&self.cfg, &pupil));
+        ImagingCore {
+            cfg: self.cfg.clone(),
+            pupil,
+            plan: self.plan.clone(),
+            shifted,
+        }
+    }
+
+    /// The optical configuration this core was built for.
+    #[inline]
+    pub fn config(&self) -> &OpticalConfig {
+        &self.cfg
+    }
+
+    /// The (possibly aberrated) projection pupil.
+    #[inline]
+    pub fn pupil(&self) -> &Pupil {
+        &self.pupil
+    }
+
+    /// The mask-grid FFT plan.
+    #[inline]
+    pub fn plan(&self) -> &Fft2Plan {
+        &self.plan
+    }
+
+    /// The precomputed shifted pupils of every source-grid point.
+    #[inline]
+    pub fn shifted(&self) -> &Arc<ShiftedPupilTable> {
+        &self.shifted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_matches_direct_construction() {
+        let cfg = OpticalConfig::test_small();
+        let core = ImagingCore::new(&cfg).unwrap();
+        let direct = ShiftedPupilTable::new(&cfg, &Pupil::new(&cfg));
+        assert_eq!(core.shifted().total_lit_bins(), direct.total_lit_bins());
+        let nj = cfg.source_dim();
+        for idx in [0, nj * nj / 2, nj * nj - 1] {
+            assert_eq!(core.shifted().entry(idx).indices, direct.entry(idx).indices);
+        }
+    }
+
+    #[test]
+    fn defocus_rebuilds_table_and_keeps_grid() {
+        let cfg = OpticalConfig::test_small();
+        let core = ImagingCore::new(&cfg).unwrap();
+        assert!(core.shifted().is_real());
+        let blurred = core.with_defocus(120.0);
+        assert!(!blurred.shifted().is_real());
+        assert_eq!(blurred.config(), core.config());
+        assert_eq!(blurred.shifted().source_dim(), core.shifted().source_dim());
+        // The original is untouched (value semantics on rebuild).
+        assert!(core.shifted().is_real());
+    }
+
+    #[test]
+    fn arc_sharing_is_cheap_and_identical() {
+        let cfg = OpticalConfig::test_small();
+        let core = std::sync::Arc::new(ImagingCore::new(&cfg).unwrap());
+        let other = std::sync::Arc::clone(&core);
+        assert!(std::sync::Arc::ptr_eq(core.shifted(), other.shifted()));
+    }
+}

@@ -27,12 +27,14 @@
 #![warn(missing_docs)]
 
 mod config;
+mod engine;
 mod field;
 mod pupil;
 mod shifted;
 mod source;
 
 pub use config::{ConfigError, OpticalConfig, OpticalConfigBuilder};
+pub use engine::ImagingCore;
 pub use field::RealField;
 pub use pupil::Pupil;
 pub use shifted::{ShiftedPupilEntry, ShiftedPupilTable};

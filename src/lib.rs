@@ -66,5 +66,7 @@ pub mod prelude {
         AbbeImager, DoseCorners, HopkinsImager, ImagingBackend, LithoError, ResistModel,
     };
     pub use bismo_opt::{Adam, Momentum, Optimizer, OptimizerKind, Sgd};
-    pub use bismo_optics::{OpticalConfig, Pupil, RealField, Source, SourcePoint, SourceShape};
+    pub use bismo_optics::{
+        ImagingCore, OpticalConfig, Pupil, RealField, Source, SourcePoint, SourceShape,
+    };
 }

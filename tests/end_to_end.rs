@@ -178,11 +178,11 @@ fn early_stopping_shortens_runs() {
 
 #[test]
 fn proxies_run_on_generated_clips() {
-    let (cfg, problem, tj, _) = fixture();
+    let (_cfg, problem, tj, _) = fixture();
     let source = problem.source(&tj);
     let settings = SmoSettings::default();
     let nilt = run_nilt_proxy(
-        &cfg,
+        problem.abbe().core(),
         &settings,
         problem.target(),
         &source,
@@ -194,7 +194,7 @@ fn proxies_run_on_generated_clips() {
     .unwrap();
     assert_eq!(nilt.trace.len(), 4);
     let milt = run_milt_proxy(
-        &cfg,
+        problem.abbe().core(),
         &settings,
         problem.target(),
         &source,
