@@ -48,57 +48,31 @@ fn bench_outer_steps(c: &mut Criterion) {
     let (problem, tj, tm) = fixtures();
     let mut group = c.benchmark_group("one_step");
     group.sample_size(10);
-    group.bench_function("abbe_mo", |b| {
-        b.iter(|| {
-            run_abbe_mo(
-                &problem,
-                &tj,
-                &tm,
-                MoConfig {
-                    steps: 1,
-                    ..MoConfig::default()
-                },
-            )
-            .unwrap()
-        });
-    });
-    for (name, method) in [
-        ("bismo_fd", HypergradMethod::FiniteDiff),
-        ("bismo_nmn_k5", HypergradMethod::Neumann { k: 5 }),
-        ("bismo_cg_k5", HypergradMethod::ConjGrad { k: 5 }),
+    // One-step budgets for every family, driven through the registry.
+    let mut cfg = SolverConfig::default();
+    cfg.mo.steps = 1;
+    cfg.bismo.outer_steps = 1;
+    cfg.am.rounds = 1;
+    cfg.am.so_steps = 1;
+    cfg.am.mo_steps = 1;
+    let run_once = |name: &str| {
+        let mut session = SolverRegistry::builtin()
+            .session_with_init(name, &problem, &cfg, tj.clone(), tm.clone())
+            .expect("registry session");
+        session.run().expect("solver run");
+        session.into_outcome()
+    };
+    for (label, method) in [
+        ("abbe_mo", "Abbe-MO"),
+        ("bismo_fd", "BiSMO-FD"),
+        ("bismo_nmn_k5", "BiSMO-NMN"),
+        ("bismo_cg_k5", "BiSMO-CG"),
+        ("am_smo_round", "AM(A~A)"),
     ] {
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                run_bismo(
-                    &problem,
-                    &tj,
-                    &tm,
-                    BismoConfig {
-                        outer_steps: 1,
-                        method,
-                        ..BismoConfig::default()
-                    },
-                )
-                .unwrap()
-            });
+        group.bench_function(label, |b| {
+            b.iter(|| run_once(method));
         });
     }
-    group.bench_function("am_smo_round", |b| {
-        b.iter(|| {
-            run_am_smo(
-                &problem,
-                &tj,
-                &tm,
-                AmSmoConfig {
-                    rounds: 1,
-                    so_steps: 1,
-                    mo_steps: 1,
-                    ..AmSmoConfig::default()
-                },
-            )
-            .unwrap()
-        });
-    });
     group.finish();
 }
 

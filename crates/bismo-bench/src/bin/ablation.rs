@@ -9,11 +9,22 @@
 //! columns are wall time as experienced under that contention — for
 //! uncontended per-method cost comparisons, run with `BISMO_JOBS=1` (the
 //! binary prints a reminder when the pool is wider).
+//!
+//! The K/T/activation cells run through the solver registry — each cell is
+//! just a `SolverConfig` edit plus a method name, which is the point of the
+//! registry API.
 
 use bismo_bench::{format_table, par_map, Harness, RunnerOptions, Scale, Suite, SuiteKind};
-use bismo_core::{run_bismo, BismoConfig, HypergradMethod, SmoProblem};
+use bismo_core::{SmoOutcome, SmoProblem, SolverConfig, SolverRegistry};
 use bismo_litho::HopkinsImager;
 use bismo_optics::RealField;
+
+/// Runs one registry method on `problem` under `cfg` to completion.
+fn run(problem: &SmoProblem, name: &str, cfg: &SolverConfig) -> SmoOutcome {
+    SolverRegistry::builtin()
+        .run(name, problem, cfg)
+        .expect("solver run")
+}
 
 fn main() {
     let h = Harness::new(Scale::from_env());
@@ -35,6 +46,11 @@ fn main() {
         .expect("problem setup");
     let tj = problem.init_theta_j(h.template());
     let tm = problem.init_theta_m();
+    let mut base = SolverConfig {
+        stop: None,
+        ..SolverConfig::default()
+    };
+    base.bismo.outer_steps = outer;
 
     // K sweep for NMN and CG: one parallel cell per (K, hypergradient).
     println!("\nAblation A: Neumann/CG term count K (outer steps = {outer}, {jobs} jobs)\n");
@@ -49,28 +65,14 @@ fn main() {
     .map(|s| s.to_string())
     .collect();
     let ks = [0usize, 1, 3, 5];
-    let cells: Vec<HypergradMethod> = ks
+    let cells: Vec<(&str, usize)> = ks
         .iter()
-        .flat_map(|&k| {
-            [
-                HypergradMethod::Neumann { k },
-                HypergradMethod::ConjGrad { k: k.max(1) },
-            ]
-        })
+        .flat_map(|&k| [("BiSMO-NMN", k), ("BiSMO-CG", k.max(1))])
         .collect();
-    let outcomes = par_map(jobs, &cells, |_, &method| {
-        run_bismo(
-            &problem,
-            &tj,
-            &tm,
-            BismoConfig {
-                outer_steps: outer,
-                method,
-                stop: None,
-                ..BismoConfig::default()
-            },
-        )
-        .expect("bismo run")
+    let outcomes = par_map(jobs, &cells, |_, &(name, k)| {
+        let mut cfg = base.clone();
+        cfg.bismo.k = k;
+        run(&problem, name, &cfg)
     });
     let rows: Vec<Vec<String>> = ks
         .iter()
@@ -95,19 +97,9 @@ fn main() {
         .collect();
     let ts = [1usize, 2, 3, 5];
     let outcomes = par_map(jobs, &ts, |_, &t| {
-        run_bismo(
-            &problem,
-            &tj,
-            &tm,
-            BismoConfig {
-                outer_steps: outer,
-                unroll_t: t,
-                method: HypergradMethod::Neumann { k: 5 },
-                stop: None,
-                ..BismoConfig::default()
-            },
-        )
-        .expect("bismo run")
+        let mut cfg = base.clone();
+        cfg.bismo.unroll_t = t;
+        run(&problem, "BiSMO-NMN", &cfg)
     });
     let rows: Vec<Vec<String>> = ts
         .iter()
@@ -169,20 +161,7 @@ fn main() {
         }
         let p = SmoProblem::with_core(problem.abbe().core().clone(), settings, clip.target.clone())
             .expect("problem setup");
-        let tj0 = p.init_theta_j(h.template());
-        let tm0 = p.init_theta_m();
-        let out = run_bismo(
-            &p,
-            &tj0,
-            &tm0,
-            BismoConfig {
-                outer_steps: outer,
-                method: HypergradMethod::FiniteDiff,
-                stop: None,
-                ..BismoConfig::default()
-            },
-        )
-        .expect("bismo run");
+        let out = run(&p, "BiSMO-FD", &base);
         vec![
             name.to_string(),
             format!("{:.4}", out.trace.final_loss().unwrap()),

@@ -1,14 +1,11 @@
 //! Regenerates **Figure 3** (log-scaled loss convergence of MO methods vs
 //! SMO methods): writes one CSV per case to `bench_results/fig3_<case>.csv`
 //! with a `log10(L_smo)` series per method, using the paper's 0.01 learning
-//! rate.
+//! rate. Every method runs through the solver registry; the per-case
+//! budgets are plain `SolverConfig` edits.
 
 use bismo_bench::{out_dir, Harness, Scale, SuiteKind};
-use bismo_core::{
-    run_abbe_mo, run_am_smo, run_bismo, run_milt_proxy, AmSmoConfig, BismoConfig, ConvergenceTrace,
-    HypergradMethod, MoConfig, MoModel, SmoProblem,
-};
-use bismo_opt::OptimizerKind;
+use bismo_core::{ConvergenceTrace, SmoProblem, SolverConfig, SolverRegistry};
 
 fn main() {
     let h = Harness::new(Scale::from_env());
@@ -18,6 +15,23 @@ fn main() {
     };
     let lr = 0.01; // Figure 3 caption: "with a 0.01 learning rate".
 
+    // One shared config: fixed budgets (no early stopping — the figure
+    // wants full curves), the caption's learning rate everywhere, and the
+    // §4 ratio ξ_J = 10·ξ_M for the BiSMO inner loop.
+    let mut cfg = SolverConfig {
+        lr,
+        stop: None,
+        ..SolverConfig::default()
+    };
+    cfg.mo.steps = steps;
+    cfg.am.rounds = (steps / 20).max(1);
+    cfg.am.so_steps = 10;
+    cfg.am.mo_steps = 10;
+    cfg.am.phase_stop = None;
+    cfg.bismo.outer_steps = steps;
+    cfg.bismo.xi_j = lr * 10.0;
+    cfg.bismo.xi_m = lr;
+
     // Paper cases: ICCAD test5, ICCAD test7, ICCAD-L test17, ISPD test62 —
     // we take one clip per suite plus a second ICCAD13 clip.
     let cases: Vec<(String, SuiteKind, usize)> = vec![
@@ -26,6 +40,14 @@ fn main() {
         ("iccadl".into(), SuiteKind::IccadL, 0),
         ("ispd".into(), SuiteKind::Ispd19, 0),
     ];
+    let methods = [
+        ("DAC23", "DAC23-MILT"),
+        ("Abbe-MO", "Abbe-MO"),
+        ("AM-SMO", "AM(A~A)"),
+        ("BiSMO-FD", "BiSMO-FD"),
+        ("BiSMO-CG", "BiSMO-CG"),
+        ("BiSMO-NMN", "BiSMO-NMN"),
+    ];
 
     for (label, kind, clip_idx) in cases {
         let suite = bismo_bench::Suite::generate(kind, &h.optical, clip_idx + 1);
@@ -33,78 +55,13 @@ fn main() {
         eprintln!("fig3 case {label}: {}", clip.name);
         let problem = SmoProblem::new(h.optical.clone(), h.settings.clone(), clip.target.clone())
             .expect("problem setup");
-        let tj = problem.init_theta_j(h.template());
-        let tm = problem.init_theta_m();
-        let template = problem.source(&tj);
 
         let mut series: Vec<(&str, ConvergenceTrace)> = Vec::new();
-        let mo_cfg = MoConfig {
-            steps,
-            lr,
-            kind: OptimizerKind::Adam,
-            stop: None,
-        };
-        series.push((
-            "DAC23",
-            run_milt_proxy(
-                problem.abbe().core(),
-                &h.settings,
-                &clip.target,
-                &template,
-                mo_cfg,
-            )
-            .expect("milt")
-            .trace,
-        ));
-        series.push((
-            "Abbe-MO",
-            run_abbe_mo(&problem, &tj, &tm, mo_cfg)
-                .expect("abbe-mo")
-                .trace,
-        ));
-        series.push((
-            "AM-SMO",
-            run_am_smo(
-                &problem,
-                &tj,
-                &tm,
-                AmSmoConfig {
-                    rounds: (steps / 20).max(1),
-                    so_steps: 10,
-                    mo_steps: 10,
-                    lr,
-                    kind: OptimizerKind::Adam,
-                    mo_model: MoModel::Abbe,
-                    stop: None,
-                    phase_stop: None,
-                },
-            )
-            .expect("am-smo")
-            .trace,
-        ));
-        for (name, method) in [
-            ("BiSMO-FD", HypergradMethod::FiniteDiff),
-            ("BiSMO-CG", HypergradMethod::ConjGrad { k: 5 }),
-            ("BiSMO-NMN", HypergradMethod::Neumann { k: 5 }),
-        ] {
-            series.push((
-                name,
-                run_bismo(
-                    &problem,
-                    &tj,
-                    &tm,
-                    BismoConfig {
-                        outer_steps: steps,
-                        xi_j: lr * 10.0, // inner loop keeps the §4 ratio ξ_J = ξ
-                        xi_m: lr,
-                        method,
-                        stop: None,
-                        ..BismoConfig::default()
-                    },
-                )
-                .expect(name)
-                .trace,
-            ));
+        for (column, solver_name) in methods {
+            let out = SolverRegistry::builtin()
+                .run(solver_name, &problem, &cfg)
+                .expect(solver_name);
+            series.push((column, out.trace));
         }
 
         // CSV: step, then one log10-loss column per method (blank when a

@@ -1,9 +1,9 @@
 //! Regenerates **Figure 4** (result samples): optimizes one ICCAD13-style
-//! and one ISPD19-style clip with BiSMO-NMN and writes source / mask /
-//! resist / target PGM panels to `bench_results/`.
+//! and one ISPD19-style clip with BiSMO-NMN (via the solver registry) and
+//! writes source / mask / resist / target PGM panels to `bench_results/`.
 
 use bismo_bench::{out_dir, Harness, Scale, Suite, SuiteKind};
-use bismo_core::{run_bismo, BismoConfig, HypergradMethod, SmoProblem};
+use bismo_core::{SmoProblem, SolverRegistry};
 use bismo_layout::{upsample, write_pgm};
 use bismo_optics::RealField;
 
@@ -14,26 +14,17 @@ fn main() {
         Scale::Default => 25,
         Scale::Paper => 40,
     };
+    let mut cfg = h.solver.clone();
+    cfg.bismo.outer_steps = outer;
     for kind in [SuiteKind::Iccad13, SuiteKind::Ispd19] {
         let suite = Suite::generate(kind, &h.optical, 1);
         let clip = &suite.clips()[0];
         eprintln!("fig4: optimizing {}", clip.name);
         let problem = SmoProblem::new(h.optical.clone(), h.settings.clone(), clip.target.clone())
             .expect("problem setup");
-        let tj0 = problem.init_theta_j(h.template());
-        let tm0 = problem.init_theta_m();
-        let out = run_bismo(
-            &problem,
-            &tj0,
-            &tm0,
-            BismoConfig {
-                outer_steps: outer,
-                method: HypergradMethod::Neumann { k: 5 },
-                stop: h.stop,
-                ..BismoConfig::default()
-            },
-        )
-        .expect("bismo run");
+        let out = SolverRegistry::builtin()
+            .run("BiSMO-NMN", &problem, &cfg)
+            .expect("bismo run");
 
         let tag = kind.name().to_lowercase().replace('-', "");
         let dir = out_dir();

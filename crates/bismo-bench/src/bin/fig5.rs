@@ -1,9 +1,10 @@
 //! Regenerates **Figure 5** (mean and standard deviation of `L_smo` across
 //! clips for the three BiSMO variants on ICCAD13 and ICCAD-L): writes
-//! `bench_results/fig5_<suite>.csv` with mean/std columns per variant.
+//! `bench_results/fig5_<suite>.csv` with mean/std columns per variant. The
+//! variants are the three `BiSMO-*` registry entries.
 
 use bismo_bench::{mean, out_dir, std_dev, Harness, Scale, Suite, SuiteKind};
-use bismo_core::{run_bismo, BismoConfig, HypergradMethod, SmoProblem};
+use bismo_core::{SmoProblem, SolverRegistry};
 
 fn main() {
     let h = Harness::new(Scale::from_env());
@@ -12,11 +13,10 @@ fn main() {
         Scale::Default => (25, 4),
         Scale::Paper => (60, 10),
     };
-    let variants = [
-        ("BiSMO-FD", HypergradMethod::FiniteDiff),
-        ("BiSMO-CG", HypergradMethod::ConjGrad { k: 5 }),
-        ("BiSMO-NMN", HypergradMethod::Neumann { k: 5 }),
-    ];
+    let mut cfg = h.solver.clone();
+    cfg.stop = None; // full fixed-length curves for the mean/STD bands
+    cfg.bismo.outer_steps = outer;
+    let variants = ["BiSMO-FD", "BiSMO-CG", "BiSMO-NMN"];
 
     for kind in [SuiteKind::Iccad13, SuiteKind::IccadL] {
         let suite = Suite::generate(kind, &h.optical, clips);
@@ -26,28 +26,17 @@ fn main() {
             let problem =
                 SmoProblem::new(h.optical.clone(), h.settings.clone(), clip.target.clone())
                     .expect("problem setup");
-            let tj = problem.init_theta_j(h.template());
-            let tm = problem.init_theta_m();
-            for (vi, (name, method)) in variants.iter().enumerate() {
+            for (vi, name) in variants.iter().enumerate() {
                 eprintln!("fig5 [{}] {} on {}", kind.name(), name, clip.name);
-                let out = run_bismo(
-                    &problem,
-                    &tj,
-                    &tm,
-                    BismoConfig {
-                        outer_steps: outer,
-                        method: *method,
-                        stop: None,
-                        ..BismoConfig::default()
-                    },
-                )
-                .expect(name);
+                let out = SolverRegistry::builtin()
+                    .run(name, &problem, &cfg)
+                    .expect(name);
                 losses[vi].push(out.trace.records().iter().map(|r| r.loss).collect());
             }
         }
 
         let mut csv = String::from("step");
-        for (name, _) in &variants {
+        for name in &variants {
             csv.push_str(&format!(",{name}_mean,{name}_std"));
         }
         csv.push('\n');

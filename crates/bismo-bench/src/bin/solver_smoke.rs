@@ -1,0 +1,55 @@
+//! Registry smoke: enumerates every solver in the [`SolverRegistry`] and
+//! runs **one session step per method** on a quick clip. A method that
+//! compiles but panics on construction — or whose lazily-built state (TCC,
+//! optimizers) blows up at the first step — fails this binary, and CI runs
+//! it at `BISMO_SCALE=quick` on every push.
+
+use bismo_bench::{Clip, Harness, Scale};
+use bismo_core::{Session, SessionStatus, SmoProblem, SolverRegistry};
+
+fn main() {
+    let h = Harness::new(Scale::from_env());
+    let clip = Clip::simple_rect(&h.optical);
+    let problem = SmoProblem::new(h.optical.clone(), h.settings.clone(), clip.target.clone())
+        .expect("problem setup");
+    let registry = SolverRegistry::builtin();
+    let dim = h.optical.mask_dim();
+    println!(
+        "solver registry smoke: {} methods on {} ({dim}×{dim} mask)",
+        registry.specs().len(),
+        clip.name,
+    );
+    for spec in registry.specs() {
+        let solver = spec.create(&problem, &h.solver);
+        assert_eq!(solver.name(), spec.name(), "ctor/name mismatch");
+        let mut session = Session::new(&problem, solver)
+            .unwrap_or_else(|e| panic!("session for {:?}: {e}", spec.name()));
+        let status = session
+            .step()
+            .unwrap_or_else(|e| panic!("first step of {:?}: {e}", spec.name()));
+        let first_loss = session
+            .trace()
+            .records()
+            .first()
+            .map(|r| r.loss)
+            .unwrap_or(f64::NAN);
+        assert!(
+            status == SessionStatus::Running || !session.trace().is_empty(),
+            "{:?} finished without recording anything",
+            spec.name()
+        );
+        assert!(
+            first_loss.is_finite(),
+            "{:?} recorded a non-finite first loss",
+            spec.name()
+        );
+        println!(
+            "  {:<10} first-step loss {:>12.6} ({:?}) — {}",
+            spec.name(),
+            first_loss,
+            status,
+            spec.summary()
+        );
+    }
+    println!("all methods stepped cleanly");
+}

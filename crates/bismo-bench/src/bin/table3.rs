@@ -72,19 +72,19 @@ fn main() {
     let claims = [
         (
             "Abbe-MO vs DAC23-MILT L2 reduction (paper ~25%)",
-            1.0 - avg_l2[idx(Method::AbbeMo)] / avg_l2[idx(Method::Milt)].max(1e-9),
+            1.0 - avg_l2[idx(Method::ABBE_MO)] / avg_l2[idx(Method::MILT)].max(1e-9),
         ),
         (
             "BiSMO-NMN vs AM(A~A) L2 reduction (paper ~41%)",
-            1.0 - avg_l2[idx(Method::BismoNmn)] / avg_l2[idx(Method::AmAbbe)].max(1e-9),
+            1.0 - avg_l2[idx(Method::BISMO_NMN)] / avg_l2[idx(Method::AM_ABBE)].max(1e-9),
         ),
         (
             "BiSMO-NMN vs AM(A~A) PVB reduction (paper ~46%)",
-            1.0 - avg_pvb[idx(Method::BismoNmn)] / avg_pvb[idx(Method::AmAbbe)].max(1e-9),
+            1.0 - avg_pvb[idx(Method::BISMO_NMN)] / avg_pvb[idx(Method::AM_ABBE)].max(1e-9),
         ),
         (
             "BiSMO-NMN vs DAC23-MILT L2 reduction (paper ~50%)",
-            1.0 - avg_l2[idx(Method::BismoNmn)] / avg_l2[idx(Method::Milt)].max(1e-9),
+            1.0 - avg_l2[idx(Method::BISMO_NMN)] / avg_l2[idx(Method::MILT)].max(1e-9),
         ),
     ];
     println!("Headline reductions (measured):");

@@ -19,12 +19,10 @@
 #![warn(missing_docs)]
 
 use bismo_core::{
-    measure, run_abbe_mo, run_am_smo, run_bismo, run_milt_proxy, run_nilt_proxy, AmSmoConfig,
-    BismoConfig, ConvergenceTrace, EpeSpec, HypergradMethod, MetricSet, MoConfig, MoModel,
-    SmoProblem, SmoSettings, StopRule,
+    measure, ConvergenceTrace, EpeSpec, MetricSet, SmoProblem, SmoSettings, SolverConfig,
+    SolverRegistry, StopRule,
 };
 use bismo_litho::{AbbeImager, LithoError};
-use bismo_opt::OptimizerKind;
 use bismo_optics::{OpticalConfig, SourceShape};
 
 mod runner;
@@ -89,7 +87,8 @@ impl Scale {
 }
 
 /// Everything a harness binary needs: optical config, objective settings,
-/// per-suite clip counts and per-method budgets.
+/// per-suite clip counts and the layered solver configuration every method
+/// runs under.
 #[derive(Debug, Clone)]
 pub struct Harness {
     /// Optical configuration at the chosen scale.
@@ -98,16 +97,9 @@ pub struct Harness {
     pub settings: SmoSettings,
     /// Clips evaluated per suite.
     pub clips_per_suite: usize,
-    /// Budget for mask-only baselines.
-    pub mo_steps: usize,
-    /// AM-SMO rounds and per-phase steps.
-    pub am_rounds: usize,
-    /// AM-SMO SO/MO steps per round.
-    pub am_phase_steps: usize,
-    /// BiSMO outer-step budget.
-    pub bismo_outer: usize,
-    /// Shared early-stopping rule (`None` for fixed budgets).
-    pub stop: Option<StopRule>,
+    /// Per-method budgets and shared knobs, fed to the solver registry
+    /// (env-overridable: `BISMO_HYPERGRAD_K`, `BISMO_OPTIMIZER`).
+    pub solver: SolverConfig,
     /// EPE measurement parameters.
     pub epe: EpeSpec,
 }
@@ -118,7 +110,8 @@ impl Harness {
     /// # Panics
     ///
     /// Panics if the preset's optical configuration fails validation (a
-    /// build-time bug, not a runtime condition).
+    /// build-time bug, not a runtime condition), or on an invalid solver
+    /// env override (see [`SolverConfig::from_env`]).
     pub fn new(scale: Scale) -> Harness {
         let (mask_dim, pixel_nm, source_dim, clips, mo_steps, am_rounds, am_phase, outer) =
             match scale {
@@ -137,15 +130,22 @@ impl Harness {
             stride_px: 4,
             search_px: 8,
         };
+        let mut solver = SolverConfig::from_env();
+        solver.stop = Some(StopRule::harness_default());
+        solver.mo.steps = mo_steps;
+        solver.am.rounds = am_rounds;
+        solver.am.so_steps = am_phase;
+        solver.am.mo_steps = am_phase;
+        solver.am.phase_stop = Some(StopRule {
+            window: 4,
+            rel_tol: 1e-3,
+        });
+        solver.bismo.outer_steps = outer;
         Harness {
             optical,
             settings: SmoSettings::default(),
             clips_per_suite: clips,
-            mo_steps,
-            am_rounds,
-            am_phase_steps: am_phase,
-            bismo_outer: outer,
-            stop: Some(StopRule::harness_default()),
+            solver,
             epe,
         }
     }
@@ -164,64 +164,59 @@ impl Harness {
     }
 }
 
-/// The eight method columns of Table 3 / Table 4.
+/// One method column of Table 3 / Table 4 — a thin, copyable handle onto a
+/// [`SolverRegistry`] entry. The roster is **derived from the registry**
+/// ([`Method::all`]), so a method added there lands in every sweep without
+/// touching this crate; the named constants below are convenience handles
+/// for the paper's eight columns (each verified against the registry by
+/// test).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Method {
-    /// NILT [7] proxy (Hopkins, coarse Q, no PVB).
-    Nilt,
-    /// DAC23-MILT [10] proxy (Hopkins, Q = 24, PVB, two-level schedule).
-    Milt,
-    /// Our Abbe-model mask-only optimization.
-    AbbeMo,
-    /// AM-SMO with Abbe SO + Hopkins MO [13].
-    AmHybrid,
-    /// AM-SMO with Abbe for both phases [12].
-    AmAbbe,
-    /// BiSMO with the finite-difference hypergradient.
-    BismoFd,
-    /// BiSMO with the conjugate-gradient hypergradient.
-    BismoCg,
-    /// BiSMO with the Neumann-series hypergradient.
-    BismoNmn,
-}
+pub struct Method(&'static str);
 
 impl Method {
-    /// All methods in the paper's column order.
-    pub fn all() -> [Method; 8] {
-        [
-            Method::Nilt,
-            Method::Milt,
-            Method::AbbeMo,
-            Method::AmHybrid,
-            Method::AmAbbe,
-            Method::BismoFd,
-            Method::BismoCg,
-            Method::BismoNmn,
-        ]
+    /// NILT [7] proxy (Hopkins, coarse Q, no PVB).
+    pub const NILT: Method = Method("NILT");
+    /// DAC23-MILT [10] proxy (Hopkins, Q = 24, PVB, two-level schedule).
+    pub const MILT: Method = Method("DAC23-MILT");
+    /// Our Abbe-model mask-only optimization.
+    pub const ABBE_MO: Method = Method("Abbe-MO");
+    /// AM-SMO with Abbe SO + Hopkins MO [13].
+    pub const AM_HYBRID: Method = Method("AM(A~H)");
+    /// AM-SMO with Abbe for both phases [12].
+    pub const AM_ABBE: Method = Method("AM(A~A)");
+    /// BiSMO with the finite-difference hypergradient.
+    pub const BISMO_FD: Method = Method("BiSMO-FD");
+    /// BiSMO with the conjugate-gradient hypergradient.
+    pub const BISMO_CG: Method = Method("BiSMO-CG");
+    /// BiSMO with the Neumann-series hypergradient.
+    pub const BISMO_NMN: Method = Method("BiSMO-NMN");
+
+    /// All registered methods in the registry's (= the paper's) column
+    /// order. Registry-derived, so the roster can never silently drop an
+    /// entry the way a hand-maintained fixed-arity array could.
+    pub fn all() -> Vec<Method> {
+        SolverRegistry::builtin().names().map(Method).collect()
     }
 
-    /// Column label matching the paper.
+    /// Column label matching the paper (the registry key).
     pub fn name(&self) -> &'static str {
-        match self {
-            Method::Nilt => "NILT",
-            Method::Milt => "DAC23-MILT",
-            Method::AbbeMo => "Abbe-MO",
-            Method::AmHybrid => "AM(A~H)",
-            Method::AmAbbe => "AM(A~A)",
-            Method::BismoFd => "BiSMO-FD",
-            Method::BismoCg => "BiSMO-CG",
-            Method::BismoNmn => "BiSMO-NMN",
-        }
+        self.0
     }
 
     /// Whether this method optimizes the source at all.
     pub fn optimizes_source(&self) -> bool {
-        !matches!(self, Method::Nilt | Method::Milt | Method::AbbeMo)
+        SolverRegistry::builtin()
+            .get(self.0)
+            .map(|spec| spec.optimizes_source())
+            .unwrap_or(false)
     }
 
-    /// Inverse of [`Method::name`], used when reloading journaled records.
+    /// Inverse of [`Method::name`] (case-insensitive, returning the
+    /// canonical handle), used when reloading journaled records.
     pub fn from_name(name: &str) -> Option<Method> {
-        Method::all().into_iter().find(|m| m.name() == name)
+        SolverRegistry::builtin()
+            .get(name)
+            .map(|spec| Method(spec.name()))
     }
 }
 
@@ -252,15 +247,25 @@ pub fn run_method(h: &Harness, method: Method, clip: &Clip) -> Result<RunResult,
 /// §2.2 metrics (always with the Abbe engine, so Hopkins-based methods are
 /// scored on the ground-truth imaging model).
 ///
+/// Dispatch is one registry lookup: the method name selects the solver, the
+/// harness's [`SolverConfig`] carries every budget, and the session applies
+/// the Table 1 initialization (θ_M from the clip target, θ_J from the
+/// configuration's annular template — exactly [`Harness::template`]).
+///
 /// Cloning `engine` shares its immutable [`bismo_optics::ImagingCore`]
 /// (pupil, shifted-pupil table, FFT plan) and its warm workspace pool, so
 /// the per-cell construction cost is just the resist model and a target
 /// copy; Hopkins-based methods additionally reuse the core's table for
-/// their TCC builds.
+/// their TCC builds (lazily, at their first session step).
 ///
 /// # Errors
 ///
 /// Propagates imaging failures.
+///
+/// # Panics
+///
+/// Panics if `method` no longer resolves in the registry — a harness bug
+/// (methods come from [`Method::all`]), not a run outcome.
 pub fn run_method_with_engine(
     h: &Harness,
     engine: &AbbeImager,
@@ -269,92 +274,16 @@ pub fn run_method_with_engine(
 ) -> Result<RunResult, LithoError> {
     let problem =
         SmoProblem::from_backend(engine.clone(), h.settings.clone(), clip.target.clone())?;
-    let theta_j0 = problem.init_theta_j(h.template());
-    let theta_m0 = problem.init_theta_m();
-    let template_source = problem.source(&theta_j0);
-
-    let mo_cfg = MoConfig {
-        steps: h.mo_steps,
-        lr: 0.1,
-        kind: OptimizerKind::Adam,
-        stop: h.stop,
-    };
-    let (theta_j, theta_m, trace, wall_s) = match method {
-        Method::Nilt => {
-            let out = run_nilt_proxy(
-                problem.abbe().core(),
-                &h.settings,
-                &clip.target,
-                &template_source,
-                mo_cfg,
-            )?;
-            (theta_j0.clone(), out.theta_m, out.trace, out.wall_s)
-        }
-        Method::Milt => {
-            let out = run_milt_proxy(
-                problem.abbe().core(),
-                &h.settings,
-                &clip.target,
-                &template_source,
-                mo_cfg,
-            )?;
-            (theta_j0.clone(), out.theta_m, out.trace, out.wall_s)
-        }
-        Method::AbbeMo => {
-            let out = run_abbe_mo(&problem, &theta_j0, &theta_m0, mo_cfg)?;
-            (theta_j0.clone(), out.theta_m, out.trace, out.wall_s)
-        }
-        Method::AmHybrid | Method::AmAbbe => {
-            let mo_model = if method == Method::AmHybrid {
-                MoModel::Hopkins { q: 24 }
-            } else {
-                MoModel::Abbe
-            };
-            let out = run_am_smo(
-                &problem,
-                &theta_j0,
-                &theta_m0,
-                AmSmoConfig {
-                    rounds: h.am_rounds,
-                    so_steps: h.am_phase_steps,
-                    mo_steps: h.am_phase_steps,
-                    lr: 0.1,
-                    kind: OptimizerKind::Adam,
-                    mo_model,
-                    stop: h.stop,
-                    phase_stop: Some(StopRule {
-                        window: 4,
-                        rel_tol: 1e-3,
-                    }),
-                },
-            )?;
-            (out.theta_j, out.theta_m, out.trace, out.wall_s)
-        }
-        Method::BismoFd | Method::BismoCg | Method::BismoNmn => {
-            let hg = match method {
-                Method::BismoFd => HypergradMethod::FiniteDiff,
-                Method::BismoCg => HypergradMethod::ConjGrad { k: 5 },
-                _ => HypergradMethod::Neumann { k: 5 },
-            };
-            let out = run_bismo(
-                &problem,
-                &theta_j0,
-                &theta_m0,
-                BismoConfig {
-                    outer_steps: h.bismo_outer,
-                    method: hg,
-                    stop: h.stop,
-                    ..BismoConfig::default()
-                },
-            )?;
-            (out.theta_j, out.theta_m, out.trace, out.wall_s)
-        }
-    };
-    let metrics = measure(&problem, &theta_j, &theta_m, h.epe)?;
+    let mut session = SolverRegistry::builtin()
+        .session(method.name(), &problem, &h.solver)
+        .unwrap_or_else(|e| panic!("constructing solver {:?}: {e}", method.name()));
+    session.run()?;
+    let out = session.into_outcome();
+    let metrics = measure(&problem, &out.theta_j, &out.theta_m, h.epe)?;
     Ok(RunResult {
         metrics,
-        wall_s,
-        trace,
+        wall_s: out.wall_s,
+        trace: out.trace,
     })
 }
 
@@ -464,12 +393,33 @@ mod tests {
         let names: Vec<&str> = Method::all().iter().map(|m| m.name()).collect();
         assert_eq!(names.len(), 8);
         assert!(names.contains(&"BiSMO-NMN"));
-        assert!(!Method::AbbeMo.optimizes_source());
-        assert!(Method::BismoFd.optimizes_source());
+        assert!(!Method::ABBE_MO.optimizes_source());
+        assert!(Method::BISMO_FD.optimizes_source());
         for m in Method::all() {
             assert_eq!(Method::from_name(m.name()), Some(m));
         }
         assert_eq!(Method::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn method_constants_resolve_in_the_registry() {
+        // The named handles are conveniences; the registry is the roster.
+        let consts = [
+            Method::NILT,
+            Method::MILT,
+            Method::ABBE_MO,
+            Method::AM_HYBRID,
+            Method::AM_ABBE,
+            Method::BISMO_FD,
+            Method::BISMO_CG,
+            Method::BISMO_NMN,
+        ];
+        assert_eq!(Method::all(), consts.to_vec());
+        for m in consts {
+            assert_eq!(Method::from_name(m.name()), Some(m), "{:?}", m.name());
+        }
+        // Journal resume tolerates case drift but returns the canonical name.
+        assert_eq!(Method::from_name("bismo-nmn"), Some(Method::BISMO_NMN));
     }
 
     #[test]
@@ -519,7 +469,7 @@ mod tests {
     fn quick_scale_method_runs_end_to_end() {
         let h = Harness::new(Scale::Quick);
         let clip = Clip::simple_rect(&h.optical);
-        let r = run_method(&h, Method::BismoFd, &clip).unwrap();
+        let r = run_method(&h, Method::BISMO_FD, &clip).unwrap();
         assert!(r.metrics.l2_nm2.is_finite());
         assert!(!r.trace.is_empty());
     }

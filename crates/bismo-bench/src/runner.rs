@@ -302,7 +302,7 @@ impl SuiteSweep {
             .collect();
         SuiteSweep {
             harness: h.clone(),
-            methods: Method::all().to_vec(),
+            methods: Method::all(),
             suites,
         }
     }
@@ -889,7 +889,7 @@ mod tests {
         let rec = ItemRecord {
             item: WorkItem {
                 suite: SuiteKind::IccadL,
-                method: Method::BismoCg,
+                method: Method::BISMO_CG,
                 clip_index: 7,
             },
             clip_name: "ICCAD-L/test8 \"quoted\" \\slash".into(),
@@ -942,7 +942,7 @@ mod tests {
         let rec = ItemRecord {
             item: WorkItem {
                 suite: SuiteKind::Iccad13,
-                method: Method::Nilt,
+                method: Method::NILT,
                 clip_index: 0,
             },
             clip_name: "ICCAD13/test1".into(),

@@ -12,10 +12,11 @@ use bismo_bench::{
 /// enough to produce nonzero metrics, small enough for test time.
 fn tiny_harness() -> Harness {
     let mut h = Harness::new(Scale::Quick);
-    h.mo_steps = 2;
-    h.am_rounds = 1;
-    h.am_phase_steps = 2;
-    h.bismo_outer = 2;
+    h.solver.mo.steps = 2;
+    h.solver.am.rounds = 1;
+    h.solver.am.so_steps = 2;
+    h.solver.am.mo_steps = 2;
+    h.solver.bismo.outer_steps = 2;
     h
 }
 
@@ -35,7 +36,7 @@ fn one_worker_and_many_workers_agree_bit_for_bit() {
     let h = tiny_harness();
     let sweep = SuiteSweep::new(&h)
         .with_suites(&[SuiteKind::Iccad13])
-        .with_methods(&[Method::Nilt, Method::AbbeMo, Method::BismoFd]);
+        .with_methods(&[Method::NILT, Method::ABBE_MO, Method::BISMO_FD]);
     let opts = RunnerOptions::default().without_journal();
     let seq = sweep.run(&opts.clone().with_jobs(1));
     let par = sweep.run(&opts.with_jobs(4));
@@ -59,7 +60,7 @@ fn one_worker_and_many_workers_agree_bit_for_bit() {
 #[test]
 fn failing_item_is_recorded_and_sweep_completes() {
     let h = tiny_harness();
-    let methods = [Method::Nilt, Method::AbbeMo];
+    let methods = [Method::NILT, Method::ABBE_MO];
     let sweep = SuiteSweep::new(&h)
         .with_suites(&[SuiteKind::Iccad13])
         .with_methods(&methods)
@@ -91,7 +92,7 @@ fn failing_item_is_recorded_and_sweep_completes() {
     empty.clips_per_suite = 0;
     let all_failed = SuiteSweep::new(&empty)
         .with_suites(&[SuiteKind::Iccad13])
-        .with_methods(&[Method::Nilt])
+        .with_methods(&[Method::NILT])
         .with_injected_failure()
         .run(&RunnerOptions::default().with_jobs(1).without_journal());
     assert_eq!(all_failed.failures, 1);
@@ -104,7 +105,7 @@ fn interrupted_sweep_resumes_and_completed_sweep_reruns() {
     let h = tiny_harness();
     let sweep = SuiteSweep::new(&h)
         .with_suites(&[SuiteKind::Iccad13])
-        .with_methods(&[Method::Nilt, Method::Milt]);
+        .with_methods(&[Method::NILT, Method::MILT]);
     let journal: PathBuf = std::env::temp_dir().join(format!(
         "bismo_runner_test_{}_{:?}.jsonl",
         std::process::id(),

@@ -1,5 +1,5 @@
 //! Alternating-minimization SMO (paper Algorithm 1) — the baseline BiSMO is
-//! measured against.
+//! measured against — as the step-based [`AmSolver`].
 //!
 //! AM-SMO alternates between source-only epochs (mask frozen) and mask-only
 //! epochs (source frozen) for a fixed number of rounds. Two flavors are
@@ -11,15 +11,21 @@
 //!   decomposition for the just-updated source and optimizes the mask on
 //!   Hopkins — the repeated TCC build is what makes the hybrid slow
 //!   (paper §4.1 runtime discussion).
-
-use std::time::Instant;
+//!
+//! The solver is an explicit phase machine: one [`Solver::step`] call
+//! performs one inner source *or* mask update (one trace record), with
+//! phase entry/exit, per-phase optimizer resets, the hybrid's TCC rebuild
+//! and the round-boundary stop check happening between records — so a
+//! session can pause anywhere and resume bit-identically.
 
 use bismo_litho::LithoError;
-use bismo_opt::OptimizerKind;
+use bismo_opt::{Optimizer, OptimizerKind};
 use bismo_optics::RealField;
 
 use crate::problem::{GradRequest, HopkinsMoProblem, SmoProblem};
-use crate::trace::{ConvergenceTrace, StepRecord, StopRule};
+use crate::session::Session;
+use crate::solver::{Solver, SolverConfig, SolverState, StepOutcome, StopReason};
+use crate::trace::{ConvergenceTrace, StopRule};
 
 /// Which imaging model the MO phase uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,7 +40,9 @@ pub enum MoModel {
     },
 }
 
-/// Configuration of an AM-SMO run.
+/// Configuration of an AM-SMO run — the legacy input type of the deprecated
+/// [`run_am_smo`] shim; new code sets the shared [`SolverConfig`] knobs and
+/// its [`crate::AmSection`] instead.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AmSmoConfig {
     /// Number of alternating rounds `k`.
@@ -72,7 +80,8 @@ impl Default for AmSmoConfig {
     }
 }
 
-/// Result of an SMO run (shared with the BiSMO drivers).
+/// Result of an SMO run (shared with the BiSMO drivers and produced by
+/// [`Session::into_outcome`]).
 #[derive(Debug, Clone)]
 pub struct SmoOutcome {
     /// Final source parameters.
@@ -85,84 +94,108 @@ pub struct SmoOutcome {
     pub wall_s: f64,
 }
 
-/// Runs Algorithm 1.
-///
-/// The trace records `L_smo` before each update; for hybrid MO phases the
-/// recorded loss is the Hopkins-model surrogate the phase actually descends
-/// (the Abbe loss is recovered at the end of the round), which is what
-/// produces the characteristic zigzag of the paper's Figure 3.
-///
-/// # Errors
-///
-/// Propagates imaging failures.
-pub fn run_am_smo(
-    problem: &SmoProblem,
-    theta_j0: &[f64],
-    theta_m0: &RealField,
-    cfg: AmSmoConfig,
-) -> Result<SmoOutcome, LithoError> {
-    let start = Instant::now();
-    let mut theta_j = theta_j0.to_vec();
-    let mut theta_m = theta_m0.clone();
-    let mut trace = ConvergenceTrace::new();
-    let mut step = 0usize;
-    let mut stopped = false;
+/// Where the AM phase machine stands between two steps.
+enum AmPos {
+    /// About to start the current round's SO epoch (or to finish the run if
+    /// the round budget is spent).
+    RoundStart,
+    /// Inside the SO epoch (mask frozen, Algorithm 1 line 3).
+    So {
+        opt: Box<dyn Optimizer + Send>,
+        taken: usize,
+        phase_start: usize,
+    },
+    /// Inside the MO epoch on the Abbe model (Algorithm 1 line 5).
+    MoAbbe {
+        opt: Box<dyn Optimizer + Send>,
+        taken: usize,
+        phase_start: usize,
+    },
+    /// Inside the MO epoch on a freshly-built Hopkins problem (hybrid).
+    MoHopkins {
+        hopkins: Box<HopkinsMoProblem>,
+        opt: Box<dyn Optimizer + Send>,
+        taken: usize,
+        phase_start: usize,
+    },
+    /// The current round's MO epoch ended; check the round-boundary stop.
+    RoundEnd,
+    /// Terminal.
+    Finished(StopReason),
+}
 
-    'rounds: for _round in 0..cfg.rounds {
-        // SO epoch: mask frozen (Algorithm 1 line 3, "while not converged").
-        let mut opt_j = cfg.kind.build(cfg.lr, theta_j.len());
-        let phase_start = trace.len();
-        for _ in 0..cfg.so_steps {
-            let eval = problem.eval(&theta_j, &theta_m, GradRequest::SOURCE)?;
-            trace.push(StepRecord {
-                step,
-                loss: eval.loss.total,
-                l2: eval.loss.l2,
-                pvb: eval.loss.pvb,
-                elapsed_s: start.elapsed().as_secs_f64(),
-            });
-            step += 1;
-            if cfg
-                .phase_stop
-                .is_some_and(|rule| rule.plateaued(&trace.records()[phase_start..]))
-            {
-                break;
-            }
-            let grad = eval.grad_theta_j.expect("source gradient requested");
-            opt_j.step(&mut theta_j, &grad);
+/// Alternating-minimization SMO (Algorithm 1) as a step-based solver.
+///
+/// For hybrid MO phases the recorded loss is the Hopkins-model surrogate
+/// the phase actually descends (the Abbe loss is recovered at the end of
+/// the round), which is what produces the characteristic zigzag of the
+/// paper's Figure 3. Early stopping is only evaluated at round boundaries:
+/// inside a round the trace zigzags by construction, which would trip a
+/// plateau rule spuriously.
+pub struct AmSolver {
+    rounds: usize,
+    so_steps: usize,
+    mo_steps: usize,
+    lr: f64,
+    kind_j: OptimizerKind,
+    kind_m: OptimizerKind,
+    mo_model: MoModel,
+    stop: Option<StopRule>,
+    phase_stop: Option<StopRule>,
+    round: usize,
+    pos: AmPos,
+}
+
+impl AmSolver {
+    /// Builds the solver from the shared knobs and [`crate::AmSection`] of
+    /// `config`, with the MO phase on `model`.
+    pub fn new(_problem: &SmoProblem, model: MoModel, config: &SolverConfig) -> AmSolver {
+        AmSolver {
+            rounds: config.am.rounds,
+            so_steps: config.am.so_steps,
+            mo_steps: config.am.mo_steps,
+            lr: config.lr,
+            kind_j: config.kind_j,
+            kind_m: config.kind_m,
+            mo_model: model,
+            stop: config.stop,
+            phase_stop: config.am.phase_stop,
+            round: 0,
+            pos: AmPos::RoundStart,
         }
+    }
 
-        // MO epoch: source frozen (Algorithm 1 line 5).
-        match cfg.mo_model {
-            MoModel::Abbe => {
-                let mut opt_m = cfg.kind.build(cfg.lr, theta_m.len());
-                let phase_start = trace.len();
-                for _ in 0..cfg.mo_steps {
-                    let eval = problem.eval(&theta_j, &theta_m, GradRequest::MASK)?;
-                    trace.push(StepRecord {
-                        step,
-                        loss: eval.loss.total,
-                        l2: eval.loss.l2,
-                        pvb: eval.loss.pvb,
-                        elapsed_s: start.elapsed().as_secs_f64(),
-                    });
-                    step += 1;
-                    if cfg
-                        .phase_stop
-                        .is_some_and(|rule| rule.plateaued(&trace.records()[phase_start..]))
-                    {
-                        break;
-                    }
-                    let grad = eval.grad_theta_m.expect("mask gradient requested");
-                    opt_m.step(theta_m.as_mut_slice(), grad.as_slice());
-                }
-            }
+    fn from_legacy(cfg: AmSmoConfig) -> AmSolver {
+        AmSolver {
+            rounds: cfg.rounds,
+            so_steps: cfg.so_steps,
+            mo_steps: cfg.mo_steps,
+            lr: cfg.lr,
+            kind_j: cfg.kind,
+            kind_m: cfg.kind,
+            mo_model: cfg.mo_model,
+            stop: cfg.stop,
+            phase_stop: cfg.phase_stop,
+            round: 0,
+            pos: AmPos::RoundStart,
+        }
+    }
+
+    /// Enters the MO epoch: fresh optimizer, and for the hybrid the
+    /// per-round TCC rebuild against the problem's shared core (only the
+    /// Gram matrix and eigendecomposition are paid per round; the shifted
+    /// pupils come from the core's table).
+    fn mo_entry(&self, problem: &SmoProblem, state: &SolverState) -> Result<AmPos, LithoError> {
+        let opt = self.kind_m.build(self.lr, state.theta_m.len());
+        let phase_start = state.trace.len();
+        Ok(match self.mo_model {
+            MoModel::Abbe => AmPos::MoAbbe {
+                opt,
+                taken: 0,
+                phase_start,
+            },
             MoModel::Hopkins { q } => {
-                // Rebuild the TCC for the current source — the hybrid's
-                // per-round cost. The shifted pupils feeding the build come
-                // from the Abbe problem's shared core, so only the Gram
-                // matrix and eigendecomposition are paid per round.
-                let source = problem.source(&theta_j);
+                let source = problem.source(&state.theta_j);
                 let hopkins = HopkinsMoProblem::with_core(
                     problem.abbe().core(),
                     problem.settings().clone(),
@@ -170,48 +203,179 @@ pub fn run_am_smo(
                     &source,
                     q,
                 )?;
-                let mut opt_m = cfg.kind.build(cfg.lr, theta_m.len());
-                let phase_start = trace.len();
-                for _ in 0..cfg.mo_steps {
-                    let (loss, grad) = hopkins.eval(&theta_m)?;
-                    trace.push(StepRecord {
-                        step,
-                        loss: loss.total,
-                        l2: loss.l2,
-                        pvb: loss.pvb,
-                        elapsed_s: start.elapsed().as_secs_f64(),
-                    });
-                    step += 1;
-                    if cfg
-                        .phase_stop
-                        .is_some_and(|rule| rule.plateaued(&trace.records()[phase_start..]))
-                    {
-                        break;
-                    }
-                    opt_m.step(theta_m.as_mut_slice(), grad.as_slice());
+                AmPos::MoHopkins {
+                    hopkins: Box::new(hopkins),
+                    opt,
+                    taken: 0,
+                    phase_start,
                 }
             }
-        }
-        // Early stopping is only evaluated at round boundaries: inside a
-        // round the trace zigzags by construction (Figure 3), which would
-        // trip a plateau rule spuriously.
-        if cfg.stop.is_some_and(|rule| rule.plateaued(trace.records())) {
-            stopped = true;
-            break 'rounds;
+        })
+    }
+
+    fn phase_plateaued(&self, state: &SolverState, phase_start: usize) -> bool {
+        self.phase_stop
+            .is_some_and(|rule| rule.plateaued(&state.trace.records()[phase_start..]))
+    }
+}
+
+impl Solver for AmSolver {
+    fn name(&self) -> &'static str {
+        match self.mo_model {
+            MoModel::Abbe => "AM(A~A)",
+            MoModel::Hopkins { .. } => "AM(A~H)",
         }
     }
 
-    let _ = stopped;
-    Ok(SmoOutcome {
-        theta_j,
-        theta_m,
-        trace,
-        wall_s: start.elapsed().as_secs_f64(),
-    })
+    fn supports(&self, problem: &SmoProblem) -> bool {
+        use bismo_litho::ImagingBackend as _;
+        problem.backend().supports_grad_source()
+    }
+
+    fn step(
+        &mut self,
+        problem: &SmoProblem,
+        state: &mut SolverState,
+    ) -> Result<StepOutcome, LithoError> {
+        loop {
+            // Take ownership of the position; every arm either returns after
+            // re-installing it or installs the next position and loops.
+            match std::mem::replace(&mut self.pos, AmPos::RoundStart) {
+                AmPos::RoundStart => {
+                    if self.round >= self.rounds {
+                        self.pos = AmPos::Finished(StopReason::Exhausted);
+                        return Ok(StepOutcome::Done(StopReason::Exhausted));
+                    }
+                    self.pos = AmPos::So {
+                        opt: self.kind_j.build(self.lr, state.theta_j.len()),
+                        taken: 0,
+                        phase_start: state.trace.len(),
+                    };
+                }
+                AmPos::So {
+                    mut opt,
+                    taken,
+                    phase_start,
+                } => {
+                    if taken >= self.so_steps {
+                        self.pos = self.mo_entry(problem, state)?;
+                        continue;
+                    }
+                    let eval = problem.eval(&state.theta_j, &state.theta_m, GradRequest::SOURCE)?;
+                    state.record(eval.loss);
+                    if self.phase_plateaued(state, phase_start) {
+                        self.pos = self.mo_entry(problem, state)?;
+                        return Ok(StepOutcome::Running);
+                    }
+                    let grad = eval.grad_theta_j.expect("source gradient requested");
+                    opt.step(&mut state.theta_j, &grad);
+                    self.pos = AmPos::So {
+                        opt,
+                        taken: taken + 1,
+                        phase_start,
+                    };
+                    return Ok(StepOutcome::Running);
+                }
+                AmPos::MoAbbe {
+                    mut opt,
+                    taken,
+                    phase_start,
+                } => {
+                    if taken >= self.mo_steps {
+                        self.pos = AmPos::RoundEnd;
+                        continue;
+                    }
+                    let eval = problem.eval(&state.theta_j, &state.theta_m, GradRequest::MASK)?;
+                    state.record(eval.loss);
+                    if self.phase_plateaued(state, phase_start) {
+                        self.pos = AmPos::RoundEnd;
+                        return Ok(StepOutcome::Running);
+                    }
+                    let grad = eval.grad_theta_m.expect("mask gradient requested");
+                    opt.step(state.theta_m.as_mut_slice(), grad.as_slice());
+                    self.pos = AmPos::MoAbbe {
+                        opt,
+                        taken: taken + 1,
+                        phase_start,
+                    };
+                    return Ok(StepOutcome::Running);
+                }
+                AmPos::MoHopkins {
+                    hopkins,
+                    mut opt,
+                    taken,
+                    phase_start,
+                } => {
+                    if taken >= self.mo_steps {
+                        self.pos = AmPos::RoundEnd;
+                        continue;
+                    }
+                    let (loss, grad) = hopkins.eval(&state.theta_m)?;
+                    state.record(loss);
+                    if self.phase_plateaued(state, phase_start) {
+                        self.pos = AmPos::RoundEnd;
+                        return Ok(StepOutcome::Running);
+                    }
+                    opt.step(state.theta_m.as_mut_slice(), grad.as_slice());
+                    self.pos = AmPos::MoHopkins {
+                        hopkins,
+                        opt,
+                        taken: taken + 1,
+                        phase_start,
+                    };
+                    return Ok(StepOutcome::Running);
+                }
+                AmPos::RoundEnd => {
+                    if self
+                        .stop
+                        .is_some_and(|rule| rule.plateaued(state.trace.records()))
+                    {
+                        self.pos = AmPos::Finished(StopReason::Converged);
+                        return Ok(StepOutcome::Done(StopReason::Converged));
+                    }
+                    self.round += 1;
+                    self.pos = AmPos::RoundStart;
+                }
+                AmPos::Finished(reason) => {
+                    self.pos = AmPos::Finished(reason);
+                    return Ok(StepOutcome::Done(reason));
+                }
+            }
+        }
+    }
+}
+
+/// Runs Algorithm 1.
+///
+/// The trace records `L_smo` before each update; see [`AmSolver`] for the
+/// hybrid-surrogate and stop-rule semantics.
+///
+/// # Errors
+///
+/// Propagates imaging failures.
+#[deprecated(
+    note = "drive the \"AM(A~A)\" / \"AM(A~H)\" methods through `Session`/`SolverRegistry` (DESIGN.md §8)"
+)]
+pub fn run_am_smo(
+    problem: &SmoProblem,
+    theta_j0: &[f64],
+    theta_m0: &RealField,
+    cfg: AmSmoConfig,
+) -> Result<SmoOutcome, LithoError> {
+    let mut session = Session::with_init(
+        problem,
+        Box::new(AmSolver::from_legacy(cfg)),
+        theta_j0.to_vec(),
+        theta_m0.clone(),
+    )?;
+    session.run()?;
+    Ok(session.into_outcome())
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)]
+
     use super::*;
     use crate::problem::SmoSettings;
     use bismo_optics::{OpticalConfig, SourceShape};
@@ -309,5 +473,36 @@ mod tests {
             .sum();
         assert!(dj > 0.0, "source parameters unchanged");
         assert!(dm > 0.0, "mask parameters unchanged");
+    }
+
+    #[test]
+    fn zero_round_run_finishes_immediately_with_empty_trace() {
+        let (problem, tj, tm) = fixtures();
+        let out = run_am_smo(
+            &problem,
+            &tj,
+            &tm,
+            AmSmoConfig {
+                rounds: 0,
+                ..AmSmoConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(out.trace.is_empty());
+        assert_eq!(out.theta_j, tj);
+    }
+
+    #[test]
+    fn solver_name_tracks_the_mo_model() {
+        let (problem, _, _) = fixtures();
+        let cfg = SolverConfig::default();
+        assert_eq!(
+            AmSolver::new(&problem, MoModel::Abbe, &cfg).name(),
+            "AM(A~A)"
+        );
+        assert_eq!(
+            AmSolver::new(&problem, MoModel::Hopkins { q: 24 }, &cfg).name(),
+            "AM(A~H)"
+        );
     }
 }

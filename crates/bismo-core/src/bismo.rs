@@ -1,5 +1,5 @@
-//! Bilevel SMO (paper §3.2, Algorithm 2): the upper-level MO descends the
-//! hypergradient
+//! Bilevel SMO (paper §3.2, Algorithm 2) as the step-based [`BismoSolver`]:
+//! the upper-level MO descends the hypergradient
 //!
 //! ```text
 //! ∇_{θM} L_mo = ∂L_mo/∂θM − (∂L_mo/∂θJ) · [∂²L_so/∂θJ∂θJ]⁻¹ · ∂²L_so/∂θM∂θJ
@@ -17,17 +17,22 @@
 //! of the analytic gradients (`Hv ≈ [∇L(θ+εv) − ∇L(θ−εv)]/2ε`), the same
 //! estimator the bilevel literature the paper builds on uses — no Hessian is
 //! ever formed.
-
-use std::time::Instant;
+//!
+//! One [`Solver::step`] call is one outer iteration (inner unroll, record,
+//! stop check, hypergradient, mask update); the Adam moments of both blocks
+//! and the CG warm start live in the solver, so a paused session resumes
+//! bit-identically.
 
 use bismo_linalg::{conjugate_gradient, RealOp};
 use bismo_litho::LithoError;
-use bismo_opt::OptimizerKind;
+use bismo_opt::{Optimizer, OptimizerKind};
 use bismo_optics::RealField;
 
 use crate::amsmo::SmoOutcome;
 use crate::problem::{GradRequest, SmoProblem};
-use crate::trace::{ConvergenceTrace, StepRecord, StopRule};
+use crate::session::Session;
+use crate::solver::{BismoSection, Solver, SolverConfig, SolverState, StepOutcome, StopReason};
+use crate::trace::StopRule;
 
 /// Hypergradient estimator (paper §3.2.1–3.2.3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,7 +63,9 @@ impl HypergradMethod {
 }
 
 /// Configuration of a BiSMO run (paper §4 defaults: `T = 3`, `K = 5`,
-/// `ξ_J = ξ_M = 0.1`).
+/// `ξ_J = ξ_M = 0.1`) — the legacy input type of the deprecated
+/// [`run_bismo`] shim; new code sets the shared [`SolverConfig`] knobs and
+/// its [`BismoSection`] instead.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BismoConfig {
     /// Outer (mask) updates.
@@ -89,7 +96,9 @@ impl Default for BismoConfig {
             unroll_t: 3,
             xi_j: 0.1,
             xi_m: 0.1,
-            method: HypergradMethod::Neumann { k: 5 },
+            method: HypergradMethod::Neumann {
+                k: BismoSection::DEFAULT_K,
+            },
             kind_m: OptimizerKind::Adam,
             kind_j: OptimizerKind::Adam,
             hvp_eps: 1e-2,
@@ -168,7 +177,7 @@ fn mixed_jvp(
 
 /// Matrix-free SO-Hessian operator for the CG solve.
 ///
-/// `apply` panics on imaging failures; the driver performs a full evaluation
+/// `apply` panics on imaging failures; the solver performs a full evaluation
 /// at the same parameters immediately before the solve, so failures here
 /// would indicate a bug rather than bad user input.
 struct SoHessianOp<'a> {
@@ -190,89 +199,157 @@ impl RealOp for SoHessianOp<'_> {
     }
 }
 
-/// Runs Algorithm 2.
-///
-/// The trace records `L_smo` (evaluated at the post-unroll source) before
-/// every outer mask update.
-///
-/// # Errors
-///
-/// Propagates imaging failures.
-pub fn run_bismo(
-    problem: &SmoProblem,
-    theta_j0: &[f64],
-    theta_m0: &RealField,
-    cfg: BismoConfig,
-) -> Result<SmoOutcome, LithoError> {
-    let start = Instant::now();
-    let mut theta_j = theta_j0.to_vec();
-    let mut theta_m = theta_m0.clone();
-    let mut trace = ConvergenceTrace::new();
-    let mut opt_m = cfg.kind_m.build(cfg.xi_m, theta_m.len());
-    let mut opt_j = cfg.kind_j.build(cfg.xi_j, theta_j.len());
-    // Warm-started CG solution (Algorithm 2 line 10: "re-initialize w⁰ ← wᴷ").
-    let mut w_warm = vec![0.0; theta_j.len()];
+/// Bilevel SMO (Algorithm 2) as a step-based solver: one step = one outer
+/// iteration. The trace records `L_smo` (evaluated at the post-unroll
+/// source) before every outer mask update.
+pub struct BismoSolver {
+    outer_steps: usize,
+    unroll_t: usize,
+    xi_j: f64,
+    method: HypergradMethod,
+    hvp_eps: f64,
+    stop: Option<StopRule>,
+    opt_m: Box<dyn Optimizer + Send>,
+    opt_j: Box<dyn Optimizer + Send>,
+    /// Warm-started CG solution (Algorithm 2 line 10: "re-initialize
+    /// w⁰ ← wᴷ").
+    w_warm: Vec<f64>,
+    taken: usize,
+    /// Terminal latch: once `Done` is returned, every further call returns
+    /// the same reason without touching the state (the `StepOutcome`
+    /// contract).
+    finished: Option<StopReason>,
+}
 
-    for step in 0..cfg.outer_steps {
+impl BismoSolver {
+    /// Builds the solver from the shared knobs and [`BismoSection`] of
+    /// `config`, with the given hypergradient estimator (whose `k`, when it
+    /// carries one, overrides the section's).
+    pub fn new(
+        problem: &SmoProblem,
+        method: HypergradMethod,
+        config: &SolverConfig,
+    ) -> BismoSolver {
+        let nm2 = problem.optical().mask_dim() * problem.optical().mask_dim();
+        let nj2 = problem.optical().source_dim() * problem.optical().source_dim();
+        BismoSolver {
+            outer_steps: config.bismo.outer_steps,
+            unroll_t: config.bismo.unroll_t,
+            xi_j: config.bismo.xi_j,
+            method,
+            hvp_eps: config.bismo.hvp_eps,
+            stop: config.stop,
+            opt_m: config.kind_m.build(config.bismo.xi_m, nm2),
+            opt_j: config.kind_j.build(config.bismo.xi_j, nj2),
+            w_warm: vec![0.0; nj2],
+            taken: 0,
+            finished: None,
+        }
+    }
+
+    fn from_legacy(problem: &SmoProblem, cfg: BismoConfig) -> BismoSolver {
+        let solver_cfg = SolverConfig {
+            kind_m: cfg.kind_m,
+            kind_j: cfg.kind_j,
+            stop: cfg.stop,
+            bismo: BismoSection {
+                outer_steps: cfg.outer_steps,
+                unroll_t: cfg.unroll_t,
+                xi_j: cfg.xi_j,
+                xi_m: cfg.xi_m,
+                hvp_eps: cfg.hvp_eps,
+                k: match cfg.method {
+                    HypergradMethod::FiniteDiff => BismoSection::DEFAULT_K,
+                    HypergradMethod::Neumann { k } | HypergradMethod::ConjGrad { k } => k,
+                },
+            },
+            ..SolverConfig::default()
+        };
+        BismoSolver::new(problem, cfg.method, &solver_cfg)
+    }
+}
+
+impl Solver for BismoSolver {
+    fn name(&self) -> &'static str {
+        self.method.name()
+    }
+
+    fn supports(&self, problem: &SmoProblem) -> bool {
+        use bismo_litho::ImagingBackend as _;
+        problem.backend().supports_grad_source()
+    }
+
+    fn step(
+        &mut self,
+        problem: &SmoProblem,
+        state: &mut SolverState,
+    ) -> Result<StepOutcome, LithoError> {
+        if let Some(reason) = self.finished {
+            return Ok(StepOutcome::Done(reason));
+        }
+        if self.taken >= self.outer_steps {
+            self.finished = Some(StopReason::Exhausted);
+            return Ok(StepOutcome::Done(StopReason::Exhausted));
+        }
+
         // Lines 2–4: unroll T inner SO steps to approximate θ_J*(θ_M); the
         // final iterate is kept (weight sharing re-init).
-        for _ in 0..cfg.unroll_t {
-            let grad = so_grad(problem, &theta_j, &theta_m)?;
-            opt_j.step(&mut theta_j, &grad);
+        for _ in 0..self.unroll_t {
+            let grad = so_grad(problem, &state.theta_j, &state.theta_m)?;
+            self.opt_j.step(&mut state.theta_j, &grad);
         }
 
         // Direct gradients at (θ_J*, θ_M).
-        let eval = problem.eval(&theta_j, &theta_m, GradRequest::BOTH)?;
-        trace.push(StepRecord {
-            step,
-            loss: eval.loss.total,
-            l2: eval.loss.l2,
-            pvb: eval.loss.pvb,
-            elapsed_s: start.elapsed().as_secs_f64(),
-        });
-        if cfg.stop.is_some_and(|rule| rule.plateaued(trace.records())) {
-            break;
+        let eval = problem.eval(&state.theta_j, &state.theta_m, GradRequest::BOTH)?;
+        state.record(eval.loss);
+        self.taken += 1;
+        if self
+            .stop
+            .is_some_and(|rule| rule.plateaued(state.trace.records()))
+        {
+            self.finished = Some(StopReason::Converged);
+            return Ok(StepOutcome::Done(StopReason::Converged));
         }
         let direct_m = eval.grad_theta_m.expect("mask gradient requested");
         let v = eval.grad_theta_j.expect("source gradient requested");
 
         // Inverse-Hessian application: w ≈ [∂²L_so/∂θJ∂θJ]⁻¹ v.
-        let w = match cfg.method {
+        let w = match self.method {
             HypergradMethod::FiniteDiff => {
                 // Eq. 13: [H]⁻¹ ≈ ξ·I.
-                v.iter().map(|x| cfg.xi_j * x).collect::<Vec<f64>>()
+                v.iter().map(|x| self.xi_j * x).collect::<Vec<f64>>()
             }
             HypergradMethod::Neumann { k } => {
                 // Eq. 16 with step-size scaling: ξ Σ_{i=0}^{K} (I − ξH)^i v.
                 let mut p = v.clone();
                 let mut acc = v.clone();
                 for _ in 0..k {
-                    let hp = hvp(problem, &theta_j, &theta_m, &p, cfg.hvp_eps)?;
+                    let hp = hvp(problem, &state.theta_j, &state.theta_m, &p, self.hvp_eps)?;
                     for (pi, hi) in p.iter_mut().zip(&hp) {
-                        *pi -= cfg.xi_j * hi;
+                        *pi -= self.xi_j * hi;
                     }
                     for (ai, pi) in acc.iter_mut().zip(&p) {
                         *ai += pi;
                     }
                 }
-                acc.iter().map(|x| cfg.xi_j * x).collect()
+                acc.iter().map(|x| self.xi_j * x).collect()
             }
             HypergradMethod::ConjGrad { k } => {
                 let op = SoHessianOp {
                     problem,
-                    theta_j: &theta_j,
-                    theta_m: &theta_m,
-                    base_eps: cfg.hvp_eps,
+                    theta_j: &state.theta_j,
+                    theta_m: &state.theta_m,
+                    base_eps: self.hvp_eps,
                 };
-                let result = conjugate_gradient(&op, &v, &w_warm, k, 1e-10);
-                w_warm = result.x.clone();
+                let result = conjugate_gradient(&op, &v, &self.w_warm, k, 1e-10);
+                self.w_warm = result.x.clone();
                 result.x
             }
         };
 
         // Gradient fusion (Eq. 12/14): hyper = ∂L_mo/∂θM − [∂²L_so/∂θM∂θJ]·w.
-        let mut correction = mixed_jvp(problem, &theta_j, &theta_m, &w, cfg.hvp_eps)?;
-        if matches!(cfg.method, HypergradMethod::ConjGrad { .. }) {
+        let mut correction = mixed_jvp(problem, &state.theta_j, &state.theta_m, &w, self.hvp_eps)?;
+        if matches!(self.method, HypergradMethod::ConjGrad { .. }) {
             // CG solves against the raw (possibly indefinite, FD-estimated)
             // SO Hessian; far from the lower-level optimum the solve can
             // return a wildly-scaled w. Clip the CG correction to the direct
@@ -291,19 +368,40 @@ pub fn run_bismo(
         let mut hyper = direct_m;
         hyper.axpy(-1.0, &correction);
 
-        opt_m.step(theta_m.as_mut_slice(), hyper.as_slice());
+        self.opt_m
+            .step(state.theta_m.as_mut_slice(), hyper.as_slice());
+        Ok(StepOutcome::Running)
     }
+}
 
-    Ok(SmoOutcome {
-        theta_j,
-        theta_m,
-        trace,
-        wall_s: start.elapsed().as_secs_f64(),
-    })
+/// Runs Algorithm 2.
+///
+/// # Errors
+///
+/// Propagates imaging failures.
+#[deprecated(
+    note = "drive the \"BiSMO-FD\" / \"BiSMO-CG\" / \"BiSMO-NMN\" methods through `Session`/`SolverRegistry` (DESIGN.md §8)"
+)]
+pub fn run_bismo(
+    problem: &SmoProblem,
+    theta_j0: &[f64],
+    theta_m0: &RealField,
+    cfg: BismoConfig,
+) -> Result<SmoOutcome, LithoError> {
+    let mut session = Session::with_init(
+        problem,
+        Box::new(BismoSolver::from_legacy(problem, cfg)),
+        theta_j0.to_vec(),
+        theta_m0.clone(),
+    )?;
+    session.run()?;
+    Ok(session.into_outcome())
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)]
+
     use super::*;
     use crate::problem::SmoSettings;
     use bismo_optics::{OpticalConfig, SourceShape};
@@ -443,6 +541,39 @@ mod tests {
         let z = vec![0.0; tj.len()];
         let hz = hvp(&problem, &tj, &tm, &z, 1e-2).unwrap();
         assert!(hz.iter().all(|x| *x == 0.0));
+    }
+
+    #[test]
+    fn done_converged_is_terminal_and_freezes_both_blocks() {
+        // Regression: a post-Done step used to re-run the inner unroll,
+        // silently moving θ_J.
+        use crate::solver::SolverConfig;
+        let (problem, tj, tm) = fixtures();
+        let mut cfg = SolverConfig::default();
+        cfg.bismo.outer_steps = 30;
+        cfg.stop = Some(StopRule {
+            window: 1,
+            rel_tol: 1.0, // plateaus as soon as two records exist
+        });
+        let mut solver = BismoSolver::new(&problem, HypergradMethod::FiniteDiff, &cfg);
+        let mut state = SolverState::new(tj, tm);
+        assert_eq!(
+            solver.step(&problem, &mut state).unwrap(),
+            StepOutcome::Running
+        );
+        assert_eq!(
+            solver.step(&problem, &mut state).unwrap(),
+            StepOutcome::Done(StopReason::Converged)
+        );
+        let len = state.trace.len();
+        let tj_bits: Vec<u64> = state.theta_j.iter().map(|x| x.to_bits()).collect();
+        assert_eq!(
+            solver.step(&problem, &mut state).unwrap(),
+            StepOutcome::Done(StopReason::Converged)
+        );
+        assert_eq!(state.trace.len(), len);
+        let tj_after: Vec<u64> = state.theta_j.iter().map(|x| x.to_bits()).collect();
+        assert_eq!(tj_bits, tj_after, "θ_J must not move after Done");
     }
 
     #[test]

@@ -2,41 +2,47 @@
 //!
 //! The primary contribution of *"Efficient Bilevel Source Mask
 //! Optimization"* (DAC 2024): a unified, differentiable Abbe-based SMO
-//! objective and the bilevel optimization drivers built on it.
+//! objective and the step-based optimization drivers built on it.
 //!
 //! * [`SmoProblem`] — the γ·L2 + η·PVB objective (Eq. 7–10) with analytic
 //!   gradients for both parameter blocks;
-//! * [`run_am_smo`] — the alternating-minimization baseline (Algorithm 1),
-//!   in Abbe–Abbe and Abbe–Hopkins hybrid flavors;
-//! * [`run_bismo`] — bilevel SMO (Algorithm 2) with the FD, Neumann-series
-//!   and conjugate-gradient hypergradients (Eq. 13/16/18);
-//! * [`run_abbe_mo`] / [`run_hopkins_mo`] and the NILT/MILT proxies —
-//!   mask-only baselines;
+//! * [`Solver`] / [`Session`] / [`SolverRegistry`] — the step-based driver
+//!   API (DESIGN.md §8): every method of the paper is a [`Solver`] behind a
+//!   stable name, configured by one layered [`SolverConfig`], driven by a
+//!   [`Session`] that owns the parameters, the [`ConvergenceTrace`], the
+//!   stop rule, wall-clock budgets and per-step observers;
+//! * [`AmSolver`] — the alternating-minimization baseline (Algorithm 1), in
+//!   Abbe–Abbe and Abbe–Hopkins hybrid flavors;
+//! * [`BismoSolver`] — bilevel SMO (Algorithm 2) with the FD,
+//!   Neumann-series and conjugate-gradient hypergradients (Eq. 13/16/18);
+//! * [`AbbeMoSolver`] / [`HopkinsProxySolver`] — mask-only baselines;
 //! * [`measure`] — the L2/PVB/EPE metrics of §2.2.
+//!
+//! The historical `run_*` drivers remain as deprecated shims over the
+//! session API; they produce bit-identical results (enforced by
+//! `tests/solver_golden.rs`).
 //!
 //! ## Examples
 //!
 //! ```
-//! use bismo_core::{run_bismo, BismoConfig, HypergradMethod, SmoProblem, SmoSettings};
-//! use bismo_optics::{OpticalConfig, RealField, SourceShape};
+//! use bismo_core::{Session, SessionStatus, SolverConfig, SolverRegistry, SmoProblem, SmoSettings};
+//! use bismo_optics::{OpticalConfig, RealField};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let cfg = OpticalConfig::test_small();
 //! let target = RealField::from_fn(cfg.mask_dim(), |r, c| {
 //!     if (24..40).contains(&r) && (20..44).contains(&c) { 1.0 } else { 0.0 }
 //! });
-//! let problem = SmoProblem::new(cfg.clone(), SmoSettings::default().without_pvb(), target)?;
-//! let theta_j = problem.init_theta_j(SourceShape::Annular {
-//!     sigma_in: cfg.sigma_in(),
-//!     sigma_out: cfg.sigma_out(),
-//! });
-//! let theta_m = problem.init_theta_m();
-//! let out = run_bismo(&problem, &theta_j, &theta_m, BismoConfig {
-//!     outer_steps: 2,
-//!     method: HypergradMethod::FiniteDiff,
-//!     ..BismoConfig::default()
-//! })?;
-//! assert_eq!(out.trace.len(), 2);
+//! let problem = SmoProblem::new(cfg, SmoSettings::default().without_pvb(), target)?;
+//!
+//! // Every method is one registry name away; the config's sections carry
+//! // the per-family knobs.
+//! let mut config = SolverConfig::default();
+//! config.bismo.outer_steps = 2;
+//! let mut session = SolverRegistry::builtin().session("BiSMO-FD", &problem, &config)?;
+//! session.run()?;
+//! assert_eq!(session.status(), SessionStatus::Exhausted);
+//! assert_eq!(session.trace().len(), 2);
 //! # Ok(())
 //! # }
 //! ```
@@ -50,16 +56,34 @@ mod metrics;
 mod mo;
 mod params;
 mod problem;
+mod registry;
 mod regularizer;
+mod session;
+mod solver;
 mod trace;
 
-pub use amsmo::{run_am_smo, AmSmoConfig, MoModel, SmoOutcome};
-pub use bismo::{run_bismo, BismoConfig, HypergradMethod};
+pub use amsmo::{AmSmoConfig, AmSolver, MoModel, SmoOutcome};
+pub use bismo::{BismoConfig, BismoSolver, HypergradMethod};
 pub use metrics::{epe_violations, l2_area_nm2, measure, xor_area_nm2, EpeSpec, MetricSet};
-pub use mo::{run_abbe_mo, run_hopkins_mo, run_milt_proxy, run_nilt_proxy, MoConfig, MoOutcome};
+pub use mo::{run_hopkins_mo, AbbeMoSolver, HopkinsProxySolver, MoConfig, MoOutcome};
 pub use params::{Activation, SourceActivationKind};
 pub use problem::{
     GradRequest, HopkinsMoProblem, LossValue, MoProblem, SmoEval, SmoProblem, SmoSettings,
 };
+pub use registry::{SolverRegistry, SolverSpec};
 pub use regularizer::{discreteness_grad, discreteness_value, tv_grad, tv_value, Regularizers};
+pub use session::{Control, Session, SessionStatus, StepEvent};
+pub use solver::{
+    AmSection, BismoSection, MoSection, Solver, SolverConfig, SolverState, StepOutcome, StopReason,
+};
 pub use trace::{ConvergenceTrace, StepRecord, StopRule};
+
+// The deprecated shims stay exported so downstream code migrates gradually;
+// the allow keeps this crate's own re-export lines clean under
+// `-D warnings`.
+#[allow(deprecated)]
+pub use amsmo::run_am_smo;
+#[allow(deprecated)]
+pub use bismo::run_bismo;
+#[allow(deprecated)]
+pub use mo::{run_abbe_mo, run_milt_proxy, run_nilt_proxy};

@@ -1,21 +1,32 @@
-//! Mask-only optimization drivers: Abbe-MO (ours, paper §4.1) and the
-//! Hopkins-model baseline proxies for NILT [7] and DAC23-MILT [10].
+//! Mask-only optimization: the [`AbbeMoSolver`] (ours, paper §4.1) and the
+//! [`HopkinsProxySolver`] standing in for the NILT [7] and DAC23-MILT [10]
+//! baselines, all as step-based [`Solver`] impls (DESIGN.md §8).
 //!
 //! The proxies are **substitutions** (DESIGN.md §3): the published baselines
 //! are a neural ILT and a GPU multi-level ILT, but both are Hopkins/SOCS
-//! mask-only optimizers at heart. `nilt_proxy` keeps a coarse truncation and
-//! no process-window term (printability-focused); `milt_proxy` keeps a
-//! richer truncation, the PVB term and a two-stage step-size schedule
+//! mask-only optimizers at heart. The NILT proxy keeps a coarse truncation
+//! and no process-window term (printability-focused); the MILT proxy keeps
+//! a richer truncation, the PVB term and a two-stage step-size schedule
 //! standing in for the multi-level refinement.
-
-use std::time::Instant;
+//!
+//! All three drivers reduce to one private [`MaskStepper`]: one `step` =
+//! evaluate → record → plateau check → optimizer update, the exact loop
+//! body of the historical `run_*` functions. The deprecated shims at the
+//! bottom drive the same stepper, so legacy and session paths cannot
+//! diverge.
 
 use bismo_litho::LithoError;
-use bismo_opt::OptimizerKind;
+use bismo_opt::{Optimizer, OptimizerKind};
 use bismo_optics::{ImagingCore, RealField, Source};
 
-use crate::problem::{GradRequest, HopkinsMoProblem, SmoProblem, SmoSettings};
-use crate::trace::{ConvergenceTrace, StepRecord, StopRule};
+use crate::problem::{GradRequest, HopkinsMoProblem, LossValue, SmoProblem, SmoSettings};
+use crate::solver::{Solver, SolverConfig, SolverState, StepOutcome, StopReason};
+use crate::trace::{ConvergenceTrace, StopRule};
+
+/// SOCS truncation of the NILT proxy (coarse — printability-focused).
+pub const NILT_Q: usize = 6;
+/// SOCS truncation of the DAC23-MILT proxy (the paper's Q = 24).
+pub const MILT_Q: usize = 24;
 
 /// Result of a mask-only run.
 #[derive(Debug, Clone)]
@@ -28,7 +39,10 @@ pub struct MoOutcome {
     pub wall_s: f64,
 }
 
-/// Configuration for a mask-only run.
+/// Configuration for a mask-only run — the legacy input type of the
+/// deprecated `run_*` shims; new code sets [`SolverConfig::lr`],
+/// [`SolverConfig::kind_m`], [`SolverConfig::stop`] and the
+/// [`crate::MoSection`] instead.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MoConfig {
     /// Maximum number of gradient updates.
@@ -52,45 +66,228 @@ impl Default for MoConfig {
     }
 }
 
-/// Runs Abbe-model mask-only optimization with the source frozen at
-/// `theta_j` (our Abbe-MO column in Tables 3/4).
-///
-/// # Errors
-///
-/// Propagates imaging failures.
-pub fn run_abbe_mo(
-    problem: &SmoProblem,
-    theta_j: &[f64],
-    theta_m0: &RealField,
-    cfg: MoConfig,
-) -> Result<MoOutcome, LithoError> {
-    let start = Instant::now();
-    let mut theta_m = theta_m0.clone();
-    let mut opt = cfg.kind.build(cfg.lr, theta_m.len());
-    let mut trace = ConvergenceTrace::new();
-    for step in 0..cfg.steps {
-        let eval = problem.eval(theta_j, &theta_m, GradRequest::MASK)?;
-        trace.push(StepRecord {
-            step,
-            loss: eval.loss.total,
-            l2: eval.loss.l2,
-            pvb: eval.loss.pvb,
-            elapsed_s: start.elapsed().as_secs_f64(),
-        });
-        if cfg.stop.is_some_and(|rule| rule.plateaued(trace.records())) {
-            break;
+impl From<crate::amsmo::SmoOutcome> for MoOutcome {
+    /// Projects a session outcome onto the mask-only result type (drops the
+    /// untouched θ_J).
+    fn from(out: crate::amsmo::SmoOutcome) -> MoOutcome {
+        MoOutcome {
+            theta_m: out.theta_m,
+            trace: out.trace,
+            wall_s: out.wall_s,
         }
-        let grad = eval.grad_theta_m.expect("mask gradient requested");
-        opt.step(theta_m.as_mut_slice(), grad.as_slice());
     }
-    Ok(MoOutcome {
-        theta_m,
-        trace,
-        wall_s: start.elapsed().as_secs_f64(),
-    })
 }
 
-/// Runs Hopkins-model mask-only optimization (generic SOCS ILT driver).
+impl MoConfig {
+    /// Lifts the legacy knobs into the layered config (shim plumbing).
+    fn to_solver_config(self) -> SolverConfig {
+        let mut cfg = SolverConfig {
+            lr: self.lr,
+            kind_m: self.kind,
+            stop: self.stop,
+            ..SolverConfig::default()
+        };
+        cfg.mo.steps = self.steps;
+        cfg
+    }
+}
+
+/// The shared mask-only stepping core: one call performs exactly the work
+/// between two trace records of the historical drivers.
+struct MaskStepper {
+    opt: Box<dyn Optimizer + Send>,
+    steps: usize,
+    taken: usize,
+    stop: Option<StopRule>,
+    /// Step index at which the learning rate halves (the MILT proxy's
+    /// two-level refinement schedule).
+    halve_at: Option<usize>,
+    /// Terminal latch: once `Done` is returned, every further call returns
+    /// the same reason without touching the state (the `StepOutcome`
+    /// contract).
+    finished: Option<StopReason>,
+}
+
+impl MaskStepper {
+    fn new(
+        kind: OptimizerKind,
+        lr: f64,
+        len: usize,
+        steps: usize,
+        stop: Option<StopRule>,
+        halve_at: Option<usize>,
+    ) -> MaskStepper {
+        MaskStepper {
+            opt: kind.build(lr, len),
+            steps,
+            taken: 0,
+            stop,
+            halve_at,
+            finished: None,
+        }
+    }
+
+    /// `eval` receives `(θ_J, θ_M)` and returns the loss and `∂L/∂θ_M`.
+    fn step<E>(&mut self, state: &mut SolverState, eval: E) -> Result<StepOutcome, LithoError>
+    where
+        E: FnOnce(&[f64], &RealField) -> Result<(LossValue, RealField), LithoError>,
+    {
+        if let Some(reason) = self.finished {
+            return Ok(StepOutcome::Done(reason));
+        }
+        if self.taken >= self.steps {
+            self.finished = Some(StopReason::Exhausted);
+            return Ok(StepOutcome::Done(StopReason::Exhausted));
+        }
+        if self.halve_at == Some(self.taken) {
+            let lr = self.opt.learning_rate() / 2.0;
+            self.opt.set_learning_rate(lr);
+        }
+        let (loss, grad) = eval(&state.theta_j, &state.theta_m)?;
+        state.record(loss);
+        self.taken += 1;
+        if self
+            .stop
+            .is_some_and(|rule| rule.plateaued(state.trace.records()))
+        {
+            self.finished = Some(StopReason::Converged);
+            return Ok(StepOutcome::Done(StopReason::Converged));
+        }
+        self.opt.step(state.theta_m.as_mut_slice(), grad.as_slice());
+        Ok(StepOutcome::Running)
+    }
+}
+
+/// Abbe-model mask-only optimization with the source frozen at the
+/// session's θ_J (our Abbe-MO column in Tables 3/4).
+pub struct AbbeMoSolver {
+    stepper: MaskStepper,
+}
+
+impl AbbeMoSolver {
+    /// Builds the solver from the shared knobs and [`crate::MoSection`] of
+    /// `config`.
+    pub fn new(problem: &SmoProblem, config: &SolverConfig) -> AbbeMoSolver {
+        let len = problem.optical().mask_dim() * problem.optical().mask_dim();
+        AbbeMoSolver {
+            stepper: MaskStepper::new(
+                config.kind_m,
+                config.lr,
+                len,
+                config.mo.steps,
+                config.stop,
+                None,
+            ),
+        }
+    }
+}
+
+impl Solver for AbbeMoSolver {
+    fn name(&self) -> &'static str {
+        "Abbe-MO"
+    }
+
+    fn step(
+        &mut self,
+        problem: &SmoProblem,
+        state: &mut SolverState,
+    ) -> Result<StepOutcome, LithoError> {
+        self.stepper.step(state, |theta_j, theta_m| {
+            let eval = problem.eval(theta_j, theta_m, GradRequest::MASK)?;
+            Ok((
+                eval.loss,
+                eval.grad_theta_m.expect("mask gradient requested"),
+            ))
+        })
+    }
+}
+
+/// Hopkins-model mask-only proxy (NILT / DAC23-MILT).
+///
+/// The Hopkins problem is built lazily at the first step — against the host
+/// problem's shared [`ImagingCore`] and the source activated from the
+/// session's θ_J — so construction through the registry stays cheap and
+/// infallible, and the TCC build reuses the sweep-wide shifted-pupil table.
+pub struct HopkinsProxySolver {
+    name: &'static str,
+    q: usize,
+    strip_pvb: bool,
+    hopkins: Option<HopkinsMoProblem>,
+    stepper: MaskStepper,
+}
+
+impl HopkinsProxySolver {
+    fn with_params(
+        problem: &SmoProblem,
+        config: &SolverConfig,
+        name: &'static str,
+        q: usize,
+        strip_pvb: bool,
+        schedule: bool,
+    ) -> HopkinsProxySolver {
+        let len = problem.optical().mask_dim() * problem.optical().mask_dim();
+        HopkinsProxySolver {
+            name,
+            q,
+            strip_pvb,
+            hopkins: None,
+            stepper: MaskStepper::new(
+                config.kind_m,
+                config.lr,
+                len,
+                config.mo.steps,
+                config.stop,
+                schedule.then_some(config.mo.steps / 2),
+            ),
+        }
+    }
+
+    /// NILT [7] proxy: coarse truncation (Q = 6), no process-window term.
+    pub fn nilt(problem: &SmoProblem, config: &SolverConfig) -> HopkinsProxySolver {
+        HopkinsProxySolver::with_params(problem, config, "NILT", NILT_Q, true, false)
+    }
+
+    /// DAC23-MILT [10] proxy: Q = 24, PVB-aware objective, two-stage
+    /// step-size schedule standing in for the multi-level refinement.
+    pub fn milt(problem: &SmoProblem, config: &SolverConfig) -> HopkinsProxySolver {
+        HopkinsProxySolver::with_params(problem, config, "DAC23-MILT", MILT_Q, false, true)
+    }
+}
+
+impl Solver for HopkinsProxySolver {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn step(
+        &mut self,
+        problem: &SmoProblem,
+        state: &mut SolverState,
+    ) -> Result<StepOutcome, LithoError> {
+        if self.hopkins.is_none() {
+            let source = problem.source(&state.theta_j);
+            let settings = if self.strip_pvb {
+                problem.settings().clone().without_pvb()
+            } else {
+                problem.settings().clone()
+            };
+            self.hopkins = Some(HopkinsMoProblem::with_core(
+                problem.abbe().core(),
+                settings,
+                problem.target().clone(),
+                &source,
+                self.q,
+            )?);
+        }
+        let hopkins = self.hopkins.as_ref().expect("built above");
+        self.stepper.step(state, |_, theta_m| hopkins.eval(theta_m))
+    }
+}
+
+/// Runs Hopkins-model mask-only optimization (generic SOCS ILT driver over
+/// an already-built [`HopkinsMoProblem`]) — the low-level loop the proxy
+/// shims and the hybrid baselines build on. Prefer the session API for the
+/// named methods.
 ///
 /// # Errors
 ///
@@ -100,39 +297,68 @@ pub fn run_hopkins_mo(
     theta_m0: &RealField,
     cfg: MoConfig,
 ) -> Result<MoOutcome, LithoError> {
-    let start = Instant::now();
-    let mut theta_m = theta_m0.clone();
-    let mut opt = cfg.kind.build(cfg.lr, theta_m.len());
-    let mut trace = ConvergenceTrace::new();
-    for step in 0..cfg.steps {
-        let (loss, grad) = problem.eval(&theta_m)?;
-        trace.push(StepRecord {
-            step,
-            loss: loss.total,
-            l2: loss.l2,
-            pvb: loss.pvb,
-            elapsed_s: start.elapsed().as_secs_f64(),
-        });
-        if cfg.stop.is_some_and(|rule| rule.plateaued(trace.records())) {
-            break;
-        }
-        opt.step(theta_m.as_mut_slice(), grad.as_slice());
+    hopkins_mo_loop(problem, theta_m0, cfg, None)
+}
+
+/// The shared Hopkins loop: a local [`SolverState`] driven to completion by
+/// a [`MaskStepper`] (identical arithmetic to the session path).
+fn hopkins_mo_loop(
+    problem: &HopkinsMoProblem,
+    theta_m0: &RealField,
+    cfg: MoConfig,
+    halve_at: Option<usize>,
+) -> Result<MoOutcome, LithoError> {
+    let mut state = SolverState::new(Vec::new(), theta_m0.clone());
+    let mut stepper = MaskStepper::new(
+        cfg.kind,
+        cfg.lr,
+        theta_m0.len(),
+        cfg.steps,
+        cfg.stop,
+        halve_at,
+    );
+    while let StepOutcome::Running = stepper.step(&mut state, |_, theta_m| problem.eval(theta_m))? {
     }
+    let wall_s = state.elapsed_s();
     Ok(MoOutcome {
-        theta_m,
-        trace,
-        wall_s: start.elapsed().as_secs_f64(),
+        theta_m: state.theta_m,
+        trace: state.trace,
+        wall_s,
     })
 }
 
-/// NILT [7] proxy: Hopkins ILT with coarse truncation (Q = 6) and no
-/// process-window term. Takes a shared [`ImagingCore`] so the TCC build
-/// reuses the precomputed shifted-pupil table (suite sweeps run this once
-/// per clip).
+/// Runs Abbe-model mask-only optimization with the source frozen at
+/// `theta_j`.
 ///
 /// # Errors
 ///
 /// Propagates imaging failures.
+#[deprecated(
+    note = "drive the \"Abbe-MO\" method through `Session`/`SolverRegistry` (DESIGN.md §8)"
+)]
+pub fn run_abbe_mo(
+    problem: &SmoProblem,
+    theta_j: &[f64],
+    theta_m0: &RealField,
+    cfg: MoConfig,
+) -> Result<MoOutcome, LithoError> {
+    let solver = AbbeMoSolver::new(problem, &cfg.to_solver_config());
+    let mut session = crate::session::Session::with_init(
+        problem,
+        Box::new(solver),
+        theta_j.to_vec(),
+        theta_m0.clone(),
+    )?;
+    session.run()?;
+    Ok(session.into_outcome().into())
+}
+
+/// NILT [7] proxy over an explicit core/target/source triple.
+///
+/// # Errors
+///
+/// Propagates imaging failures.
+#[deprecated(note = "drive the \"NILT\" method through `Session`/`SolverRegistry` (DESIGN.md §8)")]
 pub fn run_nilt_proxy(
     core: &ImagingCore,
     settings: &SmoSettings,
@@ -140,20 +366,24 @@ pub fn run_nilt_proxy(
     source: &Source,
     cfg: MoConfig,
 ) -> Result<MoOutcome, LithoError> {
-    let proxy_settings = settings.clone().without_pvb();
-    let problem = HopkinsMoProblem::with_core(core, proxy_settings, target.clone(), source, 6)?;
-    let theta_m0 = problem.init_theta_m();
-    run_hopkins_mo(&problem, &theta_m0, cfg)
+    let problem = HopkinsMoProblem::with_core(
+        core,
+        settings.clone().without_pvb(),
+        target.clone(),
+        source,
+        NILT_Q,
+    )?;
+    hopkins_mo_loop(&problem, &problem.init_theta_m(), cfg, None)
 }
 
-/// DAC23-MILT [10] proxy: Hopkins ILT with the paper's Q = 24, PVB-aware
-/// objective, and a two-stage step-size schedule standing in for the
-/// multi-level refinement. Takes a shared [`ImagingCore`] like
-/// [`run_nilt_proxy`].
+/// DAC23-MILT [10] proxy over an explicit core/target/source triple.
 ///
 /// # Errors
 ///
 /// Propagates imaging failures.
+#[deprecated(
+    note = "drive the \"DAC23-MILT\" method through `Session`/`SolverRegistry` (DESIGN.md §8)"
+)]
 pub fn run_milt_proxy(
     core: &ImagingCore,
     settings: &SmoSettings,
@@ -161,41 +391,15 @@ pub fn run_milt_proxy(
     source: &Source,
     cfg: MoConfig,
 ) -> Result<MoOutcome, LithoError> {
-    let problem = HopkinsMoProblem::with_core(core, settings.clone(), target.clone(), source, 24)?;
-    let theta_m0 = problem.init_theta_m();
-    let start = Instant::now();
-    let mut theta_m = theta_m0.clone();
-    let mut opt = cfg.kind.build(cfg.lr, theta_m.len());
-    let mut trace = ConvergenceTrace::new();
-    let coarse_steps = cfg.steps / 2;
-    for step in 0..cfg.steps {
-        if step == coarse_steps {
-            // Refinement level: halve the step size.
-            let lr = opt.learning_rate() / 2.0;
-            opt.set_learning_rate(lr);
-        }
-        let (loss, grad) = problem.eval(&theta_m)?;
-        trace.push(StepRecord {
-            step,
-            loss: loss.total,
-            l2: loss.l2,
-            pvb: loss.pvb,
-            elapsed_s: start.elapsed().as_secs_f64(),
-        });
-        if cfg.stop.is_some_and(|rule| rule.plateaued(trace.records())) {
-            break;
-        }
-        opt.step(theta_m.as_mut_slice(), grad.as_slice());
-    }
-    Ok(MoOutcome {
-        theta_m,
-        trace,
-        wall_s: start.elapsed().as_secs_f64(),
-    })
+    let problem =
+        HopkinsMoProblem::with_core(core, settings.clone(), target.clone(), source, MILT_Q)?;
+    hopkins_mo_loop(&problem, &problem.init_theta_m(), cfg, Some(cfg.steps / 2))
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)]
+
     use super::*;
     use bismo_optics::{OpticalConfig, SourceShape};
 
@@ -264,6 +468,82 @@ mod tests {
         let milt = run_milt_proxy(&core, &settings, &target, &source, quick(4)).unwrap();
         assert_eq!(milt.trace.len(), 4);
         assert!(milt.trace.records()[0].pvb > 0.0);
+    }
+
+    #[test]
+    fn proxy_solvers_build_lazily_and_match_their_names() {
+        let (cfg, target, shape) = fixtures();
+        let problem = SmoProblem::new(cfg, SmoSettings::default(), target).unwrap();
+        let tj = problem.init_theta_j(shape);
+        let tm = problem.init_theta_m();
+        let mut solver_cfg = SolverConfig::default();
+        solver_cfg.mo.steps = 2;
+        for (make, name) in [
+            (HopkinsProxySolver::nilt as fn(_, _) -> _, "NILT"),
+            (HopkinsProxySolver::milt as fn(_, _) -> _, "DAC23-MILT"),
+        ] {
+            let solver: HopkinsProxySolver = make(&problem, &solver_cfg);
+            assert_eq!(solver.name(), name);
+            assert!(solver.hopkins.is_none(), "TCC must not build in the ctor");
+            let mut session = crate::session::Session::with_init(
+                &problem,
+                Box::new(solver),
+                tj.clone(),
+                tm.clone(),
+            )
+            .unwrap();
+            session.run().unwrap();
+            assert_eq!(session.trace().len(), 2);
+        }
+    }
+
+    #[test]
+    fn done_converged_is_terminal_and_leaves_state_untouched() {
+        // The StepOutcome contract: after Done, further step calls return
+        // the same reason and do not touch the state. Regression for the
+        // plateau path, which used to re-evaluate and append records.
+        let (cfg, target, shape) = fixtures();
+        let problem = SmoProblem::new(cfg, SmoSettings::default().without_pvb(), target).unwrap();
+        let tj = problem.init_theta_j(shape);
+        let tm = problem.init_theta_m();
+        let mut solver_cfg = SolverConfig::default();
+        solver_cfg.mo.steps = 30;
+        // rel_tol = 1.0 plateaus as soon as two records exist.
+        solver_cfg.stop = Some(StopRule {
+            window: 1,
+            rel_tol: 1.0,
+        });
+        let mut solver = AbbeMoSolver::new(&problem, &solver_cfg);
+        let mut state = SolverState::new(tj, tm);
+        assert_eq!(
+            solver.step(&problem, &mut state).unwrap(),
+            StepOutcome::Running
+        );
+        assert_eq!(
+            solver.step(&problem, &mut state).unwrap(),
+            StepOutcome::Done(StopReason::Converged)
+        );
+        let len = state.trace.len();
+        let bits: Vec<u64> = state
+            .theta_m
+            .as_slice()
+            .iter()
+            .map(|x| x.to_bits())
+            .collect();
+        for _ in 0..2 {
+            assert_eq!(
+                solver.step(&problem, &mut state).unwrap(),
+                StepOutcome::Done(StopReason::Converged)
+            );
+        }
+        assert_eq!(state.trace.len(), len, "no records after Done");
+        let after: Vec<u64> = state
+            .theta_m
+            .as_slice()
+            .iter()
+            .map(|x| x.to_bits())
+            .collect();
+        assert_eq!(bits, after, "state must not move after Done");
     }
 
     #[test]

@@ -1,0 +1,296 @@
+//! The named-method registry (DESIGN.md §8): every optimization method of
+//! the paper, keyed by its stable column label, constructible from one
+//! [`SolverConfig`].
+//!
+//! The registry is the single source of truth for the method roster — the
+//! bench harness's `Method` enumeration, the sweep journals' method names
+//! and the CI registry smoke all derive from it, so adding a method here is
+//! sufficient to put it in every sweep (and *not* adding it anywhere else
+//! is sufficient to keep it out).
+
+use std::sync::OnceLock;
+
+use crate::amsmo::{AmSolver, MoModel, SmoOutcome};
+use crate::bismo::{BismoSolver, HypergradMethod};
+use crate::mo::{AbbeMoSolver, HopkinsProxySolver};
+use crate::problem::SmoProblem;
+use crate::session::Session;
+use crate::solver::{Solver, SolverConfig};
+
+/// One registry entry: the stable name, capability metadata and the
+/// constructor. Constructors are infallible and cheap — anything expensive
+/// or fallible (TCC builds, imaging) happens lazily at the first
+/// [`Solver::step`], which is what the CI registry smoke exercises.
+pub struct SolverSpec {
+    name: &'static str,
+    summary: &'static str,
+    optimizes_source: bool,
+    ctor: fn(&SmoProblem, &SolverConfig) -> Box<dyn Solver>,
+}
+
+impl SolverSpec {
+    /// Stable method name (the paper's column label); the key for
+    /// [`SolverRegistry::get`] and what [`Solver::name`] returns.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// One-line description for listings.
+    pub fn summary(&self) -> &'static str {
+        self.summary
+    }
+
+    /// Whether the method optimizes the source at all (MO baselines don't).
+    pub fn optimizes_source(&self) -> bool {
+        self.optimizes_source
+    }
+
+    /// Constructs the solver for `problem` under `config`.
+    pub fn create(&self, problem: &SmoProblem, config: &SolverConfig) -> Box<dyn Solver> {
+        (self.ctor)(problem, config)
+    }
+}
+
+impl std::fmt::Debug for SolverSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SolverSpec")
+            .field("name", &self.name)
+            .field("optimizes_source", &self.optimizes_source)
+            .finish()
+    }
+}
+
+/// Maps stable method names to solver constructors.
+#[derive(Debug)]
+pub struct SolverRegistry {
+    specs: Vec<SolverSpec>,
+}
+
+impl SolverRegistry {
+    /// The built-in roster: the eight methods of Tables 3/4, in the paper's
+    /// column order.
+    pub fn builtin() -> &'static SolverRegistry {
+        static BUILTIN: OnceLock<SolverRegistry> = OnceLock::new();
+        BUILTIN.get_or_init(|| SolverRegistry {
+            specs: vec![
+                SolverSpec {
+                    name: "NILT",
+                    summary: "NILT [7] proxy: Hopkins ILT, Q = 6, no PVB term",
+                    optimizes_source: false,
+                    ctor: |p, c| Box::new(HopkinsProxySolver::nilt(p, c)),
+                },
+                SolverSpec {
+                    name: "DAC23-MILT",
+                    summary: "DAC23-MILT [10] proxy: Hopkins ILT, Q = 24, PVB, two-level schedule",
+                    optimizes_source: false,
+                    ctor: |p, c| Box::new(HopkinsProxySolver::milt(p, c)),
+                },
+                SolverSpec {
+                    name: "Abbe-MO",
+                    summary: "Abbe-model mask-only optimization (ours, §4.1)",
+                    optimizes_source: false,
+                    ctor: |p, c| Box::new(AbbeMoSolver::new(p, c)),
+                },
+                SolverSpec {
+                    name: "AM(A~H)",
+                    summary: "AM-SMO, Abbe SO + Hopkins MO with per-round TCC rebuild [13]",
+                    optimizes_source: true,
+                    ctor: |p, c| {
+                        Box::new(AmSolver::new(p, MoModel::Hopkins { q: c.am.hybrid_q }, c))
+                    },
+                },
+                SolverSpec {
+                    name: "AM(A~A)",
+                    summary: "AM-SMO, Abbe model for both phases [12]",
+                    optimizes_source: true,
+                    ctor: |p, c| Box::new(AmSolver::new(p, MoModel::Abbe, c)),
+                },
+                SolverSpec {
+                    name: "BiSMO-FD",
+                    summary: "Bilevel SMO, finite-difference hypergradient (Eq. 13)",
+                    optimizes_source: true,
+                    ctor: |p, c| Box::new(BismoSolver::new(p, HypergradMethod::FiniteDiff, c)),
+                },
+                SolverSpec {
+                    name: "BiSMO-CG",
+                    summary: "Bilevel SMO, conjugate-gradient hypergradient (Eq. 18)",
+                    optimizes_source: true,
+                    ctor: |p, c| {
+                        Box::new(BismoSolver::new(
+                            p,
+                            HypergradMethod::ConjGrad { k: c.bismo.k },
+                            c,
+                        ))
+                    },
+                },
+                SolverSpec {
+                    name: "BiSMO-NMN",
+                    summary: "Bilevel SMO, Neumann-series hypergradient (Eq. 16)",
+                    optimizes_source: true,
+                    ctor: |p, c| {
+                        Box::new(BismoSolver::new(
+                            p,
+                            HypergradMethod::Neumann { k: c.bismo.k },
+                            c,
+                        ))
+                    },
+                },
+            ],
+        })
+    }
+
+    /// All entries, in roster order.
+    pub fn specs(&self) -> &[SolverSpec] {
+        &self.specs
+    }
+
+    /// All method names, in roster order.
+    pub fn names(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.specs.iter().map(|s| s.name)
+    }
+
+    /// Looks a method up by name, case-insensitively.
+    pub fn get(&self, name: &str) -> Option<&SolverSpec> {
+        self.specs
+            .iter()
+            .find(|s| s.name.eq_ignore_ascii_case(name.trim()))
+    }
+
+    /// Constructs the named solver.
+    ///
+    /// # Errors
+    ///
+    /// An unknown name is an error listing the valid ones (the same
+    /// fail-fast contract as the env-variable parsers).
+    pub fn create(
+        &self,
+        name: &str,
+        problem: &SmoProblem,
+        config: &SolverConfig,
+    ) -> Result<Box<dyn Solver>, String> {
+        match self.get(name) {
+            Some(spec) => Ok(spec.create(problem, config)),
+            None => Err(format!(
+                "unknown solver name {name:?}; valid names are {}",
+                self.specs
+                    .iter()
+                    .map(|s| format!("{:?}", s.name))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )),
+        }
+    }
+
+    /// Constructs the named solver and wraps it in a [`Session`] with the
+    /// default Table 1 initialization.
+    ///
+    /// # Errors
+    ///
+    /// Unknown names and capability rejections are both reported as
+    /// rendered messages (stringified, since the name is dynamic).
+    pub fn session<'p>(
+        &self,
+        name: &str,
+        problem: &'p SmoProblem,
+        config: &SolverConfig,
+    ) -> Result<Session<'p>, String> {
+        let solver = self.create(name, problem, config)?;
+        Session::new(problem, solver).map_err(|e| e.to_string())
+    }
+
+    /// Convenience for the common fire-and-forget shape: constructs the
+    /// named solver, drives a default-initialized session to completion and
+    /// returns its outcome. Callers that need observers, budgets, pausing
+    /// or custom initialization use [`SolverRegistry::session`] /
+    /// [`SolverRegistry::session_with_init`] instead.
+    ///
+    /// # Errors
+    ///
+    /// Unknown names, capability rejections and imaging failures, rendered
+    /// (see [`SolverRegistry::session`]).
+    pub fn run(
+        &self,
+        name: &str,
+        problem: &SmoProblem,
+        config: &SolverConfig,
+    ) -> Result<SmoOutcome, String> {
+        let mut session = self.session(name, problem, config)?;
+        session.run().map_err(|e| e.to_string())?;
+        Ok(session.into_outcome())
+    }
+
+    /// Like [`SolverRegistry::session`] but with explicit initial
+    /// parameters.
+    ///
+    /// # Errors
+    ///
+    /// See [`SolverRegistry::session`].
+    pub fn session_with_init<'p>(
+        &self,
+        name: &str,
+        problem: &'p SmoProblem,
+        config: &SolverConfig,
+        theta_j: Vec<f64>,
+        theta_m: bismo_optics::RealField,
+    ) -> Result<Session<'p>, String> {
+        let solver = self.create(name, problem, config)?;
+        Session::with_init(problem, solver, theta_j, theta_m).map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roster_matches_the_paper_columns_in_order() {
+        let names: Vec<&str> = SolverRegistry::builtin().names().collect();
+        assert_eq!(
+            names,
+            vec![
+                "NILT",
+                "DAC23-MILT",
+                "Abbe-MO",
+                "AM(A~H)",
+                "AM(A~A)",
+                "BiSMO-FD",
+                "BiSMO-CG",
+                "BiSMO-NMN",
+            ]
+        );
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive_and_fails_fast() {
+        let reg = SolverRegistry::builtin();
+        assert_eq!(reg.get("bismo-nmn").unwrap().name(), "BiSMO-NMN");
+        assert_eq!(reg.get(" am(a~h) ").unwrap().name(), "AM(A~H)");
+        assert!(reg.get("bogus").is_none());
+
+        let cfg = crate::solver::SolverConfig::default();
+        let p = {
+            use bismo_optics::{OpticalConfig, RealField};
+            let optical = OpticalConfig::test_small();
+            let target = RealField::zeros(optical.mask_dim());
+            SmoProblem::new(optical, crate::problem::SmoSettings::default(), target).unwrap()
+        };
+        let err = match reg.create("qiuck", &p, &cfg) {
+            Err(e) => e,
+            Ok(_) => panic!("typo'd solver name must not resolve"),
+        };
+        assert!(err.contains("qiuck") && err.contains("BiSMO-NMN"), "{err}");
+    }
+
+    #[test]
+    fn solver_names_round_trip_through_construction() {
+        use bismo_optics::{OpticalConfig, RealField};
+        let optical = OpticalConfig::test_small();
+        let target = RealField::zeros(optical.mask_dim());
+        let p = SmoProblem::new(optical, crate::problem::SmoSettings::default(), target).unwrap();
+        let cfg = crate::solver::SolverConfig::default();
+        for spec in SolverRegistry::builtin().specs() {
+            let solver = spec.create(&p, &cfg);
+            assert_eq!(solver.name(), spec.name(), "ctor/name mismatch");
+        }
+    }
+}

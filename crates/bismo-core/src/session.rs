@@ -1,0 +1,440 @@
+//! The [`Session`] type: owns a [`Solver`]'s run — parameters, trace,
+//! status, wall-clock budget and per-step observers (DESIGN.md §8).
+//!
+//! A session is the unit every consumer drives: the bench harness runs one
+//! per (method, clip) cell, the figures stream traces out of observers, and
+//! tests pause mid-run (`run_steps`) and continue later with results
+//! bit-identical to an uninterrupted run, because *all* mutable state lives
+//! either in the session's [`SolverState`] or inside the solver itself.
+
+use bismo_litho::LithoError;
+use bismo_optics::{RealField, SourceShape};
+
+use crate::amsmo::SmoOutcome;
+use crate::problem::SmoProblem;
+use crate::solver::{Solver, SolverState, StepOutcome, StopReason};
+use crate::trace::{ConvergenceTrace, StepRecord};
+
+/// Where a session stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionStatus {
+    /// More work remains; `step`/`run` will advance it.
+    Running,
+    /// The solver's stop rule fired. Terminal.
+    Converged,
+    /// The solver's step budget was spent. Terminal.
+    Exhausted,
+    /// An observer or the wall-clock budget paused the run; `resume`
+    /// continues it.
+    Stopped,
+    /// A step returned an imaging error; the state is poisoned. Terminal.
+    Failed,
+}
+
+/// What an observer tells the session after seeing a step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Control {
+    /// Keep going.
+    Continue,
+    /// Pause the session after this step (it stays resumable).
+    Stop,
+}
+
+/// Snapshot handed to observers after every step.
+#[derive(Debug)]
+pub struct StepEvent<'a> {
+    /// The solver's registry name.
+    pub solver: &'static str,
+    /// Session-level step count (solver `step` calls so far).
+    pub steps_taken: usize,
+    /// Trace records appended by this step (may be empty on a pure
+    /// bookkeeping step, e.g. a budget-exhaustion probe).
+    pub new_records: &'a [StepRecord],
+    /// The full run state (parameters and trace).
+    pub state: &'a SolverState,
+    /// Status after this step.
+    pub status: SessionStatus,
+}
+
+/// A driving harness around one [`Solver`] on one [`SmoProblem`].
+///
+/// # Examples
+///
+/// ```
+/// use bismo_core::{Session, SolverConfig, SolverRegistry, SessionStatus, SmoProblem, SmoSettings};
+/// use bismo_optics::{OpticalConfig, RealField};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let cfg = OpticalConfig::test_small();
+/// let target = RealField::from_fn(cfg.mask_dim(), |r, c| {
+///     if (24..40).contains(&r) && (20..44).contains(&c) { 1.0 } else { 0.0 }
+/// });
+/// let problem = SmoProblem::new(cfg, SmoSettings::default().without_pvb(), target)?;
+/// let mut config = SolverConfig::default();
+/// config.bismo.outer_steps = 2;
+/// let mut session = SolverRegistry::builtin().session("BiSMO-FD", &problem, &config)?;
+/// let status = session.run()?;
+/// assert_eq!(status, SessionStatus::Exhausted);
+/// assert_eq!(session.trace().len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub struct Session<'p> {
+    problem: &'p SmoProblem,
+    solver: Box<dyn Solver>,
+    state: SolverState,
+    status: SessionStatus,
+    steps_taken: usize,
+    max_wall_s: Option<f64>,
+    #[allow(clippy::type_complexity)]
+    observers: Vec<Box<dyn FnMut(&StepEvent<'_>) -> Control + 'p>>,
+}
+
+impl<'p> Session<'p> {
+    /// Creates a session with the paper's Table 1 initialization: θ_M from
+    /// the problem's target, θ_J from the optical configuration's annular
+    /// template.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LithoError::Unsupported`] when the solver's capability
+    /// query rejects the problem.
+    pub fn new(
+        problem: &'p SmoProblem,
+        solver: Box<dyn Solver>,
+    ) -> Result<Session<'p>, LithoError> {
+        let optical = problem.optical();
+        let theta_j = problem.init_theta_j(SourceShape::Annular {
+            sigma_in: optical.sigma_in(),
+            sigma_out: optical.sigma_out(),
+        });
+        let theta_m = problem.init_theta_m();
+        Session::with_init(problem, solver, theta_j, theta_m)
+    }
+
+    /// Creates a session from explicit initial parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LithoError::Unsupported`] when the solver's capability
+    /// query rejects the problem.
+    pub fn with_init(
+        problem: &'p SmoProblem,
+        solver: Box<dyn Solver>,
+        theta_j: Vec<f64>,
+        theta_m: RealField,
+    ) -> Result<Session<'p>, LithoError> {
+        if !solver.supports(problem) {
+            return Err(LithoError::Unsupported(
+                "solver's capability query rejected this problem",
+            ));
+        }
+        Ok(Session {
+            problem,
+            solver,
+            state: SolverState::new(theta_j, theta_m),
+            status: SessionStatus::Running,
+            steps_taken: 0,
+            max_wall_s: None,
+            observers: Vec::new(),
+        })
+    }
+
+    /// Pauses the run once the state clock passes `seconds` (checked after
+    /// each step; the session stays resumable).
+    #[must_use]
+    pub fn with_wall_budget_s(mut self, seconds: f64) -> Self {
+        self.max_wall_s = Some(seconds);
+        self
+    }
+
+    /// Registers a per-step observer — the streaming-trace / checkpointing
+    /// hook. Observers run in registration order after every step; any of
+    /// them returning [`Control::Stop`] pauses the session.
+    #[must_use]
+    pub fn observe(mut self, observer: impl FnMut(&StepEvent<'_>) -> Control + 'p) -> Self {
+        self.observers.push(Box::new(observer));
+        self
+    }
+
+    /// Advances the solver by one step. A no-op returning the current
+    /// status when the session is not running.
+    ///
+    /// # Errors
+    ///
+    /// Propagates imaging failures; the session transitions to
+    /// [`SessionStatus::Failed`].
+    pub fn step(&mut self) -> Result<SessionStatus, LithoError> {
+        if self.status != SessionStatus::Running {
+            return Ok(self.status);
+        }
+        let before = self.state.trace.len();
+        let outcome = match self.solver.step(self.problem, &mut self.state) {
+            Ok(outcome) => outcome,
+            Err(e) => {
+                self.status = SessionStatus::Failed;
+                return Err(e);
+            }
+        };
+        self.steps_taken += 1;
+        self.status = match outcome {
+            StepOutcome::Running => SessionStatus::Running,
+            StepOutcome::Done(StopReason::Converged) => SessionStatus::Converged,
+            StepOutcome::Done(StopReason::Exhausted) => SessionStatus::Exhausted,
+        };
+        if self.status == SessionStatus::Running
+            && self
+                .max_wall_s
+                .is_some_and(|budget| self.state.elapsed_s() >= budget)
+        {
+            self.status = SessionStatus::Stopped;
+        }
+        if !self.observers.is_empty() {
+            let event = StepEvent {
+                solver: self.solver.name(),
+                steps_taken: self.steps_taken,
+                new_records: &self.state.trace.records()[before..],
+                state: &self.state,
+                status: self.status,
+            };
+            let mut pause = false;
+            for observer in &mut self.observers {
+                if observer(&event) == Control::Stop {
+                    pause = true;
+                }
+            }
+            if pause && self.status == SessionStatus::Running {
+                self.status = SessionStatus::Stopped;
+            }
+        }
+        if self.status == SessionStatus::Stopped {
+            // Idle time while paused must not count as run time (or burn
+            // the wall budget the moment the session resumes).
+            self.state.pause_clock();
+        }
+        Ok(self.status)
+    }
+
+    /// Runs until the solver finishes or something pauses the session.
+    ///
+    /// # Errors
+    ///
+    /// Propagates imaging failures (see [`Session::step`]).
+    pub fn run(&mut self) -> Result<SessionStatus, LithoError> {
+        while self.status == SessionStatus::Running {
+            self.step()?;
+        }
+        Ok(self.status)
+    }
+
+    /// Advances at most `n` steps (fewer if the run finishes first).
+    ///
+    /// # Errors
+    ///
+    /// Propagates imaging failures (see [`Session::step`]).
+    pub fn run_steps(&mut self, n: usize) -> Result<SessionStatus, LithoError> {
+        for _ in 0..n {
+            if self.status != SessionStatus::Running {
+                break;
+            }
+            self.step()?;
+        }
+        Ok(self.status)
+    }
+
+    /// Resumes a [`SessionStatus::Stopped`] session and runs to the next
+    /// stopping point. Terminal states are returned unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Propagates imaging failures (see [`Session::step`]).
+    pub fn resume(&mut self) -> Result<SessionStatus, LithoError> {
+        if self.status == SessionStatus::Stopped {
+            self.state.resume_clock();
+            self.status = SessionStatus::Running;
+        }
+        self.run()
+    }
+
+    /// The problem this session runs on.
+    pub fn problem(&self) -> &'p SmoProblem {
+        self.problem
+    }
+
+    /// The solver's registry name.
+    pub fn solver_name(&self) -> &'static str {
+        self.solver.name()
+    }
+
+    /// Current status.
+    pub fn status(&self) -> SessionStatus {
+        self.status
+    }
+
+    /// Solver `step` calls performed so far.
+    pub fn steps_taken(&self) -> usize {
+        self.steps_taken
+    }
+
+    /// The run state (parameters and trace).
+    pub fn state(&self) -> &SolverState {
+        &self.state
+    }
+
+    /// The convergence trace recorded so far.
+    pub fn trace(&self) -> &ConvergenceTrace {
+        &self.state.trace
+    }
+
+    /// Current source parameters.
+    pub fn theta_j(&self) -> &[f64] {
+        &self.state.theta_j
+    }
+
+    /// Current mask parameters.
+    pub fn theta_m(&self) -> &RealField {
+        &self.state.theta_m
+    }
+
+    /// Run-clock seconds: time this session has spent running, excluding
+    /// paused stretches.
+    pub fn wall_s(&self) -> f64 {
+        self.state.elapsed_s()
+    }
+
+    /// Consumes the session into the outcome type the historical drivers
+    /// returned.
+    pub fn into_outcome(self) -> SmoOutcome {
+        let wall_s = self.state.elapsed_s();
+        SmoOutcome {
+            theta_j: self.state.theta_j,
+            theta_m: self.state.theta_m,
+            trace: self.state.trace,
+            wall_s,
+        }
+    }
+}
+
+impl std::fmt::Debug for Session<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("solver", &self.solver.name())
+            .field("status", &self.status)
+            .field("steps_taken", &self.steps_taken)
+            .field("trace_len", &self.state.trace.len())
+            .field("observers", &self.observers.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mo::AbbeMoSolver;
+    use crate::problem::SmoSettings;
+    use crate::solver::SolverConfig;
+    use bismo_optics::OpticalConfig;
+
+    fn problem() -> SmoProblem {
+        let cfg = OpticalConfig::test_small();
+        let target = RealField::from_fn(cfg.mask_dim(), |r, c| {
+            if (24..40).contains(&r) && (20..44).contains(&c) {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        SmoProblem::new(cfg, SmoSettings::default().without_pvb(), target).unwrap()
+    }
+
+    fn quick_mo_config(steps: usize) -> SolverConfig {
+        let mut cfg = SolverConfig::default();
+        cfg.mo.steps = steps;
+        cfg
+    }
+
+    #[test]
+    fn run_exhausts_the_budget_and_is_idempotent_after() {
+        let p = problem();
+        let cfg = quick_mo_config(3);
+        let mut s = Session::new(&p, Box::new(AbbeMoSolver::new(&p, &cfg))).unwrap();
+        assert_eq!(s.status(), SessionStatus::Running);
+        assert_eq!(s.run().unwrap(), SessionStatus::Exhausted);
+        assert_eq!(s.trace().len(), 3);
+        // Stepping a finished session is a no-op.
+        let len = s.trace().len();
+        assert_eq!(s.step().unwrap(), SessionStatus::Exhausted);
+        assert_eq!(s.trace().len(), len);
+    }
+
+    #[test]
+    fn observer_can_pause_and_resume_continues() {
+        let p = problem();
+        let cfg = quick_mo_config(4);
+        let mut s = Session::new(&p, Box::new(AbbeMoSolver::new(&p, &cfg)))
+            .unwrap()
+            .observe(|event| {
+                if event.steps_taken == 2 {
+                    Control::Stop
+                } else {
+                    Control::Continue
+                }
+            });
+        assert_eq!(s.run().unwrap(), SessionStatus::Stopped);
+        assert_eq!(s.trace().len(), 2);
+        assert_eq!(s.resume().unwrap(), SessionStatus::Exhausted);
+        assert_eq!(s.trace().len(), 4);
+    }
+
+    #[test]
+    fn observers_see_every_new_record() {
+        let p = problem();
+        let cfg = quick_mo_config(3);
+        let seen = std::cell::RefCell::new(0usize);
+        let mut s = Session::new(&p, Box::new(AbbeMoSolver::new(&p, &cfg)))
+            .unwrap()
+            .observe(|event| {
+                *seen.borrow_mut() += event.new_records.len();
+                assert_eq!(event.solver, "Abbe-MO");
+                Control::Continue
+            });
+        s.run().unwrap();
+        assert_eq!(*seen.borrow(), 3);
+    }
+
+    #[test]
+    fn paused_sessions_do_not_accrue_run_time() {
+        let p = problem();
+        let cfg = quick_mo_config(2);
+        let mut s = Session::new(&p, Box::new(AbbeMoSolver::new(&p, &cfg)))
+            .unwrap()
+            .observe(|event| {
+                if event.steps_taken == 1 {
+                    Control::Stop
+                } else {
+                    Control::Continue
+                }
+            });
+        assert_eq!(s.run().unwrap(), SessionStatus::Stopped);
+        let paused_at = s.wall_s();
+        std::thread::sleep(std::time::Duration::from_millis(150));
+        let idle = s.wall_s() - paused_at;
+        assert!(
+            idle < 0.05,
+            "run clock advanced {idle}s while the session was paused"
+        );
+        assert_eq!(s.resume().unwrap(), SessionStatus::Exhausted);
+        assert_eq!(s.trace().len(), 2);
+    }
+
+    #[test]
+    fn wall_budget_pauses_the_session() {
+        let p = problem();
+        let cfg = quick_mo_config(50);
+        let mut s = Session::new(&p, Box::new(AbbeMoSolver::new(&p, &cfg)))
+            .unwrap()
+            .with_wall_budget_s(0.0);
+        assert_eq!(s.run().unwrap(), SessionStatus::Stopped);
+        assert_eq!(s.trace().len(), 1, "budget is checked after each step");
+    }
+}

@@ -1,0 +1,382 @@
+//! The step-based solver abstraction every optimization method implements
+//! (DESIGN.md §8).
+//!
+//! A [`Solver`] advances one *observable unit of work* per [`Solver::step`]
+//! call — exactly the work between two [`crate::StepRecord`]s of the
+//! historical monolithic drivers (one mask update for the MO methods, one
+//! inner source *or* mask update for AM-SMO, one outer iteration for
+//! BiSMO). The driving [`crate::Session`] owns the parameter blocks and the
+//! [`ConvergenceTrace`] in a [`SolverState`], so runs can be paused,
+//! observed, budgeted and resumed between any two steps with results
+//! bit-identical to an uninterrupted run (enforced by
+//! `tests/solver_golden.rs`).
+//!
+//! Configuration is a single layered [`SolverConfig`]: shared knobs (step
+//! size, optimizer families, stop rule) plus one section per method family,
+//! replacing the historical `MoConfig`/`AmSmoConfig`/`BismoConfig` trio.
+//! Selected fields are overridable from the environment with the same
+//! fail-fast contract as `BISMO_SCALE`/`BISMO_JOBS`: a typo panics with the
+//! valid values listed instead of silently running a different experiment.
+
+use std::time::Instant;
+
+use bismo_litho::LithoError;
+use bismo_opt::OptimizerKind;
+use bismo_optics::RealField;
+
+use crate::problem::{LossValue, SmoProblem};
+use crate::trace::{ConvergenceTrace, StepRecord, StopRule};
+
+/// Why a solver declared itself done.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The solver's stop rule fired (plateau detected).
+    Converged,
+    /// The configured step budget was spent.
+    Exhausted,
+}
+
+/// Result of one [`Solver::step`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// Work remains; call `step` again to continue.
+    Running,
+    /// The run is complete; further `step` calls must keep returning
+    /// `Done` without touching the state.
+    Done(StopReason),
+}
+
+/// The mutable run state a [`crate::Session`] owns and threads through its
+/// solver: both parameter blocks, the convergence trace, and the run clock.
+///
+/// The clock is *pausable*: a session that stops (observer request or
+/// wall-clock budget) pauses it, so idle time between a pause and the
+/// matching resume never inflates `elapsed_s` — the turnaround times of
+/// Tables 3/4 measure optimization, not how long a checkpoint sat on disk.
+#[derive(Debug)]
+pub struct SolverState {
+    /// Source parameters θ_J (empty for mask-only problems driven outside a
+    /// session, e.g. the legacy Hopkins loop).
+    pub theta_j: Vec<f64>,
+    /// Mask parameters θ_M.
+    pub theta_m: RealField,
+    /// Every loss recorded so far, one record per completed step.
+    pub trace: ConvergenceTrace,
+    /// Start of the current running stretch (`None` while paused).
+    running_since: Option<Instant>,
+    /// Run time accumulated over previous running stretches.
+    accumulated: std::time::Duration,
+}
+
+impl SolverState {
+    /// Fresh state starting the run clock now.
+    pub fn new(theta_j: Vec<f64>, theta_m: RealField) -> SolverState {
+        SolverState {
+            theta_j,
+            theta_m,
+            trace: ConvergenceTrace::new(),
+            running_since: Some(Instant::now()),
+            accumulated: std::time::Duration::ZERO,
+        }
+    }
+
+    /// Run-clock seconds: time spent running, excluding paused stretches.
+    pub fn elapsed_s(&self) -> f64 {
+        let running = self
+            .running_since
+            .map(|s| s.elapsed())
+            .unwrap_or(std::time::Duration::ZERO);
+        (self.accumulated + running).as_secs_f64()
+    }
+
+    /// Pauses the run clock (idempotent).
+    pub fn pause_clock(&mut self) {
+        if let Some(since) = self.running_since.take() {
+            self.accumulated += since.elapsed();
+        }
+    }
+
+    /// Resumes a paused run clock (idempotent).
+    pub fn resume_clock(&mut self) {
+        if self.running_since.is_none() {
+            self.running_since = Some(Instant::now());
+        }
+    }
+
+    /// Appends a trace record for `loss` at the current step index (the
+    /// historical drivers' convention: the step field counts records).
+    pub fn record(&mut self, loss: LossValue) {
+        let step = self.trace.len();
+        let elapsed_s = self.elapsed_s();
+        self.trace.push(StepRecord {
+            step,
+            loss: loss.total,
+            l2: loss.l2,
+            pvb: loss.pvb,
+            elapsed_s,
+        });
+    }
+}
+
+/// A step-based optimization driver over the unified Abbe SMO problem.
+///
+/// Implementations own all method-internal mutable state (optimizer
+/// moments, warm starts, phase machines, lazily-built Hopkins problems);
+/// everything observable lives in the [`SolverState`] the session passes
+/// in. One `step` call performs the work between two trace records of the
+/// corresponding historical driver and pushes exactly the records that
+/// driver would have pushed (0 when only bookkeeping remained).
+pub trait Solver: Send {
+    /// Stable method name — the paper's column label, and the key under
+    /// which [`crate::SolverRegistry`] constructs this solver.
+    fn name(&self) -> &'static str;
+
+    /// Whether this solver can run on `problem` (capability query; e.g.
+    /// source-optimizing methods need a backend with source gradients).
+    /// [`crate::Session`] checks this at construction.
+    fn supports(&self, problem: &SmoProblem) -> bool {
+        let _ = problem;
+        true
+    }
+
+    /// Advances the run by one unit of work.
+    ///
+    /// # Errors
+    ///
+    /// Propagates imaging failures; the session marks itself failed and the
+    /// state must be considered poisoned.
+    fn step(
+        &mut self,
+        problem: &SmoProblem,
+        state: &mut SolverState,
+    ) -> Result<StepOutcome, LithoError>;
+}
+
+/// Mask-only section of [`SolverConfig`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MoSection {
+    /// Maximum number of mask updates.
+    pub steps: usize,
+}
+
+/// Alternating-minimization section of [`SolverConfig`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AmSection {
+    /// Number of alternating rounds `k`.
+    pub rounds: usize,
+    /// SO updates per round (cap when `phase_stop` is set).
+    pub so_steps: usize,
+    /// MO updates per round (cap when `phase_stop` is set).
+    pub mo_steps: usize,
+    /// Optional per-phase convergence rule (Algorithm 1's "while not
+    /// converged" inner loops).
+    pub phase_stop: Option<StopRule>,
+    /// SOCS truncation rank for the hybrid's Hopkins MO phase.
+    pub hybrid_q: usize,
+}
+
+/// BiSMO section of [`SolverConfig`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BismoSection {
+    /// Outer (mask) updates.
+    pub outer_steps: usize,
+    /// Inner SO unroll length `T` (Algorithm 2 line 2).
+    pub unroll_t: usize,
+    /// Inner step size `ξ_J`.
+    pub xi_j: f64,
+    /// Outer step size `ξ_M`.
+    pub xi_m: f64,
+    /// Base step for the finite-difference curvature products.
+    pub hvp_eps: f64,
+    /// Krylov/Neumann depth `K` for the CG and Neumann hypergradients
+    /// (paper: 5). Env-overridable via `BISMO_HYPERGRAD_K`.
+    pub k: usize,
+}
+
+impl BismoSection {
+    /// The paper's §4 default depth `K`.
+    pub const DEFAULT_K: usize = 5;
+}
+
+/// One layered configuration for every solver in the registry: shared knobs
+/// first, per-method-family sections after. Replaces the historical
+/// `MoConfig` / `AmSmoConfig` / `BismoConfig` trio (still accepted by the
+/// deprecated `run_*` shims).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolverConfig {
+    /// Shared step size ξ for the MO and AM families (BiSMO carries its own
+    /// ξ_J/ξ_M in [`BismoSection`]). Paper: 0.1.
+    pub lr: f64,
+    /// Optimizer family for mask updates. Env-overridable (together with
+    /// `kind_j`) via `BISMO_OPTIMIZER`.
+    pub kind_m: OptimizerKind,
+    /// Optimizer family for source updates.
+    pub kind_j: OptimizerKind,
+    /// Optional plateau-based early stopping shared by every method (AM
+    /// checks it at round boundaries, everything else per step).
+    pub stop: Option<StopRule>,
+    /// Mask-only budgets.
+    pub mo: MoSection,
+    /// Alternating-minimization budgets.
+    pub am: AmSection,
+    /// BiSMO hyperparameters.
+    pub bismo: BismoSection,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            lr: 0.1,
+            kind_m: OptimizerKind::Adam,
+            kind_j: OptimizerKind::Adam,
+            stop: None,
+            mo: MoSection { steps: 100 },
+            am: AmSection {
+                rounds: 5,
+                so_steps: 10,
+                mo_steps: 10,
+                phase_stop: None,
+                hybrid_q: 24,
+            },
+            bismo: BismoSection {
+                outer_steps: 100,
+                unroll_t: 3,
+                xi_j: 0.1,
+                xi_m: 0.1,
+                hvp_eps: 1e-2,
+                k: BismoSection::DEFAULT_K,
+            },
+        }
+    }
+}
+
+impl SolverConfig {
+    /// Applies environment overrides read through `get` (injectable for
+    /// tests). Recognized variables:
+    ///
+    /// * `BISMO_HYPERGRAD_K` — Krylov/Neumann depth for BiSMO-CG/NMN;
+    /// * `BISMO_OPTIMIZER` — optimizer family name (`sgd` / `momentum` /
+    ///   `adam`) for **both** parameter blocks.
+    ///
+    /// Unset or empty variables leave the corresponding field untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending variable and value — the same
+    /// fail-fast contract as `BISMO_SCALE`: a typo must not silently run a
+    /// different experiment.
+    pub fn apply_env(mut self, get: impl Fn(&str) -> Option<String>) -> Result<Self, String> {
+        if let Some(raw) = get("BISMO_HYPERGRAD_K") {
+            let trimmed = raw.trim();
+            if !trimmed.is_empty() {
+                self.bismo.k = trimmed.parse::<usize>().map_err(|_| {
+                    format!(
+                        "unrecognized BISMO_HYPERGRAD_K value {raw:?}; expected a \
+                         non-negative integer Krylov/Neumann depth (or unset for \
+                         the paper default {})",
+                        BismoSection::DEFAULT_K
+                    )
+                })?;
+            }
+        }
+        if let Some(raw) = get("BISMO_OPTIMIZER") {
+            let trimmed = raw.trim();
+            if !trimmed.is_empty() {
+                let kind = OptimizerKind::from_name(trimmed)
+                    .map_err(|e| format!("unrecognized BISMO_OPTIMIZER value: {e}"))?;
+                self.kind_m = kind;
+                self.kind_j = kind;
+            }
+        }
+        Ok(self)
+    }
+
+    /// Defaults with process-environment overrides applied.
+    ///
+    /// # Panics
+    ///
+    /// Fails fast on an unrecognized override value (see
+    /// [`SolverConfig::apply_env`]).
+    pub fn from_env() -> SolverConfig {
+        match SolverConfig::default().apply_env(|key| std::env::var(key).ok()) {
+            Ok(cfg) => cfg,
+            Err(msg) => panic!("{msg}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env<'a>(pairs: &'a [(&'a str, &'a str)]) -> impl Fn(&str) -> Option<String> + 'a {
+        move |key| {
+            pairs
+                .iter()
+                .find(|(k, _)| *k == key)
+                .map(|(_, v)| v.to_string())
+        }
+    }
+
+    #[test]
+    fn defaults_mirror_the_legacy_config_structs() {
+        let cfg = SolverConfig::default();
+        assert_eq!(cfg.lr, 0.1);
+        assert_eq!(cfg.mo.steps, 100);
+        assert_eq!(
+            (cfg.am.rounds, cfg.am.so_steps, cfg.am.mo_steps),
+            (5, 10, 10)
+        );
+        assert_eq!(cfg.bismo.outer_steps, 100);
+        assert_eq!(cfg.bismo.unroll_t, 3);
+        assert_eq!(cfg.bismo.k, 5);
+        assert_eq!(cfg.stop, None);
+    }
+
+    #[test]
+    fn env_overrides_parse_and_fail_fast() {
+        let cfg = SolverConfig::default()
+            .apply_env(env(&[
+                ("BISMO_HYPERGRAD_K", " 9 "),
+                ("BISMO_OPTIMIZER", "SGD"),
+            ]))
+            .unwrap();
+        assert_eq!(cfg.bismo.k, 9);
+        assert_eq!(cfg.kind_m, OptimizerKind::Sgd);
+        assert_eq!(cfg.kind_j, OptimizerKind::Sgd);
+
+        // Empty and unset leave defaults.
+        let cfg = SolverConfig::default()
+            .apply_env(env(&[("BISMO_HYPERGRAD_K", "")]))
+            .unwrap();
+        assert_eq!(cfg.bismo.k, BismoSection::DEFAULT_K);
+
+        // Typos are errors, not silent defaults.
+        let err = SolverConfig::default()
+            .apply_env(env(&[("BISMO_HYPERGRAD_K", "five")]))
+            .unwrap_err();
+        assert!(
+            err.contains("five") && err.contains("BISMO_HYPERGRAD_K"),
+            "{err}"
+        );
+        let err = SolverConfig::default()
+            .apply_env(env(&[("BISMO_OPTIMIZER", "adamw")]))
+            .unwrap_err();
+        assert!(err.contains("adamw"), "{err}");
+    }
+
+    #[test]
+    fn state_records_sequential_step_indices() {
+        let mut state = SolverState::new(vec![0.0], RealField::zeros(4));
+        for i in 0..3 {
+            state.record(LossValue {
+                total: 1.0 / (i + 1) as f64,
+                l2: 0.0,
+                pvb: 0.0,
+            });
+        }
+        let steps: Vec<usize> = state.trace.records().iter().map(|r| r.step).collect();
+        assert_eq!(steps, vec![0, 1, 2]);
+        assert!(state.elapsed_s() >= 0.0);
+    }
+}

@@ -235,6 +235,10 @@ pub enum OptimizerKind {
 }
 
 impl OptimizerKind {
+    /// Momentum decay selected when the family is chosen by name (the
+    /// classical heavy-ball default).
+    pub const DEFAULT_MOMENTUM: f64 = 0.9;
+
     /// Instantiates the optimizer for a parameter vector of length `len`.
     pub fn build(self, lr: f64, len: usize) -> Box<dyn Optimizer + Send> {
         match self {
@@ -242,6 +246,45 @@ impl OptimizerKind {
             OptimizerKind::Momentum(mu) => Box::new(Momentum::new(lr, mu, len)),
             OptimizerKind::Adam => Box::new(Adam::new(lr, len)),
         }
+    }
+
+    /// Stable lowercase name of the family, round-tripping through
+    /// [`OptimizerKind::from_name`] (the momentum decay is not encoded; by
+    /// name the family comes back with [`OptimizerKind::DEFAULT_MOMENTUM`]).
+    pub fn name(&self) -> &'static str {
+        match self {
+            OptimizerKind::Sgd => "sgd",
+            OptimizerKind::Momentum(_) => "momentum",
+            OptimizerKind::Adam => "adam",
+        }
+    }
+
+    /// Parses an optimizer family by name, case-insensitively — the same
+    /// fail-fast contract as `Scale::parse` in the bench harness: a typo is
+    /// an error naming the offending value and the valid ones, never a
+    /// silent fallback.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing the valid names.
+    pub fn from_name(raw: &str) -> Result<OptimizerKind, String> {
+        match raw.trim().to_ascii_lowercase().as_str() {
+            "sgd" => Ok(OptimizerKind::Sgd),
+            "momentum" => Ok(OptimizerKind::Momentum(Self::DEFAULT_MOMENTUM)),
+            "adam" => Ok(OptimizerKind::Adam),
+            other => Err(format!(
+                "unrecognized optimizer name {other:?}; valid values are \
+                 \"sgd\", \"momentum\", \"adam\" (case-insensitive)"
+            )),
+        }
+    }
+}
+
+impl std::str::FromStr for OptimizerKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        OptimizerKind::from_name(s)
     }
 }
 
@@ -354,6 +397,28 @@ mod tests {
         let mut opt = Sgd::new(0.1, 2);
         let mut x = vec![0.0, 0.0];
         opt.step(&mut x, &[1.0]);
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in [
+            OptimizerKind::Sgd,
+            OptimizerKind::Momentum(OptimizerKind::DEFAULT_MOMENTUM),
+            OptimizerKind::Adam,
+        ] {
+            assert_eq!(OptimizerKind::from_name(kind.name()), Ok(kind));
+            // FromStr mirrors from_name (enables `"adam".parse()`).
+            assert_eq!(kind.name().parse::<OptimizerKind>(), Ok(kind));
+        }
+        // Case-insensitive, whitespace-tolerant.
+        assert_eq!(OptimizerKind::from_name(" ADAM "), Ok(OptimizerKind::Adam));
+        assert_eq!(
+            OptimizerKind::from_name("Momentum"),
+            Ok(OptimizerKind::Momentum(0.9))
+        );
+        // Typos fail fast with the valid values listed.
+        let err = OptimizerKind::from_name("adamw").unwrap_err();
+        assert!(err.contains("adamw") && err.contains("momentum"), "{err}");
     }
 
     #[test]

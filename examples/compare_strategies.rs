@@ -1,6 +1,8 @@
 //! Compares the co-optimization strategies of the paper on one metal clip:
 //! mask-only (Abbe-MO), alternating minimization (AM-SMO, Algorithm 1) and
-//! bilevel SMO (BiSMO, Algorithm 2) — the Figure 3 story in miniature.
+//! bilevel SMO (BiSMO, Algorithm 2) — the Figure 3 story in miniature,
+//! and a demonstration of the registry API: each strategy is the same three
+//! lines with a different method name and config section.
 //!
 //! ```sh
 //! cargo run --release --example compare_strategies
@@ -14,57 +16,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let clip = &suite.clips()[0];
     println!("clip: {} ({:.0} nm²)", clip.name, clip.area_nm2);
 
-    let problem = SmoProblem::new(cfg.clone(), SmoSettings::default(), clip.target.clone())?;
-    let theta_j = problem.init_theta_j(SourceShape::Annular {
-        sigma_in: cfg.sigma_in(),
-        sigma_out: cfg.sigma_out(),
-    });
-    let theta_m = problem.init_theta_m();
+    let problem = SmoProblem::new(cfg, SmoSettings::default(), clip.target.clone())?;
+    let registry = SolverRegistry::builtin();
 
-    // 1) Mask-only: the source never moves.
-    let mo = run_abbe_mo(
-        &problem,
-        &theta_j,
-        &theta_m,
-        MoConfig {
-            steps: 24,
-            ..MoConfig::default()
-        },
-    )?;
-    let mo_loss = problem.loss(&theta_j, &mo.theta_m)?.total;
-
-    // 2) Alternating minimization (Algorithm 1): SO and MO take turns.
-    let am = run_am_smo(
-        &problem,
-        &theta_j,
-        &theta_m,
-        AmSmoConfig {
-            rounds: 3,
-            so_steps: 3,
-            mo_steps: 8,
-            ..AmSmoConfig::default()
-        },
-    )?;
-    let am_loss = problem.loss(&am.theta_j, &am.theta_m)?.total;
-
-    // 3) Bilevel SMO (Algorithm 2): the mask update sees the source's
-    //    best response through the hypergradient.
-    let bi = run_bismo(
-        &problem,
-        &theta_j,
-        &theta_m,
-        BismoConfig {
-            outer_steps: 24,
-            method: HypergradMethod::Neumann { k: 3 },
-            ..BismoConfig::default()
-        },
-    )?;
-    let bi_loss = problem.loss(&bi.theta_j, &bi.theta_m)?.total;
+    let mut config = SolverConfig::default();
+    config.mo.steps = 24; // 1) mask-only: the source never moves
+    config.am.rounds = 3; // 2) AM-SMO: SO and MO take turns
+    config.am.so_steps = 3;
+    config.am.mo_steps = 8;
+    config.bismo.outer_steps = 24; // 3) BiSMO: hypergradient mask updates
+    config.bismo.k = 3;
 
     println!("\nfinal L_smo (lower is better):");
-    println!("  Abbe-MO (mask only) : {mo_loss:.3}  in {:.1}s", mo.wall_s);
-    println!("  AM-SMO  (Alg. 1)    : {am_loss:.3}  in {:.1}s", am.wall_s);
-    println!("  BiSMO-NMN (Alg. 2)  : {bi_loss:.3}  in {:.1}s", bi.wall_s);
+    for (label, method) in [
+        ("Abbe-MO (mask only)", "Abbe-MO"),
+        ("AM-SMO  (Alg. 1)   ", "AM(A~A)"),
+        ("BiSMO-NMN (Alg. 2) ", "BiSMO-NMN"),
+    ] {
+        let out = registry.run(method, &problem, &config)?;
+        let loss = problem.loss(&out.theta_j, &out.theta_m)?.total;
+        println!("  {label}: {loss:.3}  in {:.1}s", out.wall_s);
+    }
     println!("\nExpected ordering (paper Fig. 3): MO > AM-SMO > BiSMO.");
     Ok(())
 }

@@ -20,16 +20,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let theta_m0 = problem.init_theta_m();
 
     // Optimize at nominal focus first.
-    let out = run_bismo(
-        &problem,
-        &theta_j,
-        &theta_m0,
-        BismoConfig {
-            outer_steps: 12,
-            method: HypergradMethod::FiniteDiff,
-            ..BismoConfig::default()
-        },
-    )?;
+    let mut config = SolverConfig::default();
+    config.bismo.outer_steps = 12;
+    let mut session = SolverRegistry::builtin()
+        .session_with_init("BiSMO-FD", &problem, &config, theta_j, theta_m0)?;
+    session.run()?;
+    let out = session.into_outcome();
     let source = problem.source(&out.theta_j);
     let mask = problem.mask(&out.theta_m);
     let resist = problem.resist();

@@ -32,19 +32,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         clip.target.clone(),
     )?;
 
-    let run = |problem: &SmoProblem| -> Result<(Vec<f64>, RealField), LithoError> {
+    let mut config = SolverConfig::default();
+    config.bismo.outer_steps = 16;
+    let run = |problem: &SmoProblem| -> Result<(Vec<f64>, RealField), String> {
         let tj = problem.init_theta_j(shape);
         let tm = problem.init_theta_m();
-        let out = run_bismo(
-            problem,
-            &tj,
-            &tm,
-            BismoConfig {
-                outer_steps: 16,
-                method: HypergradMethod::FiniteDiff,
-                ..BismoConfig::default()
-            },
-        )?;
+        let mut session =
+            SolverRegistry::builtin().session_with_init("BiSMO-FD", problem, &config, tj, tm)?;
+        session.run().map_err(|e| e.to_string())?;
+        let out = session.into_outcome();
         Ok((out.theta_j, out.theta_m))
     };
 

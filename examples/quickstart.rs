@@ -1,5 +1,5 @@
-//! Quickstart: run BiSMO-NMN on a single rectangle target and print the
-//! before/after loss and metrics.
+//! Quickstart: run BiSMO-NMN on a single rectangle target through the
+//! session API and print the before/after loss and metrics.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -19,33 +19,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The SMO problem bundles the Abbe engine, the sigmoid resist model and
     // the γ·L2 + η·PVB objective of the paper.
-    let problem = SmoProblem::new(cfg.clone(), SmoSettings::default(), clip.target)?;
+    let problem = SmoProblem::new(cfg, SmoSettings::default(), clip.target)?;
 
-    // Table 1 initialization: mask parameters from the target, source
-    // parameters from an annular template.
-    let theta_j = problem.init_theta_j(SourceShape::Annular {
-        sigma_in: cfg.sigma_in(),
-        sigma_out: cfg.sigma_out(),
-    });
-    let theta_m = problem.init_theta_m();
+    // Every method of the paper lives in the solver registry under its
+    // column label; the layered config carries the per-family knobs.
+    let mut config = SolverConfig::default();
+    config.bismo.outer_steps = 10;
+    config.bismo.k = 3;
 
-    let before = problem.loss(&theta_j, &theta_m)?;
+    let before = {
+        let session = SolverRegistry::builtin().session("BiSMO-NMN", &problem, &config)?;
+        problem.loss(session.theta_j(), session.theta_m())?
+    };
     println!(
         "initial loss: {:.3} (L2 {:.5}, PVB {:.5})",
         before.total, before.l2, before.pvb
     );
 
-    // Bilevel SMO with the Neumann-series hypergradient (Algorithm 2).
-    let out = run_bismo(
-        &problem,
-        &theta_j,
-        &theta_m,
-        BismoConfig {
-            outer_steps: 10,
-            method: HypergradMethod::Neumann { k: 3 },
-            ..BismoConfig::default()
-        },
-    )?;
+    // Bilevel SMO with the Neumann-series hypergradient (Algorithm 2),
+    // with a streaming observer printing every other outer step.
+    let mut session = SolverRegistry::builtin()
+        .session("BiSMO-NMN", &problem, &config)?
+        .observe(|event| {
+            if let Some(r) = event.new_records.last() {
+                if r.step % 2 == 0 {
+                    println!("  step {:>2}: loss {:.3}", r.step, r.loss);
+                }
+            }
+            Control::Continue
+        });
+    session.run()?;
+    let out = session.into_outcome();
     let after = problem.loss(&out.theta_j, &out.theta_m)?;
     println!(
         "final loss:   {:.3} (L2 {:.5}, PVB {:.5}) after {} outer steps, {:.1}s",

@@ -24,21 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     });
     let problem = SmoProblem::new(cfg.clone(), SmoSettings::default(), target.clone())?;
-    let theta_j = problem.init_theta_j(SourceShape::Annular {
-        sigma_in: cfg.sigma_in(),
-        sigma_out: cfg.sigma_out(),
-    });
-    let theta_m0 = problem.init_theta_m();
 
-    let out = run_abbe_mo(
-        &problem,
-        &theta_j,
-        &theta_m0,
-        MoConfig {
-            steps: 40,
-            ..MoConfig::default()
-        },
-    )?;
+    let mut config = SolverConfig::default();
+    config.mo.steps = 40;
+    let out = SolverRegistry::builtin().run("Abbe-MO", &problem, &config)?;
 
     // Count bright mask pixels more than 4 px away from any target pixel —
     // those are assist features, not main-feature edge corrections.

@@ -13,8 +13,10 @@
 //! * [`optics`] — optical configuration, pupil, illumination sources;
 //! * [`litho`] — Abbe and Hopkins/SOCS simulators with hand-derived adjoints;
 //! * [`opt`] — SGD / momentum / Adam;
-//! * [`core`] — the SMO objective, AM-SMO baseline (Algorithm 1) and the
-//!   three BiSMO hypergradient methods (Algorithm 2);
+//! * [`core`] — the SMO objective and the step-based solver API: every
+//!   method of the paper (mask-only baselines, AM-SMO Algorithm 1, the
+//!   three BiSMO hypergradients of Algorithm 2) is a `Solver` behind a
+//!   stable name in the `SolverRegistry`, driven by a `Session`;
 //! * [`layout`] — synthetic ICCAD13 / ICCAD-L / ISPD19-style benchmarks.
 //!
 //! ## Quickstart
@@ -25,18 +27,16 @@
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let cfg = OpticalConfig::test_small();
 //! let clip = Clip::simple_rect(&cfg);
-//! let problem = SmoProblem::new(cfg.clone(), SmoSettings::default().without_pvb(), clip.target)?;
-//! let theta_j = problem.init_theta_j(SourceShape::Annular {
-//!     sigma_in: cfg.sigma_in(),
-//!     sigma_out: cfg.sigma_out(),
-//! });
-//! let theta_m = problem.init_theta_m();
-//! let out = run_bismo(&problem, &theta_j, &theta_m, BismoConfig {
-//!     outer_steps: 3,
-//!     method: HypergradMethod::FiniteDiff,
-//!     ..BismoConfig::default()
-//! })?;
-//! assert!(out.trace.final_loss().unwrap().is_finite());
+//! let problem = SmoProblem::new(cfg, SmoSettings::default().without_pvb(), clip.target)?;
+//!
+//! // Pick any method by its paper column label; the layered SolverConfig
+//! // carries shared knobs plus one section per method family.
+//! let mut config = SolverConfig::default();
+//! config.bismo.outer_steps = 3;
+//! let mut session = SolverRegistry::builtin().session("BiSMO-FD", &problem, &config)?;
+//! session.run()?;
+//! assert_eq!(session.status(), SessionStatus::Exhausted);
+//! assert!(session.trace().final_loss().unwrap().is_finite());
 //! # Ok(())
 //! # }
 //! ```
@@ -55,12 +55,17 @@ pub use bismo_optics as optics;
 /// One-stop imports for applications and examples.
 pub mod prelude {
     pub use bismo_core::{
-        measure, run_abbe_mo, run_am_smo, run_bismo, run_hopkins_mo, run_milt_proxy,
-        run_nilt_proxy, Activation, AmSmoConfig, BismoConfig, ConvergenceTrace, EpeSpec,
-        GradRequest, HopkinsMoProblem, HypergradMethod, LossValue, MetricSet, MoConfig, MoModel,
-        MoOutcome, MoProblem, SmoEval, SmoOutcome, SmoProblem, SmoSettings, SourceActivationKind,
-        StepRecord, StopRule,
+        measure, run_hopkins_mo, AbbeMoSolver, Activation, AmSection, AmSmoConfig, AmSolver,
+        BismoConfig, BismoSection, BismoSolver, Control, ConvergenceTrace, EpeSpec, GradRequest,
+        HopkinsMoProblem, HopkinsProxySolver, HypergradMethod, LossValue, MetricSet, MoConfig,
+        MoModel, MoOutcome, MoProblem, MoSection, Session, SessionStatus, SmoEval, SmoOutcome,
+        SmoProblem, SmoSettings, Solver, SolverConfig, SolverRegistry, SolverSpec, SolverState,
+        SourceActivationKind, StepEvent, StepOutcome, StepRecord, StopReason, StopRule,
     };
+    // Deprecated driver shims, re-exported so downstream code migrates on
+    // its own schedule (use sites still see the deprecation note).
+    #[allow(deprecated)]
+    pub use bismo_core::{run_abbe_mo, run_am_smo, run_bismo, run_milt_proxy, run_nilt_proxy};
     pub use bismo_layout::{upsample, write_pgm, Clip, Suite, SuiteKind};
     pub use bismo_litho::{
         AbbeImager, DoseCorners, HopkinsImager, ImagingBackend, LithoError, ResistModel,

@@ -1,5 +1,6 @@
 //! End-to-end integration tests spanning every crate: layout generation →
-//! SMO problem → each optimization strategy → metrics.
+//! SMO problem → each optimization strategy (via the solver registry) →
+//! metrics.
 
 use bismo::prelude::*;
 
@@ -16,50 +17,33 @@ fn fixture() -> (OpticalConfig, SmoProblem, Vec<f64>, RealField) {
     (cfg, problem, tj, tm)
 }
 
+fn run(problem: &SmoProblem, method: &str, cfg: &SolverConfig) -> SmoOutcome {
+    SolverRegistry::builtin()
+        .run(method, problem, cfg)
+        .expect(method)
+}
+
 #[test]
 fn every_strategy_improves_the_objective() {
     let (_, problem, tj, tm) = fixture();
     let initial = problem.loss(&tj, &tm).unwrap().total;
 
-    let mo = run_abbe_mo(
-        &problem,
-        &tj,
-        &tm,
-        MoConfig {
-            steps: 6,
-            ..MoConfig::default()
-        },
-    )
-    .unwrap();
+    let mut cfg = SolverConfig::default();
+    cfg.mo.steps = 6;
+    cfg.am.rounds = 1;
+    cfg.am.so_steps = 3;
+    cfg.am.mo_steps = 3;
+    cfg.bismo.outer_steps = 4;
+
+    let mo = run(&problem, "Abbe-MO", &cfg);
     let mo_loss = problem.loss(&tj, &mo.theta_m).unwrap().total;
     assert!(mo_loss < initial, "Abbe-MO: {initial} → {mo_loss}");
 
-    let am = run_am_smo(
-        &problem,
-        &tj,
-        &tm,
-        AmSmoConfig {
-            rounds: 1,
-            so_steps: 3,
-            mo_steps: 3,
-            ..AmSmoConfig::default()
-        },
-    )
-    .unwrap();
+    let am = run(&problem, "AM(A~A)", &cfg);
     let am_loss = problem.loss(&am.theta_j, &am.theta_m).unwrap().total;
     assert!(am_loss < initial, "AM-SMO: {initial} → {am_loss}");
 
-    let bi = run_bismo(
-        &problem,
-        &tj,
-        &tm,
-        BismoConfig {
-            outer_steps: 4,
-            method: HypergradMethod::FiniteDiff,
-            ..BismoConfig::default()
-        },
-    )
-    .unwrap();
+    let bi = run(&problem, "BiSMO-FD", &cfg);
     let bi_loss = problem.loss(&bi.theta_j, &bi.theta_m).unwrap().total;
     assert!(bi_loss < initial, "BiSMO: {initial} → {bi_loss}");
 }
@@ -68,30 +52,16 @@ fn every_strategy_improves_the_objective() {
 fn smo_beats_mask_only_on_equal_footing() {
     // The core claim of the paper: joint source-mask optimization reaches a
     // lower objective than mask-only optimization.
-    let (_, problem, tj, tm) = fixture();
-    let mo = run_abbe_mo(
-        &problem,
-        &tj,
-        &tm,
-        MoConfig {
-            steps: 12,
-            ..MoConfig::default()
-        },
-    )
-    .unwrap();
+    let (_, problem, tj, _) = fixture();
+    let mut cfg = SolverConfig::default();
+    cfg.mo.steps = 12;
+    cfg.bismo.outer_steps = 12;
+    cfg.bismo.k = 3;
+
+    let mo = run(&problem, "Abbe-MO", &cfg);
     let mo_loss = problem.loss(&tj, &mo.theta_m).unwrap().total;
 
-    let bi = run_bismo(
-        &problem,
-        &tj,
-        &tm,
-        BismoConfig {
-            outer_steps: 12,
-            method: HypergradMethod::Neumann { k: 3 },
-            ..BismoConfig::default()
-        },
-    )
-    .unwrap();
+    let bi = run(&problem, "BiSMO-NMN", &cfg);
     let bi_loss = problem.loss(&bi.theta_j, &bi.theta_m).unwrap().total;
     assert!(
         bi_loss < mo_loss,
@@ -103,17 +73,9 @@ fn smo_beats_mask_only_on_equal_footing() {
 fn metrics_improve_after_optimization() {
     let (_, problem, tj, tm) = fixture();
     let before = measure(&problem, &tj, &tm, EpeSpec::default()).unwrap();
-    let out = run_bismo(
-        &problem,
-        &tj,
-        &tm,
-        BismoConfig {
-            outer_steps: 8,
-            method: HypergradMethod::FiniteDiff,
-            ..BismoConfig::default()
-        },
-    )
-    .unwrap();
+    let mut cfg = SolverConfig::default();
+    cfg.bismo.outer_steps = 8;
+    let out = run(&problem, "BiSMO-FD", &cfg);
     let after = measure(&problem, &out.theta_j, &out.theta_m, EpeSpec::default()).unwrap();
     assert!(
         after.l2_nm2 <= before.l2_nm2,
@@ -127,82 +89,60 @@ fn metrics_improve_after_optimization() {
 fn hybrid_am_smo_crosses_models_cleanly() {
     let (_, problem, tj, tm) = fixture();
     let initial = problem.loss(&tj, &tm).unwrap().total;
-    let out = run_am_smo(
-        &problem,
-        &tj,
-        &tm,
-        AmSmoConfig {
-            rounds: 2,
-            so_steps: 2,
-            mo_steps: 2,
-            mo_model: MoModel::Hopkins { q: 12 },
-            ..AmSmoConfig::default()
-        },
-    )
-    .unwrap();
+    let mut cfg = SolverConfig::default();
+    cfg.am.rounds = 2;
+    cfg.am.so_steps = 2;
+    cfg.am.mo_steps = 2;
+    cfg.am.hybrid_q = 12;
+    let out = run(&problem, "AM(A~H)", &cfg);
     let final_loss = problem.loss(&out.theta_j, &out.theta_m).unwrap().total;
     assert!(final_loss < initial);
 }
 
 #[test]
 fn early_stopping_shortens_runs() {
-    let (_, problem, tj, tm) = fixture();
-    let unstopped = run_abbe_mo(
-        &problem,
-        &tj,
-        &tm,
-        MoConfig {
-            steps: 40,
-            stop: None,
-            ..MoConfig::default()
-        },
-    )
-    .unwrap();
-    let stopped = run_abbe_mo(
-        &problem,
-        &tj,
-        &tm,
-        MoConfig {
-            steps: 40,
-            stop: Some(StopRule {
-                window: 3,
-                rel_tol: 0.5, // aggressive: stop as soon as gains halve
-            }),
-            ..MoConfig::default()
-        },
-    )
-    .unwrap();
+    let (_, problem, _, _) = fixture();
+    let mut cfg = SolverConfig::default();
+    cfg.mo.steps = 40;
+    cfg.stop = None;
+    let unstopped = run(&problem, "Abbe-MO", &cfg);
+    cfg.stop = Some(StopRule {
+        window: 3,
+        rel_tol: 0.5, // aggressive: stop as soon as gains halve
+    });
+    let stopped = run(&problem, "Abbe-MO", &cfg);
     assert!(stopped.trace.len() <= unstopped.trace.len());
     assert!(stopped.trace.len() < 40, "aggressive rule should trigger");
 }
 
 #[test]
 fn proxies_run_on_generated_clips() {
-    let (_cfg, problem, tj, _) = fixture();
-    let source = problem.source(&tj);
-    let settings = SmoSettings::default();
-    let nilt = run_nilt_proxy(
-        problem.abbe().core(),
-        &settings,
-        problem.target(),
-        &source,
-        MoConfig {
-            steps: 4,
-            ..MoConfig::default()
-        },
-    )
-    .unwrap();
+    let (_cfg, problem, _, _) = fixture();
+    let mut cfg = SolverConfig::default();
+    cfg.mo.steps = 4;
+    let nilt = run(&problem, "NILT", &cfg);
     assert_eq!(nilt.trace.len(), 4);
-    let milt = run_milt_proxy(
-        problem.abbe().core(),
-        &settings,
-        problem.target(),
-        &source,
-        MoConfig {
-            steps: 4,
-            ..MoConfig::default()
-        },
-    )
-    .unwrap();
+    // NILT proxy carries no PVB term.
+    assert_eq!(nilt.trace.records()[0].pvb, 0.0);
+    let milt = run(&problem, "DAC23-MILT", &cfg);
     assert_eq!(milt.trace.len(), 4);
+    assert!(milt.trace.records()[0].pvb > 0.0);
+}
+
+#[test]
+fn session_exposes_state_while_running() {
+    let (_, problem, tj, _) = fixture();
+    let mut cfg = SolverConfig::default();
+    cfg.bismo.outer_steps = 3;
+    let mut session = SolverRegistry::builtin()
+        .session("BiSMO-FD", &problem, &cfg)
+        .unwrap();
+    assert_eq!(session.solver_name(), "BiSMO-FD");
+    assert_eq!(session.theta_j(), &tj[..], "default init is the template");
+    session.step().unwrap();
+    assert_eq!(session.trace().len(), 1);
+    assert_eq!(session.status(), SessionStatus::Running);
+    session.run().unwrap();
+    assert_eq!(session.status(), SessionStatus::Exhausted);
+    assert_eq!(session.trace().len(), 3);
 }

@@ -1,0 +1,426 @@
+//! Golden-equivalence suite for the step-based `Solver`/`Session` API.
+//!
+//! `tests/golden/solvers.golden` was captured from the **pre-refactor**
+//! monolithic drivers (`run_bismo`, `run_am_smo`, `run_abbe_mo`,
+//! `run_nilt_proxy`, `run_milt_proxy`) on the quick fixture. Every entry
+//! records the trace length, the final loss as exact `f64` bits, and FNV-1a
+//! hashes over the full θ_J / θ_M vectors' bit patterns — so a comparison
+//! failure means the optimization arithmetic changed, not just a tolerance.
+//!
+//! Three suites check against the same file:
+//!
+//! 1. the deprecated `run_*` shims (now thin wrappers over `Session`);
+//! 2. registry-constructed `Session` runs under equivalent `SolverConfig`s;
+//! 3. the same sessions **paused and resumed mid-run** (`run_steps`), which
+//!    must not perturb a single bit.
+//!
+//! To regenerate after a *deliberate* numeric change:
+//!
+//! ```sh
+//! BISMO_BLESS=1 cargo test --release --test solver_golden
+//! ```
+
+#![allow(deprecated)]
+
+use bismo::prelude::*;
+
+/// FNV-1a over the exact bit patterns of a float slice.
+fn hash_f64s(xs: &[f64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for x in xs {
+        for b in x.to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+#[derive(Debug, PartialEq, Eq, Clone)]
+struct Golden {
+    name: String,
+    trace_len: usize,
+    loss_bits: u64,
+    theta_j_hash: u64,
+    theta_m_hash: u64,
+}
+
+impl Golden {
+    fn from_parts(name: &str, trace: &ConvergenceTrace, tj: &[f64], tm: &RealField) -> Golden {
+        Golden {
+            name: name.to_string(),
+            trace_len: trace.len(),
+            loss_bits: trace.final_loss().expect("non-empty trace").to_bits(),
+            theta_j_hash: hash_f64s(tj),
+            theta_m_hash: hash_f64s(tm.as_slice()),
+        }
+    }
+
+    fn render(&self) -> String {
+        format!(
+            "{}|{}|{:016x}|{:016x}|{:016x}",
+            self.name, self.trace_len, self.loss_bits, self.theta_j_hash, self.theta_m_hash
+        )
+    }
+
+    fn parse(line: &str) -> Option<Golden> {
+        let mut it = line.split('|');
+        Some(Golden {
+            name: it.next()?.to_string(),
+            trace_len: it.next()?.parse().ok()?,
+            loss_bits: u64::from_str_radix(it.next()?, 16).ok()?,
+            theta_j_hash: u64::from_str_radix(it.next()?, 16).ok()?,
+            theta_m_hash: u64::from_str_radix(it.next()?, 16).ok()?,
+        })
+    }
+}
+
+fn fixture() -> (SmoProblem, Vec<f64>, RealField) {
+    let cfg = OpticalConfig::test_small();
+    let clip = Clip::simple_rect(&cfg);
+    let problem = SmoProblem::new(cfg.clone(), SmoSettings::default(), clip.target).unwrap();
+    let tj = problem.init_theta_j(SourceShape::Annular {
+        sigma_in: cfg.sigma_in(),
+        sigma_out: cfg.sigma_out(),
+    });
+    let tm = problem.init_theta_m();
+    (problem, tj, tm)
+}
+
+/// The golden run matrix: small budgets, but every control-flow path —
+/// plain budgets, plateau stops, AM phase stops, the MILT step-size
+/// schedule, and all three hypergradients.
+fn legacy_outcomes() -> Vec<Golden> {
+    let (problem, tj0, tm0) = fixture();
+    let template = problem.source(&tj0);
+    let mut out = Vec::new();
+
+    let mo = |steps: usize, stop: Option<StopRule>| MoConfig {
+        steps,
+        lr: 0.1,
+        kind: OptimizerKind::Adam,
+        stop,
+    };
+
+    let r = run_abbe_mo(&problem, &tj0, &tm0, mo(6, None)).unwrap();
+    out.push(Golden::from_parts("abbe-mo", &r.trace, &tj0, &r.theta_m));
+
+    let r = run_abbe_mo(
+        &problem,
+        &tj0,
+        &tm0,
+        mo(
+            40,
+            Some(StopRule {
+                window: 3,
+                rel_tol: 0.5,
+            }),
+        ),
+    )
+    .unwrap();
+    out.push(Golden::from_parts(
+        "abbe-mo-stop",
+        &r.trace,
+        &tj0,
+        &r.theta_m,
+    ));
+
+    let r = run_nilt_proxy(
+        problem.abbe().core(),
+        problem.settings(),
+        problem.target(),
+        &template,
+        mo(5, None),
+    )
+    .unwrap();
+    out.push(Golden::from_parts("nilt", &r.trace, &tj0, &r.theta_m));
+
+    let r = run_milt_proxy(
+        problem.abbe().core(),
+        problem.settings(),
+        problem.target(),
+        &template,
+        mo(6, None),
+    )
+    .unwrap();
+    out.push(Golden::from_parts("milt", &r.trace, &tj0, &r.theta_m));
+
+    let r = run_am_smo(
+        &problem,
+        &tj0,
+        &tm0,
+        AmSmoConfig {
+            rounds: 2,
+            so_steps: 3,
+            mo_steps: 3,
+            lr: 0.1,
+            kind: OptimizerKind::Adam,
+            mo_model: MoModel::Abbe,
+            stop: None,
+            phase_stop: None,
+        },
+    )
+    .unwrap();
+    out.push(Golden::from_parts(
+        "am-abbe", &r.trace, &r.theta_j, &r.theta_m,
+    ));
+
+    let r = run_am_smo(
+        &problem,
+        &tj0,
+        &tm0,
+        AmSmoConfig {
+            rounds: 2,
+            so_steps: 5,
+            mo_steps: 5,
+            lr: 0.2,
+            kind: OptimizerKind::Adam,
+            mo_model: MoModel::Hopkins { q: 12 },
+            stop: Some(StopRule::harness_default()),
+            phase_stop: Some(StopRule {
+                window: 2,
+                rel_tol: 1e-3,
+            }),
+        },
+    )
+    .unwrap();
+    out.push(Golden::from_parts(
+        "am-hybrid",
+        &r.trace,
+        &r.theta_j,
+        &r.theta_m,
+    ));
+
+    let bismo = |outer: usize, method: HypergradMethod, stop: Option<StopRule>| BismoConfig {
+        outer_steps: outer,
+        unroll_t: 2,
+        xi_j: 0.1,
+        xi_m: 0.2,
+        method,
+        kind_m: OptimizerKind::Adam,
+        kind_j: OptimizerKind::Adam,
+        hvp_eps: 1e-2,
+        stop,
+    };
+    let r = run_bismo(
+        &problem,
+        &tj0,
+        &tm0,
+        bismo(4, HypergradMethod::FiniteDiff, None),
+    )
+    .unwrap();
+    out.push(Golden::from_parts(
+        "bismo-fd", &r.trace, &r.theta_j, &r.theta_m,
+    ));
+
+    let r = run_bismo(
+        &problem,
+        &tj0,
+        &tm0,
+        bismo(3, HypergradMethod::Neumann { k: 2 }, None),
+    )
+    .unwrap();
+    out.push(Golden::from_parts(
+        "bismo-nmn",
+        &r.trace,
+        &r.theta_j,
+        &r.theta_m,
+    ));
+
+    let r = run_bismo(
+        &problem,
+        &tj0,
+        &tm0,
+        bismo(3, HypergradMethod::ConjGrad { k: 2 }, None),
+    )
+    .unwrap();
+    out.push(Golden::from_parts(
+        "bismo-cg", &r.trace, &r.theta_j, &r.theta_m,
+    ));
+
+    let r = run_bismo(
+        &problem,
+        &tj0,
+        &tm0,
+        bismo(
+            30,
+            HypergradMethod::FiniteDiff,
+            Some(StopRule {
+                window: 3,
+                rel_tol: 0.5,
+            }),
+        ),
+    )
+    .unwrap();
+    out.push(Golden::from_parts(
+        "bismo-stop",
+        &r.trace,
+        &r.theta_j,
+        &r.theta_m,
+    ));
+
+    out
+}
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("solvers.golden")
+}
+
+fn load_golden() -> Vec<Golden> {
+    let text = std::fs::read_to_string(golden_path())
+        .expect("tests/golden/solvers.golden missing — run with BISMO_BLESS=1 to capture");
+    text.lines()
+        .filter(|l| !l.trim().is_empty() && !l.starts_with('#'))
+        .map(|l| Golden::parse(l).expect("malformed golden line"))
+        .collect()
+}
+
+fn bless_requested() -> bool {
+    std::env::var("BISMO_BLESS").is_ok_and(|v| !v.trim().is_empty() && v.trim() != "0")
+}
+
+fn check_against_golden(kind: &str, got: Vec<Golden>) {
+    let want = load_golden();
+    assert_eq!(
+        got.len(),
+        want.len(),
+        "{kind}: golden entry count changed — bless deliberately if so"
+    );
+    for (g, w) in got.iter().zip(&want) {
+        assert_eq!(
+            g,
+            w,
+            "{kind} diverges from the pre-refactor driver on {:?}:\n  got  {}\n  want {}",
+            w.name,
+            g.render(),
+            w.render()
+        );
+    }
+}
+
+/// The session-side mirror of [`legacy_outcomes`]: the same ten runs,
+/// expressed as registry lookups over equivalent `SolverConfig`s. When
+/// `pause` is set, every session is interrupted twice mid-run (after 1 and
+/// 3 more steps) before being driven to completion.
+fn session_outcomes(pause: bool) -> Vec<Golden> {
+    let (problem, tj0, tm0) = fixture();
+    let registry = SolverRegistry::builtin();
+    let mut out = Vec::new();
+
+    let drive = |name: &str, method: &str, cfg: &SolverConfig, out: &mut Vec<Golden>| {
+        let mut session = registry
+            .session_with_init(method, &problem, cfg, tj0.clone(), tm0.clone())
+            .expect("registry session");
+        if pause {
+            // Interrupt twice; resuming must be bit-identical.
+            session.run_steps(1).expect(method);
+            session.run_steps(3).expect(method);
+        }
+        session.run().expect(method);
+        let o = session.into_outcome();
+        out.push(Golden::from_parts(name, &o.trace, &o.theta_j, &o.theta_m));
+    };
+
+    let plain_stop = Some(StopRule {
+        window: 3,
+        rel_tol: 0.5,
+    });
+
+    let mut mo_cfg = SolverConfig::default();
+    mo_cfg.mo.steps = 6;
+    drive("abbe-mo", "Abbe-MO", &mo_cfg, &mut out);
+
+    let mut cfg = SolverConfig::default();
+    cfg.mo.steps = 40;
+    cfg.stop = plain_stop;
+    drive("abbe-mo-stop", "Abbe-MO", &cfg, &mut out);
+
+    let mut cfg = SolverConfig::default();
+    cfg.mo.steps = 5;
+    drive("nilt", "NILT", &cfg, &mut out);
+
+    let mut cfg = SolverConfig::default();
+    cfg.mo.steps = 6;
+    drive("milt", "DAC23-MILT", &cfg, &mut out);
+
+    let mut cfg = SolverConfig::default();
+    cfg.am.rounds = 2;
+    cfg.am.so_steps = 3;
+    cfg.am.mo_steps = 3;
+    drive("am-abbe", "AM(A~A)", &cfg, &mut out);
+
+    let mut cfg = SolverConfig {
+        lr: 0.2,
+        stop: Some(StopRule::harness_default()),
+        ..SolverConfig::default()
+    };
+    cfg.am.rounds = 2;
+    cfg.am.so_steps = 5;
+    cfg.am.mo_steps = 5;
+    cfg.am.hybrid_q = 12;
+    cfg.am.phase_stop = Some(StopRule {
+        window: 2,
+        rel_tol: 1e-3,
+    });
+    drive("am-hybrid", "AM(A~H)", &cfg, &mut out);
+
+    let mut bismo_cfg = SolverConfig::default();
+    bismo_cfg.bismo.unroll_t = 2;
+    bismo_cfg.bismo.xi_m = 0.2;
+
+    let mut cfg = bismo_cfg.clone();
+    cfg.bismo.outer_steps = 4;
+    drive("bismo-fd", "BiSMO-FD", &cfg, &mut out);
+
+    let mut cfg = bismo_cfg.clone();
+    cfg.bismo.outer_steps = 3;
+    cfg.bismo.k = 2;
+    drive("bismo-nmn", "BiSMO-NMN", &cfg, &mut out);
+    drive("bismo-cg", "BiSMO-CG", &cfg, &mut out);
+
+    let mut cfg = bismo_cfg;
+    cfg.bismo.outer_steps = 30;
+    cfg.stop = plain_stop;
+    drive("bismo-stop", "BiSMO-FD", &cfg, &mut out);
+
+    out
+}
+
+#[test]
+fn sessions_match_pre_refactor_goldens() {
+    if bless_requested() {
+        return; // the legacy test rewrites the file this run
+    }
+    check_against_golden("session", session_outcomes(false));
+}
+
+#[test]
+fn paused_and_resumed_sessions_match_pre_refactor_goldens() {
+    if bless_requested() {
+        return; // the legacy test rewrites the file this run
+    }
+    check_against_golden("paused/resumed session", session_outcomes(true));
+}
+
+#[test]
+fn legacy_shims_match_pre_refactor_goldens() {
+    let got = legacy_outcomes();
+    if bless_requested() {
+        let mut text = String::from(
+            "# Captured from the pre-refactor monolithic run_* drivers (PR 4).\n\
+             # name|trace_len|final_loss_bits|theta_j_fnv|theta_m_fnv\n",
+        );
+        for g in &got {
+            text.push_str(&g.render());
+            text.push('\n');
+        }
+        std::fs::create_dir_all(golden_path().parent().unwrap()).unwrap();
+        std::fs::write(golden_path(), text).unwrap();
+        eprintln!("blessed {} golden entries", got.len());
+        return;
+    }
+    check_against_golden("legacy shim", got);
+}
