@@ -96,11 +96,47 @@ fn bench_tcc_build(c: &mut Criterion) {
     group.finish();
 }
 
+/// The batched imaging axis (DESIGN.md §9): the three dose-corner masks of
+/// the SMO objective, evaluated as one fused batch call versus three
+/// sequential single-mask calls — per-entry results are bit-identical, so
+/// the delta is pure scheduling.
+fn bench_batched_imaging(c: &mut Criterion) {
+    let (cfg, source, mask) = fixtures();
+    let abbe = AbbeImager::new(&cfg).unwrap();
+    let hopkins = HopkinsImager::new(&cfg, &source, 24).unwrap();
+    let corner_masks: Vec<RealField> = [1.0, 0.98, 1.02].map(|d| mask.map(|v| d * v)).to_vec();
+    let masks = FieldBatch::from_fields(&corner_masks);
+    let g = RealField::filled(cfg.mask_dim(), 0.5);
+    let g_batch = FieldBatch::from_fields(&[g.clone(), g.clone(), g.clone()]);
+
+    let mut group = c.benchmark_group("batched");
+    group.sample_size(20);
+    group.bench_function("abbe_3corner_sequential", |b| {
+        b.iter(|| {
+            corner_masks
+                .iter()
+                .map(|m| abbe.intensity(&source, m).unwrap())
+                .collect::<Vec<_>>()
+        });
+    });
+    group.bench_function("abbe_3corner_fused", |b| {
+        b.iter(|| abbe.intensity_batch(&source, &masks).unwrap());
+    });
+    group.bench_function("abbe_3corner_grad_fused", |b| {
+        b.iter(|| abbe.grad_mask_batch(&source, &masks, &g_batch).unwrap());
+    });
+    group.bench_function("hopkins_3corner_fused", |b| {
+        b.iter(|| hopkins.intensity_batch(&masks).unwrap());
+    });
+    group.finish();
+}
+
 criterion_group!(
     kernels,
     bench_fft,
     bench_forward_models,
     bench_gradients,
-    bench_tcc_build
+    bench_tcc_build,
+    bench_batched_imaging
 );
 criterion_main!(kernels);

@@ -7,18 +7,24 @@
 //! Usage:
 //!
 //! ```text
-//! imaging_bench [--quick] [--threads N] [--label NAME] [--out PATH] [--baseline PATH]
+//! imaging_bench [--quick] [--batch] [--threads N] [--label NAME] [--out PATH] [--baseline PATH]
 //! ```
 //!
 //! `--quick` restricts the sweep to the smallest grid (the CI smoke
-//! configuration). `--baseline` embeds a previously written report verbatim
-//! under a `"baseline"` key, producing a before/after trajectory in one file.
+//! configuration). `--batch` additionally measures the batched imaging axis
+//! (DESIGN.md §9): the three dose-corner masks of the SMO objective
+//! evaluated as one fused `intensity_batch` + `grad_mask_batch` call versus
+//! three sequential single-mask passes, recording both totals, the
+//! per-corner amortized cost of each path, and their ratio
+//! (`batch_speedup`). `--baseline` embeds a previously written report
+//! verbatim under a `"baseline"` key, producing a before/after trajectory
+//! in one file.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use bismo_litho::{AbbeImager, HopkinsImager};
+use bismo_litho::{AbbeImager, DoseCorners, FieldBatch, HopkinsImager};
 use bismo_optics::{OpticalConfig, RealField, Source, SourceShape};
 
 /// Allocation-counting wrapper around the system allocator. The counter is
@@ -77,6 +83,27 @@ struct SizeResult {
     hopkins_grad_mask_ms: f64,
     abbe_forward_allocs: u64,
     abbe_gradients_allocs: u64,
+    batch: Option<BatchResult>,
+}
+
+/// The fused 3-dose-corner evaluation (forward + mask gradient, the per-step
+/// cost of every mask-optimizing method) versus three sequential single-mask
+/// passes, both through the allocation-free `*_into` APIs.
+struct BatchResult {
+    /// Three sequential passes: `intensity_into` + `grad_mask_into` per
+    /// dose corner.
+    abbe_seq3_ms: f64,
+    /// One fused pass: `intensity_batch_into` + `grad_mask_batch_into` at
+    /// B = 3.
+    abbe_fused3_ms: f64,
+    /// Sequential cost amortized per corner (`abbe_seq3_ms / 3`).
+    seq_corner_ms: f64,
+    /// Fused cost amortized per corner (`abbe_fused3_ms / 3`).
+    fused_corner_ms: f64,
+    /// `abbe_seq3_ms / abbe_fused3_ms`.
+    batch_speedup: f64,
+    /// Heap allocations of one warm fused evaluation (expected: 0).
+    fused_allocs: u64,
 }
 
 fn square_target(n: usize) -> RealField {
@@ -91,7 +118,79 @@ fn square_target(n: usize) -> RealField {
     })
 }
 
-fn run_size(mask_dim: usize, source_dim: usize, reps: usize, threads: usize) -> SizeResult {
+/// Measures the fused 3-corner evaluation against three sequential passes.
+/// Both sides run the allocation-free `*_into` variants on warm pools, so
+/// the ratio isolates the batch axis itself (shared table walks + the
+/// cache-blocked batch FFT) from allocator noise.
+fn run_batch(
+    abbe: &AbbeImager,
+    source: &Source,
+    mask: &RealField,
+    g: &RealField,
+    reps: usize,
+) -> BatchResult {
+    let n = mask.dim();
+    let dose = DoseCorners::PAPER;
+    let corners = [1.0, dose.min(), dose.max()];
+    let corner_masks: Vec<RealField> = corners.iter().map(|&d| mask.map(|v| d * v)).collect();
+    let masks = FieldBatch::from_fields(&corner_masks);
+    let g_batch = FieldBatch::from_fields(&[g.clone(), g.clone(), g.clone()]);
+
+    let mut image = RealField::zeros(n);
+    let mut grad = RealField::zeros(n);
+    let mut images = FieldBatch::zeros(n, 3);
+    let mut grads = FieldBatch::zeros(n, 3);
+
+    // Warm-up both pools.
+    for m in &corner_masks {
+        abbe.intensity_into(source, m, &mut image).expect("warm-up");
+        abbe.grad_mask_into(source, m, g, &mut grad)
+            .expect("warm-up");
+    }
+    abbe.intensity_batch_into(source, &masks, &mut images)
+        .expect("warm-up batch");
+    abbe.grad_mask_batch_into(source, &masks, &g_batch, &mut grads)
+        .expect("warm-up batch");
+
+    let before = alloc_count();
+    abbe.intensity_batch_into(source, &masks, &mut images)
+        .expect("counted batch forward");
+    abbe.grad_mask_batch_into(source, &masks, &g_batch, &mut grads)
+        .expect("counted batch gradient");
+    let fused_allocs = alloc_count() - before;
+
+    let abbe_seq3_ms = time_ms(reps, || {
+        for m in &corner_masks {
+            abbe.intensity_into(source, m, &mut image)
+                .expect("seq forward");
+            abbe.grad_mask_into(source, m, g, &mut grad)
+                .expect("seq gradient");
+        }
+    });
+    let abbe_fused3_ms = time_ms(reps, || {
+        abbe.intensity_batch_into(source, &masks, &mut images)
+            .expect("fused forward");
+        abbe.grad_mask_batch_into(source, &masks, &g_batch, &mut grads)
+            .expect("fused gradient");
+    });
+
+    BatchResult {
+        abbe_seq3_ms,
+        abbe_fused3_ms,
+        seq_corner_ms: abbe_seq3_ms / 3.0,
+        fused_corner_ms: abbe_fused3_ms / 3.0,
+        batch_speedup: abbe_seq3_ms / abbe_fused3_ms,
+        fused_allocs,
+    }
+}
+
+fn run_size(
+    mask_dim: usize,
+    source_dim: usize,
+    reps: usize,
+    threads: usize,
+    batch: bool,
+) -> SizeResult {
     let cfg = OpticalConfig::builder()
         .mask_dim(mask_dim)
         .pixel_nm(16.0)
@@ -159,6 +258,7 @@ fn run_size(mask_dim: usize, source_dim: usize, reps: usize, threads: usize) -> 
         hopkins_grad_mask_ms,
         abbe_forward_allocs,
         abbe_gradients_allocs,
+        batch: batch.then(|| run_batch(&abbe, &source, &mask, &g, reps)),
     }
 }
 
@@ -191,12 +291,26 @@ fn json_report(
     out.push_str(&format!("  \"threads\": {threads},\n"));
     out.push_str("  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {
+        let batch_fields = match &r.batch {
+            Some(b) => format!(
+                ", \"abbe_seq3_ms\": {:.3}, \"abbe_fused3_ms\": {:.3}, \
+                 \"seq_corner_ms\": {:.3}, \"fused_corner_ms\": {:.3}, \
+                 \"batch_speedup\": {:.3}, \"fused_batch_allocs\": {}",
+                b.abbe_seq3_ms,
+                b.abbe_fused3_ms,
+                b.seq_corner_ms,
+                b.fused_corner_ms,
+                b.batch_speedup,
+                b.fused_allocs
+            ),
+            None => String::new(),
+        };
         out.push_str(&format!(
             "    {{\"mask_dim\": {}, \"source_dim\": {}, \"effective_points\": {}, \
              \"abbe_forward_ms\": {:.3}, \"abbe_gradients_ms\": {:.3}, \
              \"abbe_grad_mask_ms\": {:.3}, \"hopkins_forward_ms\": {:.3}, \
              \"hopkins_grad_mask_ms\": {:.3}, \"abbe_forward_allocs\": {}, \
-             \"abbe_gradients_allocs\": {}}}{}\n",
+             \"abbe_gradients_allocs\": {}{}}}{}\n",
             r.mask_dim,
             r.source_dim,
             r.effective_points,
@@ -207,6 +321,7 @@ fn json_report(
             r.hopkins_grad_mask_ms,
             r.abbe_forward_allocs,
             r.abbe_gradients_allocs,
+            batch_fields,
             if i + 1 < results.len() { "," } else { "" }
         ));
     }
@@ -223,6 +338,7 @@ fn json_report(
 
 fn main() {
     let mut quick = false;
+    let mut batch = false;
     let mut label = String::from("current");
     let mut out_path = String::from("BENCH_imaging.json");
     let mut baseline_path: Option<String> = None;
@@ -232,6 +348,7 @@ fn main() {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--batch" => batch = true,
             "--label" => label = args.next().expect("--label needs a value"),
             "--out" => out_path = args.next().expect("--out needs a value"),
             "--baseline" => baseline_path = Some(args.next().expect("--baseline needs a value")),
@@ -255,7 +372,20 @@ fn main() {
     let mut results = Vec::new();
     for &(mask_dim, source_dim, reps) in sizes {
         eprintln!("[imaging_bench] {mask_dim}x{mask_dim}, N_j = {source_dim} ...");
-        results.push(run_size(mask_dim, source_dim, reps, threads));
+        let r = run_size(mask_dim, source_dim, reps, threads, batch);
+        if let Some(b) = &r.batch {
+            eprintln!(
+                "[imaging_bench]   3-corner eval: sequential {:.1} ms, fused {:.1} ms \
+                 ({:.2}x, {:.1} -> {:.1} ms/corner, {} allocs warm)",
+                b.abbe_seq3_ms,
+                b.abbe_fused3_ms,
+                b.batch_speedup,
+                b.seq_corner_ms,
+                b.fused_corner_ms,
+                b.fused_allocs
+            );
+        }
+        results.push(r);
     }
 
     let baseline = baseline_path

@@ -19,8 +19,8 @@
 #![warn(missing_docs)]
 
 use bismo_core::{
-    measure, ConvergenceTrace, EpeSpec, MetricSet, SmoProblem, SmoSettings, SolverConfig,
-    SolverRegistry, StopRule,
+    measure, ConvergenceTrace, EpeSpec, MetricSet, SmoOutcome, SmoProblem, SmoSettings,
+    SolverConfig, SolverRegistry, StopRule,
 };
 use bismo_litho::{AbbeImager, LithoError};
 use bismo_optics::{OpticalConfig, SourceShape};
@@ -272,6 +272,36 @@ pub fn run_method_with_engine(
     method: Method,
     clip: &Clip,
 ) -> Result<RunResult, LithoError> {
+    let (problem, out) = optimize_method_with_engine(h, engine, method, clip)?;
+    let metrics = measure(&problem, &out.theta_j, &out.theta_m, h.epe)?;
+    Ok(RunResult {
+        metrics,
+        wall_s: out.wall_s,
+        trace: out.trace,
+    })
+}
+
+/// The optimization half of [`run_method_with_engine`]: runs the method's
+/// session on the clip and returns the problem plus the raw solver outcome
+/// **without** measuring §2.2 metrics. The suite runner's cell-batched path
+/// uses this to collect a whole cell's final parameters first and then
+/// evaluate all of their dose corners through one fused
+/// [`bismo_core::measure_batch`] call.
+///
+/// # Errors
+///
+/// Propagates imaging failures.
+///
+/// # Panics
+///
+/// Panics if `method` no longer resolves in the registry (see
+/// [`run_method_with_engine`]).
+pub fn optimize_method_with_engine(
+    h: &Harness,
+    engine: &AbbeImager,
+    method: Method,
+    clip: &Clip,
+) -> Result<(SmoProblem, SmoOutcome), LithoError> {
     let problem =
         SmoProblem::from_backend(engine.clone(), h.settings.clone(), clip.target.clone())?;
     let mut session = SolverRegistry::builtin()
@@ -279,12 +309,7 @@ pub fn run_method_with_engine(
         .unwrap_or_else(|e| panic!("constructing solver {:?}: {e}", method.name()));
     session.run()?;
     let out = session.into_outcome();
-    let metrics = measure(&problem, &out.theta_j, &out.theta_m, h.epe)?;
-    Ok(RunResult {
-        metrics,
-        wall_s: out.wall_s,
-        trace: out.trace,
-    })
+    Ok((problem, out))
 }
 
 /// Per-suite aggregate of one method across clips.

@@ -25,6 +25,12 @@
 //!   clock (so it includes engine/problem construction and metric
 //!   evaluation, and reflects contention), alongside the sweep's aggregate
 //!   wall time.
+//! * **Cell batching** — where the method permits (it never optimizes the
+//!   source, so every clip of a (suite, method) cell shares the template
+//!   illumination), the cell's dose-corner metric images run as **one**
+//!   fused [`bismo_core::measure_batch`] backend call
+//!   (`BISMO_BATCH_CELLS`, default on; bit-identical metrics — DESIGN.md
+//!   §9).
 
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
@@ -32,12 +38,13 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+use bismo_core::{measure, measure_batch, SmoOutcome, SmoProblem};
 use bismo_litho::AbbeImager;
 use bismo_optics::{ImagingCore, RealField};
 
 use crate::{
-    mean, run_method_with_engine, Clip, Harness, Method, MethodAggregate, SuiteComparison,
-    SuiteKind,
+    mean, optimize_method_with_engine, run_method_with_engine, Clip, Harness, Method,
+    MethodAggregate, SuiteComparison, SuiteKind,
 };
 
 /// Runs `f` over `items` on `jobs` scoped worker threads and returns the
@@ -142,6 +149,13 @@ pub struct RunnerOptions {
     /// Append one deliberately failing clip to every suite — the
     /// failure-isolation smoke switch (`BISMO_INJECT_FAIL`).
     pub inject_failure: bool,
+    /// Batch a cell's clips through one fused backend call where the method
+    /// permits (`BISMO_BATCH_CELLS`, default on): methods that never touch
+    /// the source end every clip of a (suite, method) cell at the same
+    /// template illumination, so all the cell's dose-corner metric images
+    /// run as a single `measure_batch` call. Results are bit-identical to
+    /// per-clip measurement; a cell becomes one work unit for the pool.
+    pub batch_cells: bool,
 }
 
 impl RunnerOptions {
@@ -168,21 +182,13 @@ impl RunnerOptions {
                 ),
             },
         };
-        let inject_failure = match std::env::var("BISMO_INJECT_FAIL") {
-            Err(_) => false,
-            Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
-                "" | "0" | "false" | "no" | "off" => false,
-                "1" | "true" | "yes" | "on" => true,
-                _ => panic!(
-                    "unrecognized BISMO_INJECT_FAIL value {v:?}; expected \
-                     1/true/yes/on or 0/false/no/off (or unset)"
-                ),
-            },
-        };
+        let inject_failure = parse_env_bool("BISMO_INJECT_FAIL", false);
+        let batch_cells = parse_env_bool("BISMO_BATCH_CELLS", true);
         RunnerOptions {
             jobs,
             journal: Some(crate::out_dir().join("BENCH_suite.json")),
             inject_failure,
+            batch_cells,
         }
     }
 
@@ -206,6 +212,14 @@ impl RunnerOptions {
         self.journal = Some(path);
         self
     }
+
+    /// Enables or disables cell batching (see
+    /// [`RunnerOptions::batch_cells`]).
+    #[must_use]
+    pub fn with_cell_batching(mut self, on: bool) -> Self {
+        self.batch_cells = on;
+        self
+    }
 }
 
 impl Default for RunnerOptions {
@@ -214,6 +228,7 @@ impl Default for RunnerOptions {
             jobs: default_jobs(),
             journal: None,
             inject_failure: false,
+            batch_cells: true,
         }
     }
 }
@@ -222,6 +237,24 @@ fn default_jobs() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// Strict boolean env parsing shared by the runner's on/off switches: the
+/// empty string and unset select `default`; anything that is not clearly
+/// true or clearly false fails fast (same contract as `BISMO_SCALE`).
+fn parse_env_bool(name: &str, default: bool) -> bool {
+    match std::env::var(name) {
+        Err(_) => default,
+        Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
+            "" => default,
+            "1" | "true" | "yes" | "on" => true,
+            "0" | "false" | "no" | "off" => false,
+            _ => panic!(
+                "unrecognized {name} value {v:?}; expected 1/true/yes/on or \
+                 0/false/no/off (or unset for the default)"
+            ),
+        },
+    }
 }
 
 /// Result of a sweep: ordered per-item records plus the aggregates the
@@ -470,27 +503,78 @@ impl SuiteSweep {
             .with_threads(self.harness.settings.threads)
         });
 
-        let executed_records = par_map(opts.jobs, &pending, |_, (_, item)| {
-            let clip = self.clip(item);
-            eprintln!(
-                "[{}] {} on {}",
-                item.suite.name(),
-                item.method.name(),
-                clip.name
-            );
-            let engine = engine.as_ref().expect("engine built when work is pending");
-            let record = self.execute(engine, item, clip);
-            if let Some(journal) = &journal {
-                append_line(journal, &item_line(&record));
+        // Pending items grouped into (suite, method) cells. The item order
+        // is suite → method → clip, so pending cells are contiguous runs;
+        // grouping preserves the canonical order exactly. A cell whose
+        // method never touches the source can batch all of its clips'
+        // metric evaluation through one fused backend call
+        // (`measure_batch`), at the cost of the cell becoming one work unit
+        // for the pool.
+        // Only batchable items coalesce into cell groups; everything else
+        // stays a singleton work unit, so per-clip parallelism is unchanged
+        // for source-optimizing methods and with `BISMO_BATCH_CELLS=0`.
+        let mut groups: Vec<Vec<(usize, WorkItem)>> = Vec::new();
+        for &(pos, item) in &pending {
+            // An item of the same cell as the previous group joins it only
+            // when that cell can actually fuse; matching (suite, method)
+            // means the group shares the item's coalescibility.
+            let coalesce = opts.batch_cells && !item.method.optimizes_source();
+            match groups.last_mut() {
+                Some(group)
+                    if coalesce
+                        && group[0].1.suite == item.suite
+                        && group[0].1.method == item.method =>
+                {
+                    group.push((pos, item));
+                }
+                _ => groups.push(vec![(pos, item)]),
             }
-            record
+        }
+
+        let group_records = par_map(opts.jobs, &groups, |_, group| {
+            let engine = engine.as_ref().expect("engine built when work is pending");
+            let batchable =
+                opts.batch_cells && group.len() >= 2 && !group[0].1.method.optimizes_source();
+            if batchable {
+                // The cell's records finish together (one fused metric
+                // pass), so they journal together too.
+                let records = self.execute_cell_batched(engine, group);
+                if let Some(journal) = &journal {
+                    for record in &records {
+                        append_line(journal, &item_line(record));
+                    }
+                }
+                records
+            } else {
+                // Item-at-a-time cells keep per-item journal streaming, so
+                // an interrupt loses at most the in-flight item.
+                group
+                    .iter()
+                    .map(|(_, item)| {
+                        let clip = self.clip(item);
+                        eprintln!(
+                            "[{}] {} on {}",
+                            item.suite.name(),
+                            item.method.name(),
+                            clip.name
+                        );
+                        let record = self.execute(engine, item, clip);
+                        if let Some(journal) = &journal {
+                            append_line(journal, &item_line(&record));
+                        }
+                        record
+                    })
+                    .collect::<Vec<_>>()
+            }
         });
 
-        let executed = executed_records.len();
+        let executed = pending.len();
         let mut total_item_s = 0.0;
-        for ((pos, _), record) in pending.iter().zip(executed_records) {
-            total_item_s += record.tat_s;
-            slots[*pos] = Some(record);
+        for (group, records) in groups.iter().zip(group_records) {
+            for ((pos, _), record) in group.iter().zip(records) {
+                total_item_s += record.tat_s;
+                slots[*pos] = Some(record);
+            }
         }
         let records: Vec<ItemRecord> = slots
             .into_iter()
@@ -533,6 +617,115 @@ impl SuiteSweep {
             tat_s: clock.elapsed().as_secs_f64(),
             outcome,
         }
+    }
+
+    /// Executes one (suite, method) cell with its metric evaluation fused:
+    /// every clip is optimized in turn, then **one** `measure_batch` call
+    /// images all surviving clips' dose corners through a single backend
+    /// call (the methods routed here never touch the source, so the whole
+    /// cell shares the template illumination). Metrics are bit-identical to
+    /// per-clip measurement; each record's turnaround time covers its own
+    /// optimization plus an equal share of the fused metric pass. A clip
+    /// whose optimization fails is recorded and excluded; a fused metric
+    /// failure falls back to per-clip measurement so one diverged clip
+    /// cannot poison the cell.
+    fn execute_cell_batched(
+        &self,
+        engine: &AbbeImager,
+        group: &[(usize, WorkItem)],
+    ) -> Vec<ItemRecord> {
+        struct Survivor {
+            position: usize,
+            problem: SmoProblem,
+            out: SmoOutcome,
+            optimize_s: f64,
+        }
+
+        let mut records: Vec<Option<ItemRecord>> = (0..group.len()).map(|_| None).collect();
+        let mut survivors: Vec<Survivor> = Vec::new();
+        for (position, (_, item)) in group.iter().enumerate() {
+            let clip = self.clip(item);
+            eprintln!(
+                "[{}] {} on {} (cell-batched metrics)",
+                item.suite.name(),
+                item.method.name(),
+                clip.name
+            );
+            let clock = Instant::now();
+            match optimize_method_with_engine(&self.harness, engine, item.method, clip) {
+                Ok((problem, out)) => survivors.push(Survivor {
+                    position,
+                    problem,
+                    out,
+                    optimize_s: clock.elapsed().as_secs_f64(),
+                }),
+                Err(e) => {
+                    records[position] = Some(ItemRecord {
+                        item: *item,
+                        clip_name: clip.name.clone(),
+                        tat_s: clock.elapsed().as_secs_f64(),
+                        outcome: ItemOutcome::Failed {
+                            error: e.to_string(),
+                        },
+                    });
+                }
+            }
+        }
+
+        if !survivors.is_empty() {
+            let measure_clock = Instant::now();
+            let cells: Vec<(&SmoProblem, &[f64], &RealField)> = survivors
+                .iter()
+                .map(|s| (&s.problem, s.out.theta_j.as_slice(), &s.out.theta_m))
+                .collect();
+            let fused = measure_batch(&cells, self.harness.epe);
+            let outcomes: Vec<ItemOutcome> = match fused {
+                Ok(sets) => survivors
+                    .iter()
+                    .zip(sets)
+                    .map(|(s, metrics)| ItemOutcome::Ok {
+                        l2_nm2: metrics.l2_nm2,
+                        pvb_nm2: metrics.pvb_nm2,
+                        epe: metrics.epe as f64,
+                        run_wall_s: s.out.wall_s,
+                    })
+                    .collect(),
+                Err(_) => survivors
+                    .iter()
+                    .map(|s| {
+                        match measure(&s.problem, &s.out.theta_j, &s.out.theta_m, self.harness.epe)
+                        {
+                            Ok(metrics) => ItemOutcome::Ok {
+                                l2_nm2: metrics.l2_nm2,
+                                pvb_nm2: metrics.pvb_nm2,
+                                epe: metrics.epe as f64,
+                                run_wall_s: s.out.wall_s,
+                            },
+                            Err(e) => ItemOutcome::Failed {
+                                error: e.to_string(),
+                            },
+                        }
+                    })
+                    .collect(),
+            };
+            // Timed after the match so a fused-measure failure's per-clip
+            // fallback is charged to the records, not silently dropped.
+            let share = measure_clock.elapsed().as_secs_f64() / survivors.len() as f64;
+            for (s, outcome) in survivors.iter().zip(outcomes) {
+                let (_, item) = &group[s.position];
+                records[s.position] = Some(ItemRecord {
+                    item: *item,
+                    clip_name: self.clip(item).name.clone(),
+                    tat_s: s.optimize_s + share,
+                    outcome,
+                });
+            }
+        }
+
+        records
+            .into_iter()
+            .map(|r| r.expect("every cell slot filled"))
+            .collect()
     }
 
     /// Per-suite, per-method means over the successful records, reduced in

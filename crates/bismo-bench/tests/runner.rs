@@ -58,6 +58,68 @@ fn one_worker_and_many_workers_agree_bit_for_bit() {
 }
 
 #[test]
+fn cell_batched_metrics_match_per_clip_measurement_bit_for_bit() {
+    // A multi-clip cell of a mask-only method takes the cell-batched path
+    // (one fused measure_batch call over every clip's dose corners); the
+    // aggregates must be bit-identical to per-clip measurement, and an
+    // injected failure inside the cell must stay isolated.
+    let mut h = tiny_harness();
+    h.clips_per_suite = 3;
+    let sweep = SuiteSweep::new(&h)
+        .with_suites(&[SuiteKind::Iccad13])
+        .with_methods(&[Method::NILT, Method::ABBE_MO]);
+    let opts = RunnerOptions::default().without_journal().with_jobs(2);
+    let batched = sweep.run(&opts.clone().with_cell_batching(true));
+    let per_clip = sweep.run(&opts.clone().with_cell_batching(false));
+    assert_eq!(batched.records.len(), per_clip.records.len());
+    assert_eq!(batched.failures, 0);
+    assert_eq!(
+        metric_bits(&batched.comparisons),
+        metric_bits(&per_clip.comparisons),
+        "cell-batched metrics must be bit-identical to per-clip measurement"
+    );
+    for (a, b) in batched.records.iter().zip(&per_clip.records) {
+        assert_eq!(a.item, b.item);
+        match (&a.outcome, &b.outcome) {
+            (
+                ItemOutcome::Ok {
+                    l2_nm2: l_a,
+                    pvb_nm2: p_a,
+                    epe: e_a,
+                    ..
+                },
+                ItemOutcome::Ok {
+                    l2_nm2: l_b,
+                    pvb_nm2: p_b,
+                    epe: e_b,
+                    ..
+                },
+            ) => {
+                assert_eq!(l_a.to_bits(), l_b.to_bits());
+                assert_eq!(p_a.to_bits(), p_b.to_bits());
+                assert_eq!(e_a.to_bits(), e_b.to_bits());
+            }
+            _ => panic!("expected ok outcomes on both paths"),
+        }
+    }
+
+    // Failure isolation inside a batched cell: the poisoned clip fails at
+    // optimization and is excluded from the fused metric pass; the healthy
+    // clips still measure.
+    let poisoned = sweep
+        .clone()
+        .with_injected_failure()
+        .run(&opts.with_cell_batching(true));
+    assert_eq!(poisoned.failures, 2, "one injected failure per method cell");
+    for rec in &poisoned.records {
+        match &rec.outcome {
+            ItemOutcome::Failed { .. } => assert!(rec.clip_name.contains("injected-failure")),
+            ItemOutcome::Ok { l2_nm2, .. } => assert!(l2_nm2.is_finite()),
+        }
+    }
+}
+
+#[test]
 fn failing_item_is_recorded_and_sweep_completes() {
     let h = tiny_harness();
     let methods = [Method::NILT, Method::ABBE_MO];

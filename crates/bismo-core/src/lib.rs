@@ -64,7 +64,9 @@ mod trace;
 
 pub use amsmo::{AmSmoConfig, AmSolver, MoModel, SmoOutcome};
 pub use bismo::{BismoConfig, BismoSolver, HypergradMethod};
-pub use metrics::{epe_violations, l2_area_nm2, measure, xor_area_nm2, EpeSpec, MetricSet};
+pub use metrics::{
+    epe_violations, l2_area_nm2, measure, measure_batch, xor_area_nm2, EpeSpec, MetricSet,
+};
 pub use mo::{run_hopkins_mo, AbbeMoSolver, HopkinsProxySolver, MoConfig, MoOutcome};
 pub use params::{Activation, SourceActivationKind};
 pub use problem::{

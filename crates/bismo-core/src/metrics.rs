@@ -7,7 +7,7 @@
 //! sigmoid images the loss uses — matching how the ICCAD-2013 contest
 //! metrics are defined.
 
-use bismo_litho::LithoError;
+use bismo_litho::{FieldBatch, LithoError};
 use bismo_optics::RealField;
 
 use crate::problem::SmoProblem;
@@ -187,9 +187,50 @@ impl Default for EpeSpec {
     }
 }
 
+/// Stacks the nominal and min/max-dose masks of one parameter set into
+/// three consecutive entries of `masks`, starting at entry `base`.
+fn stack_dose_masks(masks: &mut FieldBatch, base: usize, mask: &RealField, d_min: f64, d_max: f64) {
+    masks.set_entry(base, mask);
+    for (offset, dose) in [(1usize, d_min), (2usize, d_max)] {
+        let entry = masks.entry_mut(base + offset);
+        for (o, &v) in entry.iter_mut().zip(mask.as_slice()) {
+            *o = dose * v;
+        }
+    }
+}
+
+/// Reduces three consecutive printed dose corners of `images` to the §2.2
+/// metric triple against `target`.
+fn metrics_from_prints(
+    problem: &SmoProblem,
+    images: &FieldBatch,
+    base: usize,
+    target: &RealField,
+    spec: EpeSpec,
+) -> MetricSet {
+    let pixel = problem.optical().pixel_nm();
+    let resist = problem.resist();
+    let nominal = resist.print(&images.entry_field(base));
+    let z_min = resist.print(&images.entry_field(base + 1));
+    let z_max = resist.print(&images.entry_field(base + 2));
+    MetricSet {
+        l2_nm2: l2_area_nm2(&nominal, target, pixel),
+        pvb_nm2: xor_area_nm2(&z_min, &z_max, pixel),
+        epe: epe_violations(
+            &nominal,
+            target,
+            pixel,
+            spec.threshold_nm,
+            spec.stride_px,
+            spec.search_px,
+        ),
+    }
+}
+
 /// Measures L2, PVB and EPE for the given SMO parameters: images the mask
-/// through the problem's Abbe engine at nominal and corner doses, hard-
-/// thresholds the prints, and applies Definitions 1–3.
+/// through the problem's Abbe engine at nominal and corner doses — fused
+/// into **one** batched imaging call (DESIGN.md §9) — hard-thresholds the
+/// prints, and applies Definitions 1–3.
 ///
 /// # Errors
 ///
@@ -202,34 +243,89 @@ pub fn measure(
 ) -> Result<MetricSet, LithoError> {
     let source = problem.source(theta_j);
     let mask = problem.mask(theta_m);
-    let pixel = problem.optical().pixel_nm();
-    let resist = problem.resist();
+    let n = problem.optical().mask_dim();
     let dose = problem.settings().dose;
 
-    let nominal = resist.print(&problem.abbe().intensity(&source, &mask)?);
-    let z_min = resist.print(
-        &problem
-            .abbe()
-            .intensity(&source, &mask.map(|v| dose.min * v))?,
-    );
-    let z_max = resist.print(
-        &problem
-            .abbe()
-            .intensity(&source, &mask.map(|v| dose.max * v))?,
-    );
+    let mut masks = FieldBatch::zeros(n, 3);
+    stack_dose_masks(&mut masks, 0, &mask, dose.min(), dose.max());
+    let images = problem.abbe().intensity_batch(&source, &masks)?;
+    Ok(metrics_from_prints(
+        problem,
+        &images,
+        0,
+        problem.target(),
+        spec,
+    ))
+}
 
-    Ok(MetricSet {
-        l2_nm2: l2_area_nm2(&nominal, problem.target(), pixel),
-        pvb_nm2: xor_area_nm2(&z_min, &z_max, pixel),
-        epe: epe_violations(
-            &nominal,
-            problem.target(),
-            pixel,
-            spec.threshold_nm,
-            spec.stride_px,
-            spec.search_px,
-        ),
-    })
+/// Batched [`measure`] over a whole cell of runs **sharing one
+/// illumination**: stacks all three dose-corner masks of every parameter
+/// set into a single `3·k`-entry batch and images them through one backend
+/// call, amortizing the per-call source traversal across the cell (the
+/// suite runner uses this for methods that never touch the source, where
+/// every clip of a (suite, method) cell ends at the same template
+/// illumination).
+///
+/// `cells` pairs each parameter set with the problem (and hence target) it
+/// was optimized against; every problem must share the first one's grids.
+/// Results are bit-identical to calling [`measure`] per cell.
+///
+/// Falls back to per-cell [`measure`] when the activated sources differ
+/// (batched imaging is only fused under a single source), so callers can
+/// use it unconditionally.
+///
+/// # Errors
+///
+/// Propagates imaging failures.
+pub fn measure_batch(
+    cells: &[(&SmoProblem, &[f64], &RealField)],
+    spec: EpeSpec,
+) -> Result<Vec<MetricSet>, LithoError> {
+    let Some(&(first, first_tj, _)) = cells.first() else {
+        return Ok(Vec::new());
+    };
+    let shared_source = first.source(first_tj);
+    let fused = cells.iter().all(|(problem, theta_j, _)| {
+        // The fused path images every cell through the FIRST problem's
+        // engine, so the engines must be interchangeable: the same shared
+        // `ImagingCore` (pupil — including defocus — shifted-pupil table,
+        // FFT plan; pointer identity is the conservative test and is what
+        // engine cloning produces), and the same scheduling knobs (thread
+        // count and forward-pass skip threshold both change floating-point
+        // summation order).
+        std::sync::Arc::ptr_eq(problem.abbe().core(), first.abbe().core())
+            && problem.settings().dose == first.settings().dose
+            && problem.abbe().threads() == first.abbe().threads()
+            && problem.abbe().min_weight() == first.abbe().min_weight()
+            && problem.source(theta_j).weights() == shared_source.weights()
+    });
+    if !fused {
+        return cells
+            .iter()
+            .map(|(problem, theta_j, theta_m)| measure(problem, theta_j, theta_m, spec))
+            .collect();
+    }
+
+    let n = first.optical().mask_dim();
+    let dose = first.settings().dose;
+    let mut masks = FieldBatch::zeros(n, 3 * cells.len());
+    for (i, (problem, _, theta_m)) in cells.iter().enumerate() {
+        stack_dose_masks(
+            &mut masks,
+            3 * i,
+            &problem.mask(theta_m),
+            dose.min(),
+            dose.max(),
+        );
+    }
+    let images = first.abbe().intensity_batch(&shared_source, &masks)?;
+    Ok(cells
+        .iter()
+        .enumerate()
+        .map(|(i, (problem, _, _))| {
+            metrics_from_prints(problem, &images, 3 * i, problem.target(), spec)
+        })
+        .collect())
 }
 
 #[cfg(test)]

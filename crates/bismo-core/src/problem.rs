@@ -16,7 +16,7 @@
 use std::sync::Arc;
 
 use bismo_litho::{
-    AbbeImager, DoseCorners, HopkinsImager, ImagingBackend, LithoError, ResistModel,
+    AbbeImager, DoseCorners, FieldBatch, HopkinsImager, ImagingBackend, LithoError, ResistModel,
 };
 use bismo_optics::{ImagingCore, OpticalConfig, RealField, Source, SourceShape};
 
@@ -256,8 +256,8 @@ impl<B: ImagingBackend> MoProblem<B> {
     fn passes(&self) -> Vec<(f64, f64, bool)> {
         let mut passes = vec![(self.settings.gamma, 1.0, true)];
         if self.settings.eta > 0.0 {
-            passes.push((self.settings.eta, self.settings.dose.min, false));
-            passes.push((self.settings.eta, self.settings.dose.max, false));
+            passes.push((self.settings.eta, self.settings.dose.min(), false));
+            passes.push((self.settings.eta, self.settings.dose.max(), false));
         }
         passes
     }
@@ -266,6 +266,19 @@ impl<B: ImagingBackend> MoProblem<B> {
     /// runs the dose passes on the **activated** mask `M`, returning the
     /// loss plus (if requested) `∂L/∂M` (with regularizer gradient folded
     /// in) and `∂L/∂j` — both *before* the Table 1 activation chain.
+    ///
+    /// The dose passes are **fused** through the backend's batch axis
+    /// (DESIGN.md §9): one scaled-mask batch holds the nominal and corner
+    /// masks, a single [`ImagingBackend::intensity_batch`] call images all
+    /// of them, and — when only the mask gradient is requested — a single
+    /// [`ImagingBackend::grad_mask_batch`] call backpropagates all corner
+    /// terms. The per-entry results of the batch calls are bit-identical to
+    /// the historical pass-at-a-time evaluation (pinned by
+    /// `tests/golden/solvers.golden`), so this is a scheduling change only.
+    /// Passes needing source gradients keep the per-corner
+    /// [`ImagingBackend::gradients`] call, which shares the per-point field
+    /// `A_σ` between the mask and source adjoints — fusing those across
+    /// corners would undo that (cheaper) sharing.
     fn eval_inner(
         &self,
         source: &Source,
@@ -276,34 +289,46 @@ impl<B: ImagingBackend> MoProblem<B> {
         let npix = (n * n) as f64;
         let nj2 = self.optical().source_dim() * self.optical().source_dim();
 
-        let mut l2 = 0.0;
-        let mut pvb = 0.0;
+        let passes = self.passes();
+        let nb = passes.len();
         let mut grad_mask_total: Option<RealField> = request.mask.then(|| RealField::zeros(n));
         let mut grad_source_total: Option<Vec<f64>> = request.source.then(|| vec![0.0; nj2]);
 
-        for (weight, dose, nominal) in self.passes() {
-            let m_d = if dose == 1.0 {
-                mask.clone()
+        // One stacked batch of dose-scaled masks, imaged in a single fused
+        // backend call.
+        let mut masks = FieldBatch::zeros(n, nb);
+        for (b, (_, dose, _)) in passes.iter().enumerate() {
+            let entry = masks.entry_mut(b);
+            if *dose == 1.0 {
+                entry.copy_from_slice(mask.as_slice());
             } else {
-                mask.map(|v| dose * v)
-            };
-            let intensity = self.backend.intensity(source, &m_d)?;
-            let z = self.resist.develop(&intensity);
+                for (o, &v) in entry.iter_mut().zip(mask.as_slice()) {
+                    *o = dose * v;
+                }
+            }
+        }
+        let intensities = self.backend.intensity_batch(source, &masks)?;
+
+        // Loss terms and upstream intensity gradients, per corner in pass
+        // order (identical accumulation order to the sequential passes).
+        let mut l2 = 0.0;
+        let mut pvb = 0.0;
+        let needs_grad = request.mask || request.source;
+        let mut g_batch = needs_grad.then(|| FieldBatch::zeros(n, nb));
+        for (b, (weight, _, nominal)) in passes.iter().enumerate() {
+            let z = self
+                .resist
+                .develop(&RealField::from_vec(n, intensities.entry(b).to_vec()));
             let mse = z.sq_distance(&self.target) / npix;
-            if nominal {
+            if *nominal {
                 l2 += mse;
             } else {
                 pvb += mse;
             }
-            if !request.mask && !request.source {
-                continue;
-            }
-
-            // G_I = ∂(weight·mse)/∂I = (2·weight/N²)·(Z−Z_t)·βZ(1−Z).
-            let dz = self.resist.develop_grad_from_resist(&z);
-            let mut g_i = RealField::zeros(n);
-            {
-                let gs = g_i.as_mut_slice();
+            if let Some(g_batch) = g_batch.as_mut() {
+                // G_I = ∂(weight·mse)/∂I = (2·weight/N²)·(Z−Z_t)·βZ(1−Z).
+                let dz = self.resist.develop_grad_from_resist(&z);
+                let gs = g_batch.entry_mut(b);
                 let zs = z.as_slice();
                 let ts = self.target.as_slice();
                 let ds = dz.as_slice();
@@ -311,28 +336,49 @@ impl<B: ImagingBackend> MoProblem<B> {
                     gs[i] = 2.0 * weight / npix * (zs[i] - ts[i]) * ds[i];
                 }
             }
+        }
 
-            match (request.mask, request.source) {
-                (true, true) => {
-                    let (gm, gj) = self.backend.gradients(source, &m_d, &g_i, &intensity)?;
-                    grad_mask_total.as_mut().expect("requested").axpy(dose, &gm);
-                    let total = grad_source_total.as_mut().expect("requested");
-                    for (t, g) in total.iter_mut().zip(&gj) {
-                        *t += g;
+        match (request.mask, request.source) {
+            (false, false) => {}
+            (true, false) => {
+                // The fused mask-only adjoint: all corners in one call,
+                // accumulated straight from the batch entries.
+                let g_batch = g_batch.as_ref().expect("gradients requested");
+                let grads = self.backend.grad_mask_batch(source, &masks, g_batch)?;
+                let total = grad_mask_total.as_mut().expect("requested");
+                for (b, (_, dose, _)) in passes.iter().enumerate() {
+                    for (t, &g) in total.as_mut_slice().iter_mut().zip(grads.entry(b)) {
+                        *t += dose * g;
                     }
                 }
-                (true, false) => {
-                    let gm = self.backend.grad_mask(source, &m_d, &g_i)?;
-                    grad_mask_total.as_mut().expect("requested").axpy(dose, &gm);
-                }
-                (false, true) => {
-                    let gj = self.backend.grad_source(source, &m_d, &g_i, &intensity)?;
-                    let total = grad_source_total.as_mut().expect("requested");
-                    for (t, g) in total.iter_mut().zip(&gj) {
-                        *t += g;
+            }
+            (_, true) => {
+                // Source-gradient passes stay per-corner: `gradients` shares
+                // A_σ between the two adjoints, which a cross-corner fusion
+                // would have to recompute.
+                let g_batch = g_batch.as_ref().expect("gradients requested");
+                for (b, (_, dose, _)) in passes.iter().enumerate() {
+                    let m_d = RealField::from_vec(n, masks.entry(b).to_vec());
+                    let g_i = RealField::from_vec(n, g_batch.entry(b).to_vec());
+                    let intensity = RealField::from_vec(n, intensities.entry(b).to_vec());
+                    if request.mask {
+                        let (gm, gj) = self.backend.gradients(source, &m_d, &g_i, &intensity)?;
+                        grad_mask_total
+                            .as_mut()
+                            .expect("requested")
+                            .axpy(*dose, &gm);
+                        let total = grad_source_total.as_mut().expect("requested");
+                        for (t, g) in total.iter_mut().zip(&gj) {
+                            *t += g;
+                        }
+                    } else {
+                        let gj = self.backend.grad_source(source, &m_d, &g_i, &intensity)?;
+                        let total = grad_source_total.as_mut().expect("requested");
+                        for (t, g) in total.iter_mut().zip(&gj) {
+                            *t += g;
+                        }
                     }
                 }
-                (false, false) => unreachable!("filtered above"),
             }
         }
 

@@ -33,4 +33,7 @@ mod fft2d;
 
 pub use complex::Complex64;
 pub use fft1d::{dft_naive, Direction, FftError, FftPlan};
-pub use fft2d::{fftshift2, ifftshift2, signed_freq, wrap_freq, Fft2Plan, Fft2Workspace};
+pub use fft2d::{
+    fftshift2, fftshift2_batch, ifftshift2, ifftshift2_batch, signed_freq, wrap_freq, BatchFft2,
+    Fft2Plan, Fft2Workspace,
+};

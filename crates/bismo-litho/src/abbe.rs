@@ -39,11 +39,10 @@
 
 use std::sync::{Arc, Mutex};
 
-use bismo_fft::{Complex64, Fft2Workspace};
-use bismo_optics::{
-    ImagingCore, OpticalConfig, RealField, ShiftedPupilEntry, ShiftedPupilTable, Source,
-};
+use bismo_fft::{BatchFft2, Complex64, Fft2Workspace};
+use bismo_optics::{ImagingCore, OpticalConfig, RealField, ShiftedPupilTable, Source};
 
+use crate::batch::{check_batch_shape, IntensityBatch, MaskBatch};
 use crate::error::LithoError;
 
 /// Minimum total source power below which no image is formed.
@@ -134,42 +133,63 @@ impl WorkspacePool {
     }
 }
 
-/// Writes `H_σ ⊙ O` into `out` from a cached shifted pupil: zero-fill plus a
-/// sparse scatter over the ~π·r² lit bins (instead of N² analytic pupil
-/// evaluations).
-fn apply_entry(spec: &[Complex64], out: &mut [Complex64], entry: ShiftedPupilEntry<'_>) {
-    out.fill(Complex64::ZERO);
-    if entry.values.is_empty() {
-        for &k in entry.indices {
-            let k = k as usize;
-            out[k] = spec[k];
-        }
-    } else {
-        for (&k, &v) in entry.indices.iter().zip(entry.values) {
-            let k = k as usize;
-            out[k] = spec[k] * v;
+/// Per-call / per-worker scratch of the **batched** imaging passes: stacked
+/// `batch × n²` variants of the [`ImagingWorkspace`] buffers. Pooled
+/// separately from the single-mask workspaces so a mixed workload (e.g.
+/// fused dose corners inside an optimizer that also images single masks)
+/// keeps both pools warm at their own sizes.
+#[derive(Debug, Default)]
+struct BatchWorkspace {
+    /// FFT column-pass scratch (sized for the blocked batch pass).
+    fft: Fft2Workspace,
+    /// Stacked mask spectra `O_b = F(M_b)`.
+    specs: Vec<Complex64>,
+    /// Stacked per-source-point fields `A_{σ,b}`.
+    fields: Vec<Complex64>,
+    /// Stacked frequency-domain mask-adjoint accumulators.
+    acc: Vec<Complex64>,
+    /// Stacked real-valued partial intensity accumulators.
+    partial: Vec<f64>,
+}
+
+impl BatchWorkspace {
+    /// Ensures every stacked buffer holds exactly `batch · n2` elements. A
+    /// no-op (and allocation-free) once used at this size.
+    fn ensure(&mut self, n2: usize, batch: usize) {
+        let len = n2 * batch;
+        if self.specs.len() != len {
+            self.specs.resize(len, Complex64::ZERO);
+            self.fields.resize(len, Complex64::ZERO);
+            self.acc.resize(len, Complex64::ZERO);
+            self.partial.resize(len, 0.0);
         }
     }
 }
 
-/// Accumulates `w · H̄_σ ⊙ back` into `acc` — the frequency-domain half of
-/// the mask adjoint — over the cached lit bins only.
-fn accumulate_entry(
-    acc: &mut [Complex64],
-    back: &[Complex64],
-    w: f64,
-    entry: ShiftedPupilEntry<'_>,
-) {
-    if entry.values.is_empty() {
-        for &k in entry.indices {
-            let k = k as usize;
-            acc[k] += back[k].scale(w);
-        }
-    } else {
-        for (&k, &v) in entry.indices.iter().zip(entry.values) {
-            let k = k as usize;
-            acc[k] += back[k] * v.conj().scale(w);
-        }
+/// Lock-guarded stack of warm batch workspaces — same discipline as
+/// [`WorkspacePool`].
+#[derive(Debug, Clone, Default)]
+struct BatchPool {
+    slots: Arc<Mutex<Vec<BatchWorkspace>>>,
+}
+
+impl BatchPool {
+    fn acquire(&self, n2: usize, batch: usize) -> BatchWorkspace {
+        let mut ws = self
+            .slots
+            .lock()
+            .expect("batch workspace pool poisoned")
+            .pop()
+            .unwrap_or_default();
+        ws.ensure(n2, batch);
+        ws
+    }
+
+    fn release(&self, ws: BatchWorkspace) {
+        self.slots
+            .lock()
+            .expect("batch workspace pool poisoned")
+            .push(ws);
     }
 }
 
@@ -204,6 +224,7 @@ pub struct AbbeImager {
     threads: usize,
     min_weight: f64,
     pool: WorkspacePool,
+    batch_pool: BatchPool,
 }
 
 impl AbbeImager {
@@ -234,6 +255,7 @@ impl AbbeImager {
             threads: 1,
             min_weight: 1e-9,
             pool: WorkspacePool::default(),
+            batch_pool: BatchPool::default(),
         }
     }
 
@@ -282,6 +304,16 @@ impl AbbeImager {
         self.threads
     }
 
+    /// Configured forward-pass skip threshold (see
+    /// [`AbbeImager::with_min_weight`]). Exposed so callers fusing work
+    /// across engines can verify the engines schedule identically — both
+    /// the thread count and this threshold change floating-point summation
+    /// order.
+    #[inline]
+    pub fn min_weight(&self) -> f64 {
+        self.min_weight
+    }
+
     /// The precomputed per-source-point shifted pupils this engine images
     /// through (exposed for benches and cross-engine reuse).
     #[inline]
@@ -289,14 +321,9 @@ impl AbbeImager {
         self.core.shifted()
     }
 
-    fn check_inputs(&self, source: &Source, mask: &RealField) -> Result<f64, LithoError> {
-        let n = self.core.config().mask_dim();
-        if mask.dim() != n {
-            return Err(LithoError::Shape(format!(
-                "mask is {}×{0}, engine expects {n}×{n}",
-                mask.dim()
-            )));
-        }
+    /// The source checks shared by every entry point (grid shape, frequency
+    /// scale, total power), returning the total source power.
+    fn check_source(&self, source: &Source) -> Result<f64, LithoError> {
         if source.dim() != self.core.config().source_dim() {
             return Err(LithoError::Shape(format!(
                 "source is {}×{0}, engine expects {1}×{1}",
@@ -320,6 +347,17 @@ impl AbbeImager {
             return Err(LithoError::DarkSource);
         }
         Ok(s)
+    }
+
+    fn check_inputs(&self, source: &Source, mask: &RealField) -> Result<f64, LithoError> {
+        let n = self.core.config().mask_dim();
+        if mask.dim() != n {
+            return Err(LithoError::Shape(format!(
+                "mask is {}×{0}, engine expects {n}×{n}",
+                mask.dim()
+            )));
+        }
+        self.check_source(source)
     }
 
     fn check_field_dim(&self, field: &RealField, what: &str) -> Result<(), LithoError> {
@@ -363,7 +401,7 @@ impl AbbeImager {
             ..
         } = ws;
         for (idx, w) in points {
-            apply_entry(spec, field, self.core.shifted().entry(idx));
+            self.core.shifted().entry(idx).apply(spec, field);
             self.core.plan().inverse_with(field, fft)?;
             for (acc, a) in partial.iter_mut().zip(field.iter()) {
                 *acc += w * a.norm_sqr();
@@ -475,7 +513,7 @@ impl AbbeImager {
             let entry = self.core.shifted().entry(idx);
 
             // A_τ = F⁻¹(H_τ ⊙ O).
-            apply_entry(spec, field, entry);
+            entry.apply(spec, field);
             self.core.plan().inverse_with(field, fft)?;
 
             // Source gradient: (⟨G, |A_τ|²⟩ − ⟨G, I⟩) / Σj.
@@ -494,7 +532,7 @@ impl AbbeImager {
                     *b = a.scale(g);
                 }
                 self.core.plan().forward_with(back, fft)?;
-                accumulate_entry(acc, back, w, entry);
+                entry.accumulate(acc, back, w);
             }
         }
         Ok(())
@@ -762,14 +800,14 @@ impl AbbeImager {
         } = ws;
         for (idx, weight) in points {
             let entry = self.core.shifted().entry(idx);
-            apply_entry(spec, field, entry);
+            entry.apply(spec, field);
             self.core.plan().inverse_with(field, fft)?;
             let w = weight / s_total;
             for (a, &g) in field.iter_mut().zip(g_intensity) {
                 *a = a.scale(g);
             }
             self.core.plan().forward_with(field, fft)?;
-            accumulate_entry(acc, field, w, entry);
+            entry.accumulate(acc, field, w);
         }
         Ok(())
     }
@@ -856,6 +894,270 @@ impl AbbeImager {
         }
         self.pool.release(ws_main);
         Ok(())
+    }
+
+    /// The shared input checks of the batched entry points (mask grid,
+    /// source grid/scale, source power), mirroring
+    /// [`AbbeImager::check_inputs`] for stacked masks.
+    fn check_batch_inputs(&self, source: &Source, masks: &MaskBatch) -> Result<f64, LithoError> {
+        let n = self.core.config().mask_dim();
+        check_batch_shape(masks, n, masks.batch(), "mask")?;
+        self.check_source(source)
+    }
+
+    /// Fills `ws.specs` with the stacked spectra `O_b = F(M_b)` of a mask
+    /// batch (the batched [`AbbeImager::mask_spectrum_into`]).
+    fn batch_spectra_into(
+        &self,
+        masks: &MaskBatch,
+        bfft: &BatchFft2<'_>,
+        ws: &mut BatchWorkspace,
+    ) -> Result<(), LithoError> {
+        let BatchWorkspace { specs, fft, .. } = ws;
+        for (s, &v) in specs.iter_mut().zip(masks.as_slice()) {
+            *s = Complex64::from_real(v);
+        }
+        bfft.forward_with(specs, fft)?;
+        Ok(())
+    }
+
+    /// Batched forward-pass body: accumulates `Σ j_σ |A_{σ,b}|²` over
+    /// `(grid index, weight)` pairs into `ws.partial` (which the caller has
+    /// zeroed), with **one** shifted-pupil table walk per source point for
+    /// the whole batch and one batched inverse FFT per point.
+    fn intensity_accumulate_batch(
+        &self,
+        specs: &[Complex64],
+        points: impl IntoIterator<Item = (usize, f64)>,
+        bfft: &BatchFft2<'_>,
+        ws: &mut BatchWorkspace,
+    ) -> Result<(), LithoError> {
+        let n2 = self.core.config().mask_dim() * self.core.config().mask_dim();
+        let BatchWorkspace {
+            fft,
+            fields,
+            partial,
+            ..
+        } = ws;
+        for (idx, w) in points {
+            self.core
+                .shifted()
+                .entry(idx)
+                .apply_batch(specs, fields, n2);
+            bfft.inverse_with(fields, fft)?;
+            for (acc, a) in partial.iter_mut().zip(fields.iter()) {
+                *acc += w * a.norm_sqr();
+            }
+        }
+        Ok(())
+    }
+
+    /// Fused batched forward imaging: one call computes the aerial image of
+    /// every stacked mask (e.g. the three dose-corner masks of the SMO
+    /// objective), writing into the caller-owned `out` batch.
+    ///
+    /// Per-entry results are bit-identical to `B` separate
+    /// [`AbbeImager::intensity_into`] calls at the same thread count; the
+    /// fusion amortizes the per-point table traversal and runs the FFTs
+    /// through the cache-blocked batch path (DESIGN.md §9). Allocation-free
+    /// once the batch workspace pool is warm at this `(grid, batch)` size.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`AbbeImager::intensity`], plus shape errors
+    /// for mismatched batches.
+    pub fn intensity_batch_into(
+        &self,
+        source: &Source,
+        masks: &MaskBatch,
+        out: &mut IntensityBatch,
+    ) -> Result<(), LithoError> {
+        let s_total = self.check_batch_inputs(source, masks)?;
+        let n = self.core.config().mask_dim();
+        check_batch_shape(out, n, masks.batch(), "output")?;
+        if masks.batch() == 0 {
+            return Ok(());
+        }
+        let n2 = n * n;
+        let batch = masks.batch();
+        let bfft = self.core.plan().batched(batch);
+        let mut ws_main = self.batch_pool.acquire(n2, batch);
+        self.batch_spectra_into(masks, &bfft, &mut ws_main)?;
+        let out_slice = out.as_mut_slice();
+        out_slice.fill(0.0);
+
+        if self.threads <= 1 || source.effective_count(self.min_weight) < 2 {
+            let mut ws = self.batch_pool.acquire(n2, batch);
+            ws.partial.fill(0.0);
+            let lit = source
+                .weights()
+                .iter()
+                .enumerate()
+                .filter_map(|(idx, &w)| (w > self.min_weight).then_some((idx, w)));
+            self.intensity_accumulate_batch(&ws_main.specs, lit, &bfft, &mut ws)?;
+            for (t, p) in out_slice.iter_mut().zip(&ws.partial) {
+                *t += *p;
+            }
+            self.batch_pool.release(ws);
+        } else {
+            let points = source.effective_points(self.min_weight);
+            let specs: &[Complex64] = &ws_main.specs;
+            let workers = fan_out(&points, self.threads, |chunk| {
+                let mut ws = self.batch_pool.acquire(n2, batch);
+                ws.partial.fill(0.0);
+                let lit = chunk.iter().map(|p| (p.index, p.weight));
+                self.intensity_accumulate_batch(specs, lit, &bfft, &mut ws)?;
+                Ok(ws)
+            })?;
+            // Merge in chunk order so the result is deterministic.
+            for ws in workers {
+                for (t, p) in out_slice.iter_mut().zip(&ws.partial) {
+                    *t += *p;
+                }
+                self.batch_pool.release(ws);
+            }
+        }
+        for t in out_slice.iter_mut() {
+            *t /= s_total;
+        }
+        self.batch_pool.release(ws_main);
+        Ok(())
+    }
+
+    /// Allocating convenience for [`AbbeImager::intensity_batch_into`].
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`AbbeImager::intensity_batch_into`].
+    pub fn intensity_batch(
+        &self,
+        source: &Source,
+        masks: &MaskBatch,
+    ) -> Result<IntensityBatch, LithoError> {
+        let mut out = IntensityBatch::zeros(masks.dim(), masks.batch());
+        self.intensity_batch_into(source, masks, &mut out)?;
+        Ok(out)
+    }
+
+    /// Batched mask-adjoint body: accumulates
+    /// `Σ w_σ H̄_σ ⊙ F(G_b ⊙ A_{σ,b})` into `ws.acc` (which the caller has
+    /// zeroed) — one table walk and two batched FFTs per source point.
+    fn mask_adjoint_accumulate_batch(
+        &self,
+        specs: &[Complex64],
+        g_intensity: &[f64],
+        s_total: f64,
+        points: impl IntoIterator<Item = (usize, f64)>,
+        bfft: &BatchFft2<'_>,
+        ws: &mut BatchWorkspace,
+    ) -> Result<(), LithoError> {
+        let n2 = self.core.config().mask_dim() * self.core.config().mask_dim();
+        let BatchWorkspace {
+            fft, fields, acc, ..
+        } = ws;
+        for (idx, weight) in points {
+            let entry = self.core.shifted().entry(idx);
+            entry.apply_batch(specs, fields, n2);
+            bfft.inverse_with(fields, fft)?;
+            let w = weight / s_total;
+            for (a, &g) in fields.iter_mut().zip(g_intensity) {
+                *a = a.scale(g);
+            }
+            bfft.forward_with(fields, fft)?;
+            entry.accumulate_batch(acc, fields, w, n2);
+        }
+        Ok(())
+    }
+
+    /// Fused batched mask gradient: entry `b` of `out` receives `∂L/∂M_b`
+    /// for mask `b` under the stacked upstream gradient `g_intensity` —
+    /// bit-identical per entry to separate [`AbbeImager::grad_mask_into`]
+    /// calls, with the per-point table walk and FFTs amortized across the
+    /// batch. Allocation-free once the batch pool is warm.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`AbbeImager::grad_mask`], plus shape errors
+    /// for mismatched batches.
+    pub fn grad_mask_batch_into(
+        &self,
+        source: &Source,
+        masks: &MaskBatch,
+        g_intensity: &IntensityBatch,
+        out: &mut MaskBatch,
+    ) -> Result<(), LithoError> {
+        let s_total = self.check_batch_inputs(source, masks)?;
+        let n = self.core.config().mask_dim();
+        check_batch_shape(g_intensity, n, masks.batch(), "gradient")?;
+        check_batch_shape(out, n, masks.batch(), "output")?;
+        if masks.batch() == 0 {
+            return Ok(());
+        }
+        let n2 = n * n;
+        let batch = masks.batch();
+        let bfft = self.core.plan().batched(batch);
+        let gi = g_intensity.as_slice();
+        let mut ws_main = self.batch_pool.acquire(n2, batch);
+        self.batch_spectra_into(masks, &bfft, &mut ws_main)?;
+
+        if self.threads <= 1 || source.effective_count(self.min_weight) < 2 {
+            let mut ws = self.batch_pool.acquire(n2, batch);
+            ws.acc.fill(Complex64::ZERO);
+            let lit = source
+                .weights()
+                .iter()
+                .enumerate()
+                .filter_map(|(idx, &w)| (w > self.min_weight).then_some((idx, w)));
+            self.mask_adjoint_accumulate_batch(&ws_main.specs, gi, s_total, lit, &bfft, &mut ws)?;
+            let BatchWorkspace { fft, acc, .. } = &mut ws;
+            bfft.inverse_with(acc, fft)?;
+            for (o, z) in out.as_mut_slice().iter_mut().zip(acc.iter()) {
+                *o = 2.0 * z.re;
+            }
+            self.batch_pool.release(ws);
+            self.batch_pool.release(ws_main);
+            return Ok(());
+        }
+
+        let points = source.effective_points(self.min_weight);
+        let specs: &[Complex64] = &ws_main.specs;
+        let workers = fan_out(&points, self.threads, |chunk| {
+            let mut ws = self.batch_pool.acquire(n2, batch);
+            ws.acc.fill(Complex64::ZERO);
+            let lit = chunk.iter().map(|p| (p.index, p.weight));
+            self.mask_adjoint_accumulate_batch(specs, gi, s_total, lit, &bfft, &mut ws)?;
+            Ok(ws)
+        })?;
+        let BatchWorkspace { fft, acc, .. } = &mut ws_main;
+        acc.fill(Complex64::ZERO);
+        for ws in workers {
+            for (a, p) in acc.iter_mut().zip(&ws.acc) {
+                *a += *p;
+            }
+            self.batch_pool.release(ws);
+        }
+        bfft.inverse_with(acc, fft)?;
+        for (o, z) in out.as_mut_slice().iter_mut().zip(acc.iter()) {
+            *o = 2.0 * z.re;
+        }
+        self.batch_pool.release(ws_main);
+        Ok(())
+    }
+
+    /// Allocating convenience for [`AbbeImager::grad_mask_batch_into`].
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`AbbeImager::grad_mask_batch_into`].
+    pub fn grad_mask_batch(
+        &self,
+        source: &Source,
+        masks: &MaskBatch,
+        g_intensity: &IntensityBatch,
+    ) -> Result<MaskBatch, LithoError> {
+        let mut out = MaskBatch::zeros(masks.dim(), masks.batch());
+        self.grad_mask_batch_into(source, masks, g_intensity, &mut out)?;
+        Ok(out)
     }
 }
 

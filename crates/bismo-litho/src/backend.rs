@@ -23,6 +23,7 @@
 use bismo_optics::{OpticalConfig, RealField, Source};
 
 use crate::abbe::AbbeImager;
+use crate::batch::{check_batch_shape, FieldBatch, IntensityBatch, MaskBatch};
 use crate::error::LithoError;
 use crate::hopkins::HopkinsImager;
 
@@ -126,6 +127,98 @@ pub trait ImagingBackend: Send + Sync {
             self.grad_source(source, mask, g_intensity, intensity)?,
         ))
     }
+
+    /// Images a whole [`MaskBatch`] in one call, writing each entry's
+    /// aerial image into the matching entry of the caller-owned `out`
+    /// batch. Per-entry results are **bit-identical** to `B` independent
+    /// [`intensity`](ImagingBackend::intensity) calls — the batch axis is a
+    /// scheduling contract, never a numerical one (DESIGN.md §9).
+    ///
+    /// The default implementation is the entry-at-a-time loop; fused
+    /// backends override it to amortize their per-call traversal (the Abbe
+    /// engine walks its shifted-pupil table once per source point for the
+    /// whole batch, Hopkins walks its kernel support once per kernel).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`ImagingBackend::intensity`], plus shape
+    /// errors for mismatched batches.
+    fn intensity_batch_into(
+        &self,
+        source: &Source,
+        masks: &MaskBatch,
+        out: &mut IntensityBatch,
+    ) -> Result<(), LithoError> {
+        let n = self.config().mask_dim();
+        check_batch_shape(masks, n, masks.batch(), "mask")?;
+        check_batch_shape(out, n, masks.batch(), "output")?;
+        for b in 0..masks.batch() {
+            let image = self.intensity(source, &masks.entry_field(b))?;
+            out.entry_mut(b).copy_from_slice(image.as_slice());
+        }
+        Ok(())
+    }
+
+    /// Allocating convenience for
+    /// [`intensity_batch_into`](ImagingBackend::intensity_batch_into).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`ImagingBackend::intensity_batch_into`].
+    fn intensity_batch(
+        &self,
+        source: &Source,
+        masks: &MaskBatch,
+    ) -> Result<IntensityBatch, LithoError> {
+        let mut out = FieldBatch::zeros(masks.dim(), masks.batch());
+        self.intensity_batch_into(source, masks, &mut out)?;
+        Ok(out)
+    }
+
+    /// Computes `∂L/∂M` for a whole batch in one call: entry `b` of `out`
+    /// receives the mask gradient of mask `b` under the upstream intensity
+    /// gradient `b`. Bit-identical per entry to `B` independent
+    /// [`grad_mask`](ImagingBackend::grad_mask) calls; fused backends
+    /// override the entry-at-a-time default.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`ImagingBackend::grad_mask`], plus shape
+    /// errors for mismatched batches.
+    fn grad_mask_batch_into(
+        &self,
+        source: &Source,
+        masks: &MaskBatch,
+        g_intensity: &IntensityBatch,
+        out: &mut MaskBatch,
+    ) -> Result<(), LithoError> {
+        let n = self.config().mask_dim();
+        check_batch_shape(masks, n, masks.batch(), "mask")?;
+        check_batch_shape(g_intensity, n, masks.batch(), "gradient")?;
+        check_batch_shape(out, n, masks.batch(), "output")?;
+        for b in 0..masks.batch() {
+            let g = self.grad_mask(source, &masks.entry_field(b), &g_intensity.entry_field(b))?;
+            out.entry_mut(b).copy_from_slice(g.as_slice());
+        }
+        Ok(())
+    }
+
+    /// Allocating convenience for
+    /// [`grad_mask_batch_into`](ImagingBackend::grad_mask_batch_into).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`ImagingBackend::grad_mask_batch_into`].
+    fn grad_mask_batch(
+        &self,
+        source: &Source,
+        masks: &MaskBatch,
+        g_intensity: &IntensityBatch,
+    ) -> Result<MaskBatch, LithoError> {
+        let mut out = FieldBatch::zeros(masks.dim(), masks.batch());
+        self.grad_mask_batch_into(source, masks, g_intensity, &mut out)?;
+        Ok(out)
+    }
 }
 
 impl ImagingBackend for AbbeImager {
@@ -175,6 +268,27 @@ impl ImagingBackend for AbbeImager {
         // roughly halving the FFT count versus the default implementation.
         AbbeImager::gradients(self, source, mask, g_intensity, intensity)
     }
+
+    fn intensity_batch_into(
+        &self,
+        source: &Source,
+        masks: &MaskBatch,
+        out: &mut IntensityBatch,
+    ) -> Result<(), LithoError> {
+        // Fused: one shifted-pupil table walk per source point for the
+        // whole batch, batched FFTs, pooled batch workspaces.
+        AbbeImager::intensity_batch_into(self, source, masks, out)
+    }
+
+    fn grad_mask_batch_into(
+        &self,
+        source: &Source,
+        masks: &MaskBatch,
+        g_intensity: &IntensityBatch,
+        out: &mut MaskBatch,
+    ) -> Result<(), LithoError> {
+        AbbeImager::grad_mask_batch_into(self, source, masks, g_intensity, out)
+    }
 }
 
 impl ImagingBackend for HopkinsImager {
@@ -199,5 +313,27 @@ impl ImagingBackend for HopkinsImager {
         g_intensity: &RealField,
     ) -> Result<RealField, LithoError> {
         HopkinsImager::grad_mask(self, mask, g_intensity)
+    }
+
+    /// Fused over the TCC kernels: one support walk per kernel for the
+    /// whole batch; the `source` argument is ignored as for the single-mask
+    /// methods.
+    fn intensity_batch_into(
+        &self,
+        _source: &Source,
+        masks: &MaskBatch,
+        out: &mut IntensityBatch,
+    ) -> Result<(), LithoError> {
+        HopkinsImager::intensity_batch_into(self, masks, out)
+    }
+
+    fn grad_mask_batch_into(
+        &self,
+        _source: &Source,
+        masks: &MaskBatch,
+        g_intensity: &IntensityBatch,
+        out: &mut MaskBatch,
+    ) -> Result<(), LithoError> {
+        HopkinsImager::grad_mask_batch_into(self, masks, g_intensity, out)
     }
 }

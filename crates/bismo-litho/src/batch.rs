@@ -1,0 +1,276 @@
+//! Contiguously stacked batches of real fields — the currency of the
+//! batched imaging axis (DESIGN.md §9).
+//!
+//! A [`FieldBatch`] holds `B` same-sized square fields back to back in one
+//! flat buffer (`entry b` at `data[b·dim² .. (b+1)·dim²]`). That layout is
+//! what lets the layers below amortize work across the batch: the FFT layer
+//! transforms the stacked buffer in one call (`bismo_fft::BatchFft2`), and
+//! the shifted-pupil table is walked once per source point with an inner
+//! loop over the batch (`ShiftedPupilEntry::apply_batch`).
+//!
+//! The aliases [`MaskBatch`] and [`IntensityBatch`] name the two roles a
+//! batch plays at the [`crate::ImagingBackend`] boundary; they are the same
+//! type, so a gradient batch can be reused as an output buffer and so on.
+//! Ownership follows the workspace rules of DESIGN.md §6: the `*_into`
+//! backend methods write into caller-owned batches, keeping the warm path
+//! allocation-free.
+
+use bismo_optics::RealField;
+
+use crate::error::LithoError;
+
+/// `B` square `dim × dim` fields stacked contiguously in one buffer.
+///
+/// # Examples
+///
+/// ```
+/// use bismo_litho::FieldBatch;
+/// use bismo_optics::RealField;
+///
+/// let nominal = RealField::filled(4, 1.0);
+/// let scaled = nominal.map(|v| 0.98 * v);
+/// let batch = FieldBatch::from_fields(&[nominal, scaled]);
+/// assert_eq!(batch.batch(), 2);
+/// assert_eq!(batch.entry(1)[0], 0.98);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldBatch {
+    dim: usize,
+    batch: usize,
+    data: Vec<f64>,
+}
+
+/// A batch of (possibly dose-scaled) mask transmissions — the input role of
+/// a [`FieldBatch`] at the imaging boundary.
+pub type MaskBatch = FieldBatch;
+
+/// A batch of aerial images (or intensity-space gradients) — the output
+/// role of a [`FieldBatch`] at the imaging boundary.
+pub type IntensityBatch = FieldBatch;
+
+impl FieldBatch {
+    /// Creates a batch of `batch` zeroed `dim × dim` fields.
+    #[must_use]
+    pub fn zeros(dim: usize, batch: usize) -> Self {
+        FieldBatch {
+            dim,
+            batch,
+            data: vec![0.0; batch * dim * dim],
+        }
+    }
+
+    /// Stacks existing fields into a batch (copying).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fields` is empty or the fields disagree on dimension.
+    #[must_use]
+    pub fn from_fields(fields: &[RealField]) -> Self {
+        let dim = fields
+            .first()
+            .expect("cannot build a batch from zero fields")
+            .dim();
+        let mut data = Vec::with_capacity(fields.len() * dim * dim);
+        for f in fields {
+            assert_eq!(f.dim(), dim, "batch fields disagree on dimension");
+            data.extend_from_slice(f.as_slice());
+        }
+        FieldBatch {
+            dim,
+            batch: fields.len(),
+            data,
+        }
+    }
+
+    /// Wraps an existing stacked buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != batch * dim * dim`.
+    #[must_use]
+    pub fn from_stacked(dim: usize, batch: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            batch * dim * dim,
+            "stacked buffer size mismatch"
+        );
+        FieldBatch { dim, batch, data }
+    }
+
+    /// Side length of every field in the batch.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of stacked fields.
+    #[inline]
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Pixels per field (`dim²`).
+    #[inline]
+    pub fn entry_len(&self) -> usize {
+        self.dim * self.dim
+    }
+
+    /// Total stacked length (`batch · dim²`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` for a zero-entry (or zero-dimension) batch.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of one stacked field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b >= batch`.
+    #[inline]
+    pub fn entry(&self, b: usize) -> &[f64] {
+        let n2 = self.entry_len();
+        &self.data[b * n2..(b + 1) * n2]
+    }
+
+    /// Mutable view of one stacked field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b >= batch`.
+    #[inline]
+    pub fn entry_mut(&mut self, b: usize) -> &mut [f64] {
+        let n2 = self.entry_len();
+        &mut self.data[b * n2..(b + 1) * n2]
+    }
+
+    /// Copies one stacked field out into an owned [`RealField`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b >= batch`.
+    #[must_use]
+    pub fn entry_field(&self, b: usize) -> RealField {
+        RealField::from_vec(self.dim, self.entry(b).to_vec())
+    }
+
+    /// Overwrites one stacked field from a [`RealField`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b >= batch` or the dimensions differ.
+    pub fn set_entry(&mut self, b: usize, field: &RealField) {
+        assert_eq!(field.dim(), self.dim, "batch field dimension mismatch");
+        self.entry_mut(b).copy_from_slice(field.as_slice());
+    }
+
+    /// Unstacks the batch into owned fields (copying).
+    #[must_use]
+    pub fn to_fields(&self) -> Vec<RealField> {
+        (0..self.batch).map(|b| self.entry_field(b)).collect()
+    }
+
+    /// Immutable view of the whole stacked buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable view of the whole stacked buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Fills every pixel of every entry with `value`.
+    pub fn fill(&mut self, value: f64) {
+        self.data.fill(value);
+    }
+}
+
+/// Shared shape guard of the batched backend methods: `what` batches must
+/// sit on the `n × n` mask grid and hold `batch` entries.
+pub(crate) fn check_batch_shape(
+    batch: &FieldBatch,
+    n: usize,
+    expected_batch: usize,
+    what: &str,
+) -> Result<(), LithoError> {
+    if batch.dim() != n {
+        return Err(LithoError::Shape(format!(
+            "{what} batch entries are {}×{0}, engine expects {n}×{n}",
+            batch.dim()
+        )));
+    }
+    if batch.batch() != expected_batch {
+        return Err(LithoError::Shape(format!(
+            "{what} batch holds {} entries, expected {expected_batch}",
+            batch.batch()
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stacking_and_views_round_trip() {
+        let a = RealField::from_fn(3, |r, c| (r * 3 + c) as f64);
+        let b = a.map(|v| -v);
+        let mut batch = FieldBatch::from_fields(&[a.clone(), b.clone()]);
+        assert_eq!(batch.dim(), 3);
+        assert_eq!(batch.batch(), 2);
+        assert_eq!(batch.entry_len(), 9);
+        assert_eq!(batch.len(), 18);
+        assert_eq!(batch.entry(0), a.as_slice());
+        assert_eq!(batch.entry_field(1), b);
+        assert_eq!(batch.to_fields(), vec![a.clone(), b]);
+        batch.set_entry(1, &a);
+        assert_eq!(batch.entry(1), a.as_slice());
+        batch.entry_mut(0)[4] = 99.0;
+        assert_eq!(batch.as_slice()[4], 99.0);
+        batch.fill(0.5);
+        assert!(batch.as_slice().iter().all(|&v| v == 0.5));
+    }
+
+    #[test]
+    fn from_stacked_validates_length() {
+        let batch = FieldBatch::from_stacked(2, 3, vec![1.0; 12]);
+        assert_eq!(batch.batch(), 3);
+        assert!(!batch.is_empty());
+        assert!(FieldBatch::zeros(2, 0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "stacked buffer size mismatch")]
+    fn from_stacked_rejects_bad_length() {
+        let _ = FieldBatch::from_stacked(2, 3, vec![1.0; 11]);
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree on dimension")]
+    fn from_fields_rejects_mixed_dims() {
+        let _ = FieldBatch::from_fields(&[RealField::zeros(2), RealField::zeros(3)]);
+    }
+
+    #[test]
+    fn shape_guard_reports_both_mismatches() {
+        let batch = FieldBatch::zeros(4, 2);
+        assert!(check_batch_shape(&batch, 4, 2, "mask").is_ok());
+        assert!(matches!(
+            check_batch_shape(&batch, 8, 2, "mask"),
+            Err(LithoError::Shape(_))
+        ));
+        assert!(matches!(
+            check_batch_shape(&batch, 4, 3, "mask"),
+            Err(LithoError::Shape(_))
+        ));
+    }
+}

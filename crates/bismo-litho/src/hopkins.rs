@@ -16,6 +16,7 @@ use bismo_optics::{
     SourcePoint,
 };
 
+use crate::batch::{check_batch_shape, IntensityBatch, MaskBatch};
 use crate::error::LithoError;
 
 /// Hermitian inner product `⟨a, b⟩ = Σ conj(a_k)·b_k` over two cached
@@ -395,6 +396,152 @@ impl HopkinsImager {
             n,
             acc_freq.iter().map(|z| 2.0 * z.re).collect::<Vec<_>>(),
         ))
+    }
+
+    /// Fused batched SOCS imaging: computes the aerial image of every
+    /// stacked mask in one pass over the TCC kernels — per kernel, the
+    /// support is walked **once** (the eigenvector value is loaded once per
+    /// bin for the whole batch) followed by one batched inverse FFT.
+    /// Per-entry results are bit-identical to separate
+    /// [`HopkinsImager::intensity`] calls (DESIGN.md §9).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LithoError::Shape`] on grid/batch mismatches plus FFT
+    /// failures.
+    pub fn intensity_batch_into(
+        &self,
+        masks: &MaskBatch,
+        out: &mut IntensityBatch,
+    ) -> Result<(), LithoError> {
+        let n = self.cfg.mask_dim();
+        check_batch_shape(masks, n, masks.batch(), "mask")?;
+        check_batch_shape(out, n, masks.batch(), "output")?;
+        if masks.batch() == 0 {
+            return Ok(());
+        }
+        let n2 = n * n;
+        let batch = masks.batch();
+        let bfft = self.plan.batched(batch);
+        let mut fft_ws = Fft2Workspace::new();
+        let mut o: Vec<Complex64> = masks
+            .as_slice()
+            .iter()
+            .map(|&v| Complex64::from_real(v))
+            .collect();
+        bfft.forward_with(&mut o, &mut fft_ws)?;
+
+        let out_slice = out.as_mut_slice();
+        out_slice.fill(0.0);
+        let mut field = vec![Complex64::ZERO; batch * n2];
+        for kernel in &self.kernels {
+            for z in field.iter_mut() {
+                *z = Complex64::ZERO;
+            }
+            for (i, &(row, col)) in self.support.iter().enumerate() {
+                let k = row * n + col;
+                let phi = kernel.phi[i];
+                for b in 0..batch {
+                    field[b * n2 + k] = phi * o[b * n2 + k];
+                }
+            }
+            bfft.inverse_with(&mut field, &mut fft_ws)?;
+            for (t, a) in out_slice.iter_mut().zip(&field) {
+                *t += kernel.kappa * a.norm_sqr();
+            }
+        }
+        Ok(())
+    }
+
+    /// Allocating convenience for [`HopkinsImager::intensity_batch_into`].
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`HopkinsImager::intensity_batch_into`].
+    pub fn intensity_batch(&self, masks: &MaskBatch) -> Result<IntensityBatch, LithoError> {
+        let mut out = IntensityBatch::zeros(masks.dim(), masks.batch());
+        self.intensity_batch_into(masks, &mut out)?;
+        Ok(out)
+    }
+
+    /// Fused batched mask gradient over the TCC kernels: one support walk
+    /// and two batched FFTs per kernel for the whole batch, bit-identical
+    /// per entry to separate [`HopkinsImager::grad_mask`] calls.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LithoError::Shape`] on grid/batch mismatches plus FFT
+    /// failures.
+    pub fn grad_mask_batch_into(
+        &self,
+        masks: &MaskBatch,
+        g_intensity: &IntensityBatch,
+        out: &mut MaskBatch,
+    ) -> Result<(), LithoError> {
+        let n = self.cfg.mask_dim();
+        check_batch_shape(masks, n, masks.batch(), "mask")?;
+        check_batch_shape(g_intensity, n, masks.batch(), "gradient")?;
+        check_batch_shape(out, n, masks.batch(), "output")?;
+        if masks.batch() == 0 {
+            return Ok(());
+        }
+        let n2 = n * n;
+        let batch = masks.batch();
+        let bfft = self.plan.batched(batch);
+        let mut fft_ws = Fft2Workspace::new();
+        let mut o: Vec<Complex64> = masks
+            .as_slice()
+            .iter()
+            .map(|&v| Complex64::from_real(v))
+            .collect();
+        bfft.forward_with(&mut o, &mut fft_ws)?;
+
+        let mut acc_freq = vec![Complex64::ZERO; batch * n2];
+        let mut field = vec![Complex64::ZERO; batch * n2];
+        for kernel in &self.kernels {
+            for z in field.iter_mut() {
+                *z = Complex64::ZERO;
+            }
+            for (i, &(row, col)) in self.support.iter().enumerate() {
+                let k = row * n + col;
+                let phi = kernel.phi[i];
+                for b in 0..batch {
+                    field[b * n2 + k] = phi * o[b * n2 + k];
+                }
+            }
+            bfft.inverse_with(&mut field, &mut fft_ws)?;
+            for (a, &g) in field.iter_mut().zip(g_intensity.as_slice()) {
+                *a = a.scale(g);
+            }
+            bfft.forward_with(&mut field, &mut fft_ws)?;
+            for (i, &(row, col)) in self.support.iter().enumerate() {
+                let k = row * n + col;
+                let phi_conj = kernel.phi[i].conj();
+                for b in 0..batch {
+                    acc_freq[b * n2 + k] += phi_conj * field[b * n2 + k].scale(kernel.kappa);
+                }
+            }
+        }
+        bfft.inverse_with(&mut acc_freq, &mut fft_ws)?;
+        for (o, z) in out.as_mut_slice().iter_mut().zip(acc_freq.iter()) {
+            *o = 2.0 * z.re;
+        }
+        Ok(())
+    }
+
+    /// Allocating convenience for [`HopkinsImager::grad_mask_batch_into`].
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`HopkinsImager::grad_mask_batch_into`].
+    pub fn grad_mask_batch(
+        &self,
+        masks: &MaskBatch,
+        g_intensity: &IntensityBatch,
+    ) -> Result<MaskBatch, LithoError> {
+        let mut out = MaskBatch::zeros(masks.dim(), masks.batch());
+        self.grad_mask_batch_into(masks, g_intensity, &mut out)?;
+        Ok(out)
     }
 
     /// Fraction of the TCC trace captured by the retained kernels — a

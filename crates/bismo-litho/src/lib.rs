@@ -13,7 +13,12 @@
 //!   [`DoseCorners`] for process-window evaluation;
 //! * [`ImagingBackend`] — the trait unifying both engines behind one
 //!   forward/adjoint interface, so optimization drivers are written once
-//!   and instantiated per model (`bismo-core`'s `MoProblem<B>`).
+//!   and instantiated per model (`bismo-core`'s `MoProblem<B>`);
+//! * [`FieldBatch`] (with its [`MaskBatch`] / [`IntensityBatch`] roles) —
+//!   contiguously stacked fields for the batched imaging axis: one
+//!   `intensity_batch` / `grad_mask_batch` call images a whole batch (dose
+//!   corners, multiple clips) with per-entry results bit-identical to
+//!   independent single-mask calls.
 //!
 //! ## Examples
 //!
@@ -43,12 +48,14 @@
 
 mod abbe;
 mod backend;
+mod batch;
 mod error;
 mod hopkins;
 mod resist;
 
 pub use abbe::AbbeImager;
 pub use backend::ImagingBackend;
+pub use batch::{FieldBatch, IntensityBatch, MaskBatch};
 pub use error::LithoError;
 pub use hopkins::{HopkinsImager, SocsKernel};
 pub use resist::{sigmoid, DoseCorners, ResistModel};

@@ -83,12 +83,18 @@ impl ResistModel {
 }
 
 /// Dose corners of the process window (paper §3.1: ±2% dose).
+///
+/// The fields are private so every value in circulation has passed
+/// [`DoseCorners::new`]'s validation — a literal-constructed corner pair
+/// like `{min: 1.1, max: 0.9}` (or a NaN/infinite factor) can no longer
+/// slip into the objective and silently invert or explode the
+/// process-window term.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DoseCorners {
-    /// Minimum-dose factor `d_min` (< 1).
-    pub min: f64,
-    /// Maximum-dose factor `d_max` (> 1).
-    pub max: f64,
+    /// Minimum-dose factor `d_min` (`0 < d_min ≤ 1`).
+    min: f64,
+    /// Maximum-dose factor `d_max` (`≥ 1`, finite).
+    max: f64,
 }
 
 impl DoseCorners {
@@ -102,13 +108,27 @@ impl DoseCorners {
     ///
     /// # Panics
     ///
-    /// Panics unless `0 < min ≤ 1 ≤ max`.
+    /// Panics unless both factors are finite and `0 < min ≤ 1 ≤ max` — the
+    /// corners must straddle the nominal dose.
     pub fn new(min: f64, max: f64) -> Self {
         assert!(
-            min > 0.0 && min <= 1.0 && max >= 1.0,
-            "dose corners must straddle nominal dose"
+            min.is_finite() && max.is_finite() && min > 0.0 && min <= 1.0 && max >= 1.0,
+            "dose corners must be finite and straddle nominal dose \
+             (0 < min ≤ 1 ≤ max), got min={min}, max={max}"
         );
         DoseCorners { min, max }
+    }
+
+    /// Minimum-dose factor `d_min`.
+    #[inline]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum-dose factor `d_max`.
+    #[inline]
+    pub fn max(&self) -> f64 {
+        self.max
     }
 }
 
@@ -181,14 +201,37 @@ mod tests {
     fn paper_dose_corners() {
         let d = DoseCorners::default();
         assert_eq!(d, DoseCorners::PAPER);
-        assert_eq!(d.min, 0.98);
-        assert_eq!(d.max, 1.02);
+        assert_eq!(d.min(), 0.98);
+        assert_eq!(d.max(), 1.02);
     }
 
     #[test]
-    #[should_panic(expected = "dose corners must straddle")]
-    fn bad_dose_corners_panic() {
-        let _ = DoseCorners::new(1.1, 1.2);
+    fn valid_dose_corners_are_accepted() {
+        let d = DoseCorners::new(0.95, 1.05);
+        assert_eq!(d.min(), 0.95);
+        assert_eq!(d.max(), 1.05);
+        // The degenerate-but-legal nominal-only window.
+        let nominal = DoseCorners::new(1.0, 1.0);
+        assert_eq!((nominal.min(), nominal.max()), (1.0, 1.0));
+    }
+
+    #[test]
+    fn nonsense_dose_corners_fail_fast() {
+        // Every class of nonsense must panic at construction instead of
+        // being accepted and silently poisoning the PVB term.
+        for (min, max) in [
+            (1.1, 1.2),                // both above nominal
+            (0.8, 0.9),                // both below nominal
+            (0.0, 1.02),               // zero dose
+            (-0.5, 1.02),              // negative dose
+            (f64::NAN, 1.02),          // NaN min
+            (0.98, f64::NAN),          // NaN max
+            (0.98, f64::INFINITY),     // infinite max
+            (f64::NEG_INFINITY, 1.02), // infinite min
+        ] {
+            let caught = std::panic::catch_unwind(|| DoseCorners::new(min, max));
+            assert!(caught.is_err(), "accepted nonsense corners ({min}, {max})");
+        }
     }
 
     #[test]

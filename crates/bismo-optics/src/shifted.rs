@@ -44,6 +44,122 @@ impl ShiftedPupilEntry<'_> {
             self.values[pos]
         }
     }
+
+    /// Writes `H_σ ⊙ spec` into `out`: zero-fill plus a sparse scatter over
+    /// the ~π·r² lit bins (instead of N² analytic pupil evaluations). This
+    /// is the forward-imaging kernel of the Abbe engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a lit-bin index exceeds either buffer (i.e. the buffers are
+    /// not on this table's mask grid).
+    pub fn apply(&self, spec: &[Complex64], out: &mut [Complex64]) {
+        out.fill(Complex64::ZERO);
+        if self.values.is_empty() {
+            for &k in self.indices {
+                let k = k as usize;
+                out[k] = spec[k];
+            }
+        } else {
+            for (&k, &v) in self.indices.iter().zip(self.values) {
+                let k = k as usize;
+                out[k] = spec[k] * v;
+            }
+        }
+    }
+
+    /// Batched [`ShiftedPupilEntry::apply`]: `specs` and `out` hold `B`
+    /// contiguously stacked `n2`-element fields, and the sparse index list
+    /// is walked **once**, applying each lit bin to every batch entry in an
+    /// inner loop (the pupil value is loaded once per bin, not once per
+    /// entry). Per-entry results are bit-identical to `B` separate `apply`
+    /// calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer lengths differ or are not a whole number of
+    /// `n2`-element fields.
+    pub fn apply_batch(&self, specs: &[Complex64], out: &mut [Complex64], n2: usize) {
+        assert_eq!(specs.len(), out.len(), "batch buffer length mismatch");
+        assert_eq!(
+            out.len() % n2,
+            0,
+            "batch buffer is not a whole number of fields"
+        );
+        let batch = out.len() / n2;
+        out.fill(Complex64::ZERO);
+        if self.values.is_empty() {
+            for &k in self.indices {
+                let k = k as usize;
+                for b in 0..batch {
+                    out[b * n2 + k] = specs[b * n2 + k];
+                }
+            }
+        } else {
+            for (&k, &v) in self.indices.iter().zip(self.values) {
+                let k = k as usize;
+                for b in 0..batch {
+                    out[b * n2 + k] = specs[b * n2 + k] * v;
+                }
+            }
+        }
+    }
+
+    /// Accumulates `w · H̄_σ ⊙ back` into `acc` over the lit bins only —
+    /// the frequency-domain half of the Abbe mask adjoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a lit-bin index exceeds either buffer.
+    pub fn accumulate(&self, acc: &mut [Complex64], back: &[Complex64], w: f64) {
+        if self.values.is_empty() {
+            for &k in self.indices {
+                let k = k as usize;
+                acc[k] += back[k].scale(w);
+            }
+        } else {
+            for (&k, &v) in self.indices.iter().zip(self.values) {
+                let k = k as usize;
+                acc[k] += back[k] * v.conj().scale(w);
+            }
+        }
+    }
+
+    /// Batched [`ShiftedPupilEntry::accumulate`]: one walk of the sparse
+    /// index list, accumulating every batch entry per bin. The conjugated,
+    /// weighted pupil value is computed once per bin and reused across the
+    /// batch, so per-entry results are bit-identical to `B` separate
+    /// `accumulate` calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer lengths differ or are not a whole number of
+    /// `n2`-element fields.
+    pub fn accumulate_batch(&self, acc: &mut [Complex64], back: &[Complex64], w: f64, n2: usize) {
+        assert_eq!(acc.len(), back.len(), "batch buffer length mismatch");
+        assert_eq!(
+            acc.len() % n2,
+            0,
+            "batch buffer is not a whole number of fields"
+        );
+        let batch = acc.len() / n2;
+        if self.values.is_empty() {
+            for &k in self.indices {
+                let k = k as usize;
+                for b in 0..batch {
+                    acc[b * n2 + k] += back[b * n2 + k].scale(w);
+                }
+            }
+        } else {
+            for (&k, &v) in self.indices.iter().zip(self.values) {
+                let k = k as usize;
+                let vw = v.conj().scale(w);
+                for b in 0..batch {
+                    acc[b * n2 + k] += back[b * n2 + k] * vw;
+                }
+            }
+        }
+    }
 }
 
 /// Shifted pupils for all `N_j × N_j` source-grid points, evaluated once and
@@ -188,6 +304,22 @@ impl ShiftedPupilTable {
     pub fn total_lit_bins(&self) -> usize {
         self.indices.len()
     }
+
+    /// Applies the shifted pupil of source-grid point `grid_index` to a
+    /// batch of stacked spectra in one table walk — see
+    /// [`ShiftedPupilEntry::apply_batch`]. This is the per-source-point
+    /// kernel of fused multi-dose / multi-clip imaging: the sparse table is
+    /// traversed once and every batch entry rides along.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grid_index >= source_dim²` or the buffers are not stacked
+    /// fields of this table's mask grid.
+    #[inline]
+    pub fn apply_batch(&self, grid_index: usize, specs: &[Complex64], out: &mut [Complex64]) {
+        let n2 = self.mask_dim * self.mask_dim;
+        self.entry(grid_index).apply_batch(specs, out, n2);
+    }
 }
 
 #[cfg(test)]
@@ -265,6 +397,55 @@ mod tests {
             }
         }
         assert!(partial.total_lit_bins() < full.total_lit_bins());
+    }
+
+    #[test]
+    fn batch_apply_and_accumulate_match_per_entry_bitwise() {
+        // One table walk over B stacked fields must equal B independent
+        // walks bit-for-bit, for both the real (index-only) and the
+        // aberrated (complex-valued) table variants.
+        let cfg = OpticalConfig::test_small();
+        let n2 = cfg.mask_dim() * cfg.mask_dim();
+        let nj = cfg.source_dim();
+        let batch = 3usize;
+        let mut s = 7u64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s as f64 / u64::MAX as f64) * 2.0 - 1.0
+        };
+        let specs: Vec<Complex64> = (0..batch * n2)
+            .map(|_| Complex64::new(next(), next()))
+            .collect();
+        let back: Vec<Complex64> = (0..batch * n2)
+            .map(|_| Complex64::new(next(), next()))
+            .collect();
+
+        for table in [
+            ShiftedPupilTable::new(&cfg, &Pupil::new(&cfg)),
+            ShiftedPupilTable::new(&cfg, &Pupil::new(&cfg).with_defocus(120.0)),
+        ] {
+            for &idx in &[0usize, nj * nj / 2, nj * nj - 1] {
+                let entry = table.entry(idx);
+                let mut batched = vec![Complex64::ZERO; batch * n2];
+                table.apply_batch(idx, &specs, &mut batched);
+                let mut acc_batched = vec![Complex64::ZERO; batch * n2];
+                entry.accumulate_batch(&mut acc_batched, &back, 0.37, n2);
+                for b in 0..batch {
+                    let mut single = vec![Complex64::ZERO; n2];
+                    entry.apply(&specs[b * n2..(b + 1) * n2], &mut single);
+                    assert_eq!(&batched[b * n2..(b + 1) * n2], &single[..], "entry {idx}");
+                    let mut acc_single = vec![Complex64::ZERO; n2];
+                    entry.accumulate(&mut acc_single, &back[b * n2..(b + 1) * n2], 0.37);
+                    assert_eq!(
+                        &acc_batched[b * n2..(b + 1) * n2],
+                        &acc_single[..],
+                        "entry {idx}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

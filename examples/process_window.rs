@@ -61,13 +61,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     );
 
-    // Peek at the dose corners for the PVB-aware result.
+    // Peek at the dose corners for the PVB-aware result: all three corner
+    // masks image through one fused batched call.
     let dose = with_pvb.settings().dose;
     let source = with_pvb.source(&tj_a);
     let mask = with_pvb.mask(&tm_a);
-    for (label, d) in [("min", dose.min), ("nominal", 1.0), ("max", dose.max)] {
-        let img = with_pvb.abbe().intensity(&source, &mask.map(|v| d * v))?;
-        let print = with_pvb.resist().print(&img);
+    let corners = [("min", dose.min()), ("nominal", 1.0), ("max", dose.max())];
+    let masks = FieldBatch::from_fields(
+        &corners
+            .iter()
+            .map(|&(_, d)| mask.map(|v| d * v))
+            .collect::<Vec<_>>(),
+    );
+    let images = with_pvb.abbe().intensity_batch(&source, &masks)?;
+    for (b, (label, d)) in corners.iter().enumerate() {
+        let print = with_pvb.resist().print(&images.entry_field(b));
         println!(
             "dose {label:>7} ({d:.2}): printed area {:.0} nm²",
             print.sum() * cfg.pixel_nm() * cfg.pixel_nm()

@@ -55,12 +55,13 @@ pub use bismo_optics as optics;
 /// One-stop imports for applications and examples.
 pub mod prelude {
     pub use bismo_core::{
-        measure, run_hopkins_mo, AbbeMoSolver, Activation, AmSection, AmSmoConfig, AmSolver,
-        BismoConfig, BismoSection, BismoSolver, Control, ConvergenceTrace, EpeSpec, GradRequest,
-        HopkinsMoProblem, HopkinsProxySolver, HypergradMethod, LossValue, MetricSet, MoConfig,
-        MoModel, MoOutcome, MoProblem, MoSection, Session, SessionStatus, SmoEval, SmoOutcome,
-        SmoProblem, SmoSettings, Solver, SolverConfig, SolverRegistry, SolverSpec, SolverState,
-        SourceActivationKind, StepEvent, StepOutcome, StepRecord, StopReason, StopRule,
+        measure, measure_batch, run_hopkins_mo, AbbeMoSolver, Activation, AmSection, AmSmoConfig,
+        AmSolver, BismoConfig, BismoSection, BismoSolver, Control, ConvergenceTrace, EpeSpec,
+        GradRequest, HopkinsMoProblem, HopkinsProxySolver, HypergradMethod, LossValue, MetricSet,
+        MoConfig, MoModel, MoOutcome, MoProblem, MoSection, Session, SessionStatus, SmoEval,
+        SmoOutcome, SmoProblem, SmoSettings, Solver, SolverConfig, SolverRegistry, SolverSpec,
+        SolverState, SourceActivationKind, StepEvent, StepOutcome, StepRecord, StopReason,
+        StopRule,
     };
     // Deprecated driver shims, re-exported so downstream code migrates on
     // its own schedule (use sites still see the deprecation note).
@@ -68,7 +69,8 @@ pub mod prelude {
     pub use bismo_core::{run_abbe_mo, run_am_smo, run_bismo, run_milt_proxy, run_nilt_proxy};
     pub use bismo_layout::{upsample, write_pgm, Clip, Suite, SuiteKind};
     pub use bismo_litho::{
-        AbbeImager, DoseCorners, HopkinsImager, ImagingBackend, LithoError, ResistModel,
+        AbbeImager, DoseCorners, FieldBatch, HopkinsImager, ImagingBackend, IntensityBatch,
+        LithoError, MaskBatch, ResistModel,
     };
     pub use bismo_opt::{Adam, Momentum, Optimizer, OptimizerKind, Sgd};
     pub use bismo_optics::{

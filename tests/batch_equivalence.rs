@@ -1,0 +1,241 @@
+//! The batched imaging axis is a scheduling contract, not a numerical one
+//! (DESIGN.md §9): every entry of a fused `intensity_batch` /
+//! `grad_mask_batch` call must match the corresponding independent
+//! single-mask call **bit for bit**, on both backends, single- and
+//! multi-threaded — and the fused dose-pass evaluation in
+//! `MoProblem::eval_inner` must still pass a finite-difference gradient
+//! check end to end.
+
+use bismo::prelude::*;
+
+fn fixture() -> (OpticalConfig, Source, RealField, RealField) {
+    let cfg = OpticalConfig::test_small();
+    let source = Source::from_shape(
+        &cfg,
+        SourceShape::Annular {
+            sigma_in: cfg.sigma_in(),
+            sigma_out: cfg.sigma_out(),
+        },
+    );
+    let n = cfg.mask_dim();
+    // A grayscale mask keeps gradients off the binary corners.
+    let mask = RealField::from_fn(n, |r, c| {
+        if (20..44).contains(&r) && (16..48).contains(&c) {
+            0.8
+        } else {
+            0.2
+        }
+    });
+    let coeff = RealField::from_fn(n, |r, c| ((r * 7 + c * 3) % 5) as f64 / 5.0 - 0.4);
+    (cfg, source, mask, coeff)
+}
+
+/// The dose-corner batch the SMO objective fuses: nominal plus both
+/// corners, exactly as `MoProblem::eval_inner` builds it.
+fn dose_masks(mask: &RealField) -> Vec<RealField> {
+    let dose = DoseCorners::PAPER;
+    vec![
+        mask.clone(),
+        mask.map(|v| dose.min() * v),
+        mask.map(|v| dose.max() * v),
+    ]
+}
+
+/// Per-corner upstream gradients (deliberately different per entry, so an
+/// entry-mixup in the fused adjoint cannot cancel out).
+fn dose_grads(coeff: &RealField) -> Vec<RealField> {
+    vec![
+        coeff.clone(),
+        coeff.map(|v| 0.5 * v + 0.01),
+        coeff.map(|v| -0.25 * v),
+    ]
+}
+
+fn assert_entries_match_singles<B: ImagingBackend>(backend: &B, source: &Source, label: &str) {
+    let (_, _, mask, coeff) = fixture();
+    let singles = dose_masks(&mask);
+    let grads = dose_grads(&coeff);
+    let masks = FieldBatch::from_fields(&singles);
+    let g_batch = FieldBatch::from_fields(&grads);
+
+    let images = backend.intensity_batch(source, &masks).unwrap();
+    let grad_out = backend.grad_mask_batch(source, &masks, &g_batch).unwrap();
+    for (b, (m, g)) in singles.iter().zip(&grads).enumerate() {
+        let single_image = backend.intensity(source, m).unwrap();
+        assert_eq!(
+            images.entry(b),
+            single_image.as_slice(),
+            "{label}: intensity entry {b} diverged from the single call"
+        );
+        let single_grad = backend.grad_mask(source, m, g).unwrap();
+        assert_eq!(
+            grad_out.entry(b),
+            single_grad.as_slice(),
+            "{label}: grad_mask entry {b} diverged from the single call"
+        );
+    }
+}
+
+#[test]
+fn abbe_batch_entries_match_single_calls_bitwise() {
+    let (cfg, source, _, _) = fixture();
+    let abbe = AbbeImager::new(&cfg).unwrap();
+    assert_entries_match_singles(&abbe, &source, "abbe");
+}
+
+#[test]
+fn defocused_abbe_batch_entries_match_single_calls_bitwise() {
+    // The aberrated table stores complex values, exercising the value-
+    // carrying branch of apply_batch/accumulate_batch.
+    let (cfg, source, _, _) = fixture();
+    let abbe = AbbeImager::new(&cfg).unwrap().with_defocus(120.0);
+    assert_entries_match_singles(&abbe, &source, "abbe+defocus");
+}
+
+#[test]
+fn hopkins_batch_entries_match_single_calls_bitwise() {
+    let (cfg, source, _, _) = fixture();
+    let hopkins = HopkinsImager::new(&cfg, &source, 12).unwrap();
+    assert_entries_match_singles(&hopkins, &source, "hopkins");
+}
+
+#[test]
+fn multithreaded_batch_matches_multithreaded_singles_bitwise() {
+    // The fused fan-out chunks the source points exactly like the single-
+    // mask fan-out, so even the threaded paths agree bit-for-bit at equal
+    // thread counts.
+    let (cfg, source, mask, coeff) = fixture();
+    let abbe = AbbeImager::new(&cfg).unwrap().with_threads(3);
+    let singles = dose_masks(&mask);
+    let grads = dose_grads(&coeff);
+    let masks = FieldBatch::from_fields(&singles);
+    let g_batch = FieldBatch::from_fields(&grads);
+    let images = abbe.intensity_batch(&source, &masks).unwrap();
+    let grad_out = abbe.grad_mask_batch(&source, &masks, &g_batch).unwrap();
+    for (b, (m, g)) in singles.iter().zip(&grads).enumerate() {
+        assert_eq!(
+            images.entry(b),
+            abbe.intensity(&source, m).unwrap().as_slice(),
+            "entry {b}"
+        );
+        assert_eq!(
+            grad_out.entry(b),
+            abbe.grad_mask(&source, m, g).unwrap().as_slice(),
+            "entry {b}"
+        );
+    }
+}
+
+#[test]
+fn batch_shape_mismatches_are_errors() {
+    let (cfg, source, mask, coeff) = fixture();
+    let abbe = AbbeImager::new(&cfg).unwrap();
+    let masks = FieldBatch::from_fields(&dose_masks(&mask));
+    // Output batch of the wrong arity.
+    let mut wrong = FieldBatch::zeros(cfg.mask_dim(), 2);
+    assert!(matches!(
+        abbe.intensity_batch_into(&source, &masks, &mut wrong),
+        Err(LithoError::Shape(_))
+    ));
+    // Gradient batch on the wrong grid.
+    let bad_g = FieldBatch::zeros(cfg.mask_dim() / 2, 3);
+    assert!(matches!(
+        abbe.grad_mask_batch(&source, &masks, &bad_g),
+        Err(LithoError::Shape(_))
+    ));
+    // Zero-entry batches are a no-op, not an error.
+    let empty = FieldBatch::zeros(cfg.mask_dim(), 0);
+    let out = abbe.intensity_batch(&source, &empty).unwrap();
+    assert_eq!(out.batch(), 0);
+    let _ = coeff;
+}
+
+#[test]
+fn fused_dose_pass_gradient_matches_finite_difference() {
+    // End-to-end FD check through the rewritten `eval_inner`: with the PVB
+    // term on, the loss runs all three dose corners through one
+    // `intensity_batch` call and the θ_M gradient through one
+    // `grad_mask_batch` call; the analytic gradient must still match
+    // central differences of the (equally fused) loss.
+    let cfg = OpticalConfig::test_small();
+    let target = RealField::from_fn(cfg.mask_dim(), |r, c| {
+        if (24..40).contains(&r) && (20..44).contains(&c) {
+            1.0
+        } else {
+            0.0
+        }
+    });
+    let problem = SmoProblem::new(cfg.clone(), SmoSettings::default(), target).unwrap();
+    assert!(
+        problem.settings().eta > 0.0,
+        "this check must exercise the corner passes"
+    );
+    let tj = problem.init_theta_j(SourceShape::Annular {
+        sigma_in: cfg.sigma_in(),
+        sigma_out: cfg.sigma_out(),
+    });
+    let tm = problem.init_theta_m();
+    let source = problem.source(&tj);
+    let (_, gm) = problem.eval_mask_at(&source, &tm).unwrap();
+
+    let eps = 1e-4;
+    let n = tm.dim();
+    for &(r, c) in &[(n / 2, n / 2), (24, 20), (12, 40), (39, 43)] {
+        let mut up = tm.clone();
+        up[(r, c)] += eps;
+        let mut dn = tm.clone();
+        dn[(r, c)] -= eps;
+        let lu = problem.loss_at(&source, &up).unwrap().total;
+        let ld = problem.loss_at(&source, &dn).unwrap().total;
+        let numeric = (lu - ld) / (2.0 * eps);
+        assert!(
+            (numeric - gm[(r, c)]).abs() < 1e-5 + 1e-3 * numeric.abs(),
+            "({r},{c}): numeric {numeric} vs analytic {}",
+            gm[(r, c)]
+        );
+    }
+}
+
+#[test]
+fn measure_batch_matches_per_cell_measure_bitwise() {
+    // The cell-level fusion the suite runner uses: many (problem, θ) cells
+    // sharing one source, measured through a single 3k-entry batched call.
+    let cfg = OpticalConfig::test_small();
+    let targets: Vec<RealField> = (0..3)
+        .map(|i| {
+            RealField::from_fn(cfg.mask_dim(), |r, c| {
+                if (20 + 2 * i..40 - i).contains(&r) && (18 + i..44).contains(&c) {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
+        })
+        .collect();
+    let problems: Vec<SmoProblem> = targets
+        .iter()
+        .map(|t| SmoProblem::new(cfg.clone(), SmoSettings::default(), t.clone()).unwrap())
+        .collect();
+    let tj = problems[0].init_theta_j(SourceShape::Annular {
+        sigma_in: cfg.sigma_in(),
+        sigma_out: cfg.sigma_out(),
+    });
+    let tms: Vec<RealField> = problems.iter().map(|p| p.init_theta_m()).collect();
+
+    let spec = EpeSpec::default();
+    let cells: Vec<(&SmoProblem, &[f64], &RealField)> = problems
+        .iter()
+        .zip(&tms)
+        .map(|(p, tm)| (p, tj.as_slice(), tm))
+        .collect();
+    let fused = measure_batch(&cells, spec).unwrap();
+    assert_eq!(fused.len(), problems.len());
+    for ((p, tm), batched) in problems.iter().zip(&tms).zip(&fused) {
+        let single = measure(p, &tj, tm, spec).unwrap();
+        assert_eq!(single.l2_nm2.to_bits(), batched.l2_nm2.to_bits());
+        assert_eq!(single.pvb_nm2.to_bits(), batched.pvb_nm2.to_bits());
+        assert_eq!(single.epe, batched.epe);
+    }
+    // Empty input is a no-op.
+    assert!(measure_batch(&[], spec).unwrap().is_empty());
+}

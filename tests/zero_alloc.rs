@@ -122,6 +122,53 @@ fn gradient_imaging_is_allocation_free_after_warmup() {
 }
 
 #[test]
+fn batched_hot_path_is_allocation_free_after_warmup() {
+    // The fused batch pipeline at B = 3 (the dose-corner batch of the SMO
+    // objective): after one warm-up call sizes the batch workspace pool,
+    // `intensity_batch_into` and `grad_mask_batch_into` must perform zero
+    // heap allocations per call.
+    let (cfg, abbe, source, mask, coeff) = fixture();
+    let n = cfg.mask_dim();
+    let masks =
+        FieldBatch::from_fields(&[mask.clone(), mask.map(|v| 0.98 * v), mask.map(|v| 1.02 * v)]);
+    let g_batch = FieldBatch::from_fields(&[coeff.clone(), coeff.clone(), coeff.clone()]);
+    let mut images = FieldBatch::zeros(n, 3);
+    let mut grads = FieldBatch::zeros(n, 3);
+
+    // Warm-up: populates the pooled batch workspaces at (grid, B=3).
+    abbe.intensity_batch_into(&source, &masks, &mut images)
+        .unwrap();
+    abbe.grad_mask_batch_into(&source, &masks, &g_batch, &mut grads)
+        .unwrap();
+    let reference = images.clone();
+
+    let (allocs, result) =
+        allocs_during(|| abbe.intensity_batch_into(&source, &masks, &mut images));
+    result.unwrap();
+    assert_eq!(
+        allocs, 0,
+        "batched forward imaging allocated {allocs} times after warm-up"
+    );
+    assert_eq!(images, reference, "warm batched call changed the images");
+
+    let (allocs, result) =
+        allocs_during(|| abbe.grad_mask_batch_into(&source, &masks, &g_batch, &mut grads));
+    result.unwrap();
+    assert_eq!(
+        allocs, 0,
+        "batched mask-gradient pass allocated {allocs} times after warm-up"
+    );
+
+    // And every batch entry is bitwise the matching single-mask call.
+    let mut single = RealField::zeros(n);
+    for b in 0..3 {
+        abbe.intensity_into(&source, &masks.entry_field(b), &mut single)
+            .unwrap();
+        assert_eq!(images.entry(b), single.as_slice(), "entry {b}");
+    }
+}
+
+#[test]
 fn allocating_wrappers_only_allocate_their_outputs() {
     // The plain `intensity`/`gradients` APIs allocate exactly the returned
     // buffers — one for the image, two for the gradient pair — and nothing
