@@ -37,6 +37,7 @@ fn bench_fft(c: &mut Criterion) {
     for n in [64usize, 128, 256] {
         let plan = Fft2Plan::new(n, n).unwrap();
         let data = vec![Complex64::new(0.3, -0.1); n * n];
+        let real: Vec<f64> = (0..n * n).map(|i| (i % 7) as f64 * 0.1).collect();
         group.bench_with_input(BenchmarkId::new("forward", n), &n, |b, _| {
             b.iter(|| {
                 let mut buf = data.clone();
@@ -44,6 +45,43 @@ fn bench_fft(c: &mut Criterion) {
                 buf
             });
         });
+        group.bench_with_input(BenchmarkId::new("forward_real", n), &n, |b, _| {
+            b.iter(|| plan.forward_real(&real).unwrap());
+        });
+    }
+    group.finish();
+}
+
+/// The threaded batch split against the single-threaded batch kernel on the
+/// same stacked buffer (bit-identical results; the delta is worker fan-out
+/// minus spawn/join overhead — on a single-core host expect parity or a
+/// small regression, which is exactly what this bench is for detecting).
+fn bench_fft_threaded(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft2_batch");
+    group.sample_size(15);
+    let n = 128usize;
+    let batch = 6usize;
+    let plan = Fft2Plan::new(n, n).unwrap();
+    let stacked = vec![Complex64::new(0.3, -0.1); batch * n * n];
+    group.bench_function("forward_b6_single", |b| {
+        b.iter(|| {
+            let mut buf = stacked.clone();
+            plan.batched(batch).forward(&mut buf).unwrap();
+            buf
+        });
+    });
+    for threads in [2usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("forward_b6_threaded", threads),
+            &threads,
+            |b, &t| {
+                b.iter(|| {
+                    let mut buf = stacked.clone();
+                    plan.batched(batch).forward_threaded(&mut buf, t).unwrap();
+                    buf
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -134,6 +172,7 @@ fn bench_batched_imaging(c: &mut Criterion) {
 criterion_group!(
     kernels,
     bench_fft,
+    bench_fft_threaded,
     bench_forward_models,
     bench_gradients,
     bench_tcc_build,

@@ -18,7 +18,16 @@
 //! per-corner amortized cost of each path, and their ratio
 //! (`batch_speedup`). `--baseline` embeds a previously written report
 //! verbatim under a `"baseline"` key, producing a before/after trajectory
-//! in one file.
+//! in one file. `--gate FACTOR` (requires `--baseline`) turns the run into
+//! a soft perf gate: if any grid's `abbe_forward_ms` exceeds `FACTOR ×` the
+//! baseline's figure for the same grid, the process exits nonzero — CI runs
+//! `--quick --gate 1.5` so transform-layer regressions fail the job instead
+//! of landing silently.
+//!
+//! Every run also times the opt-in real-input mask-spectrum path
+//! (`abbe_forward_real_ms`, via [`AbbeImager::with_real_spectrum`]) next to
+//! the default complex path, so the report tracks both variants; the
+//! headline `abbe_forward_ms` stays on the default bit-stable path.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -77,6 +86,7 @@ struct SizeResult {
     source_dim: usize,
     effective_points: usize,
     abbe_forward_ms: f64,
+    abbe_forward_real_ms: f64,
     abbe_gradients_ms: f64,
     abbe_grad_mask_ms: f64,
     hopkins_forward_ms: f64,
@@ -232,6 +242,17 @@ fn run_size(
     let abbe_forward_ms = time_ms(reps, || {
         let _ = abbe.intensity(&source, &mask).expect("abbe forward");
     });
+    // The real-spectrum variant shares the core (and its caches) but keeps
+    // its own workspace pool; warm it before timing.
+    let abbe_real = abbe.clone().with_real_spectrum(true);
+    let _ = abbe_real
+        .intensity(&source, &mask)
+        .expect("warm-up real forward");
+    let abbe_forward_real_ms = time_ms(reps, || {
+        let _ = abbe_real
+            .intensity(&source, &mask)
+            .expect("abbe real forward");
+    });
     let abbe_gradients_ms = time_ms(reps, || {
         let _ = abbe
             .gradients(&source, &mask, &g, &i0)
@@ -252,6 +273,7 @@ fn run_size(
         source_dim,
         effective_points: source.effective_count(1e-9),
         abbe_forward_ms,
+        abbe_forward_real_ms,
         abbe_gradients_ms,
         abbe_grad_mask_ms,
         hopkins_forward_ms,
@@ -307,7 +329,8 @@ fn json_report(
         };
         out.push_str(&format!(
             "    {{\"mask_dim\": {}, \"source_dim\": {}, \"effective_points\": {}, \
-             \"abbe_forward_ms\": {:.3}, \"abbe_gradients_ms\": {:.3}, \
+             \"abbe_forward_ms\": {:.3}, \"abbe_forward_real_ms\": {:.3}, \
+             \"abbe_gradients_ms\": {:.3}, \
              \"abbe_grad_mask_ms\": {:.3}, \"hopkins_forward_ms\": {:.3}, \
              \"hopkins_grad_mask_ms\": {:.3}, \"abbe_forward_allocs\": {}, \
              \"abbe_gradients_allocs\": {}{}}}{}\n",
@@ -315,6 +338,7 @@ fn json_report(
             r.source_dim,
             r.effective_points,
             r.abbe_forward_ms,
+            r.abbe_forward_real_ms,
             r.abbe_gradients_ms,
             r.abbe_grad_mask_ms,
             r.hopkins_forward_ms,
@@ -336,6 +360,83 @@ fn json_report(
     out
 }
 
+/// Pulls a numeric field's value out of a single-line JSON object emitted by
+/// [`json_report`] (`"key": 12.345`). Returns `None` if the key is absent.
+fn find_num(line: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\":");
+    let start = line.find(&tag)? + tag.len();
+    let rest = line[start..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extracts `(mask_dim, abbe_forward_ms)` pairs from the **first**
+/// `"results"` array of a report this binary wrote. Scanning stops at the
+/// array's closing bracket, so nested `"baseline"` reports embedded further
+/// down never leak into the comparison.
+fn parse_baseline_forward(report: &str) -> Vec<(usize, f64)> {
+    let mut in_results = false;
+    let mut out = Vec::new();
+    for line in report.lines() {
+        let trimmed = line.trim();
+        if !in_results {
+            in_results = trimmed.starts_with("\"results\"");
+            continue;
+        }
+        if trimmed.starts_with(']') {
+            break;
+        }
+        if let (Some(dim), Some(ms)) = (
+            find_num(trimmed, "mask_dim"),
+            find_num(trimmed, "abbe_forward_ms"),
+        ) {
+            out.push((dim as usize, ms));
+        }
+    }
+    out
+}
+
+/// The soft perf gate: fails (returns `Err`) if any grid's current
+/// `abbe_forward_ms` exceeds `factor ×` the baseline's figure for the same
+/// grid. Grids present on only one side are reported but never fail the
+/// gate — a new size has no baseline to regress against.
+fn check_gate(results: &[SizeResult], baseline: &str, factor: f64) -> Result<(), String> {
+    let base = parse_baseline_forward(baseline);
+    if base.is_empty() {
+        return Err("baseline report contains no parsable results".into());
+    }
+    let mut failures = Vec::new();
+    for r in results {
+        match base.iter().find(|(dim, _)| *dim == r.mask_dim) {
+            Some((_, base_ms)) if *base_ms > 0.0 => {
+                let ratio = r.abbe_forward_ms / base_ms;
+                eprintln!(
+                    "[imaging_bench] gate {}²: abbe_forward {:.3} ms vs baseline {:.3} ms \
+                     ({ratio:.2}x, limit {factor:.2}x)",
+                    r.mask_dim, r.abbe_forward_ms, base_ms
+                );
+                if ratio > factor {
+                    failures.push(format!(
+                        "{}²: {:.3} ms is {ratio:.2}x the baseline {:.3} ms (limit {factor:.2}x)",
+                        r.mask_dim, r.abbe_forward_ms, base_ms
+                    ));
+                }
+            }
+            _ => eprintln!(
+                "[imaging_bench] gate {}²: no baseline entry, skipping",
+                r.mask_dim
+            ),
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("; "))
+    }
+}
+
 fn main() {
     let mut quick = false;
     let mut batch = false;
@@ -343,6 +444,7 @@ fn main() {
     let mut out_path = String::from("BENCH_imaging.json");
     let mut baseline_path: Option<String> = None;
     let mut threads = 1usize;
+    let mut gate: Option<f64> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -359,8 +461,19 @@ fn main() {
                     .parse()
                     .expect("--threads must be an integer")
             }
+            "--gate" => {
+                gate = Some(
+                    args.next()
+                        .expect("--gate needs a factor")
+                        .parse()
+                        .expect("--gate must be a number"),
+                )
+            }
             other => panic!("unknown argument {other}"),
         }
+    }
+    if gate.is_some() && baseline_path.is_none() {
+        panic!("--gate requires --baseline to compare against");
     }
 
     let sizes: &[(usize, usize, usize)] = if quick {
@@ -399,4 +512,12 @@ fn main() {
     std::fs::write(&out_path, &report).expect("write report");
     println!("{report}");
     eprintln!("[imaging_bench] wrote {out_path}");
+
+    if let (Some(factor), Some(base)) = (gate, baseline.as_deref()) {
+        if let Err(msg) = check_gate(&results, base, factor) {
+            eprintln!("[imaging_bench] PERF GATE FAILED: {msg}");
+            std::process::exit(1);
+        }
+        eprintln!("[imaging_bench] perf gate passed (limit {factor:.2}x)");
+    }
 }

@@ -30,6 +30,7 @@ pub struct FftError {
 enum FftErrorKind {
     NotPowerOfTwo(usize),
     LengthMismatch { expected: usize, got: usize },
+    SizeOverflow { count: usize, len: usize },
 }
 
 impl std::fmt::Display for FftError {
@@ -44,6 +45,12 @@ impl std::fmt::Display for FftError {
                     "buffer length {got} does not match plan length {expected}"
                 )
             }
+            FftErrorKind::SizeOverflow { count, len } => {
+                write!(
+                    f,
+                    "batched buffer of {count} × {len} elements overflows usize"
+                )
+            }
         }
     }
 }
@@ -55,6 +62,84 @@ impl FftError {
         FftError {
             kind: FftErrorKind::LengthMismatch { expected, got },
         }
+    }
+
+    pub(crate) fn size_overflow(count: usize, len: usize) -> Self {
+        FftError {
+            kind: FftErrorKind::SizeOverflow { count, len },
+        }
+    }
+}
+
+/// Complex elements processed per chunked butterfly iteration (4 complex
+/// values = 8 `f64` lanes — one or two SIMD registers on every target we
+/// build for). The kernels below are written as fixed-trip-count inner
+/// loops over `chunks_exact` windows of this width so the autovectorizer
+/// sees straight-line multiply–add code with no data-dependent bounds.
+const LANES: usize = 4;
+
+/// One radix-2 butterfly with the twiddle passed as `(wr, wi)` components:
+/// `b ← b·w`, then `(a, b) ← (a + b, a − b)`.
+///
+/// The multiply uses exactly the arithmetic of `Complex64::mul`, and the
+/// inverse direction negates `wi` before the call (bit-equal to `w.conj()`),
+/// so every element's floating-point DAG is identical to the historical
+/// scalar kernel — restructuring the loops around this function is pure
+/// scheduling and never changes results.
+#[inline(always)]
+fn butterfly(a: &mut Complex64, b: &mut Complex64, wr: f64, wi: f64) {
+    let br = b.re * wr - b.im * wi;
+    let bi = b.re * wi + b.im * wr;
+    let (ar, ai) = (a.re, a.im);
+    *a = Complex64::new(ar + br, ai + bi);
+    *b = Complex64::new(ar - br, ai - bi);
+}
+
+/// All butterflies of one stage within one block, split as `lo`/`hi` halves
+/// of the block and driven in [`LANES`]-wide chunks. `s` is the direction
+/// sign applied to the twiddle imaginary parts (`+1` forward, `−1` inverse;
+/// `s · im` is bit-equal to the historical `w` / `w.conj()` selection).
+#[inline(always)]
+fn stage_block(lo: &mut [Complex64], hi: &mut [Complex64], tw: &[Complex64], s: f64) {
+    let mut lo_it = lo.chunks_exact_mut(LANES);
+    let mut hi_it = hi.chunks_exact_mut(LANES);
+    let mut tw_it = tw.chunks_exact(LANES);
+    for ((a, b), w) in (&mut lo_it).zip(&mut hi_it).zip(&mut tw_it) {
+        for k in 0..LANES {
+            butterfly(&mut a[k], &mut b[k], w[k].re, s * w[k].im);
+        }
+    }
+    for ((a, b), w) in lo_it
+        .into_remainder()
+        .iter_mut()
+        .zip(hi_it.into_remainder())
+        .zip(tw_it.remainder())
+    {
+        butterfly(a, b, w.re, s * w.im);
+    }
+}
+
+/// The half-size-1 stage: every block is an adjacent pair sharing the single
+/// stage twiddle, so the whole pass is one uniform-twiddle sweep the
+/// vectorizer can unroll across pairs.
+#[inline(always)]
+fn stage_m1(data: &mut [Complex64], w: Complex64, s: f64) {
+    let (wr, wi) = (w.re, s * w.im);
+    for pair in data.chunks_exact_mut(2) {
+        let (a, b) = pair.split_at_mut(1);
+        butterfly(&mut a[0], &mut b[0], wr, wi);
+    }
+}
+
+/// The half-size-2 stage: blocks of four with two fixed twiddles.
+#[inline(always)]
+fn stage_m2(data: &mut [Complex64], tw: &[Complex64], s: f64) {
+    let (w0r, w0i) = (tw[0].re, s * tw[0].im);
+    let (w1r, w1i) = (tw[1].re, s * tw[1].im);
+    for block in data.chunks_exact_mut(4) {
+        let (lo, hi) = block.split_at_mut(2);
+        butterfly(&mut lo[0], &mut hi[0], w0r, w0i);
+        butterfly(&mut lo[1], &mut hi[1], w1r, w1i);
     }
 }
 
@@ -124,10 +209,15 @@ impl FftPlan {
         self.len
     }
 
-    /// Returns `true` for the degenerate length-1 plan.
+    /// Returns `true` when the plan transforms zero elements.
+    ///
+    /// [`FftPlan::new`] rejects `len == 0`, so every constructible plan
+    /// reports `false` — but the answer is now *computed* from `len()`, not
+    /// hard-coded, keeping the `len`/`is_empty` pair honest (and consistent
+    /// with [`crate::BatchFft2::is_empty`], which can genuinely be `true`).
     #[inline]
     pub fn is_empty(&self) -> bool {
-        false
+        self.len == 0
     }
 
     fn check(&self, data: &[Complex64]) -> Result<(), FftError> {
@@ -142,6 +232,44 @@ impl FftPlan {
         Ok(())
     }
 
+    /// Applies the bit-reversal permutation to one length-`len` buffer.
+    #[inline]
+    fn bit_reverse(&self, data: &mut [Complex64]) {
+        for i in 0..self.len {
+            let j = self.rev[i] as usize;
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+    }
+
+    /// Runs every butterfly stage over one bit-reversed buffer. `s` is the
+    /// direction sign for the twiddle imaginary parts (`+1` forward, `−1`
+    /// inverse). Stages with half-size 1 and 2 get dedicated uniform-twiddle
+    /// kernels; larger stages go through the [`LANES`]-chunked
+    /// [`stage_block`]. All three execute the exact per-element arithmetic
+    /// of the classic triple loop, so results are bit-identical to it.
+    fn butterfly_stages(&self, data: &mut [Complex64], s: f64) {
+        let n = self.len;
+        let mut m = 1usize;
+        let mut tw_base = 0usize;
+        while m < n {
+            let tw = &self.twiddles[tw_base..tw_base + m];
+            match m {
+                1 => stage_m1(data, tw[0], s),
+                2 => stage_m2(data, tw, s),
+                _ => {
+                    for block in data.chunks_exact_mut(m << 1) {
+                        let (lo, hi) = block.split_at_mut(m);
+                        stage_block(lo, hi, tw, s);
+                    }
+                }
+            }
+            tw_base += m;
+            m <<= 1;
+        }
+    }
+
     /// In-place transform without any normalization.
     ///
     /// # Errors
@@ -149,57 +277,35 @@ impl FftPlan {
     /// Returns an error if `data.len()` differs from the plan length.
     pub fn transform(&self, data: &mut [Complex64], dir: Direction) -> Result<(), FftError> {
         self.check(data)?;
-        let n = self.len;
-        if n == 1 {
+        if self.len == 1 {
             return Ok(());
         }
-        // Bit-reversal permutation.
-        for i in 0..n {
-            let j = self.rev[i] as usize;
-            if i < j {
-                data.swap(i, j);
-            }
-        }
-        // Butterflies.
-        let mut m = 1usize;
-        let mut tw_base = 0usize;
-        while m < n {
-            let step = m << 1;
-            for start in (0..n).step_by(step) {
-                for j in 0..m {
-                    let w = match dir {
-                        Direction::Forward => self.twiddles[tw_base + j],
-                        Direction::Inverse => self.twiddles[tw_base + j].conj(),
-                    };
-                    let a = data[start + j];
-                    let b = data[start + j + m] * w;
-                    data[start + j] = a + b;
-                    data[start + j + m] = a - b;
-                }
-            }
-            tw_base += m;
-            m = step;
-        }
+        self.bit_reverse(data);
+        let s = match dir {
+            Direction::Forward => 1.0,
+            Direction::Inverse => -1.0,
+        };
+        self.butterfly_stages(data, s);
         Ok(())
     }
 
     /// Transforms `count` independent, contiguously stacked length-`len`
-    /// buffers in one pass, interleaving every butterfly across the buffers.
+    /// buffers in one pass.
     ///
     /// Per-buffer results are **bit-identical** to `count` separate
     /// [`FftPlan::transform`] calls: each buffer executes exactly the same
-    /// butterflies in exactly the same order. What changes is the schedule —
-    /// the twiddle factor (and its inverse-direction conjugation) is loaded
-    /// once per butterfly position and reused across all buffers, and the
-    /// `count` butterflies sharing it are independent, so the CPU can
-    /// overlap their multiply–add latency chains instead of serializing one
-    /// buffer's transform at a time. This is the throughput kernel behind
-    /// the batched 2-D path (`Fft2Plan::batched`), which feeds it blocks of
-    /// rows and gathered columns.
+    /// butterflies in exactly the same order. The batched entry point
+    /// amortizes the length check and plan walk and keeps each buffer's
+    /// butterflies in the [`LANES`]-chunked kernels, which is the throughput
+    /// path behind the blocked 2-D row/column passes (`Fft2Plan::batched`
+    /// and the single-field scheduler both feed it blocks of rows and
+    /// gathered columns).
     ///
     /// # Errors
     ///
-    /// Returns an error if `data.len() != count · len`.
+    /// Returns an error if `data.len() != count · len`, or if `count · len`
+    /// itself overflows `usize` (which previously wrapped and could
+    /// mis-validate the buffer length in release builds).
     pub fn transform_interleaved(
         &self,
         data: &mut [Complex64],
@@ -207,49 +313,22 @@ impl FftPlan {
         dir: Direction,
     ) -> Result<(), FftError> {
         let n = self.len;
-        if data.len() != n * count {
-            return Err(FftError {
-                kind: FftErrorKind::LengthMismatch {
-                    expected: n * count,
-                    got: data.len(),
-                },
-            });
+        let total = n
+            .checked_mul(count)
+            .ok_or_else(|| FftError::size_overflow(count, n))?;
+        if data.len() != total {
+            return Err(FftError::length_mismatch(total, data.len()));
         }
         if n == 1 || count == 0 {
             return Ok(());
         }
-        // Per-buffer bit-reversal permutation.
-        for buf in data.chunks_mut(n) {
-            for i in 0..n {
-                let j = self.rev[i] as usize;
-                if i < j {
-                    buf.swap(i, j);
-                }
-            }
-        }
-        // Butterflies, innermost over the independent buffers.
-        let mut m = 1usize;
-        let mut tw_base = 0usize;
-        while m < n {
-            let step = m << 1;
-            for start in (0..n).step_by(step) {
-                for j in 0..m {
-                    let w = match dir {
-                        Direction::Forward => self.twiddles[tw_base + j],
-                        Direction::Inverse => self.twiddles[tw_base + j].conj(),
-                    };
-                    let mut off = start + j;
-                    for _ in 0..count {
-                        let a = data[off];
-                        let b = data[off + m] * w;
-                        data[off] = a + b;
-                        data[off + m] = a - b;
-                        off += n;
-                    }
-                }
-            }
-            tw_base += m;
-            m = step;
+        let s = match dir {
+            Direction::Forward => 1.0,
+            Direction::Inverse => -1.0,
+        };
+        for buf in data.chunks_exact_mut(n) {
+            self.bit_reverse(buf);
+            self.butterfly_stages(buf, s);
         }
         Ok(())
     }

@@ -36,8 +36,11 @@ pub struct Fft2Plan {
 ///
 /// A plan is immutable and shared freely across threads, so it cannot own
 /// mutable scratch itself; the column pass instead borrows a workspace. The
-/// buffer grows to the plan's row count on first use and is then reused, so
-/// a long-lived workspace makes every subsequent transform allocation-free.
+/// buffers grow to what the plan's blocked passes need on first use and are
+/// then reused, so a long-lived workspace makes every subsequent transform
+/// allocation-free. `col` holds the gathered column block
+/// ([`COL_BLOCK`]` × rows`); `row` holds one packed complex row for the
+/// real-input path.
 ///
 /// # Examples
 ///
@@ -57,6 +60,7 @@ pub struct Fft2Plan {
 #[derive(Debug, Clone, Default)]
 pub struct Fft2Workspace {
     col: Vec<Complex64>,
+    row: Vec<Complex64>,
 }
 
 impl Fft2Workspace {
@@ -67,12 +71,21 @@ impl Fft2Workspace {
     }
 
     /// Creates a workspace pre-sized for `plan`, so even the first transform
-    /// performs no allocation.
+    /// (including the real-input path) performs no allocation.
     #[must_use]
     pub fn for_plan(plan: &Fft2Plan) -> Self {
         Fft2Workspace {
-            col: vec![Complex64::ZERO; plan.rows()],
+            col: vec![Complex64::ZERO; COL_BLOCK * plan.rows()],
+            row: vec![Complex64::ZERO; plan.cols()],
         }
+    }
+
+    /// Grows `col` to at least `len`, returning the sized slice.
+    fn col_scratch(&mut self, len: usize) -> &mut [Complex64] {
+        if self.col.len() < len {
+            self.col.resize(len, Complex64::ZERO);
+        }
+        &mut self.col[..len]
     }
 }
 
@@ -81,14 +94,18 @@ impl Fft2Plan {
     ///
     /// # Errors
     ///
-    /// Returns an error unless both dimensions are nonzero powers of two.
+    /// Returns an error unless both dimensions are nonzero powers of two
+    /// whose product fits in `usize` (so [`Fft2Plan::len`] can never wrap).
     pub fn new(rows: usize, cols: usize) -> Result<Self, FftError> {
-        Ok(Fft2Plan {
+        let plan = Fft2Plan {
             rows,
             cols,
             row_plan: FftPlan::new(cols)?,
             col_plan: FftPlan::new(rows)?,
-        })
+        };
+        rows.checked_mul(cols)
+            .ok_or_else(|| FftError::size_overflow(rows, cols))?;
+        Ok(plan)
     }
 
     /// Number of rows.
@@ -109,10 +126,14 @@ impl Fft2Plan {
         self.rows * self.cols
     }
 
-    /// Returns `true` if the plan covers zero elements (never, by construction).
+    /// Returns `true` when the plan covers zero elements.
+    ///
+    /// [`Fft2Plan::new`] rejects zero dimensions, so every constructible
+    /// plan reports `false` — but the answer is computed from the
+    /// dimensions, not hard-coded, matching [`BatchFft2::is_empty`].
     #[inline]
     pub fn is_empty(&self) -> bool {
-        false
+        self.len() == 0
     }
 
     fn check(&self, data: &[Complex64]) -> Result<(), FftError> {
@@ -126,6 +147,65 @@ impl Fft2Plan {
         self.transform_with(data, dir, &mut Fft2Workspace::new())
     }
 
+    /// One field's transform with blocked row and column passes. This is the
+    /// single scheduling kernel behind both `Fft2Plan::forward_with` and the
+    /// batched path: rows go through [`FftPlan::transform_interleaved`] in
+    /// [`COL_BLOCK`]-row groups, and the column pass gathers [`COL_BLOCK`]
+    /// columns at a time into contiguous `scratch` (laid out one column
+    /// after another) so the strided traversal touches each cache line once
+    /// per block instead of once per column. Every 1-D transform runs the
+    /// plan's own butterfly sequence, so per-element results are
+    /// bit-identical to the historical row-at-a-time / column-at-a-time
+    /// loop.
+    ///
+    /// `scratch` must hold at least `COL_BLOCK.min(cols) × rows` elements.
+    fn transform_blocked(
+        &self,
+        data: &mut [Complex64],
+        dir: Direction,
+        scratch: &mut [Complex64],
+    ) -> Result<(), FftError> {
+        let rows = self.rows;
+        let cols = self.cols;
+        // Row pass: consecutive rows are contiguous buffers, transformed
+        // in place in blocks.
+        let mut r0 = 0;
+        while r0 < rows {
+            let nb = COL_BLOCK.min(rows - r0);
+            self.row_plan
+                .transform_interleaved(&mut data[r0 * cols..(r0 + nb) * cols], nb, dir)?;
+            r0 += nb;
+        }
+        // Column pass: gather a block of columns into contiguous scratch,
+        // transform, scatter back.
+        let mut c0 = 0;
+        while c0 < cols {
+            let nb = COL_BLOCK.min(cols - c0);
+            for r in 0..rows {
+                let src = &data[r * cols + c0..r * cols + c0 + nb];
+                for (j, &v) in src.iter().enumerate() {
+                    scratch[j * rows + r] = v;
+                }
+            }
+            self.col_plan
+                .transform_interleaved(&mut scratch[..nb * rows], nb, dir)?;
+            for r in 0..rows {
+                let dst = &mut data[r * cols + c0..r * cols + c0 + nb];
+                for (j, d) in dst.iter_mut().enumerate() {
+                    *d = scratch[j * rows + r];
+                }
+            }
+            c0 += nb;
+        }
+        Ok(())
+    }
+
+    /// Scratch length `transform_blocked` needs for this plan.
+    #[inline]
+    fn blocked_scratch_len(&self) -> usize {
+        COL_BLOCK.min(self.cols) * self.rows
+    }
+
     fn transform_with(
         &self,
         data: &mut [Complex64],
@@ -133,27 +213,8 @@ impl Fft2Plan {
         ws: &mut Fft2Workspace,
     ) -> Result<(), FftError> {
         self.check(data)?;
-        // Row pass.
-        for r in 0..self.rows {
-            let row = &mut data[r * self.cols..(r + 1) * self.cols];
-            self.row_plan.transform(row, dir)?;
-        }
-        // Column pass through the workspace scratch, sized once and reused.
-        // A larger scratch (e.g. from a batched transform) is reused as-is.
-        if ws.col.len() < self.rows {
-            ws.col.resize(self.rows, Complex64::ZERO);
-        }
-        let scratch = &mut ws.col[..self.rows];
-        for c in 0..self.cols {
-            for r in 0..self.rows {
-                scratch[r] = data[r * self.cols + c];
-            }
-            self.col_plan.transform(scratch, dir)?;
-            for r in 0..self.rows {
-                data[r * self.cols + c] = scratch[r];
-            }
-        }
-        Ok(())
+        let scratch = ws.col_scratch(self.blocked_scratch_len());
+        self.transform_blocked(data, dir, scratch)
     }
 
     /// Unnormalized forward 2-D DFT.
@@ -239,6 +300,127 @@ impl Fft2Plan {
         Ok(())
     }
 
+    /// Unnormalized forward 2-D DFT of a **real** field, exploiting
+    /// Hermitian symmetry: two real rows are packed into one complex row
+    /// (`z = row_a + i·row_b`), transformed together, and unpacked from the
+    /// symmetry `F(a)[k] = conj(F(a)[N−k])`, so the row pass runs half as
+    /// many 1-D transforms; the column pass then only transforms columns
+    /// `0..=cols/2` and fills the rest by Hermitian reflection
+    /// `F[r][c] = conj(F[(rows−r)%rows][cols−c])`. In total roughly half
+    /// the transform work of the complex path.
+    ///
+    /// The result equals `forward_with` applied to `input` promoted to
+    /// complex — **mathematically exactly, but not bitwise**: the packing
+    /// factorization legitimately reorders floating-point operations, so
+    /// individual bins differ at the ULP level (see DESIGN.md §10 for the
+    /// equivalence contract; `tests/properties.rs` pins the tolerance).
+    /// Callers that require bit-stability against the complex path (e.g.
+    /// the golden solver suite) must stay on `forward_with`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `input.len()` or `out.len()` differ from
+    /// `rows × cols`.
+    pub fn forward_real_with(
+        &self,
+        input: &[f64],
+        out: &mut [Complex64],
+        ws: &mut Fft2Workspace,
+    ) -> Result<(), FftError> {
+        if input.len() != self.len() {
+            return Err(FftError::length_mismatch(self.len(), input.len()));
+        }
+        self.check(out)?;
+        let rows = self.rows;
+        let cols = self.cols;
+        if ws.row.len() < cols {
+            ws.row.resize(cols, Complex64::ZERO);
+        }
+        // Row pass: two real rows ride one complex transform.
+        let mut r = 0;
+        while r + 1 < rows {
+            let (ra, rb) = (
+                &input[r * cols..(r + 1) * cols],
+                &input[(r + 1) * cols..(r + 2) * cols],
+            );
+            let packed = &mut ws.row[..cols];
+            for ((z, &a), &b) in packed.iter_mut().zip(ra).zip(rb) {
+                *z = Complex64::new(a, b);
+            }
+            self.row_plan.transform(packed, Direction::Forward)?;
+            // Unpack via Hermitian symmetry: with Z = F(a) + i·F(b),
+            //   F(a)[k] = (Z[k] + conj(Z[N−k])) / 2
+            //   F(b)[k] = (Z[k] − conj(Z[N−k])) / (2i).
+            let (out_a, rest) = out[r * cols..(r + 2) * cols].split_at_mut(cols);
+            let out_b = rest;
+            for k in 0..cols {
+                let zk = packed[k];
+                let zn = packed[(cols - k) % cols];
+                out_a[k] = Complex64::new((zk.re + zn.re) * 0.5, (zk.im - zn.im) * 0.5);
+                // d = (Z[k] − conj(Z[N−k])) / 2; multiply by −i.
+                let d = Complex64::new((zk.re - zn.re) * 0.5, (zk.im + zn.im) * 0.5);
+                out_b[k] = Complex64::new(d.im, -d.re);
+            }
+            r += 2;
+        }
+        if r < rows {
+            // Odd leftover row (only possible when rows == 1): promote and
+            // transform directly.
+            let row = &mut out[r * cols..(r + 1) * cols];
+            for (z, &v) in row.iter_mut().zip(&input[r * cols..(r + 1) * cols]) {
+                *z = Complex64::from_real(v);
+            }
+            self.row_plan.transform(row, Direction::Forward)?;
+        }
+        // Column pass over the non-redundant half-spectrum only: the row
+        // spectra of a real field satisfy F[r][c] = conj(F[(rows−r)%rows]
+        // [(cols−c)%cols]), so columns cols/2+1.. follow by reflection.
+        let last = cols / 2; // cols == 1 ⇒ last == 0 ⇒ just the DC column
+        let scratch = ws.col_scratch(self.blocked_scratch_len());
+        let mut c0 = 0;
+        while c0 <= last {
+            let nb = COL_BLOCK.min(last + 1 - c0);
+            for r in 0..rows {
+                let src = &out[r * cols + c0..r * cols + c0 + nb];
+                for (j, &v) in src.iter().enumerate() {
+                    scratch[j * rows + r] = v;
+                }
+            }
+            self.col_plan.transform_interleaved(
+                &mut scratch[..nb * rows],
+                nb,
+                Direction::Forward,
+            )?;
+            for r in 0..rows {
+                let dst = &mut out[r * cols + c0..r * cols + c0 + nb];
+                for (j, d) in dst.iter_mut().enumerate() {
+                    *d = scratch[j * rows + r];
+                }
+            }
+            c0 += nb;
+        }
+        // Hermitian reflection of the remaining columns.
+        for c in (last + 1)..cols {
+            let cs = cols - c;
+            out[c] = out[cs].conj();
+            for r in 1..rows {
+                out[r * cols + c] = out[(rows - r) * cols + cs].conj();
+            }
+        }
+        Ok(())
+    }
+
+    /// Allocating convenience for [`Fft2Plan::forward_real_with`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `input.len() != rows × cols`.
+    pub fn forward_real(&self, input: &[f64]) -> Result<Vec<Complex64>, FftError> {
+        let mut out = vec![Complex64::ZERO; self.len()];
+        self.forward_real_with(input, &mut out, &mut Fft2Workspace::new())?;
+        Ok(out)
+    }
+
     /// A batched view of this plan transforming `batch` contiguously
     /// stacked `rows × cols` fields in one call (see [`BatchFft2`]).
     /// Borrowing keeps construction free — twiddles and the bit-reversal
@@ -309,9 +491,16 @@ impl BatchFft2<'_> {
     }
 
     /// Total stacked length `batch × rows × cols`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the product overflows `usize` (the transform entry points
+    /// report the same condition as an [`FftError`] instead).
     #[inline]
     pub fn len(&self) -> usize {
-        self.batch * self.plan.len()
+        self.batch
+            .checked_mul(self.plan.len())
+            .expect("batch × rows × cols overflows usize")
     }
 
     /// Returns `true` for a zero-entry batch (a no-op transform).
@@ -320,61 +509,21 @@ impl BatchFft2<'_> {
         self.batch == 0
     }
 
-    fn check(&self, data: &[Complex64]) -> Result<(), FftError> {
-        if data.len() != self.len() {
-            return Err(FftError::length_mismatch(self.len(), data.len()));
-        }
-        Ok(())
+    /// Stacked length as a checked computation, so an absurd `batch` that
+    /// wraps `B·N²` is reported as an error instead of mis-validating a
+    /// buffer whose length happens to match the wrapped product.
+    fn checked_len(&self) -> Result<usize, FftError> {
+        self.batch
+            .checked_mul(self.plan.len())
+            .ok_or_else(|| FftError::size_overflow(self.batch, self.plan.len()))
     }
 
-    /// One entry's transform with blocked, interleaved passes. Every 1-D
-    /// transform runs the plan's own butterfly sequence (via
-    /// [`FftPlan::transform_interleaved`]), so per-element results match
-    /// [`Fft2Plan::forward_with`] exactly; only the memory and instruction
-    /// schedule differs.
-    fn transform_entry(
-        &self,
-        data: &mut [Complex64],
-        dir: Direction,
-        scratch: &mut [Complex64],
-    ) -> Result<(), FftError> {
-        let rows = self.plan.rows;
-        let cols = self.plan.cols;
-        // Row pass: consecutive rows are contiguous buffers, interleaved
-        // directly in place.
-        let mut r0 = 0;
-        while r0 < rows {
-            let nb = COL_BLOCK.min(rows - r0);
-            self.plan.row_plan.transform_interleaved(
-                &mut data[r0 * cols..(r0 + nb) * cols],
-                nb,
-                dir,
-            )?;
-            r0 += nb;
+    fn check(&self, data: &[Complex64]) -> Result<usize, FftError> {
+        let expected = self.checked_len()?;
+        if data.len() != expected {
+            return Err(FftError::length_mismatch(expected, data.len()));
         }
-        // Column pass: gather a block of columns into contiguous scratch,
-        // interleave their transforms, scatter back.
-        let mut c0 = 0;
-        while c0 < cols {
-            let nb = COL_BLOCK.min(cols - c0);
-            for r in 0..rows {
-                let src = &data[r * cols + c0..r * cols + c0 + nb];
-                for (j, &v) in src.iter().enumerate() {
-                    scratch[j * rows + r] = v;
-                }
-            }
-            self.plan
-                .col_plan
-                .transform_interleaved(&mut scratch[..nb * rows], nb, dir)?;
-            for r in 0..rows {
-                let dst = &mut data[r * cols + c0..r * cols + c0 + nb];
-                for (j, d) in dst.iter_mut().enumerate() {
-                    *d = scratch[j * rows + r];
-                }
-            }
-            c0 += nb;
-        }
-        Ok(())
+        Ok(expected)
     }
 
     fn transform_with(
@@ -384,13 +533,9 @@ impl BatchFft2<'_> {
         ws: &mut Fft2Workspace,
     ) -> Result<(), FftError> {
         self.check(data)?;
-        let scratch_len = COL_BLOCK * self.plan.rows;
-        if ws.col.len() < scratch_len {
-            ws.col.resize(scratch_len, Complex64::ZERO);
-        }
-        let scratch = &mut ws.col[..scratch_len];
+        let scratch = ws.col_scratch(self.plan.blocked_scratch_len());
         for entry in data.chunks_mut(self.plan.len()) {
-            self.transform_entry(entry, dir, scratch)?;
+            self.plan.transform_blocked(entry, dir, scratch)?;
         }
         Ok(())
     }
@@ -443,6 +588,104 @@ impl BatchFft2<'_> {
     /// Returns an error if `data.len() != batch × rows × cols`.
     pub fn inverse(&self, data: &mut [Complex64]) -> Result<(), FftError> {
         self.inverse_with(data, &mut Fft2Workspace::new())
+    }
+
+    /// Unnormalized forward DFT of every stacked **real** entry through
+    /// [`Fft2Plan::forward_real_with`]: `input` holds `batch` real fields,
+    /// `out` receives their full complex spectra. Same ULP-level (not
+    /// bitwise) equivalence contract as the single-field real path.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `input.len()` or `out.len()` differ from
+    /// `batch × rows × cols` (checked without overflow).
+    pub fn forward_real_with(
+        &self,
+        input: &[f64],
+        out: &mut [Complex64],
+        ws: &mut Fft2Workspace,
+    ) -> Result<(), FftError> {
+        let expected = self.check(out)?;
+        if input.len() != expected {
+            return Err(FftError::length_mismatch(expected, input.len()));
+        }
+        for (src, dst) in input
+            .chunks_exact(self.plan.len())
+            .zip(out.chunks_exact_mut(self.plan.len()))
+        {
+            self.plan.forward_real_with(src, dst, ws)?;
+        }
+        Ok(())
+    }
+
+    /// Like [`BatchFft2::forward_with`] but splitting the batch entries
+    /// across `threads` OS threads (scoped, joined before returning).
+    ///
+    /// The chunking contract is the deterministic one the imaging fan-out
+    /// uses: entries are divided into `min(threads, batch)` contiguous
+    /// chunks of `⌈batch / chunks⌉` entries, and each worker runs the exact
+    /// single-thread blocked kernel over its chunk with private scratch.
+    /// Results are therefore **bit-identical** to the single-threaded path
+    /// for any thread count. `threads <= 1` (or a batch of one) runs inline
+    /// without spawning.
+    ///
+    /// Spawned workers allocate their own scratch, so this entry point is
+    /// for throughput on multi-core hosts, not for the zero-alloc warm
+    /// paths.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `data.len() != batch × rows × cols`.
+    pub fn forward_threaded(&self, data: &mut [Complex64], threads: usize) -> Result<(), FftError> {
+        self.transform_threaded(data, Direction::Forward, threads)
+    }
+
+    /// Threaded variant of [`BatchFft2::inverse_with`] (with the same
+    /// `1/(rows·cols)` normalization); see [`BatchFft2::forward_threaded`]
+    /// for the chunking and determinism contract.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `data.len() != batch × rows × cols`.
+    pub fn inverse_threaded(&self, data: &mut [Complex64], threads: usize) -> Result<(), FftError> {
+        self.transform_threaded(data, Direction::Inverse, threads)?;
+        let scale = 1.0 / self.plan.len() as f64;
+        for z in data.iter_mut() {
+            *z *= scale;
+        }
+        Ok(())
+    }
+
+    fn transform_threaded(
+        &self,
+        data: &mut [Complex64],
+        dir: Direction,
+        threads: usize,
+    ) -> Result<(), FftError> {
+        self.check(data)?;
+        if threads <= 1 || self.batch <= 1 {
+            return self.transform_with(data, dir, &mut Fft2Workspace::new());
+        }
+        let entry_len = self.plan.len();
+        let chunk_entries = self.batch.div_ceil(threads.min(self.batch));
+        std::thread::scope(|scope| {
+            let workers: Vec<_> = data
+                .chunks_mut(chunk_entries * entry_len)
+                .map(|chunk| {
+                    scope.spawn(move || -> Result<(), FftError> {
+                        let mut scratch = vec![Complex64::ZERO; self.plan.blocked_scratch_len()];
+                        for entry in chunk.chunks_mut(entry_len) {
+                            self.plan.transform_blocked(entry, dir, &mut scratch)?;
+                        }
+                        Ok(())
+                    })
+                })
+                .collect();
+            for worker in workers {
+                worker.join().expect("batched fft worker panicked")?;
+            }
+            Ok(())
+        })
     }
 }
 

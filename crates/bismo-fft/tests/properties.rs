@@ -1,8 +1,10 @@
 //! Property tests for `bismo-fft` on random fields: forward→inverse
 //! roundtrips for every normalization pairing, Parseval energy conservation,
-//! and agreement of the radix-2 plans with the naive DFT.
+//! agreement of the radix-2 plans with the naive DFT, transform-layer edge
+//! cases (degenerate lengths, empty batches, overflowing shapes), and the
+//! real-input path's equivalence contract against the complex path.
 
-use bismo_fft::{dft_naive, Complex64, Direction, Fft2Plan, FftPlan};
+use bismo_fft::{dft_naive, Complex64, Direction, Fft2Plan, Fft2Workspace, FftPlan};
 use bismo_testkit::{assert_close, assert_complex_close, random_complex_vec};
 
 const CASES: u64 = 16;
@@ -113,5 +115,284 @@ fn radix2_matches_naive_dft() {
             plan.forward(&mut fast).unwrap();
             assert_complex_close(&naive, &fast, 1e-9, "radix-2 vs naive DFT");
         }
+    }
+}
+
+#[test]
+fn degenerate_lengths_are_identity_or_single_butterfly() {
+    // Length 1: every variant is the identity (DFT of one sample is itself,
+    // and every normalization of it divides by 1).
+    let plan = FftPlan::new(1).unwrap();
+    assert_eq!(plan.len(), 1);
+    assert!(!plan.is_empty());
+    let x = Complex64::new(0.3, -1.7);
+    for f in [
+        FftPlan::forward,
+        FftPlan::inverse,
+        FftPlan::forward_unitary,
+        FftPlan::inverse_unitary,
+    ] {
+        let mut buf = [x];
+        f(&plan, &mut buf).unwrap();
+        assert_eq!(buf[0], x, "length-1 transform must be the identity");
+    }
+    let mut stacked = [x, x.conj(), x.scale(2.0)];
+    plan.transform_interleaved(&mut stacked, 3, Direction::Forward)
+        .unwrap();
+    assert_eq!(stacked, [x, x.conj(), x.scale(2.0)]);
+
+    // Length 2: one butterfly; cross-check against the naive DFT through
+    // every entry point.
+    let plan = FftPlan::new(2).unwrap();
+    let data = random_complex_vec(2024, 2);
+    let naive = dft_naive(&data, Direction::Forward);
+    let mut fwd = data.clone();
+    plan.forward(&mut fwd).unwrap();
+    assert_complex_close(&naive, &fwd, 1e-12, "length-2 forward vs naive");
+    plan.inverse(&mut fwd).unwrap();
+    assert_complex_close(&data, &fwd, 1e-12, "length-2 roundtrip");
+    let mut uni = data.clone();
+    plan.forward_unitary(&mut uni).unwrap();
+    plan.inverse_unitary(&mut uni).unwrap();
+    assert_complex_close(&data, &uni, 1e-12, "length-2 unitary roundtrip");
+    let mut pair = [data[0], data[1], data[1], data[0]];
+    plan.transform_interleaved(&mut pair, 2, Direction::Forward)
+        .unwrap();
+    assert_complex_close(&naive, &pair[..2], 1e-12, "length-2 interleaved[0]");
+}
+
+#[test]
+fn interleaved_edge_counts_and_bad_lengths() {
+    let plan = FftPlan::new(8).unwrap();
+
+    // count == 0 over an empty buffer is a no-op, not an error.
+    let mut empty: Vec<Complex64> = Vec::new();
+    plan.transform_interleaved(&mut empty, 0, Direction::Forward)
+        .unwrap();
+
+    // count == 1 equals the plain transform bitwise.
+    let data = random_complex_vec(7, 8);
+    let mut single = data.clone();
+    plan.transform_interleaved(&mut single, 1, Direction::Inverse)
+        .unwrap();
+    let mut plain = data.clone();
+    plan.transform(&mut plain, Direction::Inverse).unwrap();
+    assert_eq!(single, plain, "count == 1 must match the plain transform");
+
+    // Wrong-length stacked buffers are rejected, including the off-by-one-
+    // entry case and a nonempty buffer claiming zero entries.
+    let mut short = vec![Complex64::ZERO; 2 * 8 - 1];
+    assert!(plan
+        .transform_interleaved(&mut short, 2, Direction::Forward)
+        .is_err());
+    let mut one = vec![Complex64::ZERO; 8];
+    assert!(plan
+        .transform_interleaved(&mut one, 0, Direction::Forward)
+        .is_err());
+
+    // An overflowing count must be reported as an error, not wrapped: with
+    // count = usize::MAX/8 + 1 the old unchecked `n * count` wrapped to 0
+    // and "validated" an empty buffer.
+    let wrap_count = usize::MAX / 8 + 1;
+    let err = plan
+        .transform_interleaved(&mut empty, wrap_count, Direction::Forward)
+        .unwrap_err();
+    assert!(
+        err.to_string().contains("overflow"),
+        "expected an overflow error, got: {err}"
+    );
+}
+
+#[test]
+fn batched_2d_rejects_overflowing_batches() {
+    let plan = Fft2Plan::new(8, 8).unwrap();
+    let batch = usize::MAX / plan.len() + 1; // wraps B·N² to a small value
+    let mut tiny = vec![Complex64::ZERO; batch.wrapping_mul(plan.len())];
+    let err = plan.batched(batch).forward(&mut tiny).unwrap_err();
+    assert!(
+        err.to_string().contains("overflow"),
+        "expected an overflow error, got: {err}"
+    );
+}
+
+#[test]
+fn plans_report_honest_emptiness() {
+    // No constructible plan is empty, but the answer must be derived from
+    // the actual lengths (the old stubs hard-coded `false`).
+    let p1 = FftPlan::new(1).unwrap();
+    assert!(!p1.is_empty());
+    assert_eq!(p1.len(), 1);
+    let p2 = Fft2Plan::new(4, 8).unwrap();
+    assert!(!p2.is_empty());
+    assert_eq!(p2.len(), 32);
+    assert!(p2.batched(0).is_empty());
+    assert!(!p2.batched(2).is_empty());
+}
+
+/// Promotes a real field and runs it through the complex forward path.
+fn forward_promoted(plan: &Fft2Plan, input: &[f64]) -> Vec<Complex64> {
+    let mut buf: Vec<Complex64> = input.iter().map(|&v| Complex64::from_real(v)).collect();
+    plan.forward(&mut buf).unwrap();
+    buf
+}
+
+fn random_real_vec(seed: u64, len: usize) -> Vec<f64> {
+    random_complex_vec(seed, len).iter().map(|z| z.re).collect()
+}
+
+#[test]
+fn real_forward_matches_complex_path_to_ulp() {
+    // The documented equivalence contract (DESIGN.md §10): the real-input
+    // factorization reorders flops, so bins agree to a small relative
+    // tolerance — not bitwise. 1e-12 relative against the spectrum's peak
+    // magnitude is orders of magnitude tighter than anything the imaging
+    // stack resolves, and orders looser than the reordering error.
+    for (rows, cols) in [
+        (1usize, 8usize),
+        (2, 2),
+        (4, 1),
+        (8, 8),
+        (16, 4),
+        (4, 16),
+        (64, 64),
+    ] {
+        let plan = Fft2Plan::new(rows, cols).unwrap();
+        let mut ws = Fft2Workspace::for_plan(&plan);
+        for case in 0..CASES / 4 {
+            let input = random_real_vec((rows * cols) as u64 * 131 + case, rows * cols);
+            let expected = forward_promoted(&plan, &input);
+            let scale = expected.iter().map(|z| z.abs()).fold(0.0f64, f64::max);
+
+            let got = plan.forward_real(&input).unwrap();
+            for (i, (g, e)) in got.iter().zip(&expected).enumerate() {
+                assert!(
+                    (*g - *e).abs() <= 1e-12 * scale,
+                    "{rows}x{cols} bin {i}: real {g:?} vs complex {e:?}"
+                );
+            }
+
+            // The workspace variant is identical to the allocating one.
+            let mut with_ws = vec![Complex64::ZERO; rows * cols];
+            plan.forward_real_with(&input, &mut with_ws, &mut ws)
+                .unwrap();
+            assert_eq!(with_ws, got, "workspace real path diverged");
+        }
+    }
+}
+
+#[test]
+fn real_forward_parseval_and_naive_cross_check() {
+    // Parseval for the unnormalized transform: Σ|X|² = N·Σ|x|².
+    let (rows, cols) = (16usize, 8usize);
+    let plan = Fft2Plan::new(rows, cols).unwrap();
+    let n = rows * cols;
+    for case in 0..CASES / 2 {
+        let input = random_real_vec(n as u64 * 37 + case, n);
+        let e0: f64 = input.iter().map(|v| v * v).sum();
+        let spec = plan.forward_real(&input).unwrap();
+        assert_close(
+            energy(&spec),
+            n as f64 * e0,
+            1e-10,
+            1e-12,
+            "real-input Parseval",
+        );
+    }
+
+    // Naive separable DFT cross-check on a small grid.
+    let (rows, cols) = (4usize, 8usize);
+    let plan = Fft2Plan::new(rows, cols).unwrap();
+    let input = random_real_vec(99, rows * cols);
+    let got = plan.forward_real(&input).unwrap();
+    let promoted: Vec<Complex64> = input.iter().map(|&v| Complex64::from_real(v)).collect();
+    let mut rows_done = vec![Complex64::ZERO; rows * cols];
+    for r in 0..rows {
+        let f = dft_naive(&promoted[r * cols..(r + 1) * cols], Direction::Forward);
+        rows_done[r * cols..(r + 1) * cols].copy_from_slice(&f);
+    }
+    let mut expected = vec![Complex64::ZERO; rows * cols];
+    for c in 0..cols {
+        let col: Vec<_> = (0..rows).map(|r| rows_done[r * cols + c]).collect();
+        let f = dft_naive(&col, Direction::Forward);
+        for r in 0..rows {
+            expected[r * cols + c] = f[r];
+        }
+    }
+    assert_complex_close(&expected, &got, 1e-9, "real-input vs naive 2-D DFT");
+}
+
+#[test]
+fn real_forward_batch_matches_per_entry() {
+    let plan = Fft2Plan::new(8, 16).unwrap();
+    let n = plan.len();
+    for batch in [0usize, 1, 3] {
+        let input: Vec<f64> = (0..batch)
+            .flat_map(|b| random_real_vec(500 + b as u64, n))
+            .collect();
+        let mut out = vec![Complex64::ZERO; batch * n];
+        let mut ws = Fft2Workspace::new();
+        plan.batched(batch)
+            .forward_real_with(&input, &mut out, &mut ws)
+            .unwrap();
+        for b in 0..batch {
+            let single = plan.forward_real(&input[b * n..(b + 1) * n]).unwrap();
+            assert_eq!(out[b * n..(b + 1) * n], single[..], "entry {b}");
+        }
+    }
+    // Mismatched real/complex buffer lengths are rejected.
+    let mut out = vec![Complex64::ZERO; 2 * n];
+    let mut ws = Fft2Workspace::new();
+    assert!(plan
+        .batched(2)
+        .forward_real_with(&vec![0.0; 2 * n - 1], &mut out, &mut ws)
+        .is_err());
+}
+
+#[test]
+fn threaded_batch_is_bitwise_identical_for_any_thread_count() {
+    // The threaded batch path's contract: contiguous deterministic entry
+    // chunks, each running the exact single-thread kernel — so the result
+    // must be bit-identical to `forward_with`/`inverse_with` no matter how
+    // many workers the batch is split across (including more workers than
+    // entries).
+    let plan = Fft2Plan::new(16, 8).unwrap();
+    let n = plan.len();
+    let batch = 5;
+    let stacked: Vec<Complex64> = (0..batch)
+        .flat_map(|b| random_complex_vec(900 + b as u64, n))
+        .collect();
+    let mut reference = stacked.clone();
+    let mut ws = Fft2Workspace::new();
+    plan.batched(batch)
+        .forward_with(&mut reference, &mut ws)
+        .unwrap();
+    for threads in [1usize, 2, 3, 8] {
+        let mut buf = stacked.clone();
+        plan.batched(batch)
+            .forward_threaded(&mut buf, threads)
+            .unwrap();
+        assert_eq!(buf, reference, "forward, {threads} threads");
+    }
+    plan.batched(batch)
+        .inverse_with(&mut reference, &mut ws)
+        .unwrap();
+    for threads in [2usize, 5] {
+        let mut buf = stacked.clone();
+        plan.batched(batch)
+            .forward_threaded(&mut buf, threads)
+            .unwrap();
+        plan.batched(batch)
+            .inverse_threaded(&mut buf, threads)
+            .unwrap();
+        // forward→inverse roundtrip at full precision of the single path.
+        let mut roundtrip = stacked.clone();
+        let mut ws2 = Fft2Workspace::new();
+        plan.batched(batch)
+            .forward_with(&mut roundtrip, &mut ws2)
+            .unwrap();
+        plan.batched(batch)
+            .inverse_with(&mut roundtrip, &mut ws2)
+            .unwrap();
+        assert_eq!(buf, roundtrip, "roundtrip, {threads} threads");
     }
 }

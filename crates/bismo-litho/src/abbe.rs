@@ -223,6 +223,7 @@ pub struct AbbeImager {
     core: Arc<ImagingCore>,
     threads: usize,
     min_weight: f64,
+    real_spectrum: bool,
     pool: WorkspacePool,
     batch_pool: BatchPool,
 }
@@ -254,6 +255,7 @@ impl AbbeImager {
             core,
             threads: 1,
             min_weight: 1e-9,
+            real_spectrum: false,
             pool: WorkspacePool::default(),
             batch_pool: BatchPool::default(),
         }
@@ -279,6 +281,32 @@ impl AbbeImager {
     pub fn with_min_weight(mut self, min_weight: f64) -> Self {
         self.min_weight = min_weight.max(0.0);
         self
+    }
+
+    /// Opts the mask-spectrum step (single and batched) into the real-input
+    /// FFT path ([`bismo_fft::Fft2Plan::forward_real_with`]), which exploits
+    /// the mask being a real field to halve that transform's work.
+    ///
+    /// **Off by default.** The real-input factorization is mathematically
+    /// exact but legitimately reorders floating-point operations, so images
+    /// and gradients agree with the default path only to ULP level, not
+    /// bitwise (DESIGN.md §10). Anything pinned to exact bits — the golden
+    /// solver suite in particular — must stay on the default path; opt in
+    /// where throughput matters and bit-reproducibility against the complex
+    /// path does not.
+    #[must_use]
+    pub fn with_real_spectrum(mut self, on: bool) -> Self {
+        self.real_spectrum = on;
+        self
+    }
+
+    /// Whether the mask-spectrum step rides the real-input FFT path (see
+    /// [`AbbeImager::with_real_spectrum`]). Exposed like
+    /// [`AbbeImager::min_weight`] so callers fusing work across engines can
+    /// verify the engines compute identically.
+    #[inline]
+    pub fn real_spectrum(&self) -> bool {
+        self.real_spectrum
     }
 
     /// Adds a defocus aberration of `z` nanometres to the projection pupil
@@ -371,17 +399,25 @@ impl AbbeImager {
         Ok(())
     }
 
-    /// Fills `ws.spec` with the spectrum `O = F(M)` of a real mask.
+    /// Fills `ws.spec` with the spectrum `O = F(M)` of a real mask, through
+    /// the complex plan or — when the engine opted in via
+    /// [`AbbeImager::with_real_spectrum`] — the half-work real-input path.
     fn mask_spectrum_into(
         &self,
         mask: &RealField,
         ws: &mut ImagingWorkspace,
     ) -> Result<(), LithoError> {
         let ImagingWorkspace { spec, fft, .. } = ws;
-        for (s, &v) in spec.iter_mut().zip(mask.as_slice()) {
-            *s = Complex64::from_real(v);
+        if self.real_spectrum {
+            self.core
+                .plan()
+                .forward_real_with(mask.as_slice(), spec, fft)?;
+        } else {
+            for (s, &v) in spec.iter_mut().zip(mask.as_slice()) {
+                *s = Complex64::from_real(v);
+            }
+            self.core.plan().forward_with(spec, fft)?;
         }
-        self.core.plan().forward_with(spec, fft)?;
         Ok(())
     }
 
@@ -914,10 +950,14 @@ impl AbbeImager {
         ws: &mut BatchWorkspace,
     ) -> Result<(), LithoError> {
         let BatchWorkspace { specs, fft, .. } = ws;
-        for (s, &v) in specs.iter_mut().zip(masks.as_slice()) {
-            *s = Complex64::from_real(v);
+        if self.real_spectrum {
+            bfft.forward_real_with(masks.as_slice(), specs, fft)?;
+        } else {
+            for (s, &v) in specs.iter_mut().zip(masks.as_slice()) {
+                *s = Complex64::from_real(v);
+            }
+            bfft.forward_with(specs, fft)?;
         }
-        bfft.forward_with(specs, fft)?;
         Ok(())
     }
 
@@ -1347,6 +1387,65 @@ mod tests {
         let i4 = abbe4.intensity(&src, &m).unwrap();
         for (a, b) in i1.as_slice().iter().zip(i4.as_slice()) {
             assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn real_spectrum_engine_matches_default_to_ulp() {
+        // The equivalence contract of the opt-in real-input spectrum path
+        // (DESIGN.md §10): images and gradients agree with the default
+        // complex path to tight relative tolerance, but not bitwise — the
+        // real-input factorization legitimately reorders flops.
+        let (cfg, abbe, src) = setup();
+        let n = cfg.mask_dim();
+        let real = abbe.clone().with_real_spectrum(true);
+        assert!(real.real_spectrum() && !abbe.real_spectrum());
+        let m = square_mask(n, 8).map(|v| 0.2 + 0.6 * v);
+        let coeff = RealField::from_fn(n, |r, c| ((r * 5 + c) % 4) as f64 / 4.0 - 0.3);
+
+        let i_default = abbe.intensity(&src, &m).unwrap();
+        let i_real = real.intensity(&src, &m).unwrap();
+        let peak = i_default
+            .as_slice()
+            .iter()
+            .fold(0.0f64, |a, &v| a.max(v.abs()));
+        for (d, r) in i_default.as_slice().iter().zip(i_real.as_slice()) {
+            assert!(
+                (d - r).abs() <= 1e-12 * peak,
+                "intensity diverged: {d} vs {r}"
+            );
+        }
+
+        let (gm_d, gj_d) = abbe.gradients(&src, &m, &coeff, &i_default).unwrap();
+        let (gm_r, gj_r) = real.gradients(&src, &m, &coeff, &i_real).unwrap();
+        let gm_peak = gm_d.as_slice().iter().fold(0.0f64, |a, &v| a.max(v.abs()));
+        for (d, r) in gm_d.as_slice().iter().zip(gm_r.as_slice()) {
+            assert!(
+                (d - r).abs() <= 1e-10 * gm_peak.max(1.0),
+                "mask gradient diverged: {d} vs {r}"
+            );
+        }
+        let gj_peak = gj_d.iter().fold(0.0f64, |a, &v| a.max(v.abs()));
+        for (d, r) in gj_d.iter().zip(&gj_r) {
+            assert!(
+                (d - r).abs() <= 1e-10 * gj_peak.max(1.0),
+                "source gradient diverged: {d} vs {r}"
+            );
+        }
+
+        // Batched path rides the same flag.
+        let masks = MaskBatch::from_fields(&[m.clone(), m.map(|v| 0.9 * v)]);
+        let mut batch_d = IntensityBatch::zeros(n, 2);
+        let mut batch_r = IntensityBatch::zeros(n, 2);
+        abbe.intensity_batch_into(&src, &masks, &mut batch_d)
+            .unwrap();
+        real.intensity_batch_into(&src, &masks, &mut batch_r)
+            .unwrap();
+        for (d, r) in batch_d.as_slice().iter().zip(batch_r.as_slice()) {
+            assert!(
+                (d - r).abs() <= 1e-12 * peak,
+                "batched intensity diverged: {d} vs {r}"
+            );
         }
     }
 

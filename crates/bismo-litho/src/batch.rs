@@ -49,13 +49,26 @@ pub type MaskBatch = FieldBatch;
 pub type IntensityBatch = FieldBatch;
 
 impl FieldBatch {
+    /// The stacked length `batch · dim²`, checked so an absurd shape is a
+    /// loud panic instead of a silently wrapped (and thus mis-sized) buffer
+    /// in release builds.
+    fn stacked_len(dim: usize, batch: usize) -> usize {
+        dim.checked_mul(dim)
+            .and_then(|n2| batch.checked_mul(n2))
+            .expect("batch × dim × dim overflows usize")
+    }
+
     /// Creates a batch of `batch` zeroed `dim × dim` fields.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch · dim²` overflows `usize`.
     #[must_use]
     pub fn zeros(dim: usize, batch: usize) -> Self {
         FieldBatch {
             dim,
             batch,
-            data: vec![0.0; batch * dim * dim],
+            data: vec![0.0; FieldBatch::stacked_len(dim, batch)],
         }
     }
 
@@ -70,7 +83,7 @@ impl FieldBatch {
             .first()
             .expect("cannot build a batch from zero fields")
             .dim();
-        let mut data = Vec::with_capacity(fields.len() * dim * dim);
+        let mut data = Vec::with_capacity(FieldBatch::stacked_len(dim, fields.len()));
         for f in fields {
             assert_eq!(f.dim(), dim, "batch fields disagree on dimension");
             data.extend_from_slice(f.as_slice());
@@ -86,12 +99,13 @@ impl FieldBatch {
     ///
     /// # Panics
     ///
-    /// Panics if `data.len() != batch * dim * dim`.
+    /// Panics if `data.len() != batch * dim * dim` (computed without
+    /// overflow, so a wrapped product can never mis-validate the buffer).
     #[must_use]
     pub fn from_stacked(dim: usize, batch: usize, data: Vec<f64>) -> Self {
         assert_eq!(
             data.len(),
-            batch * dim * dim,
+            FieldBatch::stacked_len(dim, batch),
             "stacked buffer size mismatch"
         );
         FieldBatch { dim, batch, data }

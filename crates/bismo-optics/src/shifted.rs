@@ -14,6 +14,12 @@
 //! The cache key is the pair (pupil cutoff + defocus phase, source grid
 //! geometry): rebuilding is only needed when the projection pupil or the
 //! optical configuration changes — never per iteration (see DESIGN.md §6).
+//!
+//! The table is agnostic to how the mask spectrum was produced: the opt-in
+//! real-input FFT path (`Fft2Plan::forward_real`, DESIGN.md §10) emits the
+//! **full** corner-origin spectrum — Hermitian symmetry is used inside the
+//! transform and then unfolded — so the lit-bin indices here address the
+//! same dense N² layout regardless of which spectrum path the imager rides.
 
 use crate::config::OpticalConfig;
 use crate::pupil::Pupil;

@@ -122,6 +122,36 @@ fn gradient_imaging_is_allocation_free_after_warmup() {
 }
 
 #[test]
+fn real_spectrum_path_is_allocation_free_after_warmup() {
+    // The opt-in real-input mask-spectrum path must meet the same bar as
+    // the default path: zero heap allocations per warm call, for both the
+    // forward image and the gradient pass.
+    let (cfg, abbe, source, mask, coeff) = fixture();
+    let abbe = abbe.with_real_spectrum(true);
+    let mut out = RealField::zeros(cfg.mask_dim());
+    abbe.intensity_into(&source, &mask, &mut out).unwrap();
+    let reference = out.clone();
+
+    let (allocs, result) = allocs_during(|| abbe.intensity_into(&source, &mask, &mut out));
+    result.unwrap();
+    assert_eq!(
+        allocs, 0,
+        "real-spectrum forward allocated {allocs} times after warm-up"
+    );
+    assert_eq!(out, reference, "warm real-spectrum call changed the image");
+
+    let mut gm = RealField::zeros(cfg.mask_dim());
+    abbe.grad_mask_into(&source, &mask, &coeff, &mut gm)
+        .unwrap();
+    let (allocs, result) = allocs_during(|| abbe.grad_mask_into(&source, &mask, &coeff, &mut gm));
+    result.unwrap();
+    assert_eq!(
+        allocs, 0,
+        "real-spectrum mask-gradient allocated {allocs} times after warm-up"
+    );
+}
+
+#[test]
 fn batched_hot_path_is_allocation_free_after_warmup() {
     // The fused batch pipeline at B = 3 (the dose-corner batch of the SMO
     // objective): after one warm-up call sizes the batch workspace pool,
