@@ -16,13 +16,19 @@
 //! evaluated as one fused `intensity_batch` + `grad_mask_batch` call versus
 //! three sequential single-mask passes, recording both totals, the
 //! per-corner amortized cost of each path, and their ratio
-//! (`batch_speedup`). `--baseline` embeds a previously written report
-//! verbatim under a `"baseline"` key, producing a before/after trajectory
-//! in one file. `--gate FACTOR` (requires `--baseline`) turns the run into
-//! a soft perf gate: if any grid's `abbe_forward_ms` exceeds `FACTOR ×` the
-//! baseline's figure for the same grid, the process exits nonzero — CI runs
-//! `--quick --gate 1.5` so transform-layer regressions fail the job instead
-//! of landing silently.
+//! (`batch_speedup`). Each `--batch` row also re-runs the fused pass on a
+//! multi-threaded engine (`max(--threads, 2)` workers, reported under
+//! `mt_*` keys), exercising the `BatchFft2::forward_threaded` /
+//! `inverse_threaded` batch-FFT entry points of the fused path; those
+//! spawn per-worker scratch, so `mt_fused_batch_allocs` is expected to be
+//! nonzero — the zero-allocation claim is a single-thread property.
+//! `--baseline` embeds a previously written report verbatim under a
+//! `"baseline"` key, producing a before/after trajectory in one file.
+//! `--gate FACTOR` (requires `--baseline`) turns the run into a soft perf
+//! gate: if any grid's `abbe_forward_ms` **or `abbe_gradients_ms`** exceeds
+//! `FACTOR ×` the baseline's figure for the same grid, the process exits
+//! nonzero — CI runs `--quick --gate 1.5` so transform-layer regressions
+//! fail the job instead of landing silently.
 //!
 //! Every run also times the opt-in real-input mask-spectrum path
 //! (`abbe_forward_real_ms`, via [`AbbeImager::with_real_spectrum`]) next to
@@ -94,6 +100,15 @@ struct SizeResult {
     abbe_forward_allocs: u64,
     abbe_gradients_allocs: u64,
     batch: Option<BatchResult>,
+    /// The same fused 3-corner evaluation on a `threads > 1` engine, so the
+    /// threaded batch-FFT path is measured next to the single-threaded one.
+    batch_mt: Option<MtBatchResult>,
+}
+
+/// A [`BatchResult`] measured on a multi-threaded engine.
+struct MtBatchResult {
+    threads: usize,
+    inner: BatchResult,
 }
 
 /// The fused 3-dose-corner evaluation (forward + mask gradient, the per-step
@@ -268,6 +283,18 @@ fn run_size(
         let _ = hopkins.grad_mask(&mask, &g).expect("hopkins grad_mask");
     });
 
+    // The threads > 1 batch row: the same fused evaluation on a threaded
+    // engine, routing the batched spectrum forward and the final adjoint
+    // inverse through `BatchFft2::forward_threaded` / `inverse_threaded`.
+    let mt_threads = threads.max(2);
+    let batch_mt = batch.then(|| {
+        let abbe_mt = abbe.clone().with_threads(mt_threads);
+        MtBatchResult {
+            threads: mt_threads,
+            inner: run_batch(&abbe_mt, &source, &mask, &g, reps),
+        }
+    });
+
     SizeResult {
         mask_dim,
         source_dim,
@@ -281,6 +308,7 @@ fn run_size(
         abbe_forward_allocs,
         abbe_gradients_allocs,
         batch: batch.then(|| run_batch(&abbe, &source, &mask, &g, reps)),
+        batch_mt,
     }
 }
 
@@ -327,13 +355,26 @@ fn json_report(
             ),
             None => String::new(),
         };
+        let mt_fields = match &r.batch_mt {
+            Some(m) => format!(
+                ", \"mt_batch_threads\": {}, \"mt_abbe_seq3_ms\": {:.3}, \
+                 \"mt_abbe_fused3_ms\": {:.3}, \"mt_batch_speedup\": {:.3}, \
+                 \"mt_fused_batch_allocs\": {}",
+                m.threads,
+                m.inner.abbe_seq3_ms,
+                m.inner.abbe_fused3_ms,
+                m.inner.batch_speedup,
+                m.inner.fused_allocs
+            ),
+            None => String::new(),
+        };
         out.push_str(&format!(
             "    {{\"mask_dim\": {}, \"source_dim\": {}, \"effective_points\": {}, \
              \"abbe_forward_ms\": {:.3}, \"abbe_forward_real_ms\": {:.3}, \
              \"abbe_gradients_ms\": {:.3}, \
              \"abbe_grad_mask_ms\": {:.3}, \"hopkins_forward_ms\": {:.3}, \
              \"hopkins_grad_mask_ms\": {:.3}, \"abbe_forward_allocs\": {}, \
-             \"abbe_gradients_allocs\": {}{}}}{}\n",
+             \"abbe_gradients_allocs\": {}{}{}}}{}\n",
             r.mask_dim,
             r.source_dim,
             r.effective_points,
@@ -346,6 +387,7 @@ fn json_report(
             r.abbe_forward_allocs,
             r.abbe_gradients_allocs,
             batch_fields,
+            mt_fields,
             if i + 1 < results.len() { "," } else { "" }
         ));
     }
@@ -372,11 +414,17 @@ fn find_num(line: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
-/// Extracts `(mask_dim, abbe_forward_ms)` pairs from the **first**
-/// `"results"` array of a report this binary wrote. Scanning stops at the
-/// array's closing bracket, so nested `"baseline"` reports embedded further
-/// down never leak into the comparison.
-fn parse_baseline_forward(report: &str) -> Vec<(usize, f64)> {
+/// One gated baseline row: `(mask_dim, abbe_forward_ms, abbe_gradients_ms)`.
+/// The gradients figure is `None` for baselines predating it in the gate
+/// (the field itself has always been written, but tolerating its absence
+/// keeps hand-trimmed baselines usable).
+type BaselineRow = (usize, f64, Option<f64>);
+
+/// Extracts the gated timings from the **first** `"results"` array of a
+/// report this binary wrote. Scanning stops at the array's closing bracket,
+/// so nested `"baseline"` reports embedded further down never leak into the
+/// comparison.
+fn parse_baseline_forward(report: &str) -> Vec<BaselineRow> {
     let mut in_results = false;
     let mut out = Vec::new();
     for line in report.lines() {
@@ -392,39 +440,54 @@ fn parse_baseline_forward(report: &str) -> Vec<(usize, f64)> {
             find_num(trimmed, "mask_dim"),
             find_num(trimmed, "abbe_forward_ms"),
         ) {
-            out.push((dim as usize, ms));
+            out.push((dim as usize, ms, find_num(trimmed, "abbe_gradients_ms")));
         }
     }
     out
 }
 
 /// The soft perf gate: fails (returns `Err`) if any grid's current
-/// `abbe_forward_ms` exceeds `factor ×` the baseline's figure for the same
-/// grid. Grids present on only one side are reported but never fail the
-/// gate — a new size has no baseline to regress against.
+/// `abbe_forward_ms` or `abbe_gradients_ms` exceeds `factor ×` the
+/// baseline's figure for the same grid. Grids (or metrics) present on only
+/// one side are reported but never fail the gate — a new size has no
+/// baseline to regress against.
 fn check_gate(results: &[SizeResult], baseline: &str, factor: f64) -> Result<(), String> {
     let base = parse_baseline_forward(baseline);
     if base.is_empty() {
         return Err("baseline report contains no parsable results".into());
     }
     let mut failures = Vec::new();
+    let mut gate_metric = |dim: usize, metric: &str, now_ms: f64, base_ms: f64| {
+        if base_ms <= 0.0 {
+            return;
+        }
+        let ratio = now_ms / base_ms;
+        eprintln!(
+            "[imaging_bench] gate {dim}²: {metric} {now_ms:.3} ms vs baseline {base_ms:.3} ms \
+             ({ratio:.2}x, limit {factor:.2}x)"
+        );
+        if ratio > factor {
+            failures.push(format!(
+                "{dim}² {metric}: {now_ms:.3} ms is {ratio:.2}x the baseline {base_ms:.3} ms \
+                 (limit {factor:.2}x)"
+            ));
+        }
+    };
     for r in results {
-        match base.iter().find(|(dim, _)| *dim == r.mask_dim) {
-            Some((_, base_ms)) if *base_ms > 0.0 => {
-                let ratio = r.abbe_forward_ms / base_ms;
-                eprintln!(
-                    "[imaging_bench] gate {}²: abbe_forward {:.3} ms vs baseline {:.3} ms \
-                     ({ratio:.2}x, limit {factor:.2}x)",
-                    r.mask_dim, r.abbe_forward_ms, base_ms
-                );
-                if ratio > factor {
-                    failures.push(format!(
-                        "{}²: {:.3} ms is {ratio:.2}x the baseline {:.3} ms (limit {factor:.2}x)",
-                        r.mask_dim, r.abbe_forward_ms, base_ms
-                    ));
+        match base.iter().find(|(dim, _, _)| *dim == r.mask_dim) {
+            Some((_, fwd_ms, grad_ms)) => {
+                gate_metric(r.mask_dim, "abbe_forward", r.abbe_forward_ms, *fwd_ms);
+                match grad_ms {
+                    Some(g) => {
+                        gate_metric(r.mask_dim, "abbe_gradients", r.abbe_gradients_ms, *g);
+                    }
+                    None => eprintln!(
+                        "[imaging_bench] gate {}²: baseline has no abbe_gradients_ms, skipping",
+                        r.mask_dim
+                    ),
                 }
             }
-            _ => eprintln!(
+            None => eprintln!(
                 "[imaging_bench] gate {}²: no baseline entry, skipping",
                 r.mask_dim
             ),
@@ -496,6 +559,17 @@ fn main() {
                 b.seq_corner_ms,
                 b.fused_corner_ms,
                 b.fused_allocs
+            );
+        }
+        if let Some(m) = &r.batch_mt {
+            eprintln!(
+                "[imaging_bench]   3-corner eval @ {} threads: sequential {:.1} ms, \
+                 fused {:.1} ms ({:.2}x, {} allocs warm)",
+                m.threads,
+                m.inner.abbe_seq3_ms,
+                m.inner.abbe_fused3_ms,
+                m.inner.batch_speedup,
+                m.inner.fused_allocs
             );
         }
         results.push(r);

@@ -1,0 +1,358 @@
+//! Flat-versus-multigrid benchmark (`BENCH_mg.json`): runs one registered
+//! method and its `@mg` multigrid wrapper (DESIGN.md §11) over one suite and
+//! compares final objective value, §2.2 metrics and wall time per column.
+//!
+//! Usage:
+//!
+//! ```text
+//! mg_bench [--scale quick|default|paper] [--suite NAME] [--method NAME]
+//!          [--clips N] [--levels N] [--coarse-steps N] [--fine-steps N]
+//!          [--label NAME] [--out PATH] [--baseline PATH]
+//!          [--assert-loss] [--assert-tat FACTOR]
+//! ```
+//!
+//! The flat column runs the method under the harness's usual budgets; the
+//! `@mg` column runs the same method through the coarse-to-fine level
+//! schedule, by default with `coarse_steps = budget/4` per coarse level and
+//! `fine_steps = budget/3` at full resolution — the multigrid pitch is
+//! *equal quality from a fraction of the fine-grid work*, so the wrapper is
+//! given deliberately fewer full-resolution steps than the flat baseline
+//! gets. (Coarse steps are cheaper but not free — the source block does not
+//! shrink with the mask grid — so the default schedule leans on a short
+//! coarse warm start rather than a long coarse solve.) Suites default to the procedural `RAND-LOGIC` generator so the
+//! comparison scales to any clip count without bitmap fixtures.
+//!
+//! `--assert-loss` exits nonzero if the multigrid column's mean final loss
+//! is worse than the flat column's (the CI smoke contract); `--assert-tat
+//! FACTOR` additionally requires `mg_tat <= FACTOR × flat_tat`. Items run
+//! on one worker (`--jobs` to override) so the timing columns are
+//! contention-free.
+
+use std::path::PathBuf;
+
+use bismo_bench::{
+    mean, out_dir, Harness, ItemOutcome, Method, RunnerOptions, Scale, SuiteKind, SuiteReport,
+    SuiteSweep,
+};
+use bismo_core::SolverConfig;
+
+/// Per-method aggregates pulled from the sweep's item records.
+struct Column {
+    method: Method,
+    clips_ok: usize,
+    failures: usize,
+    final_loss: f64,
+    l2_nm2: f64,
+    pvb_nm2: f64,
+    epe: f64,
+    run_wall_s: f64,
+    tat_s: f64,
+}
+
+fn column(report: &SuiteReport, method: Method) -> Column {
+    let (mut loss, mut l2, mut pvb, mut epe, mut wall, mut tat) =
+        (vec![], vec![], vec![], vec![], vec![], vec![]);
+    let mut failures = 0usize;
+    for rec in &report.records {
+        if rec.item.method != method {
+            continue;
+        }
+        match &rec.outcome {
+            ItemOutcome::Ok {
+                l2_nm2,
+                pvb_nm2,
+                epe: e,
+                final_loss,
+                run_wall_s,
+            } => {
+                loss.push(*final_loss);
+                l2.push(*l2_nm2);
+                pvb.push(*pvb_nm2);
+                epe.push(*e);
+                wall.push(*run_wall_s);
+                tat.push(rec.tat_s);
+            }
+            ItemOutcome::Failed { .. } => failures += 1,
+        }
+    }
+    Column {
+        method,
+        clips_ok: loss.len(),
+        failures,
+        final_loss: mean(&loss),
+        l2_nm2: mean(&l2),
+        pvb_nm2: mean(&pvb),
+        epe: mean(&epe),
+        run_wall_s: mean(&wall),
+        tat_s: mean(&tat),
+    }
+}
+
+/// The step budget the flat method runs under, used to derive the default
+/// multigrid level budgets.
+fn flat_budget(cfg: &SolverConfig, base: &str) -> usize {
+    if base.starts_with("BiSMO") {
+        cfg.bismo.outer_steps
+    } else if base.starts_with("AM(") {
+        cfg.am.rounds * (cfg.am.so_steps + cfg.am.mo_steps)
+    } else {
+        cfg.mo.steps
+    }
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else if v.is_nan() {
+        "\"nan\"".into()
+    } else if v > 0.0 {
+        "\"inf\"".into()
+    } else {
+        "\"-inf\"".into()
+    }
+}
+
+fn column_json(c: &Column) -> String {
+    format!(
+        "{{\"method\": \"{}\", \"clips_ok\": {}, \"failures\": {}, \
+         \"final_loss\": {}, \"l2_nm2\": {}, \"pvb_nm2\": {}, \"epe\": {}, \
+         \"run_wall_s\": {}, \"tat_s\": {}}}",
+        c.method.name(),
+        c.clips_ok,
+        c.failures,
+        json_f64(c.final_loss),
+        json_f64(c.l2_nm2),
+        json_f64(c.pvb_nm2),
+        json_f64(c.epe),
+        json_f64(c.run_wall_s),
+        json_f64(c.tat_s)
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn json_report(
+    label: &str,
+    suite: SuiteKind,
+    scale_mask_dim: usize,
+    clips: usize,
+    mg_cfg: (usize, usize, usize),
+    flat: &Column,
+    mg: &Column,
+    baseline: Option<&str>,
+) -> String {
+    let (levels, coarse_steps, fine_steps) = mg_cfg;
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"bench\": \"multigrid\",\n  \"label\": \"{label}\",\n  \"suite\": \"{}\",\n",
+        suite.name()
+    ));
+    out.push_str(&format!(
+        "  \"mask_dim\": {scale_mask_dim},\n  \"clips\": {clips},\n"
+    ));
+    out.push_str(&format!(
+        "  \"mg\": {{\"levels\": {levels}, \"coarse_steps\": {coarse_steps}, \
+         \"fine_steps\": {fine_steps}}},\n"
+    ));
+    out.push_str("  \"results\": [\n");
+    out.push_str(&format!("    {},\n", column_json(flat)));
+    out.push_str(&format!("    {}\n", column_json(mg)));
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"loss_ratio\": {},\n  \"tat_ratio\": {}",
+        json_f64(mg.final_loss / flat.final_loss),
+        json_f64(mg.tat_s / flat.tat_s)
+    ));
+    if let Some(b) = baseline {
+        out.push_str(",\n  \"baseline\": ");
+        out.push_str(b.trim_end());
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+fn main() {
+    let mut scale = Scale::from_env();
+    let mut suite_name = String::from("RAND-LOGIC");
+    let mut method_name = String::from("BiSMO-CG");
+    let mut clips: Option<usize> = None;
+    let mut levels = 3usize;
+    let mut coarse_steps: Option<usize> = None;
+    let mut fine_steps: Option<usize> = None;
+    let mut label = String::from("current");
+    let mut out_path = String::from("BENCH_mg.json");
+    let mut baseline_path: Option<String> = None;
+    let mut assert_loss = false;
+    let mut assert_tat: Option<f64> = None;
+    let mut jobs = 1usize;
+
+    let mut args = std::env::args().skip(1);
+    let next = |args: &mut std::iter::Skip<std::env::Args>, flag: &str| -> String {
+        args.next()
+            .unwrap_or_else(|| panic!("{flag} needs a value"))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                scale = Scale::parse(Some(&next(&mut args, "--scale")))
+                    .unwrap_or_else(|e| panic!("{e}"))
+            }
+            "--suite" => suite_name = next(&mut args, "--suite"),
+            "--method" => method_name = next(&mut args, "--method"),
+            "--clips" => {
+                clips = Some(
+                    next(&mut args, "--clips")
+                        .parse()
+                        .expect("--clips: integer"),
+                )
+            }
+            "--levels" => {
+                levels = next(&mut args, "--levels")
+                    .parse()
+                    .expect("--levels: integer")
+            }
+            "--coarse-steps" => {
+                coarse_steps = Some(
+                    next(&mut args, "--coarse-steps")
+                        .parse()
+                        .expect("--coarse-steps: integer"),
+                )
+            }
+            "--fine-steps" => {
+                fine_steps = Some(
+                    next(&mut args, "--fine-steps")
+                        .parse()
+                        .expect("--fine-steps: integer"),
+                )
+            }
+            "--label" => label = next(&mut args, "--label"),
+            "--out" => out_path = next(&mut args, "--out"),
+            "--baseline" => baseline_path = Some(next(&mut args, "--baseline")),
+            "--assert-loss" => assert_loss = true,
+            "--assert-tat" => {
+                assert_tat = Some(
+                    next(&mut args, "--assert-tat")
+                        .parse()
+                        .expect("--assert-tat: number"),
+                )
+            }
+            "--jobs" => jobs = next(&mut args, "--jobs").parse().expect("--jobs: integer"),
+            other => panic!("unknown argument {other}"),
+        }
+    }
+
+    let suite =
+        SuiteKind::from_name(&suite_name).unwrap_or_else(|| panic!("unknown suite {suite_name:?}"));
+    let flat =
+        Method::from_name(&method_name).unwrap_or_else(|| panic!("unknown method {method_name:?}"));
+    let mg = Method::from_name(&format!("{}@mg", flat.name()))
+        .unwrap_or_else(|| panic!("no @mg wrapper registered for {}", flat.name()));
+
+    let mut h = Harness::new(scale);
+    if let Some(n) = clips {
+        h.clips_per_suite = n;
+    }
+    let budget = flat_budget(&h.solver, flat.name());
+    let coarse_steps = coarse_steps.unwrap_or((budget / 4).max(4));
+    let fine_steps = fine_steps.unwrap_or((budget / 3).max(2));
+    h.solver.mg.levels = levels;
+    h.solver.mg.coarse_steps = coarse_steps;
+    h.solver.mg.fine_steps = fine_steps;
+
+    eprintln!(
+        "[mg_bench] {} vs {} on {} ({} clips, {}², flat budget {budget}, \
+         mg levels<={levels} coarse {coarse_steps} fine {fine_steps})",
+        flat.name(),
+        mg.name(),
+        suite.name(),
+        h.clips_per_suite,
+        h.optical.mask_dim()
+    );
+
+    let journal: PathBuf = out_dir().join("BENCH_mg_suite.json");
+    let opts = RunnerOptions::from_env()
+        .with_jobs(jobs)
+        .with_journal(journal.clone());
+    let report = SuiteSweep::new(&h)
+        .with_methods(&[flat, mg])
+        .with_suites(&[suite])
+        .run(&opts);
+    eprintln!("[mg_bench] {}", report.summary());
+
+    let flat_col = column(&report, flat);
+    let mg_col = column(&report, mg);
+    for c in [&flat_col, &mg_col] {
+        eprintln!(
+            "[mg_bench]   {:<14} loss {:.6}  L2 {:.0} nm²  PVB {:.0} nm²  EPE {:.1}  \
+             wall {:.2} s  tat {:.2} s  ({} ok, {} failed)",
+            c.method.name(),
+            c.final_loss,
+            c.l2_nm2,
+            c.pvb_nm2,
+            c.epe,
+            c.run_wall_s,
+            c.tat_s,
+            c.clips_ok,
+            c.failures
+        );
+    }
+    eprintln!(
+        "[mg_bench]   loss ratio (mg/flat) {:.4}, tat ratio {:.2}",
+        mg_col.final_loss / flat_col.final_loss,
+        mg_col.tat_s / flat_col.tat_s
+    );
+
+    let baseline = baseline_path
+        .map(|p| std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("read baseline {p}: {e}")));
+    let out = json_report(
+        &label,
+        suite,
+        h.optical.mask_dim(),
+        h.clips_per_suite,
+        (levels, coarse_steps, fine_steps),
+        &flat_col,
+        &mg_col,
+        baseline.as_deref(),
+    );
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    std::fs::write(&out_path, &out).expect("write report");
+    println!("{out}");
+    eprintln!(
+        "[mg_bench] wrote {out_path} (journal: {})",
+        journal.display()
+    );
+
+    let mut failed = Vec::new();
+    if flat_col.clips_ok == 0 || mg_col.clips_ok == 0 {
+        failed.push("a column has no successful clips".to_string());
+    }
+    // Tiny relative slack so "equal" survives float summation order. The
+    // gate is written as negated-pass (not `>`) so NaN columns fail it.
+    let loss_ok = mg_col.final_loss <= flat_col.final_loss * (1.0 + 1e-6);
+    if assert_loss && !loss_ok {
+        failed.push(format!(
+            "mg final loss {:.6} is worse than flat {:.6}",
+            mg_col.final_loss, flat_col.final_loss
+        ));
+    }
+    if let Some(factor) = assert_tat {
+        let tat_ok = mg_col.tat_s <= flat_col.tat_s * factor;
+        if !tat_ok {
+            failed.push(format!(
+                "mg tat {:.2} s exceeds {factor:.2}x flat tat {:.2} s",
+                mg_col.tat_s, flat_col.tat_s
+            ));
+        }
+    }
+    if (assert_loss || assert_tat.is_some()) && !failed.is_empty() {
+        eprintln!("[mg_bench] ASSERTION FAILED: {}", failed.join("; "));
+        std::process::exit(1);
+    }
+    if assert_loss || assert_tat.is_some() {
+        eprintln!("[mg_bench] assertions passed");
+    }
+}

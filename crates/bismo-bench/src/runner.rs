@@ -106,6 +106,11 @@ pub enum ItemOutcome {
         pvb_nm2: f64,
         /// EPE violation count.
         epe: f64,
+        /// Final objective value from the convergence trace (γ·L2 + η·PVB
+        /// in the solver's own units) — the figure the multigrid bench
+        /// compares across `<method>` / `<method>@mg` columns. `NaN` when
+        /// the trace was empty or the journal predates the field.
+        final_loss: f64,
         /// The optimization driver's own wall clock (excludes problem
         /// construction and metric evaluation).
         run_wall_s: f64,
@@ -605,6 +610,7 @@ impl SuiteSweep {
                 l2_nm2: r.metrics.l2_nm2,
                 pvb_nm2: r.metrics.pvb_nm2,
                 epe: r.metrics.epe as f64,
+                final_loss: r.trace.final_loss().unwrap_or(f64::NAN),
                 run_wall_s: r.wall_s,
             },
             Err(e) => ItemOutcome::Failed {
@@ -687,6 +693,7 @@ impl SuiteSweep {
                         l2_nm2: metrics.l2_nm2,
                         pvb_nm2: metrics.pvb_nm2,
                         epe: metrics.epe as f64,
+                        final_loss: s.out.trace.final_loss().unwrap_or(f64::NAN),
                         run_wall_s: s.out.wall_s,
                     })
                     .collect(),
@@ -699,6 +706,7 @@ impl SuiteSweep {
                                 l2_nm2: metrics.l2_nm2,
                                 pvb_nm2: metrics.pvb_nm2,
                                 epe: metrics.epe as f64,
+                                final_loss: s.out.trace.final_loss().unwrap_or(f64::NAN),
                                 run_wall_s: s.out.wall_s,
                             },
                             Err(e) => ItemOutcome::Failed {
@@ -892,13 +900,15 @@ fn item_line(rec: &ItemRecord) -> String {
             l2_nm2,
             pvb_nm2,
             epe,
+            final_loss,
             run_wall_s,
         } => format!(
             "{prefix},\"status\":\"ok\",\"l2_nm2\":{},\"pvb_nm2\":{},\"epe\":{},\
-             \"run_wall_s\":{},\"tat_s\":{}}}",
+             \"final_loss\":{},\"run_wall_s\":{},\"tat_s\":{}}}",
             json_f64(*l2_nm2),
             json_f64(*pvb_nm2),
             json_f64(*epe),
+            json_f64(*final_loss),
             json_f64(*run_wall_s),
             json_f64(rec.tat_s)
         ),
@@ -966,6 +976,9 @@ fn parse_item(line: &str) -> Option<ItemRecord> {
             l2_nm2: field_f64(line, "l2_nm2")?,
             pvb_nm2: field_f64(line, "pvb_nm2")?,
             epe: field_f64(line, "epe")?,
+            // Journals written before the field carry no final_loss;
+            // tolerate them on resume instead of discarding the line.
+            final_loss: field_f64(line, "final_loss").unwrap_or(f64::NAN),
             run_wall_s: field_f64(line, "run_wall_s")?,
         },
         "error" => ItemOutcome::Failed {
@@ -1091,6 +1104,7 @@ mod tests {
                 l2_nm2: 12345.678,
                 pvb_nm2: 1e-12,
                 epe: 3.0,
+                final_loss: 0.0625,
                 run_wall_s: 0.5,
             },
         };
@@ -1104,13 +1118,24 @@ mod tests {
                 l2_nm2,
                 pvb_nm2,
                 epe,
+                final_loss,
                 run_wall_s,
             } => {
                 assert_eq!(l2_nm2, 12345.678);
                 assert_eq!(pvb_nm2, 1e-12);
                 assert_eq!(epe, 3.0);
+                assert_eq!(final_loss, 0.0625);
                 assert_eq!(run_wall_s, 0.5);
             }
+            ItemOutcome::Failed { .. } => panic!("expected ok outcome"),
+        }
+
+        // A pre-final_loss journal line still parses; the missing field
+        // reads back as NaN rather than dropping the record.
+        let legacy = line.replace(",\"final_loss\":0.0625", "");
+        assert!(!legacy.contains("final_loss"));
+        match parse_item(&legacy).expect("legacy line parses").outcome {
+            ItemOutcome::Ok { final_loss, .. } => assert!(final_loss.is_nan()),
             ItemOutcome::Failed { .. } => panic!("expected ok outcome"),
         }
 
@@ -1144,6 +1169,7 @@ mod tests {
                 l2_nm2: f64::INFINITY,
                 pvb_nm2: f64::NEG_INFINITY,
                 epe: f64::NAN,
+                final_loss: f64::INFINITY,
                 run_wall_s: 1.0,
             },
         };
@@ -1153,11 +1179,13 @@ mod tests {
                 l2_nm2,
                 pvb_nm2,
                 epe,
+                final_loss,
                 run_wall_s,
             } => {
                 assert_eq!(l2_nm2, f64::INFINITY);
                 assert_eq!(pvb_nm2, f64::NEG_INFINITY);
                 assert!(epe.is_nan());
+                assert_eq!(final_loss, f64::INFINITY);
                 assert_eq!(run_wall_s, 1.0);
             }
             ItemOutcome::Failed { .. } => panic!("expected ok outcome"),

@@ -54,6 +54,7 @@ mod amsmo;
 mod bismo;
 mod metrics;
 mod mo;
+mod multigrid;
 mod params;
 mod problem;
 mod registry;
@@ -68,6 +69,7 @@ pub use metrics::{
     epe_violations, l2_area_nm2, measure, measure_batch, xor_area_nm2, EpeSpec, MetricSet,
 };
 pub use mo::{run_hopkins_mo, AbbeMoSolver, HopkinsProxySolver, MoConfig, MoOutcome};
+pub use multigrid::MultigridSolver;
 pub use params::{Activation, SourceActivationKind};
 pub use problem::{
     GradRequest, HopkinsMoProblem, LossValue, MoProblem, SmoEval, SmoProblem, SmoSettings,
@@ -76,7 +78,8 @@ pub use registry::{SolverRegistry, SolverSpec};
 pub use regularizer::{discreteness_grad, discreteness_value, tv_grad, tv_value, Regularizers};
 pub use session::{Control, Session, SessionStatus, StepEvent};
 pub use solver::{
-    AmSection, BismoSection, MoSection, Solver, SolverConfig, SolverState, StepOutcome, StopReason,
+    AmSection, BismoSection, MgSection, MoSection, Solver, SolverConfig, SolverState, StepOutcome,
+    StopReason,
 };
 pub use trace::{ConvergenceTrace, StepRecord, StopRule};
 

@@ -1,0 +1,408 @@
+//! Coarse-to-fine multigrid optimization (DESIGN.md §11): the
+//! [`MultigridSolver`] wraps any registered base [`Solver`] in a level
+//! schedule — optimize θ_M on a coarse grid first, spectrally prolong the
+//! *logit-space* parameters to seed the next finer grid, and polish on the
+//! session's full-resolution problem.
+//!
+//! Each level halves the mask dimension while doubling the pixel pitch, so
+//! the physical tile — and with it the frequency step and the pupil
+//! geometry — is invariant across levels (`OpticalConfig` validation bounds
+//! the coarsest feasible grid: the doubly-shifted pupil must stay inside
+//! Nyquist). Targets are downsampled by block means
+//! ([`RealField::block_mean`]); θ_M moves between grids through the
+//! spectral [`GridTransfer`] operators of `bismo-fft`. Prolongation happens
+//! in logit space — *before* the `sigmoid(α_m θ)` activation — so a pixel
+//! driven to saturation on the coarse grid stays saturated after the
+//! transfer instead of being washed out by interpolating through the
+//! sigmoid's flat tails.
+//!
+//! The wrapper is registered for every base method under the `<name>@mg`
+//! suffix (e.g. `BiSMO-CG@mg`); the flat paths are untouched, so the golden
+//! suite stays bit-identical.
+
+use bismo_fft::GridTransfer;
+use bismo_litho::LithoError;
+use bismo_optics::{OpticalConfig, RealField};
+
+use crate::problem::{LossValue, SmoProblem};
+use crate::registry::SolverRegistry;
+use crate::solver::{Solver, SolverConfig, SolverState, StepOutcome, StopReason};
+
+/// One entry of the level schedule, coarsest first. The finest level has no
+/// config of its own — it runs on the session's problem.
+struct Level {
+    dim: usize,
+    optical: Option<OpticalConfig>,
+}
+
+/// A level schedule around a registered base solver: runs the base method
+/// level by level (coarse → fine), carrying θ_J through unchanged (the
+/// source grid is level-independent) and prolonging θ_M spectrally in logit
+/// space. One [`MultigridSolver::step`] call is one inner-solver step; the
+/// per-level records are re-stamped into the session's state so the run
+/// reports a single stitched [`crate::ConvergenceTrace`] under the
+/// session's clock.
+///
+/// Constructed through [`SolverRegistry`] under a `<base>@mg` name; the
+/// level schedule and per-level problems are built lazily at the first step
+/// (registry ctors stay cheap and infallible).
+pub struct MultigridSolver {
+    name: &'static str,
+    base: &'static str,
+    config: SolverConfig,
+    /// Level schedule, coarsest first; `None` until the first step.
+    levels: Option<Vec<Level>>,
+    current: usize,
+    /// Problem for the current level; `None` on the finest level (the
+    /// session's problem is used directly).
+    level_problem: Option<SmoProblem>,
+    inner: Option<Box<dyn Solver>>,
+    inner_state: Option<SolverState>,
+    level_steps: usize,
+    finished: Option<StopReason>,
+}
+
+impl MultigridSolver {
+    /// Wraps the registered base method `base` under the registry name
+    /// `name` (the `<base>@mg` form). Cheap and infallible; all heavy work
+    /// happens lazily at the first step.
+    pub(crate) fn new(name: &'static str, base: &'static str, config: &SolverConfig) -> Self {
+        MultigridSolver {
+            name,
+            base,
+            config: config.clone(),
+            levels: None,
+            current: 0,
+            level_problem: None,
+            inner: None,
+            inner_state: None,
+            level_steps: 0,
+            finished: None,
+        }
+    }
+
+    fn make_inner(&self, problem: &SmoProblem) -> Box<dyn Solver> {
+        SolverRegistry::builtin()
+            .create(self.base, problem, &self.config)
+            .expect("base method comes from the static roster")
+    }
+
+    /// Builds the level schedule for `fine`: halve the mask grid (doubling
+    /// the pitch so the physical tile is invariant) until either the
+    /// configured level count is reached or `OpticalConfig` validation
+    /// rejects the grid (shifted pupil past Nyquist). Requesting more
+    /// levels than are feasible silently clamps — the schedule is a
+    /// performance knob, not a correctness contract.
+    fn plan_levels(fine: &OpticalConfig, want: usize) -> Vec<Level> {
+        let mut levels = vec![Level {
+            dim: fine.mask_dim(),
+            optical: None,
+        }];
+        for k in 1..want.max(1) {
+            let dim = fine.mask_dim() >> k;
+            if dim == 0 {
+                break;
+            }
+            let built = OpticalConfig::builder()
+                .wavelength_nm(fine.wavelength_nm())
+                .na(fine.na())
+                .mask_dim(dim)
+                .pixel_nm(fine.pixel_nm() * (1usize << k) as f64)
+                .source_dim(fine.source_dim())
+                .sigma_in(fine.sigma_in())
+                .sigma_out(fine.sigma_out())
+                .build();
+            match built {
+                Ok(cfg) => levels.push(Level {
+                    dim,
+                    optical: Some(cfg),
+                }),
+                Err(_) => break,
+            }
+        }
+        levels.reverse();
+        levels
+    }
+
+    /// Enters level `self.current` with the given parameters (θ_M already
+    /// at the level's dimension): builds the level problem (coarse levels
+    /// only) and a fresh inner solver + state.
+    fn enter_level(
+        &mut self,
+        session_problem: &SmoProblem,
+        theta_j: Vec<f64>,
+        theta_m: RealField,
+    ) -> Result<(), LithoError> {
+        let levels = self.levels.as_ref().expect("schedule planned");
+        let level = &levels[self.current];
+        self.level_problem = match &level.optical {
+            Some(optical) => {
+                let factor = session_problem.optical().mask_dim() / level.dim;
+                let target = session_problem.target().block_mean(factor);
+                Some(SmoProblem::new(
+                    optical.clone(),
+                    session_problem.settings().clone(),
+                    target,
+                )?)
+            }
+            None => None,
+        };
+        let problem = self.level_problem.as_ref().unwrap_or(session_problem);
+        self.inner = Some(self.make_inner(problem));
+        self.inner_state = Some(SolverState::new(theta_j, theta_m));
+        self.level_steps = 0;
+        Ok(())
+    }
+
+    /// Step budget for the current level: coarse levels get
+    /// `mg.coarse_steps`; the finest level gets `mg.fine_steps`, where 0
+    /// means "no extra cap" (the base method's own budgets apply).
+    fn level_budget(&self) -> usize {
+        let levels = self.levels.as_ref().expect("schedule planned");
+        if self.current + 1 == levels.len() {
+            match self.config.mg.fine_steps {
+                0 => usize::MAX,
+                n => n,
+            }
+        } else {
+            self.config.mg.coarse_steps.max(1)
+        }
+    }
+}
+
+impl Solver for MultigridSolver {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn supports(&self, problem: &SmoProblem) -> bool {
+        // Capability is the base method's; a probe construction is cheap.
+        self.make_inner(problem).supports(problem)
+    }
+
+    fn step(
+        &mut self,
+        problem: &SmoProblem,
+        state: &mut SolverState,
+    ) -> Result<StepOutcome, LithoError> {
+        if let Some(reason) = self.finished {
+            return Ok(StepOutcome::Done(reason));
+        }
+        if self.levels.is_none() {
+            let levels = Self::plan_levels(problem.optical(), self.config.mg.levels);
+            let coarsest = levels[0].dim;
+            self.levels = Some(levels);
+            // Seed the coarsest level from the session's (possibly custom)
+            // initialization: θ_J passes through, θ_M restricts spectrally
+            // in logit space.
+            let transfer = GridTransfer::new(problem.optical().mask_dim(), coarsest)
+                .expect("level dims are validated powers of two");
+            let theta_m =
+                RealField::from_vec(coarsest, transfer.restrict2(state.theta_m.as_slice())?);
+            self.enter_level(problem, state.theta_j.clone(), theta_m)?;
+        }
+
+        let level_problem_ref = self.level_problem.as_ref().unwrap_or(problem);
+        let inner = self.inner.as_mut().expect("entered a level");
+        let inner_state = self.inner_state.as_mut().expect("entered a level");
+        let before = inner_state.trace.len();
+        let outcome = inner.step(level_problem_ref, inner_state)?;
+        self.level_steps += 1;
+
+        // Stitch the level's new records into the session trace, re-stamped
+        // with the session's step index and pausable clock.
+        for i in before..inner_state.trace.len() {
+            let rec = inner_state.trace.records()[i];
+            state.record(LossValue {
+                total: rec.loss,
+                l2: rec.l2,
+                pvb: rec.pvb,
+            });
+        }
+
+        let levels_len = self.levels.as_ref().expect("schedule planned").len();
+        let at_finest = self.current + 1 == levels_len;
+        if at_finest {
+            // Keep the observable session state current: θ dims match the
+            // session's at the finest level, so this is a pure copy.
+            state
+                .theta_m
+                .as_mut_slice()
+                .copy_from_slice(inner_state.theta_m.as_slice());
+            state.theta_j.copy_from_slice(&inner_state.theta_j);
+        }
+
+        let level_done =
+            !matches!(outcome, StepOutcome::Running) || self.level_steps >= self.level_budget();
+        if !level_done {
+            return Ok(StepOutcome::Running);
+        }
+        if at_finest {
+            let reason = match outcome {
+                StepOutcome::Done(reason) => reason,
+                StepOutcome::Running => StopReason::Exhausted,
+            };
+            self.finished = Some(reason);
+            return Ok(StepOutcome::Done(reason));
+        }
+
+        // Promote to the next finer level: prolong θ_M in logit space.
+        let next_dim = self.levels.as_ref().expect("schedule planned")[self.current + 1].dim;
+        let inner_state = self.inner_state.take().expect("entered a level");
+        let transfer = GridTransfer::new(next_dim, inner_state.theta_m.dim())
+            .expect("level dims are validated powers of two");
+        let theta_m =
+            RealField::from_vec(next_dim, transfer.prolong2(inner_state.theta_m.as_slice())?);
+        self.current += 1;
+        self.enter_level(problem, inner_state.theta_j, theta_m)?;
+        Ok(StepOutcome::Running)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::SmoSettings;
+    use crate::solver::MgSection;
+    use bismo_optics::OpticalConfig;
+
+    fn problem() -> SmoProblem {
+        // test_small: 64² at 8 nm, 512 nm tile; coarser levels keep the
+        // tile (and so the pupil geometry) invariant.
+        let cfg = OpticalConfig::test_small();
+        let target = RealField::from_fn(cfg.mask_dim(), |r, c| {
+            if (24..40).contains(&r) && (20..44).contains(&c) {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        SmoProblem::new(cfg, SmoSettings::default().without_pvb(), target).unwrap()
+    }
+
+    fn mg_config(levels: usize, coarse: usize, fine: usize) -> SolverConfig {
+        let mut cfg = SolverConfig::default();
+        cfg.mo.steps = 200;
+        cfg.mg = MgSection {
+            levels,
+            coarse_steps: coarse,
+            fine_steps: fine,
+        };
+        cfg
+    }
+
+    #[test]
+    fn schedule_clamps_to_feasible_levels() {
+        let fine = OpticalConfig::test_small();
+        // Ask for far more levels than the pupil constraint admits: 8² at
+        // 64 nm would push the doubly-shifted pupil past Nyquist, so the
+        // schedule bottoms out at 16².
+        let levels = MultigridSolver::plan_levels(&fine, 6);
+        let dims: Vec<usize> = levels.iter().map(|l| l.dim).collect();
+        assert_eq!(dims, vec![16, 32, 64], "coarsest first, finest last");
+        assert!(levels.last().unwrap().optical.is_none());
+        // A single level degenerates to the flat method.
+        assert_eq!(MultigridSolver::plan_levels(&fine, 1).len(), 1);
+    }
+
+    #[test]
+    fn stitched_trace_spans_all_levels_and_loss_improves() {
+        let p = problem();
+        let cfg = mg_config(2, 6, 4);
+        let mut session = SolverRegistry::builtin()
+            .session("Abbe-MO@mg", &p, &cfg)
+            .unwrap();
+        session.run().unwrap();
+        let trace = session.trace();
+        // 6 coarse + 4 fine records, step indices stitched 0..10.
+        assert_eq!(trace.len(), 10);
+        let steps: Vec<usize> = trace.records().iter().map(|r| r.step).collect();
+        assert_eq!(steps, (0..10).collect::<Vec<_>>());
+        assert!(
+            trace.final_loss().unwrap() < trace.records()[0].loss,
+            "multigrid run should reduce the (stitched) loss"
+        );
+        // Final θ_M is at the session's full resolution.
+        assert_eq!(session.theta_m().dim(), p.optical().mask_dim());
+    }
+
+    #[test]
+    fn single_level_schedule_matches_flat_method_bitwise() {
+        // With levels = 1 and no fine cap, @mg is the base method: same
+        // problem, same init, same per-step arithmetic — bit-identical.
+        let p = problem();
+        let mut cfg = mg_config(1, 10, 0);
+        cfg.mo.steps = 5;
+        let flat = SolverRegistry::builtin().run("Abbe-MO", &p, &cfg).unwrap();
+        let mg = SolverRegistry::builtin()
+            .run("Abbe-MO@mg", &p, &cfg)
+            .unwrap();
+        assert_eq!(flat.trace.len(), mg.trace.len());
+        for (a, b) in flat.trace.records().iter().zip(mg.trace.records()) {
+            assert_eq!(a.loss.to_bits(), b.loss.to_bits());
+        }
+        let flat_bits: Vec<u64> = flat
+            .theta_m
+            .as_slice()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        let mg_bits: Vec<u64> = mg.theta_m.as_slice().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(flat_bits, mg_bits);
+    }
+
+    #[test]
+    fn done_is_terminal_and_leaves_state_untouched() {
+        let p = problem();
+        let cfg = mg_config(2, 2, 2);
+        let reg = SolverRegistry::builtin();
+        let mut solver = reg.create("Abbe-MO@mg", &p, &cfg).unwrap();
+        let mut state = SolverState::new(
+            p.init_theta_j(bismo_optics::SourceShape::Annular {
+                sigma_in: 0.63,
+                sigma_out: 0.95,
+            }),
+            p.init_theta_m(),
+        );
+        let mut last = StepOutcome::Running;
+        for _ in 0..16 {
+            last = solver.step(&p, &mut state).unwrap();
+            if !matches!(last, StepOutcome::Running) {
+                break;
+            }
+        }
+        assert!(matches!(last, StepOutcome::Done(_)));
+        let len = state.trace.len();
+        let bits: Vec<u64> = state
+            .theta_m
+            .as_slice()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        for _ in 0..2 {
+            assert_eq!(solver.step(&p, &mut state).unwrap(), last);
+        }
+        assert_eq!(state.trace.len(), len, "no records after Done");
+        let after: Vec<u64> = state
+            .theta_m
+            .as_slice()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        assert_eq!(bits, after, "state must not move after Done");
+    }
+
+    #[test]
+    fn prolonged_saturation_survives_in_logit_space() {
+        // A coarse θ_M saturated at ±m₀·3 prolongs to fine values near the
+        // same rails (spectral interpolation of a smooth plateau), so the
+        // activated mask stays saturated — the rationale for transferring
+        // logits, not masks.
+        let coarse = RealField::filled(32, 3.0);
+        let t = GridTransfer::new(64, 32).unwrap();
+        let fine = t.prolong2(coarse.as_slice()).unwrap();
+        for &v in &fine {
+            assert!((v - 3.0).abs() < 1e-10);
+        }
+    }
+}

@@ -13,9 +13,12 @@ use std::sync::OnceLock;
 use crate::amsmo::{AmSolver, MoModel, SmoOutcome};
 use crate::bismo::{BismoSolver, HypergradMethod};
 use crate::mo::{AbbeMoSolver, HopkinsProxySolver};
+use crate::multigrid::MultigridSolver;
 use crate::problem::SmoProblem;
 use crate::session::Session;
 use crate::solver::{Solver, SolverConfig};
+
+type SolverCtor = Box<dyn Fn(&SmoProblem, &SolverConfig) -> Box<dyn Solver> + Send + Sync>;
 
 /// One registry entry: the stable name, capability metadata and the
 /// constructor. Constructors are infallible and cheap — anything expensive
@@ -25,7 +28,7 @@ pub struct SolverSpec {
     name: &'static str,
     summary: &'static str,
     optimizes_source: bool,
-    ctor: fn(&SmoProblem, &SolverConfig) -> Box<dyn Solver>,
+    ctor: SolverCtor,
 }
 
 impl SolverSpec {
@@ -61,9 +64,25 @@ impl std::fmt::Debug for SolverSpec {
 }
 
 /// Maps stable method names to solver constructors.
-#[derive(Debug)]
+///
+/// Besides the base roster, every method is also constructible under the
+/// `<name>@mg` suffix (e.g. `BiSMO-CG@mg`), which wraps it in the
+/// coarse-to-fine [`MultigridSolver`] (DESIGN.md §11). The `@mg` entries
+/// are derived — [`SolverRegistry::specs`] and [`SolverRegistry::names`]
+/// list only the base roster so sweeps don't silently double, while
+/// [`SolverRegistry::get`] / [`SolverRegistry::create`] resolve both forms.
 pub struct SolverRegistry {
     specs: Vec<SolverSpec>,
+    mg_specs: Vec<SolverSpec>,
+}
+
+impl std::fmt::Debug for SolverRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SolverRegistry")
+            .field("specs", &self.specs)
+            .field("mg_specs", &self.mg_specs)
+            .finish()
+    }
 }
 
 impl SolverRegistry {
@@ -71,71 +90,99 @@ impl SolverRegistry {
     /// column order.
     pub fn builtin() -> &'static SolverRegistry {
         static BUILTIN: OnceLock<SolverRegistry> = OnceLock::new();
-        BUILTIN.get_or_init(|| SolverRegistry {
-            specs: vec![
+        BUILTIN.get_or_init(|| {
+            let specs = vec![
                 SolverSpec {
                     name: "NILT",
                     summary: "NILT [7] proxy: Hopkins ILT, Q = 6, no PVB term",
                     optimizes_source: false,
-                    ctor: |p, c| Box::new(HopkinsProxySolver::nilt(p, c)),
+                    ctor: Box::new(|p, c| Box::new(HopkinsProxySolver::nilt(p, c))),
                 },
                 SolverSpec {
                     name: "DAC23-MILT",
                     summary: "DAC23-MILT [10] proxy: Hopkins ILT, Q = 24, PVB, two-level schedule",
                     optimizes_source: false,
-                    ctor: |p, c| Box::new(HopkinsProxySolver::milt(p, c)),
+                    ctor: Box::new(|p, c| Box::new(HopkinsProxySolver::milt(p, c))),
                 },
                 SolverSpec {
                     name: "Abbe-MO",
                     summary: "Abbe-model mask-only optimization (ours, §4.1)",
                     optimizes_source: false,
-                    ctor: |p, c| Box::new(AbbeMoSolver::new(p, c)),
+                    ctor: Box::new(|p, c| Box::new(AbbeMoSolver::new(p, c))),
                 },
                 SolverSpec {
                     name: "AM(A~H)",
                     summary: "AM-SMO, Abbe SO + Hopkins MO with per-round TCC rebuild [13]",
                     optimizes_source: true,
-                    ctor: |p, c| {
+                    ctor: Box::new(|p, c| {
                         Box::new(AmSolver::new(p, MoModel::Hopkins { q: c.am.hybrid_q }, c))
-                    },
+                    }),
                 },
                 SolverSpec {
                     name: "AM(A~A)",
                     summary: "AM-SMO, Abbe model for both phases [12]",
                     optimizes_source: true,
-                    ctor: |p, c| Box::new(AmSolver::new(p, MoModel::Abbe, c)),
+                    ctor: Box::new(|p, c| Box::new(AmSolver::new(p, MoModel::Abbe, c))),
                 },
                 SolverSpec {
                     name: "BiSMO-FD",
                     summary: "Bilevel SMO, finite-difference hypergradient (Eq. 13)",
                     optimizes_source: true,
-                    ctor: |p, c| Box::new(BismoSolver::new(p, HypergradMethod::FiniteDiff, c)),
+                    ctor: Box::new(|p, c| {
+                        Box::new(BismoSolver::new(p, HypergradMethod::FiniteDiff, c))
+                    }),
                 },
                 SolverSpec {
                     name: "BiSMO-CG",
                     summary: "Bilevel SMO, conjugate-gradient hypergradient (Eq. 18)",
                     optimizes_source: true,
-                    ctor: |p, c| {
+                    ctor: Box::new(|p, c| {
                         Box::new(BismoSolver::new(
                             p,
                             HypergradMethod::ConjGrad { k: c.bismo.k },
                             c,
                         ))
-                    },
+                    }),
                 },
                 SolverSpec {
                     name: "BiSMO-NMN",
                     summary: "Bilevel SMO, Neumann-series hypergradient (Eq. 16)",
                     optimizes_source: true,
-                    ctor: |p, c| {
+                    ctor: Box::new(|p, c| {
                         Box::new(BismoSolver::new(
                             p,
                             HypergradMethod::Neumann { k: c.bismo.k },
                             c,
                         ))
-                    },
+                    }),
                 },
-            ],
+            ];
+            // Derive a `<name>@mg` multigrid wrapper for every base method.
+            // The names live as long as the registry itself (one leak per
+            // process, inside this OnceLock init), which is what lets
+            // `Solver::name` keep returning `&'static str`.
+            let mg_specs = specs
+                .iter()
+                .map(|base| {
+                    let base_name = base.name;
+                    let name: &'static str = Box::leak(format!("{base_name}@mg").into_boxed_str());
+                    SolverSpec {
+                        name,
+                        summary: Box::leak(
+                            format!(
+                                "{base_name} under a coarse-to-fine multigrid level \
+                                 schedule (DESIGN.md §11)"
+                            )
+                            .into_boxed_str(),
+                        ),
+                        optimizes_source: base.optimizes_source,
+                        ctor: Box::new(move |_p, c| {
+                            Box::new(MultigridSolver::new(name, base_name, c))
+                        }),
+                    }
+                })
+                .collect();
+            SolverRegistry { specs, mg_specs }
         })
     }
 
@@ -149,18 +196,22 @@ impl SolverRegistry {
         self.specs.iter().map(|s| s.name)
     }
 
-    /// Looks a method up by name, case-insensitively.
+    /// Looks a method up by name, case-insensitively. Resolves both the
+    /// base roster and the derived `<name>@mg` multigrid entries.
     pub fn get(&self, name: &str) -> Option<&SolverSpec> {
+        let trimmed = name.trim();
         self.specs
             .iter()
-            .find(|s| s.name.eq_ignore_ascii_case(name.trim()))
+            .chain(&self.mg_specs)
+            .find(|s| s.name.eq_ignore_ascii_case(trimmed))
     }
 
     /// Constructs the named solver.
     ///
     /// # Errors
     ///
-    /// An unknown name is an error listing the valid ones (the same
+    /// An unknown name is an error listing the valid ones, and an unknown
+    /// `@suffix` on a valid base name is called out specifically (the same
     /// fail-fast contract as the env-variable parsers).
     pub fn create(
         &self,
@@ -168,17 +219,27 @@ impl SolverRegistry {
         problem: &SmoProblem,
         config: &SolverConfig,
     ) -> Result<Box<dyn Solver>, String> {
-        match self.get(name) {
-            Some(spec) => Ok(spec.create(problem, config)),
-            None => Err(format!(
-                "unknown solver name {name:?}; valid names are {}",
-                self.specs
-                    .iter()
-                    .map(|s| format!("{:?}", s.name))
-                    .collect::<Vec<_>>()
-                    .join(", ")
-            )),
+        if let Some(spec) = self.get(name) {
+            return Ok(spec.create(problem, config));
         }
+        if let Some((_, suffix)) = name.trim().rsplit_once('@') {
+            if !suffix.eq_ignore_ascii_case("mg") {
+                return Err(format!(
+                    "unknown solver suffix {suffix:?} in {name:?}; the only \
+                     recognized suffix is \"@mg\" (coarse-to-fine multigrid, \
+                     DESIGN.md §11)"
+                ));
+            }
+        }
+        Err(format!(
+            "unknown solver name {name:?}; valid names are {} (each also \
+             available with the \"@mg\" multigrid suffix)",
+            self.specs
+                .iter()
+                .map(|s| format!("{:?}", s.name))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ))
     }
 
     /// Constructs the named solver and wraps it in a [`Session`] with the
@@ -279,6 +340,59 @@ mod tests {
             Ok(_) => panic!("typo'd solver name must not resolve"),
         };
         assert!(err.contains("qiuck") && err.contains("BiSMO-NMN"), "{err}");
+    }
+
+    #[test]
+    fn mg_names_resolve_case_insensitively_and_round_trip() {
+        use bismo_optics::{OpticalConfig, RealField};
+        let reg = SolverRegistry::builtin();
+        // Every base method has a derived @mg entry; lookup is
+        // case-insensitive over the whole name including the suffix.
+        assert_eq!(reg.get("bismo-cg@MG").unwrap().name(), "BiSMO-CG@mg");
+        assert_eq!(reg.get(" am(a~h)@mg ").unwrap().name(), "AM(A~H)@mg");
+        // The derived entries do not appear in the base roster listings,
+        // so sweeps over `names()` don't silently double.
+        assert_eq!(reg.names().count(), 8);
+        assert!(reg.names().all(|n| !n.contains('@')));
+
+        // Constructed solvers report the full @mg name — journals and
+        // traces round-trip through `Solver::name`.
+        let optical = OpticalConfig::test_small();
+        let target = RealField::zeros(optical.mask_dim());
+        let p = SmoProblem::new(optical, crate::problem::SmoSettings::default(), target).unwrap();
+        let cfg = crate::solver::SolverConfig::default();
+        for spec in reg.specs() {
+            let mg_name = format!("{}@mg", spec.name());
+            let solver = reg.create(&mg_name, &p, &cfg).unwrap();
+            assert_eq!(solver.name(), mg_name);
+            assert_eq!(reg.get(&mg_name).unwrap().name(), mg_name);
+        }
+    }
+
+    #[test]
+    fn unknown_mg_suffix_fails_fast() {
+        let reg = SolverRegistry::builtin();
+        let cfg = crate::solver::SolverConfig::default();
+        let p = {
+            use bismo_optics::{OpticalConfig, RealField};
+            let optical = OpticalConfig::test_small();
+            let target = RealField::zeros(optical.mask_dim());
+            SmoProblem::new(optical, crate::problem::SmoSettings::default(), target).unwrap()
+        };
+        let err = match reg.create("BiSMO-CG@turbo", &p, &cfg) {
+            Err(e) => e,
+            Ok(_) => panic!("unknown suffix must not resolve"),
+        };
+        assert!(
+            err.contains("turbo") && err.contains("@mg"),
+            "suffix errors must name the bad suffix and the valid one: {err}"
+        );
+        // An unknown base with a valid suffix is still an unknown name.
+        let err = match reg.create("bogus@mg", &p, &cfg) {
+            Err(e) => e,
+            Ok(_) => panic!("unknown base must not resolve"),
+        };
+        assert!(err.contains("bogus") && err.contains("BiSMO-NMN"), "{err}");
     }
 
     #[test]

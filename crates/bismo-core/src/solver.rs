@@ -198,6 +198,23 @@ impl BismoSection {
     pub const DEFAULT_K: usize = 5;
 }
 
+/// Multigrid section of [`SolverConfig`], consumed by the
+/// [`crate::MultigridSolver`] wrapper behind the registry's `<method>@mg`
+/// names (DESIGN.md §11). Flat methods ignore it entirely.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MgSection {
+    /// Number of grid levels including the finest (1 degenerates to the
+    /// flat method). Requests beyond what the pupil constraint admits are
+    /// clamped, not errors — the schedule is a performance knob.
+    pub levels: usize,
+    /// Step cap per coarse level (the inner solver may stop earlier on its
+    /// own plateau rule).
+    pub coarse_steps: usize,
+    /// Extra step cap on the finest level; 0 means "no extra cap" — the
+    /// base method's own budgets apply.
+    pub fine_steps: usize,
+}
+
 /// One layered configuration for every solver in the registry: shared knobs
 /// first, per-method-family sections after. Replaces the historical
 /// `MoConfig` / `AmSmoConfig` / `BismoConfig` trio (still accepted by the
@@ -221,6 +238,8 @@ pub struct SolverConfig {
     pub am: AmSection,
     /// BiSMO hyperparameters.
     pub bismo: BismoSection,
+    /// Multigrid level schedule for the `<method>@mg` wrappers.
+    pub mg: MgSection,
 }
 
 impl Default for SolverConfig {
@@ -245,6 +264,11 @@ impl Default for SolverConfig {
                 xi_m: 0.1,
                 hvp_eps: 1e-2,
                 k: BismoSection::DEFAULT_K,
+            },
+            mg: MgSection {
+                levels: 3,
+                coarse_steps: 50,
+                fine_steps: 0,
             },
         }
     }

@@ -31,6 +31,7 @@ enum FftErrorKind {
     NotPowerOfTwo(usize),
     LengthMismatch { expected: usize, got: usize },
     SizeOverflow { count: usize, len: usize },
+    TransferOrder { fine: usize, coarse: usize },
 }
 
 impl std::fmt::Display for FftError {
@@ -51,6 +52,12 @@ impl std::fmt::Display for FftError {
                     "batched buffer of {count} × {len} elements overflows usize"
                 )
             }
+            FftErrorKind::TransferOrder { fine, coarse } => {
+                write!(
+                    f,
+                    "grid transfer requires coarse dim ≤ fine dim, got coarse {coarse} > fine {fine}"
+                )
+            }
         }
     }
 }
@@ -67,6 +74,12 @@ impl FftError {
     pub(crate) fn size_overflow(count: usize, len: usize) -> Self {
         FftError {
             kind: FftErrorKind::SizeOverflow { count, len },
+        }
+    }
+
+    pub(crate) fn transfer_order(fine: usize, coarse: usize) -> Self {
+        FftError {
+            kind: FftErrorKind::TransferOrder { fine, coarse },
         }
     }
 }

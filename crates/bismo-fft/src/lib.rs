@@ -30,6 +30,7 @@
 mod complex;
 mod fft1d;
 mod fft2d;
+mod transfer;
 
 pub use complex::Complex64;
 pub use fft1d::{dft_naive, Direction, FftError, FftPlan};
@@ -37,3 +38,4 @@ pub use fft2d::{
     fftshift2, fftshift2_batch, ifftshift2, ifftshift2_batch, signed_freq, wrap_freq, BatchFft2,
     Fft2Plan, Fft2Workspace,
 };
+pub use transfer::{prolong2, restrict2, GridTransfer, GridTransferWorkspace};

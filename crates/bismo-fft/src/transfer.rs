@@ -1,0 +1,480 @@
+//! Spectral grid-transfer operators between power-of-two grids
+//! (DESIGN.md §11): the restriction `R` (fine → coarse) and prolongation
+//! `P` (coarse → fine) underpinning the coarse-to-fine multigrid
+//! optimization axis.
+//!
+//! Both operators are exact band-limited resampling: forward transform,
+//! truncate (R) or zero-pad (P) the centered spectrum, inverse transform.
+//! The implementation works directly on the corner-origin layout through
+//! [`signed_freq`]/[`wrap_freq`], so no `fftshift` copies are made.
+//!
+//! ## Nyquist convention
+//!
+//! On an even coarse grid of side `n` the signed frequency `−n/2` is its
+//! own conjugate partner. A fine grid of side `N > n` carries *both*
+//! `−n/2` and `+n/2`; plain sampling of one of them would break Hermitian
+//! symmetry (the restricted field of a real input would come out complex),
+//! and plain duplication on prolongation would double the folded energy.
+//! Both operators therefore weight the coarse Nyquist row/column by
+//! `1/√2`: restriction *folds* `fine[−n/2] + fine[+n/2]` with weight
+//! `1/√2`, prolongation *splits* the coarse Nyquist coefficient with
+//! weight `1/√2` into both fine bins (the shared corner bin composes the
+//! row and column weights into `1/2`). This is the unique choice that
+//! keeps real fields real, makes `R ∘ P` the exact identity on the coarse
+//! grid, and makes the pair adjoint.
+//!
+//! ## Scaling and adjointness
+//!
+//! `R = (n²/N²) · F_n⁻¹ ∘ T ∘ F_N` and `P = (N²/n²) · F_N⁻¹ ∘ Tᴴ ∘ F_n`
+//! (with the crate's unnormalized forward / `1/N²`-normalized inverse this
+//! is one net `1/N²` on restriction and `1/n²` on prolongation). Both
+//! preserve constants — a flat field restricts and prolongs to the same
+//! flat field — and the pair is adjoint under the *grid-averaged* inner
+//! products `⟨u, v⟩ = (1/dim²) Σ uᵢvᵢ`:
+//!
+//! ```text
+//! ⟨R x, y⟩ / n²  =  ⟨x, P y⟩ / N²
+//! ```
+//!
+//! pinned (together with the `R∘P` identity and the `P∘R` band-limit
+//! identity) by the property tests below.
+
+use std::f64::consts::FRAC_1_SQRT_2;
+
+use crate::complex::Complex64;
+use crate::fft1d::FftError;
+use crate::fft2d::{signed_freq, wrap_freq, Fft2Plan, Fft2Workspace};
+
+/// A planned restriction/prolongation pair between a `fine × fine` and a
+/// `coarse × coarse` grid (both power-of-two sides, `coarse ≤ fine`).
+///
+/// The plan is immutable and shareable; per-call scratch lives in a
+/// caller-owned [`GridTransferWorkspace`] so the warm `*_into` paths are
+/// allocation-free (pinned in `tests/zero_alloc.rs`).
+///
+/// # Examples
+///
+/// ```
+/// use bismo_fft::GridTransfer;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let t = GridTransfer::new(8, 4)?;
+/// let fine = vec![1.0; 64];
+/// let coarse = t.restrict2(&fine)?;
+/// // Constants survive restriction exactly.
+/// assert!((coarse[0] - 1.0).abs() < 1e-12);
+/// assert_eq!(t.prolong2(&coarse)?.len(), 64);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct GridTransfer {
+    fine: Fft2Plan,
+    coarse: Fft2Plan,
+}
+
+/// Caller-owned scratch for [`GridTransfer`] operations: one complex buffer
+/// per grid plus the shared FFT column scratch. Sized on construction so
+/// even the first transfer performs no allocation.
+#[derive(Debug, Clone)]
+pub struct GridTransferWorkspace {
+    fine: Vec<Complex64>,
+    coarse: Vec<Complex64>,
+    fft: Fft2Workspace,
+}
+
+/// Maps a coarse-grid frequency index onto its fine-grid source (or
+/// destination) bins along one axis: the unique aliased bin at weight 1,
+/// or — for the coarse Nyquist index on an even grid — the `±n/2` pair at
+/// weight `1/√2` each.
+#[inline]
+fn axis_map(idx: usize, n: usize, big: usize) -> (usize, Option<usize>, f64) {
+    debug_assert!(n < big, "equal dims take the copy fast path");
+    let f = signed_freq(idx, n);
+    if n.is_multiple_of(2) && idx == n / 2 {
+        (wrap_freq(f, big), Some(wrap_freq(-f, big)), FRAC_1_SQRT_2)
+    } else {
+        (wrap_freq(f, big), None, 1.0)
+    }
+}
+
+/// Grows `buf` to at least `len` and returns the sized slice.
+fn scratch(buf: &mut Vec<Complex64>, len: usize) -> &mut [Complex64] {
+    if buf.len() < len {
+        buf.resize(len, Complex64::ZERO);
+    }
+    &mut buf[..len]
+}
+
+impl GridTransfer {
+    /// Plans transfers between a `fine × fine` and a `coarse × coarse`
+    /// grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when either side is not a nonzero power of two, or
+    /// when `coarse > fine` (transfers only go down or stay put; swap the
+    /// arguments to go the other way).
+    pub fn new(fine: usize, coarse: usize) -> Result<GridTransfer, FftError> {
+        if coarse > fine {
+            return Err(FftError::transfer_order(fine, coarse));
+        }
+        Ok(GridTransfer {
+            fine: Fft2Plan::new(fine, fine)?,
+            coarse: Fft2Plan::new(coarse, coarse)?,
+        })
+    }
+
+    /// Fine grid side length `N`.
+    #[inline]
+    pub fn fine_dim(&self) -> usize {
+        self.fine.rows()
+    }
+
+    /// Coarse grid side length `n`.
+    #[inline]
+    pub fn coarse_dim(&self) -> usize {
+        self.coarse.rows()
+    }
+
+    /// A workspace pre-sized for this transfer, so even the first
+    /// `*_into` call allocates nothing.
+    #[must_use]
+    pub fn workspace(&self) -> GridTransferWorkspace {
+        GridTransferWorkspace {
+            fine: vec![Complex64::ZERO; self.fine.len()],
+            coarse: vec![Complex64::ZERO; self.coarse.len()],
+            fft: Fft2Workspace::for_plan(&self.fine),
+        }
+    }
+
+    fn check(&self, fine_len: usize, coarse_len: usize) -> Result<(), FftError> {
+        if fine_len != self.fine.len() {
+            return Err(FftError::length_mismatch(self.fine.len(), fine_len));
+        }
+        if coarse_len != self.coarse.len() {
+            return Err(FftError::length_mismatch(self.coarse.len(), coarse_len));
+        }
+        Ok(())
+    }
+
+    /// Spectral restriction `R`: band-limits `fine` to the coarse grid's
+    /// spectrum and writes the result into `coarse`. Allocation-free once
+    /// `ws` is sized (use [`GridTransfer::workspace`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when either slice length mismatches the plan.
+    pub fn restrict2_into(
+        &self,
+        fine: &[f64],
+        coarse: &mut [f64],
+        ws: &mut GridTransferWorkspace,
+    ) -> Result<(), FftError> {
+        self.check(fine.len(), coarse.len())?;
+        let (big, n) = (self.fine_dim(), self.coarse_dim());
+        if big == n {
+            coarse.copy_from_slice(fine);
+            return Ok(());
+        }
+        let spec = scratch(&mut ws.fine, big * big);
+        for (dst, &v) in spec.iter_mut().zip(fine) {
+            *dst = Complex64::from_real(v);
+        }
+        self.fine.forward_with(spec, &mut ws.fft)?;
+        let out = scratch(&mut ws.coarse, n * n);
+        for r in 0..n {
+            let (r0, r1, wr) = axis_map(r, n, big);
+            for c in 0..n {
+                let (c0, c1, wc) = axis_map(c, n, big);
+                let mut acc = spec[r0 * big + c0];
+                if let Some(c1) = c1 {
+                    acc += spec[r0 * big + c1];
+                }
+                if let Some(r1) = r1 {
+                    acc += spec[r1 * big + c0];
+                    if let Some(c1) = c1 {
+                        acc += spec[r1 * big + c1];
+                    }
+                }
+                out[r * n + c] = acc * (wr * wc);
+            }
+        }
+        self.coarse.inverse_with(out, &mut ws.fft)?;
+        // Net 1/N²: the coarse inverse normalized by 1/n², times n²/N².
+        let scale = (n * n) as f64 / (big * big) as f64;
+        for (dst, s) in coarse.iter_mut().zip(out.iter()) {
+            *dst = s.re * scale;
+        }
+        Ok(())
+    }
+
+    /// Spectral prolongation `P`: zero-pads the spectrum of `coarse` onto
+    /// the fine grid and writes the band-limited interpolant into `fine`.
+    /// Allocation-free once `ws` is sized.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when either slice length mismatches the plan.
+    pub fn prolong2_into(
+        &self,
+        coarse: &[f64],
+        fine: &mut [f64],
+        ws: &mut GridTransferWorkspace,
+    ) -> Result<(), FftError> {
+        self.check(fine.len(), coarse.len())?;
+        let (big, n) = (self.fine_dim(), self.coarse_dim());
+        if big == n {
+            fine.copy_from_slice(coarse);
+            return Ok(());
+        }
+        let spec_c = scratch(&mut ws.coarse, n * n);
+        for (dst, &v) in spec_c.iter_mut().zip(coarse) {
+            *dst = Complex64::from_real(v);
+        }
+        self.coarse.forward_with(spec_c, &mut ws.fft)?;
+        let spec_f = scratch(&mut ws.fine, big * big);
+        spec_f.fill(Complex64::ZERO);
+        for r in 0..n {
+            let (r0, r1, wr) = axis_map(r, n, big);
+            for c in 0..n {
+                let (c0, c1, wc) = axis_map(c, n, big);
+                let v = spec_c[r * n + c] * (wr * wc);
+                spec_f[r0 * big + c0] = v;
+                if let Some(c1) = c1 {
+                    spec_f[r0 * big + c1] = v;
+                }
+                if let Some(r1) = r1 {
+                    spec_f[r1 * big + c0] = v;
+                    if let Some(c1) = c1 {
+                        spec_f[r1 * big + c1] = v;
+                    }
+                }
+            }
+        }
+        self.fine.inverse_with(spec_f, &mut ws.fft)?;
+        // Net 1/n²: the fine inverse normalized by 1/N², times N²/n².
+        let scale = (big * big) as f64 / (n * n) as f64;
+        for (dst, s) in fine.iter_mut().zip(spec_f.iter()) {
+            *dst = s.re * scale;
+        }
+        Ok(())
+    }
+
+    /// Allocating convenience wrapper over [`GridTransfer::restrict2_into`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `fine` mismatches the plan.
+    pub fn restrict2(&self, fine: &[f64]) -> Result<Vec<f64>, FftError> {
+        let mut out = vec![0.0; self.coarse.len()];
+        self.restrict2_into(fine, &mut out, &mut self.workspace())?;
+        Ok(out)
+    }
+
+    /// Allocating convenience wrapper over [`GridTransfer::prolong2_into`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `coarse` mismatches the plan.
+    pub fn prolong2(&self, coarse: &[f64]) -> Result<Vec<f64>, FftError> {
+        let mut out = vec![0.0; self.fine.len()];
+        self.prolong2_into(coarse, &mut out, &mut self.workspace())?;
+        Ok(out)
+    }
+}
+
+/// One-shot spectral restriction of a `fine_dim × fine_dim` field to
+/// `coarse_dim × coarse_dim` (see [`GridTransfer::restrict2_into`] for the
+/// planned, allocation-free form).
+///
+/// # Errors
+///
+/// See [`GridTransfer::new`] / [`GridTransfer::restrict2_into`].
+pub fn restrict2(fine: &[f64], fine_dim: usize, coarse_dim: usize) -> Result<Vec<f64>, FftError> {
+    GridTransfer::new(fine_dim, coarse_dim)?.restrict2(fine)
+}
+
+/// One-shot spectral prolongation of a `coarse_dim × coarse_dim` field to
+/// `fine_dim × fine_dim` (see [`GridTransfer::prolong2_into`] for the
+/// planned, allocation-free form).
+///
+/// # Errors
+///
+/// See [`GridTransfer::new`] / [`GridTransfer::prolong2_into`].
+pub fn prolong2(coarse: &[f64], coarse_dim: usize, fine_dim: usize) -> Result<Vec<f64>, FftError> {
+    GridTransfer::new(fine_dim, coarse_dim)?.prolong2(coarse)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random field (no external RNG in this crate).
+    fn noise(dim: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        (0..dim * dim)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+            })
+            .collect()
+    }
+
+    fn dot(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| x * y).sum()
+    }
+
+    /// (fine, coarse) pairs covering ×2/×4/×8 ratios, the degenerate 1- and
+    /// 2-point coarse grids (DC-only and Nyquist-only), and equal sizes.
+    const SIZES: &[(usize, usize)] = &[
+        (2, 1),
+        (4, 1),
+        (4, 2),
+        (8, 2),
+        (8, 4),
+        (16, 4),
+        (16, 8),
+        (32, 4),
+        (32, 16),
+        (64, 32),
+        (8, 8),
+        (1, 1),
+    ];
+
+    #[test]
+    fn constants_survive_both_directions() {
+        for &(nf, nc) in SIZES {
+            let t = GridTransfer::new(nf, nc).unwrap();
+            let coarse = t.restrict2(&vec![2.5; nf * nf]).unwrap();
+            for &v in &coarse {
+                assert!((v - 2.5).abs() < 1e-12, "({nf},{nc}) restrict: {v}");
+            }
+            let fine = t.prolong2(&vec![-1.25; nc * nc]).unwrap();
+            for &v in &fine {
+                assert!((v + 1.25).abs() < 1e-12, "({nf},{nc}) prolong: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn restriction_of_prolongation_is_identity() {
+        // R ∘ P = I on the coarse grid, exactly (up to fp roundoff) — the
+        // 1/√2 Nyquist fold/split is what makes this hold for coarse
+        // fields with Nyquist content too.
+        for &(nf, nc) in SIZES {
+            let t = GridTransfer::new(nf, nc).unwrap();
+            let y = noise(nc, 7 + nf as u64 * 131 + nc as u64);
+            let back = t.restrict2(&t.prolong2(&y).unwrap()).unwrap();
+            for (i, (&a, &b)) in y.iter().zip(&back).enumerate() {
+                assert!(
+                    (a - b).abs() < 1e-10 * (1.0 + a.abs()),
+                    "({nf},{nc}) idx {i}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prolongation_of_restriction_fixes_band_limited_fields() {
+        // P ∘ R = I on fields already band-limited to the coarse spectrum
+        // — which is exactly the image of P, so prolong-anything first.
+        for &(nf, nc) in SIZES {
+            let t = GridTransfer::new(nf, nc).unwrap();
+            let x = t.prolong2(&noise(nc, 3 * nf as u64 + nc as u64)).unwrap();
+            let again = t.prolong2(&t.restrict2(&x).unwrap()).unwrap();
+            for (i, (&a, &b)) in x.iter().zip(&again).enumerate() {
+                assert!(
+                    (a - b).abs() < 1e-10 * (1.0 + a.abs()),
+                    "({nf},{nc}) idx {i}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adjoint_under_grid_averaged_inner_products() {
+        // ⟨R x, y⟩ / n² = ⟨x, P y⟩ / N² for arbitrary x (fine), y (coarse).
+        for &(nf, nc) in SIZES {
+            let t = GridTransfer::new(nf, nc).unwrap();
+            let x = noise(nf, 11 * nf as u64 + nc as u64);
+            let y = noise(nc, 17 * nc as u64 + nf as u64);
+            let lhs = dot(&t.restrict2(&x).unwrap(), &y) / (nc * nc) as f64;
+            let rhs = dot(&x, &t.prolong2(&y).unwrap()) / (nf * nf) as f64;
+            assert!(
+                (lhs - rhs).abs() < 1e-12 * (1.0 + lhs.abs()),
+                "({nf},{nc}): ⟨Rx,y⟩/n² = {lhs} vs ⟨x,Py⟩/N² = {rhs}"
+            );
+        }
+    }
+
+    #[test]
+    fn restriction_to_one_point_is_the_mean() {
+        let x = noise(8, 42);
+        let mean = x.iter().sum::<f64>() / 64.0;
+        let r = restrict2(&x, 8, 1).unwrap();
+        assert!((r[0] - mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn warm_into_paths_match_the_allocating_wrappers() {
+        let t = GridTransfer::new(16, 4).unwrap();
+        let mut ws = t.workspace();
+        let x = noise(16, 5);
+        let mut coarse = vec![0.0; 16];
+        // Run twice through the same workspace: results must be identical
+        // (no state leaks between calls).
+        t.restrict2_into(&x, &mut coarse, &mut ws).unwrap();
+        let first = coarse.clone();
+        t.restrict2_into(&x, &mut coarse, &mut ws).unwrap();
+        assert_eq!(first, coarse);
+        assert_eq!(coarse, t.restrict2(&x).unwrap());
+
+        let mut fine = vec![0.0; 256];
+        t.prolong2_into(&coarse, &mut fine, &mut ws).unwrap();
+        assert_eq!(fine, t.prolong2(&coarse).unwrap());
+    }
+
+    #[test]
+    fn rejects_bad_shapes_fail_fast() {
+        // Upward "restriction" is an ordering error, not a silent swap.
+        let err = GridTransfer::new(4, 8).unwrap_err();
+        assert!(err.to_string().contains("coarse 8 > fine 4"), "{err}");
+        // Non-power-of-two sides are rejected by the planner.
+        assert!(GridTransfer::new(12, 4).is_err());
+        assert!(GridTransfer::new(16, 3).is_err());
+        // Slice length mismatches fail before any transform work.
+        let t = GridTransfer::new(8, 4).unwrap();
+        assert!(t.restrict2(&[0.0; 63]).is_err());
+        assert!(t.prolong2(&[0.0; 17]).is_err());
+        let mut ws = t.workspace();
+        let fine = vec![0.0; 64];
+        let mut wrong = vec![0.0; 15];
+        assert!(t.restrict2_into(&fine, &mut wrong, &mut ws).is_err());
+    }
+
+    #[test]
+    fn equal_size_transfer_is_the_exact_identity() {
+        let t = GridTransfer::new(8, 8).unwrap();
+        let x = noise(8, 23);
+        assert_eq!(t.restrict2(&x).unwrap(), x);
+        assert_eq!(t.prolong2(&x).unwrap(), x);
+    }
+
+    #[test]
+    fn nyquist_checkerboard_round_trips_through_the_fold() {
+        // The pure Nyquist mode (+1/−1 checkerboard) lives entirely in the
+        // folded row/column/corner; R∘P must hand it back unscaled.
+        let n = 4;
+        let y: Vec<f64> = (0..n * n)
+            .map(|i| if (i / n + i % n) % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let t = GridTransfer::new(16, n).unwrap();
+        let back = t.restrict2(&t.prolong2(&y).unwrap()).unwrap();
+        for (a, b) in y.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+    }
+}

@@ -12,7 +12,9 @@ use bismo_optics::{OpticalConfig, RealField};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// Which published suite a generated set mimics (Table 2 rows).
+/// Which suite a generated set mimics: the paper's published rows
+/// (Table 2), or one of the procedural families used to exercise the
+/// optimizers at arbitrary scale (multigrid benchmarking — DESIGN.md §11).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SuiteKind {
     /// ICCAD-2013 contest: 10 metal clips, CD 32 nm, avg area ≈ 0.2 µm².
@@ -21,54 +23,79 @@ pub enum SuiteKind {
     IccadL,
     /// ISPD-2019: 100 metal+via clips, CD 28 nm, avg area ≈ 0.7 µm².
     Ispd19,
+    /// Procedural Manhattan random logic: dense mixed wires, jogs and a
+    /// sprinkling of vias — a standard-cell routing texture.
+    RandomLogic,
+    /// Procedural line-space gratings with a few isolated features — the
+    /// isolated lines are the classically hard-to-print part and what SMO
+    /// source shaping is for.
+    LineSpace,
+    /// Procedural contact/via arrays with random dropout.
+    ContactArray,
 }
 
 impl SuiteKind {
-    /// Display name matching the paper's tables.
+    /// Display name matching the paper's tables (procedural kinds use their
+    /// own stable labels).
     pub fn name(&self) -> &'static str {
         match self {
             SuiteKind::Iccad13 => "ICCAD13",
             SuiteKind::IccadL => "ICCAD-L",
             SuiteKind::Ispd19 => "ISPD19",
+            SuiteKind::RandomLogic => "RAND-LOGIC",
+            SuiteKind::LineSpace => "LINE-SPACE",
+            SuiteKind::ContactArray => "CONTACT",
         }
     }
 
     /// Inverse of [`SuiteKind::name`], used when reloading journaled
-    /// benchmark records.
+    /// benchmark records. Covers both the paper and the procedural kinds.
     pub fn from_name(name: &str) -> Option<SuiteKind> {
-        SuiteKind::all().into_iter().find(|k| k.name() == name)
+        SuiteKind::all()
+            .into_iter()
+            .chain(SuiteKind::procedural())
+            .find(|k| k.name() == name)
     }
 
-    /// Clip count of the published suite (Table 2 "Test num.").
+    /// Clip count of the published suite (Table 2 "Test num."); procedural
+    /// suites default to 8 (callers pass any count they want).
     pub fn test_count(&self) -> usize {
         match self {
             SuiteKind::Iccad13 | SuiteKind::IccadL => 10,
             SuiteKind::Ispd19 => 100,
+            SuiteKind::RandomLogic | SuiteKind::LineSpace | SuiteKind::ContactArray => 8,
         }
     }
 
-    /// Critical dimension in nm (Table 2).
+    /// Critical dimension in nm (Table 2 for the paper kinds).
     pub fn cd_nm(&self) -> f64 {
         match self {
             SuiteKind::Iccad13 | SuiteKind::IccadL => 32.0,
-            SuiteKind::Ispd19 => 28.0,
+            SuiteKind::Ispd19 | SuiteKind::ContactArray => 28.0,
+            SuiteKind::RandomLogic | SuiteKind::LineSpace => 32.0,
         }
     }
 
-    /// Layer mix (Table 2).
+    /// Layer mix.
     pub fn layer(&self) -> &'static str {
         match self {
-            SuiteKind::Iccad13 | SuiteKind::IccadL => "Metal",
-            SuiteKind::Ispd19 => "Metal+Via",
+            SuiteKind::Iccad13 | SuiteKind::IccadL | SuiteKind::LineSpace => "Metal",
+            SuiteKind::Ispd19 | SuiteKind::RandomLogic => "Metal+Via",
+            SuiteKind::ContactArray => "Via",
         }
     }
 
-    /// Target average pattern area per clip in nm² (Table 2).
+    /// Target average pattern area per clip in nm² (Table 2 for the paper
+    /// kinds; nominal for the density-driven procedural generator, unused
+    /// by the structured ones).
     pub fn target_area_nm2(&self) -> f64 {
         match self {
             SuiteKind::Iccad13 => 202_655.0,
             SuiteKind::IccadL => 475_571.0,
             SuiteKind::Ispd19 => 698_743.0,
+            SuiteKind::RandomLogic => 400_000.0,
+            SuiteKind::LineSpace => 900_000.0,
+            SuiteKind::ContactArray => 300_000.0,
         }
     }
 
@@ -78,12 +105,34 @@ impl SuiteKind {
             SuiteKind::Iccad13 => 13,
             SuiteKind::IccadL => 17,
             SuiteKind::Ispd19 => 19,
+            SuiteKind::RandomLogic => 23,
+            SuiteKind::LineSpace => 29,
+            SuiteKind::ContactArray => 31,
         }
     }
 
-    /// All three suites in table order.
+    /// Whether this is one of the procedural families (per-clip derived
+    /// seeds, arbitrary count) rather than a published Table 2 row.
+    pub fn is_procedural(&self) -> bool {
+        matches!(
+            self,
+            SuiteKind::RandomLogic | SuiteKind::LineSpace | SuiteKind::ContactArray
+        )
+    }
+
+    /// The paper's three suites in table order. Deliberately excludes the
+    /// procedural kinds so Table 3/4 sweeps don't silently widen.
     pub fn all() -> [SuiteKind; 3] {
         [SuiteKind::Iccad13, SuiteKind::IccadL, SuiteKind::Ispd19]
+    }
+
+    /// The procedural families, in a stable order.
+    pub fn procedural() -> [SuiteKind; 3] {
+        [
+            SuiteKind::RandomLogic,
+            SuiteKind::LineSpace,
+            SuiteKind::ContactArray,
+        ]
     }
 }
 
@@ -117,6 +166,26 @@ impl Clip {
             area_nm2: area,
         }
     }
+
+    /// The clip's target downsampled by `factor` through block means — the
+    /// coarse-level target of a multigrid schedule (DESIGN.md §11).
+    ///
+    /// Block means preserve the physical pattern area exactly (the pixel
+    /// sum shrinks by `factor²` while the pixel area grows by the same),
+    /// so `area_nm2` carries over unchanged; edge pixels become fractional
+    /// coverage values in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `factor` is nonzero and divides the target dimension.
+    #[must_use]
+    pub fn downsample(&self, factor: usize) -> Clip {
+        Clip {
+            name: self.name.clone(),
+            target: self.target.block_mean(factor),
+            area_nm2: self.area_nm2,
+        }
+    }
 }
 
 /// A generated benchmark suite.
@@ -131,10 +200,25 @@ impl Suite {
     /// Generates `count` clips of `kind` on `cfg`'s mask grid from the
     /// suite's deterministic seed. Pass `kind.test_count()` to mirror the
     /// published size, or a smaller count for quick runs.
+    ///
+    /// Paper kinds stream one RNG across the suite (their full clip lists
+    /// are pinned by golden data). Procedural kinds derive an independent
+    /// seed per clip index, so clip `i` is identical no matter how many
+    /// clips the run requests — a 4-clip smoke and an 8-clip bench agree on
+    /// their shared prefix.
     pub fn generate(kind: SuiteKind, cfg: &OpticalConfig, count: usize) -> Suite {
-        let mut rng = StdRng::seed_from_u64(kind.seed());
+        let mut stream = StdRng::seed_from_u64(kind.seed());
         let clips = (0..count)
-            .map(|i| generate_clip(kind, cfg, i, &mut rng))
+            .map(|i| {
+                if kind.is_procedural() {
+                    let mut rng = StdRng::seed_from_u64(
+                        kind.seed() ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    generate_clip(kind, cfg, i, &mut rng)
+                } else {
+                    generate_clip(kind, cfg, i, &mut stream)
+                }
+            })
             .collect();
         Suite {
             kind,
@@ -162,9 +246,33 @@ impl Suite {
     }
 }
 
-/// Draws one clip: Manhattan wires (and vias for ISPD19) until the target
-/// density is met, inside a guard band that keeps features imageable.
+/// Draws one clip, dispatching on the suite family: the paper kinds (and
+/// `RandomLogic`) are density-driven Manhattan fills; the structured
+/// procedural kinds draw their geometry directly.
 fn generate_clip(kind: SuiteKind, cfg: &OpticalConfig, index: usize, rng: &mut StdRng) -> Clip {
+    let pixel = cfg.pixel_nm();
+    let cd_px = (kind.cd_nm() / pixel).round().max(1.0) as usize;
+    let field = match kind {
+        SuiteKind::LineSpace => generate_line_space(cfg, cd_px, rng),
+        SuiteKind::ContactArray => generate_contact_array(cfg, cd_px, rng),
+        _ => generate_manhattan(kind, cfg, cd_px, rng),
+    };
+    let area = field.sum() * pixel * pixel;
+    Clip {
+        name: format!("{}/test{}", kind.name(), index + 1),
+        target: field,
+        area_nm2: area,
+    }
+}
+
+/// Manhattan wires (and vias, per the kind's layer mix) until the target
+/// density is met, inside a guard band that keeps features imageable.
+fn generate_manhattan(
+    kind: SuiteKind,
+    cfg: &OpticalConfig,
+    cd_px: usize,
+    rng: &mut StdRng,
+) -> RealField {
     let n = cfg.mask_dim();
     let pixel = cfg.pixel_nm();
     let tile_nm = cfg.tile_nm();
@@ -173,8 +281,12 @@ fn generate_clip(kind: SuiteKind, cfg: &OpticalConfig, index: usize, rng: &mut S
     // thus difficulty) is preserved on smaller grids.
     let area_scale = (tile_nm * tile_nm) / 4.0e6;
     let target_area = kind.target_area_nm2() * area_scale;
+    let via_prob = match kind {
+        SuiteKind::Ispd19 => 0.35,
+        SuiteKind::RandomLogic => 0.2,
+        _ => 0.0,
+    };
 
-    let cd_px = (kind.cd_nm() / pixel).round().max(1.0) as usize;
     let guard = n / 8;
     let lo = guard;
     let hi = n - guard;
@@ -185,7 +297,7 @@ fn generate_clip(kind: SuiteKind, cfg: &OpticalConfig, index: usize, rng: &mut S
     let mut shapes = 0;
     while area < target_area && shapes < max_shapes {
         shapes += 1;
-        let is_via = kind == SuiteKind::Ispd19 && rng.gen_bool(0.35);
+        let is_via = via_prob > 0.0 && rng.gen_bool(via_prob);
         if is_via {
             // Vias: squares of ~1.5×CD.
             let side = (cd_px * 3).div_ceil(2);
@@ -228,12 +340,75 @@ fn generate_clip(kind: SuiteKind, cfg: &OpticalConfig, index: usize, rng: &mut S
         }
         area = field.sum() * pixel * pixel;
     }
+    field
+}
 
-    Clip {
-        name: format!("{}/test{}", kind.name(), index + 1),
-        target: field,
-        area_nm2: area,
+/// A line-space grating filling the upper part of the interior, plus a few
+/// isolated short bars in the cleared lower region. The grating's duty
+/// cycle is 1:1 or 1:2; the isolated features sit at least two pitches from
+/// the grating so they image without optical support from neighbors.
+fn generate_line_space(cfg: &OpticalConfig, cd_px: usize, rng: &mut StdRng) -> RealField {
+    let n = cfg.mask_dim();
+    let guard = n / 8;
+    let lo = guard;
+    let hi = n - guard;
+    let pitch = cd_px * rng.gen_range(2..=3);
+    let horizontal = rng.gen_bool(0.5);
+
+    let mut field = RealField::zeros(n);
+    // Grating band: ~3/5 of the interior.
+    let band_end = lo + (hi - lo) * 3 / 5;
+    let mut start = lo;
+    while start + cd_px <= band_end {
+        if horizontal {
+            fill_rect(&mut field, start, start + cd_px, lo, hi);
+        } else {
+            fill_rect(&mut field, lo, hi, start, start + cd_px);
+        }
+        start += pitch;
     }
+    // Isolated features in the cleared region beyond two pitches.
+    let iso_lo = (band_end + 2 * pitch).min(hi);
+    if iso_lo + cd_px < hi {
+        for _ in 0..rng.gen_range(1..=3) {
+            let len = (cd_px * rng.gen_range(4..=8)).min(hi - lo);
+            let along = rng.gen_range(lo..hi.saturating_sub(len).max(lo + 1));
+            let across = rng.gen_range(iso_lo..hi - cd_px);
+            if horizontal {
+                fill_rect(&mut field, across, across + cd_px, along, along + len);
+            } else {
+                fill_rect(&mut field, along, along + len, across, across + cd_px);
+            }
+        }
+    }
+    field
+}
+
+/// A regular contact/via array over the interior with random dropout —
+/// missing contacts are what makes the array aperiodic and the neighbors of
+/// a hole harder to print.
+fn generate_contact_array(cfg: &OpticalConfig, cd_px: usize, rng: &mut StdRng) -> RealField {
+    let n = cfg.mask_dim();
+    let guard = n / 8;
+    let lo = guard;
+    let hi = n - guard;
+    // Contacts of ~1.5 CD on a pitch of contact + 2–3 CD of space.
+    let side = (cd_px * 3).div_ceil(2);
+    let pitch = side + cd_px * rng.gen_range(2..=3);
+
+    let mut field = RealField::zeros(n);
+    let mut r = lo;
+    while r + side <= hi {
+        let mut c = lo;
+        while c + side <= hi {
+            if rng.gen_bool(0.85) {
+                fill_rect(&mut field, r, r + side, c, c + side);
+            }
+            c += pitch;
+        }
+        r += pitch;
+    }
+    field
 }
 
 fn fill_rect(field: &mut RealField, r0: usize, r1: usize, c0: usize, c1: usize) {
@@ -332,6 +507,102 @@ mod tests {
         let s = Suite::generate(SuiteKind::Iccad13, &cfg(), 3);
         assert_eq!(s.clips()[0].name, "ICCAD13/test1");
         assert_eq!(s.clips()[2].name, "ICCAD13/test3");
+    }
+
+    #[test]
+    fn procedural_names_round_trip_and_stay_out_of_all() {
+        for kind in SuiteKind::procedural() {
+            assert!(kind.is_procedural());
+            assert_eq!(SuiteKind::from_name(kind.name()), Some(kind));
+            assert!(
+                !SuiteKind::all().contains(&kind),
+                "procedural kinds must not widen the paper sweep"
+            );
+        }
+        assert!(!SuiteKind::Iccad13.is_procedural());
+    }
+
+    #[test]
+    fn procedural_clips_are_prefix_stable() {
+        // Per-clip derived seeds: a 2-clip smoke run and a 5-clip bench run
+        // agree on their shared prefix (paper kinds stream one RNG and
+        // deliberately don't promise this).
+        let c = cfg();
+        for kind in SuiteKind::procedural() {
+            let small = Suite::generate(kind, &c, 2);
+            let large = Suite::generate(kind, &c, 5);
+            assert_eq!(small.clips(), &large.clips()[..2], "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn procedural_targets_are_binary_with_guard_band_and_nonempty() {
+        let c = cfg();
+        let n = c.mask_dim();
+        for kind in SuiteKind::procedural() {
+            let s = Suite::generate(kind, &c, 3);
+            for clip in s.clips() {
+                assert!(
+                    clip.area_nm2 > 0.0,
+                    "{} produced an empty clip",
+                    kind.name()
+                );
+                for r in 0..n {
+                    for col in 0..n {
+                        let v = clip.target[(r, col)];
+                        assert!(v == 0.0 || v == 1.0);
+                        if r < n / 8 || r >= n - n / 8 || col < n / 8 || col >= n - n / 8 {
+                            assert_eq!(v, 0.0, "{}: guard band leak", clip.name);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn line_space_has_isolated_features_away_from_the_grating() {
+        // The cleared gap between grating and isolated features is the
+        // point of the suite; verify some clip has both populations.
+        let c = cfg();
+        let s = Suite::generate(SuiteKind::LineSpace, &c, 4);
+        assert!(s.clips().iter().any(|clip| {
+            let n = clip.target.dim();
+            let lo = n / 8;
+            let hi = n - n / 8;
+            let band_end = lo + (hi - lo) * 3 / 5;
+            let mut grating = 0.0;
+            let mut isolated = 0.0;
+            for r in 0..n {
+                for col in 0..n {
+                    let v = clip.target[(r, col)];
+                    // Orientation-agnostic: count by the smaller index.
+                    if r.min(col) < band_end {
+                        grating += v;
+                    }
+                    if r.max(col) >= band_end {
+                        isolated += v;
+                    }
+                }
+            }
+            grating > 0.0 && isolated > 0.0
+        }));
+    }
+
+    #[test]
+    fn downsample_preserves_area_and_halves_dim() {
+        let c = cfg();
+        let clip = Suite::generate(SuiteKind::ContactArray, &c, 1).clips()[0].clone();
+        let coarse = clip.downsample(2);
+        assert_eq!(coarse.target.dim(), clip.target.dim() / 2);
+        assert_eq!(coarse.area_nm2, clip.area_nm2);
+        assert_eq!(coarse.name, clip.name);
+        // Pixel sums shrink by exactly factor² (block means preserve mass).
+        let fine_sum = clip.target.sum();
+        let coarse_sum = coarse.target.sum();
+        assert!((coarse_sum * 4.0 - fine_sum).abs() < 1e-9);
+        // Interior edge pixels may be fractional but stay in [0, 1].
+        assert!(coarse.target.min() >= 0.0 && coarse.target.max() <= 1.0);
     }
 
     #[test]

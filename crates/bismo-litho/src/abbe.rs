@@ -943,6 +943,15 @@ impl AbbeImager {
 
     /// Fills `ws.specs` with the stacked spectra `O_b = F(M_b)` of a mask
     /// batch (the batched [`AbbeImager::mask_spectrum_into`]).
+    ///
+    /// This forward transform runs on the calling thread *before* the
+    /// source-point fan-out, so with `threads > 1` it is the one batched
+    /// FFT nothing else overlaps — it goes through
+    /// [`BatchFft2::forward_threaded`], splitting the batch entries across
+    /// the engine's worker count (bit-identical results; the workers
+    /// allocate their own scratch, so the zero-alloc warm-path contract is
+    /// a `threads == 1` property). The real-input variant has no threaded
+    /// counterpart and always runs inline.
     fn batch_spectra_into(
         &self,
         masks: &MaskBatch,
@@ -956,7 +965,11 @@ impl AbbeImager {
             for (s, &v) in specs.iter_mut().zip(masks.as_slice()) {
                 *s = Complex64::from_real(v);
             }
-            bfft.forward_with(specs, fft)?;
+            if self.threads > 1 {
+                bfft.forward_threaded(specs, self.threads)?;
+            } else {
+                bfft.forward_with(specs, fft)?;
+            }
         }
         Ok(())
     }
@@ -1168,7 +1181,7 @@ impl AbbeImager {
             self.mask_adjoint_accumulate_batch(specs, gi, s_total, lit, &bfft, &mut ws)?;
             Ok(ws)
         })?;
-        let BatchWorkspace { fft, acc, .. } = &mut ws_main;
+        let BatchWorkspace { acc, .. } = &mut ws_main;
         acc.fill(Complex64::ZERO);
         for ws in workers {
             for (a, p) in acc.iter_mut().zip(&ws.acc) {
@@ -1176,7 +1189,11 @@ impl AbbeImager {
             }
             self.batch_pool.release(ws);
         }
-        bfft.inverse_with(acc, fft)?;
+        // This branch only runs with `threads > 1`, so the final batched
+        // adjoint inverse — the other FFT outside the point fan-out — uses
+        // the threaded entry point (bit-identical to `inverse_with` by the
+        // `BatchFft2` chunking contract).
+        bfft.inverse_threaded(acc, self.threads)?;
         for (o, z) in out.as_mut_slice().iter_mut().zip(acc.iter()) {
             *o = 2.0 * z.re;
         }

@@ -176,6 +176,37 @@ impl RealField {
         self.data.iter().zip(&other.data).map(|(a, b)| a * b).sum()
     }
 
+    /// Downsamples by an integer `factor` through non-overlapping block
+    /// means: pixel `(r, c)` of the result averages the `factor × factor`
+    /// block at `(r·factor, c·factor)`. This is the target-downsampling
+    /// used to build coarse-level multigrid problems (DESIGN.md §11):
+    /// unlike spectral restriction it cannot ring, so a binary target maps
+    /// to values in `[0, 1]` with fractional pixels only along edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `factor` is nonzero and divides the field dimension.
+    #[must_use]
+    pub fn block_mean(&self, factor: usize) -> RealField {
+        assert!(
+            factor != 0 && self.dim.is_multiple_of(factor),
+            "block_mean factor {factor} must divide field dim {}",
+            self.dim
+        );
+        let out_dim = self.dim / factor;
+        let inv = 1.0 / (factor * factor) as f64;
+        RealField::from_fn(out_dim, |r, c| {
+            let mut acc = 0.0;
+            for dr in 0..factor {
+                let row = (r * factor + dr) * self.dim + c * factor;
+                for dc in 0..factor {
+                    acc += self.data[row + dc];
+                }
+            }
+            acc * inv
+        })
+    }
+
     /// Squared L2 distance `‖self − other‖²` — the paper's L2 metric
     /// (Definition 1) when applied to resist vs. target.
     ///
@@ -264,5 +295,23 @@ mod tests {
     #[should_panic(expected = "field dimension mismatch")]
     fn dot_panics_on_dim_mismatch() {
         let _ = RealField::zeros(2).dot(&RealField::zeros(3));
+    }
+
+    #[test]
+    fn block_mean_averages_blocks() {
+        let f = RealField::from_fn(4, |r, c| (r * 4 + c) as f64);
+        let d = f.block_mean(2);
+        assert_eq!(d.dim(), 2);
+        // Top-left block: (0 + 1 + 4 + 5) / 4.
+        assert_eq!(d.as_slice(), &[2.5, 4.5, 10.5, 12.5]);
+        // factor == dim collapses to the global mean; factor == 1 is id.
+        assert_eq!(f.block_mean(4).as_slice(), &[7.5]);
+        assert_eq!(f.block_mean(1), f);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide field dim")]
+    fn block_mean_rejects_non_divisor() {
+        let _ = RealField::zeros(4).block_mean(3);
     }
 }

@@ -121,6 +121,38 @@ fn check_mask_gradient_generic<B: ImagingBackend>(
 }
 
 #[test]
+fn theta_m_gradient_matches_finite_difference_at_prolonged_point() {
+    // The multigrid schedule (DESIGN.md §11) evaluates the fine-grid
+    // gradient at points produced by spectral prolongation of a coarse
+    // solve — band-limited, partially saturated logits unlike either the
+    // target-derived init or any descent iterate. The analytic gradient
+    // must hold there too: restrict the canonical θ_M to half resolution,
+    // prolong it back, and FD-check the objective at that point.
+    use bismo::fft::GridTransfer;
+
+    let fx = Fixture::small().unwrap();
+    let n = fx.theta_m.dim();
+    let xfer = GridTransfer::new(n, n / 2).unwrap();
+    let coarse = xfer.restrict2(fx.theta_m.as_slice()).unwrap();
+    let prolonged = RealField::from_vec(n, xfer.prolong2(&coarse).unwrap());
+
+    let eval = fx
+        .problem
+        .eval(&fx.theta_j, &prolonged, GradRequest::MASK)
+        .unwrap();
+    let analytic = eval.grad_theta_m.expect("mask gradient requested");
+    let indices = spread_indices(prolonged.len(), 9);
+    let report = check_gradient_field(
+        |tm| fx.problem.loss(&fx.theta_j, tm).unwrap().total,
+        &prolonged,
+        &analytic,
+        &indices,
+        spec(),
+    );
+    report.assert_ok(spec(), "theta_M at a prolonged point");
+}
+
+#[test]
 fn generic_mask_gradient_abbe_backend() {
     let fx = Fixture::small().unwrap();
     let source = fx.problem.source(&fx.theta_j);

@@ -199,6 +199,39 @@ fn batched_hot_path_is_allocation_free_after_warmup() {
 }
 
 #[test]
+fn grid_transfer_warm_paths_are_allocation_free() {
+    // The spectral grid-transfer operators of the multigrid schedule
+    // (DESIGN.md §11): with a caller-owned workspace, warm `restrict2_into`
+    // and `prolong2_into` calls perform zero heap allocations — they run
+    // once per level switch inside solver loops and must not churn.
+    use bismo::fft::GridTransfer;
+
+    let (fine_dim, coarse_dim) = (64usize, 32usize);
+    let xfer = GridTransfer::new(fine_dim, coarse_dim).unwrap();
+    let fine: Vec<f64> = (0..fine_dim * fine_dim)
+        .map(|i| ((i * 37) % 11) as f64 / 11.0 - 0.3)
+        .collect();
+    let mut coarse = vec![0.0; coarse_dim * coarse_dim];
+    let mut back = vec![0.0; fine_dim * fine_dim];
+    let mut ws = xfer.workspace();
+
+    // Warm-up sizes nothing lazily today, but keeps the test honest if the
+    // workspace ever grows lazy buffers.
+    xfer.restrict2_into(&fine, &mut coarse, &mut ws).unwrap();
+    xfer.prolong2_into(&coarse, &mut back, &mut ws).unwrap();
+    let reference = coarse.clone();
+
+    let (allocs, result) = allocs_during(|| xfer.restrict2_into(&fine, &mut coarse, &mut ws));
+    result.unwrap();
+    assert_eq!(allocs, 0, "warm restrict2 allocated {allocs} times");
+    assert_eq!(coarse, reference, "warm restrict2 changed the result");
+
+    let (allocs, result) = allocs_during(|| xfer.prolong2_into(&coarse, &mut back, &mut ws));
+    result.unwrap();
+    assert_eq!(allocs, 0, "warm prolong2 allocated {allocs} times");
+}
+
+#[test]
 fn allocating_wrappers_only_allocate_their_outputs() {
     // The plain `intensity`/`gradients` APIs allocate exactly the returned
     // buffers — one for the image, two for the gradient pair — and nothing
