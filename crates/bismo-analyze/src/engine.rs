@@ -1,0 +1,142 @@
+//! Workspace walk + rule application.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::rules::{all_rules, Ctx, Finding, Rule, Severity};
+use crate::source::{classify, FileKind, SourceFile};
+
+/// Result of an analysis run.
+pub struct Analysis {
+    pub findings: Vec<Finding>,
+    pub files_scanned: usize,
+}
+
+impl Analysis {
+    pub fn deny_count(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Deny)
+            .count()
+    }
+
+    pub fn warn_count(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Warn)
+            .count()
+    }
+}
+
+/// Extract the knob registry from the README: every `BISMO_*` word between
+/// the `## Environment knobs` heading and the next `## ` heading.
+pub fn readme_knobs(readme: &str) -> BTreeSet<String> {
+    let mut knobs = BTreeSet::new();
+    let Some(start) = readme.find("## Environment knobs") else {
+        return knobs;
+    };
+    let section = &readme[start..];
+    let end = section[3..].find("\n## ").map_or(section.len(), |p| p + 3);
+    let section = &section[..end];
+    let bytes = section.as_bytes();
+    let mut i = 0;
+    while let Some(pos) = section[i..].find("BISMO_") {
+        let lo = i + pos;
+        let mut hi = lo + "BISMO_".len();
+        while hi < bytes.len()
+            && (bytes[hi].is_ascii_uppercase() || bytes[hi].is_ascii_digit() || bytes[hi] == b'_')
+        {
+            hi += 1;
+        }
+        if hi > lo + "BISMO_".len() {
+            knobs.insert(section[lo..hi].to_string());
+        }
+        i = hi;
+    }
+    knobs
+}
+
+/// Build the workspace context by reading `<root>/README.md` (missing README
+/// means an empty knob registry — every knob reference then fails, which is
+/// the right failure direction for a registry).
+pub fn load_ctx(root: &Path) -> Ctx {
+    let readme = fs::read_to_string(root.join("README.md")).unwrap_or_default();
+    Ctx::new(readme_knobs(&readme))
+}
+
+/// Recursively collect `.rs` files under `root`, sorted for deterministic
+/// reports, with their classification. Unscannable kinds are dropped here.
+fn collect_files(root: &Path) -> io::Result<Vec<(PathBuf, FileKind)>> {
+    let mut stack = vec![root.to_path_buf()];
+    let mut out = Vec::new();
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<_> = fs::read_dir(&dir)?
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .collect();
+        entries.sort_by_key(std::fs::DirEntry::file_name);
+        for e in entries {
+            let path = e.path();
+            let name = e.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name == "target" || name == ".git" {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                let rel = path.strip_prefix(root).unwrap_or(&path);
+                if let Some(kind) = classify(rel) {
+                    out.push((path, kind));
+                }
+            }
+        }
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(out)
+}
+
+/// Run `rules` over one file.
+pub fn analyze_file(
+    path: &Path,
+    kind: FileKind,
+    ctx: &Ctx,
+    rules: &[Box<dyn Rule>],
+) -> io::Result<Vec<Finding>> {
+    let src = fs::read_to_string(path)?;
+    let sf = SourceFile::new(path.to_path_buf(), kind, src);
+    let mut out = Vec::new();
+    for rule in rules {
+        rule.check(&sf, ctx, &mut out);
+    }
+    Ok(out)
+}
+
+/// Analyze the whole workspace rooted at `root` with the full catalog.
+pub fn analyze_workspace(root: &Path) -> io::Result<Analysis> {
+    analyze_workspace_filtered(root, &all_rules())
+}
+
+/// Analyze the whole workspace with a caller-chosen rule set.
+pub fn analyze_workspace_filtered(root: &Path, rules: &[Box<dyn Rule>]) -> io::Result<Analysis> {
+    let ctx = load_ctx(root);
+    let files = collect_files(root)?;
+    let mut findings = Vec::new();
+    for (path, kind) in &files {
+        findings.extend(analyze_file(path, *kind, &ctx, rules)?);
+    }
+    // Report paths relative to the root so output is stable across checkouts.
+    for f in &mut findings {
+        if let Ok(rel) = f.path.strip_prefix(root) {
+            f.path = rel.to_path_buf();
+        }
+    }
+    findings
+        .sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
+    Ok(Analysis {
+        findings,
+        files_scanned: files.len(),
+    })
+}

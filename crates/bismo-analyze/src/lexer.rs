@@ -1,0 +1,400 @@
+//! A hand-rolled Rust lexer, sufficient for invariant linting.
+//!
+//! `syn`/`proc-macro2` are unavailable offline, and the rules in this crate
+//! only need token identity and position — never a full parse tree. The lexer
+//! produces two streams over the raw source text: code tokens (identifiers,
+//! literals, punctuation, with byte spans) and comments (kept separately so
+//! rules can look up marker comments like `// PANIC-OK:` by line). It
+//! understands the full literal grammar that matters for not mis-lexing real
+//! code: nested block comments, raw strings with any number of `#`s, byte and
+//! byte-string literals, char literals vs. lifetimes, numeric literals with
+//! underscores / exponents / type suffixes, and raw identifiers.
+
+/// Kind of a code token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (the lexer does not distinguish).
+    Ident,
+    /// Integer literal (including its suffix, e.g. `10usize`).
+    Int,
+    /// Float literal (has a fraction, an exponent, or an `f32`/`f64` suffix).
+    Float,
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Char or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`).
+    Lifetime,
+    /// Punctuation, maximal-munch over Rust's compound operators.
+    Punct,
+}
+
+/// A code token: kind plus byte span into the source.
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    pub kind: TokKind,
+    pub lo: usize,
+    pub hi: usize,
+}
+
+impl Token {
+    /// The token's text within `src`.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.lo..self.hi]
+    }
+}
+
+/// A comment, kept out of the code-token stream.
+#[derive(Debug, Clone, Copy)]
+pub struct Comment {
+    pub lo: usize,
+    pub hi: usize,
+    /// `/* … */` rather than `// …`.
+    pub block: bool,
+    /// Inner doc comment (`//!` / `/*!`) — where file markers live.
+    pub inner_doc: bool,
+}
+
+impl Comment {
+    /// The comment's text within `src`, including delimiters.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.lo..self.hi]
+    }
+}
+
+/// Lexer output: code tokens and comments, both in source order.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+/// Compound operators, longest first so maximal munch is a prefix scan.
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..",
+];
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_' || c >= 0x80
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80
+}
+
+/// Lex `src` into tokens and comments. Never fails: unterminated constructs
+/// extend to end-of-file, and unknown bytes become single-char puncts, so the
+/// analyzer degrades gracefully on malformed input instead of crashing.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let n = b.len();
+    let mut out = Lexed::default();
+    let mut i = 0;
+    while i < n {
+        let c = b[i];
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == b'/' && i + 1 < n && (b[i + 1] == b'/' || b[i + 1] == b'*') {
+            let lo = i;
+            if b[i + 1] == b'/' {
+                while i < n && b[i] != b'\n' {
+                    i += 1;
+                }
+                let inner_doc = src[lo..i].starts_with("//!");
+                out.comments.push(Comment {
+                    lo,
+                    hi: i,
+                    block: false,
+                    inner_doc,
+                });
+            } else {
+                let inner_doc = src[lo..].starts_with("/*!");
+                let mut depth = 1usize;
+                i += 2;
+                while i < n && depth > 0 {
+                    if b[i] == b'/' && i + 1 < n && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < n && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                out.comments.push(Comment {
+                    lo,
+                    hi: i,
+                    block: true,
+                    inner_doc,
+                });
+            }
+            continue;
+        }
+        // Raw identifiers and r/b-prefixed strings.
+        if c == b'r' || c == b'b' {
+            if let Some(tok) = lex_prefixed(src, i) {
+                i = tok.hi;
+                out.tokens.push(tok);
+                continue;
+            }
+        }
+        if c == b'"' {
+            let hi = scan_string(b, i + 1, 0);
+            out.tokens.push(Token {
+                kind: TokKind::Str,
+                lo: i,
+                hi,
+            });
+            i = hi;
+            continue;
+        }
+        if c == b'\'' {
+            let tok = lex_quote(b, i);
+            i = tok.hi;
+            out.tokens.push(tok);
+            continue;
+        }
+        if is_ident_start(c) {
+            let lo = i;
+            while i < n && is_ident_continue(b[i]) {
+                i += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Ident,
+                lo,
+                hi: i,
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let tok = lex_number(b, i);
+            i = tok.hi;
+            out.tokens.push(tok);
+            continue;
+        }
+        // Punctuation: maximal munch over the compound table.
+        let rest = &src[i..];
+        let len = PUNCTS.iter().find(|p| rest.starts_with(**p)).map_or_else(
+            || {
+                // Fall back to one full (possibly multi-byte) char.
+                rest.chars().next().map_or(1, char::len_utf8)
+            },
+            |p| p.len(),
+        );
+        out.tokens.push(Token {
+            kind: TokKind::Punct,
+            lo: i,
+            hi: i + len,
+        });
+        i += len;
+    }
+    out
+}
+
+/// Scan a string body starting just after the opening quote; `hashes` is the
+/// number of `#`s a raw string closes with (0 = escaped string).
+fn scan_string(b: &[u8], mut i: usize, hashes: usize) -> usize {
+    let n = b.len();
+    while i < n {
+        if hashes == 0 && b[i] == b'\\' {
+            i = (i + 2).min(n);
+            continue;
+        }
+        if b[i] == b'"' {
+            if hashes == 0 {
+                return i + 1;
+            }
+            let mut k = 0;
+            while k < hashes && i + 1 + k < n && b[i + 1 + k] == b'#' {
+                k += 1;
+            }
+            if k == hashes {
+                return i + 1 + hashes;
+            }
+        }
+        i += 1;
+    }
+    n
+}
+
+/// Try to lex `r#ident`, `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, or `b'…'`
+/// starting at `i` (which holds `r` or `b`). Returns `None` when the prefix
+/// is just the start of a plain identifier.
+fn lex_prefixed(src: &str, i: usize) -> Option<Token> {
+    let b = src.as_bytes();
+    let n = b.len();
+    let mut j = i + 1;
+    if j < n && b[i] == b'b' && b[j] == b'r' {
+        j += 1; // `br…`
+    }
+    // Count raw-string hashes.
+    let mut hashes = 0;
+    while j < n && b[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j < n && b[j] == b'"' {
+        // Plain `b"…"` has zero hashes but is not raw; it still never treats
+        // `"#` as a closer, so reusing hashes==0 escape handling is correct.
+        let raw = b[i] == b'r' || (j >= i + 2 && b[i + 1] == b'r');
+        let hi = scan_string(b, j + 1, if raw { hashes } else { 0 });
+        return Some(Token {
+            kind: TokKind::Str,
+            lo: i,
+            hi,
+        });
+    }
+    if hashes == 1 && j < n && b[i] == b'r' && is_ident_start(b[j]) {
+        // Raw identifier `r#loop`.
+        let mut k = j;
+        while k < n && is_ident_continue(b[k]) {
+            k += 1;
+        }
+        return Some(Token {
+            kind: TokKind::Ident,
+            lo: i,
+            hi: k,
+        });
+    }
+    if b[i] == b'b' && i + 1 < n && b[i + 1] == b'\'' {
+        let inner = lex_quote(b, i + 1);
+        return Some(Token {
+            kind: TokKind::Char,
+            lo: i,
+            hi: inner.hi,
+        });
+    }
+    None
+}
+
+/// Lex at a `'`: char literal or lifetime.
+fn lex_quote(b: &[u8], i: usize) -> Token {
+    let n = b.len();
+    let lo = i;
+    let mut j = i + 1;
+    if j < n && b[j] == b'\\' {
+        // Escaped char literal: skip escape, then find closing quote.
+        j += 2;
+        while j < n && b[j] != b'\'' {
+            j += 1;
+        }
+        return Token {
+            kind: TokKind::Char,
+            lo,
+            hi: (j + 1).min(n),
+        };
+    }
+    if j < n && is_ident_start(b[j]) {
+        let mut k = j;
+        while k < n && is_ident_continue(b[k]) {
+            k += 1;
+        }
+        if k < n && b[k] == b'\'' && k == j + 1 {
+            // 'x' — single ident char then closing quote.
+            return Token {
+                kind: TokKind::Char,
+                lo,
+                hi: k + 1,
+            };
+        }
+        if k < n && b[k] == b'\'' && k > j + 1 {
+            // Multi-char like 'ab' is not valid Rust; treat as char to stay
+            // out of the way.
+            return Token {
+                kind: TokKind::Char,
+                lo,
+                hi: k + 1,
+            };
+        }
+        return Token {
+            kind: TokKind::Lifetime,
+            lo,
+            hi: k,
+        };
+    }
+    if j < n && b[j] != b'\'' {
+        // Something like '(' — a one-char literal.
+        let hi = if j + 1 < n && b[j + 1] == b'\'' {
+            j + 2
+        } else {
+            j + 1
+        };
+        return Token {
+            kind: TokKind::Char,
+            lo,
+            hi,
+        };
+    }
+    Token {
+        kind: TokKind::Char,
+        lo,
+        hi: (j + 1).min(n),
+    }
+}
+
+/// Lex a numeric literal starting at a digit.
+fn lex_number(b: &[u8], i: usize) -> Token {
+    let n = b.len();
+    let lo = i;
+    let mut j = i;
+    let mut float = false;
+    if b[j] == b'0' && j + 1 < n && matches!(b[j + 1], b'x' | b'o' | b'b') {
+        j += 2;
+        while j < n && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+            j += 1;
+        }
+        return Token {
+            kind: TokKind::Int,
+            lo,
+            hi: j,
+        };
+    }
+    while j < n && (b[j].is_ascii_digit() || b[j] == b'_') {
+        j += 1;
+    }
+    // Fraction: `1.0`, or trailing `1.` (but not `1..2` ranges or `1.meth()`).
+    if j < n && b[j] == b'.' {
+        let next = b.get(j + 1).copied();
+        let range_or_field =
+            next == Some(b'.') || next.is_some_and(is_ident_start) || next.is_none();
+        if !range_or_field {
+            float = true;
+            j += 1;
+            while j < n && (b[j].is_ascii_digit() || b[j] == b'_') {
+                j += 1;
+            }
+        }
+    }
+    // Exponent.
+    if j < n && (b[j] == b'e' || b[j] == b'E') {
+        let mut k = j + 1;
+        if k < n && (b[k] == b'+' || b[k] == b'-') {
+            k += 1;
+        }
+        if k < n && b[k].is_ascii_digit() {
+            float = true;
+            j = k;
+            while j < n && (b[j].is_ascii_digit() || b[j] == b'_') {
+                j += 1;
+            }
+        }
+    }
+    // Type suffix (`usize`, `f64`, …).
+    let suffix_lo = j;
+    while j < n && is_ident_continue(b[j]) {
+        j += 1;
+    }
+    if b[suffix_lo..j].starts_with(b"f32") || b[suffix_lo..j].starts_with(b"f64") {
+        float = true;
+    }
+    Token {
+        kind: if float { TokKind::Float } else { TokKind::Int },
+        lo,
+        hi: j,
+    }
+}

@@ -1,0 +1,29 @@
+//! `bismo-analyze` — the in-tree invariant linter (DESIGN.md §12).
+//!
+//! Turns the repo's hand-maintained correctness contracts into deny-by-default
+//! machine checks that run on every push, without building the workspace:
+//!
+//! | rule | contract |
+//! |---|---|
+//! | `bit-exact-purity` | no FMA / iterator folds / CPU branches in `@bismo:bit-exact` files (§10) |
+//! | `panic-surface` | library panics need `// PANIC-OK:` or a structured error (§7) |
+//! | `unsafe-hygiene` | roots `#![forbid(unsafe_code)]`; sanctioned `unsafe` under `// SAFETY:` |
+//! | `env-knob-registry` | `BISMO_*` knobs are literal, fail-fast parsed, and in the README table (§7) |
+//! | `float-eq` | exact float comparison needs `// FLOAT-EQ-OK:` outside golden-bit code |
+//!
+//! The pass is registry-free (no `syn` offline): a hand-rolled lexer
+//! ([`lexer`]) feeds a small rule engine with spans, severities, and
+//! marker-comment allowlists. Run it as
+//! `cargo run -p bismo-analyze -- --deny`.
+
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod source;
+
+pub use engine::{analyze_file, analyze_workspace, load_ctx, readme_knobs, Analysis};
+pub use rules::{all_rules, Ctx, Finding, Rule, Severity};
+pub use source::{classify, FileKind, SourceFile};

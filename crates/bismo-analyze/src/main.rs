@@ -1,0 +1,172 @@
+//! CLI for the invariant linter. `cargo run -p bismo-analyze -- --deny`
+//! analyzes the workspace; `--path FILE --kind lib` analyzes single files
+//! (used by the rule-fixture tests).
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use bismo_analyze::engine::{analyze_file, analyze_workspace_filtered, load_ctx, Analysis};
+use bismo_analyze::report::{render_json, render_text};
+use bismo_analyze::rules::{all_rules, Rule};
+use bismo_analyze::source::FileKind;
+
+const USAGE: &str = "\
+bismo-analyze — in-tree invariant linter (DESIGN.md §12)
+
+USAGE:
+  cargo run -p bismo-analyze -- [OPTIONS]
+
+OPTIONS:
+  --deny            exit nonzero (code 2) when any deny-severity finding exists
+  --root DIR        workspace root to analyze (default: .)
+  --path FILE       analyze one file instead of the workspace (repeatable)
+  --kind KIND       classification for --path files: lib | lib-root | bin | test
+                    (default: lib)
+  --rule ID         run only this rule (repeatable; default: all)
+  --format FMT      stdout format: text | json (default: text)
+  --out FILE        additionally write the JSON report to FILE
+  --list-rules      print the rule catalog and exit
+  -h, --help        this help
+";
+
+struct Opts {
+    deny: bool,
+    root: PathBuf,
+    paths: Vec<PathBuf>,
+    kind: FileKind,
+    rule_filter: Vec<String>,
+    format_json: bool,
+    out: Option<PathBuf>,
+    list_rules: bool,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut o = Opts {
+        deny: false,
+        root: PathBuf::from("."),
+        paths: Vec::new(),
+        kind: FileKind::Lib { crate_root: false },
+        rule_filter: Vec::new(),
+        format_json: false,
+        out: None,
+        list_rules: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match a.as_str() {
+            "--deny" => o.deny = true,
+            "--root" => o.root = PathBuf::from(value("--root")?),
+            "--path" => o.paths.push(PathBuf::from(value("--path")?)),
+            "--kind" => {
+                let v = value("--kind")?;
+                o.kind = FileKind::parse(&v)
+                    .ok_or_else(|| format!("unknown --kind `{v}` (lib|lib-root|bin|test)"))?;
+            }
+            "--rule" => o.rule_filter.push(value("--rule")?),
+            "--format" => match value("--format")?.as_str() {
+                "text" => o.format_json = false,
+                "json" => o.format_json = true,
+                v => return Err(format!("unknown --format `{v}` (text|json)")),
+            },
+            "--out" => o.out = Some(PathBuf::from(value("--out")?)),
+            "--list-rules" => o.list_rules = true,
+            "-h" | "--help" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument `{other}`\n\n{USAGE}")),
+        }
+    }
+    Ok(o)
+}
+
+fn selected_rules(filter: &[String]) -> Result<Vec<Box<dyn Rule>>, String> {
+    let rules = all_rules();
+    if filter.is_empty() {
+        return Ok(rules);
+    }
+    let known: Vec<&str> = rules.iter().map(|r| r.id()).collect();
+    for f in filter {
+        if !known.contains(&f.as_str()) {
+            return Err(format!("unknown rule `{f}` (known: {})", known.join(", ")));
+        }
+    }
+    Ok(rules
+        .into_iter()
+        .filter(|r| filter.iter().any(|f| f == r.id()))
+        .collect())
+}
+
+fn run(opts: &Opts) -> Result<Analysis, String> {
+    let rules = selected_rules(&opts.rule_filter)?;
+    if opts.paths.is_empty() {
+        return analyze_workspace_filtered(&opts.root, &rules)
+            .map_err(|e| format!("analyzing {}: {e}", opts.root.display()));
+    }
+    // Single-file mode: knob registry still comes from <root>/README.md.
+    let ctx = load_ctx(&opts.root);
+    let mut findings = Vec::new();
+    for p in &opts.paths {
+        findings.extend(
+            analyze_file(p, opts.kind, &ctx, &rules)
+                .map_err(|e| format!("analyzing {}: {e}", p.display()))?,
+        );
+    }
+    Ok(Analysis {
+        findings,
+        files_scanned: opts.paths.len(),
+    })
+}
+
+fn write_out(path: &Path, json: &str) -> Result<(), String> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+        }
+    }
+    std::fs::write(path, json).map_err(|e| format!("writing {}: {e}", path.display()))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_opts(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(1);
+        }
+    };
+    if opts.list_rules {
+        for r in all_rules() {
+            println!("{:<20} {}", r.id(), r.describe());
+        }
+        return ExitCode::SUCCESS;
+    }
+    let analysis = match run(&opts) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("bismo-analyze: {msg}");
+            return ExitCode::from(1);
+        }
+    };
+    let json = render_json(&analysis);
+    if opts.format_json {
+        print!("{json}");
+    } else {
+        print!("{}", render_text(&analysis));
+    }
+    if let Some(out) = &opts.out {
+        if let Err(msg) = write_out(out, &json) {
+            eprintln!("bismo-analyze: {msg}");
+            return ExitCode::from(1);
+        }
+    }
+    if opts.deny && analysis.deny_count() > 0 {
+        return ExitCode::from(2);
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,83 @@
+//! Finding output: human text and machine-readable JSON.
+//!
+//! The JSON writer is hand-rolled with the same escape discipline as the
+//! suite runner's journal (DESIGN.md §7) — no serde offline.
+
+use std::fmt::Write as _;
+
+use crate::engine::Analysis;
+
+/// Escape a string for a JSON value.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Human-readable report: one line per finding plus a summary.
+pub fn render_text(a: &Analysis) -> String {
+    let mut out = String::new();
+    for f in &a.findings {
+        let _ = writeln!(
+            out,
+            "{}:{}:{}: [{}] {}: {}",
+            f.path.display(),
+            f.line,
+            f.col,
+            f.severity.as_str(),
+            f.rule,
+            f.message
+        );
+    }
+    let _ = writeln!(
+        out,
+        "bismo-analyze: {} file(s) scanned, {} finding(s) ({} deny, {} warn)",
+        a.files_scanned,
+        a.findings.len(),
+        a.deny_count(),
+        a.warn_count()
+    );
+    out
+}
+
+/// Machine-readable report: a single JSON object with a findings array.
+pub fn render_json(a: &Analysis) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"files_scanned\": {},", a.files_scanned);
+    let _ = writeln!(out, "  \"deny\": {},", a.deny_count());
+    let _ = writeln!(out, "  \"warn\": {},", a.warn_count());
+    out.push_str("  \"findings\": [");
+    for (i, f) in a.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"rule\": \"{}\", \"severity\": \"{}\", \"path\": \"{}\", \
+             \"line\": {}, \"col\": {}, \"message\": \"{}\"}}",
+            json_escape(f.rule),
+            f.severity.as_str(),
+            json_escape(&f.path.display().to_string()),
+            f.line,
+            f.col,
+            json_escape(&f.message)
+        );
+    }
+    if !a.findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}

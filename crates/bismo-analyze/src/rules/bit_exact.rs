@@ -1,0 +1,91 @@
+//! Rule `bit-exact-purity` — DESIGN.md §10.
+//!
+//! Files tagged `//! @bismo:bit-exact` hold kernels whose exact f64 operation
+//! DAG is pinned by the golden FNV-bit hashes: loop restructuring is allowed,
+//! per-element numeric restructuring is not. This rule rejects the three
+//! cheapest ways to silently fork that DAG:
+//!
+//! - `mul_add` — hardware FMA contracts the intermediate rounding step;
+//! - `.sum()` / `.product()` on iterators — invites reassociation when the
+//!   iterator or a future `Sum` impl changes the fold shape;
+//! - `target_feature` (in `#[cfg(…)]`, `cfg!(…)`, or `#[target_feature]`) —
+//!   a per-CPU branch makes the DAG depend on the build host.
+//!
+//! Individual sites are allowlisted with `// BIT-EXACT-OK: <why>`.
+
+use crate::lexer::TokKind;
+use crate::rules::{finding_unless_marked, Ctx, Finding, Rule};
+use crate::source::SourceFile;
+
+pub struct BitExactPurity;
+
+pub const MARKER: &str = "BIT-EXACT-OK";
+
+impl Rule for BitExactPurity {
+    fn id(&self) -> &'static str {
+        "bit-exact-purity"
+    }
+
+    fn describe(&self) -> &'static str {
+        "files tagged `//! @bismo:bit-exact` may not use mul_add/FMA, iterator \
+         sum()/product(), or target_feature branches (DESIGN.md §10)"
+    }
+
+    fn check(&self, sf: &SourceFile, _ctx: &Ctx, out: &mut Vec<Finding>) {
+        if !sf.has_marker("bit-exact") {
+            return;
+        }
+        let toks = sf.tokens();
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokKind::Ident || sf.in_test_code(t.lo) {
+                continue;
+            }
+            match t.text(&sf.src) {
+                "mul_add" => finding_unless_marked(
+                    sf,
+                    t.lo,
+                    self.id(),
+                    MARKER,
+                    "`mul_add` in a bit-exact file: FMA contraction changes the rounded \
+                     operation DAG the golden hashes pin"
+                        .to_string(),
+                    out,
+                ),
+                name @ ("sum" | "product") => {
+                    // Only method-call position: `.sum()` / `.sum::<f64>()`.
+                    let after_dot = i > 0
+                        && toks[i - 1].kind == TokKind::Punct
+                        && toks[i - 1].text(&sf.src) == ".";
+                    let called = toks.get(i + 1).is_some_and(|n| {
+                        n.kind == TokKind::Punct && matches!(n.text(&sf.src), "(" | "::")
+                    });
+                    if after_dot && called {
+                        finding_unless_marked(
+                            sf,
+                            t.lo,
+                            self.id(),
+                            MARKER,
+                            format!(
+                                "iterator `.{name}()` in a bit-exact file: fold order is an \
+                                 implementation detail — use an explicit accumulation loop or \
+                                 justify the fixed order"
+                            ),
+                            out,
+                        );
+                    }
+                }
+                "target_feature" => finding_unless_marked(
+                    sf,
+                    t.lo,
+                    self.id(),
+                    MARKER,
+                    "`target_feature` in a bit-exact file: per-CPU dispatch forks the \
+                     operation DAG across build hosts"
+                        .to_string(),
+                    out,
+                ),
+                _ => {}
+            }
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Rule `env-knob-registry` — DESIGN.md §7's fail-fast knob contract.
+//!
+//! The pre-PR-3 `BISMO_SCALE=qiuck` bug class: an env knob read loosely and
+//! silently defaulted. The contract since then is that every knob (a) is
+//! named `BISMO_*`, (b) is parsed fail-fast (typos abort with the valid
+//! values listed), and (c) appears in the README's environment-knob table.
+//! This rule machine-checks (a) and (c), and keeps (b) honest at the call
+//! site: an `env::var` read whose key is not a `BISMO_*` string literal
+//! (e.g. a closure parameter forwarded to a strict parser) must carry
+//! `// ENV-OK: <which knobs / which parser>`.
+//!
+//! Any full-match `"BISMO_<NAME>"` string literal anywhere in non-test code
+//! is treated as a knob reference and checked against the README table — that
+//! is what catches a typo'd knob name in a key list, not just at `env::var`.
+
+use crate::lexer::TokKind;
+use crate::rules::{finding_unless_marked, Ctx, Finding, Rule};
+use crate::source::SourceFile;
+
+pub struct EnvKnobRegistry;
+
+pub const MARKER: &str = "ENV-OK";
+
+/// `"BISMO_FOO"` (quotes stripped, full match) → `Some("BISMO_FOO")`.
+fn knob_literal(text: &str) -> Option<&str> {
+    let inner = text.strip_prefix('"')?.strip_suffix('"')?;
+    let rest = inner.strip_prefix("BISMO_")?;
+    (!rest.is_empty()
+        && rest
+            .bytes()
+            .all(|b| b.is_ascii_uppercase() || b.is_ascii_digit() || b == b'_'))
+    .then_some(inner)
+}
+
+impl Rule for EnvKnobRegistry {
+    fn id(&self) -> &'static str {
+        "env-knob-registry"
+    }
+
+    fn describe(&self) -> &'static str {
+        "every env::var read uses a `BISMO_*` literal (or `// ENV-OK:`) and every \
+         knob literal appears in the README environment-knob table"
+    }
+
+    fn check(&self, sf: &SourceFile, ctx: &Ctx, out: &mut Vec<Finding>) {
+        if sf.kind.is_test() {
+            return;
+        }
+        let toks = sf.tokens();
+        for (i, t) in toks.iter().enumerate() {
+            if sf.in_test_code(t.lo) {
+                continue;
+            }
+            // Knob-literal registry check, anywhere in non-test code.
+            if t.kind == TokKind::Str {
+                if let Some(knob) = knob_literal(t.text(&sf.src)) {
+                    if !ctx.readme_knobs.contains(knob) {
+                        let (line, col) = sf.line_col(t.lo);
+                        out.push(Finding {
+                            rule: self.id(),
+                            severity: crate::rules::Severity::Deny,
+                            path: sf.path.clone(),
+                            line,
+                            col,
+                            message: format!(
+                                "knob `{knob}` is not in the README environment-knob table — \
+                                 document it there (or fix the typo in the name)"
+                            ),
+                        });
+                    }
+                }
+                continue;
+            }
+            // `env :: var(…)` / `env :: var_os(…)` call sites.
+            if t.kind == TokKind::Ident
+                && t.text(&sf.src) == "env"
+                && toks.get(i + 1).is_some_and(|n| n.text(&sf.src) == "::")
+                && toks
+                    .get(i + 2)
+                    .is_some_and(|n| matches!(n.text(&sf.src), "var" | "var_os"))
+                && toks.get(i + 3).is_some_and(|n| n.text(&sf.src) == "(")
+            {
+                let arg = toks.get(i + 4);
+                let literal_knob = arg.and_then(|a| {
+                    (a.kind == TokKind::Str)
+                        .then(|| knob_literal(a.text(&sf.src)))
+                        .flatten()
+                });
+                if literal_knob.is_none() {
+                    finding_unless_marked(
+                        sf,
+                        t.lo,
+                        self.id(),
+                        MARKER,
+                        "`env::var` read without a `BISMO_*` literal key: name the knob(s) \
+                         and the fail-fast parser that consumes this read"
+                            .to_string(),
+                        out,
+                    );
+                }
+            }
+        }
+    }
+}

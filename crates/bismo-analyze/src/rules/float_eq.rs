@@ -1,0 +1,65 @@
+//! Rule `float-eq` — exact float comparison outside golden-bit code.
+//!
+//! `==`/`!=` on floats is almost always a sentinel check that deserves a
+//! stated rationale (`defocus_nm == 0.0` meaning "the focused configuration,
+//! exactly as constructed" is fine; a tolerance comparison spelled `==` is
+//! not). Detection is lexical: a comparison with a float *literal* operand.
+//! Ident-vs-ident float comparisons are invisible to a lexer and out of
+//! scope — documented limitation, DESIGN.md §12.
+//!
+//! Exemptions: test code, files tagged `@bismo:bit-exact` (golden-bit code
+//! compares exact values by design), and sites annotated
+//! `// FLOAT-EQ-OK: <why exact equality is the right predicate>`.
+
+use crate::lexer::TokKind;
+use crate::rules::{finding_unless_marked, Ctx, Finding, Rule};
+use crate::source::SourceFile;
+
+pub struct FloatEq;
+
+pub const MARKER: &str = "FLOAT-EQ-OK";
+
+impl Rule for FloatEq {
+    fn id(&self) -> &'static str {
+        "float-eq"
+    }
+
+    fn describe(&self) -> &'static str {
+        "`==`/`!=` against a float literal outside tests/golden-bit code needs \
+         `// FLOAT-EQ-OK:` (exact sentinel) or a tolerance comparison"
+    }
+
+    fn check(&self, sf: &SourceFile, _ctx: &Ctx, out: &mut Vec<Finding>) {
+        if sf.kind.is_test() || sf.has_marker("bit-exact") {
+            return;
+        }
+        let toks = sf.tokens();
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokKind::Punct
+                || !matches!(t.text(&sf.src), "==" | "!=")
+                || sf.in_test_code(t.lo)
+            {
+                continue;
+            }
+            let float_operand = [i.checked_sub(1), Some(i + 1)]
+                .into_iter()
+                .flatten()
+                .filter_map(|j| toks.get(j))
+                .any(|n| n.kind == TokKind::Float);
+            if float_operand {
+                let op = t.text(&sf.src).to_string();
+                finding_unless_marked(
+                    sf,
+                    t.lo,
+                    self.id(),
+                    MARKER,
+                    format!(
+                        "`{op}` against a float literal: state why exact equality is the \
+                         right predicate, or compare with a tolerance"
+                    ),
+                    out,
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! The rule catalog: each rule turns one DESIGN.md contract into findings.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+use crate::source::{SourceFile, Suppression};
+
+mod bit_exact;
+mod env_knob;
+mod float_eq;
+mod panic_surface;
+mod unsafe_hygiene;
+
+pub use bit_exact::BitExactPurity;
+pub use env_knob::EnvKnobRegistry;
+pub use float_eq::FloatEq;
+pub use panic_surface::PanicSurface;
+pub use unsafe_hygiene::UnsafeHygiene;
+
+/// Finding severity. `Deny` findings fail the run under `--deny`; `Warn`
+/// findings are advisory and never affect the exit code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Warn,
+    Deny,
+}
+
+impl Severity {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Deny => "deny",
+            Severity::Warn => "warn",
+        }
+    }
+}
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub rule: &'static str,
+    pub severity: Severity,
+    pub path: PathBuf,
+    pub line: usize,
+    pub col: usize,
+    pub message: String,
+}
+
+/// Workspace-level context shared by all rules.
+pub struct Ctx {
+    /// Knob names documented in the README's environment-knob table.
+    pub readme_knobs: BTreeSet<String>,
+}
+
+impl Ctx {
+    pub fn new(readme_knobs: BTreeSet<String>) -> Ctx {
+        Ctx { readme_knobs }
+    }
+}
+
+/// A static-analysis rule.
+pub trait Rule {
+    /// Stable identifier, used in reports and `--rule` filters.
+    fn id(&self) -> &'static str;
+    /// One-line description for `--list-rules`.
+    fn describe(&self) -> &'static str;
+    /// Scan one file, appending findings.
+    fn check(&self, sf: &SourceFile, ctx: &Ctx, out: &mut Vec<Finding>);
+}
+
+/// The full catalog, in report order.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(BitExactPurity),
+        Box::new(PanicSurface),
+        Box::new(UnsafeHygiene),
+        Box::new(EnvKnobRegistry),
+        Box::new(FloatEq),
+    ]
+}
+
+/// Shared helper: emit a finding at `offset` unless a `marker` comment with a
+/// non-empty justification covers its line. An empty justification becomes
+/// its own finding so annotation rot is caught instead of honored.
+pub(crate) fn finding_unless_marked(
+    sf: &SourceFile,
+    offset: usize,
+    rule: &'static str,
+    marker: &str,
+    message: String,
+    out: &mut Vec<Finding>,
+) {
+    let (line, col) = sf.line_col(offset);
+    match sf.suppression(line, marker) {
+        Suppression::Justified => {}
+        Suppression::Absent => out.push(Finding {
+            rule,
+            severity: Severity::Deny,
+            path: sf.path.clone(),
+            line,
+            col,
+            message,
+        }),
+        Suppression::Empty => out.push(Finding {
+            rule,
+            severity: Severity::Deny,
+            path: sf.path.clone(),
+            line,
+            col,
+            message: format!(
+                "`// {marker}:` marker has an empty justification — write the rationale \
+                 (site: {message})"
+            ),
+        }),
+    }
+}

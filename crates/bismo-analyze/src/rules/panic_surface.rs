@@ -1,0 +1,110 @@
+//! Rule `panic-surface` — DESIGN.md §7's failure-isolation contract.
+//!
+//! The suite runner isolates per-item `LithoError`s as data; a stray
+//! `unwrap()` in library code turns a recoverable item failure into a dead
+//! worker. Every `unwrap()` / `expect(…)` / `panic!` / `unreachable!` /
+//! `todo!` / `unimplemented!` in non-test **library** code must either be
+//! converted to a structured error or carry `// PANIC-OK: <why this cannot
+//! fire / why dying is correct>`.
+//!
+//! Scope: `FileKind::Lib` only. Binaries are CLI mains where panicking with a
+//! message *is* the error path, and test code asserts by design.
+//!
+//! An advisory (never-deny) per-file count of `[idx]`-style index expressions
+//! rides along: slice indexing is this codebase's hot-loop idiom and is
+//! bounds-checked by construction almost everywhere, so per-site annotation
+//! would be noise, but the aggregate is worth watching in review.
+
+use crate::lexer::TokKind;
+use crate::rules::{finding_unless_marked, Ctx, Finding, Rule, Severity};
+use crate::source::SourceFile;
+
+pub struct PanicSurface;
+
+pub const MARKER: &str = "PANIC-OK";
+
+impl Rule for PanicSurface {
+    fn id(&self) -> &'static str {
+        "panic-surface"
+    }
+
+    fn describe(&self) -> &'static str {
+        "unwrap/expect/panic!/unreachable! in non-test library code needs a \
+         `// PANIC-OK:` justification (DESIGN.md §7); advisory index-site census"
+    }
+
+    fn check(&self, sf: &SourceFile, _ctx: &Ctx, out: &mut Vec<Finding>) {
+        if !sf.kind.is_library() {
+            return;
+        }
+        let toks = sf.tokens();
+        let mut index_sites = 0usize;
+        let mut first_index_line = 0usize;
+        for (i, t) in toks.iter().enumerate() {
+            if sf.in_test_code(t.lo) {
+                continue;
+            }
+            if t.kind == TokKind::Ident {
+                let next = toks.get(i + 1);
+                let next_is = |p: &str| {
+                    next.is_some_and(|n| n.kind == TokKind::Punct && n.text(&sf.src) == p)
+                };
+                match t.text(&sf.src) {
+                    name @ ("unwrap" | "expect") if next_is("(") => finding_unless_marked(
+                        sf,
+                        t.lo,
+                        self.id(),
+                        MARKER,
+                        format!(
+                            "`{name}` in library code: return a structured error or justify \
+                             why this cannot fire"
+                        ),
+                        out,
+                    ),
+                    name @ ("panic" | "unreachable" | "todo" | "unimplemented") if next_is("!") => {
+                        finding_unless_marked(
+                            sf,
+                            t.lo,
+                            self.id(),
+                            MARKER,
+                            format!(
+                                "`{name}!` in library code: return a structured error or \
+                                 justify why this cannot fire"
+                            ),
+                            out,
+                        );
+                    }
+                    _ => {}
+                }
+                continue;
+            }
+            // Advisory census: `[` in expression position (previous token is
+            // an identifier, `)`, or `]`; excludes attributes, types, and
+            // literals like `vec![…]` / `&[…]`).
+            if t.kind == TokKind::Punct && t.text(&sf.src) == "[" && i > 0 {
+                let prev = &toks[i - 1];
+                let expr_pos = matches!(prev.kind, TokKind::Ident)
+                    || (prev.kind == TokKind::Punct && matches!(prev.text(&sf.src), ")" | "]"));
+                if expr_pos {
+                    index_sites += 1;
+                    if first_index_line == 0 {
+                        first_index_line = sf.line_of(t.lo);
+                    }
+                }
+            }
+        }
+        if index_sites > 0 {
+            out.push(Finding {
+                rule: self.id(),
+                severity: Severity::Warn,
+                path: sf.path.clone(),
+                line: first_index_line,
+                col: 1,
+                message: format!(
+                    "advisory: {index_sites} `[idx]` index expression(s) in library code — \
+                     each is a potential panic site; prefer `get`/iterators on fallible paths"
+                ),
+            });
+        }
+    }
+}

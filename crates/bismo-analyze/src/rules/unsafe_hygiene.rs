@@ -1,0 +1,94 @@
+//! Rule `unsafe-hygiene` — the workspace-wide no-unsafe contract.
+//!
+//! Every crate root and binary root must carry `#![forbid(unsafe_code)]`.
+//! The one sanctioned exception class is a file tagged `//! @bismo:allow-unsafe`
+//! (today: the counting allocator in `imaging_bench.rs`), where every
+//! `unsafe` keyword must instead sit under a `// SAFETY:` comment. `unsafe`
+//! anywhere else is a finding even before rustc sees it — the analyzer runs
+//! without building the workspace, so CI fails in seconds, not minutes.
+
+use crate::lexer::TokKind;
+use crate::rules::{Ctx, Finding, Rule, Severity};
+use crate::source::{SourceFile, Suppression};
+
+pub struct UnsafeHygiene;
+
+pub const MARKER: &str = "SAFETY";
+
+impl Rule for UnsafeHygiene {
+    fn id(&self) -> &'static str {
+        "unsafe-hygiene"
+    }
+
+    fn describe(&self) -> &'static str {
+        "crate/bin roots must `#![forbid(unsafe_code)]`; `unsafe` only in \
+         `@bismo:allow-unsafe` files, each use under a `// SAFETY:` comment"
+    }
+
+    fn check(&self, sf: &SourceFile, _ctx: &Ctx, out: &mut Vec<Finding>) {
+        let allow_unsafe = sf.has_marker("allow-unsafe");
+        let toks = sf.tokens();
+
+        if sf.kind.is_unsafe_gate_root() && !allow_unsafe && !has_forbid_unsafe(sf) {
+            out.push(Finding {
+                rule: self.id(),
+                severity: Severity::Deny,
+                path: sf.path.clone(),
+                line: 1,
+                col: 1,
+                message: "crate/binary root is missing `#![forbid(unsafe_code)]` (add it, or \
+                          tag the file `//! @bismo:allow-unsafe` for a sanctioned exception)"
+                    .to_string(),
+            });
+        }
+
+        for t in toks {
+            if t.kind != TokKind::Ident || t.text(&sf.src) != "unsafe" {
+                continue;
+            }
+            let (line, col) = sf.line_col(t.lo);
+            if !allow_unsafe {
+                out.push(Finding {
+                    rule: self.id(),
+                    severity: Severity::Deny,
+                    path: sf.path.clone(),
+                    line,
+                    col,
+                    message: "`unsafe` outside a `@bismo:allow-unsafe` file".to_string(),
+                });
+                continue;
+            }
+            // Sanctioned file: each use still needs its own SAFETY rationale.
+            // (A SAFETY comment with an empty justification is Absent here on
+            // purpose — `suppression` already distinguishes, but for unsafe we
+            // demand the full form either way.)
+            match sf.suppression(line, MARKER) {
+                Suppression::Justified => {}
+                _ => out.push(Finding {
+                    rule: self.id(),
+                    severity: Severity::Deny,
+                    path: sf.path.clone(),
+                    line,
+                    col,
+                    message: "`unsafe` without a `// SAFETY:` comment stating why the \
+                              invariants hold"
+                        .to_string(),
+                }),
+            }
+        }
+    }
+}
+
+/// Token-level scan for `#![forbid(unsafe_code)]` (tolerates other lints in
+/// the same attribute, e.g. `#![forbid(unsafe_code, missing_docs)]`).
+fn has_forbid_unsafe(sf: &SourceFile) -> bool {
+    let toks = sf.tokens();
+    toks.iter().enumerate().any(|(i, t)| {
+        t.kind == TokKind::Ident
+            && t.text(&sf.src) == "forbid"
+            && toks.get(i + 1).is_some_and(|n| n.text(&sf.src) == "(")
+            && toks[i..toks.len().min(i + 12)]
+                .iter()
+                .any(|n| n.kind == TokKind::Ident && n.text(&sf.src) == "unsafe_code")
+    })
+}

@@ -1,0 +1,328 @@
+//! Per-file analysis context: lexed tokens, line index, test-code spans,
+//! file markers, and marker-comment suppression lookup.
+
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{self, Comment, Lexed, TokKind, Token};
+
+/// How a file participates in the rule catalog. Classification is by path
+/// (see [`classify`]); rules scope themselves to kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library code under `src/`. `crate_root` is true for `src/lib.rs`.
+    Lib { crate_root: bool },
+    /// Binary code (`src/main.rs`, `src/bin/*.rs`). Every bin file is its own
+    /// root for the purposes of the `#![forbid(unsafe_code)]` check.
+    Bin,
+    /// Test, bench, example, or test-infrastructure code: panic freely.
+    Test,
+}
+
+impl FileKind {
+    pub fn is_library(self) -> bool {
+        matches!(self, FileKind::Lib { .. })
+    }
+
+    /// Files whose root must carry `#![forbid(unsafe_code)]`.
+    pub fn is_unsafe_gate_root(self) -> bool {
+        matches!(self, FileKind::Lib { crate_root: true } | FileKind::Bin)
+    }
+
+    pub fn is_test(self) -> bool {
+        matches!(self, FileKind::Test)
+    }
+
+    /// Parse a CLI `--kind` value.
+    pub fn parse(s: &str) -> Option<FileKind> {
+        match s {
+            "lib" => Some(FileKind::Lib { crate_root: false }),
+            "lib-root" => Some(FileKind::Lib { crate_root: true }),
+            "bin" => Some(FileKind::Bin),
+            "test" => Some(FileKind::Test),
+            _ => None,
+        }
+    }
+}
+
+/// Classify a path relative to the workspace root. Returns `None` for files
+/// the analyzer must not scan (the analyzer's own rule fixtures, which are
+/// deliberate violations, and anything under `target/`).
+pub fn classify(rel: &Path) -> Option<FileKind> {
+    let segs: Vec<&str> = rel.iter().filter_map(|s| s.to_str()).collect();
+    if segs.iter().any(|s| *s == "target" || *s == ".git") {
+        return None;
+    }
+    // The analyzer's rule fixtures are intentional violations.
+    if segs.windows(2).any(|w| w == ["tests", "fixtures"]) {
+        return None;
+    }
+    if segs
+        .iter()
+        .any(|s| *s == "tests" || *s == "benches" || *s == "examples")
+    {
+        return Some(FileKind::Test);
+    }
+    // bismo-testkit is test infrastructure: its assertion helpers exist to
+    // panic, so the panic-surface rule treats the whole crate as test code.
+    if segs.contains(&"bismo-testkit") {
+        return Some(FileKind::Test);
+    }
+    let file = *segs.last()?;
+    if file == "main.rs" || segs.windows(2).any(|w| w == ["src", "bin"]) {
+        return Some(FileKind::Bin);
+    }
+    if file == "lib.rs" && segs.len() >= 2 && segs[segs.len() - 2] == "src" {
+        return Some(FileKind::Lib { crate_root: true });
+    }
+    Some(FileKind::Lib { crate_root: false })
+}
+
+/// Result of looking up a suppression marker for a finding site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Suppression {
+    /// No marker near the site.
+    Absent,
+    /// Marker present with a non-empty justification: finding suppressed.
+    Justified,
+    /// Marker present but the justification text is empty. The site stays a
+    /// finding — an empty rationale is the annotation equivalent of a typo'd
+    /// env knob, and silently honoring it would rot the annotation layer.
+    Empty,
+}
+
+/// A lexed source file plus everything the rules need to scope and suppress.
+pub struct SourceFile {
+    pub path: PathBuf,
+    pub kind: FileKind,
+    pub src: String,
+    pub lexed: Lexed,
+    line_starts: Vec<usize>,
+    /// Byte ranges of `#[cfg(test)]` / `#[test]` items.
+    test_spans: Vec<(usize, usize)>,
+    /// `@bismo:<tag>` file markers from inner doc comments.
+    markers: Vec<String>,
+}
+
+impl SourceFile {
+    pub fn new(path: PathBuf, kind: FileKind, src: String) -> SourceFile {
+        let lexed = lexer::lex(&src);
+        let mut line_starts = vec![0usize];
+        for (i, b) in src.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        let test_spans = find_test_spans(&src, &lexed.tokens);
+        let markers = find_markers(&src, &lexed.comments);
+        SourceFile {
+            path,
+            kind,
+            src,
+            lexed,
+            line_starts,
+            test_spans,
+            markers,
+        }
+    }
+
+    /// 1-based (line, column) of a byte offset.
+    pub fn line_col(&self, offset: usize) -> (usize, usize) {
+        let line = self.line_starts.partition_point(|&s| s <= offset);
+        let col = offset - self.line_starts[line - 1] + 1;
+        (line, col)
+    }
+
+    /// 1-based line of a byte offset.
+    pub fn line_of(&self, offset: usize) -> usize {
+        self.line_col(offset).0
+    }
+
+    /// Whether a byte offset falls inside `#[cfg(test)]` / `#[test]` code.
+    pub fn in_test_code(&self, offset: usize) -> bool {
+        self.kind.is_test()
+            || self
+                .test_spans
+                .iter()
+                .any(|&(lo, hi)| offset >= lo && offset < hi)
+    }
+
+    /// Whether the file carries an `//! @bismo:<tag>` marker.
+    pub fn has_marker(&self, tag: &str) -> bool {
+        self.markers.iter().any(|m| m == tag)
+    }
+
+    /// Look for a `// <MARKER>: justification` comment on the finding's line
+    /// or up to two lines above it (covering trailing comments, own-line
+    /// comments, and a short preceding block).
+    pub fn suppression(&self, line: usize, marker: &str) -> Suppression {
+        let lo_line = line.saturating_sub(2);
+        let mut state = Suppression::Absent;
+        for c in &self.lexed.comments {
+            let cline = self.line_of(c.lo);
+            if cline < lo_line || cline > line {
+                continue;
+            }
+            let text = c.text(&self.src);
+            if let Some(pos) = text.find(marker) {
+                let rest = &text[pos + marker.len()..];
+                let Some(just) = rest.strip_prefix(':') else {
+                    continue;
+                };
+                let just = just.trim_end_matches("*/").trim();
+                if just.is_empty() {
+                    state = Suppression::Empty;
+                } else {
+                    return Suppression::Justified;
+                }
+            }
+        }
+        state
+    }
+
+    /// Tokens of the file (shorthand).
+    pub fn tokens(&self) -> &[Token] {
+        &self.lexed.tokens
+    }
+
+    /// Comments of the file (shorthand).
+    pub fn comments(&self) -> &[Comment] {
+        &self.lexed.comments
+    }
+}
+
+/// Extract `@bismo:<tag>` markers from comments. Only inner doc comments
+/// (`//!`, `/*!`) count: the marker describes the file, and accepting it from
+/// arbitrary comments would let a stray mention re-scope the rules.
+fn find_markers(src: &str, comments: &[Comment]) -> Vec<String> {
+    let mut out = Vec::new();
+    for c in comments {
+        if !c.inner_doc {
+            continue;
+        }
+        let mut text = c.text(src);
+        while let Some(pos) = text.find("@bismo:") {
+            let rest = &text[pos + "@bismo:".len()..];
+            let end = rest
+                .char_indices()
+                .find(|&(_, ch)| !(ch.is_ascii_alphanumeric() || ch == '-'))
+                .map_or(rest.len(), |(i, _)| i);
+            if end > 0 {
+                out.push(rest[..end].to_string());
+            }
+            text = &rest[end..];
+        }
+    }
+    out
+}
+
+/// Find byte spans of items annotated `#[cfg(test)]` (including
+/// `#[cfg(any(test, …))]`) or `#[test]`. The span runs from the attribute to
+/// the end of the annotated item (matching close brace, or `;` for itemless
+/// forms like `mod tests;`).
+fn find_test_spans(src: &str, tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if !(tokens[i].kind == TokKind::Punct && tokens[i].text(src) == "#") {
+            i += 1;
+            continue;
+        }
+        let Some((group_end, is_test)) = attr_group(src, tokens, i) else {
+            i += 1;
+            continue;
+        };
+        if !is_test {
+            i = group_end;
+            continue;
+        }
+        // Skip any further attributes between this one and the item.
+        let mut j = group_end;
+        while j < tokens.len() && tokens[j].kind == TokKind::Punct && tokens[j].text(src) == "#" {
+            match attr_group(src, tokens, j) {
+                Some((end, _)) => j = end,
+                None => break,
+            }
+        }
+        // Scan the item: ends at the close of the first top-level brace
+        // group, or at a top-level `;` before any brace.
+        let mut depth = 0i32;
+        let mut end = None;
+        let mut saw_brace = false;
+        for (k, t) in tokens.iter().enumerate().skip(j) {
+            if t.kind != TokKind::Punct {
+                continue;
+            }
+            match t.text(src) {
+                "{" => {
+                    depth += 1;
+                    saw_brace = true;
+                }
+                "}" => {
+                    depth -= 1;
+                    if saw_brace && depth == 0 {
+                        end = Some(tokens[k].hi);
+                        break;
+                    }
+                }
+                ";" if depth == 0 && !saw_brace => {
+                    end = Some(tokens[k].hi);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let end = end.unwrap_or(src.len());
+        spans.push((tokens[i].lo, end));
+        // Continue after the item so nested `#[cfg(test)]` inside it (already
+        // covered) is not re-scanned.
+        while i < tokens.len() && tokens[i].lo < end {
+            i += 1;
+        }
+    }
+    spans
+}
+
+/// Parse an attribute starting at token `i` (which is `#`). Returns the index
+/// just past the closing `]` and whether the attribute marks test code.
+fn attr_group(src: &str, tokens: &[Token], i: usize) -> Option<(usize, bool)> {
+    let mut j = i + 1;
+    // Optional `!` of an inner attribute.
+    if j < tokens.len() && tokens[j].kind == TokKind::Punct && tokens[j].text(src) == "!" {
+        j += 1;
+    }
+    if !(j < tokens.len() && tokens[j].kind == TokKind::Punct && tokens[j].text(src) == "[") {
+        return None;
+    }
+    let open = j;
+    let mut depth = 0i32;
+    let mut close = None;
+    for (k, t) in tokens.iter().enumerate().skip(open) {
+        if t.kind != TokKind::Punct {
+            continue;
+        }
+        match t.text(src) {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    close = Some(k);
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let close = close?;
+    let inner = &tokens[open + 1..close];
+    let first_ident = inner.iter().find(|t| t.kind == TokKind::Ident);
+    let is_test = match first_ident.map(|t| t.text(src)) {
+        // `#[cfg(test)]` or `#[cfg(any(test, …))]` — any `test` ident inside.
+        Some("cfg") => inner
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text(src) == "test"),
+        // `#[test]` itself.
+        Some("test") => true,
+        _ => false,
+    };
+    Some((close + 1, is_test))
+}

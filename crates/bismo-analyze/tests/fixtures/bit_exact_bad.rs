@@ -1,0 +1,22 @@
+//! Fixture: every pattern the bit-exact rule must reject, unjustified.
+//!
+//! @bismo:bit-exact
+
+pub fn fma(a: f64, b: f64, c: f64) -> f64 {
+    a.mul_add(b, c)
+}
+
+pub fn total(xs: &[f64]) -> f64 {
+    xs.iter().sum()
+}
+
+#[cfg(target_feature = "avx2")]
+pub fn wide() {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn the_same_patterns_are_fine_in_test_code() {
+        let _ = 2.0_f64.mul_add(3.0, 1.0);
+    }
+}

@@ -1,0 +1,6 @@
+//! @bismo:bit-exact
+
+pub fn fma(a: f64, b: f64, c: f64) -> f64 {
+    // BIT-EXACT-OK:
+    a.mul_add(b, c)
+}

@@ -1,0 +1,12 @@
+//! Fixture: the same patterns, each carrying a justification marker.
+//!
+//! @bismo:bit-exact
+
+pub fn fma(a: f64, b: f64, c: f64) -> f64 {
+    // BIT-EXACT-OK: separate mul and add by construction in this fixture.
+    a.mul_add(b, c)
+}
+
+pub fn total(xs: &[f64]) -> f64 {
+    xs.iter().sum() // BIT-EXACT-OK: fold order pinned by the Sum impl under test.
+}

@@ -1,0 +1,15 @@
+//! Fixture: a clean library file — the whole catalog must stay silent.
+
+/// Total via an explicit accumulation loop (no iterator `.sum()`).
+pub fn total(xs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for &x in xs {
+        acc += x;
+    }
+    acc
+}
+
+/// Tolerance comparison, the way the float-eq rule wants it.
+pub fn near(a: f64, b: f64) -> bool {
+    (a - b).abs() < 1e-12
+}

@@ -1,0 +1,13 @@
+//! Fixture: an undocumented knob literal and an unmarked dynamic read.
+
+pub fn knob() -> Option<String> {
+    std::env::var("BISMO_TYPO_KNOB").ok()
+}
+
+pub fn dynamic(name: &str) -> Option<String> {
+    std::env::var(name).ok()
+}
+
+pub fn documented() -> Option<String> {
+    std::env::var("BISMO_SCALE").ok()
+}

@@ -1,0 +1,6 @@
+//! Fixture: a justified dynamic knob read.
+
+pub fn dynamic(name: &str) -> Option<String> {
+    // ENV-OK: callers pass documented BISMO_* literals; values strict-parsed.
+    std::env::var(name).ok()
+}

@@ -1,0 +1,9 @@
+//! Fixture: exact float comparisons with no stated rationale.
+
+pub fn is_nominal(dose: f64) -> bool {
+    dose == 1.0
+}
+
+pub fn is_enabled(w: f64) -> bool {
+    w != 0.0
+}

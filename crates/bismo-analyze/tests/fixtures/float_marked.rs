@@ -1,0 +1,6 @@
+//! Fixture: a justified exact sentinel comparison.
+
+pub fn is_nominal(dose: f64) -> bool {
+    // FLOAT-EQ-OK: the nominal corner stores exactly 1.0 by construction.
+    dose == 1.0
+}

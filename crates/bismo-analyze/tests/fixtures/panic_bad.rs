@@ -1,0 +1,25 @@
+//! Fixture: the panic surface in non-test library code, unjustified.
+
+pub fn first(xs: &[f64]) -> f64 {
+    *xs.first().unwrap()
+}
+
+pub fn checked(x: Option<f64>) -> f64 {
+    x.expect("always present")
+}
+
+pub fn boom() {
+    panic!("nope");
+}
+
+pub fn census(xs: &[f64]) -> f64 {
+    xs[0]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_test_code_is_fine() {
+        Some(1).unwrap();
+    }
+}

@@ -1,0 +1,10 @@
+//! Fixture: justified panic sites — both comment placements the window allows.
+
+pub fn first(xs: &[f64]) -> f64 {
+    // PANIC-OK: callers validate non-empty input at construction.
+    *xs.first().unwrap()
+}
+
+pub fn boom() {
+    panic!("nope"); // PANIC-OK: failing fast is the documented contract here.
+}

@@ -1,0 +1,5 @@
+//! Fixture: a crate root missing its gate, plus a stray `unsafe`.
+
+pub fn peek(xs: &[f64]) -> f64 {
+    unsafe { *xs.as_ptr() }
+}

@@ -1,0 +1,12 @@
+//! Fixture: the sanctioned exception shape — one justified use, one bare.
+//!
+//! @bismo:allow-unsafe
+
+pub fn peek(xs: &[f64]) -> f64 {
+    // SAFETY: the slice is non-empty and its pointer is valid for reads.
+    unsafe { *xs.as_ptr() }
+}
+
+pub fn peek2(xs: &[f64]) -> f64 {
+    unsafe { *xs.as_ptr() }
+}

@@ -1,0 +1,327 @@
+//! Per-rule fixture tests: each fixture under `tests/fixtures/` encodes one
+//! rule's contract — exact finding spans on the bad fixture, full suppression
+//! on the marked fixture, zero findings on the clean file — plus CLI-level
+//! exit-code tests and a self-run over the real workspace.
+//!
+//! The fixtures are deliberate rule violations; `classify` skips any path
+//! containing `tests/fixtures`, so the workspace walk never scans them.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use bismo_analyze::engine::analyze_file;
+use bismo_analyze::rules::{all_rules, Ctx, Finding, Severity};
+use bismo_analyze::source::FileKind;
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .unwrap()
+        .to_path_buf()
+}
+
+/// Analyze one fixture with the full catalog and a fixed knob registry
+/// (`BISMO_SCALE` only), so expectations don't drift with the real README.
+fn check(name: &str, kind: FileKind) -> Vec<Finding> {
+    let ctx = Ctx::new(BTreeSet::from(["BISMO_SCALE".to_string()]));
+    analyze_file(&fixture(name), kind, &ctx, &all_rules()).unwrap()
+}
+
+fn deny_spans(findings: &[Finding]) -> Vec<(&'static str, usize, usize)> {
+    findings
+        .iter()
+        .filter(|f| f.severity == Severity::Deny)
+        .map(|f| (f.rule, f.line, f.col))
+        .collect()
+}
+
+const LIB: FileKind = FileKind::Lib { crate_root: false };
+
+#[test]
+fn bit_exact_bad_flags_each_pattern_at_exact_spans() {
+    let findings = check("bit_exact_bad.rs", LIB);
+    assert_eq!(
+        deny_spans(&findings),
+        vec![
+            ("bit-exact-purity", 6, 7),   // a.mul_add(b, c)
+            ("bit-exact-purity", 10, 15), // xs.iter().sum()
+            ("bit-exact-purity", 13, 7),  // cfg(target_feature = "avx2")
+        ],
+    );
+    assert!(findings[0].message.contains("mul_add"));
+    assert!(findings[1].message.contains(".sum()"));
+    assert!(findings[2].message.contains("target_feature"));
+}
+
+#[test]
+fn bit_exact_markers_suppress_every_finding() {
+    let findings = check("bit_exact_marked.rs", LIB);
+    assert!(findings.is_empty(), "unexpected findings: {findings:?}");
+}
+
+#[test]
+fn bit_exact_empty_marker_is_itself_a_finding() {
+    let findings = check("bit_exact_empty_marker.rs", LIB);
+    assert_eq!(deny_spans(&findings), vec![("bit-exact-purity", 5, 7)]);
+    assert!(
+        findings[0].message.contains("empty justification"),
+        "message should call out the empty marker: {}",
+        findings[0].message
+    );
+}
+
+#[test]
+fn panic_bad_flags_unwrap_expect_and_panic_but_not_test_code() {
+    let findings = check("panic_bad.rs", LIB);
+    assert_eq!(
+        deny_spans(&findings),
+        vec![
+            ("panic-surface", 4, 17), // *xs.first().unwrap()
+            ("panic-surface", 8, 7),  // x.expect("always present")
+            ("panic-surface", 12, 5), // panic!("nope")
+        ],
+    );
+    // The `xs[0]` census rides along as warn-severity advisory only.
+    let warns: Vec<_> = findings
+        .iter()
+        .filter(|f| f.severity == Severity::Warn)
+        .collect();
+    assert_eq!(warns.len(), 1);
+    assert_eq!(warns[0].line, 16);
+    assert!(warns[0].message.contains("1 `[idx]`"));
+}
+
+#[test]
+fn panic_markers_suppress_in_both_comment_positions() {
+    let findings = check("panic_marked.rs", LIB);
+    assert!(findings.is_empty(), "unexpected findings: {findings:?}");
+}
+
+#[test]
+fn panic_rule_does_not_apply_to_bins_or_tests() {
+    for kind in [FileKind::Bin, FileKind::Test] {
+        let findings = check("panic_bad.rs", kind);
+        assert!(
+            !findings.iter().any(|f| f.rule == "panic-surface"),
+            "panic-surface should not fire on {kind:?}: {findings:?}"
+        );
+    }
+}
+
+#[test]
+fn unsafe_bad_flags_missing_root_gate_and_stray_unsafe() {
+    let findings = check("unsafe_bad.rs", FileKind::Lib { crate_root: true });
+    assert_eq!(
+        deny_spans(&findings),
+        vec![
+            ("unsafe-hygiene", 1, 1), // missing #![forbid(unsafe_code)]
+            ("unsafe-hygiene", 4, 5), // the unsafe block
+        ],
+    );
+    assert!(findings[0].message.contains("forbid(unsafe_code)"));
+}
+
+#[test]
+fn sanctioned_unsafe_still_requires_per_site_safety_comments() {
+    let findings = check("unsafe_marked.rs", LIB);
+    // Line 7 is covered by its SAFETY comment; line 11 is bare.
+    assert_eq!(deny_spans(&findings), vec![("unsafe-hygiene", 11, 5)]);
+    assert!(findings[0].message.contains("SAFETY"));
+}
+
+#[test]
+fn env_bad_flags_undocumented_knob_and_dynamic_read() {
+    let findings = check("env_bad.rs", LIB);
+    assert_eq!(
+        deny_spans(&findings),
+        vec![
+            ("env-knob-registry", 4, 19), // "BISMO_TYPO_KNOB" literal
+            ("env-knob-registry", 8, 10), // env::var(name)
+        ],
+    );
+    assert!(findings[0].message.contains("BISMO_TYPO_KNOB"));
+    // "BISMO_SCALE" on line 12 is in the registry: no third finding.
+}
+
+#[test]
+fn env_marker_suppresses_dynamic_read() {
+    let findings = check("env_marked.rs", LIB);
+    assert!(findings.is_empty(), "unexpected findings: {findings:?}");
+}
+
+#[test]
+fn float_bad_flags_both_comparison_operators() {
+    let findings = check("float_bad.rs", LIB);
+    assert_eq!(
+        deny_spans(&findings),
+        vec![("float-eq", 4, 10), ("float-eq", 8, 7)],
+    );
+    assert!(findings[0].message.contains("`==`"));
+    assert!(findings[1].message.contains("`!=`"));
+}
+
+#[test]
+fn float_marker_suppresses_and_test_kind_exempts() {
+    assert!(check("float_marked.rs", LIB).is_empty());
+    assert!(check("float_bad.rs", FileKind::Test).is_empty());
+}
+
+#[test]
+fn clean_file_yields_zero_findings_at_every_kind() {
+    for kind in [LIB, FileKind::Lib { crate_root: false }, FileKind::Test] {
+        let findings = check("clean.rs", kind);
+        assert!(findings.is_empty(), "{kind:?}: {findings:?}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CLI-level tests: exit codes, JSON output, and the workspace self-run.
+// ---------------------------------------------------------------------------
+
+fn cli() -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_bismo-analyze"));
+    cmd.arg("--root").arg(workspace_root());
+    cmd
+}
+
+#[test]
+fn cli_deny_exits_2_on_each_rule_negative_fixture() {
+    let cases = [
+        ("bit_exact_bad.rs", "lib"),
+        ("panic_bad.rs", "lib"),
+        ("unsafe_bad.rs", "lib-root"),
+        ("env_bad.rs", "lib"),
+        ("float_bad.rs", "lib"),
+    ];
+    for (name, kind) in cases {
+        let status = cli()
+            .args(["--deny", "--kind", kind, "--path"])
+            .arg(fixture(name))
+            .status()
+            .unwrap();
+        assert_eq!(status.code(), Some(2), "{name} should fail --deny");
+    }
+}
+
+#[test]
+fn cli_without_deny_reports_but_exits_0() {
+    let status = cli()
+        .args(["--kind", "lib", "--path"])
+        .arg(fixture("float_bad.rs"))
+        .status()
+        .unwrap();
+    assert_eq!(status.code(), Some(0));
+}
+
+#[test]
+fn cli_deny_exits_0_on_marked_and_clean_fixtures() {
+    for (name, kind) in [
+        ("bit_exact_marked.rs", "lib"),
+        ("panic_marked.rs", "lib"),
+        ("env_marked.rs", "lib"),
+        ("float_marked.rs", "lib"),
+        ("clean.rs", "lib"),
+    ] {
+        let status = cli()
+            .args(["--deny", "--kind", kind, "--path"])
+            .arg(fixture(name))
+            .status()
+            .unwrap();
+        assert_eq!(status.code(), Some(0), "{name} should pass --deny");
+    }
+}
+
+#[test]
+fn cli_usage_errors_exit_1() {
+    let status = cli().arg("--no-such-flag").status().unwrap();
+    assert_eq!(status.code(), Some(1));
+    let status = cli().args(["--kind", "bogus"]).status().unwrap();
+    assert_eq!(status.code(), Some(1));
+}
+
+#[test]
+fn cli_list_rules_names_the_whole_catalog() {
+    let out = cli().arg("--list-rules").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    for id in [
+        "bit-exact-purity",
+        "panic-surface",
+        "unsafe-hygiene",
+        "env-knob-registry",
+        "float-eq",
+    ] {
+        assert!(text.contains(id), "--list-rules missing {id}: {text}");
+    }
+}
+
+#[test]
+fn cli_out_writes_machine_readable_findings() {
+    let out_path = Path::new(env!("CARGO_TARGET_TMPDIR")).join("findings.json");
+    let status = cli()
+        .args(["--kind", "lib", "--path"])
+        .arg(fixture("float_bad.rs"))
+        .arg("--out")
+        .arg(&out_path)
+        .status()
+        .unwrap();
+    assert_eq!(status.code(), Some(0));
+    let json = std::fs::read_to_string(&out_path).unwrap();
+    assert!(json.contains("\"rule\": \"float-eq\""), "json: {json}");
+    assert!(json.contains("\"severity\": \"deny\""), "json: {json}");
+    assert!(json.contains("\"line\": 4"), "json: {json}");
+}
+
+/// The acceptance gate: the tree at merge carries zero deny findings. This is
+/// the same invocation CI runs, so a regression fails the test suite locally
+/// before it ever reaches the workflow.
+#[test]
+fn workspace_self_run_is_deny_clean() {
+    let out = cli().arg("--deny").output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "workspace has deny findings:\n{stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("0 deny"), "summary missing: {stdout}");
+}
+
+#[test]
+fn rule_filter_runs_only_the_selected_rule() {
+    // panic_bad.rs has panic-surface findings; with --rule float-eq it's clean.
+    let status = cli()
+        .args(["--deny", "--rule", "float-eq", "--kind", "lib", "--path"])
+        .arg(fixture("panic_bad.rs"))
+        .status()
+        .unwrap();
+    assert_eq!(status.code(), Some(0));
+    let status = cli().args(["--rule", "no-such-rule"]).status().unwrap();
+    assert_eq!(status.code(), Some(1));
+}
+
+#[test]
+fn rule_catalog_ids_and_descriptions_are_stable() {
+    let ids: Vec<&str> = all_rules().iter().map(|r| r.id()).collect();
+    assert_eq!(
+        ids,
+        vec![
+            "bit-exact-purity",
+            "panic-surface",
+            "unsafe-hygiene",
+            "env-knob-registry",
+            "float-eq"
+        ]
+    );
+    for r in all_rules() {
+        assert!(!r.describe().is_empty());
+    }
+}

@@ -3,6 +3,8 @@
 //! the thread-parallel scaling of Abbe over source points, and the hybrid's
 //! TCC construction cost.
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 use bismo_bench::{format_table, Harness, Scale};
@@ -60,7 +62,7 @@ fn main() {
     let g = RealField::filled(h.optical.mask_dim(), 1.0);
     let headers: Vec<String> = ["Kernel", "Time (ms)"]
         .iter()
-        .map(|s| s.to_string())
+        .map(ToString::to_string)
         .collect();
     let mut rows = Vec::new();
 
@@ -120,7 +122,7 @@ fn main() {
     // Thread sweep over the source-point axis.
     let headers: Vec<String> = ["Threads", "Abbe forward (ms)", "Speedup"]
         .iter()
-        .map(|s| s.to_string())
+        .map(ToString::to_string)
         .collect();
     let mut rows = Vec::new();
     let mut base = None;

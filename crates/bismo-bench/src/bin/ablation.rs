@@ -14,6 +14,8 @@
 //! just a `SolverConfig` edit plus a method name, which is the point of the
 //! registry API.
 
+#![forbid(unsafe_code)]
+
 use bismo_bench::{format_table, par_map, Harness, RunnerOptions, Scale, Suite, SuiteKind};
 use bismo_core::{SmoOutcome, SmoProblem, SolverConfig, SolverRegistry};
 use bismo_litho::HopkinsImager;
@@ -62,7 +64,7 @@ fn main() {
         "CG TAT (s)",
     ]
     .iter()
-    .map(|s| s.to_string())
+    .map(ToString::to_string)
     .collect();
     let ks = [0usize, 1, 3, 5];
     let cells: Vec<(&str, usize)> = ks
@@ -93,7 +95,7 @@ fn main() {
     println!("\nAblation B: SO unroll depth T (BiSMO-NMN, K = 5)\n");
     let headers: Vec<String> = ["T", "Final loss", "TAT (s)"]
         .iter()
-        .map(|s| s.to_string())
+        .map(ToString::to_string)
         .collect();
     let ts = [1usize, 2, 3, 5];
     let outcomes = par_map(jobs, &ts, |_, &t| {
@@ -122,7 +124,7 @@ fn main() {
     let abbe_img = problem.abbe().intensity(&source, &mask).expect("abbe fwd");
     let headers: Vec<String> = ["Q", "Mean |I_hopkins − I_abbe|", "Captured κ mass"]
         .iter()
-        .map(|s| s.to_string())
+        .map(ToString::to_string)
         .collect();
     let full = HopkinsImager::with_core(problem.abbe().core(), &source, usize::MAX).expect("tcc");
     let total_mass: f64 = full.kernels().iter().map(|k| k.kappa).sum();
@@ -133,7 +135,7 @@ fn main() {
         let diff: RealField = {
             let mut d = img.clone();
             d.axpy(-1.0, &abbe_img);
-            d.map(|v| v.abs())
+            d.map(f64::abs)
         };
         let mass: f64 = hopkins.kernels().iter().map(|k| k.kappa).sum();
         vec![
@@ -151,7 +153,7 @@ fn main() {
     println!("\nAblation D: source activation family (BiSMO-FD, {outer} outer steps)\n");
     let headers: Vec<String> = ["Activation", "Final loss", "Best loss"]
         .iter()
-        .map(|s| s.to_string())
+        .map(ToString::to_string)
         .collect();
     let variants = [("sigmoid", false), ("cosine", true)];
     let rows = par_map(jobs, &variants, |_, &(name, cosine)| {

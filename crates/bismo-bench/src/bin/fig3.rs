@@ -4,6 +4,8 @@
 //! rate. Every method runs through the solver registry; the per-case
 //! budgets are plain `SolverConfig` edits.
 
+#![forbid(unsafe_code)]
+
 use bismo_bench::{out_dir, Harness, Scale, SuiteKind};
 use bismo_core::{ConvergenceTrace, SmoProblem, SolverConfig, SolverRegistry};
 

@@ -2,6 +2,8 @@
 //! and one ISPD19-style clip with BiSMO-NMN (via the solver registry) and
 //! writes source / mask / resist / target PGM panels to `bench_results/`.
 
+#![forbid(unsafe_code)]
+
 use bismo_bench::{out_dir, Harness, Scale, Suite, SuiteKind};
 use bismo_core::{SmoProblem, SolverRegistry};
 use bismo_layout::{upsample, write_pgm};

@@ -3,6 +3,8 @@
 //! `bench_results/fig5_<suite>.csv` with mean/std columns per variant. The
 //! variants are the three `BiSMO-*` registry entries.
 
+#![forbid(unsafe_code)]
+
 use bismo_bench::{mean, out_dir, std_dev, Harness, Scale, Suite, SuiteKind};
 use bismo_core::{SmoProblem, SolverRegistry};
 

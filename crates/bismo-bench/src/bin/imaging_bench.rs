@@ -34,6 +34,13 @@
 //! (`abbe_forward_real_ms`, via [`AbbeImager::with_real_spectrum`]) next to
 //! the default complex path, so the report tracks both variants; the
 //! headline `abbe_forward_ms` stays on the default bit-stable path.
+//!
+//! @bismo:allow-unsafe — the one sanctioned `unsafe` site class in the
+//! workspace (DESIGN.md §12): the counting global allocator below must
+//! implement the `unsafe trait GlobalAlloc`. Every `unsafe` carries its own
+//! `// SAFETY:` rationale, enforced by bismo-analyze's unsafe-hygiene rule.
+
+#![allow(unsafe_code)]
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -52,15 +59,21 @@ static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 // SAFETY: delegates directly to `System`; the only addition is a relaxed
 // atomic increment, which cannot violate the `GlobalAlloc` contract.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: same layout contract as `System::alloc`, to which this
+    // delegates unchanged; the counter bump allocates nothing.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         System.alloc(layout)
     }
 
+    // SAFETY: `ptr`/`layout` are forwarded verbatim to `System::dealloc`,
+    // which allocated them (every alloc path above delegates to `System`).
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
+        System.dealloc(ptr, layout);
     }
 
+    // SAFETY: forwarded verbatim to `System::realloc` under the same
+    // contract; only the relaxed counter bump is added.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         System.realloc(ptr, layout, new_size)
@@ -522,7 +535,7 @@ fn main() {
                     .next()
                     .expect("--threads needs a value")
                     .parse()
-                    .expect("--threads must be an integer")
+                    .expect("--threads must be an integer");
             }
             "--gate" => {
                 gate = Some(
@@ -530,7 +543,7 @@ fn main() {
                         .expect("--gate needs a factor")
                         .parse()
                         .expect("--gate must be a number"),
-                )
+                );
             }
             other => panic!("unknown argument {other}"),
         }

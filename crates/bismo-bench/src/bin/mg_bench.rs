@@ -28,6 +28,8 @@
 //! on one worker (`--jobs` to override) so the timing columns are
 //! contention-free.
 
+#![forbid(unsafe_code)]
+
 use std::path::PathBuf;
 
 use bismo_bench::{
@@ -195,7 +197,7 @@ fn main() {
         match arg.as_str() {
             "--scale" => {
                 scale = Scale::parse(Some(&next(&mut args, "--scale")))
-                    .unwrap_or_else(|e| panic!("{e}"))
+                    .unwrap_or_else(|e| panic!("{e}"));
             }
             "--suite" => suite_name = next(&mut args, "--suite"),
             "--method" => method_name = next(&mut args, "--method"),
@@ -204,26 +206,26 @@ fn main() {
                     next(&mut args, "--clips")
                         .parse()
                         .expect("--clips: integer"),
-                )
+                );
             }
             "--levels" => {
                 levels = next(&mut args, "--levels")
                     .parse()
-                    .expect("--levels: integer")
+                    .expect("--levels: integer");
             }
             "--coarse-steps" => {
                 coarse_steps = Some(
                     next(&mut args, "--coarse-steps")
                         .parse()
                         .expect("--coarse-steps: integer"),
-                )
+                );
             }
             "--fine-steps" => {
                 fine_steps = Some(
                     next(&mut args, "--fine-steps")
                         .parse()
                         .expect("--fine-steps: integer"),
-                )
+                );
             }
             "--label" => label = next(&mut args, "--label"),
             "--out" => out_path = next(&mut args, "--out"),
@@ -234,7 +236,7 @@ fn main() {
                     next(&mut args, "--assert-tat")
                         .parse()
                         .expect("--assert-tat: number"),
-                )
+                );
             }
             "--jobs" => jobs = next(&mut args, "--jobs").parse().expect("--jobs: integer"),
             other => panic!("unknown argument {other}"),

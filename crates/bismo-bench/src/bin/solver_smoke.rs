@@ -4,6 +4,8 @@
 //! optimizers) blows up at the first step — fails this binary, and CI runs
 //! it at `BISMO_SCALE=quick` on every push.
 
+#![forbid(unsafe_code)]
+
 use bismo_bench::{Clip, Harness, Scale};
 use bismo_core::{Session, SessionStatus, SmoProblem, SolverRegistry};
 
@@ -31,8 +33,7 @@ fn main() {
             .trace()
             .records()
             .first()
-            .map(|r| r.loss)
-            .unwrap_or(f64::NAN);
+            .map_or(f64::NAN, |r| r.loss);
         assert!(
             status == SessionStatus::Running || !session.trace().is_empty(),
             "{:?} finished without recording anything",

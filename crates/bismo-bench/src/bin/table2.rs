@@ -2,6 +2,8 @@
 //! at the harness scale and prints its statistics next to the published
 //! targets.
 
+#![forbid(unsafe_code)]
+
 use bismo_bench::{format_table, Harness, Scale, SuiteKind};
 
 fn main() {
@@ -9,8 +11,7 @@ fn main() {
     let tile = h.optical.tile_nm();
     let area_scale = tile * tile / 4.0e6;
     println!(
-        "Table 2: dataset details (tile {:.0} nm, area scale ×{:.3} vs the paper's 4 µm² window)\n",
-        tile, area_scale
+        "Table 2: dataset details (tile {tile:.0} nm, area scale ×{area_scale:.3} vs the paper's 4 µm² window)\n"
     );
     let headers: Vec<String> = [
         "Dataset",
@@ -21,7 +22,7 @@ fn main() {
         "CD (nm)",
     ]
     .iter()
-    .map(|s| s.to_string())
+    .map(ToString::to_string)
     .collect();
     let mut rows = Vec::new();
     for kind in SuiteKind::all() {

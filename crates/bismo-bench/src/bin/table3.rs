@@ -4,6 +4,8 @@
 //! core, per-clip records streamed to `bench_results/BENCH_suite.json`
 //! (interrupted sweeps resume from it), failures captured as data.
 
+#![forbid(unsafe_code)]
+
 use bismo_bench::{format_table, Harness, Method, RunnerOptions, Scale, SuiteSweep};
 
 fn main() {

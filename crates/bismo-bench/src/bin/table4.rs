@@ -4,6 +4,8 @@
 //! contention the sweep ran with); records stream to
 //! `bench_results/BENCH_suite.json` and interrupted sweeps resume from it.
 
+#![forbid(unsafe_code)]
+
 use bismo_bench::{format_table, Harness, Method, RunnerOptions, Scale, SuiteSweep};
 
 fn main() {

@@ -81,6 +81,7 @@ impl Scale {
     pub fn from_env() -> Scale {
         match Scale::parse(std::env::var("BISMO_SCALE").ok().as_deref()) {
             Ok(scale) => scale,
+            // PANIC-OK: fail-fast env-knob contract (§7) — a malformed knob aborts listing the valid values instead of silently defaulting.
             Err(msg) => panic!("{msg}"),
         }
     }
@@ -124,6 +125,7 @@ impl Harness {
             .pixel_nm(pixel_nm)
             .source_dim(source_dim)
             .build()
+            // PANIC-OK: presets are compile-time constants validated by test; failure is a build bug, not runtime input.
             .expect("preset optical config is valid");
         let epe = EpeSpec {
             threshold_nm: 1.25 * pixel_nm,
@@ -207,8 +209,7 @@ impl Method {
     pub fn optimizes_source(&self) -> bool {
         SolverRegistry::builtin()
             .get(self.0)
-            .map(|spec| spec.optimizes_source())
-            .unwrap_or(false)
+            .is_some_and(bismo_core::SolverSpec::optimizes_source)
     }
 
     /// Inverse of [`Method::name`] (case-insensitive, returning the
@@ -306,6 +307,7 @@ pub fn optimize_method_with_engine(
         SmoProblem::from_backend(engine.clone(), h.settings.clone(), clip.target.clone())?;
     let mut session = SolverRegistry::builtin()
         .session(method.name(), &problem, &h.solver)
+        // PANIC-OK: harness construction — a method that cannot construct must fail the bench loudly (solver_smoke gates this in CI).
         .unwrap_or_else(|e| panic!("constructing solver {:?}: {e}", method.name()));
     session.run()?;
     let out = session.into_outcome();
@@ -344,7 +346,7 @@ pub fn format_table(headers: &[String], rows: &[Vec<String>]) -> String {
     if ncols == 0 {
         return String::new();
     }
-    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
     for row in rows {
         for (i, cell) in row.iter().enumerate().take(ncols) {
             widths[i] = widths[i].max(cell.len());
@@ -396,6 +398,7 @@ pub fn std_dev(xs: &[f64]) -> f64 {
 /// Panics if the directory cannot be created.
 pub fn out_dir() -> std::path::PathBuf {
     let dir = std::path::PathBuf::from("bench_results");
+    // PANIC-OK: documented `# Panics` — the harness's own artifact dir being unwritable is an environment failure.
     std::fs::create_dir_all(&dir).expect("create bench_results/");
     dir
 }
@@ -415,7 +418,7 @@ mod tests {
 
     #[test]
     fn method_roster_matches_paper_columns() {
-        let names: Vec<&str> = Method::all().iter().map(|m| m.name()).collect();
+        let names: Vec<&str> = Method::all().iter().map(Method::name).collect();
         assert_eq!(names.len(), 8);
         assert!(names.contains(&"BiSMO-NMN"));
         assert!(!Method::ABBE_MO.optimizes_source());

@@ -75,10 +75,12 @@ where
                     break;
                 }
                 let r = f(i, &items[i]);
+                // PANIC-OK: poison implies a sibling worker panicked; the scope re-raises that panic at join, so this is unreachable-but-honest.
                 done.lock().expect("par_map results poisoned").push((i, r));
             });
         }
     });
+    // PANIC-OK: poison implies a sibling worker panicked; the scope re-raises that panic at join, so this is unreachable-but-honest.
     let mut done = done.into_inner().expect("par_map results poisoned");
     done.sort_unstable_by_key(|(i, _)| *i);
     done.into_iter().map(|(_, r)| r).collect()
@@ -181,6 +183,7 @@ impl RunnerOptions {
             Ok(v) if v.trim().is_empty() => default_jobs(),
             Ok(v) => match v.trim().parse::<usize>() {
                 Ok(n) if n >= 1 => n,
+                // PANIC-OK: fail-fast env-knob contract (§7) — malformed BISMO_JOBS aborts with the expected form, never a silent default.
                 _ => panic!(
                     "unrecognized BISMO_JOBS value {v:?}; expected a positive integer \
                      worker count (or unset for all cores)"
@@ -239,21 +242,21 @@ impl Default for RunnerOptions {
 }
 
 fn default_jobs() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
 /// Strict boolean env parsing shared by the runner's on/off switches: the
 /// empty string and unset select `default`; anything that is not clearly
 /// true or clearly false fails fast (same contract as `BISMO_SCALE`).
 fn parse_env_bool(name: &str, default: bool) -> bool {
+    // ENV-OK: generic strict boolean-knob reader — callers pass the BISMO_INJECT_FAIL / BISMO_BATCH_CELLS literals from the README table.
     match std::env::var(name) {
         Err(_) => default,
         Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
             "" => default,
             "1" | "true" | "yes" | "on" => true,
             "0" | "false" | "no" | "off" => false,
+            // PANIC-OK: fail-fast boolean-knob parse (§7) — malformed values abort listing the accepted forms.
             _ => panic!(
                 "unrecognized {name} value {v:?}; expected 1/true/yes/on or \
                  0/false/no/off (or unset for the default)"
@@ -444,6 +447,7 @@ impl SuiteSweep {
             .suites
             .iter()
             .find(|(kind, _)| *kind == item.suite)
+            // PANIC-OK: WorkItems are only built from this sweep's own suites in items(); a miss is an internal indexing bug.
             .expect("work item references a suite of this sweep");
         &clips[item.clip_index]
     }
@@ -503,6 +507,7 @@ impl SuiteSweep {
         // the table is seconds of work at paper scale.
         let engine = (!pending.is_empty()).then(|| {
             AbbeImager::from_core(Arc::new(
+                // PANIC-OK: harness optical configs come from validated presets; documented panic policy on `run`.
                 ImagingCore::new(&self.harness.optical).expect("harness optical config is valid"),
             ))
             .with_threads(self.harness.settings.threads)
@@ -537,6 +542,7 @@ impl SuiteSweep {
         }
 
         let group_records = par_map(opts.jobs, &groups, |_, group| {
+            // PANIC-OK: the engine is constructed above whenever pending work exists, and cells only run on pending work.
             let engine = engine.as_ref().expect("engine built when work is pending");
             let batchable =
                 opts.batch_cells && group.len() >= 2 && !group[0].1.method.optimizes_source();
@@ -583,6 +589,7 @@ impl SuiteSweep {
         }
         let records: Vec<ItemRecord> = slots
             .into_iter()
+            // PANIC-OK: merge invariant — every pending slot is filled by the pool in work-item order (§7); a hole is an internal bug.
             .map(|s| s.expect("every slot filled"))
             .collect();
 
@@ -732,6 +739,7 @@ impl SuiteSweep {
 
         records
             .into_iter()
+            // PANIC-OK: merge invariant — every cell slot is filled by the pool in work-item order (§7); a hole is an internal bug.
             .map(|r| r.expect("every cell slot filled"))
             .collect()
     }
@@ -1035,6 +1043,7 @@ fn load_resumable(path: &Path, expected_header: &str) -> Option<Vec<ItemRecord>>
 fn open_journal(path: &Path, header: &str, prior: &[ItemRecord]) -> Mutex<std::fs::File> {
     if let Some(dir) = path.parent() {
         if !dir.as_os_str().is_empty() {
+            // PANIC-OK: journal I/O failure is a harness environment problem, not a run outcome — documented panic policy on `run`.
             std::fs::create_dir_all(dir).expect("create journal directory");
         }
     }
@@ -1050,13 +1059,16 @@ fn open_journal(path: &Path, header: &str, prior: &[ItemRecord]) -> Mutex<std::f
             out.push('\n');
         }
         std::fs::write(&tmp, out)
+            // PANIC-OK: journal I/O — documented panic policy on `run` (environment problem, not a run outcome).
             .unwrap_or_else(|e| panic!("write journal {}: {e}", tmp.display()));
     }
     std::fs::rename(&tmp, path)
+        // PANIC-OK: journal I/O — documented panic policy on `run` (environment problem, not a run outcome).
         .unwrap_or_else(|e| panic!("replace journal {}: {e}", path.display()));
     let file = std::fs::OpenOptions::new()
         .append(true)
         .open(path)
+        // PANIC-OK: journal I/O — documented panic policy on `run` (environment problem, not a run outcome).
         .unwrap_or_else(|e| panic!("open journal {}: {e}", path.display()));
     Mutex::new(file)
 }
@@ -1066,9 +1078,12 @@ fn open_journal(path: &Path, header: &str, prior: &[ItemRecord]) -> Mutex<std::f
 /// torn **final** line behind — never an unterminated line followed by
 /// another record.
 fn append_line(journal: &Mutex<std::fs::File>, line: &str) {
+    // PANIC-OK: poison implies a worker died mid-append, which already aborts the sweep; documented panic policy on `run`.
     let mut file = journal.lock().expect("journal lock poisoned");
     file.write_all(format!("{line}\n").as_bytes())
+        // PANIC-OK: journal I/O — documented panic policy on `run` (environment problem, not a run outcome).
         .expect("append journal record");
+    // PANIC-OK: journal I/O — documented panic policy on `run` (environment problem, not a run outcome).
     file.flush().expect("flush journal record");
 }
 

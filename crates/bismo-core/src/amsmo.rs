@@ -267,6 +267,7 @@ impl Solver for AmSolver {
                         self.pos = self.mo_entry(problem, state)?;
                         return Ok(StepOutcome::Running);
                     }
+                    // PANIC-OK: the GradRequest above sets the source flag; None would violate the §2 backend contract (a bug, not input).
                     let grad = eval.grad_theta_j.expect("source gradient requested");
                     opt.step(&mut state.theta_j, &grad);
                     self.pos = AmPos::So {
@@ -291,6 +292,7 @@ impl Solver for AmSolver {
                         self.pos = AmPos::RoundEnd;
                         return Ok(StepOutcome::Running);
                     }
+                    // PANIC-OK: the GradRequest above sets the mask flag; a backend returning None would violate the §2 backend contract (a bug, not input).
                     let grad = eval.grad_theta_m.expect("mask gradient requested");
                     opt.step(state.theta_m.as_mut_slice(), grad.as_slice());
                     self.pos = AmPos::MoAbbe {

@@ -116,6 +116,7 @@ fn so_grad(
     Ok(problem
         .eval(theta_j, theta_m, GradRequest::SOURCE)?
         .grad_theta_j
+        // PANIC-OK: the GradRequest above sets the source flag; None would violate the §2 backend contract (a bug, not input).
         .expect("source gradient requested"))
 }
 
@@ -164,10 +165,12 @@ fn mixed_jvp(
     let gp = problem
         .eval(&plus, theta_m, GradRequest::MASK)?
         .grad_theta_m
+        // PANIC-OK: the GradRequest above sets the mask flag; a backend returning None would violate the §2 backend contract (a bug, not input).
         .expect("mask gradient requested");
     let gm = problem
         .eval(&minus, theta_m, GradRequest::MASK)?
         .grad_theta_m
+        // PANIC-OK: the GradRequest above sets the mask flag; a backend returning None would violate the §2 backend contract (a bug, not input).
         .expect("mask gradient requested");
     let mut out = gp;
     out.axpy(-1.0, &gm);
@@ -194,6 +197,7 @@ impl RealOp for SoHessianOp<'_> {
 
     fn apply(&self, x: &[f64], y: &mut [f64]) {
         let hv = hvp(self.problem, self.theta_j, self.theta_m, x, self.base_eps)
+            // PANIC-OK: documented on SoHessianOp — the solver fully evaluated at these parameters just before the solve; failure here is a bug.
             .expect("imaging failed inside CG Hessian-vector product");
         y.copy_from_slice(&hv);
     }
@@ -310,7 +314,9 @@ impl Solver for BismoSolver {
             self.finished = Some(StopReason::Converged);
             return Ok(StepOutcome::Done(StopReason::Converged));
         }
+        // PANIC-OK: the GradRequest above sets the mask flag; a backend returning None would violate the §2 backend contract (a bug, not input).
         let direct_m = eval.grad_theta_m.expect("mask gradient requested");
+        // PANIC-OK: the GradRequest above sets the source flag; None would violate the §2 backend contract (a bug, not input).
         let v = eval.grad_theta_j.expect("source gradient requested");
 
         // Inverse-Hessian application: w ≈ [∂²L_so/∂θJ∂θJ]⁻¹ v.

@@ -196,6 +196,7 @@ impl Solver for AbbeMoSolver {
             let eval = problem.eval(theta_j, theta_m, GradRequest::MASK)?;
             Ok((
                 eval.loss,
+                // PANIC-OK: the GradRequest above sets the mask flag; a backend returning None would violate the §2 backend contract (a bug, not input).
                 eval.grad_theta_m.expect("mask gradient requested"),
             ))
         })
@@ -279,6 +280,7 @@ impl Solver for HopkinsProxySolver {
                 self.q,
             )?);
         }
+        // PANIC-OK: populated by the lazy build a few lines above in this same call.
         let hopkins = self.hopkins.as_ref().expect("built above");
         self.stepper.step(state, |_, theta_m| hopkins.eval(theta_m))
     }

@@ -84,6 +84,7 @@ impl MultigridSolver {
     fn make_inner(&self, problem: &SmoProblem) -> Box<dyn Solver> {
         SolverRegistry::builtin()
             .create(self.base, problem, &self.config)
+            // PANIC-OK: the name was produced by enumerating the registry roster itself; lookup cannot miss.
             .expect("base method comes from the static roster")
     }
 
@@ -133,6 +134,7 @@ impl MultigridSolver {
         theta_j: Vec<f64>,
         theta_m: RealField,
     ) -> Result<(), LithoError> {
+        // PANIC-OK: state-machine invariant — `plan` runs at the first step, before any path that reads the schedule (§11).
         let levels = self.levels.as_ref().expect("schedule planned");
         let level = &levels[self.current];
         self.level_problem = match &level.optical {
@@ -158,6 +160,7 @@ impl MultigridSolver {
     /// `mg.coarse_steps`; the finest level gets `mg.fine_steps`, where 0
     /// means "no extra cap" (the base method's own budgets apply).
     fn level_budget(&self) -> usize {
+        // PANIC-OK: state-machine invariant — `plan` runs at the first step, before any path that reads the schedule (§11).
         let levels = self.levels.as_ref().expect("schedule planned");
         if self.current + 1 == levels.len() {
             match self.config.mg.fine_steps {
@@ -196,6 +199,7 @@ impl Solver for MultigridSolver {
             // initialization: θ_J passes through, θ_M restricts spectrally
             // in logit space.
             let transfer = GridTransfer::new(problem.optical().mask_dim(), coarsest)
+                // PANIC-OK: level dims were validated as powers of two at plan time; transfer construction between them cannot fail.
                 .expect("level dims are validated powers of two");
             let theta_m =
                 RealField::from_vec(coarsest, transfer.restrict2(state.theta_m.as_slice())?);
@@ -203,7 +207,9 @@ impl Solver for MultigridSolver {
         }
 
         let level_problem_ref = self.level_problem.as_ref().unwrap_or(problem);
+        // PANIC-OK: state-machine invariant — `enter_level` precedes every step/leave on this path (§11).
         let inner = self.inner.as_mut().expect("entered a level");
+        // PANIC-OK: state-machine invariant — `enter_level` precedes every step/leave on this path (§11).
         let inner_state = self.inner_state.as_mut().expect("entered a level");
         let before = inner_state.trace.len();
         let outcome = inner.step(level_problem_ref, inner_state)?;
@@ -220,6 +226,7 @@ impl Solver for MultigridSolver {
             });
         }
 
+        // PANIC-OK: state-machine invariant — `plan` runs at the first step, before any path that reads the schedule (§11).
         let levels_len = self.levels.as_ref().expect("schedule planned").len();
         let at_finest = self.current + 1 == levels_len;
         if at_finest {
@@ -247,9 +254,12 @@ impl Solver for MultigridSolver {
         }
 
         // Promote to the next finer level: prolong θ_M in logit space.
+        // PANIC-OK: state-machine invariant — `plan` runs at the first step, before any path that reads the schedule (§11).
         let next_dim = self.levels.as_ref().expect("schedule planned")[self.current + 1].dim;
+        // PANIC-OK: state-machine invariant — `enter_level` precedes every step/leave on this path (§11).
         let inner_state = self.inner_state.take().expect("entered a level");
         let transfer = GridTransfer::new(next_dim, inner_state.theta_m.dim())
+            // PANIC-OK: level dims were validated as powers of two at plan time; transfer construction between them cannot fail.
             .expect("level dims are validated powers of two");
         let theta_m =
             RealField::from_vec(next_dim, transfer.prolong2(inner_state.theta_m.as_slice())?);

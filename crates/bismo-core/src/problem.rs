@@ -299,6 +299,7 @@ impl<B: ImagingBackend> MoProblem<B> {
         let mut masks = FieldBatch::zeros(n, nb);
         for (b, (_, dose, _)) in passes.iter().enumerate() {
             let entry = masks.entry_mut(b);
+            // FLOAT-EQ-OK: the nominal dose corner stores exactly 1.0 by DoseCorners construction; this selects it, it is not a tolerance test.
             if *dose == 1.0 {
                 entry.copy_from_slice(mask.as_slice());
             } else {
@@ -343,8 +344,10 @@ impl<B: ImagingBackend> MoProblem<B> {
             (true, false) => {
                 // The fused mask-only adjoint: all corners in one call,
                 // accumulated straight from the batch entries.
+                // PANIC-OK: filled whenever the request above asked for gradients; absence is a §2 backend-contract bug.
                 let g_batch = g_batch.as_ref().expect("gradients requested");
                 let grads = self.backend.grad_mask_batch(source, &masks, g_batch)?;
+                // PANIC-OK: slot allocated above exactly when the corresponding request flag is set; absence is an internal contract bug.
                 let total = grad_mask_total.as_mut().expect("requested");
                 for (b, (_, dose, _)) in passes.iter().enumerate() {
                     for (t, &g) in total.as_mut_slice().iter_mut().zip(grads.entry(b)) {
@@ -356,6 +359,7 @@ impl<B: ImagingBackend> MoProblem<B> {
                 // Source-gradient passes stay per-corner: `gradients` shares
                 // A_σ between the two adjoints, which a cross-corner fusion
                 // would have to recompute.
+                // PANIC-OK: filled whenever the request above asked for gradients; absence is a §2 backend-contract bug.
                 let g_batch = g_batch.as_ref().expect("gradients requested");
                 for (b, (_, dose, _)) in passes.iter().enumerate() {
                     let m_d = RealField::from_vec(n, masks.entry(b).to_vec());
@@ -365,14 +369,17 @@ impl<B: ImagingBackend> MoProblem<B> {
                         let (gm, gj) = self.backend.gradients(source, &m_d, &g_i, &intensity)?;
                         grad_mask_total
                             .as_mut()
+                            // PANIC-OK: slot allocated above exactly when the corresponding request flag is set; absence is an internal contract bug.
                             .expect("requested")
                             .axpy(*dose, &gm);
+                        // PANIC-OK: slot allocated above exactly when the corresponding request flag is set; absence is an internal contract bug.
                         let total = grad_source_total.as_mut().expect("requested");
                         for (t, g) in total.iter_mut().zip(&gj) {
                             *t += g;
                         }
                     } else {
                         let gj = self.backend.grad_source(source, &m_d, &g_i, &intensity)?;
+                        // PANIC-OK: slot allocated above exactly when the corresponding request flag is set; absence is an internal contract bug.
                         let total = grad_source_total.as_mut().expect("requested");
                         for (t, g) in total.iter_mut().zip(&gj) {
                             *t += g;
@@ -431,6 +438,7 @@ impl<B: ImagingBackend> MoProblem<B> {
         let mask = self.mask(theta_m);
         let (loss, gm, _) = self.eval_inner(source, &mask, GradRequest::MASK)?;
         let grad_theta_m = gm
+            // PANIC-OK: the GradRequest above sets the mask flag; a backend returning None would violate the §2 backend contract (a bug, not input).
             .expect("mask gradient requested")
             .hadamard(&self.settings.activation.mask_grad(&mask));
         Ok((loss, grad_theta_m))

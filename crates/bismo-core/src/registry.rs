@@ -335,9 +335,8 @@ mod tests {
             let target = RealField::zeros(optical.mask_dim());
             SmoProblem::new(optical, crate::problem::SmoSettings::default(), target).unwrap()
         };
-        let err = match reg.create("qiuck", &p, &cfg) {
-            Err(e) => e,
-            Ok(_) => panic!("typo'd solver name must not resolve"),
+        let Err(err) = reg.create("qiuck", &p, &cfg) else {
+            panic!("typo'd solver name must not resolve")
         };
         assert!(err.contains("qiuck") && err.contains("BiSMO-NMN"), "{err}");
     }
@@ -379,18 +378,16 @@ mod tests {
             let target = RealField::zeros(optical.mask_dim());
             SmoProblem::new(optical, crate::problem::SmoSettings::default(), target).unwrap()
         };
-        let err = match reg.create("BiSMO-CG@turbo", &p, &cfg) {
-            Err(e) => e,
-            Ok(_) => panic!("unknown suffix must not resolve"),
+        let Err(err) = reg.create("BiSMO-CG@turbo", &p, &cfg) else {
+            panic!("unknown suffix must not resolve")
         };
         assert!(
             err.contains("turbo") && err.contains("@mg"),
             "suffix errors must name the bad suffix and the valid one: {err}"
         );
         // An unknown base with a valid suffix is still an unknown name.
-        let err = match reg.create("bogus@mg", &p, &cfg) {
-            Err(e) => e,
-            Ok(_) => panic!("unknown base must not resolve"),
+        let Err(err) = reg.create("bogus@mg", &p, &cfg) else {
+            panic!("unknown base must not resolve")
         };
         assert!(err.contains("bogus") && err.contains("BiSMO-NMN"), "{err}");
     }

@@ -30,6 +30,7 @@ impl Regularizers {
     /// Returns `true` when both weights are zero (lets the evaluator skip
     /// the extra passes entirely).
     pub fn is_none(&self) -> bool {
+        // FLOAT-EQ-OK: a disabled regularizer weight is exactly 0.0 (the NONE default); the comparison gates work, not numerics.
         self.discreteness == 0.0 && self.tv == 0.0
     }
 }
@@ -116,9 +117,11 @@ pub fn value(reg: &Regularizers, mask: &RealField) -> f64 {
 #[must_use]
 pub fn grad(reg: &Regularizers, mask: &RealField) -> RealField {
     let mut out = RealField::zeros(mask.dim());
+    // FLOAT-EQ-OK: a disabled regularizer weight is exactly 0.0 (the NONE default); the comparison gates work, not numerics.
     if reg.discreteness != 0.0 {
         out.axpy(reg.discreteness, &discreteness_grad(mask));
     }
+    // FLOAT-EQ-OK: a disabled regularizer weight is exactly 0.0 (the NONE default); the comparison gates work, not numerics.
     if reg.tv != 0.0 {
         out.axpy(reg.tv, &tv_grad(mask));
     }

@@ -84,8 +84,7 @@ impl SolverState {
     pub fn elapsed_s(&self) -> f64 {
         let running = self
             .running_since
-            .map(|s| s.elapsed())
-            .unwrap_or(std::time::Duration::ZERO);
+            .map_or(std::time::Duration::ZERO, |s| s.elapsed());
         (self.accumulated + running).as_secs_f64()
     }
 
@@ -322,8 +321,10 @@ impl SolverConfig {
     /// Fails fast on an unrecognized override value (see
     /// [`SolverConfig::apply_env`]).
     pub fn from_env() -> SolverConfig {
+        // ENV-OK: keys are the BISMO_HYPERGRAD_K / BISMO_OPTIMIZER literals apply_env passes in; values are strict-parsed, typos abort.
         match SolverConfig::default().apply_env(|key| std::env::var(key).ok()) {
             Ok(cfg) => cfg,
+            // PANIC-OK: fail-fast env-knob contract (§7) — a malformed knob aborts listing the valid values instead of silently defaulting.
             Err(msg) => panic!("{msg}"),
         }
     }

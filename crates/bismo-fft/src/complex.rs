@@ -3,6 +3,10 @@
 //! The offline dependency allowlist has no `num-complex`, so the workspace
 //! carries its own [`Complex64`]. Only the operations the imaging and linear
 //! algebra code actually needs are provided.
+//!
+//! @bismo:bit-exact — every arithmetic op here sits inside the golden-
+//! hashed butterfly DAG (DESIGN.md §10); no FMA contraction or per-CPU
+//! branching may be introduced. Enforced by bismo-analyze.
 
 use std::fmt;
 use std::iter::Sum;
@@ -118,8 +122,11 @@ impl Complex64 {
         self.re.is_finite() && self.im.is_finite()
     }
 
-    /// Fused multiply-add: `self * b + c`.
+    /// Multiply-add `self * b + c` — composed of **separate** IEEE mul and
+    /// add ops, never hardware FMA, so it is safe inside the golden-hashed
+    /// DAG. (The name mirrors `f64::mul_add`; the contraction does not.)
     #[inline]
+    // BIT-EXACT-OK: separate mul and add by construction — see the doc above; this is the sanctioned non-contracting spelling.
     pub fn mul_add(self, b: Complex64, c: Complex64) -> Self {
         Complex64 {
             re: self.re * b.re - self.im * b.im + c.re,

@@ -7,6 +7,11 @@
 //! conventions are offered; the imaging code uses the unitary convention so
 //! that the FFT is its own adjoint-inverse, which keeps the hand-derived
 //! gradients free of stray normalization factors.
+//!
+//! @bismo:bit-exact — the stage kernels below are pinned by the golden
+//! FNV-bit hashes (DESIGN.md §10): loop restructuring is bit-safe, per-
+//! element operation-DAG changes (FMA, fold reordering, CPU dispatch) are
+//! not. Enforced by bismo-analyze's bit-exact-purity rule.
 
 use crate::complex::Complex64;
 

@@ -1,6 +1,10 @@
 //! Two-dimensional FFT on row-major square or rectangular grids, plus the
 //! `fftshift` helpers the optics code uses to move between corner-origin and
 //! center-origin frequency layouts.
+//!
+//! @bismo:bit-exact — the blocked 2-D passes ride the 1-D stage kernels
+//! whose exact f64 DAG the golden hashes pin (DESIGN.md §10). Enforced by
+//! bismo-analyze's bit-exact-purity rule.
 
 use crate::complex::Complex64;
 use crate::fft1d::{Direction, FftError, FftPlan};
@@ -500,6 +504,7 @@ impl BatchFft2<'_> {
     pub fn len(&self) -> usize {
         self.batch
             .checked_mul(self.plan.len())
+            // PANIC-OK: documented accessor/constructor contract — an absurd shape must fail loudly, not wrap into a mis-sized buffer.
             .expect("batch × rows × cols overflows usize")
     }
 
@@ -682,6 +687,7 @@ impl BatchFft2<'_> {
                 })
                 .collect();
             for worker in workers {
+                // PANIC-OK: propagates a worker panic out of the scoped batch transform; the panic is the root failure, not a new one.
                 worker.join().expect("batched fft worker panicked")?;
             }
             Ok(())

@@ -255,7 +255,7 @@ pub fn eigh_jacobi(a: &HermitianMatrix, tol: f64, max_sweeps: usize) -> Result<E
                 m.data[q * n + p] = Complex64::ZERO;
 
                 // V ← V R (accumulate on rows, columns of V are vectors).
-                for row in v.iter_mut() {
+                for row in &mut *v {
                     let vp = row[p];
                     let vq = row[q];
                     row[p] = vp * rpp + vq * rqp;

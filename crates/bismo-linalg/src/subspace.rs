@@ -63,7 +63,7 @@ fn orthonormalize(basis: &mut [Vec<Complex64>], rng: &mut StdRng) {
         }
         let n = norm(&basis[i]);
         if n < 1e-12 {
-            for z in basis[i].iter_mut() {
+            for z in &mut basis[i] {
                 *z = Complex64::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5);
             }
             // One re-orthogonalization pass for the fresh vector.
@@ -75,11 +75,11 @@ fn orthonormalize(basis: &mut [Vec<Complex64>], rng: &mut StdRng) {
                 }
             }
             let n2 = norm(&basis[i]).max(f64::MIN_POSITIVE);
-            for z in basis[i].iter_mut() {
+            for z in &mut basis[i] {
                 *z = z.scale(1.0 / n2);
             }
         } else {
-            for z in basis[i].iter_mut() {
+            for z in &mut basis[i] {
                 *z = z.scale(1.0 / n);
             }
         }
@@ -147,7 +147,7 @@ pub fn top_eigenpairs(
 
     let mut scratch = vec![Complex64::ZERO; n];
     for _ in 0..iters {
-        for col in basis.iter_mut() {
+        for col in &mut *basis {
             op.apply(col, &mut scratch);
             col.copy_from_slice(&scratch);
         }

@@ -36,6 +36,11 @@
 //!   (verified by `tests/zero_alloc.rs` with a counting allocator). The
 //!   multithreaded paths still pay per-call thread spawns, but no
 //!   field-sized buffers.
+//!
+//! @bismo:bit-exact — the fused batch path is contractually bit-identical
+//! per entry to the single-mask path (DESIGN.md §9), so no FMA, fold
+//! reordering, or CPU dispatch may fork either DAG. Enforced by
+//! bismo-analyze's bit-exact-purity rule.
 
 use std::sync::{Arc, Mutex};
 
@@ -69,6 +74,9 @@ fn fan_out<T: Sync, R: Send>(
             .collect();
         handles
             .into_iter()
+            // Join only fails if the worker itself panicked; re-raising the
+            // root panic is propagation, not a new failure mode.
+            // PANIC-OK: propagates a worker panic (scoped threads re-raise it regardless).
             .map(|h| h.join().expect("imaging worker panicked"))
             .collect()
     })
@@ -118,10 +126,14 @@ struct WorkspacePool {
 
 impl WorkspacePool {
     fn acquire(&self, n2: usize) -> ImagingWorkspace {
+        // A poisoned pool lock only means some other thread panicked around
+        // its push/pop; the slots are plain scratch buffers that `ensure`
+        // re-sizes, so recovering the pool is always sound — no reason to
+        // cascade that panic into every later imaging call.
         let mut ws = self
             .slots
             .lock()
-            .expect("workspace pool poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .pop()
             .unwrap_or_default();
         ws.ensure(n2);
@@ -129,7 +141,11 @@ impl WorkspacePool {
     }
 
     fn release(&self, ws: ImagingWorkspace) {
-        self.slots.lock().expect("workspace pool poisoned").push(ws);
+        // See `acquire`: a poisoned lock still guards valid scratch buffers.
+        self.slots
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(ws);
     }
 }
 
@@ -175,10 +191,13 @@ struct BatchPool {
 
 impl BatchPool {
     fn acquire(&self, n2: usize, batch: usize) -> BatchWorkspace {
+        // Poison recovery as in `WorkspacePool::acquire`: the slots are
+        // scratch buffers re-sized by `ensure`, valid regardless of where
+        // another thread panicked.
         let mut ws = self
             .slots
             .lock()
-            .expect("batch workspace pool poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .pop()
             .unwrap_or_default();
         ws.ensure(n2, batch);
@@ -186,9 +205,10 @@ impl BatchPool {
     }
 
     fn release(&self, ws: BatchWorkspace) {
+        // See `acquire`: a poisoned lock still guards valid scratch buffers.
         self.slots
             .lock()
-            .expect("batch workspace pool poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .push(ws);
     }
 }
@@ -557,6 +577,7 @@ impl AbbeImager {
                 .iter()
                 .zip(field.iter())
                 .map(|(&g, a)| g * a.norm_sqr())
+                // BIT-EXACT-OK: sequential fold in slice index order — identical DAG to an explicit loop; no tree reduction on slices.
                 .sum();
             src_out[idx - start] = (g_dot_a - g_dot_i) / s_total;
 
@@ -623,6 +644,7 @@ impl AbbeImager {
                 .collect();
             handles
                 .into_iter()
+                // PANIC-OK: propagation of a worker panic, as in `fan_out`.
                 .map(|h| h.join().expect("imaging worker panicked"))
                 .collect()
         })

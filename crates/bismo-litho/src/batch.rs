@@ -14,6 +14,10 @@
 //! Ownership follows the workspace rules of DESIGN.md §6: the `*_into`
 //! backend methods write into caller-owned batches, keeping the warm path
 //! allocation-free.
+//!
+//! @bismo:bit-exact — the stacked layout is part of the §9 bit-identity
+//! contract; arithmetic introduced here would sit inside the fused DAG.
+//! Enforced by bismo-analyze's bit-exact-purity rule.
 
 use bismo_optics::RealField;
 
@@ -55,6 +59,7 @@ impl FieldBatch {
     fn stacked_len(dim: usize, batch: usize) -> usize {
         dim.checked_mul(dim)
             .and_then(|n2| batch.checked_mul(n2))
+            // PANIC-OK: documented accessor/constructor contract — an absurd shape must fail loudly, not wrap into a mis-sized buffer.
             .expect("batch × dim × dim overflows usize")
     }
 
@@ -81,6 +86,7 @@ impl FieldBatch {
     pub fn from_fields(fields: &[RealField]) -> Self {
         let dim = fields
             .first()
+            // PANIC-OK: documented `# Panics` contract — an empty stack has no dimension; callers build from fixed corner lists.
             .expect("cannot build a batch from zero fields")
             .dim();
         let mut data = Vec::with_capacity(FieldBatch::stacked_len(dim, fields.len()));

@@ -334,9 +334,7 @@ impl HopkinsImager {
         let mut total = vec![0.0; n * n];
         let mut field = vec![Complex64::ZERO; n * n];
         for kernel in &self.kernels {
-            for z in field.iter_mut() {
-                *z = Complex64::ZERO;
-            }
+            field.fill(Complex64::ZERO);
             for (i, &(row, col)) in self.support.iter().enumerate() {
                 let k = row * n + col;
                 field[k] = kernel.phi[i] * o[k];
@@ -374,9 +372,7 @@ impl HopkinsImager {
         let mut acc_freq = vec![Complex64::ZERO; n * n];
         let mut field = vec![Complex64::ZERO; n * n];
         for kernel in &self.kernels {
-            for z in field.iter_mut() {
-                *z = Complex64::ZERO;
-            }
+            field.fill(Complex64::ZERO);
             for (i, &(row, col)) in self.support.iter().enumerate() {
                 let k = row * n + col;
                 field[k] = kernel.phi[i] * o[k];
@@ -435,9 +431,7 @@ impl HopkinsImager {
         out_slice.fill(0.0);
         let mut field = vec![Complex64::ZERO; batch * n2];
         for kernel in &self.kernels {
-            for z in field.iter_mut() {
-                *z = Complex64::ZERO;
-            }
+            field.fill(Complex64::ZERO);
             for (i, &(row, col)) in self.support.iter().enumerate() {
                 let k = row * n + col;
                 let phi = kernel.phi[i];
@@ -499,9 +493,7 @@ impl HopkinsImager {
         let mut acc_freq = vec![Complex64::ZERO; batch * n2];
         let mut field = vec![Complex64::ZERO; batch * n2];
         for kernel in &self.kernels {
-            for z in field.iter_mut() {
-                *z = Complex64::ZERO;
-            }
+            field.fill(Complex64::ZERO);
             for (i, &(row, col)) in self.support.iter().enumerate() {
                 let k = row * n + col;
                 let phi = kernel.phi[i];

@@ -72,6 +72,7 @@ impl OpticalConfig {
     pub fn scaled_default() -> Self {
         OpticalConfig::builder()
             .build()
+            // PANIC-OK: preset constants validated by test; failure is a build bug, not runtime input.
             .expect("scaled default config is valid by construction")
     }
 
@@ -84,6 +85,7 @@ impl OpticalConfig {
             .pixel_nm(8.0)
             .source_dim(7)
             .build()
+            // PANIC-OK: preset constants validated by test; failure is a build bug, not runtime input.
             .expect("test config is valid by construction")
     }
 

@@ -64,6 +64,7 @@ impl Pupil {
     /// engines take a cheaper path in that case.
     #[inline]
     pub fn is_real(&self) -> bool {
+        // FLOAT-EQ-OK: defocus_nm is exactly 0.0 for the focused configuration as constructed; selects the no-defocus fast path.
         self.defocus_nm == 0.0
     }
 
@@ -74,6 +75,7 @@ impl Pupil {
         if f * f + g * g > self.cutoff * self.cutoff {
             return Complex64::ZERO;
         }
+        // FLOAT-EQ-OK: defocus_nm is exactly 0.0 for the focused configuration as constructed; selects the no-defocus fast path.
         if self.defocus_nm == 0.0 {
             return Complex64::ONE;
         }

@@ -220,7 +220,7 @@ fn measure_batch_matches_per_cell_measure_bitwise() {
         sigma_in: cfg.sigma_in(),
         sigma_out: cfg.sigma_out(),
     });
-    let tms: Vec<RealField> = problems.iter().map(|p| p.init_theta_m()).collect();
+    let tms: Vec<RealField> = problems.iter().map(SmoProblem::init_theta_m).collect();
 
     let spec = EpeSpec::default();
     let cells: Vec<(&SmoProblem, &[f64], &RealField)> = problems

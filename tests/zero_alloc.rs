@@ -6,6 +6,11 @@
 //! Measured, not asserted from reading the code: a wrapping global allocator
 //! counts every allocation on this thread. The counter is thread-local so
 //! other test threads in the same binary cannot perturb it.
+//!
+//! @bismo:allow-unsafe — counting global allocator, the sanctioned `unsafe`
+//! site class (DESIGN.md §12); every use carries a `// SAFETY:` rationale.
+
+#![allow(unsafe_code)]
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
@@ -21,17 +26,26 @@ struct CountingAlloc;
 // SAFETY: delegates directly to `System`; the only addition is bumping a
 // `const`-initialized thread-local counter, which itself never allocates.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: same layout contract as `System::alloc`, delegated unchanged;
+    // the `const`-initialized thread-local bump cannot re-enter the allocator.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         THREAD_ALLOCS.with(|c| c.set(c.get() + 1));
+        // SAFETY: caller upholds the `GlobalAlloc` contract; forwarded as-is.
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: `ptr`/`layout` come from the paired alloc path above, which
+    // always delegates to `System`.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: caller upholds the `GlobalAlloc` contract; forwarded as-is.
         unsafe { System.dealloc(ptr, layout) }
     }
 
+    // SAFETY: forwarded verbatim to `System::realloc` under the same
+    // contract; only the thread-local counter bump is added.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         THREAD_ALLOCS.with(|c| c.set(c.get() + 1));
+        // SAFETY: caller upholds the `GlobalAlloc` contract; forwarded as-is.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
@@ -40,9 +54,9 @@ unsafe impl GlobalAlloc for CountingAlloc {
 static GLOBAL: CountingAlloc = CountingAlloc;
 
 fn allocs_during<R>(f: impl FnOnce() -> R) -> (u64, R) {
-    let before = THREAD_ALLOCS.with(|c| c.get());
+    let before = THREAD_ALLOCS.with(Cell::get);
     let out = f();
-    let after = THREAD_ALLOCS.with(|c| c.get());
+    let after = THREAD_ALLOCS.with(Cell::get);
     (after - before, out)
 }
 
