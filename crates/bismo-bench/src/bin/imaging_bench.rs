@@ -35,6 +35,22 @@
 //! the default complex path, so the report tracks both variants; the
 //! headline `abbe_forward_ms` stays on the default bit-stable path.
 //!
+//! Hopkins TCC acquisition is measured per grid as `hopkins_build_ms` (a
+//! genuinely cold assembly, cache bypassed) versus `hopkins_build_cached_ms`
+//! (the normal constructor path through the process-global [`KernelCache`]),
+//! together with the hit/miss/disk-hit deltas those constructions produced.
+//! With `BISMO_KERNEL_CACHE` set the cached figure spans the disk tier too,
+//! which is what the CI cache smoke exercises: run twice at the same dir,
+//! pass `--require-cache-hit` on the second run, and the process exits
+//! nonzero unless at least one bundle was served from disk and every grid's
+//! cached acquisition beat its cold build. The gate additionally covers
+//! `hopkins_build_ms` when the baseline row carries it. Full (non-`--quick`)
+//! runs append a top-level `"tcc_build"` section: one paper-scale build
+//! (256² mask, 31×31 annular source, past the dense-eigensolver limit) timed
+//! cold at one thread, cold multi-threaded, and warm from the cache —
+//! `thread_speedup` scales with the machine's cores, `cache_speedup` is the
+//! headline warm-vs-cold acquisition ratio.
+//!
 //! @bismo:allow-unsafe — the one sanctioned `unsafe` site class in the
 //! workspace (DESIGN.md §12): the counting global allocator below must
 //! implement the `unsafe trait GlobalAlloc`. Every `unsafe` carries its own
@@ -46,8 +62,8 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use bismo_litho::{AbbeImager, DoseCorners, FieldBatch, HopkinsImager};
-use bismo_optics::{OpticalConfig, RealField, Source, SourceShape};
+use bismo_litho::{AbbeImager, DoseCorners, FieldBatch, HopkinsImager, KernelCache, TccBuild};
+use bismo_optics::{OpticalConfig, Pupil, RealField, Source, SourceShape};
 
 /// Allocation-counting wrapper around the system allocator. The counter is
 /// process-global; timed sections run single-threaded so per-call deltas are
@@ -110,6 +126,18 @@ struct SizeResult {
     abbe_grad_mask_ms: f64,
     hopkins_forward_ms: f64,
     hopkins_grad_mask_ms: f64,
+    /// Cold TCC assembly + SOCS decomposition (cache bypassed) at the
+    /// requested thread count.
+    hopkins_build_ms: f64,
+    /// The same acquisition through the process-global kernel cache, warm.
+    hopkins_build_cached_ms: f64,
+    /// In-memory cache hits produced by this grid's cache-path builds.
+    hopkins_cache_hits: u64,
+    /// Cold builds the cache had to run for this grid (expected: ≤ 1, and 0
+    /// when the disk tier already held the bundle).
+    hopkins_cache_misses: u64,
+    /// Bundles served from the `BISMO_KERNEL_CACHE` disk tier.
+    hopkins_cache_disk_hits: u64,
     abbe_forward_allocs: u64,
     abbe_gradients_allocs: u64,
     batch: Option<BatchResult>,
@@ -248,7 +276,25 @@ fn run_size(
     let abbe = AbbeImager::new(&cfg)
         .expect("abbe engine")
         .with_threads(threads);
+
+    // Cold acquisition first (cache bypassed, so it never reads the disk
+    // tier and the figure stays honest even under BISMO_KERNEL_CACHE), then
+    // the cache path: the first `new` below seeds the process-global cache
+    // (or loads the disk tier), and the timed loop measures warm hits.
+    let cold_build = TccBuild {
+        threads,
+        bypass_cache: true,
+    };
+    let hopkins_build_ms = time_ms(reps.min(3), || {
+        let _ = HopkinsImager::with_pupil_build(&cfg, Pupil::new(&cfg), &source, 24, cold_build)
+            .expect("hopkins cold build");
+    });
+    let stats_before = KernelCache::stats();
     let hopkins = HopkinsImager::new(&cfg, &source, 24).expect("hopkins engine");
+    let hopkins_build_cached_ms = time_ms(reps, || {
+        let _ = HopkinsImager::new(&cfg, &source, 24).expect("hopkins warm build");
+    });
+    let stats_after = KernelCache::stats();
 
     // Warm-up: populates workspace pools and page-faults the buffers so the
     // timed and allocation-counted sections see steady state.
@@ -318,10 +364,75 @@ fn run_size(
         abbe_grad_mask_ms,
         hopkins_forward_ms,
         hopkins_grad_mask_ms,
+        hopkins_build_ms,
+        hopkins_build_cached_ms,
+        hopkins_cache_hits: stats_after.hits - stats_before.hits,
+        hopkins_cache_misses: stats_after.misses - stats_before.misses,
+        hopkins_cache_disk_hits: stats_after.disk_hits - stats_before.disk_hits,
         abbe_forward_allocs,
         abbe_gradients_allocs,
         batch: batch.then(|| run_batch(&abbe, &source, &mask, &g, reps)),
         batch_mt,
+    }
+}
+
+/// The paper-scale TCC acquisition benchmark (full mode only): one 256²
+/// build past `DENSE_EIG_LIMIT`, timed cold single-threaded, cold
+/// multi-threaded, and warm from the cache.
+struct TccBuildResult {
+    mask_dim: usize,
+    source_dim: usize,
+    effective_points: usize,
+    cold_ms: f64,
+    mt_threads: usize,
+    cold_mt_ms: f64,
+    warm_ms: f64,
+    thread_speedup: f64,
+    cache_speedup: f64,
+}
+
+fn run_tcc_build(threads: usize) -> TccBuildResult {
+    let cfg = OpticalConfig::builder()
+        .mask_dim(256)
+        .pixel_nm(16.0)
+        .source_dim(31)
+        .build()
+        .expect("tcc-build optical config");
+    let source = Source::from_shape(
+        &cfg,
+        SourceShape::Annular {
+            sigma_in: cfg.sigma_in(),
+            sigma_out: cfg.sigma_out(),
+        },
+    );
+    let effective_points = source.effective_count(1e-12);
+    let q = 24;
+    let cold = |threads| TccBuild {
+        threads,
+        bypass_cache: true,
+    };
+    let build_once = |b| {
+        let _ = HopkinsImager::with_pupil_build(&cfg, Pupil::new(&cfg), &source, q, b)
+            .expect("tcc build");
+    };
+    let cold_ms = time_ms(2, || build_once(cold(1)));
+    let mt_threads = threads.max(2);
+    let cold_mt_ms = time_ms(2, || build_once(cold(mt_threads)));
+    // Seed the cache, then time warm acquisitions.
+    let _engine = HopkinsImager::new(&cfg, &source, q).expect("tcc cache seed");
+    let warm_ms = time_ms(5, || {
+        let _ = HopkinsImager::new(&cfg, &source, q).expect("tcc warm");
+    });
+    TccBuildResult {
+        mask_dim: cfg.mask_dim(),
+        source_dim: cfg.source_dim(),
+        effective_points,
+        cold_ms,
+        mt_threads,
+        cold_mt_ms,
+        warm_ms,
+        thread_speedup: cold_ms / cold_mt_ms,
+        cache_speedup: cold_ms / warm_ms,
     }
 }
 
@@ -343,6 +454,7 @@ fn json_report(
     label: &str,
     threads: usize,
     results: &[SizeResult],
+    tcc_build: Option<&TccBuildResult>,
     baseline: Option<&str>,
 ) -> String {
     let mut out = String::new();
@@ -386,7 +498,10 @@ fn json_report(
              \"abbe_forward_ms\": {:.3}, \"abbe_forward_real_ms\": {:.3}, \
              \"abbe_gradients_ms\": {:.3}, \
              \"abbe_grad_mask_ms\": {:.3}, \"hopkins_forward_ms\": {:.3}, \
-             \"hopkins_grad_mask_ms\": {:.3}, \"abbe_forward_allocs\": {}, \
+             \"hopkins_grad_mask_ms\": {:.3}, \"hopkins_build_ms\": {:.3}, \
+             \"hopkins_build_cached_ms\": {:.4}, \"hopkins_cache_hits\": {}, \
+             \"hopkins_cache_misses\": {}, \"hopkins_cache_disk_hits\": {}, \
+             \"abbe_forward_allocs\": {}, \
              \"abbe_gradients_allocs\": {}{}{}}}{}\n",
             r.mask_dim,
             r.source_dim,
@@ -397,6 +512,11 @@ fn json_report(
             r.abbe_grad_mask_ms,
             r.hopkins_forward_ms,
             r.hopkins_grad_mask_ms,
+            r.hopkins_build_ms,
+            r.hopkins_build_cached_ms,
+            r.hopkins_cache_hits,
+            r.hopkins_cache_misses,
+            r.hopkins_cache_disk_hits,
             r.abbe_forward_allocs,
             r.abbe_gradients_allocs,
             batch_fields,
@@ -405,6 +525,23 @@ fn json_report(
         ));
     }
     out.push_str("  ]");
+    if let Some(t) = tcc_build {
+        out.push_str(&format!(
+            ",\n  \"tcc_build\": {{\"mask_dim\": {}, \"source_dim\": {}, \
+             \"effective_points\": {}, \"cold_ms\": {:.3}, \"mt_threads\": {}, \
+             \"cold_mt_ms\": {:.3}, \"warm_ms\": {:.4}, \
+             \"thread_speedup\": {:.3}, \"cache_speedup\": {:.1}}}",
+            t.mask_dim,
+            t.source_dim,
+            t.effective_points,
+            t.cold_ms,
+            t.mt_threads,
+            t.cold_mt_ms,
+            t.warm_ms,
+            t.thread_speedup,
+            t.cache_speedup
+        ));
+    }
     if let Some(b) = baseline {
         out.push_str(",\n  \"baseline\": ");
         // The baseline file is itself a report this binary wrote, so it can
@@ -427,11 +564,12 @@ fn find_num(line: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
-/// One gated baseline row: `(mask_dim, abbe_forward_ms, abbe_gradients_ms)`.
-/// The gradients figure is `None` for baselines predating it in the gate
-/// (the field itself has always been written, but tolerating its absence
-/// keeps hand-trimmed baselines usable).
-type BaselineRow = (usize, f64, Option<f64>);
+/// One gated baseline row:
+/// `(mask_dim, abbe_forward_ms, abbe_gradients_ms, hopkins_build_ms)`.
+/// The latter two are `None` for baselines predating them in the gate (the
+/// fields are always written today, but tolerating their absence keeps
+/// hand-trimmed and older baselines usable).
+type BaselineRow = (usize, f64, Option<f64>, Option<f64>);
 
 /// Extracts the gated timings from the **first** `"results"` array of a
 /// report this binary wrote. Scanning stops at the array's closing bracket,
@@ -453,17 +591,22 @@ fn parse_baseline_forward(report: &str) -> Vec<BaselineRow> {
             find_num(trimmed, "mask_dim"),
             find_num(trimmed, "abbe_forward_ms"),
         ) {
-            out.push((dim as usize, ms, find_num(trimmed, "abbe_gradients_ms")));
+            out.push((
+                dim as usize,
+                ms,
+                find_num(trimmed, "abbe_gradients_ms"),
+                find_num(trimmed, "hopkins_build_ms"),
+            ));
         }
     }
     out
 }
 
 /// The soft perf gate: fails (returns `Err`) if any grid's current
-/// `abbe_forward_ms` or `abbe_gradients_ms` exceeds `factor ×` the
-/// baseline's figure for the same grid. Grids (or metrics) present on only
-/// one side are reported but never fail the gate — a new size has no
-/// baseline to regress against.
+/// `abbe_forward_ms`, `abbe_gradients_ms`, or cold `hopkins_build_ms`
+/// exceeds `factor ×` the baseline's figure for the same grid. Grids (or
+/// metrics) present on only one side are reported but never fail the gate —
+/// a new size has no baseline to regress against.
 fn check_gate(results: &[SizeResult], baseline: &str, factor: f64) -> Result<(), String> {
     let base = parse_baseline_forward(baseline);
     if base.is_empty() {
@@ -487,8 +630,8 @@ fn check_gate(results: &[SizeResult], baseline: &str, factor: f64) -> Result<(),
         }
     };
     for r in results {
-        match base.iter().find(|(dim, _, _)| *dim == r.mask_dim) {
-            Some((_, fwd_ms, grad_ms)) => {
+        match base.iter().find(|(dim, _, _, _)| *dim == r.mask_dim) {
+            Some((_, fwd_ms, grad_ms, build_ms)) => {
                 gate_metric(r.mask_dim, "abbe_forward", r.abbe_forward_ms, *fwd_ms);
                 match grad_ms {
                     Some(g) => {
@@ -496,6 +639,15 @@ fn check_gate(results: &[SizeResult], baseline: &str, factor: f64) -> Result<(),
                     }
                     None => eprintln!(
                         "[imaging_bench] gate {}²: baseline has no abbe_gradients_ms, skipping",
+                        r.mask_dim
+                    ),
+                }
+                match build_ms {
+                    Some(b) => {
+                        gate_metric(r.mask_dim, "hopkins_build", r.hopkins_build_ms, *b);
+                    }
+                    None => eprintln!(
+                        "[imaging_bench] gate {}²: baseline has no hopkins_build_ms, skipping",
                         r.mask_dim
                     ),
                 }
@@ -521,6 +673,7 @@ fn main() {
     let mut baseline_path: Option<String> = None;
     let mut threads = 1usize;
     let mut gate: Option<f64> = None;
+    let mut require_cache_hit = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -545,6 +698,7 @@ fn main() {
                         .expect("--gate must be a number"),
                 );
             }
+            "--require-cache-hit" => require_cache_hit = true,
             other => panic!("unknown argument {other}"),
         }
     }
@@ -562,6 +716,15 @@ fn main() {
     for &(mask_dim, source_dim, reps) in sizes {
         eprintln!("[imaging_bench] {mask_dim}x{mask_dim}, N_j = {source_dim} ...");
         let r = run_size(mask_dim, source_dim, reps, threads, batch);
+        eprintln!(
+            "[imaging_bench]   hopkins build: cold {:.1} ms, cached {:.3} ms \
+             (hits {}, misses {}, disk hits {})",
+            r.hopkins_build_ms,
+            r.hopkins_build_cached_ms,
+            r.hopkins_cache_hits,
+            r.hopkins_cache_misses,
+            r.hopkins_cache_disk_hits
+        );
         if let Some(b) = &r.batch {
             eprintln!(
                 "[imaging_bench]   3-corner eval: sequential {:.1} ms, fused {:.1} ms \
@@ -588,9 +751,32 @@ fn main() {
         results.push(r);
     }
 
+    let tcc_build = (!quick).then(|| {
+        eprintln!("[imaging_bench] paper-scale TCC build (256², N_j = 31) ...");
+        let t = run_tcc_build(threads);
+        eprintln!(
+            "[imaging_bench]   σ = {}: cold {:.1} ms, cold @ {} threads {:.1} ms \
+             ({:.2}x), warm {:.3} ms ({:.0}x)",
+            t.effective_points,
+            t.cold_ms,
+            t.mt_threads,
+            t.cold_mt_ms,
+            t.thread_speedup,
+            t.warm_ms,
+            t.cache_speedup
+        );
+        t
+    });
+
     let baseline = baseline_path
         .map(|p| std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("read baseline {p}: {e}")));
-    let report = json_report(&label, threads, &results, baseline.as_deref());
+    let report = json_report(
+        &label,
+        threads,
+        &results,
+        tcc_build.as_ref(),
+        baseline.as_deref(),
+    );
     if let Some(dir) = std::path::Path::new(&out_path).parent() {
         if !dir.as_os_str().is_empty() {
             std::fs::create_dir_all(dir).expect("create output directory");
@@ -606,5 +792,38 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("[imaging_bench] perf gate passed (limit {factor:.2}x)");
+    }
+
+    // The CI cache smoke: a second run against a populated
+    // `BISMO_KERNEL_CACHE` dir must serve at least one bundle from disk
+    // (this process never built it) and beat every cold build.
+    if require_cache_hit {
+        let stats = KernelCache::stats();
+        let mut failures = Vec::new();
+        if stats.disk_hits == 0 {
+            failures.push(format!(
+                "no disk-tier hit (stats: {} hits, {} misses, {} disk hits)",
+                stats.hits, stats.misses, stats.disk_hits
+            ));
+        }
+        for r in &results {
+            if r.hopkins_build_cached_ms >= r.hopkins_build_ms {
+                failures.push(format!(
+                    "{0}²: cached acquisition {1:.3} ms did not beat cold build {2:.3} ms",
+                    r.mask_dim, r.hopkins_build_cached_ms, r.hopkins_build_ms
+                ));
+            }
+        }
+        if !failures.is_empty() {
+            eprintln!(
+                "[imaging_bench] CACHE SMOKE FAILED: {}",
+                failures.join("; ")
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "[imaging_bench] cache smoke passed ({} disk hit(s), {} in-memory hit(s))",
+            stats.disk_hits, stats.hits
+        );
     }
 }

@@ -9,6 +9,8 @@
 //! SVD truncation. The type system mirrors this: [`HopkinsImager`] exposes
 //! mask gradients but has no source-gradient method.
 
+use std::sync::Arc;
+
 use bismo_fft::{Complex64, Fft2Plan, Fft2Workspace};
 use bismo_linalg::{eigh_jacobi, top_eigenpairs, Eigh, HermitianMatrix};
 use bismo_optics::{
@@ -18,6 +20,7 @@ use bismo_optics::{
 
 use crate::batch::{check_batch_shape, IntensityBatch, MaskBatch};
 use crate::error::LithoError;
+use crate::kernel_cache::{self, TccKernels};
 
 /// Hermitian inner product `⟨a, b⟩ = Σ conj(a_k)·b_k` over two cached
 /// shifted-pupil entries (lit-bin lists in ascending flat-index order).
@@ -40,7 +43,38 @@ fn entry_hermitian_dot(a: ShiftedPupilEntry<'_>, b: ShiftedPupilEntry<'_>) -> Co
 
 /// Gram-matrix dimension threshold below which the exact Jacobi eigensolver
 /// is used; above it, randomized subspace iteration.
-const DENSE_EIG_LIMIT: usize = 260;
+pub(crate) const DENSE_EIG_LIMIT: usize = 260;
+
+/// Construction options for the TCC build (DESIGN.md §13): assembly
+/// worker-thread count and cache routing. The default (`threads: 0`,
+/// cache on) is what [`HopkinsImager::new`] and friends use.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TccBuild {
+    /// Worker threads for the Gram assembly and the kernel lift; `0` (the
+    /// default) uses the machine's available parallelism. Threading is a
+    /// scheduling choice, never a numerical one: the assembled matrix and
+    /// the final kernels are bit-identical at any thread count (§9).
+    pub threads: usize,
+    /// Skip the process-wide [`crate::KernelCache`] entirely — always
+    /// build fresh, never insert. Benchmarks use this to time true cold
+    /// builds; tests use it to pin cached kernels against an uncached
+    /// reference.
+    pub bypass_cache: bool,
+}
+
+impl TccBuild {
+    /// Resolves the requested thread count against `units` independent
+    /// work items: `0` means available parallelism, and no more workers
+    /// than items are ever spawned.
+    fn workers(self, units: usize) -> usize {
+        let t = if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            self.threads
+        };
+        t.clamp(1, units.max(1))
+    }
+}
 
 /// One SOCS kernel: eigenvalue κ_q and the frequency-domain eigenvector
 /// φ_q restricted to the pupil support.
@@ -77,9 +111,10 @@ pub struct SocsKernel {
 pub struct HopkinsImager {
     cfg: OpticalConfig,
     plan: Fft2Plan,
-    support: Vec<(usize, usize)>,
-    kernels: Vec<SocsKernel>,
-    truncation: usize,
+    /// The kernel bundle, shared with the process-wide cache (and with
+    /// every other engine built from the same inputs). Cloning an imager —
+    /// or hitting the cache — shares the bundle instead of copying it.
+    tcc: Arc<TccKernels>,
     /// The frozen illumination the TCC was baked against.
     source: Source,
 }
@@ -119,20 +154,46 @@ impl HopkinsImager {
         source: &Source,
         q: usize,
     ) -> Result<Self, LithoError> {
+        Self::with_pupil_build(cfg, pupil, source, q, TccBuild::default())
+    }
+
+    /// Like [`HopkinsImager::with_pupil`] with explicit [`TccBuild`]
+    /// options. On a kernel-cache hit the shifted-pupil table is never
+    /// evaluated and the eigensolver never runs — construction collapses to
+    /// an FFT-plan build plus an `Arc` clone of the cached bundle.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`HopkinsImager::new`].
+    pub fn with_pupil_build(
+        cfg: &OpticalConfig,
+        pupil: Pupil,
+        source: &Source,
+        q: usize,
+        build: TccBuild,
+    ) -> Result<Self, LithoError> {
         Self::validate(cfg, source)?;
-        // Shifted pupils of the lit source points only (the full grid would
-        // be wasted work for a one-off build).
         let points = source.effective_points(1e-12);
-        let selected: Vec<usize> = points.iter().map(|p| p.index).collect();
-        let shifted = ShiftedPupilTable::for_points(cfg, &pupil, &selected);
-        Self::from_table(
-            cfg,
-            Fft2Plan::new(cfg.mask_dim(), cfg.mask_dim())?,
-            &shifted,
-            &points,
-            source,
-            q,
-        )
+        let key = kernel_cache::fingerprint(cfg, &pupil, &points, source, q);
+        let plan = Fft2Plan::new(cfg.mask_dim(), cfg.mask_dim())?;
+        let build_fresh = || {
+            // Shifted pupils of the lit source points only (the full grid
+            // would be wasted work for a one-off build).
+            let selected: Vec<usize> = points.iter().map(|p| p.index).collect();
+            let shifted = ShiftedPupilTable::for_points(cfg, &pupil, &selected);
+            Self::build_tcc(&shifted, &points, source.total_weight(), q, build)
+        };
+        let tcc = if build.bypass_cache {
+            Arc::new(build_fresh()?)
+        } else {
+            kernel_cache::acquire(key, cfg.mask_dim(), build_fresh)?
+        };
+        Ok(HopkinsImager {
+            cfg: cfg.clone(),
+            plan,
+            tcc,
+            source: source.clone(),
+        })
     }
 
     /// Builds the TCC against a shared [`ImagingCore`], reusing its
@@ -148,16 +209,40 @@ impl HopkinsImager {
     ///
     /// Same failure modes as [`HopkinsImager::new`].
     pub fn with_core(core: &ImagingCore, source: &Source, q: usize) -> Result<Self, LithoError> {
-        Self::validate(core.config(), source)?;
+        Self::with_core_build(core, source, q, TccBuild::default())
+    }
+
+    /// Like [`HopkinsImager::with_core`] with explicit [`TccBuild`]
+    /// options. The cache key is identical to the standalone path's (the
+    /// full-grid table caches the exact same analytic values), so engines
+    /// built through either constructor share one cached bundle.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`HopkinsImager::new`].
+    pub fn with_core_build(
+        core: &ImagingCore,
+        source: &Source,
+        q: usize,
+        build: TccBuild,
+    ) -> Result<Self, LithoError> {
+        let cfg = core.config();
+        Self::validate(cfg, source)?;
         let points = source.effective_points(1e-12);
-        Self::from_table(
-            core.config(),
-            core.plan().clone(),
-            core.shifted(),
-            &points,
-            source,
-            q,
-        )
+        let key = kernel_cache::fingerprint(cfg, core.pupil(), &points, source, q);
+        let build_fresh =
+            || Self::build_tcc(core.shifted(), &points, source.total_weight(), q, build);
+        let tcc = if build.bypass_cache {
+            Arc::new(build_fresh()?)
+        } else {
+            kernel_cache::acquire(key, cfg.mask_dim(), build_fresh)?
+        };
+        Ok(HopkinsImager {
+            cfg: cfg.clone(),
+            plan: core.plan().clone(),
+            tcc,
+            source: source.clone(),
+        })
     }
 
     /// The shared input checks of every constructor (dark source, grid
@@ -190,19 +275,24 @@ impl HopkinsImager {
 
     /// TCC assembly + eigendecomposition + kernel lift over an
     /// already-evaluated shifted-pupil table (which must cover at least
-    /// `points`, the effective points of `source` — a full-grid table
+    /// `points`, the effective points of the source — a full-grid table
     /// qualifies; the caller computed `points` once to build/select the
     /// table, so it is passed through instead of re-derived).
-    fn from_table(
-        cfg: &OpticalConfig,
-        plan: Fft2Plan,
+    ///
+    /// Both expensive stages — the σ(σ+1)/2 independent Gram overlaps and
+    /// the per-kernel spectrum lift — fan out over `build.workers(..)`
+    /// scoped threads. Work items map to fixed output slots whose
+    /// boundaries depend only on σ (never on worker count or finish
+    /// order), and each item's floating-point operation DAG is untouched,
+    /// so the result is bit-identical at any thread count (§9).
+    fn build_tcc(
         shifted: &ShiftedPupilTable,
         points: &[SourcePoint],
-        source: &Source,
+        s_total: f64,
         q: usize,
-    ) -> Result<Self, LithoError> {
-        let s_total = source.total_weight();
-        let n = cfg.mask_dim();
+        build: TccBuild,
+    ) -> Result<TccKernels, LithoError> {
+        let n = shifted.mask_dim();
 
         // Union support in point-then-flat-index discovery order.
         let mut support_mark = vec![usize::MAX; n * n];
@@ -219,20 +309,68 @@ impl HopkinsImager {
         let sigma = points.len();
 
         // Gram matrix G[σ,τ] = √(w_σ w_τ)/Σj · ⟨h_σ, h_τ⟩ (Hermitian PSD;
-        // real only for an in-focus binary pupil).
+        // real only for an in-focus binary pupil). The upper triangle is
+        // computed into a packed row-major buffer: row `a` owns the slots
+        // for pairs (a, a..σ).
         let sqrt_w: Vec<f64> = points.iter().map(|p| (p.weight / s_total).sqrt()).collect();
+        let pair_count = sigma * (sigma + 1) / 2;
+        let mut overlaps = vec![Complex64::ZERO; pair_count];
+        let fill_rows = |buf: &mut [Complex64], first: usize, last: usize| {
+            let mut k = 0usize;
+            for a in first..last {
+                let ea = shifted.entry(points[a].index);
+                for p in &points[a..] {
+                    buf[k] = entry_hermitian_dot(ea, shifted.entry(p.index));
+                    k += 1;
+                }
+            }
+        };
+        let workers = build.workers(sigma);
+        if workers <= 1 {
+            fill_rows(&mut overlaps, 0, sigma);
+        } else {
+            // Contiguous row blocks balanced by slot count (row a holds
+            // σ−a slots). Block boundaries are a pure function of σ and
+            // the worker count, and each worker writes only its own
+            // disjoint sub-slice, so the packed buffer — and everything
+            // downstream — is deterministic.
+            std::thread::scope(|scope| {
+                let fill_rows = &fill_rows;
+                let mut rest: &mut [Complex64] = &mut overlaps;
+                let mut row = 0usize;
+                let mut remaining = pair_count;
+                for w in 0..workers {
+                    if row >= sigma {
+                        break;
+                    }
+                    let target = remaining.div_ceil(workers - w);
+                    let mut len = 0usize;
+                    let mut end = row;
+                    while end < sigma && (len == 0 || len + (sigma - end) <= target) {
+                        len += sigma - end;
+                        end += 1;
+                    }
+                    let (head, tail) = rest.split_at_mut(len);
+                    rest = tail;
+                    let first = row;
+                    scope.spawn(move || fill_rows(head, first, end));
+                    remaining -= len;
+                    row = end;
+                }
+            });
+        }
         let mut gram = HermitianMatrix::zeros(sigma);
+        let mut slot = 0usize;
         for a in 0..sigma {
             for b in a..sigma {
-                let overlap = entry_hermitian_dot(
-                    shifted.entry(points[a].index),
-                    shifted.entry(points[b].index),
-                );
+                let overlap = overlaps[slot];
+                slot += 1;
                 if overlap.norm_sqr() > 0.0 {
                     gram.set(a, b, overlap.scale(sqrt_w[a] * sqrt_w[b]));
                 }
             }
         }
+        drop(overlaps);
 
         let q_eff = q.min(sigma);
         let eig: Eigh = if sigma <= DENSE_EIG_LIMIT {
@@ -242,12 +380,10 @@ impl HopkinsImager {
         };
 
         // Lift Gram eigenvectors to TCC eigenvectors on the support:
-        // φ_q = (Σ_σ √w_σ · u_q[σ] · h_σ) / √λ_q.
-        let mut kernels = Vec::new();
-        for (lam, u) in eig.values.iter().zip(&eig.vectors).take(q_eff) {
-            if *lam <= 1e-14 {
-                continue;
-            }
+        // φ_q = (Σ_σ √w_σ · u_q[σ] · h_σ) / √λ_q. Kernels are mutually
+        // independent, so the retained ones fan out over the same worker
+        // pool, each filling its own pre-assigned slot.
+        let lift = |lam: f64, u: &[Complex64]| -> SocsKernel {
             let inv_sqrt = 1.0 / lam.sqrt();
             let mut phi = vec![Complex64::ZERO; support.len()];
             for (s_idx, p) in points.iter().enumerate() {
@@ -257,16 +393,40 @@ impl HopkinsImager {
                     phi[support_mark[flat as usize]] += coef * entry.value_at(pos);
                 }
             }
-            kernels.push(SocsKernel { kappa: *lam, phi });
-        }
+            SocsKernel { kappa: lam, phi }
+        };
+        let retained: Vec<(f64, &[Complex64])> = eig
+            .values
+            .iter()
+            .zip(&eig.vectors)
+            .take(q_eff)
+            .filter(|(lam, _)| **lam > 1e-14)
+            .map(|(lam, u)| (*lam, u.as_slice()))
+            .collect();
+        let kworkers = build.workers(retained.len()).min(workers);
+        let kernels: Vec<SocsKernel> = if kworkers <= 1 {
+            retained.iter().map(|&(lam, u)| lift(lam, u)).collect()
+        } else {
+            let chunk = retained.len().div_ceil(kworkers);
+            let mut slots: Vec<Option<SocsKernel>> = vec![None; retained.len()];
+            std::thread::scope(|scope| {
+                for (items, out) in retained.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+                    let lift = &lift;
+                    scope.spawn(move || {
+                        for (&(lam, u), slot) in items.iter().zip(out) {
+                            *slot = Some(lift(lam, u));
+                        }
+                    });
+                }
+            });
+            debug_assert!(slots.iter().all(Option::is_some));
+            slots.into_iter().flatten().collect()
+        };
 
-        Ok(HopkinsImager {
-            cfg: cfg.clone(),
-            plan,
+        Ok(TccKernels {
             support,
             kernels,
             truncation: q_eff,
-            source: source.clone(),
         })
     }
 
@@ -287,20 +447,20 @@ impl HopkinsImager {
     /// The pupil-support frequency bins the kernels live on.
     #[inline]
     pub fn support(&self) -> &[(usize, usize)] {
-        &self.support
+        &self.tcc.support
     }
 
     /// Retained SOCS kernels (≤ the requested truncation; zero-eigenvalue
     /// kernels are dropped).
     #[inline]
     pub fn kernels(&self) -> &[SocsKernel] {
-        &self.kernels
+        &self.tcc.kernels
     }
 
     /// The truncation rank `Q` requested at construction.
     #[inline]
     pub fn truncation(&self) -> usize {
-        self.truncation
+        self.tcc.truncation
     }
 
     fn check_mask(&self, mask: &RealField) -> Result<(), LithoError> {
@@ -333,9 +493,9 @@ impl HopkinsImager {
 
         let mut total = vec![0.0; n * n];
         let mut field = vec![Complex64::ZERO; n * n];
-        for kernel in &self.kernels {
+        for kernel in &self.tcc.kernels {
             field.fill(Complex64::ZERO);
-            for (i, &(row, col)) in self.support.iter().enumerate() {
+            for (i, &(row, col)) in self.tcc.support.iter().enumerate() {
                 let k = row * n + col;
                 field[k] = kernel.phi[i] * o[k];
             }
@@ -371,9 +531,9 @@ impl HopkinsImager {
 
         let mut acc_freq = vec![Complex64::ZERO; n * n];
         let mut field = vec![Complex64::ZERO; n * n];
-        for kernel in &self.kernels {
+        for kernel in &self.tcc.kernels {
             field.fill(Complex64::ZERO);
-            for (i, &(row, col)) in self.support.iter().enumerate() {
+            for (i, &(row, col)) in self.tcc.support.iter().enumerate() {
                 let k = row * n + col;
                 field[k] = kernel.phi[i] * o[k];
             }
@@ -382,7 +542,7 @@ impl HopkinsImager {
                 *a = a.scale(g);
             }
             self.plan.forward_with(&mut field, &mut fft_ws)?;
-            for (i, &(row, col)) in self.support.iter().enumerate() {
+            for (i, &(row, col)) in self.tcc.support.iter().enumerate() {
                 let k = row * n + col;
                 acc_freq[k] += kernel.phi[i].conj() * field[k].scale(kernel.kappa);
             }
@@ -430,9 +590,9 @@ impl HopkinsImager {
         let out_slice = out.as_mut_slice();
         out_slice.fill(0.0);
         let mut field = vec![Complex64::ZERO; batch * n2];
-        for kernel in &self.kernels {
+        for kernel in &self.tcc.kernels {
             field.fill(Complex64::ZERO);
-            for (i, &(row, col)) in self.support.iter().enumerate() {
+            for (i, &(row, col)) in self.tcc.support.iter().enumerate() {
                 let k = row * n + col;
                 let phi = kernel.phi[i];
                 for b in 0..batch {
@@ -492,9 +652,9 @@ impl HopkinsImager {
 
         let mut acc_freq = vec![Complex64::ZERO; batch * n2];
         let mut field = vec![Complex64::ZERO; batch * n2];
-        for kernel in &self.kernels {
+        for kernel in &self.tcc.kernels {
             field.fill(Complex64::ZERO);
-            for (i, &(row, col)) in self.support.iter().enumerate() {
+            for (i, &(row, col)) in self.tcc.support.iter().enumerate() {
                 let k = row * n + col;
                 let phi = kernel.phi[i];
                 for b in 0..batch {
@@ -506,7 +666,7 @@ impl HopkinsImager {
                 *a = a.scale(g);
             }
             bfft.forward_with(&mut field, &mut fft_ws)?;
-            for (i, &(row, col)) in self.support.iter().enumerate() {
+            for (i, &(row, col)) in self.tcc.support.iter().enumerate() {
                 let k = row * n + col;
                 let phi_conj = kernel.phi[i].conj();
                 for b in 0..batch {
@@ -544,7 +704,7 @@ impl HopkinsImager {
         // by the kernels at construction; callers comparing against Abbe get
         // the practical answer from the intensity itself, so a simple sum of
         // kappas normalized by the full trace stored at build time suffices.
-        self.kernels.iter().map(|k| k.kappa).sum()
+        self.tcc.kernels.iter().map(|k| k.kappa).sum()
     }
 }
 
@@ -681,8 +841,15 @@ mod tests {
         // analytic values `for_points` evaluates.
         let (cfg, src) = setup();
         let core = ImagingCore::new(&cfg).unwrap();
-        let standalone = HopkinsImager::new(&cfg, &src, 12).unwrap();
-        let shared = HopkinsImager::with_core(&core, &src, 12).unwrap();
+        // Bypass the kernel cache on both sides so the test keeps comparing
+        // two genuine constructions instead of one build and a cache hit.
+        let fresh = TccBuild {
+            bypass_cache: true,
+            ..TccBuild::default()
+        };
+        let standalone =
+            HopkinsImager::with_pupil_build(&cfg, Pupil::new(&cfg), &src, 12, fresh).unwrap();
+        let shared = HopkinsImager::with_core_build(&core, &src, 12, fresh).unwrap();
         assert_eq!(standalone.support(), shared.support());
         assert_eq!(standalone.kernels().len(), shared.kernels().len());
         for (a, b) in standalone.kernels().iter().zip(shared.kernels()) {

@@ -1,0 +1,648 @@
+//! Process-wide cache of SOCS kernel bundles (DESIGN.md §13).
+//!
+//! The TCC build depends only on `(OpticalConfig, Pupil, effective source
+//! points, Q)` — everything else about a [`crate::HopkinsImager`] is cheap.
+//! This module amortizes that build twice over:
+//!
+//! * an **in-memory LRU** of [`Arc`]-shared kernel bundles, consulted by
+//!   every `HopkinsImager` constructor, so a suite sweep (or the hybrid
+//!   AM-SMO driver re-entering the same source) assembles each TCC once per
+//!   process instead of once per (clip × round);
+//! * an **opt-in on-disk tier** (`BISMO_KERNEL_CACHE=<dir>`, strict parse
+//!   per the §7 knob rules) holding each bundle as a versioned,
+//!   checksummed little-endian file, so repeated *processes* skip the
+//!   rebuild too. A mismatched, truncated, or corrupted file is a **miss,
+//!   never an error**; writes go through a temp file + atomic rename like
+//!   the bench journal, so readers only ever observe complete files.
+//!
+//! The cache key is an FNV-1a fingerprint (the journal's hash idiom) over
+//! the exact inputs of the build, including the eigensolver route; the
+//! assembly thread count is deliberately **not** part of the key, because
+//! the build is bit-identical at any thread count (§9). Files store exact
+//! `f64` bit patterns, so a disk round-trip is bit-exact on both
+//! eigensolver routes.
+
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+
+use bismo_fft::Complex64;
+use bismo_optics::{OpticalConfig, Pupil, Source, SourcePoint};
+
+use crate::error::LithoError;
+use crate::hopkins::{SocsKernel, DENSE_EIG_LIMIT};
+
+/// Bumped on any change to the fingerprint recipe or the file layout; also
+/// embedded in the file magic so stale caches from older formats read as
+/// misses instead of mis-parses.
+const FORMAT_VERSION: u64 = 1;
+
+/// File magic: `BSMOTCC` + the format version digit.
+const MAGIC: &[u8; 8] = b"BSMOTCC1";
+
+/// Fixed-size file header: magic + key + payload length + checksum.
+const HEADER_LEN: usize = 32;
+
+/// Default number of resident bundles. Paper-scale bundles run a few MB
+/// each (Q kernels × union support × 16 bytes), so this bounds the cache
+/// at tens of MB worst case.
+const DEFAULT_CAPACITY: usize = 8;
+
+/// The immutable product of one TCC build: the union frequency support,
+/// the retained SOCS kernels, and the truncation rank that was requested.
+/// Shared by `Arc` between every [`crate::HopkinsImager`] built from the
+/// same inputs — borrowers keep their bundle alive after eviction.
+#[derive(Debug)]
+pub(crate) struct TccKernels {
+    pub(crate) support: Vec<(usize, usize)>,
+    pub(crate) kernels: Vec<SocsKernel>,
+    pub(crate) truncation: usize,
+}
+
+/// Counters of the process-wide kernel cache, for benches and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelCacheStats {
+    /// Builds served from the in-memory LRU.
+    pub hits: u64,
+    /// Builds served by deserializing an on-disk bundle.
+    pub disk_hits: u64,
+    /// Full (cold) builds — nothing usable in either tier.
+    pub misses: u64,
+    /// Bundles successfully persisted to the disk tier.
+    pub disk_stores: u64,
+    /// In-memory entries dropped to respect the capacity bound.
+    pub evictions: u64,
+}
+
+struct Inner {
+    cap: usize,
+    disk_dir: Option<PathBuf>,
+    /// Index 0 is least-recently used; the back is most-recent. Linear
+    /// scans are fine at the capacities involved (≤ a few dozen).
+    lru: Vec<(u64, Arc<TccKernels>)>,
+    stats: KernelCacheStats,
+}
+
+fn state() -> &'static Mutex<Inner> {
+    static STATE: OnceLock<Mutex<Inner>> = OnceLock::new();
+    STATE.get_or_init(|| {
+        Mutex::new(Inner {
+            cap: DEFAULT_CAPACITY,
+            disk_dir: disk_dir_from_env(),
+            lru: Vec::new(),
+            stats: KernelCacheStats::default(),
+        })
+    })
+}
+
+fn lock() -> MutexGuard<'static, Inner> {
+    // A panic while holding the lock leaves only counters/entries behind,
+    // all of which remain structurally valid; recover instead of poisoning
+    // every later build.
+    state().lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Strict §7 parse of `BISMO_KERNEL_CACHE`: unset disables the disk tier;
+/// a set value must be a usable directory path (created here if absent).
+fn disk_dir_from_env() -> Option<PathBuf> {
+    match std::env::var("BISMO_KERNEL_CACHE") {
+        Ok(v) if v.trim().is_empty() => {
+            // PANIC-OK: §7 fail-fast knob contract — an empty value is a
+            // misconfiguration, not a request to disable the cache.
+            panic!("BISMO_KERNEL_CACHE is set but empty; set it to a cache directory or unset it")
+        }
+        Ok(v) => {
+            std::fs::create_dir_all(&v).unwrap_or_else(|e| {
+                // PANIC-OK: §7 fail-fast knob contract — an uncreatable cache
+                // directory would silently disable the tier the user asked for.
+                panic!("BISMO_KERNEL_CACHE={v}: cannot create cache directory: {e}")
+            });
+            Some(PathBuf::from(v))
+        }
+        Err(std::env::VarError::NotPresent) => None,
+        // PANIC-OK: §7 fail-fast knob contract (malformed value).
+        Err(e) => panic!("BISMO_KERNEL_CACHE is not valid unicode: {e}"),
+    }
+}
+
+/// Handle-less facade over the process-wide SOCS kernel cache. All methods
+/// are safe to call from any thread; mutators exist for benches and tests
+/// (cold-build timing, LRU/corruption coverage) and for embedders that want
+/// to point the disk tier somewhere programmatically.
+pub struct KernelCache;
+
+impl KernelCache {
+    /// Snapshot of the cache counters.
+    pub fn stats() -> KernelCacheStats {
+        lock().stats
+    }
+
+    /// Number of bundles currently resident in the in-memory tier.
+    pub fn resident() -> usize {
+        lock().lru.len()
+    }
+
+    /// Drops every in-memory entry (on-disk files are untouched).
+    /// Outstanding `Arc` borrowers keep their bundles alive.
+    pub fn clear() {
+        lock().lru.clear();
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset_stats() {
+        lock().stats = KernelCacheStats::default();
+    }
+
+    /// Current in-memory capacity bound.
+    pub fn capacity() -> usize {
+        lock().cap
+    }
+
+    /// Sets the in-memory capacity (clamped to ≥ 1), evicting
+    /// least-recently-used entries if the cache is over the new bound.
+    pub fn set_capacity(cap: usize) {
+        let mut g = lock();
+        g.cap = cap.max(1);
+        while g.lru.len() > g.cap {
+            g.lru.remove(0);
+            g.stats.evictions += 1;
+        }
+    }
+
+    /// The active disk-tier directory, if any.
+    pub fn disk_dir() -> Option<PathBuf> {
+        lock().disk_dir.clone()
+    }
+
+    /// Points the disk tier at `dir` (created if absent; an unusable
+    /// directory degrades to misses on load and skipped stores on write),
+    /// or disables it with `None`. Overrides the `BISMO_KERNEL_CACHE`
+    /// default for the rest of the process.
+    pub fn set_disk_dir(dir: Option<PathBuf>) {
+        if let Some(d) = &dir {
+            let _ = std::fs::create_dir_all(d);
+        }
+        lock().disk_dir = dir;
+    }
+}
+
+/// Looks `key` up in both tiers, building (and inserting) on a miss.
+/// The lock is never held across disk I/O or the build itself, so two
+/// threads racing on the same key may both build; the later insert wins,
+/// which is harmless because builds are deterministic.
+pub(crate) fn acquire(
+    key: u64,
+    mask_dim: usize,
+    build: impl FnOnce() -> Result<TccKernels, LithoError>,
+) -> Result<Arc<TccKernels>, LithoError> {
+    let disk_dir;
+    {
+        let mut g = lock();
+        if let Some(pos) = g.lru.iter().position(|(k, _)| *k == key) {
+            let entry = g.lru.remove(pos);
+            let arc = Arc::clone(&entry.1);
+            g.lru.push(entry);
+            g.stats.hits += 1;
+            return Ok(arc);
+        }
+        disk_dir = g.disk_dir.clone();
+    }
+    if let Some(dir) = &disk_dir {
+        if let Some(tcc) = load_file(&dir.join(file_name(key)), key, mask_dim) {
+            let arc = Arc::new(tcc);
+            let mut g = lock();
+            g.stats.disk_hits += 1;
+            insert_locked(&mut g, key, Arc::clone(&arc));
+            return Ok(arc);
+        }
+    }
+    let built = build()?;
+    let stored = disk_dir
+        .as_deref()
+        .is_some_and(|dir| store_file(dir, key, &built, mask_dim));
+    let arc = Arc::new(built);
+    let mut g = lock();
+    g.stats.misses += 1;
+    if stored {
+        g.stats.disk_stores += 1;
+    }
+    insert_locked(&mut g, key, Arc::clone(&arc));
+    Ok(arc)
+}
+
+fn insert_locked(g: &mut Inner, key: u64, arc: Arc<TccKernels>) {
+    if let Some(pos) = g.lru.iter().position(|(k, _)| *k == key) {
+        // Lost a race with a concurrent builder of the same key; replace
+        // (the bundles are value-identical) instead of double-inserting.
+        g.lru.remove(pos);
+    }
+    g.lru.push((key, arc));
+    while g.lru.len() > g.cap {
+        g.lru.remove(0);
+        g.stats.evictions += 1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprint
+// ---------------------------------------------------------------------------
+
+/// FNV-1a (the journal's hash idiom in `bismo-bench`).
+fn fnv1a_update(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    fnv1a_update(FNV_OFFSET, bytes)
+}
+
+struct Hasher(u64);
+
+impl Hasher {
+    fn new() -> Self {
+        Hasher(FNV_OFFSET)
+    }
+    fn u8(&mut self, v: u8) {
+        self.0 = fnv1a_update(self.0, &[v]);
+    }
+    fn u64(&mut self, v: u64) {
+        self.0 = fnv1a_update(self.0, &v.to_le_bytes());
+    }
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Cache key over the exact inputs of the TCC build: the optical
+/// configuration, the pupil (defocus/aberration state included), the
+/// effective source points **with weights**, the truncation rank, and the
+/// eigensolver route. `f64`s are hashed by bit pattern, so any numeric
+/// change — however small — is a different key.
+pub(crate) fn fingerprint(
+    cfg: &OpticalConfig,
+    pupil: &Pupil,
+    points: &[SourcePoint],
+    source: &Source,
+    q: usize,
+) -> u64 {
+    let mut h = Hasher::new();
+    h.u64(FORMAT_VERSION);
+    h.f64(cfg.wavelength_nm());
+    h.f64(cfg.na());
+    h.usize(cfg.mask_dim());
+    h.f64(cfg.pixel_nm());
+    h.usize(cfg.source_dim());
+    h.f64(cfg.sigma_out());
+    h.f64(cfg.sigma_in());
+    h.f64(pupil.cutoff());
+    h.usize(pupil.dim());
+    h.f64(pupil.defocus_nm());
+    h.u8(u8::from(pupil.is_real()));
+    h.f64(source.freq_scale());
+    h.usize(source.dim());
+    h.usize(points.len());
+    for p in points {
+        h.usize(p.index);
+        h.f64(p.weight);
+    }
+    h.usize(q);
+    h.u8(u8::from(points.len() <= DENSE_EIG_LIMIT));
+    h.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Disk tier: versioned little-endian binary files
+// ---------------------------------------------------------------------------
+//
+// File layout (all integers little-endian):
+//
+//   magic      8 bytes   b"BSMOTCC1" (format version baked in)
+//   key        u64       fingerprint, must match the requested key
+//   payload    u64       payload byte length
+//   checksum   u64       FNV-1a over the payload bytes
+//   --- payload ---
+//   mask_dim   u64       grid the support flats address
+//   truncation u64
+//   support_n  u64
+//   kernel_n   u64
+//   support    support_n × u32 flat row-major indices
+//   kernels    kernel_n × { kappa f64-bits, support_n × (re, im) f64-bits }
+//
+// Every read is bounds-checked and cross-checked against the header; any
+// inconsistency makes the loader return `None` (a cache miss).
+
+fn file_name(key: u64) -> String {
+    format!("tcc-{key:016x}.bin")
+}
+
+fn push_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_f64(buf: &mut Vec<u8>, v: f64) {
+    push_u64(buf, v.to_bits());
+}
+
+fn encode_payload(tcc: &TccKernels, mask_dim: usize) -> Vec<u8> {
+    let sup = tcc.support.len();
+    let cap = 32 + 4 * sup + tcc.kernels.len() * (8 + 16 * sup);
+    let mut buf = Vec::with_capacity(cap);
+    push_u64(&mut buf, mask_dim as u64);
+    push_u64(&mut buf, tcc.truncation as u64);
+    push_u64(&mut buf, sup as u64);
+    push_u64(&mut buf, tcc.kernels.len() as u64);
+    for &(row, col) in &tcc.support {
+        push_u32(&mut buf, (row * mask_dim + col) as u32);
+    }
+    for k in &tcc.kernels {
+        push_f64(&mut buf, k.kappa);
+        for z in &k.phi {
+            push_f64(&mut buf, z.re);
+            push_f64(&mut buf, z.im);
+        }
+    }
+    buf
+}
+
+/// Bounds-checked reader over a payload slice.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let s = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(s)
+    }
+    fn u32(&mut self) -> Option<u32> {
+        let b = self.take(4)?;
+        Some(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+    fn u64(&mut self) -> Option<u64> {
+        let b = self.take(8)?;
+        Some(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+    fn f64(&mut self) -> Option<f64> {
+        self.u64().map(f64::from_bits)
+    }
+}
+
+fn decode_payload(payload: &[u8], expect_mask_dim: usize) -> Option<TccKernels> {
+    let mut c = Cursor {
+        buf: payload,
+        pos: 0,
+    };
+    let mask_dim = usize::try_from(c.u64()?).ok()?;
+    if mask_dim != expect_mask_dim {
+        return None;
+    }
+    let truncation = usize::try_from(c.u64()?).ok()?;
+    let support_n = usize::try_from(c.u64()?).ok()?;
+    let kernel_n = usize::try_from(c.u64()?).ok()?;
+    // The declared sizes must account for exactly the remaining bytes; a
+    // torn or padded file fails here before any allocation is sized by it.
+    let body = support_n
+        .checked_mul(4)?
+        .checked_add(kernel_n.checked_mul(support_n.checked_mul(16)?.checked_add(8)?)?)?;
+    if payload.len() != 32 + body {
+        return None;
+    }
+    let n2 = mask_dim.checked_mul(mask_dim)?;
+    let mut support = Vec::with_capacity(support_n);
+    for _ in 0..support_n {
+        let flat = c.u32()? as usize;
+        if flat >= n2 {
+            return None;
+        }
+        support.push((flat / mask_dim, flat % mask_dim));
+    }
+    let mut kernels = Vec::with_capacity(kernel_n);
+    for _ in 0..kernel_n {
+        let kappa = c.f64()?;
+        let mut phi = Vec::with_capacity(support_n);
+        for _ in 0..support_n {
+            let re = c.f64()?;
+            let im = c.f64()?;
+            phi.push(Complex64 { re, im });
+        }
+        kernels.push(SocsKernel { kappa, phi });
+    }
+    Some(TccKernels {
+        support,
+        kernels,
+        truncation,
+    })
+}
+
+/// Loads and validates one cache file. Any I/O error, header mismatch,
+/// checksum failure, or malformed payload is a miss (`None`) — the cache
+/// never turns a bad file into a build error or bad kernels.
+fn load_file(path: &Path, key: u64, mask_dim: usize) -> Option<TccKernels> {
+    let bytes = std::fs::read(path).ok()?;
+    if bytes.len() < HEADER_LEN || &bytes[..8] != MAGIC {
+        return None;
+    }
+    let mut c = Cursor {
+        buf: &bytes[8..HEADER_LEN],
+        pos: 0,
+    };
+    let file_key = c.u64()?;
+    let payload_len = usize::try_from(c.u64()?).ok()?;
+    let checksum = c.u64()?;
+    let payload = &bytes[HEADER_LEN..];
+    if file_key != key || payload.len() != payload_len || fnv1a(payload) != checksum {
+        return None;
+    }
+    decode_payload(payload, mask_dim)
+}
+
+/// Best-effort persist: serialize, write to a process-unique temp sibling,
+/// atomically rename into place (the journal's idiom — readers never see a
+/// partial file). Returns whether the bundle landed on disk.
+fn store_file(dir: &Path, key: u64, tcc: &TccKernels, mask_dim: usize) -> bool {
+    let payload = encode_payload(tcc, mask_dim);
+    let mut bytes = Vec::with_capacity(HEADER_LEN + payload.len());
+    bytes.extend_from_slice(MAGIC);
+    push_u64(&mut bytes, key);
+    push_u64(&mut bytes, payload.len() as u64);
+    push_u64(&mut bytes, fnv1a(&payload));
+    bytes.extend_from_slice(&payload);
+
+    let path = dir.join(file_name(key));
+    let tmp = dir.join(format!("{}.tmp-{}", file_name(key), std::process::id()));
+    if std::fs::write(&tmp, &bytes).is_err() {
+        let _ = std::fs::remove_file(&tmp);
+        return false;
+    }
+    if std::fs::rename(&tmp, &path).is_err() {
+        let _ = std::fs::remove_file(&tmp);
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bismo_optics::SourceShape;
+
+    fn sample(mask_dim: usize) -> TccKernels {
+        TccKernels {
+            support: vec![(0, 1), (2, 3), (mask_dim - 1, mask_dim - 1)],
+            kernels: vec![
+                SocsKernel {
+                    kappa: 0.75,
+                    phi: vec![
+                        Complex64::new(1.0, -2.0),
+                        Complex64::new(0.5, 0.25),
+                        Complex64::new(-1e-300, 3e12),
+                    ],
+                },
+                SocsKernel {
+                    kappa: 1e-13,
+                    phi: vec![Complex64::ZERO, Complex64::I, Complex64::ONE],
+                },
+            ],
+            truncation: 7,
+        }
+    }
+
+    fn assert_same(a: &TccKernels, b: &TccKernels) {
+        assert_eq!(a.support, b.support);
+        assert_eq!(a.truncation, b.truncation);
+        assert_eq!(a.kernels.len(), b.kernels.len());
+        for (x, y) in a.kernels.iter().zip(&b.kernels) {
+            assert_eq!(x.kappa.to_bits(), y.kappa.to_bits());
+            assert_eq!(x.phi.len(), y.phi.len());
+            for (p, q) in x.phi.iter().zip(&y.phi) {
+                assert_eq!(p.re.to_bits(), q.re.to_bits());
+                assert_eq!(p.im.to_bits(), q.im.to_bits());
+            }
+        }
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("bismo-kc-unit-{}-{tag}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn payload_roundtrip_is_bit_exact() {
+        let tcc = sample(64);
+        let payload = encode_payload(&tcc, 64);
+        let back = decode_payload(&payload, 64).expect("roundtrip");
+        assert_same(&tcc, &back);
+        // A different grid is a miss, not a mis-addressed support.
+        assert!(decode_payload(&payload, 128).is_none());
+    }
+
+    #[test]
+    fn store_then_load_roundtrips_without_temp_litter() {
+        let dir = tmpdir("roundtrip");
+        let tcc = sample(64);
+        let key = 0xdead_beef_1234_5678;
+        assert!(store_file(&dir, key, &tcc, 64));
+        let entries: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        assert_eq!(entries, vec![file_name(key)], "temp sibling must be gone");
+        let back = load_file(&dir.join(file_name(key)), key, 64).expect("load");
+        assert_same(&tcc, &back);
+        // Wrong key: miss, even though the file parses.
+        assert!(load_file(&dir.join(file_name(key)), key ^ 1, 64).is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_files_read_as_misses() {
+        let dir = tmpdir("corrupt");
+        let tcc = sample(64);
+        let key = 0x0123_4567_89ab_cdef;
+        assert!(store_file(&dir, key, &tcc, 64));
+        let path = dir.join(file_name(key));
+        let pristine = std::fs::read(&path).unwrap();
+
+        // Truncations at every interesting boundary.
+        for cut in [0, 4, HEADER_LEN - 1, HEADER_LEN, pristine.len() - 1] {
+            std::fs::write(&path, &pristine[..cut]).unwrap();
+            assert!(load_file(&path, key, 64).is_none(), "cut at {cut}");
+        }
+        // A single flipped payload bit trips the checksum.
+        let mut flipped = pristine.clone();
+        flipped[HEADER_LEN + 9] ^= 0x40;
+        std::fs::write(&path, &flipped).unwrap();
+        assert!(load_file(&path, key, 64).is_none());
+        // Wrong magic (e.g. a future format version).
+        let mut remagic = pristine.clone();
+        remagic[7] = b'9';
+        std::fs::write(&path, &remagic).unwrap();
+        assert!(load_file(&path, key, 64).is_none());
+        // Garbage and missing files.
+        std::fs::write(&path, b"not a cache file at all").unwrap();
+        assert!(load_file(&path, key, 64).is_none());
+        std::fs::remove_file(&path).unwrap();
+        assert!(load_file(&path, key, 64).is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn declared_sizes_must_match_actual_bytes() {
+        let tcc = sample(64);
+        let mut payload = encode_payload(&tcc, 64);
+        // Inflate the declared kernel count without adding bytes.
+        payload[24..32].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(decode_payload(&payload, 64).is_none());
+        // Out-of-grid support flat.
+        let mut payload = encode_payload(&tcc, 64);
+        payload[32..36].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_payload(&payload, 64).is_none());
+    }
+
+    #[test]
+    fn fingerprint_separates_build_inputs() {
+        let cfg = OpticalConfig::test_small();
+        let pupil = Pupil::new(&cfg);
+        let src = Source::from_shape(
+            &cfg,
+            SourceShape::Annular {
+                sigma_in: 0.63,
+                sigma_out: 0.95,
+            },
+        );
+        let pts = src.effective_points(1e-12);
+        let base = fingerprint(&cfg, &pupil, &pts, &src, 12);
+        assert_eq!(base, fingerprint(&cfg, &pupil, &pts, &src, 12));
+        assert_ne!(base, fingerprint(&cfg, &pupil, &pts, &src, 13));
+        let defocused = Pupil::new(&cfg).with_defocus(50.0);
+        assert_ne!(base, fingerprint(&cfg, &defocused, &pts, &src, 12));
+        // An ULP-sized weight change is a different illumination.
+        let mut weights = src.weights().to_vec();
+        let nz = weights.iter().position(|&w| w > 0.0).unwrap();
+        weights[nz] = f64::from_bits(weights[nz].to_bits() + 1);
+        let tweaked = Source::from_weights(&cfg, weights);
+        let tpts = tweaked.effective_points(1e-12);
+        assert_ne!(base, fingerprint(&cfg, &pupil, &tpts, &tweaked, 12));
+    }
+}

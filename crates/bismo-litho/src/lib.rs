@@ -51,11 +51,13 @@ mod backend;
 mod batch;
 mod error;
 mod hopkins;
+mod kernel_cache;
 mod resist;
 
 pub use abbe::AbbeImager;
 pub use backend::ImagingBackend;
 pub use batch::{FieldBatch, IntensityBatch, MaskBatch};
 pub use error::LithoError;
-pub use hopkins::{HopkinsImager, SocsKernel};
+pub use hopkins::{HopkinsImager, SocsKernel, TccBuild};
+pub use kernel_cache::{KernelCache, KernelCacheStats};
 pub use resist::{sigmoid, DoseCorners, ResistModel};

@@ -70,7 +70,7 @@ pub mod prelude {
     pub use bismo_layout::{upsample, write_pgm, Clip, Suite, SuiteKind};
     pub use bismo_litho::{
         AbbeImager, DoseCorners, FieldBatch, HopkinsImager, ImagingBackend, IntensityBatch,
-        LithoError, MaskBatch, ResistModel,
+        KernelCache, KernelCacheStats, LithoError, MaskBatch, ResistModel, TccBuild,
     };
     pub use bismo_opt::{Adam, Momentum, Optimizer, OptimizerKind, Sgd};
     pub use bismo_optics::{

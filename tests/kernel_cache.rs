@@ -1,0 +1,270 @@
+//! End-to-end contracts of the SOCS kernel cache (DESIGN.md §13): cached
+//! kernels are pinned to a fresh build (bit-identical on the dense-Jacobi
+//! route, ≤ 1e-10·peak on the randomized route — in practice the disk tier
+//! stores exact bit patterns, so both are bitwise), damaged cache files
+//! degrade to a rebuild instead of a panic or wrong kernels, a changed
+//! source is a changed key, and LRU eviction never invalidates borrowers.
+//!
+//! The cache is process-global, so every test serializes on one mutex and
+//! restores the default cache state before releasing it.
+
+use std::path::PathBuf;
+use std::sync::{Mutex, PoisonError};
+
+use bismo::prelude::*;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `f` with exclusive access to the process-global cache, reset to a
+/// known state before and after.
+fn with_cache<R>(f: impl FnOnce() -> R) -> R {
+    let _guard = LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    let reset = || {
+        KernelCache::set_disk_dir(None);
+        KernelCache::set_capacity(8);
+        KernelCache::clear();
+        KernelCache::reset_stats();
+    };
+    reset();
+    let out = f();
+    reset();
+    out
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("bismo-kc-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn dense_fixture() -> (OpticalConfig, Source) {
+    let cfg = OpticalConfig::test_small();
+    let src = Source::from_shape(
+        &cfg,
+        SourceShape::Annular {
+            sigma_in: 0.63,
+            sigma_out: 0.95,
+        },
+    );
+    (cfg, src)
+}
+
+/// A 17×17 full circular source: σ = 289 > DENSE_EIG_LIMIT = 260, forcing
+/// the (seeded, deterministic) randomized eigensolver route.
+fn randomized_fixture() -> (OpticalConfig, Source) {
+    let cfg = OpticalConfig::builder()
+        .mask_dim(64)
+        .pixel_nm(16.0)
+        .source_dim(17)
+        .build()
+        .unwrap();
+    let src = Source::from_weights(&cfg, vec![1.0; 17 * 17]);
+    assert!(src.effective_count(1e-12) > 260);
+    (cfg, src)
+}
+
+fn fresh(cfg: &OpticalConfig, src: &Source, q: usize) -> HopkinsImager {
+    HopkinsImager::with_pupil_build(
+        cfg,
+        Pupil::new(cfg),
+        src,
+        q,
+        TccBuild {
+            threads: 1,
+            bypass_cache: true,
+        },
+    )
+    .unwrap()
+}
+
+fn assert_bitwise(a: &HopkinsImager, b: &HopkinsImager, label: &str) {
+    assert_eq!(a.support(), b.support(), "{label}: support");
+    assert_eq!(a.kernels().len(), b.kernels().len(), "{label}: count");
+    for (x, y) in a.kernels().iter().zip(b.kernels()) {
+        assert_eq!(x.kappa.to_bits(), y.kappa.to_bits(), "{label}: kappa");
+        for (p, q) in x.phi.iter().zip(&y.phi) {
+            assert_eq!(p.re.to_bits(), q.re.to_bits(), "{label}: phi re");
+            assert_eq!(p.im.to_bits(), q.im.to_bits(), "{label}: phi im");
+        }
+    }
+}
+
+#[test]
+fn repeated_construction_shares_one_bundle_in_memory() {
+    with_cache(|| {
+        let (cfg, src) = dense_fixture();
+        let first = HopkinsImager::new(&cfg, &src, 12).unwrap();
+        let second = HopkinsImager::new(&cfg, &src, 12).unwrap();
+        let stats = KernelCache::stats();
+        assert_eq!(stats.misses, 1, "first build is the only cold one");
+        assert_eq!(stats.hits, 1, "second build must hit");
+        // Not merely equal: the same allocation.
+        assert!(std::ptr::eq(
+            first.kernels().as_ptr(),
+            second.kernels().as_ptr()
+        ));
+        // The shared-core constructor lands on the same key.
+        let core = ImagingCore::new(&cfg).unwrap();
+        let third = HopkinsImager::with_core(&core, &src, 12).unwrap();
+        assert_eq!(KernelCache::stats().hits, 2);
+        assert!(std::ptr::eq(
+            first.kernels().as_ptr(),
+            third.kernels().as_ptr()
+        ));
+    });
+}
+
+#[test]
+fn disk_roundtrip_dense_route_is_bit_identical() {
+    with_cache(|| {
+        let dir = tmpdir("dense");
+        KernelCache::set_disk_dir(Some(dir.clone()));
+        let (cfg, src) = dense_fixture();
+        let built = HopkinsImager::new(&cfg, &src, 12).unwrap();
+        assert_eq!(KernelCache::stats().disk_stores, 1, "bundle must persist");
+        // Drop the in-memory tier: the next build may only use the file.
+        KernelCache::clear();
+        let loaded = HopkinsImager::new(&cfg, &src, 12).unwrap();
+        let stats = KernelCache::stats();
+        assert_eq!(stats.disk_hits, 1, "second process-cold build loads disk");
+        assert_eq!(stats.misses, 1, "never rebuilt");
+        assert_bitwise(&built, &loaded, "stored vs loaded");
+        assert_bitwise(&fresh(&cfg, &src, 12), &loaded, "fresh vs loaded");
+        std::fs::remove_dir_all(&dir).unwrap();
+    });
+}
+
+#[test]
+fn disk_roundtrip_randomized_route_is_tolerance_pinned() {
+    with_cache(|| {
+        let dir = tmpdir("randomized");
+        KernelCache::set_disk_dir(Some(dir.clone()));
+        let (cfg, src) = randomized_fixture();
+        let _built = HopkinsImager::new(&cfg, &src, 8).unwrap();
+        KernelCache::clear();
+        let loaded = HopkinsImager::new(&cfg, &src, 8).unwrap();
+        assert_eq!(KernelCache::stats().disk_hits, 1);
+        let reference = fresh(&cfg, &src, 8);
+        // Contract: ≤ 1e-10 · peak on the randomized route. (The seeded
+        // solver plus a bit-exact file format make this 0 in practice.)
+        let peak = reference
+            .kernels()
+            .iter()
+            .flat_map(|k| &k.phi)
+            .map(|z| z.re.abs().max(z.im.abs()))
+            .fold(0.0_f64, f64::max);
+        assert!(peak > 0.0);
+        assert_eq!(reference.kernels().len(), loaded.kernels().len());
+        for (a, b) in reference.kernels().iter().zip(loaded.kernels()) {
+            assert!((a.kappa - b.kappa).abs() <= 1e-10 * a.kappa.abs());
+            for (x, y) in a.phi.iter().zip(&b.phi) {
+                assert!(
+                    (x.re - y.re).abs() <= 1e-10 * peak && (x.im - y.im).abs() <= 1e-10 * peak,
+                    "loaded randomized-route kernel drifted past 1e-10·peak"
+                );
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    });
+}
+
+#[test]
+fn damaged_cache_files_degrade_to_a_rebuild() {
+    with_cache(|| {
+        let dir = tmpdir("damage");
+        KernelCache::set_disk_dir(Some(dir.clone()));
+        let (cfg, src) = dense_fixture();
+        let reference = fresh(&cfg, &src, 12);
+        let _ = HopkinsImager::new(&cfg, &src, 12).unwrap();
+        let file = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .find(|p| p.extension().is_some_and(|e| e == "bin"))
+            .expect("cache file written");
+        let pristine = std::fs::read(&file).unwrap();
+
+        let corruptions: &[(&str, Vec<u8>)] = &[
+            ("truncated", pristine[..pristine.len() / 3].to_vec()),
+            ("payload bit flip", {
+                let mut b = pristine.clone();
+                let mid = b.len() / 2;
+                b[mid] ^= 0x01;
+                b
+            }),
+            ("garbage", b"this is not a kernel bundle".to_vec()),
+            ("empty", Vec::new()),
+        ];
+        for (label, bytes) in corruptions {
+            std::fs::write(&file, bytes).unwrap();
+            KernelCache::clear();
+            KernelCache::reset_stats();
+            // Must neither panic nor serve wrong kernels: quietly rebuild.
+            let rebuilt = HopkinsImager::new(&cfg, &src, 12).unwrap();
+            let stats = KernelCache::stats();
+            assert_eq!(stats.disk_hits, 0, "{label}: corrupt file must miss");
+            assert_eq!(stats.misses, 1, "{label}: must rebuild");
+            assert_bitwise(&reference, &rebuilt, label);
+            // The rebuild re-persists atomically over the damaged file...
+            assert_eq!(stats.disk_stores, 1, "{label}: must re-store");
+            // ...leaving it loadable again.
+            KernelCache::clear();
+            KernelCache::reset_stats();
+            let _ = HopkinsImager::new(&cfg, &src, 12).unwrap();
+            assert_eq!(KernelCache::stats().disk_hits, 1, "{label}: repaired");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    });
+}
+
+#[test]
+fn changed_source_weights_are_a_different_key() {
+    with_cache(|| {
+        let (cfg, src) = dense_fixture();
+        let _ = HopkinsImager::new(&cfg, &src, 12).unwrap();
+        // Nudge one lit weight by a single ULP — still a different source.
+        let mut weights = src.weights().to_vec();
+        let nz = weights.iter().position(|&w| w > 0.0).unwrap();
+        weights[nz] = f64::from_bits(weights[nz].to_bits() + 1);
+        let tweaked = Source::from_weights(&cfg, weights);
+        let _ = HopkinsImager::new(&cfg, &tweaked, 12).unwrap();
+        let stats = KernelCache::stats();
+        assert_eq!(stats.misses, 2, "changed source must not hit");
+        assert_eq!(stats.hits, 0);
+        assert_eq!(KernelCache::resident(), 2);
+    });
+}
+
+#[test]
+fn lru_eviction_keeps_borrowers_alive_and_recency_order() {
+    with_cache(|| {
+        KernelCache::set_capacity(2);
+        let (cfg, src) = dense_fixture();
+        // Three distinct keys via the truncation rank.
+        let oldest = HopkinsImager::new(&cfg, &src, 4).unwrap();
+        let _b = HopkinsImager::new(&cfg, &src, 5).unwrap();
+        // Touch the oldest key: it becomes most-recent, so the next insert
+        // must evict q=5, not q=4.
+        let _a2 = HopkinsImager::new(&cfg, &src, 4).unwrap();
+        assert_eq!(KernelCache::stats().hits, 1);
+        let _c = HopkinsImager::new(&cfg, &src, 6).unwrap();
+        assert_eq!(KernelCache::stats().evictions, 1);
+        assert_eq!(KernelCache::resident(), 2);
+
+        KernelCache::reset_stats();
+        let _a3 = HopkinsImager::new(&cfg, &src, 4).unwrap();
+        assert_eq!(KernelCache::stats().hits, 1, "q=4 survived (recency)");
+        let _b2 = HopkinsImager::new(&cfg, &src, 5).unwrap();
+        assert_eq!(
+            KernelCache::stats().misses,
+            1,
+            "q=5 was the eviction victim"
+        );
+
+        // The evicted bundle's borrower is untouched: its Arc keeps the
+        // kernels alive and the engine still images.
+        let mask = RealField::filled(cfg.mask_dim(), 1.0);
+        let i = oldest.intensity(&mask).unwrap();
+        assert!(i.max() > 0.0);
+    });
+}

@@ -1,0 +1,141 @@
+//! Threaded TCC assembly is a scheduling contract, not a numerical one
+//! (DESIGN.md §9/§13): the Gram matrix is computed into worker-count-
+//! independent slots and each kernel's lift is untouched, so the assembled
+//! matrix — observed through the final kernels, which are a deterministic
+//! function of it — and the kernels themselves must be **bit-identical** at
+//! 1, 2, and 4 assembly threads, on both eigensolver routes and with a
+//! complex (defocused) pupil.
+
+use bismo::prelude::*;
+
+/// Builds with the cache bypassed so every call is a genuine assembly.
+fn build(
+    cfg: &OpticalConfig,
+    pupil: Pupil,
+    src: &Source,
+    q: usize,
+    threads: usize,
+) -> HopkinsImager {
+    HopkinsImager::with_pupil_build(
+        cfg,
+        pupil,
+        src,
+        q,
+        TccBuild {
+            threads,
+            bypass_cache: true,
+        },
+    )
+    .unwrap()
+}
+
+fn assert_bitwise_equal(reference: &HopkinsImager, other: &HopkinsImager, label: &str) {
+    assert_eq!(reference.support(), other.support(), "{label}: support");
+    assert_eq!(
+        reference.kernels().len(),
+        other.kernels().len(),
+        "{label}: kernel count"
+    );
+    for (q, (a, b)) in reference.kernels().iter().zip(other.kernels()).enumerate() {
+        assert_eq!(
+            a.kappa.to_bits(),
+            b.kappa.to_bits(),
+            "{label}: kappa of kernel {q}"
+        );
+        for (i, (x, y)) in a.phi.iter().zip(&b.phi).enumerate() {
+            assert_eq!(
+                (x.re.to_bits(), x.im.to_bits()),
+                (y.re.to_bits(), y.im.to_bits()),
+                "{label}: phi[{i}] of kernel {q}"
+            );
+        }
+    }
+}
+
+#[test]
+fn dense_route_gram_and_kernels_identical_at_1_2_4_threads() {
+    let cfg = OpticalConfig::test_small();
+    let src = Source::from_shape(
+        &cfg,
+        SourceShape::Annular {
+            sigma_in: 0.63,
+            sigma_out: 0.95,
+        },
+    );
+    let reference = build(&cfg, Pupil::new(&cfg), &src, 12, 1);
+    for threads in [2, 4] {
+        let threaded = build(&cfg, Pupil::new(&cfg), &src, 12, threads);
+        assert_bitwise_equal(&reference, &threaded, &format!("dense @ {threads} threads"));
+    }
+    // And the images built from them (same kernels ⇒ same pixels, but this
+    // closes the loop end to end through the imaging path).
+    let mask = RealField::from_fn(cfg.mask_dim(), |r, c| {
+        if (20..44).contains(&r) && (16..48).contains(&c) {
+            0.8
+        } else {
+            0.2
+        }
+    });
+    let threaded = build(&cfg, Pupil::new(&cfg), &src, 12, 4);
+    assert_eq!(
+        reference.intensity(&mask).unwrap(),
+        threaded.intensity(&mask).unwrap()
+    );
+}
+
+#[test]
+fn defocused_complex_pupil_identical_at_1_2_4_threads() {
+    // The aberrated table stores complex values, exercising the
+    // value-carrying branch of the overlap and lift loops.
+    let cfg = OpticalConfig::test_small();
+    let src = Source::from_shape(
+        &cfg,
+        SourceShape::Annular {
+            sigma_in: 0.63,
+            sigma_out: 0.95,
+        },
+    );
+    let reference = build(&cfg, Pupil::new(&cfg).with_defocus(120.0), &src, 10, 1);
+    for threads in [2, 4] {
+        let threaded = build(
+            &cfg,
+            Pupil::new(&cfg).with_defocus(120.0),
+            &src,
+            10,
+            threads,
+        );
+        assert_bitwise_equal(
+            &reference,
+            &threaded,
+            &format!("defocus @ {threads} threads"),
+        );
+    }
+}
+
+#[test]
+fn randomized_route_identical_at_1_2_4_threads() {
+    // A full 33×33 circular source has σ = 1089 > DENSE_EIG_LIMIT = 260
+    // effective points, forcing the randomized subspace-iteration route.
+    // That solver is seeded and deterministic, so the threading contract
+    // holds across the whole build there too.
+    let cfg = OpticalConfig::builder()
+        .mask_dim(64)
+        .pixel_nm(16.0)
+        .source_dim(33)
+        .build()
+        .unwrap();
+    let src = Source::from_weights(&cfg, vec![1.0; 33 * 33]);
+    assert!(
+        src.effective_count(1e-12) > 260,
+        "fixture must exceed DENSE_EIG_LIMIT"
+    );
+    let reference = build(&cfg, Pupil::new(&cfg), &src, 8, 1);
+    for threads in [2, 4] {
+        let threaded = build(&cfg, Pupil::new(&cfg), &src, 8, threads);
+        assert_bitwise_equal(
+            &reference,
+            &threaded,
+            &format!("randomized @ {threads} threads"),
+        );
+    }
+}
